@@ -1,0 +1,130 @@
+// Ablation: early stopping and the word-group (cache-line) layout
+// (Section II-C), plus the early-stop advantage the paper credits for
+// MIN/MAX's larger speed-up versus SUM (Figure 5 discussion).
+//
+// Part 1: an equality scan decides most segments after the first bit-group,
+// so with bit-groups (tau = 4) the scan touches far fewer words per segment
+// than without (tau = k); the harness reports both the touched-word counts
+// and the cycles.
+// Part 2: MIN's cycles/tuple falls as its running extreme tightens (blend
+// skipped, comparison early-out) while SUM must touch every word; their
+// ratio across selectivities isolates the early-stop benefit.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "scan/predicate.h"
+
+namespace icp::bench {
+namespace {
+
+constexpr int kValueWidth = 25;
+
+void Run() {
+  const std::size_t n = TupleCount();
+  const int reps = Repetitions();
+  PrintHeader("Ablation: early stopping and word-groups", n, reps);
+
+  const auto z = UniformCodes(n, kValueWidth, 81);
+
+  std::printf(
+      "\n[1] VBP equality scan: words touched per segment and cost\n");
+  std::printf("%18s %16s %12s %16s\n", "layout", "words/segment",
+              "scan c/t", "early-stop rate");
+  for (int tau : {kValueWidth, 4}) {
+    VbpColumn::Options opt;
+    opt.tau = tau;
+    const VbpColumn zv = VbpColumn::Pack(z, kValueWidth, opt);
+    ScanStats stats;
+    VbpScanner::Scan(zv, CompareOp::kEq, 12345, 0, &stats);
+    const double scan_ct = CyclesPerTuple(n, reps, [&] {
+      DoNotOptimize(
+          VbpScanner::Scan(zv, CompareOp::kEq, 12345).CountOnes());
+    });
+    std::printf("%13s%-5d %16.2f %12.3f %15.1f%%\n", "tau = ", tau,
+                static_cast<double>(stats.words_examined) /
+                    static_cast<double>(stats.segments_processed),
+                scan_ct,
+                100.0 * static_cast<double>(stats.segments_early_stopped) /
+                    static_cast<double>(stats.segments_processed));
+  }
+  std::printf("(without bit-groups the scan must fetch all %d words of "
+              "every segment)\n",
+              kValueWidth);
+
+  std::printf(
+      "\n[2] Early stopping in MIN vs none in SUM (BP, cycles/tuple)\n");
+  std::printf("%12s %12s %12s %12s %12s %12s %12s\n", "selectivity",
+              "VBP MIN", "VBP SUM", "VBP ratio", "HBP MIN", "HBP SUM",
+              "HBP ratio");
+  for (double sel : {0.01, 0.1, 0.5, 1.0}) {
+    const Workload w = MakeWorkload(n, kValueWidth, sel, 5000);
+    const double vmin =
+        MeasureAgg(w, Layout::kVbp, BenchAgg::kMin, AggMethod::kBitParallel,
+                   reps);
+    const double vsum =
+        MeasureAgg(w, Layout::kVbp, BenchAgg::kSum, AggMethod::kBitParallel,
+                   reps);
+    const double hmin =
+        MeasureAgg(w, Layout::kHbp, BenchAgg::kMin, AggMethod::kBitParallel,
+                   reps);
+    const double hsum =
+        MeasureAgg(w, Layout::kHbp, BenchAgg::kSum, AggMethod::kBitParallel,
+                   reps);
+    std::printf("%12.2f %12.3f %12.3f %12.2f %12.3f %12.3f %12.2f\n", sel,
+                vmin, vsum, vmin / vsum, hmin, hsum, hmin / hsum);
+  }
+  std::printf("(MIN should stay well below SUM: once the running extreme "
+              "is tight,\n almost every segment's comparison decides early "
+              "and the blend is skipped)\n");
+
+  std::printf(
+      "\n[3] Inside MIN: fold instrumentation across selectivity\n");
+  std::printf("%6s %12s %10s %14s %14s %14s\n", "layout", "selectivity",
+              "folds", "early-stop %", "blend-skip %", "segs skipped");
+  for (double sel : {0.01, 0.1, 0.5, 1.0}) {
+    const Workload w = MakeWorkload(n, kValueWidth, sel, 6000);
+    {
+      AggStats stats;
+      Word temp[kWordBits];
+      vbp::InitSlotExtreme(w.vbp.bit_width(), true, temp);
+      vbp::SlotExtremeRange(w.vbp, w.filter_vbp, 0,
+                            w.filter_vbp.num_segments(), true, temp,
+                            &stats);
+      std::printf("%6s %12.2f %10llu %13.1f%% %13.1f%% %14llu\n", "VBP",
+                  sel, static_cast<unsigned long long>(stats.folds),
+                  100.0 * static_cast<double>(stats.compare_early_stops) /
+                      static_cast<double>(stats.folds ? stats.folds : 1),
+                  100.0 * static_cast<double>(stats.blends_skipped) /
+                      static_cast<double>(stats.folds ? stats.folds : 1),
+                  static_cast<unsigned long long>(stats.segments_skipped));
+    }
+    {
+      AggStats stats;
+      Word temp[kWordBits];
+      hbp::InitSubSlotExtreme(w.hbp, true, temp);
+      hbp::SubSlotExtremeRange(w.hbp, w.filter_hbp, 0,
+                               w.filter_hbp.num_segments(), true, temp,
+                               &stats);
+      std::printf("%6s %12.2f %10llu %13.1f%% %13.1f%% %14llu\n", "HBP",
+                  sel, static_cast<unsigned long long>(stats.folds),
+                  100.0 * static_cast<double>(stats.compare_early_stops) /
+                      static_cast<double>(stats.folds ? stats.folds : 1),
+                  100.0 * static_cast<double>(stats.blends_skipped) /
+                      static_cast<double>(stats.folds ? stats.folds : 1),
+                  static_cast<unsigned long long>(stats.segments_skipped));
+    }
+  }
+  std::printf("(blend-skip approaches 100%% as the filter grows: the "
+              "running extreme\n converges fast, so most folds never "
+              "touch the blend pass — the paper's\n early-stopping "
+              "advantage for MIN/MAX quantified)\n");
+}
+
+}  // namespace
+}  // namespace icp::bench
+
+int main() {
+  icp::bench::Run();
+  return 0;
+}

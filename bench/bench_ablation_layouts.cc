@@ -1,0 +1,96 @@
+// Ablation: storage layout comparison — the paper's bit-packed layouts
+// (VBP/HBP) against the mainstream padded baseline (smallest power-of-two
+// element; Blink banks / Vectorwise vectors) and the fully naive
+// one-value-per-64-bit-word store.
+//
+// This quantifies the introduction's motivation: padding wastes register
+// bits, so bit-parallel scans and aggregates on packed layouts do more
+// tuples per instruction; memory footprint shrinks accordingly.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/naive_aggregate.h"
+#include "core/padded_aggregate.h"
+#include "layout/naive_column.h"
+#include "layout/padded_column.h"
+#include "scan/naive_scanner.h"
+#include "scan/padded_scanner.h"
+
+namespace icp::bench {
+namespace {
+
+constexpr double kSelectivity = 0.1;
+
+void Run() {
+  const std::size_t n = TupleCount();
+  const int reps = Repetitions();
+  PrintHeader(
+      "Ablation: layouts — VBP / HBP vs padded and naive baselines "
+      "(selectivity 0.1)",
+      n, reps);
+
+  std::printf(
+      "\n%4s | %28s | %40s | %28s\n", "k", "bytes/value",
+      "scan cycles/tuple (Z < c)", "BP SUM / layout-SUM c/t");
+  std::printf("%4s | %6s %6s %6s %6s | %9s %9s %9s %9s | %6s %6s %6s %6s\n",
+              "", "VBP", "HBP", "pad", "naive", "VBP", "HBP", "pad",
+              "naive", "VBP", "HBP", "pad", "naive");
+  for (int k : {2, 7, 12, 17, 25, 33}) {
+    const auto x = UniformCodes(n, k, 100 + k);
+    const auto z = UniformCodes(n, k, 200 + k);
+    const std::uint64_t c = static_cast<std::uint64_t>(
+        kSelectivity * (static_cast<double>(LowMask(k)) + 1.0));
+
+    const VbpColumn xv = VbpColumn::Pack(x, k);
+    const HbpColumn xh = HbpColumn::Pack(x, k);
+    const PaddedColumn xp = PaddedColumn::Pack(x, k);
+    const NaiveColumn xn = NaiveColumn::Pack(x, k);
+    const VbpColumn zv = VbpColumn::Pack(z, k);
+    const HbpColumn zh = HbpColumn::Pack(z, k);
+    const PaddedColumn zp = PaddedColumn::Pack(z, k);
+    const NaiveColumn zn = NaiveColumn::Pack(z, k);
+
+    FilterBitVector fv(1, 1), fh(1, 1), fp(1, 1), fn(1, 1);
+    const double scan_v = CyclesPerTuple(
+        n, reps, [&] { fv = VbpScanner::Scan(zv, CompareOp::kLt, c); });
+    const double scan_h = CyclesPerTuple(
+        n, reps, [&] { fh = HbpScanner::Scan(zh, CompareOp::kLt, c); });
+    const double scan_p = CyclesPerTuple(
+        n, reps, [&] { fp = PaddedScanner::Scan(zp, CompareOp::kLt, c); });
+    const double scan_n = CyclesPerTuple(
+        n, reps, [&] { fn = NaiveScanner::Scan(zn, CompareOp::kLt, c); });
+
+    const double sum_v = CyclesPerTuple(
+        n, reps, [&] { DoNotOptimize(vbp::Sum(xv, fv)); });
+    const double sum_h = CyclesPerTuple(
+        n, reps, [&] { DoNotOptimize(hbp::Sum(xh, fh)); });
+    const double sum_p = CyclesPerTuple(
+        n, reps, [&] { DoNotOptimize(padded::Sum(xp, fp)); });
+    const double sum_n = CyclesPerTuple(
+        n, reps, [&] { DoNotOptimize(naive::SumBranchless(xn, fn)); });
+
+    auto bpv = [&](std::size_t bytes) {
+      return static_cast<double>(bytes) / static_cast<double>(n);
+    };
+    std::printf(
+        "%4d | %6.2f %6.2f %6.2f %6.2f | %9.3f %9.3f %9.3f %9.3f | %6.2f "
+        "%6.2f %6.2f %6.2f\n",
+        k, bpv(xv.MemoryBytes()), bpv(xh.MemoryBytes()),
+        bpv(xp.MemoryBytes()), bpv(xn.MemoryBytes()), scan_v, scan_h,
+        scan_p, scan_n, sum_v, sum_h, sum_p, sum_n);
+  }
+  std::printf(
+      "\nExpected shape: packed layouts use k/8 (VBP) or slightly more "
+      "(HBP) bytes per\nvalue vs the padded power-of-two, and their scans "
+      "beat the naive store; the\npadded baseline's auto-vectorized scan "
+      "is the strongest non-bit-parallel rival.\n");
+}
+
+}  // namespace
+}  // namespace icp::bench
+
+int main() {
+  icp::bench::Run();
+  return 0;
+}

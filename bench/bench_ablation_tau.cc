@@ -1,0 +1,90 @@
+// Ablation: the bit-group size tau (Section II-C / paper footnote 4).
+//
+// The paper adopts tau = 4 for VBP (BitWeaving's empirical optimum) and an
+// analytically-chosen tau for HBP (technical report [14], unavailable; see
+// DefaultHbpTau in src/layout/layout.cc for our stand-in model). This
+// harness sweeps tau for both layouts at the paper's default workload and
+// marks the value our model picks, validating the choice empirically.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "scan/predicate.h"
+
+namespace icp::bench {
+namespace {
+
+constexpr int kValueWidth = 25;
+constexpr double kSelectivity = 0.1;
+
+void Run() {
+  const std::size_t n = TupleCount();
+  const int reps = Repetitions();
+  PrintHeader("Ablation: bit-group size tau (k = 25, selectivity 0.1)", n,
+              reps);
+
+  const auto x = UniformCodes(n, kValueWidth, 71);
+  const auto z = UniformCodes(n, kValueWidth, 72);
+  const std::uint64_t c = static_cast<std::uint64_t>(
+      kSelectivity * (static_cast<double>(LowMask(kValueWidth)) + 1.0));
+
+  std::printf("\n[VBP] default tau = %d\n", DefaultVbpTau(kValueWidth));
+  std::printf("%6s %12s %12s %12s %14s\n", "tau", "scan c/t", "SUM c/t",
+              "MEDIAN c/t", "scan words/seg");
+  for (int tau : {1, 2, 3, 4, 5, 8, 12, 25}) {
+    VbpColumn::Options opt;
+    opt.tau = tau;
+    const VbpColumn xv = VbpColumn::Pack(x, kValueWidth, opt);
+    const VbpColumn zv = VbpColumn::Pack(z, kValueWidth, opt);
+    ScanStats stats;
+    FilterBitVector f(1, 1);
+    const double scan_ct = CyclesPerTuple(n, reps, [&] {
+      f = VbpScanner::Scan(zv, CompareOp::kLt, c);
+    });
+    VbpScanner::Scan(zv, CompareOp::kLt, c, 0, &stats);
+    const double sum_ct = CyclesPerTuple(
+        n, reps, [&] { DoNotOptimize(vbp::Sum(xv, f)); });
+    const double med_ct = CyclesPerTuple(n, reps, [&] {
+      DoNotOptimize(vbp::Median(xv, f).value_or(0));
+    });
+    std::printf("%5d%s %12.3f %12.3f %12.3f %14.2f\n", tau,
+                tau == DefaultVbpTau(kValueWidth) ? "*" : " ", scan_ct,
+                sum_ct, med_ct,
+                static_cast<double>(stats.words_examined) /
+                    static_cast<double>(stats.segments_processed));
+  }
+
+  std::printf("\n[HBP] default tau = %d\n", DefaultHbpTau(kValueWidth));
+  std::printf("%6s %8s %12s %12s %12s %12s\n", "tau", "vals/wd",
+              "scan c/t", "SUM c/t", "MIN c/t", "MEDIAN c/t");
+  for (int tau : {1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 16}) {
+    HbpColumn::Options opt;
+    opt.tau = tau;
+    const HbpColumn xh = HbpColumn::Pack(x, kValueWidth, opt);
+    const HbpColumn zh = HbpColumn::Pack(z, kValueWidth, opt);
+    FilterBitVector f(1, 1);
+    const double scan_ct = CyclesPerTuple(n, reps, [&] {
+      f = HbpScanner::Scan(zh, CompareOp::kLt, c);
+    });
+    const double sum_ct = CyclesPerTuple(
+        n, reps, [&] { DoNotOptimize(hbp::Sum(xh, f)); });
+    const double min_ct = CyclesPerTuple(n, reps, [&] {
+      DoNotOptimize(hbp::Min(xh, f).value_or(0));
+    });
+    const double med_ct = CyclesPerTuple(n, reps, [&] {
+      DoNotOptimize(hbp::Median(xh, f).value_or(0));
+    });
+    std::printf("%5d%s %8d %12.3f %12.3f %12.3f %12.3f\n", tau,
+                tau == DefaultHbpTau(kValueWidth) ? "*" : " ",
+                xh.fields_per_word(), scan_ct, sum_ct, min_ct, med_ct);
+  }
+  std::printf("\n(* = the library's default tau for this width)\n");
+}
+
+}  // namespace
+}  // namespace icp::bench
+
+int main() {
+  icp::bench::Run();
+  return 0;
+}

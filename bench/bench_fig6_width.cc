@@ -1,0 +1,64 @@
+// Figure 6 reproduction: cycles-per-tuple of the aggregation phase as the
+// value width k varies from 2 to 50 bits (selectivity 0.1).
+//
+// Expected shape: BP beats NBP at every width; all methods get slower as k
+// grows (less intra-word parallelism); the VBP curves grow roughly one
+// iteration per bit while the HBP curves grow one iteration per bit-group,
+// so HBP's increase is milder; bit-groups keep HBP parallel even for
+// k >= w/2.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace icp::bench {
+namespace {
+
+constexpr int kWidths[] = {2, 4, 8, 12, 16, 20, 25, 30, 40, 50};
+constexpr int kNumWidths = static_cast<int>(std::size(kWidths));
+constexpr double kSelectivity = 0.1;  // paper default
+
+void Run() {
+  const std::size_t n = TupleCount();
+  const int reps = Repetitions();
+  PrintHeader(
+      "Figure 6: aggregation cost vs value width k (selectivity 0.1)", n,
+      reps);
+
+  double nbp_ct[2][3][kNumWidths];
+  double bp_ct[2][3][kNumWidths];
+  for (int i = 0; i < kNumWidths; ++i) {
+    const Workload w = MakeWorkload(n, kWidths[i], kSelectivity, 2000 + i);
+    for (int l = 0; l < 2; ++l) {
+      const Layout layout = l == 0 ? Layout::kVbp : Layout::kHbp;
+      for (int a = 0; a < 3; ++a) {
+        const BenchAgg agg = static_cast<BenchAgg>(a);
+        nbp_ct[l][a][i] =
+            MeasureAgg(w, layout, agg, AggMethod::kNonBitParallel, reps);
+        bp_ct[l][a][i] =
+            MeasureAgg(w, layout, agg, AggMethod::kBitParallel, reps);
+      }
+    }
+  }
+
+  for (int l = 0; l < 2; ++l) {
+    for (int a = 0; a < 3; ++a) {
+      std::printf("\n[%s %s]  (cycles/tuple)\n", l == 0 ? "VBP" : "HBP",
+                  BenchAggName(static_cast<BenchAgg>(a)));
+      std::printf("%8s %12s %12s %10s\n", "k", "NBP", "BP", "speed-up");
+      for (int i = 0; i < kNumWidths; ++i) {
+        std::printf("%8d %12.3f %12.3f %9.2fx\n", kWidths[i],
+                    nbp_ct[l][a][i], bp_ct[l][a][i],
+                    nbp_ct[l][a][i] / bp_ct[l][a][i]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace icp::bench
+
+int main() {
+  icp::bench::Run();
+  return 0;
+}

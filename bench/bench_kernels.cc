@@ -1,0 +1,93 @@
+// Micro-benchmarks of the word-level kernels (google-benchmark).
+//
+// These are not paper figures; they characterize the primitives the
+// aggregation algorithms are built from: IN-WORD-SUM plans per field width,
+// the bit-parallel scans per value width, filter popcounting (COUNT), and
+// filter combination.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/in_word_sum.h"
+
+namespace icp::bench {
+namespace {
+
+constexpr std::size_t kKernelTuples = std::size_t{1} << 20;
+
+void BM_InWordSum(benchmark::State& state) {
+  const int s = static_cast<int>(state.range(0));
+  const InWordSumPlan plan(s);
+  Random rng(s);
+  std::vector<Word> words(4096);
+  for (auto& w : words) w = rng.Next() & FieldValueMask(s);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (const Word w : words) sink += plan.Apply(w);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(words.size()) *
+                          FieldsPerWord(s));
+}
+BENCHMARK(BM_InWordSum)->Arg(2)->Arg(4)->Arg(5)->Arg(8)->Arg(14)->Arg(26);
+
+void BM_VbpScan(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto codes = UniformCodes(kKernelTuples, k, 7);
+  const VbpColumn col = VbpColumn::Pack(codes, k);
+  const std::uint64_t c = LowMask(k) / 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        VbpScanner::Scan(col, CompareOp::kLt, c).CountOnes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+}
+BENCHMARK(BM_VbpScan)->Arg(4)->Arg(12)->Arg(25);
+
+void BM_HbpScan(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto codes = UniformCodes(kKernelTuples, k, 9);
+  const HbpColumn col = HbpColumn::Pack(codes, k);
+  const std::uint64_t c = LowMask(k) / 3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HbpScanner::Scan(col, CompareOp::kLt, c).CountOnes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+}
+BENCHMARK(BM_HbpScan)->Arg(4)->Arg(12)->Arg(25);
+
+void BM_FilterCount(benchmark::State& state) {
+  FilterBitVector f(kKernelTuples, 64);
+  Random rng(11);
+  for (std::size_t i = 0; i < kKernelTuples; i += 3) f.SetBit(i, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.CountOnes());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+}
+BENCHMARK(BM_FilterCount);
+
+void BM_FilterAnd(benchmark::State& state) {
+  FilterBitVector a(kKernelTuples, 64), b(kKernelTuples, 64);
+  a.SetAll();
+  b.SetAll();
+  for (auto _ : state) {
+    a.And(b);
+    benchmark::DoNotOptimize(a.words());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+}
+BENCHMARK(BM_FilterAnd);
+
+}  // namespace
+}  // namespace icp::bench
+
+BENCHMARK_MAIN();

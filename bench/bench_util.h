@@ -1,0 +1,213 @@
+// Shared infrastructure for the figure/table reproduction harnesses.
+//
+// Workload model (paper Section IV-A): the benchmark query is
+//     SELECT AGG(X) FROM Y WHERE Z < c            (like the paper's Q1)
+// where X and Z are independent uniform k-bit columns; the constant c sets
+// the selectivity. Both the NBP baseline and the BP algorithms take the
+// filter bit vector produced by the bit-parallel scan of Z and aggregate X.
+//
+// Defaults are laptop-scale (2^22 tuples instead of the paper's 10^9; all
+// algorithms are single-pass and linear, see DESIGN.md). Environment
+// overrides:
+//   ICP_BENCH_TUPLES — tuple count (default 4194304)
+//   ICP_BENCH_REPS   — repetitions per measurement; median is reported
+//                      (default 3)
+
+#ifndef ICP_BENCH_BENCH_UTIL_H_
+#define ICP_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bitvector/filter_bit_vector.h"
+#include "layout/hbp_column.h"
+#include "layout/vbp_column.h"
+#include "scan/hbp_scanner.h"
+#include "scan/vbp_scanner.h"
+#include "util/bits.h"
+#include "util/random.h"
+#include "util/rdtsc.h"
+
+namespace icp::bench {
+
+inline std::size_t TupleCount(std::size_t default_count = std::size_t{1}
+                                                          << 22) {
+  const char* env = std::getenv("ICP_BENCH_TUPLES");
+  if (env != nullptr && *env != '\0') {
+    return static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  return default_count;
+}
+
+inline int Repetitions(int default_reps = 3) {
+  const char* env = std::getenv("ICP_BENCH_REPS");
+  if (env != nullptr && *env != '\0') return std::atoi(env);
+  return default_reps;
+}
+
+/// Median cycles-per-tuple of `reps` runs of fn().
+template <typename Fn>
+double CyclesPerTuple(std::size_t n, int reps, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    const std::uint64_t cycles = MeasureCycles(fn);
+    samples.push_back(static_cast<double>(cycles) /
+                      static_cast<double>(n));
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Uniform k-bit codes.
+inline std::vector<std::uint64_t> UniformCodes(std::size_t n, int k,
+                                               std::uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::uint64_t> codes(n);
+  const std::uint64_t max_code = LowMask(k);
+  for (auto& c : codes) c = rng.UniformInt(0, max_code);
+  return codes;
+}
+
+/// The benchmark workload: aggregate column X (packed in all four layout
+/// variants) plus the filter bit vectors produced by scanning Z < c.
+struct Workload {
+  std::size_t n = 0;
+  int k = 0;
+  double selectivity = 0;
+
+  VbpColumn vbp;
+  VbpColumn vbp_simd;
+  HbpColumn hbp;
+  HbpColumn hbp_simd;
+
+  FilterBitVector filter_vbp;  // vps = 64
+  FilterBitVector filter_hbp;  // vps = hbp.values_per_segment()
+
+  std::uint64_t passing = 0;
+};
+
+/// Builds the workload. `build_simd` adds the lanes == 4 packings.
+inline Workload MakeWorkload(std::size_t n, int k, double selectivity,
+                             std::uint64_t seed, bool build_simd = false) {
+  Workload w;
+  w.n = n;
+  w.k = k;
+  w.selectivity = selectivity;
+  const auto x = UniformCodes(n, k, seed);
+  const auto z = UniformCodes(n, k, seed + 1);
+
+  w.vbp = VbpColumn::Pack(x, k);
+  HbpColumn::Options hopt;
+  w.hbp = HbpColumn::Pack(x, k, hopt);
+  if (build_simd) {
+    VbpColumn::Options v4;
+    v4.lanes = 4;
+    w.vbp_simd = VbpColumn::Pack(x, k, v4);
+    HbpColumn::Options h4;
+    h4.tau = w.hbp.tau();
+    h4.lanes = 4;
+    w.hbp_simd = HbpColumn::Pack(x, k, h4);
+  }
+
+  // Filter: Z < c with c chosen for the target selectivity.
+  const double max_code = static_cast<double>(LowMask(k)) + 1.0;
+  const std::uint64_t c =
+      static_cast<std::uint64_t>(selectivity * max_code + 0.5);
+  const VbpColumn z_vbp = VbpColumn::Pack(z, k);
+  const HbpColumn z_hbp = HbpColumn::Pack(z, k, hopt);
+  w.filter_vbp = VbpScanner::Scan(z_vbp, CompareOp::kLt, c);
+  w.filter_hbp = HbpScanner::Scan(z_hbp, CompareOp::kLt, c);
+  w.passing = w.filter_vbp.CountOnes();
+  return w;
+}
+
+/// A value sink that defeats dead-code elimination.
+inline void DoNotOptimize(std::uint64_t value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+inline void DoNotOptimize(UInt128 value) {
+  DoNotOptimize(static_cast<std::uint64_t>(value) ^
+                static_cast<std::uint64_t>(value >> 64));
+}
+
+}  // namespace icp::bench
+
+#include "core/hbp_aggregate.h"
+#include "core/nbp_aggregate.h"
+#include "core/vbp_aggregate.h"
+
+namespace icp::bench {
+
+/// The aggregates the paper's micro-benchmarks report (AVG = SUM + COUNT,
+/// COUNT is a popcount loop, MAX mirrors MIN).
+enum class BenchAgg { kSum, kMin, kMedian };
+
+inline const char* BenchAggName(BenchAgg agg) {
+  switch (agg) {
+    case BenchAgg::kSum:
+      return "SUM";
+    case BenchAgg::kMin:
+      return "MIN/MAX";
+    case BenchAgg::kMedian:
+      return "MEDIAN";
+  }
+  return "?";
+}
+
+/// Median cycles/tuple of one (layout, aggregate, method) cell.
+inline double MeasureAgg(const Workload& w, Layout layout, BenchAgg agg,
+                         AggMethod method, int reps) {
+  const bool bp = method == AggMethod::kBitParallel;
+  auto run = [&] {
+    if (layout == Layout::kVbp) {
+      switch (agg) {
+        case BenchAgg::kSum:
+          DoNotOptimize(bp ? vbp::Sum(w.vbp, w.filter_vbp)
+                           : nbp::Sum(w.vbp, w.filter_vbp));
+          return;
+        case BenchAgg::kMin:
+          DoNotOptimize(bp ? vbp::Min(w.vbp, w.filter_vbp).value_or(0)
+                           : nbp::Min(w.vbp, w.filter_vbp).value_or(0));
+          return;
+        case BenchAgg::kMedian:
+          DoNotOptimize(bp ? vbp::Median(w.vbp, w.filter_vbp).value_or(0)
+                           : nbp::Median(w.vbp, w.filter_vbp).value_or(0));
+          return;
+      }
+    }
+    switch (agg) {
+      case BenchAgg::kSum:
+        DoNotOptimize(bp ? hbp::Sum(w.hbp, w.filter_hbp)
+                         : nbp::Sum(w.hbp, w.filter_hbp));
+        return;
+      case BenchAgg::kMin:
+        DoNotOptimize(bp ? hbp::Min(w.hbp, w.filter_hbp).value_or(0)
+                         : nbp::Min(w.hbp, w.filter_hbp).value_or(0));
+        return;
+      case BenchAgg::kMedian:
+        DoNotOptimize(bp ? hbp::Median(w.hbp, w.filter_hbp).value_or(0)
+                         : nbp::Median(w.hbp, w.filter_hbp).value_or(0));
+        return;
+    }
+  };
+  return CyclesPerTuple(w.n, reps, run);
+}
+
+/// Prints a standard harness header.
+inline void PrintHeader(const char* title, std::size_t n, int reps) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("tuples = %zu, repetitions = %d (median reported)\n", n, reps);
+  std::printf("cycles/tuple measured with RDTSC, as in the paper\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace icp::bench
+
+#endif  // ICP_BENCH_BENCH_UTIL_H_

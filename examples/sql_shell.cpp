@@ -1,0 +1,111 @@
+// Interactive SQL-subset shell over a synthetic "trips" table.
+//
+// Build & run:    ./build/examples/sql_shell
+// Non-interactive: ./build/examples/sql_shell -c "SELECT AVG(fare) WHERE distance > 5000"
+//
+// Supported: SELECT COUNT|SUM|AVG|MIN|MAX|MEDIAN(column) and
+// RANK(column, r), WHERE with AND/OR/NOT, =/!=/<>/</<=/>/>=, BETWEEN,
+// IN (...), IS [NOT] NULL, integer/decimal/'YYYY-MM-DD' literals.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "icp.h"
+
+namespace {
+
+using namespace icp;
+
+Table MakeTripsTable() {
+  Random rng(314159);
+  const std::size_t n = 1'000'000;
+  std::vector<std::int64_t> distance(n), fare(n), tip(n), passengers(n),
+      pickup_day(n);
+  std::vector<bool> tip_known(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    distance[i] = static_cast<std::int64_t>(rng.UniformInt(200, 30000));
+    fare[i] = 250 + distance[i] / 8 +
+              static_cast<std::int64_t>(rng.UniformInt(0, 500));
+    tip_known[i] = !rng.Bernoulli(0.35);  // cash tips unrecorded -> NULL
+    tip[i] = tip_known[i]
+                 ? static_cast<std::int64_t>(rng.UniformInt(0, 2000))
+                 : 0;
+    passengers[i] = static_cast<std::int64_t>(rng.UniformInt(1, 6));
+    pickup_day[i] = DaysFromCivil(2024, 1, 1) +
+                    static_cast<std::int64_t>(rng.UniformInt(0, 180));
+  }
+  Table table;
+  ICP_CHECK(table.AddColumn("distance", distance, {}).ok());
+  ICP_CHECK(table.AddColumn("fare", fare, {.layout = Layout::kHbp}).ok());
+  ICP_CHECK(table.AddNullableColumn("tip", tip, tip_known, {}).ok());
+  ICP_CHECK(table
+                .AddColumn("passengers", passengers,
+                           {.layout = Layout::kHbp, .dictionary = true})
+                .ok());
+  ICP_CHECK(table.AddColumn("pickup_day", pickup_day, {}).ok());
+  return table;
+}
+
+void RunStatement(Engine& engine, const Table& table,
+                  const std::string& sql) {
+  auto query = ParseQuery(sql);
+  if (!query.ok()) {
+    std::printf("  error: %s\n", query.status().ToString().c_str());
+    return;
+  }
+  auto result = engine.Execute(table, *query);
+  if (!result.ok()) {
+    std::printf("  error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  const double per_tuple =
+      static_cast<double>(result->scan_cycles + result->agg_cycles) /
+      static_cast<double>(table.num_rows());
+  const bool value_kind = result->kind == AggKind::kMin ||
+                          result->kind == AggKind::kMax ||
+                          result->kind == AggKind::kMedian ||
+                          result->kind == AggKind::kRank;
+  if (result->kind == AggKind::kCount) {
+    std::printf("  COUNT = %llu   (%.2f cycles/tuple)\n",
+                static_cast<unsigned long long>(result->count), per_tuple);
+  } else if (value_kind && !result->decoded_value.has_value()) {
+    std::printf("  NULL   (%llu rows matched%s)\n",
+                static_cast<unsigned long long>(result->count),
+                result->kind == AggKind::kRank ? "; rank out of range" : "");
+  } else if (result->count == 0) {
+    std::printf("  no rows matched\n");
+  } else {
+    std::printf("  %s = %.4f   (%llu rows, %.2f cycles/tuple)\n",
+                AggKindToString(result->kind), result->value,
+                static_cast<unsigned long long>(result->count), per_tuple);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("building 1M-row trips table (distance, fare, tip [nullable], "
+              "passengers, pickup_day)...\n");
+  const icp::Table table = MakeTripsTable();
+  icp::Engine engine(icp::ExecOptions{.threads = 4, .simd = true});
+
+  if (argc == 3 && std::strcmp(argv[1], "-c") == 0) {
+    RunStatement(engine, table, argv[2]);
+    return 0;
+  }
+
+  std::printf("example: SELECT MEDIAN(fare) WHERE distance > 10000 AND tip "
+              "IS NOT NULL\n");
+  std::printf("type \\q to quit\n");
+  std::string line;
+  while (true) {
+    std::printf("icp> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line) || line == "\\q") break;
+    if (line.empty()) continue;
+    RunStatement(engine, table, line);
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+#include "bitvector/filter_bit_vector.h"
+
+namespace icp {
+
+FilterBitVector::FilterBitVector(std::size_t num_values,
+                                 int values_per_segment)
+    : num_values_(num_values), vps_(values_per_segment) {
+  ICP_CHECK(vps_ >= 1 && vps_ <= kWordBits);
+  words_ = WordBuffer(CeilDiv(num_values_, vps_));
+}
+
+void FilterBitVector::SetAll() {
+  for (std::size_t s = 0; s < words_.size(); ++s) {
+    words_[s] = ValidMask(s);
+  }
+}
+
+void FilterBitVector::ClearAll() {
+  for (std::size_t s = 0; s < words_.size(); ++s) {
+    words_[s] = 0;
+  }
+}
+
+std::uint64_t FilterBitVector::CountOnes() const {
+  std::uint64_t count = 0;
+  for (std::size_t s = 0; s < words_.size(); ++s) {
+    count += Popcount(words_[s]);
+  }
+  return count;
+}
+
+void FilterBitVector::And(const FilterBitVector& other) {
+  ICP_CHECK_EQ(num_values_, other.num_values_);
+  ICP_CHECK_EQ(vps_, other.vps_);
+  for (std::size_t s = 0; s < words_.size(); ++s) {
+    words_[s] &= other.words_[s];
+  }
+}
+
+void FilterBitVector::Or(const FilterBitVector& other) {
+  ICP_CHECK_EQ(num_values_, other.num_values_);
+  ICP_CHECK_EQ(vps_, other.vps_);
+  for (std::size_t s = 0; s < words_.size(); ++s) {
+    words_[s] |= other.words_[s];
+  }
+}
+
+void FilterBitVector::Xor(const FilterBitVector& other) {
+  ICP_CHECK_EQ(num_values_, other.num_values_);
+  ICP_CHECK_EQ(vps_, other.vps_);
+  for (std::size_t s = 0; s < words_.size(); ++s) {
+    words_[s] ^= other.words_[s];
+  }
+}
+
+void FilterBitVector::AndNot(const FilterBitVector& other) {
+  ICP_CHECK_EQ(num_values_, other.num_values_);
+  ICP_CHECK_EQ(vps_, other.vps_);
+  for (std::size_t s = 0; s < words_.size(); ++s) {
+    words_[s] &= ~other.words_[s];
+  }
+}
+
+void FilterBitVector::Not() {
+  for (std::size_t s = 0; s < words_.size(); ++s) {
+    words_[s] = ~words_[s] & ValidMask(s);
+  }
+}
+
+FilterBitVector FilterBitVector::Reshape(int new_values_per_segment) const {
+  if (new_values_per_segment == vps_) return *this;
+  FilterBitVector out(num_values_, new_values_per_segment);
+  // Stream the valid (top vps_) bits of each source word through a 128-bit
+  // window, emitting one destination word whenever new_vps bits are
+  // available — O(n / vps) shift/or work instead of per-bit access.
+  const int new_vps = new_values_per_segment;
+  UInt128 window = 0;  // pending bits, left-aligned at bit 127
+  int pending = 0;
+  std::size_t out_seg = 0;
+  const std::size_t last = words_.size();
+  for (std::size_t seg = 0; seg < last; ++seg) {
+    const int live =
+        seg + 1 < last
+            ? vps_
+            : static_cast<int>(num_values_ - seg * static_cast<std::size_t>(
+                                                       vps_));
+    window |= static_cast<UInt128>(words_[seg]) << (64 - pending);
+    pending += live;
+    while (pending >= new_vps) {
+      const Word chunk =
+          static_cast<Word>(window >> 64) & HighMask(new_vps);
+      out.words_[out_seg++] = chunk;
+      window <<= new_vps;
+      pending -= new_vps;
+    }
+  }
+  if (pending > 0) {
+    out.words_[out_seg++] =
+        static_cast<Word>(window >> 64) & HighMask(pending);
+  }
+  ICP_DCHECK(out_seg == out.words_.size());
+  return out;
+}
+
+std::vector<bool> FilterBitVector::ToBools() const {
+  std::vector<bool> bits(num_values_);
+  for (std::size_t i = 0; i < num_values_; ++i) {
+    bits[i] = GetBit(i);
+  }
+  return bits;
+}
+
+FilterBitVector FilterBitVector::FromBools(const std::vector<bool>& bits,
+                                           int values_per_segment) {
+  FilterBitVector out(bits.size(), values_per_segment);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) out.SetBit(i, true);
+  }
+  return out;
+}
+
+bool FilterBitVector::operator==(const FilterBitVector& other) const {
+  if (num_values_ != other.num_values_ || vps_ != other.vps_) return false;
+  for (std::size_t s = 0; s < words_.size(); ++s) {
+    if (words_[s] != other.words_[s]) return false;
+  }
+  return true;
+}
+
+}  // namespace icp

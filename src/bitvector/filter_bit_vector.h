@@ -1,0 +1,113 @@
+// Filter bit vector (the paper's F).
+//
+// A bit-parallel scan produces one result bit per tuple, grouped by storage
+// segment: segment s of a column covers `values_per_segment` (vps) tuples and
+// its result bits live in one 64-bit word, MSB-first (bit 63 holds the
+// paper's v_1). For VBP vps == 64; for HBP vps == (tau+1) * floor(64/(tau+1))
+// which can be < 64, in which case the low 64 - vps bits of every segment
+// word are zero.
+//
+// Complex predicates are evaluated by combining the per-column vectors with
+// And/Or/AndNot/Not (Section II-E).
+
+#ifndef ICP_BITVECTOR_FILTER_BIT_VECTOR_H_
+#define ICP_BITVECTOR_FILTER_BIT_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace icp {
+
+class FilterBitVector {
+ public:
+  FilterBitVector() = default;
+
+  /// Creates an all-zero vector covering `num_values` tuples with
+  /// `values_per_segment` tuples per segment word (1..64).
+  FilterBitVector(std::size_t num_values, int values_per_segment);
+
+  std::size_t num_values() const { return num_values_; }
+  int values_per_segment() const { return vps_; }
+  std::size_t num_segments() const { return words_.size(); }
+
+  Word* words() { return words_.data(); }
+  const Word* words() const { return words_.data(); }
+
+  Word SegmentWord(std::size_t seg) const { return words_[seg]; }
+  void SetSegmentWord(std::size_t seg, Word w) {
+    ICP_DCHECK((w & ~ValidMask(seg)) == 0);
+    words_[seg] = w;
+  }
+
+  /// Mask of bit positions in segment `seg` that correspond to real tuples
+  /// (handles both the HBP low-bit padding and the ragged final segment).
+  Word ValidMask(std::size_t seg) const {
+    const std::size_t begin = seg * static_cast<std::size_t>(vps_);
+    const std::size_t live = num_values_ - begin;
+    const int bits = live < static_cast<std::size_t>(vps_)
+                         ? static_cast<int>(live)
+                         : vps_;
+    return HighMask(bits);
+  }
+
+  /// Tuple-level access (slow; for construction, tests and NBP baselines).
+  bool GetBit(std::size_t i) const {
+    ICP_DCHECK(i < num_values_);
+    return (words_[i / vps_] >> BitIndex(i)) & 1;
+  }
+  void SetBit(std::size_t i, bool value) {
+    ICP_DCHECK(i < num_values_);
+    const Word mask = Word{1} << BitIndex(i);
+    if (value) {
+      words_[i / vps_] |= mask;
+    } else {
+      words_[i / vps_] &= ~mask;
+    }
+  }
+
+  /// Sets every tuple's bit to 1 (a pass-all filter).
+  void SetAll();
+  /// Clears every bit.
+  void ClearAll();
+
+  /// Total number of tuples passing the filter (bit-parallel COUNT).
+  std::uint64_t CountOnes() const;
+
+  /// In-place logical combination. Shapes must match exactly.
+  void And(const FilterBitVector& other);
+  void Or(const FilterBitVector& other);
+  void Xor(const FilterBitVector& other);
+  /// this &= ~other.
+  void AndNot(const FilterBitVector& other);
+  /// Complements all tuple bits (padding stays zero).
+  void Not();
+
+  /// Re-packs the vector for a different segment width so that vectors from
+  /// columns stored in different layouts can be combined.
+  FilterBitVector Reshape(int new_values_per_segment) const;
+
+  /// Test/debug helpers.
+  std::vector<bool> ToBools() const;
+  static FilterBitVector FromBools(const std::vector<bool>& bits,
+                                   int values_per_segment);
+
+  bool operator==(const FilterBitVector& other) const;
+
+ private:
+  int BitIndex(std::size_t i) const {
+    return kWordBits - 1 - static_cast<int>(i % vps_);
+  }
+
+  std::size_t num_values_ = 0;
+  int vps_ = kWordBits;
+  WordBuffer words_;
+};
+
+}  // namespace icp
+
+#endif  // ICP_BITVECTOR_FILTER_BIT_VECTOR_H_

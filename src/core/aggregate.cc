@@ -1,0 +1,35 @@
+#include "core/aggregate.h"
+
+namespace icp {
+
+const char* AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMedian:
+      return "MEDIAN";
+    case AggKind::kRank:
+      return "RANK";
+  }
+  return "?";
+}
+
+const char* AggMethodToString(AggMethod method) {
+  switch (method) {
+    case AggMethod::kBitParallel:
+      return "BP";
+    case AggMethod::kNonBitParallel:
+      return "NBP";
+  }
+  return "?";
+}
+
+}  // namespace icp

@@ -1,0 +1,87 @@
+// Common aggregation vocabulary.
+//
+// All aggregators in this library share the same contract (paper Section
+// III): they take a packed column and the filter bit vector F produced by a
+// bit-parallel scan, and return the aggregate over the tuples whose F bit is
+// set, computed over the unsigned k-bit codes. COUNT is layout-independent
+// (popcounting F); AVG is SUM / COUNT; MEDIAN is the lower median (rank
+// floor((count+1)/2), i.e. the 4th smallest of both 7 and 8 values), and the
+// r-selection generalization is exposed as RankSelect.
+
+#ifndef ICP_CORE_AGGREGATE_H_
+#define ICP_CORE_AGGREGATE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "bitvector/filter_bit_vector.h"
+#include "util/bits.h"
+
+namespace icp {
+
+enum class AggKind {
+  kCount,
+  kSum,
+  kMin,
+  kMax,
+  kAvg,
+  kMedian,
+  // The r-th smallest passing value (1-based): the r-selection
+  // generalization the paper notes for Algorithm 3. The rank comes from
+  // Query::rank (engine) or the aggregator call site.
+  kRank,
+};
+
+/// Human-readable name ("SUM", "MEDIAN", ...).
+const char* AggKindToString(AggKind kind);
+
+/// Which aggregation implementation to run (the paper's comparison axis).
+enum class AggMethod {
+  kBitParallel,     // the paper's contribution (BP)
+  kNonBitParallel,  // reconstruct-then-aggregate baseline (NBP, Section III)
+};
+
+const char* AggMethodToString(AggMethod method);
+
+/// COUNT aggregation (paper Section III-A): identical for every layout.
+inline std::uint64_t CountAggregate(const FilterBitVector& filter) {
+  return filter.CountOnes();
+}
+
+/// Lower-median rank among `count` values (1-based).
+inline std::uint64_t LowerMedianRank(std::uint64_t count) {
+  return (count + 1) / 2;
+}
+
+/// Optional instrumentation for the scalar aggregation kernels (used by
+/// the ablation benches and tests; the SIMD/MT paths are not instrumented).
+struct AggStats {
+  /// SLOTMIN / SUB-SLOTMIN folds attempted.
+  std::uint64_t folds = 0;
+  /// Folds whose comparison cascade decided every slot before the last
+  /// word-group (the paper's early stopping).
+  std::uint64_t compare_early_stops = 0;
+  /// Folds where no slot improved the running extreme (blend pass skipped).
+  std::uint64_t blends_skipped = 0;
+  /// Segments skipped outright because no tuple/candidate was live
+  /// (F == 0 in MIN/MAX, V == 0 in MEDIAN's iterations).
+  std::uint64_t segments_skipped = 0;
+};
+
+/// Result of evaluating one aggregate over codes. `value` carries MIN/MAX/
+/// MEDIAN codes and is absent when no tuple passes the filter; `sum` backs
+/// SUM and AVG.
+struct AggregateResult {
+  AggKind kind = AggKind::kCount;
+  std::uint64_t count = 0;
+  UInt128 sum = 0;
+  std::optional<std::uint64_t> value;
+
+  double Avg() const {
+    return count == 0 ? 0.0 : UInt128ToDouble(sum) / static_cast<double>(count);
+  }
+};
+
+}  // namespace icp
+
+#endif  // ICP_CORE_AGGREGATE_H_

@@ -1,0 +1,320 @@
+#include "core/hbp_aggregate.h"
+
+#include <vector>
+
+#include "scan/hbp_scanner.h"
+#include "util/check.h"
+
+namespace icp::hbp {
+namespace {
+
+// GET-VALUE-FILTER step 2 (paper Alg. 4): delimiter filter -> value mask.
+// Per passing field, 2^p - 2^(p-tau) sets exactly the tau value bits; the
+// subtraction never borrows across fields.
+inline Word ValueMaskFromDelimiters(Word md, int tau) {
+  return md - (md >> tau);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SUM (Algorithm 4)
+// ---------------------------------------------------------------------------
+
+void AccumulateGroupSums(const HbpColumn& column,
+                         const FilterBitVector& filter,
+                         std::size_t seg_begin, std::size_t seg_end,
+                         std::uint64_t* group_sums) {
+  ICP_CHECK_EQ(column.lanes(), 1);
+  ICP_CHECK_LE(seg_end, filter.num_segments());
+  const int s = column.field_width();
+  const int tau = column.tau();
+  const int num_groups = column.num_groups();
+  const Word dm = DelimiterMask(s);
+  const InWordSumPlan plan(s);
+  const Word* f_words = filter.words();
+  // Paper Alg. 4 loop order: segment -> sub-segment -> word-group, so
+  // GET-VALUE-FILTER runs once per sub-segment and its mask is reused for
+  // every word-group word.
+  const Word* bases[kWordBits];
+  std::uint64_t acc[kWordBits] = {};
+  for (int g = 0; g < num_groups; ++g) {
+    bases[g] = column.GroupData(g) + seg_begin * s;
+  }
+  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+    const Word f = f_words[seg];
+    for (int t = 0; t < s; ++t) {
+      const Word md = (f << t) & dm;
+      const Word m = ValueMaskFromDelimiters(md, tau);
+      for (int g = 0; g < num_groups; ++g) {
+        acc[g] += plan.Apply(bases[g][t] & m);
+      }
+    }
+    for (int g = 0; g < num_groups; ++g) bases[g] += s;
+  }
+  for (int g = 0; g < num_groups; ++g) group_sums[g] += acc[g];
+}
+
+UInt128 CombineGroupSums(const HbpColumn& column,
+                         const std::uint64_t* group_sums) {
+  UInt128 sum = 0;
+  for (int g = 0; g < column.num_groups(); ++g) {
+    sum += static_cast<UInt128>(group_sums[g]) << column.GroupShift(g);
+  }
+  return sum;
+}
+
+UInt128 Sum(const HbpColumn& column, const FilterBitVector& filter) {
+  std::uint64_t group_sums[kWordBits] = {};
+  AccumulateGroupSums(column, filter, 0, filter.num_segments(), group_sums);
+  return CombineGroupSums(column, group_sums);
+}
+
+// ---------------------------------------------------------------------------
+// MIN / MAX (Algorithm 5)
+// ---------------------------------------------------------------------------
+
+void InitSubSlotExtreme(const HbpColumn& column, bool is_min, Word* temp) {
+  const Word fields = FieldValueMask(column.field_width());
+  for (int g = 0; g < column.num_groups(); ++g) {
+    temp[g] = is_min ? fields : Word{0};
+  }
+}
+
+namespace {
+
+// SUB-SLOTMIN/-MAX of one sub-segment into `temp`, restricted to the
+// delimiter filter `md`. `bases[g]` points at the segment's words in
+// word-group g; the sub-segment's word is bases[g][t].
+void FoldSubSegment(const Word* const* bases, int t, int num_groups,
+                    Word dm, int tau, Word md, bool is_min, Word* temp,
+                    AggStats* stats) {
+  Word eq = dm;
+  Word replace = 0;  // fields where the data beats the running extreme
+  if (stats != nullptr) ++stats->folds;
+  for (int g = 0; g < num_groups; ++g) {
+    const Word x = bases[g][t];
+    const Word y = temp[g];
+    const Word ge_xy = FieldGe(x, y, dm);
+    const Word ge_yx = FieldGe(y, x, dm);
+    const Word beats = is_min ? (ge_xy ^ dm) : (ge_yx ^ dm);
+    replace |= eq & beats;
+    eq &= ge_xy & ge_yx;
+    if (eq == 0) {
+      if (stats != nullptr && g + 1 < num_groups) {
+        ++stats->compare_early_stops;
+      }
+      break;  // every field decided: early stop
+    }
+  }
+  replace &= md;
+  if (replace == 0) {
+    if (stats != nullptr) ++stats->blends_skipped;
+    return;
+  }
+  const Word m = ValueMaskFromDelimiters(replace, tau);
+  for (int g = 0; g < num_groups; ++g) {
+    temp[g] = (m & bases[g][t]) | (~m & temp[g]);
+  }
+}
+
+}  // namespace
+
+void SubSlotExtremeRange(const HbpColumn& column,
+                         const FilterBitVector& filter,
+                         std::size_t seg_begin, std::size_t seg_end,
+                         bool is_min, Word* temp, AggStats* stats) {
+  ICP_CHECK_EQ(column.lanes(), 1);
+  ICP_CHECK_LE(seg_end, filter.num_segments());
+  const int s = column.field_width();
+  const int tau = column.tau();
+  const int num_groups = column.num_groups();
+  const Word dm = DelimiterMask(s);
+  const Word* f_words = filter.words();
+  const Word* bases[kWordBits];
+  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+    const Word f = f_words[seg];
+    if (f == 0) {
+      if (stats != nullptr) ++stats->segments_skipped;
+      continue;
+    }
+    for (int g = 0; g < num_groups; ++g) {
+      bases[g] = column.GroupData(g) + seg * s;
+    }
+    for (int t = 0; t < s; ++t) {
+      const Word md = (f << t) & dm;
+      if (md == 0) continue;
+      FoldSubSegment(bases, t, num_groups, dm, tau, md, is_min, temp, stats);
+    }
+  }
+}
+
+void MergeSubSlotExtreme(const HbpColumn& column, const Word* other,
+                         bool is_min, Word* temp) {
+  const Word dm = DelimiterMask(column.field_width());
+  const Word* bases[kWordBits];
+  for (int g = 0; g < column.num_groups(); ++g) bases[g] = other + g;
+  FoldSubSegment(bases, 0, column.num_groups(), dm, column.tau(), dm,
+                 is_min, temp, nullptr);
+}
+
+std::uint64_t ExtremeOfSubSlots(const HbpColumn& column, const Word* temp,
+                                bool is_min) {
+  const int s = column.field_width();
+  const int m = column.fields_per_word();
+  const Word mask = LowMask(column.tau());
+  std::uint64_t best = 0;
+  for (int f = 0; f < m; ++f) {
+    const int shift = kWordBits - (f + 1) * s;
+    std::uint64_t v = 0;
+    for (int g = 0; g < column.num_groups(); ++g) {
+      v |= ((temp[g] >> shift) & mask) << column.GroupShift(g);
+    }
+    if (f == 0 || (is_min ? v < best : v > best)) best = v;
+  }
+  return best;
+}
+
+namespace {
+
+std::optional<std::uint64_t> Extreme(const HbpColumn& column,
+                                     const FilterBitVector& filter,
+                                     bool is_min) {
+  if (filter.CountOnes() == 0) return std::nullopt;
+  Word temp[kWordBits];
+  InitSubSlotExtreme(column, is_min, temp);
+  SubSlotExtremeRange(column, filter, 0, filter.num_segments(), is_min,
+                      temp);
+  return ExtremeOfSubSlots(column, temp, is_min);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> Min(const HbpColumn& column,
+                                 const FilterBitVector& filter) {
+  return Extreme(column, filter, /*is_min=*/true);
+}
+
+std::optional<std::uint64_t> Max(const HbpColumn& column,
+                                 const FilterBitVector& filter) {
+  return Extreme(column, filter, /*is_min=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// MEDIAN / r-selection (Algorithm 6)
+// ---------------------------------------------------------------------------
+
+void BuildGroupHistogram(const HbpColumn& column, const Word* v,
+                         std::size_t seg_begin, std::size_t seg_end, int g,
+                         std::uint64_t* hist) {
+  const int s = column.field_width();
+  const int tau = column.tau();
+  const Word dm = DelimiterMask(s);
+  const Word value_mask = LowMask(tau);
+  const Word* base = column.GroupData(g) + seg_begin * s;
+  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+    const Word cand = v[seg];
+    if (cand != 0) {
+      for (int t = 0; t < s; ++t) {
+        Word md = (cand << t) & dm;
+        const Word w = base[t];
+        while (md != 0) {
+          const int p = CountTrailingZeros(md);  // delimiter bit position
+          md &= md - 1;
+          ++hist[(w >> (p - tau)) & value_mask];
+        }
+      }
+    }
+    base += s;
+  }
+}
+
+void NarrowCandidates(const HbpColumn& column, Word* v,
+                      std::size_t seg_begin, std::size_t seg_end, int g,
+                      std::uint64_t bin) {
+  const int s = column.field_width();
+  const Word dm = DelimiterMask(s);
+  const Word packed_bin = RepeatField(bin, s);
+  const Word* base = column.GroupData(g) + seg_begin * s;
+  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+    if (v[seg] != 0) {
+      Word matches = 0;
+      for (int t = 0; t < s; ++t) {
+        const Word x = base[t];
+        const Word eq = FieldGe(x, packed_bin, dm) & FieldGe(packed_bin, x, dm);
+        matches |= eq >> t;
+      }
+      v[seg] &= matches;
+    }
+    base += s;
+  }
+}
+
+std::optional<std::uint64_t> RankSelect(const HbpColumn& column,
+                                        const FilterBitVector& filter,
+                                        std::uint64_t r) {
+  ICP_CHECK_EQ(column.lanes(), 1);
+  const std::uint64_t u = filter.CountOnes();
+  if (r < 1 || r > u) return std::nullopt;
+  const std::size_t num_segments = filter.num_segments();
+  std::vector<Word> v(filter.words(), filter.words() + num_segments);
+  std::vector<std::uint64_t> hist(std::size_t{1} << column.tau());
+
+  std::uint64_t result = 0;
+  for (int g = 0; g < column.num_groups(); ++g) {
+    std::fill(hist.begin(), hist.end(), 0);
+    BuildGroupHistogram(column, v.data(), 0, num_segments, g, hist.data());
+    // bin = argmin_i sum_{j<=i} hist[j] >= r (paper Alg. 6 line 7).
+    std::uint64_t cum = 0;
+    std::uint64_t bin = 0;
+    while (cum + hist[bin] < r) {
+      cum += hist[bin];
+      ++bin;
+    }
+    r -= cum;
+    result |= bin << column.GroupShift(g);
+    // The last group needs no candidate narrowing: the answer is complete.
+    if (g + 1 < column.num_groups()) {
+      NarrowCandidates(column, v.data(), 0, num_segments, g, bin);
+    }
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> Median(const HbpColumn& column,
+                                    const FilterBitVector& filter) {
+  const std::uint64_t count = filter.CountOnes();
+  if (count == 0) return std::nullopt;
+  return RankSelect(column, filter, LowerMedianRank(count));
+}
+
+AggregateResult Aggregate(const HbpColumn& column,
+                          const FilterBitVector& filter, AggKind kind,
+                          std::uint64_t rank) {
+  AggregateResult result;
+  result.kind = kind;
+  result.count = filter.CountOnes();
+  switch (kind) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      result.sum = Sum(column, filter);
+      break;
+    case AggKind::kMin:
+      result.value = Min(column, filter);
+      break;
+    case AggKind::kMax:
+      result.value = Max(column, filter);
+      break;
+    case AggKind::kMedian:
+      result.value = Median(column, filter);
+      break;
+    case AggKind::kRank:
+      result.value = RankSelect(column, filter, rank);
+      break;
+  }
+  return result;
+}
+
+}  // namespace icp::hbp

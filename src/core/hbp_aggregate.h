@@ -1,0 +1,114 @@
+// Bit-parallel aggregation under HBP (paper Section III-B).
+//
+//  * SUM (Algorithm 4): per sub-segment, GET-VALUE-FILTER turns the filter
+//    word into a per-field value mask (M_d = (F << t) & delimiters;
+//    M = M_d - (M_d >> tau)); IN-WORD-SUM then adds all surviving field
+//    values of each word-group word, and the bit-group partial sums are
+//    shifted into place once at the end.
+//  * MIN/MAX (Algorithm 5): SUB-SLOTMIN/-MAX folds every sub-segment into a
+//    running extreme sub-segment using the delimiter-borrow less-than and
+//    the blend mask M = M_lt - (M_lt >> tau); only m = floor(64/(tau+1))
+//    values are reconstructed at the end.
+//  * MEDIAN (Algorithm 6): the answer is determined bit-group by bit-group
+//    via cumulative histograms over the candidates' current bit-group
+//    values; candidates are narrowed with a BIT-PARALLEL-EQUAL scan of the
+//    chosen bin.
+//
+// Range variants partition by segment for the multi-threaded driver.
+
+#ifndef ICP_CORE_HBP_AGGREGATE_H_
+#define ICP_CORE_HBP_AGGREGATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/aggregate.h"
+#include "core/in_word_sum.h"
+#include "layout/hbp_column.h"
+#include "util/bits.h"
+
+namespace icp::hbp {
+
+// ---------------------------------------------------------------------------
+// SUM
+// ---------------------------------------------------------------------------
+
+/// Accumulates per-bit-group in-word sums over [seg_begin, seg_end) into
+/// group_sums[0..B-1] (the paper's G_i.sum).
+void AccumulateGroupSums(const HbpColumn& column,
+                         const FilterBitVector& filter,
+                         std::size_t seg_begin, std::size_t seg_end,
+                         std::uint64_t* group_sums);
+
+/// sum = sum_g group_sums[g] << GroupShift(g).
+UInt128 CombineGroupSums(const HbpColumn& column,
+                         const std::uint64_t* group_sums);
+
+/// SUM over all tuples passing `filter`.
+UInt128 Sum(const HbpColumn& column, const FilterBitVector& filter);
+
+// ---------------------------------------------------------------------------
+// MIN / MAX
+// ---------------------------------------------------------------------------
+
+/// Initializes a B-word running extreme sub-segment: every field all-ones
+/// (MIN) or all-zeros (MAX). `temp` must hold num_groups() words.
+void InitSubSlotExtreme(const HbpColumn& column, bool is_min, Word* temp);
+
+/// Folds all sub-segments of [seg_begin, seg_end) into `temp`.
+/// `stats`, when non-null, accumulates early-stop instrumentation.
+void SubSlotExtremeRange(const HbpColumn& column,
+                         const FilterBitVector& filter,
+                         std::size_t seg_begin, std::size_t seg_end,
+                         bool is_min, Word* temp, AggStats* stats = nullptr);
+
+/// Merges another partial running sub-segment into `temp`.
+void MergeSubSlotExtreme(const HbpColumn& column, const Word* other,
+                         bool is_min, Word* temp);
+
+/// Reconstructs the m slot values of `temp` and returns their extreme.
+std::uint64_t ExtremeOfSubSlots(const HbpColumn& column, const Word* temp,
+                                bool is_min);
+
+std::optional<std::uint64_t> Min(const HbpColumn& column,
+                                 const FilterBitVector& filter);
+std::optional<std::uint64_t> Max(const HbpColumn& column,
+                                 const FilterBitVector& filter);
+
+// ---------------------------------------------------------------------------
+// MEDIAN / r-selection
+// ---------------------------------------------------------------------------
+
+/// BUILD-HISTOGRAM (paper Alg. 6): histogram of bit-group g's field values
+/// over the candidate tuples in [seg_begin, seg_end). `hist` must hold
+/// 2^tau zero-initialized entries and is accumulated into.
+void BuildGroupHistogram(const HbpColumn& column, const Word* v,
+                         std::size_t seg_begin, std::size_t seg_end, int g,
+                         std::uint64_t* hist);
+
+/// Candidate update: V &= (bit-group g of tuple == bin), evaluated with the
+/// BIT-PARALLEL-EQUAL field comparison.
+void NarrowCandidates(const HbpColumn& column, Word* v,
+                      std::size_t seg_begin, std::size_t seg_end, int g,
+                      std::uint64_t bin);
+
+/// The r-th smallest (1-based) value among passing tuples.
+std::optional<std::uint64_t> RankSelect(const HbpColumn& column,
+                                        const FilterBitVector& filter,
+                                        std::uint64_t r);
+
+/// Lower median.
+std::optional<std::uint64_t> Median(const HbpColumn& column,
+                                    const FilterBitVector& filter);
+
+/// Convenience dispatcher used by the engine and benches. `rank` is used
+/// only by AggKind::kRank (1-based r-selection).
+AggregateResult Aggregate(const HbpColumn& column,
+                          const FilterBitVector& filter, AggKind kind,
+                          std::uint64_t rank = 0);
+
+}  // namespace icp::hbp
+
+#endif  // ICP_CORE_HBP_AGGREGATE_H_

@@ -1,0 +1,115 @@
+// IN-WORD-SUM: sideways addition of the packed fields of one word
+// (paper Section III-B, Algorithm 4; inspired by the Gilles–Miller method).
+//
+// A word holds m = floor(64/s) fields of s bits packed from the MSB end
+// (delimiter bits and padding are zero). The paper's 4-instruction sequence
+// (one pairwise-add step, one mask, one multiply, one shift) is the special
+// case where a single halving step makes the multiply step's partial sums fit
+// in a slot. This implementation generalizes it to every (s, m): it applies
+// pairwise halving steps until the multiply finish provably cannot overflow
+// (count * bound < 2^S and the top slot is inside the word), then one
+// multiply + shift extracts the total. Pure halving never overflows: at every
+// stage each slot's partial sum of q original fields needs under
+// (slot_index * S + s - 1 + log2(q)) <= 64 bits, which telescopes to
+// m*s - 1 < 64 (see tests/in_word_sum_test.cc for exhaustive verification).
+//
+// The per-width constants (masks, multiplier, shifts) depend only on s, so
+// callers build one InWordSumPlan per aggregation and apply it per word.
+
+#ifndef ICP_CORE_IN_WORD_SUM_H_
+#define ICP_CORE_IN_WORD_SUM_H_
+
+#include <cstdint>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace icp {
+
+class InWordSumPlan {
+ public:
+  /// Builds the instruction plan for fields of width `s` (2 <= s <= 64).
+  /// `allow_multiply` = false forces the pure halving reduction (used by the
+  /// AVX2 kernels: AVX2 has no 64-bit lane multiply).
+  explicit InWordSumPlan(int s, bool allow_multiply = true) : s_(s) {
+    ICP_CHECK(s >= 2 && s <= kWordBits);
+    int count = kWordBits / s;
+    align_shift_ = kWordBits - count * s;
+    int width = s;
+    UInt128 bound = LowMask(s - 1);  // max field value (delimiter is 0)
+    while (count > 1) {
+      // Multiply finish: every prefix sum must fit in one slot and the top
+      // slot must lie inside the word.
+      if (allow_multiply && count * width <= kWordBits &&
+          static_cast<UInt128>(count) * bound < (UInt128{1} << width)) {
+        use_multiply_ = true;
+        multiplier_ = StridedOnes(width, count);
+        final_shift_ = (count - 1) * width;
+        final_mask_ = LowMask(width);
+        return;
+      }
+      ICP_CHECK_LT(num_steps_, kMaxSteps);
+      // Keep every even slot, including a truncated top slot (its partial
+      // sum provably fits in the remaining bits).
+      Word mask = 0;
+      for (int pos = 0; pos < kWordBits; pos += 2 * width) {
+        const int bits = width < kWordBits - pos ? width : kWordBits - pos;
+        mask |= LowMask(bits) << pos;
+      }
+      step_mask_[num_steps_] = mask;
+      step_shift_[num_steps_] = width;
+      ++num_steps_;
+      width *= 2;
+      bound *= 2;
+      count = (count + 1) / 2;
+    }
+    final_mask_ = ~Word{0};
+  }
+
+  int field_width() const { return s_; }
+
+  /// Sums the field values of `w`. All delimiter and padding bits of `w`
+  /// must be zero (apply the value filter / FieldValueMask first).
+  std::uint64_t Apply(Word w) const {
+    w >>= align_shift_;
+    for (int i = 0; i < num_steps_; ++i) {
+      w = (w & step_mask_[i]) + ((w >> step_shift_[i]) & step_mask_[i]);
+    }
+    if (use_multiply_) {
+      w = (w * multiplier_) >> final_shift_;
+    }
+    return w & final_mask_;
+  }
+
+  // Plan introspection for vectorized re-implementations (simd/ kernels
+  // replay the same steps on 256-bit registers).
+  int align_shift() const { return align_shift_; }
+  int num_steps() const { return num_steps_; }
+  Word step_mask(int i) const { return step_mask_[i]; }
+  int step_shift(int i) const { return step_shift_[i]; }
+  bool use_multiply() const { return use_multiply_; }
+  Word final_mask() const { return final_mask_; }
+
+ private:
+  // ceil(log2(32)) halving steps suffice for the narrowest fields (s = 2).
+  static constexpr int kMaxSteps = 6;
+
+  int s_;
+  int align_shift_ = 0;
+  int num_steps_ = 0;
+  Word step_mask_[kMaxSteps] = {};
+  int step_shift_[kMaxSteps] = {};
+  bool use_multiply_ = false;
+  Word multiplier_ = 0;
+  int final_shift_ = 0;
+  Word final_mask_ = ~Word{0};
+};
+
+/// One-shot convenience wrapper (tests, documentation examples).
+inline std::uint64_t InWordSum(Word w, int s) {
+  return InWordSumPlan(s).Apply(w);
+}
+
+}  // namespace icp
+
+#endif  // ICP_CORE_IN_WORD_SUM_H_

@@ -1,0 +1,116 @@
+// Scalar reference aggregation over the naive (one code per word) layout.
+// The correctness oracle for every other aggregator, and the "plain array"
+// baseline in ablation benches. Two filter application styles are provided:
+// branching (test per tuple) and branchless (masked arithmetic), since their
+// relative cost depends on selectivity.
+
+#ifndef ICP_CORE_NAIVE_AGGREGATE_H_
+#define ICP_CORE_NAIVE_AGGREGATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/aggregate.h"
+#include "layout/naive_column.h"
+#include "util/bits.h"
+
+namespace icp::naive {
+
+template <typename Fn>
+void ForEachPassing(const NaiveColumn& column, const FilterBitVector& filter,
+                    Fn&& fn) {
+  for (std::size_t i = 0; i < column.num_values(); ++i) {
+    if (filter.GetBit(i)) fn(column.GetValue(i));
+  }
+}
+
+inline UInt128 Sum(const NaiveColumn& column, const FilterBitVector& filter) {
+  UInt128 sum = 0;
+  ForEachPassing(column, filter, [&](std::uint64_t v) { sum += v; });
+  return sum;
+}
+
+/// Branchless SUM: adds value & mask where mask is all-ones iff passing.
+inline UInt128 SumBranchless(const NaiveColumn& column,
+                             const FilterBitVector& filter) {
+  UInt128 sum = 0;
+  const Word* data = column.data();
+  for (std::size_t i = 0; i < column.num_values(); ++i) {
+    const Word mask = filter.GetBit(i) ? ~Word{0} : Word{0};
+    sum += data[i] & mask;
+  }
+  return sum;
+}
+
+inline std::optional<std::uint64_t> Min(const NaiveColumn& column,
+                                        const FilterBitVector& filter) {
+  std::optional<std::uint64_t> best;
+  ForEachPassing(column, filter, [&](std::uint64_t v) {
+    if (!best.has_value() || v < *best) best = v;
+  });
+  return best;
+}
+
+inline std::optional<std::uint64_t> Max(const NaiveColumn& column,
+                                        const FilterBitVector& filter) {
+  std::optional<std::uint64_t> best;
+  ForEachPassing(column, filter, [&](std::uint64_t v) {
+    if (!best.has_value() || v > *best) best = v;
+  });
+  return best;
+}
+
+inline std::optional<std::uint64_t> RankSelect(const NaiveColumn& column,
+                                               const FilterBitVector& filter,
+                                               std::uint64_t r) {
+  const std::uint64_t count = filter.CountOnes();
+  if (r < 1 || r > count) return std::nullopt;
+  std::vector<std::uint64_t> values;
+  values.reserve(count);
+  ForEachPassing(column, filter,
+                 [&](std::uint64_t v) { values.push_back(v); });
+  auto nth = values.begin() + static_cast<std::ptrdiff_t>(r - 1);
+  std::nth_element(values.begin(), nth, values.end());
+  return *nth;
+}
+
+inline std::optional<std::uint64_t> Median(const NaiveColumn& column,
+                                           const FilterBitVector& filter) {
+  return RankSelect(column, filter, LowerMedianRank(filter.CountOnes()));
+}
+
+inline AggregateResult Aggregate(const NaiveColumn& column,
+                                 const FilterBitVector& filter,
+                                 AggKind kind, std::uint64_t rank = 0) {
+  AggregateResult result;
+  result.kind = kind;
+  result.count = filter.CountOnes();
+  switch (kind) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      result.sum = Sum(column, filter);
+      break;
+    case AggKind::kMin:
+      result.value = Min(column, filter);
+      break;
+    case AggKind::kMax:
+      result.value = Max(column, filter);
+      break;
+    case AggKind::kMedian:
+      result.value = Median(column, filter);
+      break;
+    case AggKind::kRank:
+      result.value = RankSelect(column, filter, rank);
+      break;
+  }
+  return result;
+}
+
+}  // namespace icp::naive
+
+#endif  // ICP_CORE_NAIVE_AGGREGATE_H_

@@ -1,0 +1,52 @@
+#include "core/nbp_aggregate.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace icp::nbp {
+namespace {
+
+template <typename ColumnT>
+std::optional<std::uint64_t> RankSelectImpl(const ColumnT& column,
+                                            const FilterBitVector& filter,
+                                            std::uint64_t r) {
+  const std::uint64_t count = filter.CountOnes();
+  if (r < 1 || r > count) return std::nullopt;
+  std::vector<std::uint64_t> values;
+  values.reserve(count);
+  ForEachPassing(column, filter,
+                 [&](std::uint64_t v) { values.push_back(v); });
+  auto nth = values.begin() + static_cast<std::ptrdiff_t>(r - 1);
+  std::nth_element(values.begin(), nth, values.end());
+  return *nth;
+}
+
+}  // namespace
+
+template <>
+std::optional<std::uint64_t> RankSelect(const VbpColumn& column,
+                                        const FilterBitVector& filter,
+                                        std::uint64_t r) {
+  return RankSelectImpl(column, filter, r);
+}
+
+template <>
+std::optional<std::uint64_t> RankSelect(const HbpColumn& column,
+                                        const FilterBitVector& filter,
+                                        std::uint64_t r) {
+  return RankSelectImpl(column, filter, r);
+}
+
+template <>
+std::optional<std::uint64_t> Median(const VbpColumn& column,
+                                    const FilterBitVector& filter) {
+  return RankSelectImpl(column, filter, LowerMedianRank(filter.CountOnes()));
+}
+
+template <>
+std::optional<std::uint64_t> Median(const HbpColumn& column,
+                                    const FilterBitVector& filter) {
+  return RankSelectImpl(column, filter, LowerMedianRank(filter.CountOnes()));
+}
+
+}  // namespace icp::nbp

@@ -1,0 +1,186 @@
+// Non-bit-parallel (NBP) aggregation baseline — paper Section III.
+//
+// For each set bit of the filter word F, the tuple's plain value is
+// reconstructed from the packed layout and fed to a scalar aggregate:
+//   1. locate the next passing tuple via the rightmost 1 of F
+//      (offset = popcount(F ^ (F-1)) - 1, a single TZCNT on modern CPUs);
+//   2. shift + mask the containing word(s) to rebuild the value — one word
+//      per bit-group under HBP, one *bit* per data bit under VBP (which is
+//      why the paper reports even higher NBP overhead for VBP);
+//   3. clear the bit with F &= F - 1 and repeat until F == 0.
+// SUM/MIN/MAX inline a running accumulator; MEDIAN collects the passing
+// values and selects the rank (the paper gives no bit-parallel-free
+// alternative, and this is the textbook implementation).
+
+#ifndef ICP_CORE_NBP_AGGREGATE_H_
+#define ICP_CORE_NBP_AGGREGATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/aggregate.h"
+#include "layout/hbp_column.h"
+#include "layout/vbp_column.h"
+#include "util/bits.h"
+
+namespace icp::nbp {
+
+/// Invokes `fn(value)` for every tuple passing `filter` within segments
+/// [seg_begin, seg_end), reconstructing values from the VBP layout
+/// (bit-by-bit gather).
+template <typename Fn>
+void ForEachPassingRange(const VbpColumn& column,
+                         const FilterBitVector& filter,
+                         std::size_t seg_begin, std::size_t seg_end,
+                         Fn&& fn) {
+  const int k = column.bit_width();
+  const int num_groups = column.num_groups();
+  const bool scalar_layout = column.lanes() == 1;
+  const Word* bases[kWordBits];
+  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+    Word f = filter.SegmentWord(seg);
+    if (f == 0) continue;
+    if (scalar_layout) {
+      for (int g = 0; g < num_groups; ++g) {
+        bases[g] = column.GroupData(g) + seg * column.GroupWidth(g);
+      }
+    }
+    while (f != 0) {
+      const int pos = CountTrailingZeros(f);  // bit position of the slot
+      f &= f - 1;
+      std::uint64_t v = 0;
+      int bit = k - 1;
+      for (int g = 0; g < num_groups; ++g) {
+        const int width = column.GroupWidth(g);
+        for (int j = 0; j < width; ++j, --bit) {
+          const Word w =
+              scalar_layout ? bases[g][j] : column.WordAt(g, seg, j);
+          v |= ((w >> pos) & 1) << bit;
+        }
+      }
+      fn(v);
+    }
+  }
+}
+
+/// Invokes `fn(value)` for every tuple passing `filter` within segments
+/// [seg_begin, seg_end), reconstructing values from the HBP layout (one
+/// shift+mask per bit-group).
+template <typename Fn>
+void ForEachPassingRange(const HbpColumn& column,
+                         const FilterBitVector& filter,
+                         std::size_t seg_begin, std::size_t seg_end,
+                         Fn&& fn) {
+  const int s = column.field_width();
+  const Word group_mask = LowMask(column.tau());
+  const int tau = column.tau();
+  const int num_groups = column.num_groups();
+  const bool scalar_layout = column.lanes() == 1;
+  const Word* bases[kWordBits];
+  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+    Word f = filter.SegmentWord(seg);
+    if (f == 0) continue;
+    if (scalar_layout) {
+      for (int g = 0; g < num_groups; ++g) {
+        bases[g] = column.GroupData(g) + seg * s;
+      }
+    }
+    while (f != 0) {
+      const int pos = CountTrailingZeros(f);
+      f &= f - 1;
+      const int r = kWordBits - 1 - pos;  // value index within the segment
+      const int t = r % s;                // sub-segment
+      const int field_shift = kWordBits - (r / s + 1) * s;
+      std::uint64_t v = 0;
+      int shift = (num_groups - 1) * tau;
+      for (int g = 0; g < num_groups; ++g, shift -= tau) {
+        const Word w =
+            scalar_layout ? bases[g][t] : column.WordAt(g, seg, t);
+        v |= ((w >> field_shift) & group_mask) << shift;
+      }
+      fn(v);
+    }
+  }
+}
+
+/// Full-column convenience wrapper.
+template <typename ColumnT, typename Fn>
+void ForEachPassing(const ColumnT& column, const FilterBitVector& filter,
+                    Fn&& fn) {
+  ForEachPassingRange(column, filter, 0, filter.num_segments(),
+                      std::forward<Fn>(fn));
+}
+
+/// NBP SUM / MIN / MAX / MEDIAN / RankSelect over either packed layout.
+template <typename ColumnT>
+UInt128 Sum(const ColumnT& column, const FilterBitVector& filter) {
+  UInt128 sum = 0;
+  ForEachPassing(column, filter, [&](std::uint64_t v) { sum += v; });
+  return sum;
+}
+
+template <typename ColumnT>
+std::optional<std::uint64_t> Min(const ColumnT& column,
+                                 const FilterBitVector& filter) {
+  std::optional<std::uint64_t> best;
+  ForEachPassing(column, filter, [&](std::uint64_t v) {
+    if (!best.has_value() || v < *best) best = v;
+  });
+  return best;
+}
+
+template <typename ColumnT>
+std::optional<std::uint64_t> Max(const ColumnT& column,
+                                 const FilterBitVector& filter) {
+  std::optional<std::uint64_t> best;
+  ForEachPassing(column, filter, [&](std::uint64_t v) {
+    if (!best.has_value() || v > *best) best = v;
+  });
+  return best;
+}
+
+template <typename ColumnT>
+std::optional<std::uint64_t> RankSelect(const ColumnT& column,
+                                        const FilterBitVector& filter,
+                                        std::uint64_t r);
+
+template <typename ColumnT>
+std::optional<std::uint64_t> Median(const ColumnT& column,
+                                    const FilterBitVector& filter);
+
+/// Convenience dispatcher mirroring the bit-parallel Aggregate().
+template <typename ColumnT>
+AggregateResult Aggregate(const ColumnT& column,
+                          const FilterBitVector& filter, AggKind kind,
+                          std::uint64_t rank = 0) {
+  AggregateResult result;
+  result.kind = kind;
+  result.count = filter.CountOnes();
+  switch (kind) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      result.sum = Sum(column, filter);
+      break;
+    case AggKind::kMin:
+      result.value = Min(column, filter);
+      break;
+    case AggKind::kMax:
+      result.value = Max(column, filter);
+      break;
+    case AggKind::kMedian:
+      result.value = Median(column, filter);
+      break;
+    case AggKind::kRank:
+      result.value = RankSelect(column, filter, rank);
+      break;
+  }
+  return result;
+}
+
+}  // namespace icp::nbp
+
+#endif  // ICP_CORE_NBP_AGGREGATE_H_

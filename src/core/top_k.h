@@ -1,0 +1,97 @@
+// Bit-parallel Top-K: the K smallest / largest passing values, in order.
+//
+// Built from the paper's own primitives, never materializing the filtered
+// column: one r-selection (Algorithm 3 / 6) finds the K-th order statistic
+// t, one bit-parallel scan collects the values strictly beyond t, and the
+// remaining slots are copies of t (ties). Cost: one aggregation pass + one
+// scan + K reconstructions, independent of the number of passing tuples.
+
+#ifndef ICP_CORE_TOP_K_H_
+#define ICP_CORE_TOP_K_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/hbp_aggregate.h"
+#include "core/nbp_aggregate.h"
+#include "core/vbp_aggregate.h"
+#include "layout/hbp_column.h"
+#include "layout/vbp_column.h"
+#include "scan/hbp_scanner.h"
+#include "scan/vbp_scanner.h"
+
+namespace icp {
+namespace topk_internal {
+
+inline std::optional<std::uint64_t> RankSelect(const VbpColumn& column,
+                                               const FilterBitVector& filter,
+                                               std::uint64_t r) {
+  return vbp::RankSelect(column, filter, r);
+}
+inline std::optional<std::uint64_t> RankSelect(const HbpColumn& column,
+                                               const FilterBitVector& filter,
+                                               std::uint64_t r) {
+  return hbp::RankSelect(column, filter, r);
+}
+inline FilterBitVector Scan(const VbpColumn& column, CompareOp op,
+                            std::uint64_t c) {
+  return VbpScanner::Scan(column, op, c);
+}
+inline FilterBitVector Scan(const HbpColumn& column, CompareOp op,
+                            std::uint64_t c) {
+  return HbpScanner::Scan(column, op, c);
+}
+
+}  // namespace topk_internal
+
+/// The min(K, count) smallest passing values, ascending (with duplicates).
+template <typename ColumnT>
+std::vector<std::uint64_t> SmallestK(const ColumnT& column,
+                                     const FilterBitVector& filter,
+                                     std::uint64_t k) {
+  std::vector<std::uint64_t> out;
+  const std::uint64_t count = filter.CountOnes();
+  if (k == 0 || count == 0) return out;
+  if (k > count) k = count;
+
+  // t = the K-th smallest; everything strictly below t is in the answer.
+  const std::uint64_t t = *topk_internal::RankSelect(column, filter, k);
+  FilterBitVector below = topk_internal::Scan(column, CompareOp::kLt, t);
+  below.And(filter);
+  out.reserve(k);
+  nbp::ForEachPassing(column, below,
+                      [&](std::uint64_t v) { out.push_back(v); });
+  std::sort(out.begin(), out.end());
+  // Ties on t fill the remaining slots.
+  out.resize(k, t);
+  return out;
+}
+
+/// The min(K, count) largest passing values, descending (with duplicates).
+template <typename ColumnT>
+std::vector<std::uint64_t> LargestK(const ColumnT& column,
+                                    const FilterBitVector& filter,
+                                    std::uint64_t k) {
+  std::vector<std::uint64_t> out;
+  const std::uint64_t count = filter.CountOnes();
+  if (k == 0 || count == 0) return out;
+  if (k > count) k = count;
+
+  // t = the (count - K + 1)-th smallest = the K-th largest.
+  const std::uint64_t t =
+      *topk_internal::RankSelect(column, filter, count - k + 1);
+  FilterBitVector above = topk_internal::Scan(column, CompareOp::kGt, t);
+  above.And(filter);
+  out.reserve(k);
+  nbp::ForEachPassing(column, above,
+                      [&](std::uint64_t v) { out.push_back(v); });
+  std::sort(out.begin(), out.end(), std::greater<>());
+  out.resize(k, t);
+  return out;
+}
+
+}  // namespace icp
+
+#endif  // ICP_CORE_TOP_K_H_

@@ -1,0 +1,283 @@
+#include "core/vbp_aggregate.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace icp::vbp {
+namespace {
+
+// Number of live segments (segments that contain at least one real tuple).
+std::size_t LiveSegments(const FilterBitVector& filter) {
+  return filter.num_segments();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SUM (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+void AccumulateBitSums(const VbpColumn& column, const FilterBitVector& filter,
+                       std::size_t seg_begin, std::size_t seg_end,
+                       std::uint64_t* bit_sums) {
+  ICP_CHECK_EQ(column.lanes(), 1);
+  ICP_CHECK_LE(seg_end, filter.num_segments());
+  const int tau = column.tau();
+  const Word* f_words = filter.words();
+  // Word-group-major (paper Alg. 1 line 2): each group region is scanned
+  // sequentially, and the shifts are deferred to CombineBitSums.
+  for (int g = 0; g < column.num_groups(); ++g) {
+    const int width = column.GroupWidth(g);
+    const Word* base = column.GroupData(g) + seg_begin * width;
+    std::uint64_t* group_sums = bit_sums + g * tau;
+    for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+      const Word f = f_words[seg];
+      for (int j = 0; j < width; ++j) {
+        group_sums[j] += Popcount(base[j] & f);
+      }
+      base += width;
+    }
+  }
+}
+
+UInt128 CombineBitSums(const std::uint64_t* bit_sums, int k) {
+  UInt128 sum = 0;
+  for (int j = 0; j < k; ++j) {
+    sum += static_cast<UInt128>(bit_sums[j]) << (k - 1 - j);
+  }
+  return sum;
+}
+
+UInt128 Sum(const VbpColumn& column, const FilterBitVector& filter) {
+  std::uint64_t bit_sums[kWordBits] = {};
+  AccumulateBitSums(column, filter, 0, LiveSegments(filter), bit_sums);
+  return CombineBitSums(bit_sums, column.bit_width());
+}
+
+// ---------------------------------------------------------------------------
+// MIN / MAX (Algorithm 2)
+// ---------------------------------------------------------------------------
+
+void InitSlotExtreme(int k, bool is_min, Word* temp) {
+  for (int j = 0; j < k; ++j) {
+    temp[j] = is_min ? ~Word{0} : Word{0};
+  }
+}
+
+namespace {
+
+// SLOTMIN/SLOTMAX between the column's segment `seg` (X) and the running
+// state `temp` (Y), restricted to slots passing `f`. Implements the
+// BIT-PARALLEL-LESSTHAN cascade between two segments and the blend
+// (M & X) | (~M & Y) of Algorithm 2.
+void FoldSegment(const VbpColumn& column, std::size_t seg, Word f,
+                 bool is_min, Word* temp, AggStats* stats) {
+  const int tau = column.tau();
+  const int num_groups = column.num_groups();
+  Word eq = ~Word{0};
+  Word replace = 0;  // M_lt for MIN, M_gt for MAX
+  if (stats != nullptr) ++stats->folds;
+  for (int g = 0; g < num_groups; ++g) {
+    const int width = column.GroupWidth(g);
+    const Word* base = column.GroupData(g) + seg * width;
+    for (int j = 0; j < width; ++j) {
+      const Word x = base[j];
+      const Word y = temp[g * tau + j];
+      replace |= is_min ? (eq & ~x & y) : (eq & x & ~y);
+      eq &= ~(x ^ y);
+    }
+    // Early stop: every slot's comparison is decided (paper Section II-C).
+    if (eq == 0) {
+      if (stats != nullptr && g + 1 < num_groups) {
+        ++stats->compare_early_stops;
+      }
+      break;
+    }
+  }
+  replace &= f;
+  if (replace == 0) {
+    if (stats != nullptr) ++stats->blends_skipped;
+    return;  // no slot improves; skip the blend pass
+  }
+  const Word keep = ~replace;
+  for (int g = 0; g < num_groups; ++g) {
+    const int width = column.GroupWidth(g);
+    const Word* base = column.GroupData(g) + seg * width;
+    for (int j = 0; j < width; ++j) {
+      Word& y = temp[g * tau + j];
+      y = (replace & base[j]) | (keep & y);
+    }
+  }
+}
+
+}  // namespace
+
+void SlotExtremeRange(const VbpColumn& column, const FilterBitVector& filter,
+                      std::size_t seg_begin, std::size_t seg_end, bool is_min,
+                      Word* temp, AggStats* stats) {
+  ICP_CHECK_EQ(column.lanes(), 1);
+  ICP_CHECK_LE(seg_end, filter.num_segments());
+  const Word* f_words = filter.words();
+  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+    const Word f = f_words[seg];
+    if (f == 0) {
+      if (stats != nullptr) ++stats->segments_skipped;
+      continue;  // nothing passes in this segment
+    }
+    FoldSegment(column, seg, f, is_min, temp, stats);
+  }
+}
+
+void MergeSlotExtreme(const Word* other, int k, bool is_min, Word* temp) {
+  Word eq = ~Word{0};
+  Word replace = 0;
+  for (int j = 0; j < k; ++j) {
+    const Word x = other[j];
+    const Word y = temp[j];
+    replace |= is_min ? (eq & ~x & y) : (eq & x & ~y);
+    eq &= ~(x ^ y);
+  }
+  for (int j = 0; j < k; ++j) {
+    temp[j] = (replace & other[j]) | (~replace & temp[j]);
+  }
+}
+
+std::uint64_t ExtremeOfSlots(const Word* temp, int k, bool is_min) {
+  std::uint64_t best = 0;
+  for (int slot = 0; slot < kWordBits; ++slot) {
+    const int pos = kWordBits - 1 - slot;
+    std::uint64_t v = 0;
+    for (int j = 0; j < k; ++j) {
+      v |= ((temp[j] >> pos) & 1) << (k - 1 - j);
+    }
+    if (slot == 0 || (is_min ? v < best : v > best)) best = v;
+  }
+  return best;
+}
+
+namespace {
+
+std::optional<std::uint64_t> Extreme(const VbpColumn& column,
+                                     const FilterBitVector& filter,
+                                     bool is_min) {
+  if (filter.CountOnes() == 0) return std::nullopt;
+  const int k = column.bit_width();
+  Word temp[kWordBits];
+  InitSlotExtreme(k, is_min, temp);
+  SlotExtremeRange(column, filter, 0, LiveSegments(filter), is_min, temp);
+  return ExtremeOfSlots(temp, k, is_min);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> Min(const VbpColumn& column,
+                                 const FilterBitVector& filter) {
+  return Extreme(column, filter, /*is_min=*/true);
+}
+
+std::optional<std::uint64_t> Max(const VbpColumn& column,
+                                 const FilterBitVector& filter) {
+  return Extreme(column, filter, /*is_min=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// MEDIAN / r-selection (Algorithm 3)
+// ---------------------------------------------------------------------------
+
+std::uint64_t CountCandidateBit(const VbpColumn& column, const Word* v,
+                                std::size_t seg_begin, std::size_t seg_end,
+                                int g, int j) {
+  const int width = column.GroupWidth(g);
+  const Word* base = column.GroupData(g) + seg_begin * width + j;
+  std::uint64_t count = 0;
+  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+    const Word cand = v[seg];
+    if (cand != 0) count += Popcount(cand & *base);
+    base += width;
+  }
+  return count;
+}
+
+void UpdateCandidates(const VbpColumn& column, Word* v,
+                      std::size_t seg_begin, std::size_t seg_end, int g,
+                      int j, bool bit_is_one) {
+  const int width = column.GroupWidth(g);
+  const Word* base = column.GroupData(g) + seg_begin * width + j;
+  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+    if (v[seg] != 0) {
+      v[seg] &= bit_is_one ? *base : ~*base;
+    }
+    base += width;
+  }
+}
+
+std::optional<std::uint64_t> RankSelect(const VbpColumn& column,
+                                        const FilterBitVector& filter,
+                                        std::uint64_t r) {
+  ICP_CHECK_EQ(column.lanes(), 1);
+  std::uint64_t u = filter.CountOnes();
+  if (r < 1 || r > u) return std::nullopt;
+  const std::size_t num_segments = LiveSegments(filter);
+  std::vector<Word> v(filter.words(), filter.words() + num_segments);
+
+  const int k = column.bit_width();
+  const int tau = column.tau();
+  std::uint64_t result = 0;
+  for (int jb = 0; jb < k; ++jb) {
+    const int g = jb / tau;
+    const int j = jb - g * tau;
+    // c = number of remaining candidates whose current bit is 1, i.e. the
+    // candidates larger than (result | 1 << (k-1-jb))'s prefix.
+    const std::uint64_t c =
+        CountCandidateBit(column, v.data(), 0, num_segments, g, j);
+    const bool bit_is_one = u - c < r;
+    if (bit_is_one) {
+      result |= std::uint64_t{1} << (k - 1 - jb);
+      r -= u - c;
+      u = c;
+    } else {
+      u -= c;
+    }
+    UpdateCandidates(column, v.data(), 0, num_segments, g, j, bit_is_one);
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> Median(const VbpColumn& column,
+                                    const FilterBitVector& filter) {
+  const std::uint64_t count = filter.CountOnes();
+  if (count == 0) return std::nullopt;
+  return RankSelect(column, filter, LowerMedianRank(count));
+}
+
+AggregateResult Aggregate(const VbpColumn& column,
+                          const FilterBitVector& filter, AggKind kind,
+                          std::uint64_t rank) {
+  AggregateResult result;
+  result.kind = kind;
+  result.count = filter.CountOnes();
+  switch (kind) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      result.sum = Sum(column, filter);
+      break;
+    case AggKind::kMin:
+      result.value = Min(column, filter);
+      break;
+    case AggKind::kMax:
+      result.value = Max(column, filter);
+      break;
+    case AggKind::kMedian:
+      result.value = Median(column, filter);
+      break;
+    case AggKind::kRank:
+      result.value = RankSelect(column, filter, rank);
+      break;
+  }
+  return result;
+}
+
+}  // namespace icp::vbp

@@ -1,0 +1,110 @@
+// Bit-parallel aggregation under VBP (paper Section III-A).
+//
+//  * SUM (Algorithm 1): sum_i v_i = sum_j 2^(k-1-j) * popcount(W_j & F),
+//    accumulated per bit position across segments so the shifts happen once
+//    at the end.
+//  * MIN/MAX (Algorithm 2): a running slot-wise extreme segment S_temp is
+//    folded with every data segment via SLOTMIN/SLOTMAX; the slot-wise
+//    less-than/greater-than mask comes from the BIT-PARALLEL-LESSTHAN
+//    cascade of [2] applied between two segments. Only the 64 surviving
+//    values are reconstructed at the end.
+//  * MEDIAN (Algorithm 3): the answer is built bit by bit from the most
+//    significant bit, maintaining per-segment candidate vectors V; the
+//    algorithm solves general r-selection, exposed as RankSelect.
+//
+// Range variants operate on [seg_begin, seg_end) so the multi-threaded
+// driver (parallel/parallel_aggregate.h) can partition segments and merge
+// per-thread partial states.
+
+#ifndef ICP_CORE_VBP_AGGREGATE_H_
+#define ICP_CORE_VBP_AGGREGATE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/aggregate.h"
+#include "layout/vbp_column.h"
+#include "util/bits.h"
+
+namespace icp::vbp {
+
+// ---------------------------------------------------------------------------
+// SUM
+// ---------------------------------------------------------------------------
+
+/// Adds popcount(W_j & F) for each bit position j over segments
+/// [seg_begin, seg_end) into bit_sums[0..k-1] (the paper's bSum array).
+void AccumulateBitSums(const VbpColumn& column, const FilterBitVector& filter,
+                       std::size_t seg_begin, std::size_t seg_end,
+                       std::uint64_t* bit_sums);
+
+/// Applies the final shifts: sum = sum_j bit_sums[j] << (k-1-j).
+UInt128 CombineBitSums(const std::uint64_t* bit_sums, int k);
+
+/// SUM over all tuples passing `filter`.
+UInt128 Sum(const VbpColumn& column, const FilterBitVector& filter);
+
+// ---------------------------------------------------------------------------
+// MIN / MAX
+// ---------------------------------------------------------------------------
+
+/// Initializes a k-word slot-extreme state (all slots 2^k-1 for MIN, all
+/// slots 0 for MAX). `temp` must hold k words.
+void InitSlotExtreme(int k, bool is_min, Word* temp);
+
+/// Folds segments [seg_begin, seg_end) into `temp` via SLOTMIN/SLOTMAX,
+/// honouring the filter (slots of non-passing tuples never replace temp).
+/// `stats`, when non-null, accumulates early-stop instrumentation.
+void SlotExtremeRange(const VbpColumn& column, const FilterBitVector& filter,
+                      std::size_t seg_begin, std::size_t seg_end, bool is_min,
+                      Word* temp, AggStats* stats = nullptr);
+
+/// Merges another partial state into `temp` (slot-wise extreme of the two).
+void MergeSlotExtreme(const Word* other, int k, bool is_min, Word* temp);
+
+/// Reconstructs the 64 slot values of `temp` and returns their extreme.
+std::uint64_t ExtremeOfSlots(const Word* temp, int k, bool is_min);
+
+/// MIN/MAX over all tuples passing `filter`; absent when none pass.
+std::optional<std::uint64_t> Min(const VbpColumn& column,
+                                 const FilterBitVector& filter);
+std::optional<std::uint64_t> Max(const VbpColumn& column,
+                                 const FilterBitVector& filter);
+
+// ---------------------------------------------------------------------------
+// MEDIAN / r-selection
+// ---------------------------------------------------------------------------
+
+/// popcount reduce of candidate vectors against bit (g, j) over a segment
+/// range: sum_seg popcount(V[seg] & W_{g,j}(seg)). Segments with V == 0 are
+/// skipped (paper Alg. 3 line 8).
+std::uint64_t CountCandidateBit(const VbpColumn& column, const Word* v,
+                                std::size_t seg_begin, std::size_t seg_end,
+                                int g, int j);
+
+/// Candidate update after deciding the current bit (paper Alg. 3 lines
+/// 13-14 / 18-19): V &= W if bit_is_one else V &= ~W.
+void UpdateCandidates(const VbpColumn& column, Word* v,
+                      std::size_t seg_begin, std::size_t seg_end, int g,
+                      int j, bool bit_is_one);
+
+/// The r-th smallest (1-based) value among tuples passing `filter`; absent
+/// when fewer than r tuples pass.
+std::optional<std::uint64_t> RankSelect(const VbpColumn& column,
+                                        const FilterBitVector& filter,
+                                        std::uint64_t r);
+
+/// Lower median (RankSelect at rank floor((count+1)/2)).
+std::optional<std::uint64_t> Median(const VbpColumn& column,
+                                    const FilterBitVector& filter);
+
+/// Convenience dispatcher used by the engine and benches. `rank` is used
+/// only by AggKind::kRank (1-based r-selection).
+AggregateResult Aggregate(const VbpColumn& column,
+                          const FilterBitVector& filter, AggKind kind,
+                          std::uint64_t rank = 0);
+
+}  // namespace icp::vbp
+
+#endif  // ICP_CORE_VBP_AGGREGATE_H_

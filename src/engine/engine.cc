@@ -1,0 +1,485 @@
+#include "engine/engine.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/hbp_aggregate.h"
+#include "core/naive_aggregate.h"
+#include "core/nbp_aggregate.h"
+#include "core/vbp_aggregate.h"
+#include "parallel/parallel_aggregate.h"
+#include "parallel/parallel_nbp.h"
+#include "scan/hbp_scanner.h"
+#include "core/padded_aggregate.h"
+#include "scan/naive_scanner.h"
+#include "scan/padded_scanner.h"
+#include "scan/vbp_scanner.h"
+#include "simd/simd_parallel.h"
+#include "util/rdtsc.h"
+
+namespace icp {
+namespace {
+
+// A predicate mapped into the column's code domain, or a degenerate
+// all-pass / none-pass answer.
+struct CodePredicate {
+  bool all = false;
+  bool none = false;
+  CompareOp op = CompareOp::kEq;
+  std::uint64_t c1 = 0;
+  std::uint64_t c2 = 0;
+};
+
+// Maps value-domain constants to code-domain constants with order-preserving
+// semantics (handles constants outside or between encodable values).
+CodePredicate MapPredicate(const ColumnEncoder& encoder, CompareOp op,
+                           std::int64_t v1, std::int64_t v2) {
+  CodePredicate out;
+  out.op = op;
+  std::uint64_t code = 0;
+  switch (op) {
+    case CompareOp::kEq:
+      if (encoder.EncodeExact(v1, &code)) {
+        out.c1 = code;
+      } else {
+        out.none = true;
+      }
+      return out;
+    case CompareOp::kNe:
+      if (encoder.EncodeExact(v1, &code)) {
+        out.c1 = code;
+      } else {
+        out.all = true;
+      }
+      return out;
+    case CompareOp::kGe:
+      // v >= c  <=>  code >= first code whose value is >= c.
+      if (encoder.EncodeLowerBound(v1, &code) == ConstantBound::kAboveDomain) {
+        out.none = true;
+      } else {
+        out.c1 = code;
+      }
+      return out;
+    case CompareOp::kLt:
+      // v < c  <=>  code < first code whose value is >= c.
+      if (encoder.EncodeLowerBound(v1, &code) == ConstantBound::kAboveDomain) {
+        out.all = true;
+      } else if (code == 0) {
+        out.none = true;  // no code below the first one
+      } else {
+        out.c1 = code;
+      }
+      return out;
+    case CompareOp::kLe:
+      // v <= c  <=>  code <= last code whose value is <= c.
+      if (encoder.EncodeUpperBound(v1, &code) == ConstantBound::kBelowDomain) {
+        out.none = true;
+      } else {
+        out.c1 = code;
+      }
+      return out;
+    case CompareOp::kGt:
+      // v > c  <=>  code > last code whose value is <= c.
+      if (encoder.EncodeUpperBound(v1, &code) == ConstantBound::kBelowDomain) {
+        out.all = true;
+      } else {
+        out.c1 = code;
+      }
+      return out;
+    case CompareOp::kBetween: {
+      std::uint64_t lo = 0;
+      std::uint64_t hi = 0;
+      if (encoder.EncodeLowerBound(v1, &lo) == ConstantBound::kAboveDomain ||
+          encoder.EncodeUpperBound(v2, &hi) == ConstantBound::kBelowDomain ||
+          lo > hi) {
+        out.none = true;
+      } else {
+        out.c1 = lo;
+        out.c2 = hi;
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Engine::Engine(ExecOptions options) : options_(options) {
+  ICP_CHECK_GE(options_.threads, 1);
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+}
+
+namespace {
+
+// FALSE set of a tri-state filter: ~(pass | unknown).
+FilterBitVector FalseSet(const Engine::TriState& t);
+
+}  // namespace
+
+StatusOr<Engine::TriState> Engine::ScanLeaf(const Table& table,
+                                            const FilterExpr& leaf) {
+  auto column_or = table.GetColumn(leaf.column());
+  ICP_RETURN_IF_ERROR(column_or.status());
+  const Table::Column& column = **column_or;
+  const int vps = column.values_per_segment();
+
+  TriState out;
+  // IS NULL / IS NOT NULL are never UNKNOWN.
+  if (leaf.kind() == FilterExpr::Kind::kIsNull ||
+      leaf.kind() == FilterExpr::Kind::kIsNotNull) {
+    out.unknown = FilterBitVector(table.num_rows(), vps);
+    if (column.nullable()) {
+      out.pass = column.validity();
+      if (leaf.kind() == FilterExpr::Kind::kIsNull) out.pass.Not();
+    } else {
+      out.pass = FilterBitVector(table.num_rows(), vps);
+      if (leaf.kind() == FilterExpr::Kind::kIsNotNull) out.pass.SetAll();
+    }
+    return out;
+  }
+
+  const CodePredicate pred =
+      MapPredicate(column.encoder(), leaf.op(), leaf.value(), leaf.value2());
+  if (pred.all || pred.none) {
+    out.pass = FilterBitVector(table.num_rows(), vps);
+    if (pred.all) out.pass.SetAll();
+  } else {
+    const bool mt = options_.threads > 1;
+    switch (column.spec().layout) {
+      case Layout::kVbp:
+        if (options_.simd) {
+          out.pass = mt ? simd::ScanVbp(*pool_, column.vbp_simd(), pred.op,
+                                        pred.c1, pred.c2)
+                        : simd::ScanVbp(column.vbp_simd(), pred.op, pred.c1,
+                                        pred.c2);
+        } else {
+          out.pass = mt ? par::Scan(*pool_, column.vbp(), pred.op, pred.c1,
+                                    pred.c2)
+                        : VbpScanner::Scan(column.vbp(), pred.op, pred.c1,
+                                           pred.c2);
+        }
+        break;
+      case Layout::kHbp:
+        if (options_.simd) {
+          out.pass = mt ? simd::ScanHbp(*pool_, column.hbp_simd(), pred.op,
+                                        pred.c1, pred.c2)
+                        : simd::ScanHbp(column.hbp_simd(), pred.op, pred.c1,
+                                        pred.c2);
+        } else {
+          out.pass = mt ? par::Scan(*pool_, column.hbp(), pred.op, pred.c1,
+                                    pred.c2)
+                        : HbpScanner::Scan(column.hbp(), pred.op, pred.c1,
+                                           pred.c2);
+        }
+        break;
+      case Layout::kNaive:
+        out.pass =
+            NaiveScanner::Scan(column.naive(), pred.op, pred.c1, pred.c2);
+        break;
+      case Layout::kPadded:
+        out.pass =
+            PaddedScanner::Scan(column.padded(), pred.op, pred.c1, pred.c2);
+        break;
+    }
+  }
+
+  // SQL comparison semantics: a NULL operand makes the predicate UNKNOWN,
+  // never TRUE — even for the degenerate always-true constants.
+  if (column.nullable()) {
+    out.pass.And(column.validity());
+    out.unknown = column.validity();
+    out.unknown.Not();
+  } else {
+    out.unknown = FilterBitVector(table.num_rows(), vps);
+  }
+  return out;
+}
+
+namespace {
+
+FilterBitVector FalseSet(const Engine::TriState& t) {
+  FilterBitVector f = t.pass;
+  f.Or(t.unknown);
+  f.Not();
+  return f;
+}
+
+void AlignShape(const Engine::TriState& acc, Engine::TriState* child) {
+  if (child->pass.values_per_segment() != acc.pass.values_per_segment()) {
+    child->pass = child->pass.Reshape(acc.pass.values_per_segment());
+    child->unknown = child->unknown.Reshape(acc.pass.values_per_segment());
+  }
+}
+
+}  // namespace
+
+StatusOr<Engine::TriState> Engine::EvalExpr(const Table& table,
+                                            const FilterExpr& expr) {
+  switch (expr.kind()) {
+    case FilterExpr::Kind::kLeaf:
+    case FilterExpr::Kind::kIsNull:
+    case FilterExpr::Kind::kIsNotNull:
+      return ScanLeaf(table, expr);
+    case FilterExpr::Kind::kAnd:
+    case FilterExpr::Kind::kOr: {
+      if (expr.children().empty()) {
+        return Status::InvalidArgument("AND/OR needs at least one child");
+      }
+      auto acc_or = EvalExpr(table, *expr.children()[0]);
+      ICP_RETURN_IF_ERROR(acc_or.status());
+      TriState acc = std::move(acc_or).value();
+      for (std::size_t i = 1; i < expr.children().size(); ++i) {
+        auto child_or = EvalExpr(table, *expr.children()[i]);
+        ICP_RETURN_IF_ERROR(child_or.status());
+        TriState child = std::move(child_or).value();
+        AlignShape(acc, &child);
+        if (expr.kind() == FilterExpr::Kind::kAnd) {
+          // AND: FALSE dominates, then UNKNOWN.
+          FilterBitVector false_set = FalseSet(acc);
+          false_set.Or(FalseSet(child));
+          acc.pass.And(child.pass);
+          acc.unknown = acc.pass;
+          acc.unknown.Or(false_set);
+          acc.unknown.Not();
+        } else {
+          // OR: TRUE dominates, then UNKNOWN.
+          FilterBitVector false_set = FalseSet(acc);
+          false_set.And(FalseSet(child));
+          acc.pass.Or(child.pass);
+          acc.unknown = acc.pass;
+          acc.unknown.Or(false_set);
+          acc.unknown.Not();
+        }
+      }
+      return acc;
+    }
+    case FilterExpr::Kind::kNot: {
+      auto child_or = EvalExpr(table, *expr.children()[0]);
+      ICP_RETURN_IF_ERROR(child_or.status());
+      TriState child = std::move(child_or).value();
+      // NOT TRUE = FALSE, NOT FALSE = TRUE, NOT UNKNOWN = UNKNOWN.
+      FilterBitVector new_pass = FalseSet(child);
+      child.pass = std::move(new_pass);
+      return child;
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+StatusOr<FilterBitVector> Engine::EvaluateFilter(
+    const Table& table, const FilterExprPtr& filter,
+    const std::string& shape_column, std::uint64_t* scan_cycles) {
+  auto column_or = table.GetColumn(shape_column);
+  ICP_RETURN_IF_ERROR(column_or.status());
+  const Table::Column& column = **column_or;
+
+  const std::uint64_t begin = ReadCycleCounter();
+  FilterBitVector f;
+  if (filter == nullptr) {
+    f = FilterBitVector(table.num_rows(), column.values_per_segment());
+    f.SetAll();
+  } else {
+    auto result = EvalExpr(table, *filter);
+    if (scan_cycles != nullptr) *scan_cycles = ReadCycleCounter() - begin;
+    ICP_RETURN_IF_ERROR(result.status());
+    f = std::move(std::move(result).value().pass);
+  }
+  if (scan_cycles != nullptr) *scan_cycles = ReadCycleCounter() - begin;
+  if (f.values_per_segment() != column.values_per_segment()) {
+    f = f.Reshape(column.values_per_segment());
+  }
+  return f;
+}
+
+StatusOr<QueryResult> Engine::Aggregate(const Table& table, AggKind kind,
+                                        const std::string& column_name,
+                                        const FilterBitVector& filter,
+                                        std::uint64_t rank) {
+  auto column_or = table.GetColumn(column_name);
+  ICP_RETURN_IF_ERROR(column_or.status());
+  const Table::Column& column = **column_or;
+  if (filter.values_per_segment() != column.values_per_segment()) {
+    return Status::FailedPrecondition(
+        "filter shape does not match column layout; use EvaluateFilter with "
+        "this column as shape_column");
+  }
+  if ((kind == AggKind::kSum || kind == AggKind::kAvg) &&
+      column.encoder().is_dictionary()) {
+    return Status::InvalidArgument(
+        "SUM/AVG cannot be decoded for a dictionary-encoded column");
+  }
+
+  // SQL aggregates ignore NULLs: intersect with the column's validity.
+  FilterBitVector non_null_filter;
+  const FilterBitVector* effective = &filter;
+  if (column.nullable()) {
+    non_null_filter = filter;
+    non_null_filter.And(column.validity());
+    effective = &non_null_filter;
+  }
+
+  const bool mt = options_.threads > 1;
+  const bool bp = options_.method == AggMethod::kBitParallel;
+  AggregateResult agg;
+  const std::uint64_t begin = ReadCycleCounter();
+  switch (column.spec().layout) {
+    case Layout::kVbp:
+      if (bp && options_.simd) {
+        agg = mt ? simd::AggregateVbp(*pool_, column.vbp_simd(), *effective, kind, rank)
+                 : simd::AggregateVbp(column.vbp_simd(), *effective, kind, rank);
+      } else if (bp) {
+        agg = mt ? par::Aggregate(*pool_, column.vbp(), *effective, kind, rank)
+                 : vbp::Aggregate(column.vbp(), *effective, kind, rank);
+      } else {
+        agg = mt ? par_nbp::Aggregate(*pool_, column.vbp(), *effective, kind, rank)
+                 : nbp::Aggregate(column.vbp(), *effective, kind, rank);
+      }
+      break;
+    case Layout::kHbp:
+      if (bp && options_.simd) {
+        agg = mt ? simd::AggregateHbp(*pool_, column.hbp_simd(), *effective, kind, rank)
+                 : simd::AggregateHbp(column.hbp_simd(), *effective, kind, rank);
+      } else if (bp) {
+        agg = mt ? par::Aggregate(*pool_, column.hbp(), *effective, kind, rank)
+                 : hbp::Aggregate(column.hbp(), *effective, kind, rank);
+      } else {
+        agg = mt ? par_nbp::Aggregate(*pool_, column.hbp(), *effective, kind, rank)
+                 : nbp::Aggregate(column.hbp(), *effective, kind, rank);
+      }
+      break;
+    case Layout::kNaive:
+      agg = naive::Aggregate(column.naive(), *effective, kind, rank);
+      break;
+    case Layout::kPadded:
+      agg = padded::Aggregate(column.padded(), *effective, kind, rank);
+      break;
+  }
+  const std::uint64_t agg_cycles = ReadCycleCounter() - begin;
+
+  QueryResult result;
+  result.kind = kind;
+  result.count = agg.count;
+  result.code_sum = agg.sum;
+  result.code_value = agg.value;
+  result.agg_cycles = agg_cycles;
+
+  const ColumnEncoder& encoder = column.encoder();
+  switch (kind) {
+    case AggKind::kCount:
+      result.value = static_cast<double>(agg.count);
+      break;
+    case AggKind::kSum:
+      result.value = static_cast<double>(encoder.min_value()) *
+                         static_cast<double>(agg.count) +
+                     UInt128ToDouble(agg.sum);
+      break;
+    case AggKind::kAvg:
+      if (agg.count > 0) {
+        result.value = static_cast<double>(encoder.min_value()) +
+                       UInt128ToDouble(agg.sum) /
+                           static_cast<double>(agg.count);
+      }
+      break;
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kMedian:
+    case AggKind::kRank:
+      if (agg.value.has_value()) {
+        result.decoded_value = encoder.Decode(*agg.value);
+        result.value = static_cast<double>(*result.decoded_value);
+      }
+      break;
+  }
+  return result;
+}
+
+StatusOr<std::vector<QueryResult>> Engine::ExecuteMulti(
+    const Table& table, const MultiQuery& query) {
+  if (query.aggregates.empty()) {
+    return Status::InvalidArgument("MultiQuery needs at least one aggregate");
+  }
+  std::uint64_t scan_cycles = 0;
+  auto filter_or = EvaluateFilter(table, query.filter,
+                                  query.aggregates[0].second, &scan_cycles);
+  ICP_RETURN_IF_ERROR(filter_or.status());
+  const FilterBitVector& filter = *filter_or;
+
+  std::vector<QueryResult> results;
+  results.reserve(query.aggregates.size());
+  for (const auto& [kind, column_name] : query.aggregates) {
+    auto column_or = table.GetColumn(column_name);
+    ICP_RETURN_IF_ERROR(column_or.status());
+    const int vps = (*column_or)->values_per_segment();
+    StatusOr<QueryResult> r =
+        vps == filter.values_per_segment()
+            ? Aggregate(table, kind, column_name, filter)
+            : Aggregate(table, kind, column_name, filter.Reshape(vps));
+    ICP_RETURN_IF_ERROR(r.status());
+    QueryResult result = std::move(r).value();
+    result.scan_cycles = scan_cycles;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+StatusOr<std::vector<std::pair<std::int64_t, QueryResult>>>
+Engine::ExecuteGroupBy(const Table& table, const Query& query,
+                       const std::string& group_column) {
+  auto group_or = table.GetColumn(group_column);
+  ICP_RETURN_IF_ERROR(group_or.status());
+  const Table::Column& group = **group_or;
+  if (!group.encoder().is_dictionary()) {
+    return Status::InvalidArgument(
+        "group-by column '" + group_column +
+        "' must be dictionary-encoded (low cardinality)");
+  }
+
+  std::uint64_t scan_cycles = 0;
+  auto base_or =
+      EvaluateFilter(table, query.filter, group_column, &scan_cycles);
+  ICP_RETURN_IF_ERROR(base_or.status());
+  const FilterBitVector& base = *base_or;
+
+  std::vector<std::pair<std::int64_t, QueryResult>> results;
+  const std::uint64_t num_groups = group.encoder().num_codes();
+  for (std::uint64_t code = 0; code < num_groups; ++code) {
+    const std::int64_t group_value = group.encoder().Decode(code);
+    // group filter = base AND (group_column == value): one extra
+    // bit-parallel scan per group (the wide-table group-by of [11]).
+    std::uint64_t group_scan = 0;
+    auto leaf = FilterExpr::Compare(group_column, CompareOp::kEq,
+                                    group_value);
+    auto f_or = EvaluateFilter(table, leaf, group_column, &group_scan);
+    ICP_RETURN_IF_ERROR(f_or.status());
+    FilterBitVector f = std::move(f_or).value();
+    f.And(base);
+    if (f.CountOnes() == 0) continue;
+    if (f.values_per_segment() !=
+        (*table.GetColumn(query.agg_column))->values_per_segment()) {
+      f = f.Reshape(
+          (*table.GetColumn(query.agg_column))->values_per_segment());
+    }
+    auto r_or = Aggregate(table, query.agg, query.agg_column, f);
+    ICP_RETURN_IF_ERROR(r_or.status());
+    QueryResult r = std::move(r_or).value();
+    r.scan_cycles = scan_cycles + group_scan;
+    results.emplace_back(group_value, std::move(r));
+  }
+  return results;
+}
+
+StatusOr<QueryResult> Engine::Execute(const Table& table, const Query& query) {
+  std::uint64_t scan_cycles = 0;
+  auto filter_or =
+      EvaluateFilter(table, query.filter, query.agg_column, &scan_cycles);
+  ICP_RETURN_IF_ERROR(filter_or.status());
+  auto result_or =
+      Aggregate(table, query.agg, query.agg_column, *filter_or, query.rank);
+  ICP_RETURN_IF_ERROR(result_or.status());
+  QueryResult result = std::move(result_or).value();
+  result.scan_cycles = scan_cycles;
+  return result;
+}
+
+}  // namespace icp

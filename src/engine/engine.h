@@ -1,0 +1,134 @@
+// Query engine: filter scan + aggregation over a wide Table.
+//
+// Executes the paper's query shape (e.g. Q1: SELECT SUM(X) FROM Y WHERE
+// Z < 4): every filter leaf runs one bit-parallel scan on its column, leaf
+// results combine with AND/OR/NOT, and the chosen aggregation method (the
+// paper's BP contribution or the NBP reconstruct-then-aggregate baseline)
+// consumes the filter bit vector. ExecOptions picks the comparison axes of
+// Section IV: method (BP/NBP), multi-threading, and SIMD.
+
+#ifndef ICP_ENGINE_ENGINE_H_
+#define ICP_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/aggregate.h"
+#include "engine/expression.h"
+#include "engine/table.h"
+#include "parallel/thread_pool.h"
+#include "util/status.h"
+
+namespace icp {
+
+struct ExecOptions {
+  /// Aggregation implementation (scans are always bit-parallel, as in the
+  /// paper: both methods take the filter bit vector as input).
+  AggMethod method = AggMethod::kBitParallel;
+  /// Worker threads (1 = single-threaded).
+  int threads = 1;
+  /// Use the 256-bit SIMD kernels (bit-parallel method only; the column's
+  /// lanes == 4 packing is built lazily).
+  bool simd = false;
+};
+
+struct Query {
+  AggKind agg = AggKind::kCount;
+  /// Column the aggregate runs over (any column works for COUNT).
+  std::string agg_column;
+  /// Filter; null means all rows pass.
+  FilterExprPtr filter;
+  /// 1-based rank for AggKind::kRank (e.g. rank = ceil(0.99 * count) gives
+  /// the p99); ignored by the other aggregates.
+  std::uint64_t rank = 0;
+};
+
+/// Several aggregates sharing one filter (e.g. TPC-H Q1 computes 8
+/// aggregates after a single scan).
+struct MultiQuery {
+  std::vector<std::pair<AggKind, std::string>> aggregates;
+  FilterExprPtr filter;
+};
+
+struct QueryResult {
+  AggKind kind = AggKind::kCount;
+  std::uint64_t count = 0;
+
+  /// Code-domain results (exact).
+  UInt128 code_sum = 0;
+  std::optional<std::uint64_t> code_value;
+
+  /// Value-domain results. `decoded_value` carries MIN/MAX/MEDIAN exactly;
+  /// `value` carries every aggregate as a double (SUM/AVG may lose
+  /// precision beyond 2^53).
+  std::optional<std::int64_t> decoded_value;
+  double value = 0.0;
+
+  /// RDTSC cycles spent in the filter scan(s) and in the aggregation.
+  std::uint64_t scan_cycles = 0;
+  std::uint64_t agg_cycles = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(ExecOptions options = ExecOptions());
+
+  const ExecOptions& options() const { return options_; }
+
+  /// Evaluates `filter` (null = pass-all) and returns the filter bit vector
+  /// shaped for `shape_column`'s layout. `scan_cycles`, if non-null,
+  /// receives the RDTSC cost of the scans (excluding reshaping).
+  StatusOr<FilterBitVector> EvaluateFilter(const Table& table,
+                                           const FilterExprPtr& filter,
+                                           const std::string& shape_column,
+                                           std::uint64_t* scan_cycles = nullptr);
+
+  /// Runs the aggregation phase only, on a pre-computed filter. `rank` is
+  /// used only by AggKind::kRank.
+  StatusOr<QueryResult> Aggregate(const Table& table, AggKind kind,
+                                  const std::string& column,
+                                  const FilterBitVector& filter,
+                                  std::uint64_t rank = 0);
+
+  /// Full query: scan + aggregate, with per-phase timings.
+  StatusOr<QueryResult> Execute(const Table& table, const Query& query);
+
+  /// Executes several aggregates over one shared filter scan; results come
+  /// back in the order of `query.aggregates`. Each result's scan_cycles is
+  /// the (shared) scan cost; agg_cycles is per aggregate.
+  StatusOr<std::vector<QueryResult>> ExecuteMulti(const Table& table,
+                                                  const MultiQuery& query);
+
+  /// Grouped aggregation in the wide-table style the paper adopts from
+  /// [11]: the group-by column must be dictionary-encoded (low cardinality)
+  /// and each group evaluates as `filter AND group_column == value`, i.e.
+  /// one extra bit-parallel scan per group. Returns one (group value,
+  /// QueryResult) pair per non-empty group, ordered by group value.
+  StatusOr<std::vector<std::pair<std::int64_t, QueryResult>>> ExecuteGroupBy(
+      const Table& table, const Query& query,
+      const std::string& group_column);
+
+  // SQL three-valued filter state: `pass` marks rows where the predicate is
+  // definitely TRUE, `unknown` rows where it is UNKNOWN (a NULL was
+  // compared). Everything else is FALSE. Only `pass` rows survive a WHERE.
+  struct TriState {
+    FilterBitVector pass;
+    FilterBitVector unknown;
+  };
+
+ private:
+  StatusOr<TriState> EvalExpr(const Table& table, const FilterExpr& expr);
+  StatusOr<TriState> ScanLeaf(const Table& table, const FilterExpr& leaf);
+
+  ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace icp
+
+#endif  // ICP_ENGINE_ENGINE_H_

@@ -1,0 +1,42 @@
+#include "engine/expression.h"
+
+namespace icp {
+namespace {
+
+std::string JoinChildren(const std::vector<FilterExprPtr>& children,
+                         const char* sep) {
+  std::string out = "(";
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) out += sep;
+    out += children[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::string FilterExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kLeaf:
+      if (op_ == CompareOp::kBetween) {
+        return column_ + " BETWEEN " + std::to_string(value_) + " AND " +
+               std::to_string(value2_);
+      }
+      return column_ + " " + CompareOpToString(op_) + " " +
+             std::to_string(value_);
+    case Kind::kAnd:
+      return JoinChildren(children_, " AND ");
+    case Kind::kOr:
+      return JoinChildren(children_, " OR ");
+    case Kind::kNot:
+      return "NOT " + children_[0]->ToString();
+    case Kind::kIsNull:
+      return column_ + " IS NULL";
+    case Kind::kIsNotNull:
+      return column_ + " IS NOT NULL";
+  }
+  return "?";
+}
+
+}  // namespace icp

@@ -1,0 +1,106 @@
+// Filter expression trees over value-domain constants (Section II-E).
+//
+// A leaf compares one column against int64 constants in the *original*
+// value domain; the engine maps constants to the column's code domain with
+// the order-preserving rules of ColumnEncoder, runs one bit-parallel scan
+// per leaf, and combines the resulting filter bit vectors with AND/OR/NOT.
+
+#ifndef ICP_ENGINE_EXPRESSION_H_
+#define ICP_ENGINE_EXPRESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "scan/predicate.h"
+
+namespace icp {
+
+class FilterExpr;
+using FilterExprPtr = std::shared_ptr<const FilterExpr>;
+
+class FilterExpr {
+ public:
+  enum class Kind { kLeaf, kAnd, kOr, kNot, kIsNull, kIsNotNull };
+
+  /// column <op> value (value2 only for kBetween).
+  static FilterExprPtr Compare(std::string column, CompareOp op,
+                               std::int64_t value, std::int64_t value2 = 0) {
+    auto e = std::make_shared<FilterExpr>();
+    e->kind_ = Kind::kLeaf;
+    e->column_ = std::move(column);
+    e->op_ = op;
+    e->value_ = value;
+    e->value2_ = value2;
+    return e;
+  }
+  static FilterExprPtr Between(std::string column, std::int64_t lo,
+                               std::int64_t hi) {
+    return Compare(std::move(column), CompareOp::kBetween, lo, hi);
+  }
+  static FilterExprPtr And(std::vector<FilterExprPtr> children) {
+    auto e = std::make_shared<FilterExpr>();
+    e->kind_ = Kind::kAnd;
+    e->children_ = std::move(children);
+    return e;
+  }
+  static FilterExprPtr Or(std::vector<FilterExprPtr> children) {
+    auto e = std::make_shared<FilterExpr>();
+    e->kind_ = Kind::kOr;
+    e->children_ = std::move(children);
+    return e;
+  }
+  static FilterExprPtr Not(FilterExprPtr child) {
+    auto e = std::make_shared<FilterExpr>();
+    e->kind_ = Kind::kNot;
+    e->children_ = {std::move(child)};
+    return e;
+  }
+  /// SQL IS NULL / IS NOT NULL (never UNKNOWN).
+  static FilterExprPtr IsNull(std::string column) {
+    auto e = std::make_shared<FilterExpr>();
+    e->kind_ = Kind::kIsNull;
+    e->column_ = std::move(column);
+    return e;
+  }
+  static FilterExprPtr IsNotNull(std::string column) {
+    auto e = std::make_shared<FilterExpr>();
+    e->kind_ = Kind::kIsNotNull;
+    e->column_ = std::move(column);
+    return e;
+  }
+  /// column IN {values}: expands to an OR of equality comparisons.
+  static FilterExprPtr In(const std::string& column,
+                          const std::vector<std::int64_t>& values) {
+    std::vector<FilterExprPtr> children;
+    children.reserve(values.size());
+    for (std::int64_t v : values) {
+      children.push_back(Compare(column, CompareOp::kEq, v));
+    }
+    return Or(std::move(children));
+  }
+
+  Kind kind() const { return kind_; }
+  const std::string& column() const { return column_; }
+  CompareOp op() const { return op_; }
+  std::int64_t value() const { return value_; }
+  std::int64_t value2() const { return value2_; }
+  const std::vector<FilterExprPtr>& children() const { return children_; }
+
+  /// Human-readable rendering, e.g. "(a < 4 AND b == 10)".
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kLeaf;
+  std::string column_;
+  CompareOp op_ = CompareOp::kEq;
+  std::int64_t value_ = 0;
+  std::int64_t value2_ = 0;
+  std::vector<FilterExprPtr> children_;
+};
+
+}  // namespace icp
+
+#endif  // ICP_ENGINE_EXPRESSION_H_

@@ -1,0 +1,418 @@
+#include "engine/query_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/dates.h"
+
+namespace icp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokenKind {
+  kIdent,    // column names and keywords (keywords matched case-insensitively)
+  kNumber,   // integer or decimal literal (value already scaled)
+  kDate,     // 'YYYY-MM-DD'
+  kLParen,
+  kRParen,
+  kComma,
+  kOp,       // = != <> < <= > >=
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;        // identifier / operator spelling
+  std::int64_t value = 0;  // kNumber / kDate payload
+  std::size_t pos = 0;     // offset in the input, for error messages
+};
+
+Status SyntaxError(std::size_t pos, const std::string& what) {
+  return Status::InvalidArgument("parse error at position " +
+                                 std::to_string(pos) + ": " + what);
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    while (true) {
+      while (pos_ < text_.size() && std::isspace(Byte(pos_))) ++pos_;
+      Token t;
+      t.pos = pos_;
+      if (pos_ >= text_.size()) {
+        tokens.push_back(t);
+        return tokens;
+      }
+      const char c = text_[pos_];
+      if (std::isalpha(Byte(pos_)) || c == '_') {
+        while (pos_ < text_.size() &&
+               (std::isalnum(Byte(pos_)) || text_[pos_] == '_')) {
+          t.text += text_[pos_++];
+        }
+        t.kind = TokenKind::kIdent;
+      } else if (std::isdigit(Byte(pos_)) ||
+                 (c == '-' && pos_ + 1 < text_.size() &&
+                  std::isdigit(Byte(pos_ + 1)))) {
+        auto number = LexNumber();
+        ICP_RETURN_IF_ERROR(number.status());
+        t = *number;
+        t.pos = pos_;
+      } else if (c == '\'') {
+        auto date = LexDate();
+        ICP_RETURN_IF_ERROR(date.status());
+        t = *date;
+      } else if (c == '(') {
+        t.kind = TokenKind::kLParen;
+        ++pos_;
+      } else if (c == ')') {
+        t.kind = TokenKind::kRParen;
+        ++pos_;
+      } else if (c == ',') {
+        t.kind = TokenKind::kComma;
+        ++pos_;
+      } else if (c == '=' || c == '<' || c == '>' || c == '!') {
+        t.kind = TokenKind::kOp;
+        t.text += c;
+        ++pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '=' || (c == '<' && text_[pos_] == '>'))) {
+          t.text += text_[pos_++];
+        }
+        if (t.text == "!") return SyntaxError(t.pos, "expected '!='");
+      } else {
+        return SyntaxError(pos_, std::string("unexpected character '") + c +
+                                     "'");
+      }
+      tokens.push_back(std::move(t));
+    }
+  }
+
+ private:
+  unsigned char Byte(std::size_t i) const {
+    return static_cast<unsigned char>(text_[i]);
+  }
+
+  StatusOr<Token> LexNumber() {
+    Token t;
+    t.kind = TokenKind::kNumber;
+    const std::size_t start = pos_;
+    bool negative = false;
+    if (text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    std::int64_t integral = 0;
+    while (pos_ < text_.size() && std::isdigit(Byte(pos_))) {
+      integral = integral * 10 + (text_[pos_++] - '0');
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      std::int64_t frac = 0;
+      int digits = 0;
+      while (pos_ < text_.size() && std::isdigit(Byte(pos_))) {
+        frac = frac * 10 + (text_[pos_++] - '0');
+        ++digits;
+      }
+      if (digits == 0 || digits > 9) {
+        return SyntaxError(start, "bad decimal literal");
+      }
+      std::int64_t scale = 1;
+      for (int i = 0; i < digits; ++i) scale *= 10;
+      t.value = integral * scale + frac;
+      if (negative) t.value = -t.value;
+    } else {
+      t.value = negative ? -integral : integral;
+    }
+    return t;
+  }
+
+  StatusOr<Token> LexDate() {
+    Token t;
+    t.kind = TokenKind::kDate;
+    t.pos = pos_;
+    ++pos_;  // opening quote
+    std::string body;
+    while (pos_ < text_.size() && text_[pos_] != '\'') {
+      body += text_[pos_++];
+    }
+    if (pos_ >= text_.size()) {
+      return SyntaxError(t.pos, "unterminated quoted literal");
+    }
+    ++pos_;  // closing quote
+    // Only ISO dates are supported as quoted literals.
+    if (body.size() != 10 || body[4] != '-' || body[7] != '-') {
+      return SyntaxError(t.pos, "expected 'YYYY-MM-DD' in quotes");
+    }
+    for (int i : {0, 1, 2, 3, 5, 6, 8, 9}) {
+      if (!std::isdigit(static_cast<unsigned char>(body[i]))) {
+        return SyntaxError(t.pos, "expected 'YYYY-MM-DD' in quotes");
+      }
+    }
+    const int y = std::stoi(body.substr(0, 4));
+    const int m = std::stoi(body.substr(5, 2));
+    const int d = std::stoi(body.substr(8, 2));
+    if (m < 1 || m > 12 || d < 1 || d > 31) {
+      return SyntaxError(t.pos, "invalid date");
+    }
+    t.value = DaysFromCivil(y, m, d);
+    return t;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+// ---------------------------------------------------------------------------
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  std::size_t i = 0;
+  for (; i < a.size() && b[i] != '\0'; ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) != b[i]) return false;
+  }
+  return i == a.size() && b[i] == '\0';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Query> ParseSelect() {
+    Query query;
+    ICP_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto agg = ParseAggregate(&query);
+    ICP_RETURN_IF_ERROR(agg);
+    if (IsKeyword("WHERE")) {
+      ++index_;
+      auto expr = ParseOr();
+      ICP_RETURN_IF_ERROR(expr.status());
+      query.filter = *expr;
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return SyntaxError(Peek().pos, "unexpected trailing input");
+    }
+    return query;
+  }
+
+  StatusOr<FilterExprPtr> ParseBarePredicate() {
+    auto expr = ParseOr();
+    ICP_RETURN_IF_ERROR(expr.status());
+    if (Peek().kind != TokenKind::kEnd) {
+      return SyntaxError(Peek().pos, "unexpected trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const std::size_t i = index_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool IsKeyword(const char* kw, int ahead = 0) const {
+    return Peek(ahead).kind == TokenKind::kIdent &&
+           EqualsIgnoreCase(Peek(ahead).text, kw);
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(kw)) {
+      return SyntaxError(Peek().pos, std::string("expected ") + kw);
+    }
+    ++index_;
+    return Status::Ok();
+  }
+  Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return SyntaxError(Peek().pos, std::string("expected ") + what);
+    }
+    ++index_;
+    return Status::Ok();
+  }
+
+  Status ParseAggregate(Query* query) {
+    static constexpr struct {
+      const char* name;
+      AggKind kind;
+    } kAggs[] = {
+        {"COUNT", AggKind::kCount}, {"SUM", AggKind::kSum},
+        {"AVG", AggKind::kAvg},     {"MIN", AggKind::kMin},
+        {"MAX", AggKind::kMax},     {"MEDIAN", AggKind::kMedian},
+        {"RANK", AggKind::kRank},
+    };
+    for (const auto& agg : kAggs) {
+      if (!IsKeyword(agg.name)) continue;
+      ++index_;
+      query->agg = agg.kind;
+      ICP_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      if (Peek().kind != TokenKind::kIdent) {
+        return SyntaxError(Peek().pos, "expected column name");
+      }
+      query->agg_column = Peek().text;
+      ++index_;
+      if (agg.kind == AggKind::kRank) {
+        ICP_RETURN_IF_ERROR(Expect(TokenKind::kComma, "',' and a rank"));
+        if (Peek().kind != TokenKind::kNumber || Peek().value < 1) {
+          return SyntaxError(Peek().pos, "expected positive rank");
+        }
+        query->rank = static_cast<std::uint64_t>(Peek().value);
+        ++index_;
+      }
+      ICP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return Status::Ok();
+    }
+    return SyntaxError(Peek().pos,
+                       "expected aggregate (COUNT/SUM/AVG/MIN/MAX/MEDIAN/"
+                       "RANK)");
+  }
+
+  StatusOr<FilterExprPtr> ParseOr() {
+    auto left = ParseAnd();
+    ICP_RETURN_IF_ERROR(left.status());
+    std::vector<FilterExprPtr> children = {*left};
+    while (IsKeyword("OR")) {
+      ++index_;
+      auto right = ParseAnd();
+      ICP_RETURN_IF_ERROR(right.status());
+      children.push_back(*right);
+    }
+    if (children.size() == 1) return children[0];
+    return FilterExpr::Or(std::move(children));
+  }
+
+  StatusOr<FilterExprPtr> ParseAnd() {
+    auto left = ParseUnary();
+    ICP_RETURN_IF_ERROR(left.status());
+    std::vector<FilterExprPtr> children = {*left};
+    while (IsKeyword("AND")) {
+      ++index_;
+      auto right = ParseUnary();
+      ICP_RETURN_IF_ERROR(right.status());
+      children.push_back(*right);
+    }
+    if (children.size() == 1) return children[0];
+    return FilterExpr::And(std::move(children));
+  }
+
+  StatusOr<FilterExprPtr> ParseUnary() {
+    if (IsKeyword("NOT")) {
+      ++index_;
+      auto child = ParseUnary();
+      ICP_RETURN_IF_ERROR(child.status());
+      return FilterExpr::Not(*child);
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      ++index_;
+      auto inner = ParseOr();
+      ICP_RETURN_IF_ERROR(inner.status());
+      ICP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  StatusOr<std::int64_t> ParseLiteral() {
+    if (Peek().kind != TokenKind::kNumber &&
+        Peek().kind != TokenKind::kDate) {
+      return SyntaxError(Peek().pos, "expected literal");
+    }
+    const std::int64_t value = Peek().value;
+    ++index_;
+    return value;
+  }
+
+  StatusOr<FilterExprPtr> ParseComparison() {
+    if (Peek().kind != TokenKind::kIdent || IsKeyword("AND") ||
+        IsKeyword("OR") || IsKeyword("NOT")) {
+      return SyntaxError(Peek().pos, "expected column name");
+    }
+    const std::string column = Peek().text;
+    ++index_;
+
+    if (IsKeyword("IS")) {
+      ++index_;
+      if (IsKeyword("NOT")) {
+        ++index_;
+        ICP_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+        return FilterExpr::IsNotNull(column);
+      }
+      ICP_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      return FilterExpr::IsNull(column);
+    }
+    if (IsKeyword("BETWEEN")) {
+      ++index_;
+      auto lo = ParseLiteral();
+      ICP_RETURN_IF_ERROR(lo.status());
+      ICP_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      auto hi = ParseLiteral();
+      ICP_RETURN_IF_ERROR(hi.status());
+      return FilterExpr::Between(column, *lo, *hi);
+    }
+    if (IsKeyword("IN")) {
+      ++index_;
+      ICP_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      std::vector<std::int64_t> values;
+      while (true) {
+        auto value = ParseLiteral();
+        ICP_RETURN_IF_ERROR(value.status());
+        values.push_back(*value);
+        if (Peek().kind == TokenKind::kComma) {
+          ++index_;
+          continue;
+        }
+        break;
+      }
+      ICP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return FilterExpr::In(column, values);
+    }
+
+    if (Peek().kind != TokenKind::kOp) {
+      return SyntaxError(Peek().pos, "expected comparison operator");
+    }
+    const std::string op = Peek().text;
+    ++index_;
+    auto value = ParseLiteral();
+    ICP_RETURN_IF_ERROR(value.status());
+    CompareOp compare;
+    if (op == "=") {
+      compare = CompareOp::kEq;
+    } else if (op == "!=" || op == "<>") {
+      compare = CompareOp::kNe;
+    } else if (op == "<") {
+      compare = CompareOp::kLt;
+    } else if (op == "<=") {
+      compare = CompareOp::kLe;
+    } else if (op == ">") {
+      compare = CompareOp::kGt;
+    } else if (op == ">=") {
+      compare = CompareOp::kGe;
+    } else {
+      return SyntaxError(Peek().pos, "unknown operator '" + op + "'");
+    }
+    return FilterExpr::Compare(column, compare, *value);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Query> ParseQuery(const std::string& sql) {
+  auto tokens = Lexer(sql).Run();
+  ICP_RETURN_IF_ERROR(tokens.status());
+  return Parser(std::move(tokens).value()).ParseSelect();
+}
+
+StatusOr<FilterExprPtr> ParsePredicate(const std::string& text) {
+  auto tokens = Lexer(text).Run();
+  ICP_RETURN_IF_ERROR(tokens.status());
+  return Parser(std::move(tokens).value()).ParseBarePredicate();
+}
+
+}  // namespace icp

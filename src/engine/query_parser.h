@@ -1,0 +1,38 @@
+// A small SQL-subset parser for the engine's query shape:
+//
+//   SELECT <agg>(<column>) [WHERE <predicate>]
+//
+//   <agg>       := COUNT | SUM | AVG | MIN | MAX | MEDIAN | RANK(<column>, r)
+//   <predicate> := disjunctions/conjunctions of
+//                    col <op> <literal>            op: = != <> < <= > >=
+//                    col BETWEEN <lit> AND <lit>
+//                    col IN (<lit>, <lit>, ...)
+//                    col IS [NOT] NULL
+//                    NOT <pred> | ( <pred> )
+//   <literal>   := integer | 'YYYY-MM-DD' date | decimal like 12.34
+//                  (decimals parse at the scale they are written and are
+//                   interpreted against cent-scaled columns, scale 2)
+//
+// Keywords are case-insensitive; identifiers are [A-Za-z_][A-Za-z0-9_]*.
+// The parser produces an icp::Query; execution stays in icp::Engine.
+// Errors report the offending position.
+
+#ifndef ICP_ENGINE_QUERY_PARSER_H_
+#define ICP_ENGINE_QUERY_PARSER_H_
+
+#include <string>
+
+#include "engine/engine.h"
+#include "util/status.h"
+
+namespace icp {
+
+/// Parses one SELECT statement into a Query.
+StatusOr<Query> ParseQuery(const std::string& sql);
+
+/// Parses just a predicate (the text after WHERE) into an expression tree.
+StatusOr<FilterExprPtr> ParsePredicate(const std::string& text);
+
+}  // namespace icp
+
+#endif  // ICP_ENGINE_QUERY_PARSER_H_

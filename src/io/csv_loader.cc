@@ -1,0 +1,194 @@
+#include "io/csv_loader.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/dates.h"
+
+namespace icp::io {
+namespace {
+
+Status ParseError(std::size_t line, const std::string& what) {
+  return Status::InvalidArgument("CSV line " + std::to_string(line) + ": " +
+                                 what);
+}
+
+StatusOr<std::int64_t> ParseInt(const std::string& field) {
+  std::int64_t value = 0;
+  const char* begin = field.data();
+  const char* end = begin + field.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("not an integer: '" + field + "'");
+  }
+  return value;
+}
+
+// Splits one line on `delimiter` (no quoting — column-store exports are
+// plain delimited numerics; quoted-string support is out of scope).
+std::vector<std::string> SplitLine(const std::string& line, char delimiter) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(delimiter, start);
+    if (pos == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+StatusOr<Table> LoadFromStream(std::istream& in,
+                               const std::vector<CsvColumnSpec>& columns,
+                               const CsvOptions& options) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("no column specs given");
+  }
+  std::vector<std::vector<std::int64_t>> values(columns.size());
+  std::vector<std::vector<bool>> valid(columns.size());
+  std::vector<bool> has_null(columns.size(), false);
+
+  std::string line;
+  std::size_t line_number = 0;
+  std::size_t rows = 0;
+  if (options.has_header && std::getline(in, line)) ++line_number;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (options.max_rows != 0 && rows >= options.max_rows) break;
+    const std::vector<std::string> fields =
+        SplitLine(line, options.delimiter);
+    if (fields.size() != columns.size()) {
+      return ParseError(line_number,
+                        "expected " + std::to_string(columns.size()) +
+                            " fields, found " +
+                            std::to_string(fields.size()));
+    }
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      const CsvColumnSpec& spec = columns[c];
+      if (spec.type == CsvColumnSpec::Type::kSkip) continue;
+      if (fields[c].empty()) {
+        values[c].push_back(0);
+        valid[c].push_back(false);
+        has_null[c] = true;
+        continue;
+      }
+      StatusOr<std::int64_t> parsed = [&]() -> StatusOr<std::int64_t> {
+        switch (spec.type) {
+          case CsvColumnSpec::Type::kInt64:
+            return ParseInt(fields[c]);
+          case CsvColumnSpec::Type::kDecimal:
+            return ParseDecimal(fields[c], spec.scale);
+          case CsvColumnSpec::Type::kDate:
+            return ParseDate(fields[c]);
+          case CsvColumnSpec::Type::kSkip:
+            return std::int64_t{0};
+        }
+        return Status::Internal("bad column type");
+      }();
+      if (!parsed.ok()) {
+        return ParseError(line_number, "column '" + spec.name + "': " +
+                                           parsed.status().message());
+      }
+      values[c].push_back(*parsed);
+      valid[c].push_back(true);
+    }
+    ++rows;
+  }
+  if (rows == 0) {
+    return Status::InvalidArgument("CSV contains no data rows");
+  }
+
+  Table table;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    const CsvColumnSpec& spec = columns[c];
+    if (spec.type == CsvColumnSpec::Type::kSkip) continue;
+    const Status status =
+        has_null[c]
+            ? table.AddNullableColumn(spec.name, values[c], valid[c],
+                                      spec.storage)
+            : table.AddColumn(spec.name, values[c], spec.storage);
+    ICP_RETURN_IF_ERROR(status);
+  }
+  return table;
+}
+
+}  // namespace
+
+StatusOr<std::int64_t> ParseDate(const std::string& field) {
+  // Strict YYYY-MM-DD.
+  if (field.size() != 10 || field[4] != '-' || field[7] != '-') {
+    return Status::InvalidArgument("not a date: '" + field + "'");
+  }
+  auto digits = [&](int from, int count) -> int {
+    int v = 0;
+    for (int i = from; i < from + count; ++i) {
+      if (field[i] < '0' || field[i] > '9') return -1;
+      v = v * 10 + (field[i] - '0');
+    }
+    return v;
+  };
+  const int y = digits(0, 4);
+  const int m = digits(5, 2);
+  const int d = digits(8, 2);
+  if (y < 0 || m < 1 || m > 12 || d < 1 || d > 31) {
+    return Status::InvalidArgument("not a date: '" + field + "'");
+  }
+  return DaysFromCivil(y, m, d);
+}
+
+StatusOr<std::int64_t> ParseDecimal(const std::string& field, int scale) {
+  if (scale < 0 || scale > 18) {
+    return Status::InvalidArgument("unsupported decimal scale");
+  }
+  const std::size_t dot = field.find('.');
+  const std::string integral =
+      dot == std::string::npos ? field : field.substr(0, dot);
+  std::string fractional =
+      dot == std::string::npos ? "" : field.substr(dot + 1);
+  if (static_cast<int>(fractional.size()) > scale) {
+    return Status::InvalidArgument("too many fractional digits: '" + field +
+                                   "'");
+  }
+  fractional.resize(static_cast<std::size_t>(scale), '0');
+
+  auto int_part = ParseInt(integral.empty() ? "0" : integral);
+  ICP_RETURN_IF_ERROR(int_part.status());
+  std::int64_t frac_part = 0;
+  if (!fractional.empty()) {
+    auto parsed = ParseInt(fractional);
+    ICP_RETURN_IF_ERROR(parsed.status());
+    if (*parsed < 0) {
+      return Status::InvalidArgument("bad decimal: '" + field + "'");
+    }
+    frac_part = *parsed;
+  }
+  std::int64_t magnitude = 1;
+  for (int i = 0; i < scale; ++i) magnitude *= 10;
+  const bool negative = !integral.empty() && integral[0] == '-';
+  return *int_part * magnitude + (negative ? -frac_part : frac_part);
+}
+
+StatusOr<Table> LoadCsv(const std::string& path,
+                        const std::vector<CsvColumnSpec>& columns,
+                        const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  return LoadFromStream(in, columns, options);
+}
+
+StatusOr<Table> LoadCsvFromString(const std::string& text,
+                                  const std::vector<CsvColumnSpec>& columns,
+                                  const CsvOptions& options) {
+  std::istringstream in(text);
+  return LoadFromStream(in, columns, options);
+}
+
+}  // namespace icp::io

@@ -1,0 +1,315 @@
+#include "io/table_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace icp::io {
+namespace {
+
+constexpr char kMagic[8] = {'I', 'C', 'P', 'T', 'B', 'L', '0', '1'};
+
+// Streaming FNV-1a (64-bit).
+class Checksum {
+ public:
+  void Update(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : out_(path, std::ios::binary | std::ios::trunc) {}
+
+  bool ok() const { return out_.good(); }
+
+  void Raw(const void* data, std::size_t size) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    checksum_.Update(data, size);
+  }
+  void U8(std::uint8_t v) { Raw(&v, 1); }
+  void U32(std::uint32_t v) { Raw(&v, 4); }
+  void U64(std::uint64_t v) { Raw(&v, 8); }
+  void I32(std::int32_t v) { Raw(&v, 4); }
+  void I64(std::int64_t v) { Raw(&v, 8); }
+  void String(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Finish() {
+    const std::uint64_t sum = checksum_.value();
+    out_.write(reinterpret_cast<const char*>(&sum), 8);
+    out_.flush();
+  }
+
+ private:
+  std::ofstream out_;
+  Checksum checksum_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path)
+      : in_(path, std::ios::binary) {}
+
+  bool ok() const { return !failed_ && in_.good(); }
+  bool failed() const { return failed_; }
+
+  void Raw(void* data, std::size_t size) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (in_.gcount() != static_cast<std::streamsize>(size)) {
+      failed_ = true;
+      std::memset(data, 0, size);
+      return;
+    }
+    checksum_.Update(data, size);
+  }
+  std::uint8_t U8() {
+    std::uint8_t v = 0;
+    Raw(&v, 1);
+    return v;
+  }
+  std::uint32_t U32() {
+    std::uint32_t v = 0;
+    Raw(&v, 4);
+    return v;
+  }
+  std::uint64_t U64() {
+    std::uint64_t v = 0;
+    Raw(&v, 8);
+    return v;
+  }
+  std::int32_t I32() {
+    std::int32_t v = 0;
+    Raw(&v, 4);
+    return v;
+  }
+  std::int64_t I64() {
+    std::int64_t v = 0;
+    Raw(&v, 8);
+    return v;
+  }
+  std::string String(std::size_t max_size = 1 << 20) {
+    const std::uint32_t size = U32();
+    if (size > max_size) {
+      failed_ = true;
+      return {};
+    }
+    std::string s(size, '\0');
+    Raw(s.data(), size);
+    return s;
+  }
+
+  /// Verifies the trailing checksum (call after all payload reads).
+  bool VerifyChecksum() {
+    const std::uint64_t expected = checksum_.value();
+    std::uint64_t stored = 0;
+    in_.read(reinterpret_cast<char*>(&stored), 8);
+    return in_.gcount() == 8 && stored == expected;
+  }
+
+ private:
+  std::ifstream in_;
+  Checksum checksum_;
+  bool failed_ = false;
+};
+
+// Packs `codes` at `k` bits per code into an MSB-first word stream.
+std::vector<Word> PackCodes(const std::vector<std::uint64_t>& codes, int k) {
+  std::vector<Word> words;
+  words.reserve(CeilDiv(codes.size() * static_cast<std::size_t>(k), 64));
+  UInt128 window = 0;
+  int pending = 0;
+  for (std::uint64_t code : codes) {
+    window |= static_cast<UInt128>(code) << (128 - k - pending);
+    pending += k;
+    while (pending >= 64) {
+      words.push_back(static_cast<Word>(window >> 64));
+      window <<= 64;
+      pending -= 64;
+    }
+  }
+  if (pending > 0) words.push_back(static_cast<Word>(window >> 64));
+  return words;
+}
+
+std::vector<std::uint64_t> UnpackCodes(const std::vector<Word>& words, int k,
+                                       std::size_t count) {
+  std::vector<std::uint64_t> codes(count);
+  UInt128 window = 0;
+  int pending = 0;
+  std::size_t next_word = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (pending < k) {
+      window |= static_cast<UInt128>(
+                    next_word < words.size() ? words[next_word] : 0)
+                << (64 - pending);
+      ++next_word;
+      pending += 64;
+    }
+    codes[i] = static_cast<std::uint64_t>(window >> (128 - k)) & LowMask(k);
+    window <<= k;
+    pending -= k;
+  }
+  return codes;
+}
+
+}  // namespace
+
+Status WriteTable(const Table& table, const std::string& path) {
+  Writer w(path);
+  if (!w.ok()) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  // Magic is outside the checksum so corrupted files fail fast on it.
+  w.Raw(kMagic, sizeof kMagic);
+  w.U64(table.num_rows());
+  w.U32(static_cast<std::uint32_t>(table.num_columns()));
+  for (const std::string& name : table.column_names()) {
+    const Table::Column& column = **table.GetColumn(name);
+    w.String(name);
+    w.U8(static_cast<std::uint8_t>(column.spec().layout));
+    w.U8(column.encoder().is_dictionary() ? 1 : 0);
+    w.U8(column.nullable() ? 1 : 0);
+    w.U8(0);
+    w.I32(column.spec().tau);
+    w.I32(column.bit_width());
+    if (column.encoder().is_dictionary()) {
+      const std::uint64_t count = column.encoder().num_codes();
+      w.U64(count);
+      for (std::uint64_t c = 0; c < count; ++c) {
+        w.I64(column.encoder().Decode(c));
+      }
+    } else {
+      w.I64(column.encoder().min_value());
+      w.I64(column.encoder().max_value());
+    }
+    const std::vector<Word> packed =
+        PackCodes(column.codes(), column.bit_width());
+    w.U64(packed.size());
+    w.Raw(packed.data(), packed.size() * sizeof(Word));
+    if (column.nullable()) {
+      const FilterBitVector dense =
+          column.validity().Reshape(kWordBits);  // canonical dense bitmap
+      w.U64(dense.num_segments());
+      w.Raw(dense.words(), dense.num_segments() * sizeof(Word));
+    }
+  }
+  w.Finish();
+  if (!w.ok()) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+StatusOr<Table> ReadTable(const std::string& path) {
+  Reader r(path);
+  if (!r.ok()) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  char magic[8];
+  r.Raw(magic, sizeof magic);
+  if (r.failed() || std::memcmp(magic, kMagic, sizeof magic) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not an ICPTBL01 file");
+  }
+  const std::uint64_t num_rows = r.U64();
+  const std::uint32_t num_columns = r.U32();
+  if (r.failed() || num_rows == 0 || num_columns == 0 ||
+      num_columns > 100000) {
+    return Status::InvalidArgument("corrupt table header");
+  }
+
+  Table table;
+  for (std::uint32_t c = 0; c < num_columns; ++c) {
+    const std::string name = r.String();
+    ColumnSpec spec;
+    const std::uint8_t layout = r.U8();
+    if (layout > 3) return Status::InvalidArgument("corrupt layout byte");
+    spec.layout = static_cast<Layout>(layout);
+    spec.dictionary = r.U8() != 0;
+    const bool nullable = r.U8() != 0;
+    r.U8();
+    spec.tau = r.I32();
+    const std::int32_t bit_width = r.I32();
+    if (r.failed() || bit_width < 1 || bit_width > 63) {
+      return Status::InvalidArgument("corrupt column header for '" + name +
+                                     "'");
+    }
+
+    ColumnEncoder encoder;
+    if (spec.dictionary) {
+      const std::uint64_t count = r.U64();
+      if (r.failed() || count == 0 || count > num_rows + (1u << 20)) {
+        return Status::InvalidArgument("corrupt dictionary for '" + name +
+                                       "'");
+      }
+      std::vector<std::int64_t> entries(count);
+      for (auto& e : entries) e = r.I64();
+      encoder = ColumnEncoder::ForDictionary(entries);
+    } else {
+      const std::int64_t lo = r.I64();
+      const std::int64_t hi = r.I64();
+      if (r.failed() || lo > hi) {
+        return Status::InvalidArgument("corrupt range for '" + name + "'");
+      }
+      encoder = ColumnEncoder::ForRangeWithWidth(lo, hi, bit_width);
+      spec.bit_width = bit_width;
+    }
+
+    const std::uint64_t word_count = r.U64();
+    const std::uint64_t expected_words =
+        CeilDiv(num_rows * static_cast<std::uint64_t>(bit_width), 64);
+    if (r.failed() || word_count != expected_words) {
+      return Status::InvalidArgument("corrupt code stream for '" + name +
+                                     "'");
+    }
+    std::vector<Word> packed(word_count);
+    r.Raw(packed.data(), packed.size() * sizeof(Word));
+    const std::vector<std::uint64_t> codes =
+        UnpackCodes(packed, bit_width, num_rows);
+
+    std::vector<std::int64_t> values(num_rows);
+    const std::uint64_t max_code = encoder.num_codes() - 1;
+    for (std::size_t i = 0; i < num_rows; ++i) {
+      if (codes[i] > max_code) {
+        return Status::InvalidArgument("code out of domain in '" + name +
+                                       "'");
+      }
+      values[i] = encoder.Decode(codes[i]);
+    }
+
+    Status status;
+    if (nullable) {
+      const std::uint64_t bitmap_words = r.U64();
+      if (r.failed() || bitmap_words != CeilDiv(num_rows, 64)) {
+        return Status::InvalidArgument("corrupt validity bitmap for '" +
+                                       name + "'");
+      }
+      FilterBitVector dense(num_rows, kWordBits);
+      r.Raw(dense.words(), bitmap_words * sizeof(Word));
+      std::vector<bool> valid(num_rows);
+      for (std::size_t i = 0; i < num_rows; ++i) valid[i] = dense.GetBit(i);
+      status = table.AddNullableColumn(name, values, valid, spec);
+    } else {
+      status = table.AddColumn(name, values, spec);
+    }
+    ICP_RETURN_IF_ERROR(status);
+  }
+  if (r.failed()) return Status::InvalidArgument("truncated file");
+  if (!r.VerifyChecksum()) {
+    return Status::InvalidArgument("checksum mismatch in '" + path + "'");
+  }
+  return table;
+}
+
+}  // namespace icp::io

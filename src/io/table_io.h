@@ -1,0 +1,40 @@
+// Table persistence: a compact binary container for bit-packed tables.
+//
+// Format ICPT, version 1 (little-endian):
+//   magic "ICPTBL01"
+//   u64 num_rows, u32 num_columns
+//   per column:
+//     u32 name length + bytes
+//     u8 layout, u8 dictionary?, u8 nullable?, u8 reserved
+//     i32 tau, i32 stored bit width
+//     encoder: range -> i64 min, i64 max
+//              dictionary -> u64 count, count * i64 sorted entries
+//     codes, bit-packed at `bit width` bits per code (u64 word count +
+//       words, MSB-first stream)
+//     validity bitmap when nullable (u64 word count + dense words)
+//   u64 FNV-1a checksum of everything after the magic
+//
+// Loading re-encodes through the regular Table::AddColumn paths, so a
+// loaded table is indistinguishable from a freshly built one (same packed
+// layouts, lazily built SIMD packings, etc.).
+
+#ifndef ICP_IO_TABLE_IO_H_
+#define ICP_IO_TABLE_IO_H_
+
+#include <string>
+
+#include "engine/table.h"
+#include "util/status.h"
+
+namespace icp::io {
+
+/// Writes the table to `path` (overwrites).
+Status WriteTable(const Table& table, const std::string& path);
+
+/// Loads a table written by WriteTable. Fails on bad magic, truncation or
+/// checksum mismatch.
+StatusOr<Table> ReadTable(const std::string& path);
+
+}  // namespace icp::io
+
+#endif  // ICP_IO_TABLE_IO_H_

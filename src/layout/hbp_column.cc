@@ -1,0 +1,74 @@
+#include "layout/hbp_column.h"
+
+namespace icp {
+
+HbpColumn HbpColumn::Pack(const std::uint64_t* codes, std::size_t n, int k,
+                          Options options) {
+  ICP_CHECK(k >= 1 && k <= kWordBits - 1);
+  const int tau = options.tau == 0 ? DefaultHbpTau(k) : options.tau;
+  ICP_CHECK(tau >= 1 && tau <= kWordBits - 1);
+  ICP_CHECK(options.lanes == 1 || options.lanes == 4);
+
+  HbpColumn col;
+  col.num_values_ = n;
+  col.k_ = k;
+  col.tau_ = tau;
+  col.lanes_ = options.lanes;
+  col.num_groups_ = static_cast<int>(CeilDiv(k, tau));
+  const int s = tau + 1;
+  col.fields_per_word_ = kWordBits / s;
+  ICP_CHECK_GE(col.fields_per_word_, 1);
+
+  const int vps = s * col.fields_per_word_;
+  const std::size_t raw_segments = CeilDiv(n, vps);
+  col.num_segments_ = CeilDiv(raw_segments, options.lanes) * options.lanes;
+  if (col.num_segments_ == 0) col.num_segments_ = options.lanes;
+
+  col.groups_.reserve(col.num_groups_);
+  for (int g = 0; g < col.num_groups_; ++g) {
+    col.groups_.emplace_back(col.num_segments_ * s);
+  }
+
+  const Word group_mask = LowMask(tau);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = codes[i];
+    ICP_DCHECK(k == kWordBits || v < (std::uint64_t{1} << k));
+    const std::size_t seg = i / vps;
+    const int r = static_cast<int>(i % vps);
+    const int t = r % s;       // sub-segment
+    const int f = r / s;       // slot (field) within the sub-segment's words
+    const int field_shift = kWordBits - (f + 1) * s;
+    for (int g = 0; g < col.num_groups_; ++g) {
+      const Word group_value = (v >> col.GroupShift(g)) & group_mask;
+      col.groups_[g][col.WordIndex(g, seg, t)] |= group_value << field_shift;
+    }
+  }
+  return col;
+}
+
+std::uint64_t HbpColumn::GetValue(std::size_t i) const {
+  ICP_DCHECK(i < num_values_);
+  const int s = field_width();
+  const int vps = values_per_segment();
+  const std::size_t seg = i / vps;
+  const int r = static_cast<int>(i % vps);
+  const int t = r % s;
+  const int f = r / s;
+  const int field_shift = kWordBits - (f + 1) * s;
+  const Word group_mask = LowMask(tau_);
+  std::uint64_t v = 0;
+  for (int g = 0; g < num_groups_; ++g) {
+    const Word group_value =
+        (groups_[g][WordIndex(g, seg, t)] >> field_shift) & group_mask;
+    v |= group_value << GroupShift(g);
+  }
+  return v;
+}
+
+std::size_t HbpColumn::MemoryBytes() const {
+  std::size_t words = 0;
+  for (const auto& group : groups_) words += group.size();
+  return words * sizeof(Word);
+}
+
+}  // namespace icp

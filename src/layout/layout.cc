@@ -1,0 +1,58 @@
+#include "layout/layout.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace icp {
+
+const char* LayoutToString(Layout layout) {
+  switch (layout) {
+    case Layout::kVbp:
+      return "VBP";
+    case Layout::kHbp:
+      return "HBP";
+    case Layout::kNaive:
+      return "Naive";
+    case Layout::kPadded:
+      return "Padded";
+  }
+  return "Unknown";
+}
+
+int DefaultVbpTau(int k) {
+  ICP_CHECK_GE(k, 1);
+  return std::min(k, 4);
+}
+
+int DefaultHbpTau(int k) {
+  ICP_CHECK_GE(k, 1);
+  ICP_CHECK_LE(k, 63);
+  // Keep 2^tau histogram bins (MEDIAN, Alg. 6) within L1/L2: tau <= 16.
+  const int max_tau = std::min(k, 16);
+  int best_tau = 1;
+  double best_cost = 1e30;
+  int best_groups = 1 << 30;
+  for (int tau = 1; tau <= max_tau; ++tau) {
+    const int s = tau + 1;
+    const int m = kWordBits / s;
+    if (m == 0) continue;
+    const int groups = static_cast<int>(CeilDiv(k, tau));
+    // Words touched per value for a full (no early stop) pass; ties broken
+    // toward fewer bit-groups (fewer per-word-group mask/cascade steps —
+    // validated empirically by bench_ablation_tau).
+    const double cost = static_cast<double>(groups) / m;
+    const bool better =
+        cost < best_cost - 1e-12 ||
+        (cost < best_cost + 1e-12 && groups < best_groups);
+    if (better) {
+      best_cost = cost;
+      best_tau = tau;
+      best_groups = groups;
+    }
+  }
+  return best_tau;
+}
+
+}  // namespace icp

@@ -1,0 +1,57 @@
+// Naive column storage: one k-bit code zero-padded into each 64-bit word
+// (the underutilized-register baseline the paper's introduction motivates).
+// Used as the reference implementation in tests and as an ablation baseline.
+
+#ifndef ICP_LAYOUT_NAIVE_COLUMN_H_
+#define ICP_LAYOUT_NAIVE_COLUMN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/aligned_buffer.h"
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace icp {
+
+class NaiveColumn {
+ public:
+  NaiveColumn() = default;
+
+  static NaiveColumn Pack(const std::uint64_t* codes, std::size_t n, int k) {
+    ICP_CHECK(k >= 1 && k <= kWordBits);
+    NaiveColumn col;
+    col.k_ = k;
+    col.values_ = WordBuffer(n == 0 ? 1 : n);
+    col.num_values_ = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      ICP_DCHECK(k == kWordBits || codes[i] < (std::uint64_t{1} << k));
+      col.values_[i] = codes[i];
+    }
+    return col;
+  }
+  static NaiveColumn Pack(const std::vector<std::uint64_t>& codes, int k) {
+    return Pack(codes.data(), codes.size(), k);
+  }
+
+  std::size_t num_values() const { return num_values_; }
+  int bit_width() const { return k_; }
+
+  std::uint64_t GetValue(std::size_t i) const {
+    ICP_DCHECK(i < num_values_);
+    return values_[i];
+  }
+  const Word* data() const { return values_.data(); }
+
+  std::size_t MemoryBytes() const { return values_.size() * sizeof(Word); }
+
+ private:
+  std::size_t num_values_ = 0;
+  int k_ = 0;
+  WordBuffer values_;
+};
+
+}  // namespace icp
+
+#endif  // ICP_LAYOUT_NAIVE_COLUMN_H_

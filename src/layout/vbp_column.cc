@@ -1,0 +1,69 @@
+#include "layout/vbp_column.h"
+
+namespace icp {
+
+VbpColumn VbpColumn::Pack(const std::uint64_t* codes, std::size_t n, int k,
+                          Options options) {
+  ICP_CHECK(k >= 1 && k <= kWordBits - 1);
+  // A bit-group wider than the value is meaningless; clamp so column specs
+  // can reuse one tau across columns of different widths.
+  int tau = options.tau == 0 ? DefaultVbpTau(k) : options.tau;
+  if (tau > k) tau = k;
+  ICP_CHECK_GE(tau, 1);
+  ICP_CHECK(options.lanes == 1 || options.lanes == 4);
+
+  VbpColumn col;
+  col.num_values_ = n;
+  col.k_ = k;
+  col.tau_ = tau;
+  col.lanes_ = options.lanes;
+  const std::size_t raw_segments = CeilDiv(n, kValuesPerSegment);
+  col.num_segments_ =
+      CeilDiv(raw_segments, options.lanes) * options.lanes;
+  // num_segments_ must be >= 1 so kernels can assume non-empty columns.
+  if (col.num_segments_ == 0) col.num_segments_ = options.lanes;
+
+  const int num_groups = static_cast<int>(CeilDiv(k, tau));
+  col.groups_.reserve(num_groups);
+  for (int g = 0; g < num_groups; ++g) {
+    const int width = g + 1 < num_groups ? tau : k - g * tau;
+    col.groups_.emplace_back(col.num_segments_ * width);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t v = codes[i];
+    ICP_DCHECK(k == kWordBits || v < (std::uint64_t{1} << k));
+    const std::size_t seg = i / kValuesPerSegment;
+    const int bit_pos = kWordBits - 1 - static_cast<int>(i % kValuesPerSegment);
+    for (int j = 0; j < k; ++j) {
+      if ((v >> (k - 1 - j)) & 1) {
+        const int g = j / tau;
+        const int jj = j - g * tau;
+        col.groups_[g][col.WordIndex(g, seg, jj)] |= Word{1} << bit_pos;
+      }
+    }
+  }
+  return col;
+}
+
+std::uint64_t VbpColumn::GetValue(std::size_t i) const {
+  ICP_DCHECK(i < num_values_);
+  const std::size_t seg = i / kValuesPerSegment;
+  const int bit_pos = kWordBits - 1 - static_cast<int>(i % kValuesPerSegment);
+  std::uint64_t v = 0;
+  for (int j = 0; j < k_; ++j) {
+    const int g = j / tau_;
+    const int jj = j - g * tau_;
+    const Word w = groups_[g][WordIndex(g, seg, jj)];
+    v |= ((w >> bit_pos) & 1) << (k_ - 1 - j);
+  }
+  return v;
+}
+
+std::size_t VbpColumn::MemoryBytes() const {
+  std::size_t words = 0;
+  for (const auto& group : groups_) words += group.size();
+  return words * sizeof(Word);
+}
+
+}  // namespace icp

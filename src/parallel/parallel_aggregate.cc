@@ -1,0 +1,315 @@
+#include "parallel/parallel_aggregate.h"
+
+#include <vector>
+
+#include "core/hbp_aggregate.h"
+#include "core/vbp_aggregate.h"
+#include "scan/hbp_scanner.h"
+#include "scan/vbp_scanner.h"
+#include "util/check.h"
+
+namespace icp::par {
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+}  // namespace
+
+std::uint64_t Count(ThreadPool& pool, const FilterBitVector& filter) {
+  std::uint64_t partial[kMaxThreads] = {};
+  ICP_CHECK_LE(pool.num_threads(), kMaxThreads);
+  const Word* words = filter.words();
+  pool.RunPerThread([&](int index) {
+    const auto [begin, end] =
+        PartitionRange(filter.num_segments(), pool.num_threads(), index);
+    std::uint64_t count = 0;
+    for (std::size_t s = begin; s < end; ++s) count += Popcount(words[s]);
+    partial[index] = count;
+  });
+  std::uint64_t total = 0;
+  for (int i = 0; i < pool.num_threads(); ++i) total += partial[i];
+  return total;
+}
+
+FilterBitVector Scan(ThreadPool& pool, const VbpColumn& column, CompareOp op,
+                     std::uint64_t c1, std::uint64_t c2) {
+  FilterBitVector out(column.num_values(), VbpColumn::kValuesPerSegment);
+  pool.ParallelFor(out.num_segments(),
+                   [&](std::size_t begin, std::size_t end) {
+                     VbpScanner::ScanRange(column, op, c1, c2, begin, end,
+                                           &out);
+                   });
+  return out;
+}
+
+FilterBitVector Scan(ThreadPool& pool, const HbpColumn& column, CompareOp op,
+                     std::uint64_t c1, std::uint64_t c2) {
+  FilterBitVector out(column.num_values(), column.values_per_segment());
+  pool.ParallelFor(out.num_segments(),
+                   [&](std::size_t begin, std::size_t end) {
+                     HbpScanner::ScanRange(column, op, c1, c2, begin, end,
+                                           &out);
+                   });
+  return out;
+}
+
+UInt128 Sum(ThreadPool& pool, const VbpColumn& column,
+            const FilterBitVector& filter) {
+  const int k = column.bit_width();
+  std::vector<std::uint64_t> bit_sums(
+      static_cast<std::size_t>(pool.num_threads()) * kWordBits, 0);
+  pool.RunPerThread([&](int index) {
+    const auto [begin, end] =
+        PartitionRange(filter.num_segments(), pool.num_threads(), index);
+    if (begin < end) {
+      vbp::AccumulateBitSums(column, filter, begin, end,
+                             bit_sums.data() + index * kWordBits);
+    }
+  });
+  for (int i = 1; i < pool.num_threads(); ++i) {
+    for (int j = 0; j < k; ++j) {
+      bit_sums[j] += bit_sums[i * kWordBits + j];
+    }
+  }
+  return vbp::CombineBitSums(bit_sums.data(), k);
+}
+
+UInt128 Sum(ThreadPool& pool, const HbpColumn& column,
+            const FilterBitVector& filter) {
+  std::vector<std::uint64_t> group_sums(
+      static_cast<std::size_t>(pool.num_threads()) * kWordBits, 0);
+  pool.RunPerThread([&](int index) {
+    const auto [begin, end] =
+        PartitionRange(filter.num_segments(), pool.num_threads(), index);
+    if (begin < end) {
+      hbp::AccumulateGroupSums(column, filter, begin, end,
+                               group_sums.data() + index * kWordBits);
+    }
+  });
+  for (int i = 1; i < pool.num_threads(); ++i) {
+    for (int g = 0; g < column.num_groups(); ++g) {
+      group_sums[g] += group_sums[i * kWordBits + g];
+    }
+  }
+  return hbp::CombineGroupSums(column, group_sums.data());
+}
+
+namespace {
+
+std::optional<std::uint64_t> ExtremeVbp(ThreadPool& pool,
+                                        const VbpColumn& column,
+                                        const FilterBitVector& filter,
+                                        bool is_min) {
+  if (Count(pool, filter) == 0) return std::nullopt;
+  const int k = column.bit_width();
+  std::vector<Word> temps(
+      static_cast<std::size_t>(pool.num_threads()) * kWordBits);
+  pool.RunPerThread([&](int index) {
+    Word* temp = temps.data() + index * kWordBits;
+    vbp::InitSlotExtreme(k, is_min, temp);
+    const auto [begin, end] =
+        PartitionRange(filter.num_segments(), pool.num_threads(), index);
+    if (begin < end) {
+      vbp::SlotExtremeRange(column, filter, begin, end, is_min, temp);
+    }
+  });
+  for (int i = 1; i < pool.num_threads(); ++i) {
+    vbp::MergeSlotExtreme(temps.data() + i * kWordBits, k, is_min,
+                          temps.data());
+  }
+  return vbp::ExtremeOfSlots(temps.data(), k, is_min);
+}
+
+std::optional<std::uint64_t> ExtremeHbp(ThreadPool& pool,
+                                        const HbpColumn& column,
+                                        const FilterBitVector& filter,
+                                        bool is_min) {
+  if (Count(pool, filter) == 0) return std::nullopt;
+  std::vector<Word> temps(
+      static_cast<std::size_t>(pool.num_threads()) * kWordBits);
+  pool.RunPerThread([&](int index) {
+    Word* temp = temps.data() + index * kWordBits;
+    hbp::InitSubSlotExtreme(column, is_min, temp);
+    const auto [begin, end] =
+        PartitionRange(filter.num_segments(), pool.num_threads(), index);
+    if (begin < end) {
+      hbp::SubSlotExtremeRange(column, filter, begin, end, is_min, temp);
+    }
+  });
+  for (int i = 1; i < pool.num_threads(); ++i) {
+    hbp::MergeSubSlotExtreme(column, temps.data() + i * kWordBits, is_min,
+                             temps.data());
+  }
+  return hbp::ExtremeOfSubSlots(column, temps.data(), is_min);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> Min(ThreadPool& pool, const VbpColumn& column,
+                                 const FilterBitVector& filter) {
+  return ExtremeVbp(pool, column, filter, /*is_min=*/true);
+}
+std::optional<std::uint64_t> Max(ThreadPool& pool, const VbpColumn& column,
+                                 const FilterBitVector& filter) {
+  return ExtremeVbp(pool, column, filter, /*is_min=*/false);
+}
+std::optional<std::uint64_t> Min(ThreadPool& pool, const HbpColumn& column,
+                                 const FilterBitVector& filter) {
+  return ExtremeHbp(pool, column, filter, /*is_min=*/true);
+}
+std::optional<std::uint64_t> Max(ThreadPool& pool, const HbpColumn& column,
+                                 const FilterBitVector& filter) {
+  return ExtremeHbp(pool, column, filter, /*is_min=*/false);
+}
+
+std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
+                                        const VbpColumn& column,
+                                        const FilterBitVector& filter,
+                                        std::uint64_t r) {
+  std::uint64_t u = Count(pool, filter);
+  if (r < 1 || r > u) return std::nullopt;
+  const std::size_t num_segments = filter.num_segments();
+  std::vector<Word> v(filter.words(), filter.words() + num_segments);
+
+  const int k = column.bit_width();
+  const int tau = column.tau();
+  std::uint64_t partial[kMaxThreads];
+  std::uint64_t result = 0;
+  for (int jb = 0; jb < k; ++jb) {
+    const int g = jb / tau;
+    const int j = jb - g * tau;
+    // Parallel popcount reduce; workers synchronize on the global counter c
+    // each iteration (the contention the paper attributes to VBP-MEDIAN).
+    pool.RunPerThread([&](int index) {
+      const auto [begin, end] =
+          PartitionRange(num_segments, pool.num_threads(), index);
+      partial[index] =
+          begin < end
+              ? vbp::CountCandidateBit(column, v.data(), begin, end, g, j)
+              : 0;
+    });
+    std::uint64_t c = 0;
+    for (int i = 0; i < pool.num_threads(); ++i) c += partial[i];
+    const bool bit_is_one = u - c < r;
+    if (bit_is_one) {
+      result |= std::uint64_t{1} << (k - 1 - jb);
+      r -= u - c;
+      u = c;
+    } else {
+      u -= c;
+    }
+    pool.ParallelFor(num_segments, [&](std::size_t begin, std::size_t end) {
+      vbp::UpdateCandidates(column, v.data(), begin, end, g, j, bit_is_one);
+    });
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
+                                        const HbpColumn& column,
+                                        const FilterBitVector& filter,
+                                        std::uint64_t r) {
+  const std::uint64_t u = Count(pool, filter);
+  if (r < 1 || r > u) return std::nullopt;
+  const std::size_t num_segments = filter.num_segments();
+  std::vector<Word> v(filter.words(), filter.words() + num_segments);
+  const std::size_t bins = std::size_t{1} << column.tau();
+  std::vector<std::uint64_t> hists(
+      static_cast<std::size_t>(pool.num_threads()) * bins);
+
+  std::uint64_t result = 0;
+  for (int g = 0; g < column.num_groups(); ++g) {
+    std::fill(hists.begin(), hists.end(), 0);
+    pool.RunPerThread([&](int index) {
+      const auto [begin, end] =
+          PartitionRange(num_segments, pool.num_threads(), index);
+      if (begin < end) {
+        hbp::BuildGroupHistogram(column, v.data(), begin, end, g,
+                                 hists.data() + index * bins);
+      }
+    });
+    for (int i = 1; i < pool.num_threads(); ++i) {
+      for (std::size_t b = 0; b < bins; ++b) {
+        hists[b] += hists[i * bins + b];
+      }
+    }
+    std::uint64_t cum = 0;
+    std::uint64_t bin = 0;
+    while (cum + hists[bin] < r) {
+      cum += hists[bin];
+      ++bin;
+    }
+    r -= cum;
+    result |= bin << column.GroupShift(g);
+    if (g + 1 < column.num_groups()) {
+      pool.ParallelFor(num_segments,
+                       [&](std::size_t begin, std::size_t end) {
+                         hbp::NarrowCandidates(column, v.data(), begin, end,
+                                               g, bin);
+                       });
+    }
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> Median(ThreadPool& pool, const VbpColumn& column,
+                                    const FilterBitVector& filter) {
+  const std::uint64_t count = Count(pool, filter);
+  if (count == 0) return std::nullopt;
+  return RankSelect(pool, column, filter, LowerMedianRank(count));
+}
+
+std::optional<std::uint64_t> Median(ThreadPool& pool, const HbpColumn& column,
+                                    const FilterBitVector& filter) {
+  const std::uint64_t count = Count(pool, filter);
+  if (count == 0) return std::nullopt;
+  return RankSelect(pool, column, filter, LowerMedianRank(count));
+}
+
+namespace {
+
+template <typename ColumnT>
+AggregateResult AggregateImpl(ThreadPool& pool, const ColumnT& column,
+                              const FilterBitVector& filter, AggKind kind,
+                              std::uint64_t rank) {
+  AggregateResult result;
+  result.kind = kind;
+  result.count = Count(pool, filter);
+  switch (kind) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      result.sum = Sum(pool, column, filter);
+      break;
+    case AggKind::kMin:
+      result.value = Min(pool, column, filter);
+      break;
+    case AggKind::kMax:
+      result.value = Max(pool, column, filter);
+      break;
+    case AggKind::kMedian:
+      result.value = Median(pool, column, filter);
+      break;
+    case AggKind::kRank:
+      result.value = RankSelect(pool, column, filter, rank);
+      break;
+  }
+  return result;
+}
+
+}  // namespace
+
+AggregateResult Aggregate(ThreadPool& pool, const VbpColumn& column,
+                          const FilterBitVector& filter, AggKind kind,
+                          std::uint64_t rank) {
+  return AggregateImpl(pool, column, filter, kind, rank);
+}
+
+AggregateResult Aggregate(ThreadPool& pool, const HbpColumn& column,
+                          const FilterBitVector& filter, AggKind kind,
+                          std::uint64_t rank) {
+  return AggregateImpl(pool, column, filter, kind, rank);
+}
+
+}  // namespace icp::par

@@ -1,0 +1,79 @@
+// Multi-threaded drivers for the bit-parallel scans and aggregates
+// (paper Section IV-B).
+//
+// The column's segments are statically partitioned into one contiguous range
+// per worker; each worker runs the single-threaded Range kernel on its
+// partition and partial states are merged on the calling thread:
+//   SUM    — per-thread bSum / group-sum arrays, added together;
+//   MIN/MAX — per-thread running extreme segments, folded with SLOTMIN;
+//   MEDIAN — the bit/bit-group loop is inherently global: every iteration
+//            runs one parallel popcount/histogram reduction and one parallel
+//            candidate update, synchronizing on the shared counter exactly
+//            as the paper notes for Algorithm 3's line 8;
+//   COUNT  — parallel popcount.
+
+#ifndef ICP_PARALLEL_PARALLEL_AGGREGATE_H_
+#define ICP_PARALLEL_PARALLEL_AGGREGATE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/aggregate.h"
+#include "layout/hbp_column.h"
+#include "layout/vbp_column.h"
+#include "parallel/thread_pool.h"
+#include "scan/predicate.h"
+
+namespace icp::par {
+
+/// Parallel COUNT: popcount of the filter, partitioned across workers.
+std::uint64_t Count(ThreadPool& pool, const FilterBitVector& filter);
+
+/// Parallel bit-parallel filter scans.
+FilterBitVector Scan(ThreadPool& pool, const VbpColumn& column, CompareOp op,
+                     std::uint64_t c1, std::uint64_t c2 = 0);
+FilterBitVector Scan(ThreadPool& pool, const HbpColumn& column, CompareOp op,
+                     std::uint64_t c1, std::uint64_t c2 = 0);
+
+/// Parallel SUM.
+UInt128 Sum(ThreadPool& pool, const VbpColumn& column,
+            const FilterBitVector& filter);
+UInt128 Sum(ThreadPool& pool, const HbpColumn& column,
+            const FilterBitVector& filter);
+
+/// Parallel MIN / MAX.
+std::optional<std::uint64_t> Min(ThreadPool& pool, const VbpColumn& column,
+                                 const FilterBitVector& filter);
+std::optional<std::uint64_t> Max(ThreadPool& pool, const VbpColumn& column,
+                                 const FilterBitVector& filter);
+std::optional<std::uint64_t> Min(ThreadPool& pool, const HbpColumn& column,
+                                 const FilterBitVector& filter);
+std::optional<std::uint64_t> Max(ThreadPool& pool, const HbpColumn& column,
+                                 const FilterBitVector& filter);
+
+/// Parallel r-selection / MEDIAN.
+std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
+                                        const VbpColumn& column,
+                                        const FilterBitVector& filter,
+                                        std::uint64_t r);
+std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
+                                        const HbpColumn& column,
+                                        const FilterBitVector& filter,
+                                        std::uint64_t r);
+std::optional<std::uint64_t> Median(ThreadPool& pool, const VbpColumn& column,
+                                    const FilterBitVector& filter);
+std::optional<std::uint64_t> Median(ThreadPool& pool, const HbpColumn& column,
+                                    const FilterBitVector& filter);
+
+/// Convenience dispatcher mirroring vbp::Aggregate / hbp::Aggregate.
+AggregateResult Aggregate(ThreadPool& pool, const VbpColumn& column,
+                          const FilterBitVector& filter, AggKind kind,
+                          std::uint64_t rank = 0);
+AggregateResult Aggregate(ThreadPool& pool, const HbpColumn& column,
+                          const FilterBitVector& filter, AggKind kind,
+                          std::uint64_t rank = 0);
+
+}  // namespace icp::par
+
+#endif  // ICP_PARALLEL_PARALLEL_AGGREGATE_H_

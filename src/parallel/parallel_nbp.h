@@ -1,0 +1,142 @@
+// Multi-threaded driver for the NBP (reconstruct-then-aggregate) baseline,
+// so the Table II comparison runs both methods under the same thread budget.
+// Workers reconstruct the passing tuples of their segment partition; SUM/
+// MIN/MAX merge scalars, MEDIAN concatenates the per-thread value buffers
+// and selects the rank.
+
+#ifndef ICP_PARALLEL_PARALLEL_NBP_H_
+#define ICP_PARALLEL_PARALLEL_NBP_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/aggregate.h"
+#include "core/nbp_aggregate.h"
+#include "parallel/thread_pool.h"
+#include "util/bits.h"
+
+namespace icp::par_nbp {
+
+template <typename ColumnT>
+UInt128 Sum(ThreadPool& pool, const ColumnT& column,
+            const FilterBitVector& filter) {
+  std::vector<UInt128> partial(pool.num_threads(), 0);
+  pool.RunPerThread([&](int index) {
+    const auto [begin, end] =
+        PartitionRange(filter.num_segments(), pool.num_threads(), index);
+    UInt128 sum = 0;
+    nbp::ForEachPassingRange(column, filter, begin, end,
+                             [&](std::uint64_t v) { sum += v; });
+    partial[index] = sum;
+  });
+  UInt128 total = 0;
+  for (const UInt128& p : partial) total += p;
+  return total;
+}
+
+template <typename ColumnT>
+std::optional<std::uint64_t> Extreme(ThreadPool& pool, const ColumnT& column,
+                                     const FilterBitVector& filter,
+                                     bool is_min) {
+  std::vector<std::optional<std::uint64_t>> partial(pool.num_threads());
+  pool.RunPerThread([&](int index) {
+    const auto [begin, end] =
+        PartitionRange(filter.num_segments(), pool.num_threads(), index);
+    std::optional<std::uint64_t> best;
+    nbp::ForEachPassingRange(column, filter, begin, end,
+                             [&](std::uint64_t v) {
+                               if (!best.has_value() ||
+                                   (is_min ? v < *best : v > *best)) {
+                                 best = v;
+                               }
+                             });
+    partial[index] = best;
+  });
+  std::optional<std::uint64_t> best;
+  for (const auto& p : partial) {
+    if (!p.has_value()) continue;
+    if (!best.has_value() || (is_min ? *p < *best : *p > *best)) best = p;
+  }
+  return best;
+}
+
+template <typename ColumnT>
+std::optional<std::uint64_t> Min(ThreadPool& pool, const ColumnT& column,
+                                 const FilterBitVector& filter) {
+  return Extreme(pool, column, filter, /*is_min=*/true);
+}
+
+template <typename ColumnT>
+std::optional<std::uint64_t> Max(ThreadPool& pool, const ColumnT& column,
+                                 const FilterBitVector& filter) {
+  return Extreme(pool, column, filter, /*is_min=*/false);
+}
+
+template <typename ColumnT>
+std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
+                                        const ColumnT& column,
+                                        const FilterBitVector& filter,
+                                        std::uint64_t r) {
+  const std::uint64_t count = filter.CountOnes();
+  if (r < 1 || r > count) return std::nullopt;
+  std::vector<std::vector<std::uint64_t>> partial(pool.num_threads());
+  pool.RunPerThread([&](int index) {
+    const auto [begin, end] =
+        PartitionRange(filter.num_segments(), pool.num_threads(), index);
+    nbp::ForEachPassingRange(
+        column, filter, begin, end,
+        [&](std::uint64_t v) { partial[index].push_back(v); });
+  });
+  std::vector<std::uint64_t> values;
+  values.reserve(count);
+  for (auto& p : partial) {
+    values.insert(values.end(), p.begin(), p.end());
+  }
+  auto nth = values.begin() + static_cast<std::ptrdiff_t>(r - 1);
+  std::nth_element(values.begin(), nth, values.end());
+  return *nth;
+}
+
+template <typename ColumnT>
+std::optional<std::uint64_t> Median(ThreadPool& pool, const ColumnT& column,
+                                    const FilterBitVector& filter) {
+  return RankSelect(pool, column, filter,
+                    LowerMedianRank(filter.CountOnes()));
+}
+
+template <typename ColumnT>
+AggregateResult Aggregate(ThreadPool& pool, const ColumnT& column,
+                          const FilterBitVector& filter, AggKind kind,
+                          std::uint64_t rank = 0) {
+  AggregateResult result;
+  result.kind = kind;
+  result.count = filter.CountOnes();
+  switch (kind) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      result.sum = Sum(pool, column, filter);
+      break;
+    case AggKind::kMin:
+      result.value = Min(pool, column, filter);
+      break;
+    case AggKind::kMax:
+      result.value = Max(pool, column, filter);
+      break;
+    case AggKind::kMedian:
+      result.value = Median(pool, column, filter);
+      break;
+    case AggKind::kRank:
+      result.value = RankSelect(pool, column, filter, rank);
+      break;
+  }
+  return result;
+}
+
+}  // namespace icp::par_nbp
+
+#endif  // ICP_PARALLEL_PARALLEL_NBP_H_

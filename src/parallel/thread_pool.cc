@@ -1,0 +1,72 @@
+#include "parallel/thread_pool.h"
+
+namespace icp {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  ICP_CHECK_GE(num_threads, 1);
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::RunPerThread(const std::function<void(int)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &fn;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  fn(0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    task_ = nullptr;
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t total,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  RunPerThread([&](int index) {
+    const auto [begin, end] = PartitionRange(total, num_threads_, index);
+    if (begin < end) fn(begin, end);
+  });
+}
+
+}  // namespace icp

@@ -1,0 +1,77 @@
+// Minimal persistent thread pool for data-parallel aggregation.
+//
+// The paper's multi-threaded configuration pins one worker per physical core
+// and partitions the column's segments across workers (Section IV-B). The
+// iterative algorithms (MEDIAN) dispatch one parallel region per bit
+// iteration, so the pool keeps its workers alive between regions instead of
+// spawning threads per call.
+
+#ifndef ICP_PARALLEL_THREAD_POOL_H_
+#define ICP_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace icp {
+
+class ThreadPool {
+ public:
+  /// Creates `num_threads` persistent workers (>= 1). Worker 0 is the
+  /// calling thread itself, so a pool of 1 adds no threads.
+  explicit ThreadPool(int num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(thread_index) for thread_index in [0, num_threads) and blocks
+  /// until every invocation returns. fn runs on the calling thread for
+  /// index 0. Not reentrant.
+  void RunPerThread(const std::function<void(int)>& fn);
+
+  /// Convenience: statically partitions [0, total) into num_threads
+  /// contiguous chunks and runs fn(begin, end) per worker (empty chunks are
+  /// skipped).
+  void ParallelFor(std::size_t total,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void WorkerLoop(int index);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* task_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+};
+
+/// The begin/end of chunk `index` when splitting `total` items
+/// into `parts` contiguous chunks as evenly as possible.
+inline std::pair<std::size_t, std::size_t> PartitionRange(std::size_t total,
+                                                          int parts,
+                                                          int index) {
+  ICP_DCHECK(parts >= 1 && index >= 0 && index < parts);
+  const std::size_t base = total / parts;
+  const std::size_t extra = total % parts;
+  const std::size_t idx = static_cast<std::size_t>(index);
+  const std::size_t begin = idx * base + (idx < extra ? idx : extra);
+  return {begin, begin + base + (idx < extra ? 1 : 0)};
+}
+
+}  // namespace icp
+
+#endif  // ICP_PARALLEL_THREAD_POOL_H_

@@ -1,0 +1,197 @@
+#include "scan/hbp_scanner.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace icp {
+namespace {
+
+// Per-sub-segment comparison state in delimiter space.
+struct FieldCompareState {
+  Word eq;
+  Word lt = 0;
+  Word gt = 0;
+
+  FieldCompareState() : eq(0) {}
+  explicit FieldCompareState(Word delimiter_mask) : eq(delimiter_mask) {}
+
+  // One most-significant-group-first cascade step: `x` is the sub-segment's
+  // word in the current word-group, `c` the constant's packed group value.
+  void Step(Word x, Word c, Word md) {
+    const Word ge = hbp::FieldGe(x, c, md);
+    const Word le = hbp::FieldGe(c, x, md);
+    lt |= eq & (ge ^ md);
+    gt |= eq & (le ^ md);
+    eq &= ge & le;
+  }
+};
+
+Word ResultWord(CompareOp op, Word md, const FieldCompareState& a,
+                const FieldCompareState& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a.eq;
+    case CompareOp::kNe:
+      return md ^ a.eq;
+    case CompareOp::kLt:
+      return a.lt;
+    case CompareOp::kLe:
+      return a.lt | a.eq;
+    case CompareOp::kGt:
+      return a.gt;
+    case CompareOp::kGe:
+      return a.gt | a.eq;
+    case CompareOp::kBetween:
+      return (a.gt | a.eq) & (b.lt | b.eq);
+  }
+  return 0;
+}
+
+// Evaluates one segment: runs the cascade for all sub-segments and returns
+// the assembled (unmasked) filter word. `a`/`b` are scratch state arrays of
+// at least `s` entries.
+Word CompareSegment(const HbpColumn& column, std::size_t seg, CompareOp op,
+                    const Word* c1_packed, const Word* c2_packed, bool dual,
+                    Word md, FieldCompareState* a, FieldCompareState* b,
+                    ScanStats* stats) {
+  const int s = column.field_width();
+  const int num_groups = column.num_groups();
+  for (int t = 0; t < s; ++t) {
+    a[t] = FieldCompareState(md);
+    b[t] = FieldCompareState(md);
+  }
+  ++stats->segments_processed;
+  for (int g = 0; g < num_groups; ++g) {
+    const Word* base = column.GroupData(g) + seg * s;
+    Word any_eq = 0;
+    for (int t = 0; t < s; ++t) {
+      const Word x = base[t];
+      a[t].Step(x, c1_packed[g], md);
+      any_eq |= a[t].eq;
+      if (dual) {
+        b[t].Step(x, c2_packed[g], md);
+        any_eq |= b[t].eq;
+      }
+    }
+    stats->words_examined += s;
+    if (any_eq == 0 && g + 1 < num_groups) {
+      ++stats->segments_early_stopped;
+      break;
+    }
+  }
+  Word filter = 0;
+  for (int t = 0; t < s; ++t) {
+    filter |= ResultWord(op, md, a[t], b[t]) >> t;
+  }
+  return filter;
+}
+
+}  // namespace
+
+FilterBitVector HbpScanner::Scan(const HbpColumn& column, CompareOp op,
+                                 std::uint64_t c1, std::uint64_t c2,
+                                 ScanStats* stats) {
+  FilterBitVector out(column.num_values(), column.values_per_segment());
+  ScanRange(column, op, c1, c2, 0, out.num_segments(), &out, stats);
+  return out;
+}
+
+void HbpScanner::ScanRange(const HbpColumn& column, CompareOp op,
+                           std::uint64_t c1, std::uint64_t c2,
+                           std::size_t seg_begin, std::size_t seg_end,
+                           FilterBitVector* out, ScanStats* stats) {
+  ICP_CHECK_EQ(column.lanes(), 1);
+  ICP_CHECK_EQ(out->values_per_segment(), column.values_per_segment());
+  ICP_CHECK_LE(seg_end, out->num_segments());
+  const int k = column.bit_width();
+  const int tau = column.tau();
+  const int s = column.field_width();
+  const int num_groups = column.num_groups();
+  const Word md = DelimiterMask(s);
+
+  bool all = false;
+  if (ScanIsDegenerate(k, op, c1, &c2, &all)) {
+    for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+      out->SetSegmentWord(seg, all ? out->ValidMask(seg) : 0);
+    }
+    return;
+  }
+
+  const bool dual = op == CompareOp::kBetween;
+  // Packed per-group constants (the paper's word W_c, one per word-group).
+  std::array<Word, kWordBits> c1_packed{};
+  std::array<Word, kWordBits> c2_packed{};
+  const Word group_mask = LowMask(tau);
+  for (int g = 0; g < num_groups; ++g) {
+    const int shift = column.GroupShift(g);
+    c1_packed[g] = RepeatField((c1 >> shift) & group_mask, s);
+    c2_packed[g] = RepeatField((c2 >> shift) & group_mask, s);
+  }
+
+  // Per-sub-segment state (s <= 64).
+  std::array<FieldCompareState, kWordBits> a{};
+  std::array<FieldCompareState, kWordBits> b{};
+
+  ScanStats local;
+  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+    const Word filter =
+        CompareSegment(column, seg, op, c1_packed.data(), c2_packed.data(),
+                       dual, md, a.data(), b.data(), &local);
+    out->SetSegmentWord(seg, filter & out->ValidMask(seg));
+  }
+  if (stats != nullptr) {
+    stats->words_examined += local.words_examined;
+    stats->segments_processed += local.segments_processed;
+    stats->segments_early_stopped += local.segments_early_stopped;
+  }
+}
+
+FilterBitVector HbpScanner::ScanAnd(const HbpColumn& column, CompareOp op,
+                                    std::uint64_t c1, std::uint64_t c2,
+                                    const FilterBitVector& prior,
+                                    ScanStats* stats) {
+  ICP_CHECK_EQ(column.lanes(), 1);
+  ICP_CHECK_EQ(prior.num_values(), column.num_values());
+  ICP_CHECK_EQ(prior.values_per_segment(), column.values_per_segment());
+  FilterBitVector out(column.num_values(), column.values_per_segment());
+  const int k = column.bit_width();
+  const int tau = column.tau();
+  const int s = column.field_width();
+  const Word md = DelimiterMask(s);
+
+  bool all = false;
+  if (ScanIsDegenerate(k, op, c1, &c2, &all)) {
+    if (all) out = prior;
+    return out;
+  }
+  const bool dual = op == CompareOp::kBetween;
+  const Word group_mask = LowMask(tau);
+  std::array<Word, kWordBits> c1_packed{};
+  std::array<Word, kWordBits> c2_packed{};
+  for (int g = 0; g < column.num_groups(); ++g) {
+    const int shift = column.GroupShift(g);
+    c1_packed[g] = RepeatField((c1 >> shift) & group_mask, s);
+    c2_packed[g] = RepeatField((c2 >> shift) & group_mask, s);
+  }
+  std::array<FieldCompareState, kWordBits> a{};
+  std::array<FieldCompareState, kWordBits> b{};
+
+  ScanStats local;
+  for (std::size_t seg = 0; seg < out.num_segments(); ++seg) {
+    const Word p = prior.SegmentWord(seg);
+    if (p == 0) continue;  // segment already empty: skip its words entirely
+    const Word filter =
+        CompareSegment(column, seg, op, c1_packed.data(), c2_packed.data(),
+                       dual, md, a.data(), b.data(), &local);
+    out.SetSegmentWord(seg, filter & p);
+  }
+  if (stats != nullptr) {
+    stats->words_examined += local.words_examined;
+    stats->segments_processed += local.segments_processed;
+    stats->segments_early_stopped += local.segments_early_stopped;
+  }
+  return out;
+}
+
+}  // namespace icp

@@ -1,0 +1,65 @@
+// Bit-parallel filter scan over HBP columns (the substrate from [2]).
+//
+// Per-word field comparisons use the Lamport delimiter-borrow trick: with
+// delimiter mask Md and both operands' delimiter bits 0,
+//     GE(X, C) = ((X | Md) - C) & Md
+// has the delimiter bit of each field set iff that field of X is >= the
+// corresponding field of C (the borrow of the per-field subtraction is
+// absorbed by the delimiter, never crossing into the next field). From it:
+//     LT = GE ^ Md,  LE(X, C) = GE(C, X),  GT = LE ^ Md,  EQ = GE & LE.
+// With bit-groups, the comparison cascades across word-groups from the most
+// significant group down, maintaining per-sub-segment (eq, lt, gt) masks and
+// early-stopping when every field is decided.
+//
+// The segment's filter word is assembled by OR-ing each sub-segment's
+// delimiter-space result shifted right by its sub-segment index t
+// (column-first packing makes the shift amounts line up; paper Fig. 3b).
+
+#ifndef ICP_SCAN_HBP_SCANNER_H_
+#define ICP_SCAN_HBP_SCANNER_H_
+
+#include <cstdint>
+
+#include "bitvector/filter_bit_vector.h"
+#include "layout/hbp_column.h"
+#include "scan/predicate.h"
+
+namespace icp {
+
+class HbpScanner {
+ public:
+  /// Evaluates `column <op> c1` (or BETWEEN [c1, c2]) and returns the filter
+  /// bit vector (values_per_segment == column.values_per_segment()).
+  /// Works on lanes == 1 columns; use the simd kernels for lanes == 4.
+  static FilterBitVector Scan(const HbpColumn& column, CompareOp op,
+                              std::uint64_t c1, std::uint64_t c2 = 0,
+                              ScanStats* stats = nullptr);
+
+  /// Scan restricted to [seg_begin, seg_end) segments (multi-threading).
+  static void ScanRange(const HbpColumn& column, CompareOp op,
+                        std::uint64_t c1, std::uint64_t c2,
+                        std::size_t seg_begin, std::size_t seg_end,
+                        FilterBitVector* out, ScanStats* stats = nullptr);
+
+  /// Progressive conjunctive scan (Section II-E): returns `prior AND
+  /// (column <op> c)`, skipping segments `prior` already emptied.
+  static FilterBitVector ScanAnd(const HbpColumn& column, CompareOp op,
+                                 std::uint64_t c1, std::uint64_t c2,
+                                 const FilterBitVector& prior,
+                                 ScanStats* stats = nullptr);
+};
+
+namespace hbp {
+
+/// Per-field X >= C in delimiter space. Both operands must have all
+/// delimiter bits clear. Exposed for reuse by the aggregation kernels
+/// (SUB-SLOTMIN) and tests.
+inline Word FieldGe(Word x, Word c, Word delimiter_mask) {
+  return ((x | delimiter_mask) - c) & delimiter_mask;
+}
+
+}  // namespace hbp
+
+}  // namespace icp
+
+#endif  // ICP_SCAN_HBP_SCANNER_H_

@@ -1,0 +1,34 @@
+// Scalar reference scan over the naive layout: evaluates the predicate one
+// value at a time. Serves as the correctness oracle for the bit-parallel
+// scanners and as the no-intra-cycle-parallelism baseline in ablations.
+
+#ifndef ICP_SCAN_NAIVE_SCANNER_H_
+#define ICP_SCAN_NAIVE_SCANNER_H_
+
+#include <cstdint>
+
+#include "bitvector/filter_bit_vector.h"
+#include "layout/naive_column.h"
+#include "scan/predicate.h"
+
+namespace icp {
+
+class NaiveScanner {
+ public:
+  /// Evaluates `column <op> c1` (or BETWEEN [c1, c2]); the result uses
+  /// `values_per_segment` so it can be compared/combined with a bit-parallel
+  /// scan's output directly.
+  static FilterBitVector Scan(const NaiveColumn& column, CompareOp op,
+                              std::uint64_t c1, std::uint64_t c2 = 0,
+                              int values_per_segment = kWordBits) {
+    FilterBitVector out(column.num_values(), values_per_segment);
+    for (std::size_t i = 0; i < column.num_values(); ++i) {
+      if (EvalCompare(column.GetValue(i), op, c1, c2)) out.SetBit(i, true);
+    }
+    return out;
+  }
+};
+
+}  // namespace icp
+
+#endif  // ICP_SCAN_NAIVE_SCANNER_H_

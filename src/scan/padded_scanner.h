@@ -1,0 +1,103 @@
+// Filter scan over the padded layout: a typed comparison loop per element
+// width, written so the compiler auto-vectorizes it (the industrial
+// baseline the padded layout exists to represent). Produces the same
+// MSB-first 64-values-per-segment filter words as the VBP scan.
+
+#ifndef ICP_SCAN_PADDED_SCANNER_H_
+#define ICP_SCAN_PADDED_SCANNER_H_
+
+#include <cstdint>
+
+#include "bitvector/filter_bit_vector.h"
+#include "layout/padded_column.h"
+#include "scan/predicate.h"
+
+namespace icp {
+
+class PaddedScanner {
+ public:
+  static FilterBitVector Scan(const PaddedColumn& column, CompareOp op,
+                              std::uint64_t c1, std::uint64_t c2 = 0) {
+    FilterBitVector out(column.num_values(), kWordBits);
+    bool all = false;
+    if (ScanIsDegenerate(column.bit_width(), op, c1, &c2, &all)) {
+      if (all) out.SetAll();
+      return out;
+    }
+    switch (column.element_bits()) {
+      case 8:
+        ScanTyped<std::uint8_t>(column, op, c1, c2, &out);
+        break;
+      case 16:
+        ScanTyped<std::uint16_t>(column, op, c1, c2, &out);
+        break;
+      case 32:
+        ScanTyped<std::uint32_t>(column, op, c1, c2, &out);
+        break;
+      default:
+        ScanTyped<std::uint64_t>(column, op, c1, c2, &out);
+        break;
+    }
+    return out;
+  }
+
+ private:
+  template <typename T>
+  static void ScanTyped(const PaddedColumn& column, CompareOp op,
+                        std::uint64_t c1, std::uint64_t c2,
+                        FilterBitVector* out) {
+    const T* data = column.As<T>();
+    const std::size_t n = column.num_values();
+    const T lo = static_cast<T>(c1);
+    const T hi = static_cast<T>(c2);
+    Word* words = out->words();
+    for (std::size_t seg = 0; seg < out->num_segments(); ++seg) {
+      const std::size_t begin = seg * kWordBits;
+      const std::size_t end = begin + kWordBits < n ? begin + kWordBits : n;
+      Word w = 0;
+      switch (op) {
+        case CompareOp::kEq:
+          for (std::size_t i = begin; i < end; ++i) {
+            w |= static_cast<Word>(data[i] == lo) << (63 - (i - begin));
+          }
+          break;
+        case CompareOp::kNe:
+          for (std::size_t i = begin; i < end; ++i) {
+            w |= static_cast<Word>(data[i] != lo) << (63 - (i - begin));
+          }
+          break;
+        case CompareOp::kLt:
+          for (std::size_t i = begin; i < end; ++i) {
+            w |= static_cast<Word>(data[i] < lo) << (63 - (i - begin));
+          }
+          break;
+        case CompareOp::kLe:
+          for (std::size_t i = begin; i < end; ++i) {
+            w |= static_cast<Word>(data[i] <= lo) << (63 - (i - begin));
+          }
+          break;
+        case CompareOp::kGt:
+          for (std::size_t i = begin; i < end; ++i) {
+            w |= static_cast<Word>(data[i] > lo) << (63 - (i - begin));
+          }
+          break;
+        case CompareOp::kGe:
+          for (std::size_t i = begin; i < end; ++i) {
+            w |= static_cast<Word>(data[i] >= lo) << (63 - (i - begin));
+          }
+          break;
+        case CompareOp::kBetween:
+          for (std::size_t i = begin; i < end; ++i) {
+            w |= static_cast<Word>(data[i] >= lo && data[i] <= hi)
+                 << (63 - (i - begin));
+          }
+          break;
+      }
+      words[seg] = w;
+    }
+  }
+};
+
+}  // namespace icp
+
+#endif  // ICP_SCAN_PADDED_SCANNER_H_

@@ -1,0 +1,52 @@
+#include "scan/predicate.h"
+
+namespace icp {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kBetween:
+      return "BETWEEN";
+  }
+  return "?";
+}
+
+bool ScanIsDegenerate(int k, CompareOp op, std::uint64_t c1, std::uint64_t* c2,
+                      bool* all_pass) {
+  if (k >= 64) return false;
+  const std::uint64_t limit = std::uint64_t{1} << k;
+  switch (op) {
+    case CompareOp::kEq:
+      if (c1 >= limit) return *all_pass = false, true;
+      return false;
+    case CompareOp::kNe:
+      if (c1 >= limit) return *all_pass = true, true;
+      return false;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      if (c1 >= limit) return *all_pass = true, true;
+      return false;
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      if (c1 >= limit) return *all_pass = false, true;
+      return false;
+    case CompareOp::kBetween:
+      if (c1 >= limit || c1 > *c2) return *all_pass = false, true;
+      if (*c2 >= limit) *c2 = limit - 1;
+      return false;
+  }
+  return false;
+}
+
+}  // namespace icp

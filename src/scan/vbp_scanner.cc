@@ -1,0 +1,171 @@
+#include "scan/vbp_scanner.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace icp {
+namespace {
+
+// Per-segment comparison state against one constant.
+struct CompareState {
+  Word eq = ~Word{0};
+  Word lt = 0;
+  Word gt = 0;
+
+  // One MSB-to-LSB step: `x` is the data word for the current bit, `c_bit`
+  // the constant's bit.
+  void Step(Word x, bool c_bit) {
+    if (c_bit) {
+      lt |= eq & ~x;
+      eq &= x;
+    } else {
+      gt |= eq & x;
+      eq &= ~x;
+    }
+  }
+};
+
+// Result word for a fully-compared segment.
+Word ResultWord(CompareOp op, const CompareState& a, const CompareState& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a.eq;
+    case CompareOp::kNe:
+      return ~a.eq;
+    case CompareOp::kLt:
+      return a.lt;
+    case CompareOp::kLe:
+      return a.lt | a.eq;
+    case CompareOp::kGt:
+      return a.gt;
+    case CompareOp::kGe:
+      return a.gt | a.eq;
+    case CompareOp::kBetween:
+      // v >= c1 && v <= c2.
+      return (a.gt | a.eq) & (b.lt | b.eq);
+  }
+  return 0;
+}
+
+// Evaluates one segment, returning the (unmasked) result word.
+Word CompareSegment(const VbpColumn& column, std::size_t seg, CompareOp op,
+                    const bool* c1_bits, const bool* c2_bits, bool dual,
+                    ScanStats* stats) {
+  const int tau = column.tau();
+  const int num_groups = column.num_groups();
+  CompareState a;
+  CompareState b;
+  ++stats->segments_processed;
+  for (int g = 0; g < num_groups; ++g) {
+    const int width = column.GroupWidth(g);
+    const Word* base = column.GroupData(g) + seg * width;
+    for (int j = 0; j < width; ++j) {
+      const Word x = base[j];
+      const int jb = g * tau + j;
+      a.Step(x, c1_bits[jb]);
+      if (dual) b.Step(x, c2_bits[jb]);
+    }
+    stats->words_examined += width;
+    if ((a.eq | (dual ? b.eq : Word{0})) == 0 && g + 1 < num_groups) {
+      ++stats->segments_early_stopped;
+      break;
+    }
+  }
+  return ResultWord(op, a, b);
+}
+
+}  // namespace
+
+FilterBitVector VbpScanner::Scan(const VbpColumn& column, CompareOp op,
+                                 std::uint64_t c1, std::uint64_t c2,
+                                 ScanStats* stats) {
+  FilterBitVector out(column.num_values(), VbpColumn::kValuesPerSegment);
+  ScanRange(column, op, c1, c2, 0, out.num_segments(), &out, stats);
+  return out;
+}
+
+void VbpScanner::ScanRange(const VbpColumn& column, CompareOp op,
+                           std::uint64_t c1, std::uint64_t c2,
+                           std::size_t seg_begin, std::size_t seg_end,
+                           FilterBitVector* out, ScanStats* stats) {
+  ICP_CHECK_EQ(column.lanes(), 1);
+  ICP_CHECK_EQ(out->values_per_segment(), VbpColumn::kValuesPerSegment);
+  ICP_CHECK_LE(seg_end, out->num_segments());
+  const int k = column.bit_width();
+
+  bool all = false;
+  if (ScanIsDegenerate(k, op, c1, &c2, &all)) {
+    for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+      out->SetSegmentWord(seg, all ? out->ValidMask(seg) : 0);
+    }
+    return;
+  }
+
+  const bool dual = op == CompareOp::kBetween;
+  // Constant bits, MSB first (index j = 0 is the value's most significant
+  // bit), for both constants.
+  std::array<bool, kWordBits> c1_bits{};
+  std::array<bool, kWordBits> c2_bits{};
+  for (int j = 0; j < k; ++j) {
+    c1_bits[j] = (c1 >> (k - 1 - j)) & 1;
+    c2_bits[j] = (c2 >> (k - 1 - j)) & 1;
+  }
+
+  ScanStats local;
+  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
+    out->SetSegmentWord(
+        seg, CompareSegment(column, seg, op, c1_bits.data(), c2_bits.data(),
+                            dual, &local) &
+                 out->ValidMask(seg));
+  }
+  if (stats != nullptr) {
+    stats->words_examined += local.words_examined;
+    stats->segments_processed += local.segments_processed;
+    stats->segments_early_stopped += local.segments_early_stopped;
+  }
+}
+
+FilterBitVector VbpScanner::ScanAnd(const VbpColumn& column, CompareOp op,
+                                    std::uint64_t c1, std::uint64_t c2,
+                                    const FilterBitVector& prior,
+                                    ScanStats* stats) {
+  ICP_CHECK_EQ(column.lanes(), 1);
+  ICP_CHECK_EQ(prior.num_values(), column.num_values());
+  ICP_CHECK_EQ(prior.values_per_segment(), VbpColumn::kValuesPerSegment);
+  FilterBitVector out(column.num_values(), VbpColumn::kValuesPerSegment);
+  const int k = column.bit_width();
+
+  bool all = false;
+  if (ScanIsDegenerate(k, op, c1, &c2, &all)) {
+    if (all) {
+      out = prior;
+    }
+    return out;
+  }
+  const bool dual = op == CompareOp::kBetween;
+  std::array<bool, kWordBits> c1_bits{};
+  std::array<bool, kWordBits> c2_bits{};
+  for (int j = 0; j < k; ++j) {
+    c1_bits[j] = (c1 >> (k - 1 - j)) & 1;
+    c2_bits[j] = (c2 >> (k - 1 - j)) & 1;
+  }
+
+  ScanStats local;
+  for (std::size_t seg = 0; seg < out.num_segments(); ++seg) {
+    const Word p = prior.SegmentWord(seg);
+    if (p == 0) continue;  // segment already empty: skip its words entirely
+    out.SetSegmentWord(
+        seg, CompareSegment(column, seg, op, c1_bits.data(), c2_bits.data(),
+                            dual, &local) &
+                 p);
+  }
+  if (stats != nullptr) {
+    stats->words_examined += local.words_examined;
+    stats->segments_processed += local.segments_processed;
+    stats->segments_early_stopped += local.segments_early_stopped;
+  }
+  return out;
+}
+
+}  // namespace icp

@@ -1,0 +1,54 @@
+// Bit-parallel filter scan over VBP columns (the substrate from [2]).
+//
+// For every segment the scan walks the value bits from the most significant
+// bit down, maintaining three 64-bit masks over the segment's slots:
+//   eq — slots whose prefix still equals the constant's prefix,
+//   lt — slots already decided to be less than the constant,
+//   gt — slots already decided to be greater.
+// One step per bit j (C_j = all-ones iff the constant's bit j is 1):
+//   lt |= eq & ~X_j & C_j;   gt |= eq & X_j & ~C_j;   eq &= ~(X_j ^ C_j);
+// The walk early-stops once every slot is decided (eq == 0), skipping the
+// remaining word-groups' cache lines (Section II-C).
+
+#ifndef ICP_SCAN_VBP_SCANNER_H_
+#define ICP_SCAN_VBP_SCANNER_H_
+
+#include <cstdint>
+
+#include "bitvector/filter_bit_vector.h"
+#include "layout/vbp_column.h"
+#include "scan/predicate.h"
+
+namespace icp {
+
+class VbpScanner {
+ public:
+  /// Evaluates `column <op> c1` (or BETWEEN [c1, c2]) and returns the filter
+  /// bit vector. Constants are codes (already encoded k-bit values); they
+  /// may exceed the column's value range, which simply saturates the result.
+  /// Works on lanes == 1 columns; use the simd kernels for lanes == 4.
+  static FilterBitVector Scan(const VbpColumn& column, CompareOp op,
+                              std::uint64_t c1, std::uint64_t c2 = 0,
+                              ScanStats* stats = nullptr);
+
+  /// Scan restricted to a [seg_begin, seg_end) segment range, writing into
+  /// `out` (used by the multi-threaded driver). `out` must already have the
+  /// column's shape.
+  static void ScanRange(const VbpColumn& column, CompareOp op,
+                        std::uint64_t c1, std::uint64_t c2,
+                        std::size_t seg_begin, std::size_t seg_end,
+                        FilterBitVector* out, ScanStats* stats = nullptr);
+
+  /// Progressive conjunctive scan (Section II-E): returns `prior AND
+  /// (column <op> c)`, skipping every segment `prior` has already emptied —
+  /// the words of those segments are never touched. `prior` must have this
+  /// column's segment shape.
+  static FilterBitVector ScanAnd(const VbpColumn& column, CompareOp op,
+                                 std::uint64_t c1, std::uint64_t c2,
+                                 const FilterBitVector& prior,
+                                 ScanStats* stats = nullptr);
+};
+
+}  // namespace icp
+
+#endif  // ICP_SCAN_VBP_SCANNER_H_

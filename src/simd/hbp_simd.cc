@@ -1,0 +1,414 @@
+#include "simd/hbp_simd.h"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "core/hbp_aggregate.h"
+#include "core/in_word_sum.h"
+#include "util/aligned_buffer.h"
+#include "util/check.h"
+
+namespace icp::simd {
+namespace {
+
+// 256-bit word of sub-segment t of segment-quad q in group g.
+inline const Word* QuadWordPtr(const HbpColumn& column, int g, std::size_t q,
+                               int s, int t) {
+  return column.GroupData(g) + (q * s + t) * 4;
+}
+
+struct FieldCompareState256 {
+  Word256 eq;
+  Word256 lt;
+  Word256 gt;
+
+  void Reset(Word256 md) {
+    eq = md;
+    lt = Word256::Zero();
+    gt = Word256::Zero();
+  }
+
+  void Step(Word256 x, Word256 c, Word256 md) {
+    const Word256 ge = FieldGe256(x, c, md);
+    const Word256 le = FieldGe256(c, x, md);
+    lt = lt | (eq & (ge ^ md));
+    gt = gt | (eq & (le ^ md));
+    eq = eq & ge & le;
+  }
+};
+
+Word256 ResultWord(CompareOp op, Word256 md, const FieldCompareState256& a,
+                   const FieldCompareState256& b) {
+  switch (op) {
+    case CompareOp::kEq:
+      return a.eq;
+    case CompareOp::kNe:
+      return md ^ a.eq;
+    case CompareOp::kLt:
+      return a.lt;
+    case CompareOp::kLe:
+      return a.lt | a.eq;
+    case CompareOp::kGt:
+      return a.gt;
+    case CompareOp::kGe:
+      return a.gt | a.eq;
+    case CompareOp::kBetween:
+      return (a.gt | a.eq) & (b.lt | b.eq);
+  }
+  return Word256::Zero();
+}
+
+inline Word256 ValueMaskFromDelimiters256(Word256 md, int tau) {
+  return Sub64(md, md.Shr64(tau));
+}
+
+}  // namespace
+
+FilterBitVector ScanHbp(const HbpColumn& column, CompareOp op,
+                        std::uint64_t c1, std::uint64_t c2) {
+  FilterBitVector out(column.num_values(), column.values_per_segment());
+  ScanHbpRange(column, op, c1, c2, 0, NumQuads(column), &out);
+  return out;
+}
+
+void ScanHbpRange(const HbpColumn& column, CompareOp op, std::uint64_t c1,
+                  std::uint64_t c2, std::size_t quad_begin,
+                  std::size_t quad_end, FilterBitVector* out) {
+  ICP_CHECK_EQ(column.lanes(), 4);
+  ICP_CHECK_EQ(out->values_per_segment(), column.values_per_segment());
+  const int k = column.bit_width();
+  const int tau = column.tau();
+  const int s = column.field_width();
+  const int num_groups = column.num_groups();
+  const std::size_t live_segments = out->num_segments();
+
+  bool all = false;
+  if (ScanIsDegenerate(k, op, c1, &c2, &all)) {
+    for (std::size_t seg = quad_begin * 4;
+         seg < quad_end * 4 && seg < live_segments; ++seg) {
+      out->SetSegmentWord(seg, all ? out->ValidMask(seg) : 0);
+    }
+    return;
+  }
+
+  const bool dual = op == CompareOp::kBetween;
+  const Word256 md = Word256::Broadcast(DelimiterMask(s));
+  const Word group_mask = LowMask(tau);
+  std::array<Word256, kWordBits> c1_packed;
+  std::array<Word256, kWordBits> c2_packed;
+  for (int g = 0; g < num_groups; ++g) {
+    const int shift = column.GroupShift(g);
+    c1_packed[g] =
+        Word256::Broadcast(RepeatField((c1 >> shift) & group_mask, s));
+    c2_packed[g] =
+        Word256::Broadcast(RepeatField((c2 >> shift) & group_mask, s));
+  }
+  // All bits of a full segment word are meaningful except the vps padding.
+  const Word256 full_valid =
+      Word256::Broadcast(HighMask(column.values_per_segment()));
+
+  std::array<FieldCompareState256, kWordBits> a;
+  std::array<FieldCompareState256, kWordBits> b;
+  Word* f_words = out->words();
+  for (std::size_t q = quad_begin; q < quad_end; ++q) {
+    for (int t = 0; t < s; ++t) {
+      a[t].Reset(md);
+      b[t].Reset(md);
+    }
+    for (int g = 0; g < num_groups; ++g) {
+      const Word* base = QuadWordPtr(column, g, q, s, 0);
+      Word256 any_eq = Word256::Zero();
+      for (int t = 0; t < s; ++t) {
+        const Word256 x = Word256::Load(base + t * 4);
+        a[t].Step(x, c1_packed[g], md);
+        any_eq = any_eq | a[t].eq;
+        if (dual) {
+          b[t].Step(x, c2_packed[g], md);
+          any_eq = any_eq | b[t].eq;
+        }
+      }
+      if (any_eq.IsZero() && g + 1 < num_groups) break;
+    }
+    Word256 filter = Word256::Zero();
+    for (int t = 0; t < s; ++t) {
+      filter = filter | ResultWord(op, md, a[t], b[t]).Shr64(t);
+    }
+    (filter & full_valid).Store(f_words + q * 4);
+  }
+  const std::size_t last = live_segments - 1;
+  if (last >= quad_begin * 4 && last < quad_end * 4) {
+    f_words[last] &= out->ValidMask(last);
+  }
+  // Clear padding-segment words beyond the live range (aggregate kernels
+  // load them as part of the final quad).
+  for (std::size_t seg = std::max(live_segments, quad_begin * 4);
+       seg < quad_end * 4; ++seg) {
+    f_words[seg] = 0;
+  }
+}
+
+namespace {
+
+// Replays InWordSumPlan's halving steps on four lanes.
+class InWordSumPlan256 {
+ public:
+  explicit InWordSumPlan256(int s) : plan_(s, /*allow_multiply=*/false) {
+    ICP_CHECK(!plan_.use_multiply());
+    final_mask_ = Word256::Broadcast(plan_.final_mask());
+    for (int i = 0; i < plan_.num_steps(); ++i) {
+      masks_[i] = Word256::Broadcast(plan_.step_mask(i));
+    }
+  }
+
+  Word256 Apply(Word256 w) const {
+    w = w.Shr64(plan_.align_shift());
+    for (int i = 0; i < plan_.num_steps(); ++i) {
+      w = Add64(w & masks_[i], w.Shr64(plan_.step_shift(i)) & masks_[i]);
+    }
+    return w & final_mask_;
+  }
+
+ private:
+  InWordSumPlan plan_;
+  Word256 masks_[8];
+  Word256 final_mask_;
+};
+
+}  // namespace
+
+void AccumulateGroupSumsHbp(const HbpColumn& column,
+                            const FilterBitVector& filter,
+                            std::size_t quad_begin, std::size_t quad_end,
+                            std::uint64_t* group_sums) {
+  ICP_CHECK_EQ(column.lanes(), 4);
+  const int s = column.field_width();
+  const int tau = column.tau();
+  const int num_groups = column.num_groups();
+  const Word256 dm = Word256::Broadcast(DelimiterMask(s));
+  const InWordSumPlan256 plan(s);
+  const Word* f_words = filter.words();
+  // Same loop order as the scalar kernel: the per-sub-segment value mask is
+  // computed once and reused across word-groups.
+  Word256 acc[kWordBits];
+  for (std::size_t q = quad_begin; q < quad_end; ++q) {
+    const Word256 f = Word256::Load(f_words + q * 4);
+    for (int t = 0; t < s; ++t) {
+      const Word256 md = f.Shl64(t) & dm;
+      const Word256 m = ValueMaskFromDelimiters256(md, tau);
+      for (int g = 0; g < num_groups; ++g) {
+        acc[g] = Add64(acc[g], plan.Apply(Word256::Load(QuadWordPtr(
+                                              column, g, q, s, t)) &
+                                          m));
+      }
+    }
+  }
+  for (int g = 0; g < num_groups; ++g) {
+    group_sums[g] +=
+        acc[g].Lane(0) + acc[g].Lane(1) + acc[g].Lane(2) + acc[g].Lane(3);
+  }
+}
+
+UInt128 SumHbp(const HbpColumn& column, const FilterBitVector& filter) {
+  std::uint64_t group_sums[kWordBits] = {};
+  AccumulateGroupSumsHbp(column, filter, 0, NumQuads(column), group_sums);
+  return hbp::CombineGroupSums(column, group_sums);
+}
+
+void InitSubSlotExtremeHbp(const HbpColumn& column, bool is_min,
+                           Word256* temp) {
+  const Word256 fields =
+      Word256::Broadcast(FieldValueMask(column.field_width()));
+  for (int g = 0; g < column.num_groups(); ++g) {
+    temp[g] = is_min ? fields : Word256::Zero();
+  }
+}
+
+void SubSlotExtremeRangeHbp(const HbpColumn& column,
+                            const FilterBitVector& filter,
+                            std::size_t quad_begin, std::size_t quad_end,
+                            bool is_min, Word256* temp) {
+  ICP_CHECK_EQ(column.lanes(), 4);
+  const int s = column.field_width();
+  const int tau = column.tau();
+  const int num_groups = column.num_groups();
+  const Word256 dm = Word256::Broadcast(DelimiterMask(s));
+  const Word* f_words = filter.words();
+  for (std::size_t q = quad_begin; q < quad_end; ++q) {
+    const Word256 f = Word256::Load(f_words + q * 4);
+    if (f.IsZero()) continue;
+    const Word* bases[kWordBits];
+    for (int g = 0; g < num_groups; ++g) {
+      bases[g] = QuadWordPtr(column, g, q, s, 0);
+    }
+    for (int t = 0; t < s; ++t) {
+      const Word256 md = f.Shl64(t) & dm;
+      if (md.IsZero()) continue;
+      Word256 eq = dm;
+      Word256 replace = Word256::Zero();
+      for (int g = 0; g < num_groups; ++g) {
+        const Word256 x = Word256::Load(bases[g] + t * 4);
+        const Word256 y = temp[g];
+        const Word256 ge_xy = FieldGe256(x, y, dm);
+        const Word256 ge_yx = FieldGe256(y, x, dm);
+        replace = replace | (eq & ((is_min ? ge_xy : ge_yx) ^ dm));
+        eq = eq & ge_xy & ge_yx;
+        if (eq.IsZero() && g + 1 < num_groups) {
+          // No field is still tied: the remaining groups cannot change
+          // `replace`, but we must not read them either (early stop).
+          break;
+        }
+      }
+      replace = replace & md;
+      if (replace.IsZero()) continue;
+      const Word256 m = ValueMaskFromDelimiters256(replace, tau);
+      for (int g = 0; g < num_groups; ++g) {
+        temp[g] =
+            (m & Word256::Load(bases[g] + t * 4)) | AndNot(m, temp[g]);
+      }
+    }
+  }
+}
+
+std::uint64_t ExtremeOfSubSlotsHbp(const HbpColumn& column,
+                                   const Word256* temp, bool is_min) {
+  std::uint64_t best = 0;
+  for (int lane = 0; lane < 4; ++lane) {
+    Word lane_temp[kWordBits];
+    for (int g = 0; g < column.num_groups(); ++g) {
+      lane_temp[g] = temp[g].Lane(lane);
+    }
+    const std::uint64_t v = hbp::ExtremeOfSubSlots(column, lane_temp, is_min);
+    if (lane == 0 || (is_min ? v < best : v > best)) best = v;
+  }
+  return best;
+}
+
+namespace {
+
+std::optional<std::uint64_t> ExtremeHbp(const HbpColumn& column,
+                                        const FilterBitVector& filter,
+                                        bool is_min) {
+  if (filter.CountOnes() == 0) return std::nullopt;
+  Word256 temp[kWordBits];
+  InitSubSlotExtremeHbp(column, is_min, temp);
+  SubSlotExtremeRangeHbp(column, filter, 0, NumQuads(column), is_min, temp);
+  return ExtremeOfSubSlotsHbp(column, temp, is_min);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> MinHbp(const HbpColumn& column,
+                                    const FilterBitVector& filter) {
+  return ExtremeHbp(column, filter, /*is_min=*/true);
+}
+
+std::optional<std::uint64_t> MaxHbp(const HbpColumn& column,
+                                    const FilterBitVector& filter) {
+  return ExtremeHbp(column, filter, /*is_min=*/false);
+}
+
+std::optional<std::uint64_t> RankSelectHbp(const HbpColumn& column,
+                                           const FilterBitVector& filter,
+                                           std::uint64_t r) {
+  ICP_CHECK_EQ(column.lanes(), 4);
+  const std::uint64_t u = filter.CountOnes();
+  if (r < 1 || r > u) return std::nullopt;
+  const std::size_t quads = NumQuads(column);
+  WordBuffer v(quads * 4);
+  for (std::size_t seg = 0; seg < filter.num_segments(); ++seg) {
+    v[seg] = filter.SegmentWord(seg);
+  }
+
+  const int s = column.field_width();
+  const int tau = column.tau();
+  const Word dm_scalar = DelimiterMask(s);
+  const Word256 dm = Word256::Broadcast(dm_scalar);
+  const Word value_mask = LowMask(tau);
+  std::vector<std::uint64_t> hist(std::size_t{1} << tau);
+
+  std::uint64_t result = 0;
+  for (int g = 0; g < column.num_groups(); ++g) {
+    std::fill(hist.begin(), hist.end(), 0);
+    // Histogram: scalar slot extraction per lane (Alg. 6's per-slot walk).
+    for (std::size_t q = 0; q < quads; ++q) {
+      for (int lane = 0; lane < 4; ++lane) {
+        const Word cand = v[q * 4 + lane];
+        if (cand == 0) continue;
+        for (int t = 0; t < s; ++t) {
+          Word md = (cand << t) & dm_scalar;
+          const Word w = QuadWordPtr(column, g, q, s, t)[lane];
+          while (md != 0) {
+            const int p = CountTrailingZeros(md);
+            md &= md - 1;
+            ++hist[(w >> (p - tau)) & value_mask];
+          }
+        }
+      }
+    }
+    std::uint64_t cum = 0;
+    std::uint64_t bin = 0;
+    while (cum + hist[bin] < r) {
+      cum += hist[bin];
+      ++bin;
+    }
+    r -= cum;
+    result |= bin << column.GroupShift(g);
+    if (g + 1 < column.num_groups()) {
+      // Vectorized candidate narrowing with BIT-PARALLEL-EQUAL.
+      const Word256 packed_bin = Word256::Broadcast(RepeatField(bin, s));
+      for (std::size_t q = 0; q < quads; ++q) {
+        Word256 cand = Word256::Load(v.data() + q * 4);
+        if (cand.IsZero()) continue;
+        const Word* base = QuadWordPtr(column, g, q, s, 0);
+        Word256 matches = Word256::Zero();
+        for (int t = 0; t < s; ++t) {
+          const Word256 x = Word256::Load(base + t * 4);
+          const Word256 eq =
+              FieldGe256(x, packed_bin, dm) & FieldGe256(packed_bin, x, dm);
+          matches = matches | eq.Shr64(t);
+        }
+        (cand & matches).Store(v.data() + q * 4);
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> MedianHbp(const HbpColumn& column,
+                                       const FilterBitVector& filter) {
+  const std::uint64_t count = filter.CountOnes();
+  if (count == 0) return std::nullopt;
+  return RankSelectHbp(column, filter, LowerMedianRank(count));
+}
+
+AggregateResult AggregateHbp(const HbpColumn& column,
+                             const FilterBitVector& filter, AggKind kind,
+                             std::uint64_t rank) {
+  AggregateResult result;
+  result.kind = kind;
+  result.count = filter.CountOnes();
+  switch (kind) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      result.sum = SumHbp(column, filter);
+      break;
+    case AggKind::kMin:
+      result.value = MinHbp(column, filter);
+      break;
+    case AggKind::kMax:
+      result.value = MaxHbp(column, filter);
+      break;
+    case AggKind::kMedian:
+      result.value = MedianHbp(column, filter);
+      break;
+    case AggKind::kRank:
+      result.value = RankSelectHbp(column, filter, rank);
+      break;
+  }
+  return result;
+}
+
+}  // namespace icp::simd

@@ -1,0 +1,82 @@
+// 256-bit SIMD kernels for HBP scan and aggregation (paper Section IV-B).
+//
+// HBP algorithms rely on shifts, additions and subtractions whose carries
+// must stay inside a segment; AVX2 provides them per 64-bit lane, so the
+// kernels run four independent 64-bit algorithm instances — one segment per
+// lane — exactly as the paper describes. A lanes == 4 HbpColumn interleaves
+// four consecutive segments' words so each (group, sub-segment) access is
+// one aligned 256-bit load, and the four segments' filter words are
+// contiguous in the filter bit vector.
+//
+// IN-WORD-SUM is replayed on 256-bit registers using the pure halving
+// reduction (AVX2 has no 64-bit lane multiply, mirroring the paper's note
+// that not every scalar instruction has a 256-bit counterpart).
+
+#ifndef ICP_SIMD_HBP_SIMD_H_
+#define ICP_SIMD_HBP_SIMD_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/aggregate.h"
+#include "layout/hbp_column.h"
+#include "scan/predicate.h"
+#include "simd/word256.h"
+
+namespace icp::simd {
+
+/// Number of segment-quads of a lanes == 4 column.
+inline std::size_t NumQuads(const HbpColumn& column) {
+  return column.num_segments() / 4;
+}
+
+/// Per-field X >= C on four lanes (delimiter-borrow trick per lane).
+inline Word256 FieldGe256(Word256 x, Word256 c, Word256 md) {
+  return Sub64(x | md, c) & md;
+}
+
+/// Bit-parallel scan; requires column.lanes() == 4.
+FilterBitVector ScanHbp(const HbpColumn& column, CompareOp op,
+                        std::uint64_t c1, std::uint64_t c2 = 0);
+void ScanHbpRange(const HbpColumn& column, CompareOp op, std::uint64_t c1,
+                  std::uint64_t c2, std::size_t quad_begin,
+                  std::size_t quad_end, FilterBitVector* out);
+
+/// SUM: vectorized GET-VALUE-FILTER + IN-WORD-SUM per lane.
+void AccumulateGroupSumsHbp(const HbpColumn& column,
+                            const FilterBitVector& filter,
+                            std::size_t quad_begin, std::size_t quad_end,
+                            std::uint64_t* group_sums);
+UInt128 SumHbp(const HbpColumn& column, const FilterBitVector& filter);
+
+/// MIN/MAX: four running extreme sub-segments (one per lane).
+void InitSubSlotExtremeHbp(const HbpColumn& column, bool is_min,
+                           Word256* temp);
+void SubSlotExtremeRangeHbp(const HbpColumn& column,
+                            const FilterBitVector& filter,
+                            std::size_t quad_begin, std::size_t quad_end,
+                            bool is_min, Word256* temp);
+std::uint64_t ExtremeOfSubSlotsHbp(const HbpColumn& column,
+                                   const Word256* temp, bool is_min);
+std::optional<std::uint64_t> MinHbp(const HbpColumn& column,
+                                    const FilterBitVector& filter);
+std::optional<std::uint64_t> MaxHbp(const HbpColumn& column,
+                                    const FilterBitVector& filter);
+
+/// MEDIAN / r-selection: vectorized candidate narrowing; histogram slot
+/// extraction stays scalar per lane (gather-style work, as in Alg. 6).
+std::optional<std::uint64_t> RankSelectHbp(const HbpColumn& column,
+                                           const FilterBitVector& filter,
+                                           std::uint64_t r);
+std::optional<std::uint64_t> MedianHbp(const HbpColumn& column,
+                                       const FilterBitVector& filter);
+
+/// Dispatcher mirroring hbp::Aggregate.
+AggregateResult AggregateHbp(const HbpColumn& column,
+                             const FilterBitVector& filter, AggKind kind,
+                             std::uint64_t rank = 0);
+
+}  // namespace icp::simd
+
+#endif  // ICP_SIMD_HBP_SIMD_H_

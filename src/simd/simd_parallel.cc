@@ -1,0 +1,357 @@
+#include "simd/simd_parallel.h"
+
+#include <vector>
+
+#include "core/hbp_aggregate.h"
+#include "core/vbp_aggregate.h"
+#include "parallel/parallel_aggregate.h"
+#include "util/aligned_buffer.h"
+#include "util/check.h"
+
+namespace icp::simd {
+namespace {
+
+constexpr int kMaxThreads = 256;
+
+}  // namespace
+
+FilterBitVector ScanVbp(ThreadPool& pool, const VbpColumn& column,
+                        CompareOp op, std::uint64_t c1, std::uint64_t c2) {
+  FilterBitVector out(column.num_values(), VbpColumn::kValuesPerSegment);
+  pool.ParallelFor(NumQuads(column), [&](std::size_t begin, std::size_t end) {
+    ScanVbpRange(column, op, c1, c2, begin, end, &out);
+  });
+  return out;
+}
+
+FilterBitVector ScanHbp(ThreadPool& pool, const HbpColumn& column,
+                        CompareOp op, std::uint64_t c1, std::uint64_t c2) {
+  FilterBitVector out(column.num_values(), column.values_per_segment());
+  pool.ParallelFor(NumQuads(column), [&](std::size_t begin, std::size_t end) {
+    ScanHbpRange(column, op, c1, c2, begin, end, &out);
+  });
+  return out;
+}
+
+UInt128 SumVbp(ThreadPool& pool, const VbpColumn& column,
+               const FilterBitVector& filter) {
+  const int k = column.bit_width();
+  std::vector<std::uint64_t> bit_sums(
+      static_cast<std::size_t>(pool.num_threads()) * kWordBits, 0);
+  pool.RunPerThread([&](int index) {
+    const auto [begin, end] =
+        PartitionRange(NumQuads(column), pool.num_threads(), index);
+    if (begin < end) {
+      AccumulateBitSumsVbp(column, filter, begin, end,
+                           bit_sums.data() + index * kWordBits);
+    }
+  });
+  for (int i = 1; i < pool.num_threads(); ++i) {
+    for (int j = 0; j < k; ++j) bit_sums[j] += bit_sums[i * kWordBits + j];
+  }
+  return vbp::CombineBitSums(bit_sums.data(), k);
+}
+
+UInt128 SumHbp(ThreadPool& pool, const HbpColumn& column,
+               const FilterBitVector& filter) {
+  std::vector<std::uint64_t> group_sums(
+      static_cast<std::size_t>(pool.num_threads()) * kWordBits, 0);
+  pool.RunPerThread([&](int index) {
+    const auto [begin, end] =
+        PartitionRange(NumQuads(column), pool.num_threads(), index);
+    if (begin < end) {
+      AccumulateGroupSumsHbp(column, filter, begin, end,
+                             group_sums.data() + index * kWordBits);
+    }
+  });
+  for (int i = 1; i < pool.num_threads(); ++i) {
+    for (int g = 0; g < column.num_groups(); ++g) {
+      group_sums[g] += group_sums[i * kWordBits + g];
+    }
+  }
+  return hbp::CombineGroupSums(column, group_sums.data());
+}
+
+namespace {
+
+std::optional<std::uint64_t> ExtremeVbpMt(ThreadPool& pool,
+                                          const VbpColumn& column,
+                                          const FilterBitVector& filter,
+                                          bool is_min) {
+  if (par::Count(pool, filter) == 0) return std::nullopt;
+  const int k = column.bit_width();
+  std::vector<Word256> temps(
+      static_cast<std::size_t>(pool.num_threads()) * kWordBits);
+  pool.RunPerThread([&](int index) {
+    Word256* temp = temps.data() + index * kWordBits;
+    InitSlotExtremeVbp(k, is_min, temp);
+    const auto [begin, end] =
+        PartitionRange(NumQuads(column), pool.num_threads(), index);
+    if (begin < end) {
+      SlotExtremeRangeVbp(column, filter, begin, end, is_min, temp);
+    }
+  });
+  std::uint64_t best = 0;
+  for (int i = 0; i < pool.num_threads(); ++i) {
+    const std::uint64_t v =
+        ExtremeOfSlotsVbp(temps.data() + i * kWordBits, k, is_min);
+    if (i == 0 || (is_min ? v < best : v > best)) best = v;
+  }
+  return best;
+}
+
+std::optional<std::uint64_t> ExtremeHbpMt(ThreadPool& pool,
+                                          const HbpColumn& column,
+                                          const FilterBitVector& filter,
+                                          bool is_min) {
+  if (par::Count(pool, filter) == 0) return std::nullopt;
+  std::vector<Word256> temps(
+      static_cast<std::size_t>(pool.num_threads()) * kWordBits);
+  pool.RunPerThread([&](int index) {
+    Word256* temp = temps.data() + index * kWordBits;
+    InitSubSlotExtremeHbp(column, is_min, temp);
+    const auto [begin, end] =
+        PartitionRange(NumQuads(column), pool.num_threads(), index);
+    if (begin < end) {
+      SubSlotExtremeRangeHbp(column, filter, begin, end, is_min, temp);
+    }
+  });
+  std::uint64_t best = 0;
+  for (int i = 0; i < pool.num_threads(); ++i) {
+    const std::uint64_t v =
+        ExtremeOfSubSlotsHbp(column, temps.data() + i * kWordBits, is_min);
+    if (i == 0 || (is_min ? v < best : v > best)) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> MinVbp(ThreadPool& pool, const VbpColumn& column,
+                                    const FilterBitVector& filter) {
+  return ExtremeVbpMt(pool, column, filter, /*is_min=*/true);
+}
+std::optional<std::uint64_t> MaxVbp(ThreadPool& pool, const VbpColumn& column,
+                                    const FilterBitVector& filter) {
+  return ExtremeVbpMt(pool, column, filter, /*is_min=*/false);
+}
+std::optional<std::uint64_t> MinHbp(ThreadPool& pool, const HbpColumn& column,
+                                    const FilterBitVector& filter) {
+  return ExtremeHbpMt(pool, column, filter, /*is_min=*/true);
+}
+std::optional<std::uint64_t> MaxHbp(ThreadPool& pool, const HbpColumn& column,
+                                    const FilterBitVector& filter) {
+  return ExtremeHbpMt(pool, column, filter, /*is_min=*/false);
+}
+
+std::optional<std::uint64_t> RankSelectVbp(ThreadPool& pool,
+                                           const VbpColumn& column,
+                                           const FilterBitVector& filter,
+                                           std::uint64_t r) {
+  ICP_CHECK_EQ(column.lanes(), 4);
+  ICP_CHECK_LE(pool.num_threads(), kMaxThreads);
+  std::uint64_t u = par::Count(pool, filter);
+  if (r < 1 || r > u) return std::nullopt;
+  const std::size_t quads = NumQuads(column);
+  WordBuffer v(quads * 4);
+  for (std::size_t seg = 0; seg < filter.num_segments(); ++seg) {
+    v[seg] = filter.SegmentWord(seg);
+  }
+
+  const int k = column.bit_width();
+  const int tau = column.tau();
+  std::uint64_t partial[kMaxThreads];
+  std::uint64_t result = 0;
+  for (int jb = 0; jb < k; ++jb) {
+    const int g = jb / tau;
+    const int j = jb - g * tau;
+    const int width = column.GroupWidth(g);
+    pool.RunPerThread([&](int index) {
+      const auto [begin, end] =
+          PartitionRange(quads, pool.num_threads(), index);
+      std::uint64_t c = 0;
+      for (std::size_t q = begin; q < end; ++q) {
+        const Word256 cand = Word256::Load(v.data() + q * 4);
+        if (cand.IsZero()) continue;
+        const Word* ptr = column.GroupData(g) + (q * width + j) * 4;
+        c += (cand & Word256::Load(ptr)).PopcountSum();
+      }
+      partial[index] = c;
+    });
+    std::uint64_t c = 0;
+    for (int i = 0; i < pool.num_threads(); ++i) c += partial[i];
+    const bool bit_is_one = u - c < r;
+    if (bit_is_one) {
+      result |= std::uint64_t{1} << (k - 1 - jb);
+      r -= u - c;
+      u = c;
+    } else {
+      u -= c;
+    }
+    pool.ParallelFor(quads, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t q = begin; q < end; ++q) {
+        Word256 cand = Word256::Load(v.data() + q * 4);
+        if (cand.IsZero()) continue;
+        const Word* ptr = column.GroupData(g) + (q * width + j) * 4;
+        const Word256 x = Word256::Load(ptr);
+        cand = bit_is_one ? (cand & x) : AndNot(x, cand);
+        cand.Store(v.data() + q * 4);
+      }
+    });
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> RankSelectHbp(ThreadPool& pool,
+                                           const HbpColumn& column,
+                                           const FilterBitVector& filter,
+                                           std::uint64_t r) {
+  ICP_CHECK_EQ(column.lanes(), 4);
+  const std::uint64_t u = par::Count(pool, filter);
+  if (r < 1 || r > u) return std::nullopt;
+  const std::size_t quads = NumQuads(column);
+  WordBuffer v(quads * 4);
+  for (std::size_t seg = 0; seg < filter.num_segments(); ++seg) {
+    v[seg] = filter.SegmentWord(seg);
+  }
+
+  const int s = column.field_width();
+  const int tau = column.tau();
+  const Word dm_scalar = DelimiterMask(s);
+  const Word256 dm = Word256::Broadcast(dm_scalar);
+  const Word value_mask = LowMask(tau);
+  const std::size_t bins = std::size_t{1} << tau;
+  std::vector<std::uint64_t> hists(
+      static_cast<std::size_t>(pool.num_threads()) * bins);
+
+  std::uint64_t result = 0;
+  for (int g = 0; g < column.num_groups(); ++g) {
+    std::fill(hists.begin(), hists.end(), 0);
+    pool.RunPerThread([&](int index) {
+      const auto [begin, end] =
+          PartitionRange(quads, pool.num_threads(), index);
+      std::uint64_t* hist = hists.data() + index * bins;
+      for (std::size_t q = begin; q < end; ++q) {
+        for (int lane = 0; lane < 4; ++lane) {
+          const Word cand = v[q * 4 + lane];
+          if (cand == 0) continue;
+          for (int t = 0; t < s; ++t) {
+            Word md = (cand << t) & dm_scalar;
+            const Word w = column.GroupData(g)[(q * s + t) * 4 + lane];
+            while (md != 0) {
+              const int p = CountTrailingZeros(md);
+              md &= md - 1;
+              ++hist[(w >> (p - tau)) & value_mask];
+            }
+          }
+        }
+      }
+    });
+    for (int i = 1; i < pool.num_threads(); ++i) {
+      for (std::size_t b = 0; b < bins; ++b) hists[b] += hists[i * bins + b];
+    }
+    std::uint64_t cum = 0;
+    std::uint64_t bin = 0;
+    while (cum + hists[bin] < r) {
+      cum += hists[bin];
+      ++bin;
+    }
+    r -= cum;
+    result |= bin << column.GroupShift(g);
+    if (g + 1 < column.num_groups()) {
+      const Word256 packed_bin = Word256::Broadcast(RepeatField(bin, s));
+      pool.ParallelFor(quads, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t q = begin; q < end; ++q) {
+          Word256 cand = Word256::Load(v.data() + q * 4);
+          if (cand.IsZero()) continue;
+          const Word* base = column.GroupData(g) + q * s * 4;
+          Word256 matches = Word256::Zero();
+          for (int t = 0; t < s; ++t) {
+            const Word256 x = Word256::Load(base + t * 4);
+            const Word256 eq =
+                FieldGe256(x, packed_bin, dm) & FieldGe256(packed_bin, x, dm);
+            matches = matches | eq.Shr64(t);
+          }
+          (cand & matches).Store(v.data() + q * 4);
+        }
+      });
+    }
+  }
+  return result;
+}
+
+std::optional<std::uint64_t> MedianVbp(ThreadPool& pool,
+                                       const VbpColumn& column,
+                                       const FilterBitVector& filter) {
+  const std::uint64_t count = par::Count(pool, filter);
+  if (count == 0) return std::nullopt;
+  return RankSelectVbp(pool, column, filter, LowerMedianRank(count));
+}
+
+std::optional<std::uint64_t> MedianHbp(ThreadPool& pool,
+                                       const HbpColumn& column,
+                                       const FilterBitVector& filter) {
+  const std::uint64_t count = par::Count(pool, filter);
+  if (count == 0) return std::nullopt;
+  return RankSelectHbp(pool, column, filter, LowerMedianRank(count));
+}
+
+AggregateResult AggregateVbp(ThreadPool& pool, const VbpColumn& column,
+                             const FilterBitVector& filter, AggKind kind,
+                             std::uint64_t rank) {
+  AggregateResult result;
+  result.kind = kind;
+  result.count = par::Count(pool, filter);
+  switch (kind) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      result.sum = SumVbp(pool, column, filter);
+      break;
+    case AggKind::kMin:
+      result.value = MinVbp(pool, column, filter);
+      break;
+    case AggKind::kMax:
+      result.value = MaxVbp(pool, column, filter);
+      break;
+    case AggKind::kMedian:
+      result.value = MedianVbp(pool, column, filter);
+      break;
+    case AggKind::kRank:
+      result.value = RankSelectVbp(pool, column, filter, rank);
+      break;
+  }
+  return result;
+}
+
+AggregateResult AggregateHbp(ThreadPool& pool, const HbpColumn& column,
+                             const FilterBitVector& filter, AggKind kind,
+                             std::uint64_t rank) {
+  AggregateResult result;
+  result.kind = kind;
+  result.count = par::Count(pool, filter);
+  switch (kind) {
+    case AggKind::kCount:
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      result.sum = SumHbp(pool, column, filter);
+      break;
+    case AggKind::kMin:
+      result.value = MinHbp(pool, column, filter);
+      break;
+    case AggKind::kMax:
+      result.value = MaxHbp(pool, column, filter);
+      break;
+    case AggKind::kMedian:
+      result.value = MedianHbp(pool, column, filter);
+      break;
+    case AggKind::kRank:
+      result.value = RankSelectHbp(pool, column, filter, rank);
+      break;
+  }
+  return result;
+}
+
+}  // namespace icp::simd

@@ -1,0 +1,67 @@
+// Combined multi-threading + SIMD drivers (the shaded bars of Fig. 8).
+//
+// Segment-quads are partitioned across the pool's workers; each worker runs
+// the 256-bit Range kernels from vbp_simd.h / hbp_simd.h and partial states
+// merge exactly as in parallel/parallel_aggregate.cc.
+
+#ifndef ICP_SIMD_SIMD_PARALLEL_H_
+#define ICP_SIMD_SIMD_PARALLEL_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/aggregate.h"
+#include "layout/hbp_column.h"
+#include "layout/vbp_column.h"
+#include "parallel/thread_pool.h"
+#include "scan/predicate.h"
+#include "simd/hbp_simd.h"
+#include "simd/vbp_simd.h"
+
+namespace icp::simd {
+
+FilterBitVector ScanVbp(ThreadPool& pool, const VbpColumn& column,
+                        CompareOp op, std::uint64_t c1, std::uint64_t c2 = 0);
+FilterBitVector ScanHbp(ThreadPool& pool, const HbpColumn& column,
+                        CompareOp op, std::uint64_t c1, std::uint64_t c2 = 0);
+
+UInt128 SumVbp(ThreadPool& pool, const VbpColumn& column,
+               const FilterBitVector& filter);
+UInt128 SumHbp(ThreadPool& pool, const HbpColumn& column,
+               const FilterBitVector& filter);
+
+std::optional<std::uint64_t> MinVbp(ThreadPool& pool, const VbpColumn& column,
+                                    const FilterBitVector& filter);
+std::optional<std::uint64_t> MaxVbp(ThreadPool& pool, const VbpColumn& column,
+                                    const FilterBitVector& filter);
+std::optional<std::uint64_t> MinHbp(ThreadPool& pool, const HbpColumn& column,
+                                    const FilterBitVector& filter);
+std::optional<std::uint64_t> MaxHbp(ThreadPool& pool, const HbpColumn& column,
+                                    const FilterBitVector& filter);
+
+std::optional<std::uint64_t> RankSelectVbp(ThreadPool& pool,
+                                           const VbpColumn& column,
+                                           const FilterBitVector& filter,
+                                           std::uint64_t r);
+std::optional<std::uint64_t> RankSelectHbp(ThreadPool& pool,
+                                           const HbpColumn& column,
+                                           const FilterBitVector& filter,
+                                           std::uint64_t r);
+std::optional<std::uint64_t> MedianVbp(ThreadPool& pool,
+                                       const VbpColumn& column,
+                                       const FilterBitVector& filter);
+std::optional<std::uint64_t> MedianHbp(ThreadPool& pool,
+                                       const HbpColumn& column,
+                                       const FilterBitVector& filter);
+
+AggregateResult AggregateVbp(ThreadPool& pool, const VbpColumn& column,
+                             const FilterBitVector& filter, AggKind kind,
+                             std::uint64_t rank = 0);
+AggregateResult AggregateHbp(ThreadPool& pool, const HbpColumn& column,
+                             const FilterBitVector& filter, AggKind kind,
+                             std::uint64_t rank = 0);
+
+}  // namespace icp::simd
+
+#endif  // ICP_SIMD_SIMD_PARALLEL_H_

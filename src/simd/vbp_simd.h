@@ -1,0 +1,74 @@
+// 256-bit SIMD kernels for VBP scan and aggregation (paper Section IV-B).
+//
+// A lanes == 4 VbpColumn interleaves the words of four consecutive segments,
+// so the same (bit, segment-quad) load brings one 256-bit register holding
+// bit j of 256 values — VBP algorithms use only bitwise operations and
+// popcounts, so they run unchanged on the wide word. Popcounts decompose
+// into four scalar POPCNTs (no 256-bit POPCNT in AVX2), which is why the
+// paper observes smaller SIMD gains for VBP than for HBP.
+//
+// All kernels take [quad_begin, quad_end) super-segment (segment-quad)
+// ranges so the multi-threaded driver can partition work; full-range
+// convenience wrappers are provided.
+
+#ifndef ICP_SIMD_VBP_SIMD_H_
+#define ICP_SIMD_VBP_SIMD_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/aggregate.h"
+#include "layout/vbp_column.h"
+#include "scan/predicate.h"
+#include "simd/word256.h"
+
+namespace icp::simd {
+
+/// Number of segment-quads of a lanes == 4 column.
+inline std::size_t NumQuads(const VbpColumn& column) {
+  return column.num_segments() / 4;
+}
+
+/// Bit-parallel scan; requires column.lanes() == 4.
+FilterBitVector ScanVbp(const VbpColumn& column, CompareOp op,
+                        std::uint64_t c1, std::uint64_t c2 = 0);
+void ScanVbpRange(const VbpColumn& column, CompareOp op, std::uint64_t c1,
+                  std::uint64_t c2, std::size_t quad_begin,
+                  std::size_t quad_end, FilterBitVector* out);
+
+/// SUM: per-bit popcount accumulation on 256-bit words.
+void AccumulateBitSumsVbp(const VbpColumn& column,
+                          const FilterBitVector& filter,
+                          std::size_t quad_begin, std::size_t quad_end,
+                          std::uint64_t* bit_sums);
+UInt128 SumVbp(const VbpColumn& column, const FilterBitVector& filter);
+
+/// MIN/MAX: 256-value slot-wise extreme state (k Word256 entries).
+void InitSlotExtremeVbp(int k, bool is_min, Word256* temp);
+void SlotExtremeRangeVbp(const VbpColumn& column,
+                         const FilterBitVector& filter,
+                         std::size_t quad_begin, std::size_t quad_end,
+                         bool is_min, Word256* temp);
+/// Collapses a 256-slot state to the extreme value.
+std::uint64_t ExtremeOfSlotsVbp(const Word256* temp, int k, bool is_min);
+std::optional<std::uint64_t> MinVbp(const VbpColumn& column,
+                                    const FilterBitVector& filter);
+std::optional<std::uint64_t> MaxVbp(const VbpColumn& column,
+                                    const FilterBitVector& filter);
+
+/// MEDIAN / r-selection on 256-bit candidate vectors.
+std::optional<std::uint64_t> RankSelectVbp(const VbpColumn& column,
+                                           const FilterBitVector& filter,
+                                           std::uint64_t r);
+std::optional<std::uint64_t> MedianVbp(const VbpColumn& column,
+                                       const FilterBitVector& filter);
+
+/// Dispatcher mirroring vbp::Aggregate.
+AggregateResult AggregateVbp(const VbpColumn& column,
+                             const FilterBitVector& filter, AggKind kind,
+                             std::uint64_t rank = 0);
+
+}  // namespace icp::simd
+
+#endif  // ICP_SIMD_VBP_SIMD_H_

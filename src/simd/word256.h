@@ -1,0 +1,194 @@
+// 256-bit word abstraction for the SIMD kernels (paper Section IV-B).
+//
+// VBP treats a 256-bit register as one wide word (a segment of 256 values:
+// only bitwise ops and popcount are needed). HBP runs four independent
+// 64-bit algorithm instances in the four lanes: additions/subtractions/shifts
+// are 64-bit lane operations, which is exactly the paper's configuration
+// ("we run four instances of 64-bit algorithms in the 256-bit SIMD
+// registers"). There is no 256-bit POPCNT in AVX2, so popcounts decompose
+// into four scalar POPCNTs — the bottleneck the paper highlights for
+// VBP-heavy algorithms.
+//
+// When the build targets a CPU without AVX2 the same interface is provided
+// by a portable four-lane implementation, keeping all SIMD-path code
+// compilable and testable everywhere.
+
+#ifndef ICP_SIMD_WORD256_H_
+#define ICP_SIMD_WORD256_H_
+
+#include <cstdint>
+
+#include "util/bits.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#define ICP_HAVE_AVX2 1
+#endif
+
+namespace icp {
+
+/// True when the build uses real AVX2 instructions for Word256.
+constexpr bool kHaveAvx2 =
+#if defined(ICP_HAVE_AVX2)
+    true;
+#else
+    false;
+#endif
+
+#if defined(ICP_HAVE_AVX2)
+
+class Word256 {
+ public:
+  Word256() : v_(_mm256_setzero_si256()) {}
+  explicit Word256(__m256i v) : v_(v) {}
+
+  /// Loads 4 words from a 32-byte-aligned address.
+  static Word256 Load(const Word* p) {
+    return Word256(_mm256_load_si256(reinterpret_cast<const __m256i*>(p)));
+  }
+  void Store(Word* p) const {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(p), v_);
+  }
+
+  static Word256 Broadcast(Word w) {
+    return Word256(_mm256_set1_epi64x(static_cast<long long>(w)));
+  }
+  static Word256 Zero() { return Word256(); }
+  static Word256 Ones() {
+    return Word256(_mm256_set1_epi64x(-1));
+  }
+
+  friend Word256 operator&(Word256 a, Word256 b) {
+    return Word256(_mm256_and_si256(a.v_, b.v_));
+  }
+  friend Word256 operator|(Word256 a, Word256 b) {
+    return Word256(_mm256_or_si256(a.v_, b.v_));
+  }
+  friend Word256 operator^(Word256 a, Word256 b) {
+    return Word256(_mm256_xor_si256(a.v_, b.v_));
+  }
+  Word256 operator~() const {
+    return Word256(_mm256_xor_si256(v_, _mm256_set1_epi64x(-1)));
+  }
+  /// ~a & b (one VPANDN).
+  friend Word256 AndNot(Word256 a, Word256 b) {
+    return Word256(_mm256_andnot_si256(a.v_, b.v_));
+  }
+
+  /// Per-64-bit-lane arithmetic (no carries cross lanes — the HBP property).
+  friend Word256 Add64(Word256 a, Word256 b) {
+    return Word256(_mm256_add_epi64(a.v_, b.v_));
+  }
+  friend Word256 Sub64(Word256 a, Word256 b) {
+    return Word256(_mm256_sub_epi64(a.v_, b.v_));
+  }
+  Word256 Shl64(int bits) const {
+    return Word256(_mm256_slli_epi64(v_, bits));
+  }
+  Word256 Shr64(int bits) const {
+    return Word256(_mm256_srli_epi64(v_, bits));
+  }
+
+  bool IsZero() const { return _mm256_testz_si256(v_, v_) != 0; }
+
+  Word Lane(int i) const {
+    alignas(32) Word lanes[4];
+    Store(lanes);
+    return lanes[i];
+  }
+
+  /// Sum of the popcounts of the four lanes (4 scalar POPCNTs; see header
+  /// comment).
+  int PopcountSum() const {
+    alignas(32) Word lanes[4];
+    Store(lanes);
+    return Popcount(lanes[0]) + Popcount(lanes[1]) + Popcount(lanes[2]) +
+           Popcount(lanes[3]);
+  }
+
+ private:
+  __m256i v_;
+};
+
+#else  // portable fallback
+
+class Word256 {
+ public:
+  Word256() : lanes_{0, 0, 0, 0} {}
+
+  static Word256 Load(const Word* p) {
+    Word256 out;
+    for (int i = 0; i < 4; ++i) out.lanes_[i] = p[i];
+    return out;
+  }
+  void Store(Word* p) const {
+    for (int i = 0; i < 4; ++i) p[i] = lanes_[i];
+  }
+
+  static Word256 Broadcast(Word w) {
+    Word256 out;
+    for (auto& lane : out.lanes_) lane = w;
+    return out;
+  }
+  static Word256 Zero() { return Word256(); }
+  static Word256 Ones() { return Broadcast(~Word{0}); }
+
+  friend Word256 operator&(Word256 a, Word256 b) {
+    return Apply(a, b, [](Word x, Word y) { return x & y; });
+  }
+  friend Word256 operator|(Word256 a, Word256 b) {
+    return Apply(a, b, [](Word x, Word y) { return x | y; });
+  }
+  friend Word256 operator^(Word256 a, Word256 b) {
+    return Apply(a, b, [](Word x, Word y) { return x ^ y; });
+  }
+  Word256 operator~() const {
+    Word256 out;
+    for (int i = 0; i < 4; ++i) out.lanes_[i] = ~lanes_[i];
+    return out;
+  }
+  friend Word256 AndNot(Word256 a, Word256 b) {
+    return Apply(a, b, [](Word x, Word y) { return ~x & y; });
+  }
+  friend Word256 Add64(Word256 a, Word256 b) {
+    return Apply(a, b, [](Word x, Word y) { return x + y; });
+  }
+  friend Word256 Sub64(Word256 a, Word256 b) {
+    return Apply(a, b, [](Word x, Word y) { return x - y; });
+  }
+  Word256 Shl64(int bits) const {
+    Word256 out;
+    for (int i = 0; i < 4; ++i) out.lanes_[i] = lanes_[i] << bits;
+    return out;
+  }
+  Word256 Shr64(int bits) const {
+    Word256 out;
+    for (int i = 0; i < 4; ++i) out.lanes_[i] = lanes_[i] >> bits;
+    return out;
+  }
+
+  bool IsZero() const {
+    return (lanes_[0] | lanes_[1] | lanes_[2] | lanes_[3]) == 0;
+  }
+  Word Lane(int i) const { return lanes_[i]; }
+  int PopcountSum() const {
+    return Popcount(lanes_[0]) + Popcount(lanes_[1]) + Popcount(lanes_[2]) +
+           Popcount(lanes_[3]);
+  }
+
+ private:
+  template <typename Fn>
+  static Word256 Apply(const Word256& a, const Word256& b, Fn fn) {
+    Word256 out;
+    for (int i = 0; i < 4; ++i) out.lanes_[i] = fn(a.lanes_[i], b.lanes_[i]);
+    return out;
+  }
+
+  Word lanes_[4];
+};
+
+#endif  // ICP_HAVE_AVX2
+
+}  // namespace icp
+
+#endif  // ICP_SIMD_WORD256_H_

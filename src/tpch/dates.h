@@ -1,0 +1,32 @@
+// TPC-H date helpers.
+//
+// TPC-H dates span 1992-01-01 .. 1998-12-31; columns store "days since
+// 1992-01-01" so they encode in 12 bits.
+
+#ifndef ICP_TPCH_DATES_H_
+#define ICP_TPCH_DATES_H_
+
+#include <cstdint>
+
+#include "util/dates.h"
+
+namespace icp::tpch {
+
+using icp::DaysFromCivil;
+
+/// The TPC-H epoch (1992-01-01) as a day number.
+inline constexpr std::int64_t kTpchEpoch = DaysFromCivil(1992, 1, 1);
+
+/// Days since 1992-01-01.
+constexpr std::int64_t Day(int y, int m, int d) {
+  return DaysFromCivil(y, m, d) - kTpchEpoch;
+}
+
+static_assert(Day(1992, 1, 1) == 0);
+static_assert(Day(1992, 1, 2) == 1);
+static_assert(Day(1993, 1, 1) == 366);  // 1992 is a leap year
+static_assert(Day(1998, 12, 31) == 2556);
+
+}  // namespace icp::tpch
+
+#endif  // ICP_TPCH_DATES_H_

@@ -1,0 +1,146 @@
+#include "tpch/generator.h"
+
+#include "tpch/dates.h"
+#include "util/random.h"
+
+namespace icp::tpch {
+namespace {
+
+// TPC-H 4.3 distributions for the generated columns.
+constexpr std::int64_t kMaxOrderDay = Day(1998, 8, 2);
+constexpr std::int64_t kReturnCutoff = Day(1995, 6, 17);
+
+}  // namespace
+
+WideTableData GenerateWideTable(const GeneratorConfig& config) {
+  Random rng(config.seed);
+  const std::size_t n = config.num_rows;
+  WideTableData d;
+  auto reserve = [&](std::vector<std::int64_t>& v) { v.resize(n); };
+  reserve(d.quantity);
+  reserve(d.extendedprice);
+  reserve(d.discount);
+  reserve(d.tax);
+  reserve(d.orderdate);
+  reserve(d.shipdate);
+  reserve(d.receiptdate);
+  reserve(d.returnflag);
+  reserve(d.linestatus);
+  reserve(d.supp_nation);
+  reserve(d.cust_nation);
+  reserve(d.part_green);
+  reserve(d.part_promo);
+  reserve(d.supplycost);
+  reserve(d.availqty);
+  reserve(d.disc_price);
+  reserve(d.charge);
+  reserve(d.disc_revenue);
+  reserve(d.promo_volume);
+  reserve(d.amount);
+  reserve(d.supp_value);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int64_t qty =
+        static_cast<std::int64_t>(rng.UniformInt(1, 50));
+    // p_retailprice in [900.00, 1049.49] dollars; extendedprice =
+    // quantity * retailprice, in cents.
+    const std::int64_t retail =
+        static_cast<std::int64_t>(rng.UniformInt(90000, 104949));
+    const std::int64_t extprice = qty * retail;
+    const std::int64_t disc =
+        static_cast<std::int64_t>(rng.UniformInt(0, 10));
+    const std::int64_t tax = static_cast<std::int64_t>(rng.UniformInt(0, 8));
+    // o_orderdate uniform in [1992-01-01, 1998-08-02]; l_shipdate =
+    // orderdate + 1..121; l_receiptdate = shipdate + 1..30.
+    const std::int64_t odate =
+        static_cast<std::int64_t>(rng.UniformInt(0, kMaxOrderDay));
+    const std::int64_t sdate =
+        odate + static_cast<std::int64_t>(rng.UniformInt(1, 121));
+    const std::int64_t rdate =
+        sdate + static_cast<std::int64_t>(rng.UniformInt(1, 30));
+    // l_returnflag: 'R' or 'A' (50/50) when receipt <= 1995-06-17, else 'N'.
+    const std::int64_t rflag =
+        rdate <= kReturnCutoff ? (rng.Bernoulli(0.5) ? 'R' : 'A') : 'N';
+    // l_linestatus: 'F' (fulfilled) up to the same cutoff, else 'O' (open).
+    const std::int64_t lstatus = sdate <= kReturnCutoff ? 'F' : 'O';
+
+    const std::int64_t supp_nation =
+        static_cast<std::int64_t>(rng.UniformInt(0, 24));
+    const std::int64_t cust_nation =
+        static_cast<std::int64_t>(rng.UniformInt(0, 24));
+    // p_name is 5 of 92 name words: P(contains "green") = 1 - C(91,5)/C(92,5)
+    // = 5/92. p_type begins with one of 6 syllables: P(PROMO...) = 1/6... the
+    // TPC-H type grammar yields 30/150 = 0.2 PROMO types.
+    const std::int64_t green = rng.Bernoulli(5.0 / 92.0) ? 1 : 0;
+    const std::int64_t promo = rng.Bernoulli(0.2) ? 1 : 0;
+    // ps_supplycost in [1.00, 1000.00] dollars, cents.
+    const std::int64_t cost =
+        static_cast<std::int64_t>(rng.UniformInt(100, 100000));
+    const std::int64_t avail =
+        static_cast<std::int64_t>(rng.UniformInt(1, 9999));
+
+    const std::int64_t disc_price = extprice * (100 - disc) / 100;
+    d.quantity[i] = qty;
+    d.extendedprice[i] = extprice;
+    d.discount[i] = disc;
+    d.tax[i] = tax;
+    d.orderdate[i] = odate;
+    d.shipdate[i] = sdate;
+    d.receiptdate[i] = rdate;
+    d.returnflag[i] = rflag;
+    d.linestatus[i] = lstatus;
+    d.supp_nation[i] = supp_nation;
+    d.cust_nation[i] = cust_nation;
+    d.part_green[i] = green;
+    d.part_promo[i] = promo;
+    d.supplycost[i] = cost;
+    d.availqty[i] = avail;
+    d.disc_price[i] = disc_price;
+    d.charge[i] = disc_price * (100 + tax) / 100;
+    d.disc_revenue[i] = extprice * disc / 100;
+    d.promo_volume[i] = promo == 1 ? disc_price : 0;
+    d.amount[i] = disc_price - cost * qty;
+    d.supp_value[i] = cost * avail;
+  }
+  return d;
+}
+
+StatusOr<Table> BuildTable(const WideTableData& data, Layout layout) {
+  Table table;
+  const ColumnSpec plain{.layout = layout};
+  const ColumnSpec dict{.layout = layout, .dictionary = true};
+  struct Entry {
+    const char* name;
+    const std::vector<std::int64_t>* values;
+    const ColumnSpec* spec;
+  };
+  const Entry entries[] = {
+      {"l_quantity", &data.quantity, &plain},
+      {"l_extendedprice", &data.extendedprice, &plain},
+      {"l_discount", &data.discount, &plain},
+      {"l_tax", &data.tax, &plain},
+      {"o_orderdate", &data.orderdate, &plain},
+      {"l_shipdate", &data.shipdate, &plain},
+      {"l_receiptdate", &data.receiptdate, &plain},
+      {"l_returnflag", &data.returnflag, &dict},
+      {"l_linestatus", &data.linestatus, &dict},
+      {"supp_nation", &data.supp_nation, &plain},
+      {"cust_nation", &data.cust_nation, &plain},
+      {"part_green", &data.part_green, &plain},
+      {"part_promo", &data.part_promo, &plain},
+      {"ps_supplycost", &data.supplycost, &plain},
+      {"ps_availqty", &data.availqty, &plain},
+      {"disc_price", &data.disc_price, &plain},
+      {"charge", &data.charge, &plain},
+      {"disc_revenue", &data.disc_revenue, &plain},
+      {"promo_volume", &data.promo_volume, &plain},
+      {"amount", &data.amount, &plain},
+      {"supp_value", &data.supp_value, &plain},
+  };
+  for (const Entry& e : entries) {
+    ICP_RETURN_IF_ERROR(table.AddColumn(e.name, *e.values, *e.spec));
+  }
+  return table;
+}
+
+}  // namespace icp::tpch

@@ -1,0 +1,119 @@
+#include "tpch/queries.h"
+
+#include "tpch/dates.h"
+
+namespace icp::tpch {
+
+std::vector<QuerySpec> MakeQueries() {
+  std::vector<QuerySpec> queries;
+
+  // Q1: pricing summary report. WHERE l_shipdate <= 1998-12-01 - 90 days.
+  // Group-by (returnflag, linestatus) is materialized away per [11]; the
+  // aggregate list is Q1's, over materialized disc_price/charge columns.
+  queries.push_back(QuerySpec{
+      .id = "Q1",
+      .paper_selectivity = 0.986,
+      .filter = FilterExpr::Compare("l_shipdate", CompareOp::kLe,
+                                    Day(1998, 9, 2)),
+      .aggregates = {{AggKind::kSum, "l_quantity"},
+                     {AggKind::kSum, "l_extendedprice"},
+                     {AggKind::kSum, "disc_price"},
+                     {AggKind::kSum, "charge"},
+                     {AggKind::kAvg, "l_quantity"},
+                     {AggKind::kAvg, "l_extendedprice"},
+                     {AggKind::kAvg, "l_discount"},
+                     {AggKind::kCount, "l_quantity"}},
+      .note = "shipdate <= '1998-09-02'; group-by materialized away"});
+
+  // Q6: forecasting revenue change. Revenue = extendedprice * discount is
+  // the materialized disc_revenue column.
+  queries.push_back(QuerySpec{
+      .id = "Q6",
+      .paper_selectivity = 0.019,
+      .filter = FilterExpr::And(
+          {FilterExpr::Between("l_shipdate", Day(1994, 1, 1),
+                               Day(1995, 1, 1) - 1),
+           FilterExpr::Between("l_discount", 5, 7),
+           FilterExpr::Compare("l_quantity", CompareOp::kLt, 24)}),
+      .aggregates = {{AggKind::kSum, "disc_revenue"}},
+      .note = "shipdate in 1994, discount in [0.05,0.07], quantity < 24"});
+
+  // Q7: volume shipping. The nation-pair equijoin is denormalized into the
+  // wide table; the scanned predicate (and the paper's 0.301 selectivity)
+  // is the shipdate range over 1995-1996.
+  queries.push_back(QuerySpec{
+      .id = "Q7",
+      .paper_selectivity = 0.301,
+      .filter = FilterExpr::Between("l_shipdate", Day(1995, 1, 1),
+                                    Day(1996, 12, 31)),
+      .aggregates = {{AggKind::kSum, "disc_price"}},
+      .note = "shipdate in [1995, 1996]; nation pairs denormalized"});
+
+  // Q9: product type profit. p_name LIKE '%green%' is materialized as the
+  // part_green flag (P = 5/92 ~ 0.054); profit amount is materialized.
+  queries.push_back(QuerySpec{
+      .id = "Q9",
+      .paper_selectivity = 0.053,
+      .filter = FilterExpr::Compare("part_green", CompareOp::kEq, 1),
+      .aggregates = {{AggKind::kSum, "amount"}},
+      .note = "p_name like '%green%' materialized as flag column"});
+
+  // Q10: returned item reporting. o_orderdate in a quarter AND
+  // l_returnflag = 'R'. Our generated distributions give ~0.0095 (3 months
+  // = 0.038 of orders, ~25% of those are 'R'); the paper lists 0.019 —
+  // same sub-0.02 regime, see EXPERIMENTS.md.
+  queries.push_back(QuerySpec{
+      .id = "Q10",
+      .paper_selectivity = 0.019,
+      .filter = FilterExpr::And(
+          {FilterExpr::Between("o_orderdate", Day(1993, 10, 1),
+                               Day(1994, 1, 1) - 1),
+           FilterExpr::Compare("l_returnflag", CompareOp::kEq, 'R')}),
+      .aggregates = {{AggKind::kSum, "disc_price"}},
+      .note = "orderdate in 1993Q4 and returnflag = 'R'"});
+
+  // Q11: important stock identification. Suppliers in GERMANY (1 of 25
+  // nations); value = ps_supplycost * ps_availqty is materialized.
+  queries.push_back(QuerySpec{
+      .id = "Q11",
+      .paper_selectivity = 0.041,
+      .filter = FilterExpr::Compare("supp_nation", CompareOp::kEq, 7),
+      .aggregates = {{AggKind::kSum, "supp_value"}},
+      .note = "supplier nation = GERMANY (1/25)"});
+
+  // Q14: promotion effect. One month of shipments; the CASE expression is
+  // the materialized promo_volume column, the ratio's denominator is the
+  // disc_price sum.
+  queries.push_back(QuerySpec{
+      .id = "Q14",
+      .paper_selectivity = 0.012,
+      .filter = FilterExpr::Between("l_shipdate", Day(1995, 9, 1),
+                                    Day(1995, 10, 1) - 1),
+      .aggregates = {{AggKind::kSum, "promo_volume"},
+                     {AggKind::kSum, "disc_price"}},
+      .note = "shipdate in 1995-09; CASE materialized as promo_volume"});
+
+  // Q15: top supplier. Three months of shipments.
+  queries.push_back(QuerySpec{
+      .id = "Q15",
+      .paper_selectivity = 0.037,
+      .filter = FilterExpr::Between("l_shipdate", Day(1996, 1, 1),
+                                    Day(1996, 4, 1) - 1),
+      .aggregates = {{AggKind::kSum, "disc_price"}},
+      .note = "shipdate in [1996-01, 1996-04)"});
+
+  // Q20: potential part promotion. The part-name prefix predicate is
+  // materialized into the wide table per [11]; the scanned predicate (and
+  // the paper's 0.150 selectivity) is the shipdate-in-1994 range.
+  queries.push_back(QuerySpec{
+      .id = "Q20",
+      .paper_selectivity = 0.150,
+      .filter = FilterExpr::Between("l_shipdate", Day(1994, 1, 1),
+                                    Day(1995, 1, 1) - 1),
+      .aggregates = {{AggKind::kSum, "l_quantity"}},
+      .note = "shipdate in 1994; p_name prefix materialized away"});
+
+  return queries;
+}
+
+}  // namespace icp::tpch

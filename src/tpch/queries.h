@@ -1,0 +1,37 @@
+// The nine TPC-H queries of the paper's Table II, in wide-table form.
+//
+// Following [11]/[12] (as the paper does), each query reduces to one filter
+// over the wide table plus aggregations over single (possibly materialized)
+// columns. The per-query notes record how the SQL maps onto this form and
+// where the expected selectivity comes from; the paper's Table II
+// selectivity column is reproduced as `paper_selectivity`.
+
+#ifndef ICP_TPCH_QUERIES_H_
+#define ICP_TPCH_QUERIES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "engine/expression.h"
+
+namespace icp::tpch {
+
+struct QuerySpec {
+  std::string id;
+  /// Filter selectivity reported in the paper's Table II.
+  double paper_selectivity;
+  FilterExprPtr filter;
+  /// (aggregate, column) pairs the query computes after the scan.
+  std::vector<std::pair<AggKind, std::string>> aggregates;
+  /// How the SQL was transformed to wide-table form.
+  std::string note;
+};
+
+/// All nine queries (Q1, Q6, Q7, Q9, Q10, Q11, Q14, Q15, Q20).
+std::vector<QuerySpec> MakeQueries();
+
+}  // namespace icp::tpch
+
+#endif  // ICP_TPCH_QUERIES_H_

@@ -1,0 +1,88 @@
+// Cache-line-aligned word storage for packed columns.
+//
+// Column data is read with full-word (and 256-bit SIMD) loads; 64-byte
+// alignment keeps segment starts on cache-line boundaries, which is what the
+// word-group layout of Section II-C relies on to make early stopping save
+// memory bandwidth.
+
+#ifndef ICP_UTIL_ALIGNED_BUFFER_H_
+#define ICP_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "util/bits.h"
+#include "util/check.h"
+
+namespace icp {
+
+/// A fixed-size, zero-initialized, 64-byte-aligned array of words.
+///
+/// Guarantee: the allocation is always a whole number of cache lines, and
+/// the words between size() and the next 8-word boundary are allocated and
+/// zero. SIMD kernels rely on this to issue full 256-bit loads over a
+/// ragged tail without touching unowned memory.
+class WordBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  WordBuffer() = default;
+
+  explicit WordBuffer(std::size_t size) : size_(size) {
+    if (size_ == 0) return;
+    const std::size_t bytes =
+        CeilDiv(size_ * sizeof(Word), kAlignment) * kAlignment;
+    void* raw = std::aligned_alloc(kAlignment, bytes);
+    ICP_CHECK(raw != nullptr);
+    std::memset(raw, 0, bytes);
+    data_.reset(static_cast<Word*>(raw));
+  }
+
+  WordBuffer(WordBuffer&&) = default;
+  WordBuffer& operator=(WordBuffer&&) = default;
+
+  WordBuffer(const WordBuffer& other) : WordBuffer(other.size_) {
+    if (size_ > 0) {
+      std::memcpy(data_.get(), other.data_.get(), size_ * sizeof(Word));
+    }
+  }
+  WordBuffer& operator=(const WordBuffer& other) {
+    if (this != &other) *this = WordBuffer(other);
+    return *this;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  Word* data() { return data_.get(); }
+  const Word* data() const { return data_.get(); }
+
+  Word& operator[](std::size_t i) {
+    ICP_DCHECK(i < size_);
+    return data_.get()[i];
+  }
+  Word operator[](std::size_t i) const {
+    ICP_DCHECK(i < size_);
+    return data_.get()[i];
+  }
+
+  Word* begin() { return data_.get(); }
+  Word* end() { return data_.get() + size_; }
+  const Word* begin() const { return data_.get(); }
+  const Word* end() const { return data_.get() + size_; }
+
+ private:
+  struct FreeDeleter {
+    void operator()(Word* p) const { std::free(p); }
+  };
+
+  std::unique_ptr<Word, FreeDeleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace icp
+
+#endif  // ICP_UTIL_ALIGNED_BUFFER_H_

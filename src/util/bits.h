@@ -1,0 +1,136 @@
+// Word-level bit manipulation primitives shared by every layout and
+// algorithm in the library.
+//
+// Terminology follows the paper (Feng & Lo, ICDE 2015) and BitWeaving
+// (Li & Patel, SIGMOD 2013):
+//   * a processor word is 64 bits (icp::Word);
+//   * "slot j" of a word refers to the j-th value position counted from the
+//     most significant end, so v_1 in the paper's figures is the MSB side;
+//   * HBP packs values into fixed-width *fields* of `s = tau + 1` bits whose
+//     top bit is the delimiter. Fields are packed from the MSB end and the
+//     remaining `64 - m*s` low bits are zero padding.
+
+#ifndef ICP_UTIL_BITS_H_
+#define ICP_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace icp {
+
+using Word = std::uint64_t;
+
+/// Wide accumulator for SUM aggregates: n * (2^k - 1) can exceed 64 bits for
+/// the paper's widest configurations (k up to 50, billions of tuples), so
+/// sums are returned as 128-bit integers. (GCC/Clang extension; this library
+/// targets those compilers.)
+using UInt128 = unsigned __int128;
+
+/// Lossy conversion helper for reporting.
+inline double UInt128ToDouble(UInt128 v) {
+  return static_cast<double>(static_cast<std::uint64_t>(v >> 64)) *
+             18446744073709551616.0 +
+         static_cast<double>(static_cast<std::uint64_t>(v));
+}
+
+inline constexpr int kWordBits = 64;
+
+/// Number of 1-bits in `w` (the paper's POPCNT primitive).
+inline constexpr int Popcount(Word w) { return std::popcount(w); }
+
+/// Number of trailing zero bits; 64 when `w == 0`.
+inline constexpr int CountTrailingZeros(Word w) { return std::countr_zero(w); }
+
+/// Number of leading zero bits; 64 when `w == 0`.
+inline constexpr int CountLeadingZeros(Word w) { return std::countl_zero(w); }
+
+/// A word with the low `bits` bits set. `bits` must be in [0, 64].
+inline constexpr Word LowMask(int bits) {
+  ICP_DCHECK(bits >= 0 && bits <= kWordBits);
+  return bits >= kWordBits ? ~Word{0} : ((Word{1} << bits) - 1);
+}
+
+/// A word with the high `bits` bits set. `bits` must be in [0, 64].
+inline constexpr Word HighMask(int bits) {
+  ICP_DCHECK(bits >= 0 && bits <= kWordBits);
+  return bits == 0 ? Word{0} : ~Word{0} << (kWordBits - bits);
+}
+
+/// Minimum number of bits needed to represent `max_value` (>= 1 for 0).
+inline constexpr int BitsFor(std::uint64_t max_value) {
+  return max_value == 0 ? 1 : kWordBits - CountLeadingZeros(max_value);
+}
+
+/// Ceiling division for non-negative integers.
+inline constexpr std::uint64_t CeilDiv(std::uint64_t a, std::uint64_t b) {
+  ICP_DCHECK(b != 0);
+  return (a + b - 1) / b;
+}
+
+// ---------------------------------------------------------------------------
+// HBP field helpers. `s` is the field width in bits, 1 <= s <= 64.
+// Field f (0-based) occupies bits [64 - (f+1)*s, 64 - f*s); the field's
+// delimiter (top) bit is bit 63 - f*s.
+// ---------------------------------------------------------------------------
+
+/// Number of complete s-bit fields that fit in a 64-bit word.
+inline constexpr int FieldsPerWord(int s) {
+  ICP_DCHECK(s >= 1 && s <= kWordBits);
+  return kWordBits / s;
+}
+
+/// Mask with the delimiter (top) bit of each field set:
+/// the paper's pattern 1 0^tau 1 0^tau ... (tau = s - 1).
+inline constexpr Word DelimiterMask(int s) {
+  Word mask = 0;
+  for (int f = 0; f < FieldsPerWord(s); ++f) {
+    mask |= Word{1} << (kWordBits - 1 - f * s);
+  }
+  return mask;
+}
+
+/// Mask with the least significant bit of each field set.
+inline constexpr Word FieldLsbMask(int s) {
+  Word mask = 0;
+  for (int f = 0; f < FieldsPerWord(s); ++f) {
+    mask |= Word{1} << (kWordBits - (f + 1) * s);
+  }
+  return mask;
+}
+
+/// Mask with all non-delimiter (value) bits of each field set:
+/// the paper's pattern 0 1^tau 0 1^tau ...
+inline constexpr Word FieldValueMask(int s) {
+  // Within each field delimiter >= lsb, so the subtraction never borrows
+  // across field boundaries. For s == 1 there are no value bits (result 0).
+  return DelimiterMask(s) - FieldLsbMask(s);
+}
+
+/// Broadcasts `value` (must fit in s bits) into every field of a word.
+/// Used to pack predicate constants (the paper's word W_c).
+inline constexpr Word RepeatField(Word value, int s) {
+  ICP_DCHECK(s == kWordBits || value < (Word{1} << s));
+  Word out = 0;
+  for (int f = 0; f < FieldsPerWord(s); ++f) {
+    out |= value << (kWordBits - (f + 1) * s);
+  }
+  return out;
+}
+
+/// A word with a 1 every `stride` bits starting at bit 0: bits 0, stride,
+/// 2*stride, ..., (count-1)*stride. Used by the IN-WORD-SUM multiply step.
+inline constexpr Word StridedOnes(int stride, int count) {
+  ICP_DCHECK(stride >= 1);
+  ICP_DCHECK(count >= 1 && (count - 1) * stride < kWordBits);
+  Word out = 0;
+  for (int i = 0; i < count; ++i) {
+    out |= Word{1} << (i * stride);
+  }
+  return out;
+}
+
+}  // namespace icp
+
+#endif  // ICP_UTIL_BITS_H_

@@ -1,0 +1,48 @@
+// Lightweight assertion macros used across the library.
+//
+// The project follows the Google C++ style guide: exceptions are not used.
+// Invariant violations are programming errors and abort the process with a
+// message; recoverable errors are reported through icp::Status.
+
+#ifndef ICP_UTIL_CHECK_H_
+#define ICP_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace icp::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "ICP_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace icp::internal
+
+// Always-on invariant check (kept in release builds: the cost is negligible
+// outside of per-word inner loops, where ICP_DCHECK is used instead).
+#define ICP_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) {                                             \
+      ::icp::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                          \
+  } while (0)
+
+#define ICP_CHECK_EQ(a, b) ICP_CHECK((a) == (b))
+#define ICP_CHECK_NE(a, b) ICP_CHECK((a) != (b))
+#define ICP_CHECK_LT(a, b) ICP_CHECK((a) < (b))
+#define ICP_CHECK_LE(a, b) ICP_CHECK((a) <= (b))
+#define ICP_CHECK_GT(a, b) ICP_CHECK((a) > (b))
+#define ICP_CHECK_GE(a, b) ICP_CHECK((a) >= (b))
+
+// Debug-only check for hot loops.
+#ifndef NDEBUG
+#define ICP_DCHECK(expr) ICP_CHECK(expr)
+#else
+#define ICP_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // ICP_UTIL_CHECK_H_

@@ -1,0 +1,27 @@
+// Gregorian calendar helpers (proleptic; Howard Hinnant's algorithm).
+
+#ifndef ICP_UTIL_DATES_H_
+#define ICP_UTIL_DATES_H_
+
+#include <cstdint>
+
+namespace icp {
+
+/// Days since 1970-01-01 for a Gregorian calendar date.
+constexpr std::int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097LL + static_cast<std::int64_t>(doe) - 719468;
+}
+
+static_assert(DaysFromCivil(1970, 1, 1) == 0);
+static_assert(DaysFromCivil(2000, 3, 1) - DaysFromCivil(2000, 2, 28) == 2);
+
+}  // namespace icp
+
+#endif  // ICP_UTIL_DATES_H_

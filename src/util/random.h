@@ -1,0 +1,75 @@
+// Deterministic pseudo-random generation for workload synthesis.
+//
+// xoshiro256** (public-domain algorithm by Blackman & Vigna) seeded through
+// splitmix64. We avoid <random> engines in data generators: they are slow for
+// billion-tuple workloads and their distributions are not reproducible across
+// standard library implementations.
+
+#ifndef ICP_UTIL_RANDOM_H_
+#define ICP_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace icp {
+
+/// Reproducible 64-bit PRNG (xoshiro256**).
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x1c9b7e3a5f2d4e81ULL) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next uniformly distributed 64-bit value.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t UniformInt(std::uint64_t lo, std::uint64_t hi) {
+    ICP_DCHECK(lo <= hi);
+    const std::uint64_t range = hi - lo + 1;
+    if (range == 0) return Next();  // full 64-bit range
+    // Rejection-free mapping via 128-bit multiply (Lemire's method without
+    // the rejection step; bias is < 2^-64 * range, negligible for workloads).
+    const unsigned __int128 product =
+        static_cast<unsigned __int128>(Next()) * range;
+    return lo + static_cast<std::uint64_t>(product >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace icp
+
+#endif  // ICP_UTIL_RANDOM_H_

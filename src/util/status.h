@@ -1,0 +1,119 @@
+// Minimal Status / StatusOr error-reporting types.
+//
+// The library does not use exceptions (Google C++ style). Operations that can
+// fail for data-dependent reasons (bad query, width overflow, unknown column)
+// return icp::Status or icp::StatusOr<T>.
+
+#ifndef ICP_UTIL_STATUS_H_
+#define ICP_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace icp {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name of a status code ("OK", "InvalidArgument"…).
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error result for operations that return no value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result. Accessing the value of a non-OK result aborts.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`
+  // (mirrors absl::StatusOr ergonomics).
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : rep_(std::move(status)) {  // NOLINT
+    ICP_CHECK(!std::get<Status>(rep_).ok());  // OK status carries no value.
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    ICP_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    ICP_CHECK(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    ICP_CHECK(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define ICP_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::icp::Status icp_status_tmp_ = (expr);    \
+    if (!icp_status_tmp_.ok()) return icp_status_tmp_; \
+  } while (0)
+
+}  // namespace icp
+
+#endif  // ICP_UTIL_STATUS_H_

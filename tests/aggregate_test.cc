@@ -1,0 +1,510 @@
+// Correctness of the bit-parallel (BP) and non-bit-parallel (NBP)
+// aggregation algorithms against the scalar oracle, across layouts, value
+// widths, bit-group sizes and selectivities.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/aggregate.h"
+#include "core/hbp_aggregate.h"
+#include "core/naive_aggregate.h"
+#include "core/nbp_aggregate.h"
+#include "core/vbp_aggregate.h"
+#include "layout/hbp_column.h"
+#include "layout/naive_column.h"
+#include "layout/vbp_column.h"
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+struct Workload {
+  std::vector<std::uint64_t> codes;
+  std::vector<bool> pass;
+
+  UInt128 ExpectedSum() const {
+    UInt128 s = 0;
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      if (pass[i]) s += codes[i];
+    }
+    return s;
+  }
+  std::vector<std::uint64_t> Passing() const {
+    std::vector<std::uint64_t> v;
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      if (pass[i]) v.push_back(codes[i]);
+    }
+    return v;
+  }
+};
+
+Workload MakeWorkload(std::size_t n, int k, double selectivity,
+                      std::uint64_t seed) {
+  Random rng(seed);
+  Workload w;
+  w.codes.resize(n);
+  w.pass.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.codes[i] = rng.UniformInt(0, LowMask(k));
+    w.pass[i] = rng.Bernoulli(selectivity);
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Paper worked examples
+// ---------------------------------------------------------------------------
+
+TEST(VbpAggregateTest, PaperSumExample) {
+  // Section III-A: values 1,7,2,1,6,0,2,7 sum to 26.
+  const std::vector<std::uint64_t> codes = {1, 7, 2, 1, 6, 0, 2, 7};
+  const VbpColumn col = VbpColumn::Pack(codes, 3, {.tau = 3});
+  FilterBitVector f(codes.size(), VbpColumn::kValuesPerSegment);
+  f.SetAll();
+  EXPECT_EQ(static_cast<std::uint64_t>(vbp::Sum(col, f)), 26u);
+}
+
+TEST(VbpAggregateTest, PaperSlotMinExample) {
+  // Section III-A SLOTMIN: segments {1,7,2,1,6,0,2,7} and {1,3,2,0,0,2,2,3}
+  // have slot-wise minimum {1,3,2,0,0,0,2,3}; the global min is 0.
+  std::vector<std::uint64_t> codes(128, 7);  // pad both segments with 7s
+  const std::uint64_t seg1[8] = {1, 7, 2, 1, 6, 0, 2, 7};
+  const std::uint64_t seg2[8] = {1, 3, 2, 0, 0, 2, 2, 3};
+  std::copy(seg1, seg1 + 8, codes.begin());
+  std::copy(seg2, seg2 + 8, codes.begin() + 64);
+  const VbpColumn col = VbpColumn::Pack(codes, 3, {.tau = 3});
+  FilterBitVector f(codes.size(), VbpColumn::kValuesPerSegment);
+  f.SetAll();
+  EXPECT_EQ(vbp::Min(col, f), std::optional<std::uint64_t>(0));
+  EXPECT_EQ(vbp::Max(col, f), std::optional<std::uint64_t>(7));
+}
+
+TEST(VbpAggregateTest, PaperMedianExample) {
+  // Section III-A MEDIAN: values 1,7,2,1,6,0,2,7; the paper derives the
+  // lower median (4th smallest of 8) = (010)_2 = 2.
+  const std::vector<std::uint64_t> codes = {1, 7, 2, 1, 6, 0, 2, 7};
+  const VbpColumn col = VbpColumn::Pack(codes, 3, {.tau = 3});
+  FilterBitVector f(codes.size(), VbpColumn::kValuesPerSegment);
+  f.SetAll();
+  EXPECT_EQ(vbp::Median(col, f), std::optional<std::uint64_t>(2));
+}
+
+TEST(HbpAggregateTest, PaperSubSlotMinExample) {
+  // Section III-B SUB-SLOTMIN: v1=51, v5=44, v2=8, v6=58 (k=6, tau=3).
+  // Packed as the first segment values in column-first order:
+  // index 0 -> sub-seg 0 slot 0 (v1), index 1 -> sub-seg 1 slot 0 (v2), ...
+  // index 4 -> sub-seg 0 slot 1 (v5), index 5 -> sub-seg 1 slot 1 (v6).
+  std::vector<std::uint64_t> codes(16, 63);
+  codes[0] = 51;
+  codes[1] = 8;
+  codes[4] = 44;
+  codes[5] = 58;
+  const HbpColumn col = HbpColumn::Pack(codes, 6, {.tau = 3});
+  FilterBitVector f(codes.size(), col.values_per_segment());
+  f.SetAll();
+  EXPECT_EQ(hbp::Min(col, f), std::optional<std::uint64_t>(8));
+  EXPECT_EQ(hbp::Max(col, f), std::optional<std::uint64_t>(63));
+}
+
+TEST(HbpAggregateTest, PaperMedianHistogramExample) {
+  // Section III-B MEDIAN: 8 values of 6 bits each, tau = 3. Values (from
+  // Fig. 4b): v1..v8 = 110011, 001000, 111011, 101001, 101100, 111000,
+  // 101110, 010100 in binary = 51, 8, 59, 41, 44, 56, 46, 20.
+  // Sorted: 8,20,41,44,46,51,56,59 -> lower median (4th) = 44 = 101 100.
+  const std::vector<std::uint64_t> codes = {51, 8, 59, 41, 44, 56, 46, 20};
+  const HbpColumn col = HbpColumn::Pack(codes, 6, {.tau = 3});
+  FilterBitVector f(codes.size(), col.values_per_segment());
+  f.SetAll();
+  EXPECT_EQ(hbp::Median(col, f), std::optional<std::uint64_t>(44));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: BP and NBP agree with the scalar oracle
+// ---------------------------------------------------------------------------
+
+class AggPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(AggPropertyTest, VbpAllAggregatesMatchOracle) {
+  const auto [k, selectivity, n] = GetParam();
+  const Workload w = MakeWorkload(n, k, selectivity, 17 + k);
+  const VbpColumn col = VbpColumn::Pack(w.codes, k);
+  const FilterBitVector f =
+      FilterBitVector::FromBools(w.pass, VbpColumn::kValuesPerSegment);
+  auto passing = w.Passing();
+  std::sort(passing.begin(), passing.end());
+
+  EXPECT_EQ(CountAggregate(f), passing.size());
+  EXPECT_TRUE(vbp::Sum(col, f) == w.ExpectedSum());
+  EXPECT_TRUE(nbp::Sum(col, f) == w.ExpectedSum());
+  if (passing.empty()) {
+    EXPECT_FALSE(vbp::Min(col, f).has_value());
+    EXPECT_FALSE(vbp::Max(col, f).has_value());
+    EXPECT_FALSE(vbp::Median(col, f).has_value());
+    EXPECT_FALSE(nbp::Min(col, f).has_value());
+  } else {
+    EXPECT_EQ(vbp::Min(col, f), std::optional(passing.front()));
+    EXPECT_EQ(vbp::Max(col, f), std::optional(passing.back()));
+    EXPECT_EQ(vbp::Median(col, f),
+              std::optional(passing[(passing.size() + 1) / 2 - 1]));
+    EXPECT_EQ(nbp::Min(col, f), std::optional(passing.front()));
+    EXPECT_EQ(nbp::Max(col, f), std::optional(passing.back()));
+    EXPECT_EQ(nbp::Median(col, f),
+              std::optional(passing[(passing.size() + 1) / 2 - 1]));
+  }
+}
+
+TEST_P(AggPropertyTest, HbpAllAggregatesMatchOracle) {
+  const auto [k, selectivity, n] = GetParam();
+  const Workload w = MakeWorkload(n, k, selectivity, 31 + k);
+  const HbpColumn col = HbpColumn::Pack(w.codes, k);
+  const FilterBitVector f =
+      FilterBitVector::FromBools(w.pass, col.values_per_segment());
+  auto passing = w.Passing();
+  std::sort(passing.begin(), passing.end());
+
+  EXPECT_EQ(CountAggregate(f), passing.size());
+  EXPECT_TRUE(hbp::Sum(col, f) == w.ExpectedSum());
+  EXPECT_TRUE(nbp::Sum(col, f) == w.ExpectedSum());
+  if (passing.empty()) {
+    EXPECT_FALSE(hbp::Min(col, f).has_value());
+    EXPECT_FALSE(hbp::Max(col, f).has_value());
+    EXPECT_FALSE(hbp::Median(col, f).has_value());
+  } else {
+    EXPECT_EQ(hbp::Min(col, f), std::optional(passing.front()));
+    EXPECT_EQ(hbp::Max(col, f), std::optional(passing.back()));
+    EXPECT_EQ(hbp::Median(col, f),
+              std::optional(passing[(passing.size() + 1) / 2 - 1]));
+    EXPECT_EQ(nbp::Min(col, f), std::optional(passing.front()));
+    EXPECT_EQ(nbp::Max(col, f), std::optional(passing.back()));
+    EXPECT_EQ(nbp::Median(col, f),
+              std::optional(passing[(passing.size() + 1) / 2 - 1]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsSelectivities, AggPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 7, 12, 25, 33, 50),
+                       ::testing::Values(0.0, 0.01, 0.1, 0.5, 1.0),
+                       ::testing::Values(64, 100, 1000)));
+
+// Sweep bit-group sizes explicitly (tau is the cache-line optimization knob).
+class AggTauTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AggTauTest, VbpAggregatesAcrossTau) {
+  const auto [k, tau] = GetParam();
+  if (tau > k) GTEST_SKIP();
+  const Workload w = MakeWorkload(500, k, 0.3, 7 * k + tau);
+  const VbpColumn col = VbpColumn::Pack(w.codes, k, {.tau = tau});
+  const FilterBitVector f =
+      FilterBitVector::FromBools(w.pass, VbpColumn::kValuesPerSegment);
+  auto passing = w.Passing();
+  std::sort(passing.begin(), passing.end());
+  ASSERT_FALSE(passing.empty());
+  EXPECT_TRUE(vbp::Sum(col, f) == w.ExpectedSum());
+  EXPECT_EQ(vbp::Min(col, f), std::optional(passing.front()));
+  EXPECT_EQ(vbp::Max(col, f), std::optional(passing.back()));
+  EXPECT_EQ(vbp::Median(col, f),
+            std::optional(passing[(passing.size() + 1) / 2 - 1]));
+}
+
+TEST_P(AggTauTest, HbpAggregatesAcrossTau) {
+  const auto [k, tau] = GetParam();
+  const Workload w = MakeWorkload(500, k, 0.3, 9 * k + tau);
+  const HbpColumn col = HbpColumn::Pack(w.codes, k, {.tau = tau});
+  const FilterBitVector f =
+      FilterBitVector::FromBools(w.pass, col.values_per_segment());
+  auto passing = w.Passing();
+  std::sort(passing.begin(), passing.end());
+  ASSERT_FALSE(passing.empty());
+  EXPECT_TRUE(hbp::Sum(col, f) == w.ExpectedSum());
+  EXPECT_EQ(hbp::Min(col, f), std::optional(passing.front()));
+  EXPECT_EQ(hbp::Max(col, f), std::optional(passing.back()));
+  EXPECT_EQ(hbp::Median(col, f),
+            std::optional(passing[(passing.size() + 1) / 2 - 1]));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TauSweep, AggTauTest,
+    ::testing::Combine(::testing::Values(3, 7, 13, 25, 40),
+                       ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16)));
+
+// ---------------------------------------------------------------------------
+// RankSelect (general r-selection, paper's note after Algorithm 3)
+// ---------------------------------------------------------------------------
+
+TEST(RankSelectTest, AllRanksBothLayouts) {
+  const Workload w = MakeWorkload(300, 9, 0.5, 1234);
+  const VbpColumn vcol = VbpColumn::Pack(w.codes, 9);
+  const HbpColumn hcol = HbpColumn::Pack(w.codes, 9);
+  const FilterBitVector vf =
+      FilterBitVector::FromBools(w.pass, VbpColumn::kValuesPerSegment);
+  const FilterBitVector hf =
+      FilterBitVector::FromBools(w.pass, hcol.values_per_segment());
+  auto passing = w.Passing();
+  std::sort(passing.begin(), passing.end());
+  ASSERT_GT(passing.size(), 10u);
+  for (std::uint64_t r = 1; r <= passing.size(); ++r) {
+    ASSERT_EQ(vbp::RankSelect(vcol, vf, r), std::optional(passing[r - 1]))
+        << "r=" << r;
+    ASSERT_EQ(hbp::RankSelect(hcol, hf, r), std::optional(passing[r - 1]))
+        << "r=" << r;
+    ASSERT_EQ(nbp::RankSelect(vcol, vf, r), std::optional(passing[r - 1]));
+    ASSERT_EQ(nbp::RankSelect(hcol, hf, r), std::optional(passing[r - 1]));
+  }
+  // Out-of-range ranks.
+  EXPECT_FALSE(vbp::RankSelect(vcol, vf, 0).has_value());
+  EXPECT_FALSE(vbp::RankSelect(vcol, vf, passing.size() + 1).has_value());
+  EXPECT_FALSE(hbp::RankSelect(hcol, hf, 0).has_value());
+  EXPECT_FALSE(hbp::RankSelect(hcol, hf, passing.size() + 1).has_value());
+}
+
+TEST(RankSelectTest, DuplicateHeavyData) {
+  // Many ties stress the candidate-narrowing logic.
+  Random rng(55);
+  std::vector<std::uint64_t> codes(400);
+  for (auto& c : codes) c = rng.UniformInt(0, 3);
+  const VbpColumn vcol = VbpColumn::Pack(codes, 6);
+  const HbpColumn hcol = HbpColumn::Pack(codes, 6, {.tau = 2});
+  FilterBitVector vf(codes.size(), 64);
+  vf.SetAll();
+  FilterBitVector hf(codes.size(), hcol.values_per_segment());
+  hf.SetAll();
+  auto sorted = codes;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint64_t r : {std::uint64_t{1}, std::uint64_t{100},
+                          std::uint64_t{200}, std::uint64_t{400}}) {
+    EXPECT_EQ(vbp::RankSelect(vcol, vf, r), std::optional(sorted[r - 1]));
+    EXPECT_EQ(hbp::RankSelect(hcol, hf, r), std::optional(sorted[r - 1]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Partial/merge APIs (the multi-threading building blocks)
+// ---------------------------------------------------------------------------
+
+TEST(PartialAggregateTest, VbpSumRangeSplitsAndMerges) {
+  const Workload w = MakeWorkload(1000, 13, 0.4, 77);
+  const VbpColumn col = VbpColumn::Pack(w.codes, 13);
+  const FilterBitVector f =
+      FilterBitVector::FromBools(w.pass, VbpColumn::kValuesPerSegment);
+  const std::size_t mid = f.num_segments() / 2;
+  std::uint64_t bit_sums[64] = {};
+  vbp::AccumulateBitSums(col, f, 0, mid, bit_sums);
+  vbp::AccumulateBitSums(col, f, mid, f.num_segments(), bit_sums);
+  EXPECT_TRUE(vbp::CombineBitSums(bit_sums, 13) == w.ExpectedSum());
+}
+
+TEST(PartialAggregateTest, VbpSlotExtremeMerge) {
+  const Workload w = MakeWorkload(1000, 11, 0.4, 78);
+  const VbpColumn col = VbpColumn::Pack(w.codes, 11);
+  const FilterBitVector f =
+      FilterBitVector::FromBools(w.pass, VbpColumn::kValuesPerSegment);
+  const std::size_t mid = f.num_segments() / 3;
+  Word t1[64], t2[64];
+  vbp::InitSlotExtreme(11, true, t1);
+  vbp::InitSlotExtreme(11, true, t2);
+  vbp::SlotExtremeRange(col, f, 0, mid, true, t1);
+  vbp::SlotExtremeRange(col, f, mid, f.num_segments(), true, t2);
+  vbp::MergeSlotExtreme(t2, 11, true, t1);
+  auto passing = w.Passing();
+  ASSERT_FALSE(passing.empty());
+  EXPECT_EQ(vbp::ExtremeOfSlots(t1, 11, true),
+            *std::min_element(passing.begin(), passing.end()));
+}
+
+TEST(PartialAggregateTest, HbpGroupSumsSplit) {
+  const Workload w = MakeWorkload(1000, 13, 0.4, 79);
+  const HbpColumn col = HbpColumn::Pack(w.codes, 13, {.tau = 4});
+  const FilterBitVector f =
+      FilterBitVector::FromBools(w.pass, col.values_per_segment());
+  const std::size_t mid = f.num_segments() / 2;
+  std::uint64_t group_sums[64] = {};
+  hbp::AccumulateGroupSums(col, f, 0, mid, group_sums);
+  hbp::AccumulateGroupSums(col, f, mid, f.num_segments(), group_sums);
+  EXPECT_TRUE(hbp::CombineGroupSums(col, group_sums) == w.ExpectedSum());
+}
+
+TEST(PartialAggregateTest, HbpSubSlotExtremeMerge) {
+  const Workload w = MakeWorkload(1000, 10, 0.4, 80);
+  const HbpColumn col = HbpColumn::Pack(w.codes, 10, {.tau = 5});
+  const FilterBitVector f =
+      FilterBitVector::FromBools(w.pass, col.values_per_segment());
+  const std::size_t mid = f.num_segments() / 3;
+  Word t1[64], t2[64];
+  hbp::InitSubSlotExtreme(col, false, t1);
+  hbp::InitSubSlotExtreme(col, false, t2);
+  hbp::SubSlotExtremeRange(col, f, 0, mid, false, t1);
+  hbp::SubSlotExtremeRange(col, f, mid, f.num_segments(), false, t2);
+  hbp::MergeSubSlotExtreme(col, t2, false, t1);
+  auto passing = w.Passing();
+  ASSERT_FALSE(passing.empty());
+  EXPECT_EQ(hbp::ExtremeOfSubSlots(col, t1, false),
+            *std::max_element(passing.begin(), passing.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation
+// ---------------------------------------------------------------------------
+
+TEST(AggStatsTest, MinInstrumentationBehaves) {
+  const Workload w = MakeWorkload(200000, 12, 1.0, 321);
+  const VbpColumn vcol = VbpColumn::Pack(w.codes, 12);
+  const HbpColumn hcol = HbpColumn::Pack(w.codes, 12);
+  const FilterBitVector vf = FilterBitVector::FromBools(w.pass, 64);
+  const FilterBitVector hf =
+      FilterBitVector::FromBools(w.pass, hcol.values_per_segment());
+
+  AggStats vstats;
+  Word vtemp[kWordBits];
+  vbp::InitSlotExtreme(12, true, vtemp);
+  vbp::SlotExtremeRange(vcol, vf, 0, vf.num_segments(), true, vtemp,
+                        &vstats);
+  // Full filter: every segment folds, none skipped.
+  EXPECT_EQ(vstats.folds, vf.num_segments());
+  EXPECT_EQ(vstats.segments_skipped, 0u);
+  // Random 12-bit data against a converging extreme: once converged, the
+  // vast majority of folds skip the blend (with 200k tuples the converged
+  // regime dominates).
+  EXPECT_GT(vstats.blends_skipped, vstats.folds / 2);
+  EXPECT_LE(vstats.compare_early_stops, vstats.folds);
+
+  AggStats hstats;
+  Word htemp[kWordBits];
+  hbp::InitSubSlotExtreme(hcol, true, htemp);
+  hbp::SubSlotExtremeRange(hcol, hf, 0, hf.num_segments(), true, htemp,
+                           &hstats);
+  EXPECT_GT(hstats.folds, 0u);
+  EXPECT_GT(hstats.blends_skipped, hstats.folds / 2);
+
+  // Empty filter: everything is skipped, nothing folds.
+  FilterBitVector empty(w.codes.size(), 64);
+  AggStats estats;
+  vbp::InitSlotExtreme(12, true, vtemp);
+  vbp::SlotExtremeRange(vcol, empty, 0, empty.num_segments(), true, vtemp,
+                        &estats);
+  EXPECT_EQ(estats.folds, 0u);
+  EXPECT_EQ(estats.segments_skipped, empty.num_segments());
+
+  // Instrumentation must not change results.
+  Word plain[kWordBits];
+  vbp::InitSlotExtreme(12, true, plain);
+  vbp::SlotExtremeRange(vcol, vf, 0, vf.num_segments(), true, plain);
+  Word instrumented[kWordBits];
+  vbp::InitSlotExtreme(12, true, instrumented);
+  AggStats unused;
+  vbp::SlotExtremeRange(vcol, vf, 0, vf.num_segments(), true, instrumented,
+                        &unused);
+  EXPECT_EQ(vbp::ExtremeOfSlots(plain, 12, true),
+            vbp::ExtremeOfSlots(instrumented, 12, true));
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases
+// ---------------------------------------------------------------------------
+
+TEST(AggregateEdgeTest, SingleTuple) {
+  const std::vector<std::uint64_t> codes = {19};
+  const VbpColumn vcol = VbpColumn::Pack(codes, 5);
+  const HbpColumn hcol = HbpColumn::Pack(codes, 5);
+  FilterBitVector vf(1, 64);
+  vf.SetAll();
+  FilterBitVector hf(1, hcol.values_per_segment());
+  hf.SetAll();
+  EXPECT_TRUE(vbp::Sum(vcol, vf) == UInt128{19});
+  EXPECT_TRUE(hbp::Sum(hcol, hf) == UInt128{19});
+  EXPECT_EQ(vbp::Min(vcol, vf), std::optional<std::uint64_t>(19));
+  EXPECT_EQ(hbp::Max(hcol, hf), std::optional<std::uint64_t>(19));
+  EXPECT_EQ(vbp::Median(vcol, vf), std::optional<std::uint64_t>(19));
+  EXPECT_EQ(hbp::Median(hcol, hf), std::optional<std::uint64_t>(19));
+}
+
+TEST(AggregateEdgeTest, AllValuesEqual) {
+  const std::vector<std::uint64_t> codes(300, 42);
+  const VbpColumn vcol = VbpColumn::Pack(codes, 7);
+  const HbpColumn hcol = HbpColumn::Pack(codes, 7, {.tau = 3});
+  FilterBitVector vf(codes.size(), 64);
+  vf.SetAll();
+  FilterBitVector hf(codes.size(), hcol.values_per_segment());
+  hf.SetAll();
+  EXPECT_TRUE(vbp::Sum(vcol, vf) == UInt128{300 * 42});
+  EXPECT_TRUE(hbp::Sum(hcol, hf) == UInt128{300 * 42});
+  EXPECT_EQ(vbp::Min(vcol, vf), std::optional<std::uint64_t>(42));
+  EXPECT_EQ(vbp::Max(vcol, vf), std::optional<std::uint64_t>(42));
+  EXPECT_EQ(hbp::Median(hcol, hf), std::optional<std::uint64_t>(42));
+}
+
+TEST(AggregateEdgeTest, ExtremeCodeValues) {
+  // Min possible (0) and max possible (2^k - 1) codes, mixed.
+  const int k = 12;
+  std::vector<std::uint64_t> codes(200);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    codes[i] = i % 2 == 0 ? 0 : LowMask(k);
+  }
+  const VbpColumn vcol = VbpColumn::Pack(codes, k);
+  const HbpColumn hcol = HbpColumn::Pack(codes, k);
+  FilterBitVector vf(codes.size(), 64);
+  vf.SetAll();
+  FilterBitVector hf(codes.size(), hcol.values_per_segment());
+  hf.SetAll();
+  EXPECT_EQ(vbp::Min(vcol, vf), std::optional<std::uint64_t>(0));
+  EXPECT_EQ(vbp::Max(vcol, vf), std::optional<std::uint64_t>(LowMask(k)));
+  EXPECT_EQ(hbp::Min(hcol, hf), std::optional<std::uint64_t>(0));
+  EXPECT_EQ(hbp::Max(hcol, hf), std::optional<std::uint64_t>(LowMask(k)));
+  // All passing values are max: MIN must still be the max code.
+  FilterBitVector odd_v(codes.size(), 64);
+  FilterBitVector odd_h(codes.size(), hcol.values_per_segment());
+  for (std::size_t i = 1; i < codes.size(); i += 2) {
+    odd_v.SetBit(i, true);
+    odd_h.SetBit(i, true);
+  }
+  EXPECT_EQ(vbp::Min(vcol, odd_v), std::optional<std::uint64_t>(LowMask(k)));
+  EXPECT_EQ(hbp::Min(hcol, odd_h), std::optional<std::uint64_t>(LowMask(k)));
+}
+
+TEST(AggregateEdgeTest, WideSumNeeds128Bits) {
+  // 2^16 values of 2^50-ish magnitude overflow 64-bit sums.
+  const int k = 50;
+  const std::uint64_t big = LowMask(k);
+  std::vector<std::uint64_t> codes(1 << 16, big);
+  const VbpColumn vcol = VbpColumn::Pack(codes, k);
+  const HbpColumn hcol = HbpColumn::Pack(codes, k);
+  FilterBitVector vf(codes.size(), 64);
+  vf.SetAll();
+  FilterBitVector hf(codes.size(), hcol.values_per_segment());
+  hf.SetAll();
+  const UInt128 expected = static_cast<UInt128>(big) << 16;
+  EXPECT_TRUE(vbp::Sum(vcol, vf) == expected);
+  EXPECT_TRUE(hbp::Sum(hcol, hf) == expected);
+  EXPECT_TRUE(nbp::Sum(vcol, vf) == expected);
+  EXPECT_TRUE(nbp::Sum(hcol, hf) == expected);
+}
+
+TEST(AggregateEdgeTest, AggregateDispatcher) {
+  const Workload w = MakeWorkload(500, 8, 0.5, 91);
+  const VbpColumn vcol = VbpColumn::Pack(w.codes, 8);
+  const FilterBitVector f =
+      FilterBitVector::FromBools(w.pass, VbpColumn::kValuesPerSegment);
+  const AggregateResult avg = vbp::Aggregate(vcol, f, AggKind::kAvg);
+  ASSERT_GT(avg.count, 0u);
+  EXPECT_NEAR(avg.Avg(),
+              UInt128ToDouble(w.ExpectedSum()) / static_cast<double>(avg.count),
+              1e-9);
+  const AggregateResult cnt = vbp::Aggregate(vcol, f, AggKind::kCount);
+  EXPECT_EQ(cnt.count, f.CountOnes());
+}
+
+TEST(AggregateEdgeTest, LowerMedianRankConvention) {
+  EXPECT_EQ(LowerMedianRank(1), 1u);
+  EXPECT_EQ(LowerMedianRank(2), 1u);
+  EXPECT_EQ(LowerMedianRank(7), 4u);
+  EXPECT_EQ(LowerMedianRank(8), 4u);
+  EXPECT_EQ(LowerMedianRank(9), 5u);
+}
+
+}  // namespace
+}  // namespace icp

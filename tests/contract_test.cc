@@ -1,0 +1,91 @@
+// API contract tests: recoverable misuse returns Status; programming-error
+// misuse trips ICP_CHECK and aborts (verified with death tests).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/vbp_aggregate.h"
+#include "engine/engine.h"
+#include "layout/hbp_column.h"
+#include "layout/vbp_column.h"
+#include "util/status.h"
+
+namespace icp {
+namespace {
+
+using ContractDeathTest = ::testing::Test;
+
+TEST(ContractDeathTest, StatusOrValueOnErrorAborts) {
+  StatusOr<int> err = Status::NotFound("x");
+  EXPECT_DEATH((void)err.value(), "ICP_CHECK");
+}
+
+TEST(ContractDeathTest, MismatchedFilterShapesAbort) {
+  FilterBitVector a(100, 64);
+  FilterBitVector b(100, 60);
+  EXPECT_DEATH(a.And(b), "ICP_CHECK");
+  FilterBitVector c(200, 64);
+  EXPECT_DEATH(a.Or(c), "ICP_CHECK");
+}
+
+TEST(ContractDeathTest, InvalidPackParametersAbort) {
+  const std::vector<std::uint64_t> codes = {1, 2, 3};
+  EXPECT_DEATH(VbpColumn::Pack(codes, 0), "ICP_CHECK");
+  EXPECT_DEATH(VbpColumn::Pack(codes, 64), "ICP_CHECK");
+  EXPECT_DEATH(HbpColumn::Pack(codes, 0), "ICP_CHECK");
+  VbpColumn::Options bad_lanes;
+  bad_lanes.lanes = 3;
+  EXPECT_DEATH(VbpColumn::Pack(codes, 4, bad_lanes), "ICP_CHECK");
+}
+
+TEST(ContractDeathTest, ScalarKernelsRejectSimdColumns) {
+  const std::vector<std::uint64_t> codes(100, 1);
+  VbpColumn::Options simd;
+  simd.lanes = 4;
+  const VbpColumn col = VbpColumn::Pack(codes, 4, simd);
+  FilterBitVector f(100, 64);
+  f.SetAll();
+  EXPECT_DEATH((void)vbp::Sum(col, f), "ICP_CHECK");
+}
+
+TEST(ContractTest, EngineAggregateChecksFilterShape) {
+  Table table;
+  ASSERT_TRUE(
+      table.AddColumn("x", {1, 2, 3}, {.layout = Layout::kHbp, .tau = 4})
+          .ok());
+  Engine engine;
+  // tau=4 -> vps=60; a 64-wide filter does not match.
+  FilterBitVector wrong(3, 64);
+  wrong.SetAll();
+  auto r = engine.Aggregate(table, AggKind::kSum, "x", wrong);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ContractTest, StatusRoundTrips) {
+  EXPECT_TRUE(Status::Ok().ok());
+  for (auto code :
+       {StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kFailedPrecondition,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    Status s(code, "m");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), code);
+    EXPECT_NE(s.ToString().find("m"), std::string::npos);
+    EXPECT_NE(std::string(StatusCodeToString(code)), "Unknown");
+  }
+}
+
+TEST(ContractTest, ReturnIfErrorMacro) {
+  auto fails = []() -> Status { return Status::OutOfRange("boom"); };
+  auto wrapper = [&]() -> Status {
+    ICP_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace icp

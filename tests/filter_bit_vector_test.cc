@@ -1,0 +1,144 @@
+#include "bitvector/filter_bit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+TEST(FilterBitVectorTest, ShapeFullSegments) {
+  FilterBitVector f(640, 64);
+  EXPECT_EQ(f.num_values(), 640u);
+  EXPECT_EQ(f.num_segments(), 10u);
+  EXPECT_EQ(f.values_per_segment(), 64);
+}
+
+TEST(FilterBitVectorTest, ShapeRaggedTail) {
+  FilterBitVector f(130, 64);
+  EXPECT_EQ(f.num_segments(), 3u);
+  EXPECT_EQ(f.ValidMask(0), ~Word{0});
+  EXPECT_EQ(f.ValidMask(2), HighMask(2));
+}
+
+TEST(FilterBitVectorTest, ShapeHbpStyleSegments) {
+  // tau = 4 -> s = 5, m = 12, vps = 60.
+  FilterBitVector f(200, 60);
+  EXPECT_EQ(f.num_segments(), 4u);
+  EXPECT_EQ(f.ValidMask(0), HighMask(60));
+  EXPECT_EQ(f.ValidMask(3), HighMask(20));
+}
+
+TEST(FilterBitVectorTest, SetGetBitRoundTrip) {
+  FilterBitVector f(100, 60);
+  f.SetBit(0, true);
+  f.SetBit(59, true);
+  f.SetBit(60, true);
+  f.SetBit(99, true);
+  EXPECT_TRUE(f.GetBit(0));
+  EXPECT_TRUE(f.GetBit(59));
+  EXPECT_TRUE(f.GetBit(60));
+  EXPECT_TRUE(f.GetBit(99));
+  EXPECT_FALSE(f.GetBit(1));
+  EXPECT_FALSE(f.GetBit(61));
+  f.SetBit(59, false);
+  EXPECT_FALSE(f.GetBit(59));
+}
+
+TEST(FilterBitVectorTest, MsbFirstBitPlacement) {
+  // Value 0 of a segment is the word's MSB (the paper's v_1).
+  FilterBitVector f(64, 64);
+  f.SetBit(0, true);
+  EXPECT_EQ(f.SegmentWord(0), Word{1} << 63);
+  f.SetBit(63, true);
+  EXPECT_EQ(f.SegmentWord(0), (Word{1} << 63) | 1);
+}
+
+TEST(FilterBitVectorTest, SetAllRespectsPadding) {
+  FilterBitVector f(70, 60);
+  f.SetAll();
+  EXPECT_EQ(f.CountOnes(), 70u);
+  EXPECT_EQ(f.SegmentWord(0), HighMask(60));
+  EXPECT_EQ(f.SegmentWord(1), HighMask(10));
+}
+
+TEST(FilterBitVectorTest, CountOnes) {
+  FilterBitVector f(1000, 64);
+  for (std::size_t i = 0; i < 1000; i += 3) f.SetBit(i, true);
+  EXPECT_EQ(f.CountOnes(), 334u);
+}
+
+TEST(FilterBitVectorTest, LogicalOps) {
+  const std::size_t n = 300;
+  FilterBitVector a(n, 64), b(n, 64);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.SetBit(i, i % 2 == 0);
+    b.SetBit(i, i % 3 == 0);
+  }
+  FilterBitVector c = a;
+  c.And(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(c.GetBit(i), i % 6 == 0) << i;
+  }
+  c = a;
+  c.Or(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(c.GetBit(i), i % 2 == 0 || i % 3 == 0) << i;
+  }
+  c = a;
+  c.Xor(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(c.GetBit(i), (i % 2 == 0) != (i % 3 == 0)) << i;
+  }
+  c = a;
+  c.AndNot(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(c.GetBit(i), i % 2 == 0 && i % 3 != 0) << i;
+  }
+}
+
+TEST(FilterBitVectorTest, NotKeepsPaddingClear) {
+  FilterBitVector f(70, 60);
+  f.SetBit(0, true);
+  f.Not();
+  EXPECT_EQ(f.CountOnes(), 69u);
+  EXPECT_FALSE(f.GetBit(0));
+  EXPECT_TRUE(f.GetBit(69));
+  // Padding bits must remain zero so CountOnes stays exact.
+  EXPECT_EQ(f.SegmentWord(1) & ~f.ValidMask(1), 0u);
+}
+
+TEST(FilterBitVectorTest, ReshapePreservesTupleBits) {
+  Random rng(3);
+  const std::size_t n = 500;
+  std::vector<bool> bits(n);
+  for (auto&& bit : bits) bit = rng.Bernoulli(0.4);
+  const FilterBitVector a = FilterBitVector::FromBools(bits, 60);
+  const FilterBitVector b = a.Reshape(64);
+  EXPECT_EQ(b.values_per_segment(), 64);
+  EXPECT_EQ(b.ToBools(), bits);
+  const FilterBitVector c = b.Reshape(60);
+  EXPECT_TRUE(c == a);
+}
+
+TEST(FilterBitVectorTest, FromBoolsToBoolsRoundTrip) {
+  std::vector<bool> bits = {true, false, true, true, false};
+  const FilterBitVector f = FilterBitVector::FromBools(bits, 3);
+  EXPECT_EQ(f.num_segments(), 2u);
+  EXPECT_EQ(f.ToBools(), bits);
+  EXPECT_EQ(f.CountOnes(), 3u);
+}
+
+TEST(FilterBitVectorTest, EqualityOperator) {
+  FilterBitVector a(100, 64), b(100, 64);
+  EXPECT_TRUE(a == b);
+  a.SetBit(5, true);
+  EXPECT_FALSE(a == b);
+  b.SetBit(5, true);
+  EXPECT_TRUE(a == b);
+  FilterBitVector c(100, 60);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace icp

@@ -1,0 +1,280 @@
+// Randomized end-to-end testing: random tables (layouts, widths,
+// dictionaries, NULLs) and random filter expression trees are executed by
+// the engine under several configurations and checked against a
+// row-at-a-time reference interpreter with SQL three-valued logic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "engine/engine.h"
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference interpreter
+// ---------------------------------------------------------------------------
+
+enum class Tv { kFalse, kTrue, kUnknown };
+
+struct RefColumn {
+  std::string name;
+  std::vector<std::int64_t> values;
+  std::vector<bool> valid;  // empty = non-nullable
+  bool nullable() const { return !valid.empty(); }
+};
+
+struct RefTable {
+  std::vector<RefColumn> columns;
+  std::size_t num_rows = 0;
+  const RefColumn& Get(const std::string& name) const {
+    for (const auto& c : columns) {
+      if (c.name == name) return c;
+    }
+    ICP_CHECK(false);
+    return columns[0];
+  }
+};
+
+Tv EvalRef(const RefTable& table, const FilterExpr& e, std::size_t row) {
+  switch (e.kind()) {
+    case FilterExpr::Kind::kLeaf: {
+      const RefColumn& c = table.Get(e.column());
+      if (c.nullable() && !c.valid[row]) return Tv::kUnknown;
+      return EvalCompare(static_cast<std::uint64_t>(c.values[row] + 100000),
+                         e.op(),
+                         static_cast<std::uint64_t>(e.value() + 100000),
+                         static_cast<std::uint64_t>(e.value2() + 100000))
+                 ? Tv::kTrue
+                 : Tv::kFalse;
+    }
+    case FilterExpr::Kind::kIsNull: {
+      const RefColumn& c = table.Get(e.column());
+      return (c.nullable() && !c.valid[row]) ? Tv::kTrue : Tv::kFalse;
+    }
+    case FilterExpr::Kind::kIsNotNull: {
+      const RefColumn& c = table.Get(e.column());
+      return (c.nullable() && !c.valid[row]) ? Tv::kFalse : Tv::kTrue;
+    }
+    case FilterExpr::Kind::kAnd: {
+      Tv acc = Tv::kTrue;
+      for (const auto& child : e.children()) {
+        const Tv t = EvalRef(table, *child, row);
+        if (t == Tv::kFalse) return Tv::kFalse;
+        if (t == Tv::kUnknown) acc = Tv::kUnknown;
+      }
+      return acc;
+    }
+    case FilterExpr::Kind::kOr: {
+      Tv acc = Tv::kFalse;
+      for (const auto& child : e.children()) {
+        const Tv t = EvalRef(table, *child, row);
+        if (t == Tv::kTrue) return Tv::kTrue;
+        if (t == Tv::kUnknown) acc = Tv::kUnknown;
+      }
+      return acc;
+    }
+    case FilterExpr::Kind::kNot: {
+      const Tv t = EvalRef(table, *e.children()[0], row);
+      if (t == Tv::kUnknown) return Tv::kUnknown;
+      return t == Tv::kTrue ? Tv::kFalse : Tv::kTrue;
+    }
+  }
+  return Tv::kFalse;
+}
+
+// ---------------------------------------------------------------------------
+// Random generators
+// ---------------------------------------------------------------------------
+
+struct FuzzCase {
+  RefTable ref;
+  Table table;
+};
+
+FuzzCase MakeRandomTable(Random& rng) {
+  FuzzCase fc;
+  const std::size_t n = 50 + rng.UniformInt(0, 3000);
+  fc.ref.num_rows = n;
+  const int num_columns = 3 + static_cast<int>(rng.UniformInt(0, 3));
+  for (int c = 0; c < num_columns; ++c) {
+    RefColumn col;
+    col.name = "c" + std::to_string(c);
+    const int k = 1 + static_cast<int>(rng.UniformInt(0, 13));
+    const std::int64_t offset =
+        static_cast<std::int64_t>(rng.UniformInt(0, 200)) - 100;
+    col.values.resize(n);
+    const bool low_cardinality = rng.Bernoulli(0.3);
+    const std::uint64_t domain =
+        low_cardinality ? rng.UniformInt(1, 6) : LowMask(k);
+    for (auto& v : col.values) {
+      v = offset + static_cast<std::int64_t>(rng.UniformInt(0, domain));
+    }
+    if (rng.Bernoulli(0.3)) {
+      col.valid.resize(n);
+      bool any = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        col.valid[i] = !rng.Bernoulli(0.2);
+        any = any || col.valid[i];
+      }
+      if (!any) col.valid[0] = true;
+    }
+
+    ColumnSpec spec;
+    const std::uint64_t layout_pick = rng.UniformInt(0, 9);
+    spec.layout = layout_pick < 4   ? Layout::kVbp
+                  : layout_pick < 8 ? Layout::kHbp
+                                    : Layout::kNaive;
+    if (rng.Bernoulli(0.3)) {
+      spec.tau = 1 + static_cast<int>(rng.UniformInt(0, 7));
+    }
+    spec.dictionary = low_cardinality && rng.Bernoulli(0.5);
+    const Status status =
+        col.nullable()
+            ? fc.table.AddNullableColumn(col.name, col.values, col.valid,
+                                         spec)
+            : fc.table.AddColumn(col.name, col.values, spec);
+    ICP_CHECK(status.ok());
+    fc.ref.columns.push_back(std::move(col));
+  }
+  return fc;
+}
+
+FilterExprPtr MakeRandomExpr(Random& rng, const RefTable& table, int depth) {
+  const std::uint64_t pick = depth >= 3 ? 0 : rng.UniformInt(0, 9);
+  const RefColumn& col =
+      table.columns[rng.UniformInt(0, table.columns.size() - 1)];
+  if (pick < 5) {  // leaf comparison
+    const CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                             CompareOp::kLe, CompareOp::kGt, CompareOp::kGe,
+                             CompareOp::kBetween};
+    const CompareOp op = ops[rng.UniformInt(0, 6)];
+    // Constants deliberately overshoot the domain sometimes.
+    auto constant = [&] {
+      return col.values[rng.UniformInt(0, col.values.size() - 1)] +
+             static_cast<std::int64_t>(rng.UniformInt(0, 20)) - 10;
+    };
+    std::int64_t c1 = constant();
+    std::int64_t c2 = constant();
+    if (op == CompareOp::kBetween && c1 > c2) std::swap(c1, c2);
+    return FilterExpr::Compare(col.name, op, c1, c2);
+  }
+  if (pick == 5) {
+    return rng.Bernoulli(0.5) ? FilterExpr::IsNull(col.name)
+                              : FilterExpr::IsNotNull(col.name);
+  }
+  if (pick == 6) {
+    return FilterExpr::Not(MakeRandomExpr(rng, table, depth + 1));
+  }
+  std::vector<FilterExprPtr> children;
+  const int fanout = 2 + static_cast<int>(rng.UniformInt(0, 1));
+  for (int i = 0; i < fanout; ++i) {
+    children.push_back(MakeRandomExpr(rng, table, depth + 1));
+  }
+  return pick == 7 ? FilterExpr::And(std::move(children))
+                   : FilterExpr::Or(std::move(children));
+}
+
+// ---------------------------------------------------------------------------
+// The fuzz loop
+// ---------------------------------------------------------------------------
+
+class FuzzQueryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzQueryTest, EngineMatchesReference) {
+  Random rng(777000 + GetParam());
+  for (int iteration = 0; iteration < 6; ++iteration) {
+    FuzzCase fc = MakeRandomTable(rng);
+    const FilterExprPtr filter = MakeRandomExpr(rng, fc.ref, 0);
+
+    // Reference pass set.
+    std::vector<bool> pass(fc.ref.num_rows);
+    for (std::size_t i = 0; i < fc.ref.num_rows; ++i) {
+      pass[i] = EvalRef(fc.ref, *filter, i) == Tv::kTrue;
+    }
+
+    // Aggregate target column and reference results.
+    const RefColumn& agg_col =
+        fc.ref.columns[rng.UniformInt(0, fc.ref.columns.size() - 1)];
+    std::vector<std::int64_t> passing;
+    for (std::size_t i = 0; i < fc.ref.num_rows; ++i) {
+      if (pass[i] && (!agg_col.nullable() || agg_col.valid[i])) {
+        passing.push_back(agg_col.values[i]);
+      }
+    }
+    std::sort(passing.begin(), passing.end());
+    double ref_sum = 0;
+    for (auto v : passing) ref_sum += static_cast<double>(v);
+
+    const bool dict_col =
+        (*fc.table.GetColumn(agg_col.name))->encoder().is_dictionary();
+
+    const ExecOptions configs[] = {
+        {.method = AggMethod::kBitParallel, .threads = 1, .simd = false},
+        {.method = AggMethod::kBitParallel, .threads = 3, .simd = false},
+        {.method = AggMethod::kBitParallel, .threads = 1, .simd = true},
+        {.method = AggMethod::kBitParallel, .threads = 3, .simd = true},
+        {.method = AggMethod::kNonBitParallel, .threads = 1, .simd = false},
+        {.method = AggMethod::kNonBitParallel, .threads = 3, .simd = false},
+    };
+    for (const ExecOptions& options : configs) {
+      Engine engine(options);
+      Query q;
+      q.agg_column = agg_col.name;
+      q.filter = filter;
+
+      q.agg = AggKind::kCount;
+      auto count = engine.Execute(fc.table, q);
+      ASSERT_TRUE(count.ok())
+          << count.status().ToString() << "\n" << filter->ToString();
+      ASSERT_EQ(count->count, passing.size())
+          << filter->ToString() << " agg over " << agg_col.name;
+
+      if (!dict_col) {
+        q.agg = AggKind::kSum;
+        auto sum = engine.Execute(fc.table, q);
+        ASSERT_TRUE(sum.ok());
+        ASSERT_DOUBLE_EQ(sum->value, ref_sum) << filter->ToString();
+      }
+
+      q.agg = AggKind::kMin;
+      auto min = engine.Execute(fc.table, q);
+      ASSERT_TRUE(min.ok());
+      q.agg = AggKind::kMax;
+      auto max = engine.Execute(fc.table, q);
+      ASSERT_TRUE(max.ok());
+      q.agg = AggKind::kMedian;
+      auto median = engine.Execute(fc.table, q);
+      ASSERT_TRUE(median.ok());
+      if (passing.empty()) {
+        ASSERT_FALSE(min->decoded_value.has_value());
+        ASSERT_FALSE(max->decoded_value.has_value());
+        ASSERT_FALSE(median->decoded_value.has_value());
+      } else {
+        ASSERT_EQ(min->decoded_value, std::optional(passing.front()))
+            << filter->ToString();
+        ASSERT_EQ(max->decoded_value, std::optional(passing.back()))
+            << filter->ToString();
+        ASSERT_EQ(median->decoded_value,
+                  std::optional(passing[(passing.size() + 1) / 2 - 1]))
+            << filter->ToString();
+        q.agg = AggKind::kRank;
+        q.rank = 1 + rng.UniformInt(0, passing.size() - 1);
+        auto rank = engine.Execute(fc.table, q);
+        ASSERT_TRUE(rank.ok());
+        ASSERT_EQ(rank->decoded_value, std::optional(passing[q.rank - 1]))
+            << filter->ToString() << " rank " << q.rank;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzQueryTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace icp

@@ -1,0 +1,106 @@
+// Miscellaneous documented guarantees: WordBuffer's readable zero padding,
+// HBP scan statistics, TPC-H over every layout, and MultiQuery/GroupBy
+// against the padded baseline.
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "scan/hbp_scanner.h"
+#include "tpch/generator.h"
+#include "tpch/queries.h"
+#include "util/aligned_buffer.h"
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+TEST(GuaranteesTest, WordBufferPaddingIsReadableZero) {
+  // The SIMD kernels rely on this: allocations are whole cache lines and
+  // the words between size() and the next 8-word boundary read as zero.
+  for (std::size_t size : {1u, 3u, 7u, 8u, 9u, 61u, 64u, 100u}) {
+    WordBuffer buf(size);
+    for (std::size_t i = 0; i < size; ++i) buf[i] = ~Word{0};
+    const std::size_t padded = CeilDiv(size, 8) * 8;
+    const Word* raw = buf.data();
+    for (std::size_t i = size; i < padded; ++i) {
+      EXPECT_EQ(raw[i], 0u) << "size=" << size << " i=" << i;
+    }
+  }
+}
+
+TEST(GuaranteesTest, HbpScanStatsAccumulate) {
+  Random rng(99);
+  std::vector<std::uint64_t> codes(5000);
+  for (auto& c : codes) c = rng.UniformInt(0, LowMask(12));
+  const HbpColumn col = HbpColumn::Pack(codes, 12, {.tau = 4});
+  ASSERT_GT(col.num_groups(), 1);
+
+  ScanStats stats;
+  HbpScanner::Scan(col, CompareOp::kEq, 1234, 0, &stats);
+  EXPECT_EQ(stats.segments_processed, CeilDiv(5000, col.values_per_segment()));
+  EXPECT_GT(stats.words_examined, 0u);
+  // Equality against random data decides nearly every sub-segment in the
+  // first bit-group, so most segments early-stop.
+  EXPECT_GT(stats.segments_early_stopped, stats.segments_processed / 2);
+
+  // Stats accumulate across calls.
+  const auto first = stats;
+  HbpScanner::Scan(col, CompareOp::kEq, 1234, 0, &stats);
+  EXPECT_EQ(stats.segments_processed, 2 * first.segments_processed);
+  EXPECT_EQ(stats.words_examined, 2 * first.words_examined);
+}
+
+TEST(GuaranteesTest, TpchRunsOnPaddedAndNaiveLayouts) {
+  const auto data = tpch::GenerateWideTable({.num_rows = 30000, .seed = 3});
+  for (Layout layout : {Layout::kPadded, Layout::kNaive}) {
+    auto table_or = tpch::BuildTable(data, layout);
+    ASSERT_TRUE(table_or.ok());
+    auto vbp_table = tpch::BuildTable(data, Layout::kVbp);
+    ASSERT_TRUE(vbp_table.ok());
+    Engine engine;
+    for (const auto& spec : tpch::MakeQueries()) {
+      const auto& [kind, column] = spec.aggregates[0];
+      Query q{.agg = kind, .agg_column = column, .filter = spec.filter};
+      auto r = engine.Execute(*table_or, q);
+      auto reference = engine.Execute(*vbp_table, q);
+      ASSERT_TRUE(r.ok()) << spec.id << " " << r.status().ToString();
+      ASSERT_TRUE(reference.ok());
+      EXPECT_EQ(r->count, reference->count) << spec.id;
+      EXPECT_DOUBLE_EQ(r->value, reference->value) << spec.id;
+    }
+  }
+}
+
+TEST(GuaranteesTest, MultiQueryAndGroupByOnPaddedLayout) {
+  Random rng(55);
+  std::vector<std::int64_t> v(4000), g(4000);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<std::int64_t>(rng.UniformInt(0, 500));
+    g[i] = static_cast<std::int64_t>(rng.UniformInt(0, 2)) * 10;
+  }
+  Table table;
+  ASSERT_TRUE(table.AddColumn("v", v, {.layout = Layout::kPadded}).ok());
+  ASSERT_TRUE(table
+                  .AddColumn("g", g,
+                             {.layout = Layout::kPadded, .dictionary = true})
+                  .ok());
+  Engine engine;
+  MultiQuery mq;
+  mq.aggregates = {{AggKind::kCount, "v"}, {AggKind::kMedian, "v"}};
+  auto multi = engine.ExecuteMulti(table, mq);
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ((*multi)[0].count, v.size());
+
+  Query q{.agg = AggKind::kSum, .agg_column = "v", .filter = nullptr};
+  auto groups = engine.ExecuteGroupBy(table, q, "g");
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->size(), 3u);
+  double total = 0;
+  for (const auto& [value, result] : *groups) total += result.value;
+  double expected = 0;
+  for (auto x : v) expected += static_cast<double>(x);
+  EXPECT_DOUBLE_EQ(total, expected);
+}
+
+}  // namespace
+}  // namespace icp

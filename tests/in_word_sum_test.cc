@@ -1,0 +1,99 @@
+#include "core/in_word_sum.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+// Scalar oracle: extract and add each field.
+std::uint64_t FieldSumOracle(Word w, int s) {
+  const int m = FieldsPerWord(s);
+  std::uint64_t sum = 0;
+  for (int f = 0; f < m; ++f) {
+    sum += (w >> (kWordBits - (f + 1) * s)) & LowMask(s - 1);
+  }
+  return sum;
+}
+
+// Builds a word from per-field values (delimiters zero, MSB-packed).
+Word BuildWord(const std::uint64_t* values, int s) {
+  const int m = FieldsPerWord(s);
+  Word w = 0;
+  for (int f = 0; f < m; ++f) {
+    w |= values[f] << (kWordBits - (f + 1) * s);
+  }
+  return w;
+}
+
+TEST(InWordSumTest, PaperExample) {
+  // Paper Section III-B: fields 0..7 in 4-bit slots (tau = 3) sum to 28.
+  // The paper uses a 32-bit word; with 64 bits the remaining 8 fields are 0.
+  std::uint64_t values[16] = {0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(InWordSum(BuildWord(values, 4), 4), 28u);
+}
+
+TEST(InWordSumTest, ZeroWord) {
+  for (int s = 2; s <= 64; ++s) {
+    EXPECT_EQ(InWordSum(0, s), 0u) << s;
+  }
+}
+
+TEST(InWordSumTest, AllFieldsMax) {
+  for (int s = 2; s <= 64; ++s) {
+    const int m = FieldsPerWord(s);
+    const Word w = FieldValueMask(s);
+    EXPECT_EQ(InWordSum(w, s),
+              static_cast<std::uint64_t>(m) * LowMask(s - 1))
+        << "s=" << s;
+  }
+}
+
+TEST(InWordSumTest, SingleFieldWidths) {
+  // s in (32, 64]: one field; the value must simply be aligned down.
+  EXPECT_EQ(InWordSum(Word{123} << (64 - 33), 33), 123u);
+  EXPECT_EQ(InWordSum(Word{1} << 62, 64), Word{1} << 62);
+}
+
+class InWordSumWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InWordSumWidthTest, RandomWordsMatchOracle) {
+  const int s = GetParam();
+  const int m = FieldsPerWord(s);
+  Random rng(1000 + s);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::uint64_t values[64];
+    for (int f = 0; f < m; ++f) {
+      values[f] = rng.UniformInt(0, LowMask(s - 1));
+    }
+    const Word w = BuildWord(values, s);
+    ASSERT_EQ(InWordSum(w, s), FieldSumOracle(w, s))
+        << "s=" << s << " w=" << w;
+  }
+}
+
+// Every field width that can appear (tau = 1..63 -> s = 2..64).
+INSTANTIATE_TEST_SUITE_P(AllWidths, InWordSumWidthTest,
+                         ::testing::Range(2, 65));
+
+TEST(InWordSumTest, PlanReuseMatchesOneShot) {
+  const InWordSumPlan plan(5);
+  Random rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    Word w = rng.Next() & FieldValueMask(5);
+    ASSERT_EQ(plan.Apply(w), InWordSum(w, 5));
+  }
+}
+
+TEST(InWordSumTest, SparseFieldPatterns) {
+  // Masked-out fields (value filter semantics) must contribute zero.
+  const int s = 8;
+  std::uint64_t values[8] = {0, 127, 0, 1, 0, 0, 64, 0};
+  EXPECT_EQ(InWordSum(BuildWord(values, s) & FieldValueMask(s), s),
+            127u + 1 + 64);
+}
+
+}  // namespace
+}  // namespace icp

@@ -1,0 +1,227 @@
+// NULL handling (paper Section III defers to the bit-slice validity
+// technique of O'Neil & Quass [10]): predicates over NULL are UNKNOWN
+// under SQL three-valued logic, NOT flips only definite values, and
+// aggregates ignore NULLs.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/expression.h"
+#include "engine/table.h"
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+struct NullableFixture {
+  Table table;
+  std::vector<std::int64_t> value;       // 0..99, some NULL
+  std::vector<bool> valid;
+  std::vector<std::int64_t> other;       // never NULL
+
+  explicit NullableFixture(Layout layout, std::size_t n = 2000) {
+    Random rng(31);
+    value.resize(n);
+    valid.resize(n);
+    other.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      value[i] = static_cast<std::int64_t>(rng.UniformInt(0, 99));
+      valid[i] = !rng.Bernoulli(0.25);
+      other[i] = static_cast<std::int64_t>(rng.UniformInt(0, 9));
+    }
+    ICP_CHECK(table.AddNullableColumn("value", value, valid,
+                                      {.layout = layout})
+                  .ok());
+    ICP_CHECK(table.AddColumn("other", other, {.layout = layout}).ok());
+  }
+};
+
+class NullLayoutTest : public ::testing::TestWithParam<Layout> {};
+
+TEST_P(NullLayoutTest, PredicatesNeverMatchNull) {
+  NullableFixture fx(GetParam());
+  Engine engine;
+  Query q;
+  q.agg = AggKind::kCount;
+  q.agg_column = "other";
+  // value < 1000 is true for every NON-NULL row; NULL rows are UNKNOWN.
+  q.filter = FilterExpr::Compare("value", CompareOp::kLt, 1000);
+  std::uint64_t non_null = 0;
+  for (bool v : fx.valid) non_null += v;
+  EXPECT_EQ(engine.Execute(fx.table, q)->count, non_null);
+
+  // Even the degenerate all-pass constant must exclude NULLs.
+  q.filter = FilterExpr::Compare("value", CompareOp::kGe, -50);
+  EXPECT_EQ(engine.Execute(fx.table, q)->count, non_null);
+}
+
+TEST_P(NullLayoutTest, IsNullAndIsNotNull) {
+  NullableFixture fx(GetParam());
+  Engine engine;
+  Query q;
+  q.agg = AggKind::kCount;
+  q.agg_column = "other";
+  std::uint64_t nulls = 0;
+  for (bool v : fx.valid) nulls += !v;
+
+  q.filter = FilterExpr::IsNull("value");
+  EXPECT_EQ(engine.Execute(fx.table, q)->count, nulls);
+  q.filter = FilterExpr::IsNotNull("value");
+  EXPECT_EQ(engine.Execute(fx.table, q)->count,
+            fx.table.num_rows() - nulls);
+  // IS NULL on a non-nullable column matches nothing.
+  q.filter = FilterExpr::IsNull("other");
+  EXPECT_EQ(engine.Execute(fx.table, q)->count, 0u);
+  q.filter = FilterExpr::IsNotNull("other");
+  EXPECT_EQ(engine.Execute(fx.table, q)->count, fx.table.num_rows());
+}
+
+TEST_P(NullLayoutTest, ThreeValuedNot) {
+  NullableFixture fx(GetParam());
+  Engine engine;
+  Query q;
+  q.agg = AggKind::kCount;
+  q.agg_column = "other";
+  // NOT (value < 50): TRUE only for non-NULL rows with value >= 50.
+  // NOT UNKNOWN stays UNKNOWN, so NULL rows must not appear.
+  q.filter =
+      FilterExpr::Not(FilterExpr::Compare("value", CompareOp::kLt, 50));
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < fx.valid.size(); ++i) {
+    expected += fx.valid[i] && fx.value[i] >= 50;
+  }
+  EXPECT_EQ(engine.Execute(fx.table, q)->count, expected);
+
+  // p OR NOT p is TRUE only for non-NULL rows (the classic 3VL identity).
+  auto p = FilterExpr::Compare("value", CompareOp::kLt, 50);
+  q.filter = FilterExpr::Or({p, FilterExpr::Not(p)});
+  std::uint64_t non_null = 0;
+  for (bool v : fx.valid) non_null += v;
+  EXPECT_EQ(engine.Execute(fx.table, q)->count, non_null);
+}
+
+TEST_P(NullLayoutTest, ThreeValuedAndOr) {
+  NullableFixture fx(GetParam());
+  Engine engine;
+  Query q;
+  q.agg = AggKind::kCount;
+  q.agg_column = "other";
+  // (value < 50) OR (other < 5): NULL rows still pass when other < 5
+  // (TRUE OR UNKNOWN = TRUE).
+  q.filter = FilterExpr::Or(
+      {FilterExpr::Compare("value", CompareOp::kLt, 50),
+       FilterExpr::Compare("other", CompareOp::kLt, 5)});
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < fx.valid.size(); ++i) {
+    expected += (fx.valid[i] && fx.value[i] < 50) || fx.other[i] < 5;
+  }
+  EXPECT_EQ(engine.Execute(fx.table, q)->count, expected);
+
+  // (value < 50) AND (other < 5): NULL rows never pass.
+  q.filter = FilterExpr::And(
+      {FilterExpr::Compare("value", CompareOp::kLt, 50),
+       FilterExpr::Compare("other", CompareOp::kLt, 5)});
+  expected = 0;
+  for (std::size_t i = 0; i < fx.valid.size(); ++i) {
+    expected += fx.valid[i] && fx.value[i] < 50 && fx.other[i] < 5;
+  }
+  EXPECT_EQ(engine.Execute(fx.table, q)->count, expected);
+}
+
+TEST_P(NullLayoutTest, AggregatesIgnoreNulls) {
+  NullableFixture fx(GetParam());
+  Engine engine;
+  Query q;
+  q.agg_column = "value";
+  q.filter = FilterExpr::Compare("other", CompareOp::kLt, 5);
+
+  std::vector<std::int64_t> passing;
+  for (std::size_t i = 0; i < fx.valid.size(); ++i) {
+    if (fx.other[i] < 5 && fx.valid[i]) passing.push_back(fx.value[i]);
+  }
+  std::sort(passing.begin(), passing.end());
+  ASSERT_FALSE(passing.empty());
+  double sum = 0;
+  for (auto v : passing) sum += static_cast<double>(v);
+
+  q.agg = AggKind::kCount;
+  EXPECT_EQ(engine.Execute(fx.table, q)->count, passing.size());
+  q.agg = AggKind::kSum;
+  EXPECT_DOUBLE_EQ(engine.Execute(fx.table, q)->value, sum);
+  q.agg = AggKind::kAvg;
+  EXPECT_NEAR(engine.Execute(fx.table, q)->value,
+              sum / static_cast<double>(passing.size()), 1e-9);
+  q.agg = AggKind::kMin;
+  EXPECT_EQ(engine.Execute(fx.table, q)->decoded_value,
+            std::optional(passing.front()));
+  q.agg = AggKind::kMax;
+  EXPECT_EQ(engine.Execute(fx.table, q)->decoded_value,
+            std::optional(passing.back()));
+  q.agg = AggKind::kMedian;
+  EXPECT_EQ(engine.Execute(fx.table, q)->decoded_value,
+            std::optional(passing[(passing.size() + 1) / 2 - 1]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, NullLayoutTest,
+                         ::testing::Values(Layout::kVbp, Layout::kHbp,
+                                           Layout::kNaive));
+
+TEST(NullTest, AllNullColumnRejected) {
+  Table table;
+  EXPECT_FALSE(
+      table.AddNullableColumn("x", {1, 2, 3}, {false, false, false}, {})
+          .ok());
+}
+
+TEST(NullTest, ValiditySizeMismatchRejected) {
+  Table table;
+  EXPECT_FALSE(
+      table.AddNullableColumn("x", {1, 2, 3}, {true, true}, {}).ok());
+}
+
+TEST(NullTest, EncoderFitsNonNullDomainOnly) {
+  // NULL rows carry arbitrary values that must not widen the encoding.
+  Table table;
+  ASSERT_TRUE(table
+                  .AddNullableColumn("x", {5, 1000000, 7, 6},
+                                     {true, false, true, true}, {})
+                  .ok());
+  auto col = table.GetColumn("x");
+  ASSERT_TRUE(col.ok());
+  EXPECT_EQ((*col)->bit_width(), 2);  // domain {5, 6, 7}
+  EXPECT_TRUE((*col)->nullable());
+  EXPECT_EQ((*col)->validity().CountOnes(), 3u);
+}
+
+TEST(NullTest, NullsAcrossAllMethodConfigs) {
+  NullableFixture fx(Layout::kHbp, 3000);
+  Query q;
+  q.agg = AggKind::kSum;
+  q.agg_column = "value";
+  q.filter = FilterExpr::Compare("value", CompareOp::kGe, 20);
+  double expected = 0;
+  for (std::size_t i = 0; i < fx.valid.size(); ++i) {
+    if (fx.valid[i] && fx.value[i] >= 20) {
+      expected += static_cast<double>(fx.value[i]);
+    }
+  }
+  for (int threads : {1, 4}) {
+    for (bool simd : {false, true}) {
+      for (AggMethod method :
+           {AggMethod::kBitParallel, AggMethod::kNonBitParallel}) {
+        Engine engine(
+            ExecOptions{.method = method, .threads = threads, .simd = simd});
+        auto r = engine.Execute(fx.table, q);
+        ASSERT_TRUE(r.ok());
+        EXPECT_DOUBLE_EQ(r->value, expected)
+            << "threads=" << threads << " simd=" << simd;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace icp

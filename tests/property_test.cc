@@ -1,0 +1,220 @@
+// Cross-cutting property tests: algebraic laws of filter vectors, reshape
+// round-trips, the no-multiply IN-WORD-SUM plan, and end-to-end agreement
+// of every aggregation path on adversarial data distributions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/hbp_aggregate.h"
+#include "core/in_word_sum.h"
+#include "core/nbp_aggregate.h"
+#include "core/vbp_aggregate.h"
+#include "layout/hbp_column.h"
+#include "layout/vbp_column.h"
+#include "scan/hbp_scanner.h"
+#include "scan/vbp_scanner.h"
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FilterBitVector algebra
+// ---------------------------------------------------------------------------
+
+class FilterAlgebraTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterAlgebraTest, DeMorganAndInvolution) {
+  const int vps = GetParam();
+  Random rng(vps);
+  const std::size_t n = 1000;
+  std::vector<bool> a_bits(n), b_bits(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a_bits[i] = rng.Bernoulli(0.5);
+    b_bits[i] = rng.Bernoulli(0.3);
+  }
+  const auto a = FilterBitVector::FromBools(a_bits, vps);
+  const auto b = FilterBitVector::FromBools(b_bits, vps);
+
+  // ~(a & b) == ~a | ~b
+  FilterBitVector lhs = a;
+  lhs.And(b);
+  lhs.Not();
+  FilterBitVector rhs = a;
+  rhs.Not();
+  FilterBitVector nb = b;
+  nb.Not();
+  rhs.Or(nb);
+  EXPECT_TRUE(lhs == rhs);
+
+  // ~~a == a
+  FilterBitVector inv = a;
+  inv.Not();
+  inv.Not();
+  EXPECT_TRUE(inv == a);
+
+  // a & ~b == AndNot
+  FilterBitVector andnot = a;
+  andnot.AndNot(b);
+  FilterBitVector manual = a;
+  manual.And(nb);
+  EXPECT_TRUE(andnot == manual);
+
+  // Counting is consistent: |a| + |~a| == n.
+  FilterBitVector na = a;
+  na.Not();
+  EXPECT_EQ(a.CountOnes() + na.CountOnes(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentWidths, FilterAlgebraTest,
+                         ::testing::Values(1, 3, 21, 33, 60, 63, 64));
+
+class ReshapeTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ReshapeTest, RoundTripAcrossWidths) {
+  const auto [from, to] = GetParam();
+  Random rng(from * 100 + to);
+  for (std::size_t n : {std::size_t{1}, std::size_t{59}, std::size_t{64},
+                        std::size_t{777}, std::size_t{4096}}) {
+    std::vector<bool> bits(n);
+    for (auto&& bit : bits) bit = rng.Bernoulli(0.4);
+    const auto a = FilterBitVector::FromBools(bits, from);
+    const auto b = a.Reshape(to);
+    ASSERT_EQ(b.values_per_segment(), to);
+    ASSERT_EQ(b.CountOnes(), a.CountOnes());
+    ASSERT_EQ(b.ToBools(), bits);
+    // Padding invariant after reshape.
+    for (std::size_t s = 0; s < b.num_segments(); ++s) {
+      ASSERT_EQ(b.SegmentWord(s) & ~b.ValidMask(s), 0u);
+    }
+    ASSERT_TRUE(b.Reshape(from) == a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthPairs, ReshapeTest,
+    ::testing::Combine(::testing::Values(1, 7, 33, 60, 63, 64),
+                       ::testing::Values(1, 7, 33, 60, 63, 64)));
+
+// ---------------------------------------------------------------------------
+// IN-WORD-SUM plan variants
+// ---------------------------------------------------------------------------
+
+TEST(InWordSumPlanTest, NoMultiplyVariantAgrees) {
+  for (int s = 2; s <= 64; ++s) {
+    const InWordSumPlan with_mul(s, /*allow_multiply=*/true);
+    const InWordSumPlan no_mul(s, /*allow_multiply=*/false);
+    EXPECT_FALSE(no_mul.use_multiply());
+    Random rng(s);
+    for (int trial = 0; trial < 500; ++trial) {
+      const Word w = rng.Next() & FieldValueMask(s);
+      ASSERT_EQ(with_mul.Apply(w), no_mul.Apply(w)) << "s=" << s;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end agreement on adversarial distributions
+// ---------------------------------------------------------------------------
+
+struct Distribution {
+  std::string name;
+  std::vector<std::uint64_t> (*make)(std::size_t, int);
+};
+
+std::vector<std::uint64_t> Sorted(std::size_t n, int k) {
+  std::vector<std::uint64_t> v(n);
+  const std::uint64_t max_code = LowMask(k);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i * max_code / n;
+  return v;
+}
+std::vector<std::uint64_t> ReverseSorted(std::size_t n, int k) {
+  auto v = Sorted(n, k);
+  std::reverse(v.begin(), v.end());
+  return v;
+}
+std::vector<std::uint64_t> Constant(std::size_t n, int k) {
+  return std::vector<std::uint64_t>(n, LowMask(k) / 2 + 1);
+}
+std::vector<std::uint64_t> TwoValued(std::size_t n, int k) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = i % 2 ? LowMask(k) : 0;
+  return v;
+}
+std::vector<std::uint64_t> ZipfHead(std::size_t n, int k) {
+  Random rng(k);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) {
+    x = rng.Bernoulli(0.9) ? rng.UniformInt(0, 3)
+                           : rng.UniformInt(0, LowMask(k));
+  }
+  return v;
+}
+
+class AdversarialTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AdversarialTest, AllPathsAgree) {
+  const auto [k, dist_index] = GetParam();
+  const Distribution dists[] = {{"sorted", Sorted},
+                                {"reverse", ReverseSorted},
+                                {"constant", Constant},
+                                {"two-valued", TwoValued},
+                                {"zipf-head", ZipfHead}};
+  const Distribution& dist = dists[dist_index];
+  const std::size_t n = 700;
+  const auto codes = dist.make(n, k);
+
+  const VbpColumn vcol = VbpColumn::Pack(codes, k);
+  const HbpColumn hcol = HbpColumn::Pack(codes, k);
+
+  // Filter: keep the middle band of the domain.
+  const std::uint64_t lo = LowMask(k) / 4;
+  const std::uint64_t hi = LowMask(k) / 2;
+  const FilterBitVector vf =
+      VbpScanner::Scan(vcol, CompareOp::kBetween, lo, hi);
+  const FilterBitVector hf =
+      HbpScanner::Scan(hcol, CompareOp::kBetween, lo, hi);
+  ASSERT_EQ(vf.CountOnes(), hf.CountOnes()) << dist.name;
+
+  std::vector<std::uint64_t> passing;
+  UInt128 sum = 0;
+  for (auto c : codes) {
+    if (c >= lo && c <= hi) {
+      passing.push_back(c);
+      sum += c;
+    }
+  }
+  std::sort(passing.begin(), passing.end());
+
+  ASSERT_EQ(vf.CountOnes(), passing.size()) << dist.name;
+  EXPECT_TRUE(vbp::Sum(vcol, vf) == sum) << dist.name;
+  EXPECT_TRUE(hbp::Sum(hcol, hf) == sum) << dist.name;
+  EXPECT_TRUE(nbp::Sum(vcol, vf) == sum) << dist.name;
+  EXPECT_TRUE(nbp::Sum(hcol, hf) == sum) << dist.name;
+  if (!passing.empty()) {
+    EXPECT_EQ(vbp::Min(vcol, vf), std::optional(passing.front()));
+    EXPECT_EQ(hbp::Min(hcol, hf), std::optional(passing.front()));
+    EXPECT_EQ(vbp::Max(vcol, vf), std::optional(passing.back()));
+    EXPECT_EQ(hbp::Max(hcol, hf), std::optional(passing.back()));
+    const auto median = passing[(passing.size() + 1) / 2 - 1];
+    EXPECT_EQ(vbp::Median(vcol, vf), std::optional(median)) << dist.name;
+    EXPECT_EQ(hbp::Median(hcol, hf), std::optional(median)) << dist.name;
+  } else {
+    EXPECT_FALSE(vbp::Min(vcol, vf).has_value());
+    EXPECT_FALSE(hbp::Median(hcol, hf).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, AdversarialTest,
+    ::testing::Combine(::testing::Values(2, 5, 9, 16, 25, 40),
+                       ::testing::Range(0, 5)));
+
+}  // namespace
+}  // namespace icp

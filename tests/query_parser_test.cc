@@ -1,0 +1,169 @@
+#include "engine/query_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "util/dates.h"
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+TEST(QueryParserTest, SimpleAggregates) {
+  auto q = ParseQuery("SELECT COUNT(x)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->agg, AggKind::kCount);
+  EXPECT_EQ(q->agg_column, "x");
+  EXPECT_EQ(q->filter, nullptr);
+
+  q = ParseQuery("select sum(total_price)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->agg, AggKind::kSum);
+  EXPECT_EQ(q->agg_column, "total_price");
+
+  for (auto [sql, kind] :
+       {std::pair{"SELECT AVG(a)", AggKind::kAvg},
+        std::pair{"SELECT MIN(a)", AggKind::kMin},
+        std::pair{"SELECT MAX(a)", AggKind::kMax},
+        std::pair{"SELECT MEDIAN(a)", AggKind::kMedian}}) {
+    auto parsed = ParseQuery(sql);
+    ASSERT_TRUE(parsed.ok()) << sql;
+    EXPECT_EQ(parsed->agg, kind) << sql;
+  }
+}
+
+TEST(QueryParserTest, RankAggregate) {
+  auto q = ParseQuery("SELECT RANK(latency, 99)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->agg, AggKind::kRank);
+  EXPECT_EQ(q->agg_column, "latency");
+  EXPECT_EQ(q->rank, 99u);
+  EXPECT_FALSE(ParseQuery("SELECT RANK(latency)").ok());
+  EXPECT_FALSE(ParseQuery("SELECT RANK(latency, 0)").ok());
+  EXPECT_FALSE(ParseQuery("SELECT RANK(latency, -3)").ok());
+}
+
+TEST(QueryParserTest, ComparisonOperators) {
+  for (auto [text, op] : {std::pair{"a = 5", CompareOp::kEq},
+                          std::pair{"a != 5", CompareOp::kNe},
+                          std::pair{"a <> 5", CompareOp::kNe},
+                          std::pair{"a < 5", CompareOp::kLt},
+                          std::pair{"a <= 5", CompareOp::kLe},
+                          std::pair{"a > 5", CompareOp::kGt},
+                          std::pair{"a >= 5", CompareOp::kGe}}) {
+    auto e = ParsePredicate(text);
+    ASSERT_TRUE(e.ok()) << text;
+    EXPECT_EQ((*e)->kind(), FilterExpr::Kind::kLeaf) << text;
+    EXPECT_EQ((*e)->op(), op) << text;
+    EXPECT_EQ((*e)->value(), 5) << text;
+  }
+}
+
+TEST(QueryParserTest, LiteralForms) {
+  auto e = ParsePredicate("a = -42");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->value(), -42);
+
+  // Decimals parse to scaled integers (12.34 -> 1234, scale 2 as written).
+  e = ParsePredicate("price >= 12.34");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->value(), 1234);
+  e = ParsePredicate("price >= -0.05");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->value(), -5);
+
+  // Dates become day numbers since 1970-01-01.
+  e = ParsePredicate("shipdate <= '1998-09-02'");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->value(), DaysFromCivil(1998, 9, 2));
+}
+
+TEST(QueryParserTest, BetweenInAndNullPredicates) {
+  auto e = ParsePredicate("d BETWEEN '1994-01-01' AND '1994-12-31'");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->op(), CompareOp::kBetween);
+  EXPECT_EQ((*e)->value(), DaysFromCivil(1994, 1, 1));
+  EXPECT_EQ((*e)->value2(), DaysFromCivil(1994, 12, 31));
+
+  e = ParsePredicate("region IN (1, 3, 5)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), FilterExpr::Kind::kOr);
+  EXPECT_EQ((*e)->children().size(), 3u);
+
+  e = ParsePredicate("coupon IS NULL");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), FilterExpr::Kind::kIsNull);
+  e = ParsePredicate("coupon is not null");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->kind(), FilterExpr::Kind::kIsNotNull);
+}
+
+TEST(QueryParserTest, BooleanStructure) {
+  auto e = ParsePredicate("a < 4 AND b = 10 OR NOT (c >= 2 AND d != 0)");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  // OR at the top (lowest precedence).
+  EXPECT_EQ((*e)->kind(), FilterExpr::Kind::kOr);
+  ASSERT_EQ((*e)->children().size(), 2u);
+  EXPECT_EQ((*e)->children()[0]->kind(), FilterExpr::Kind::kAnd);
+  EXPECT_EQ((*e)->children()[1]->kind(), FilterExpr::Kind::kNot);
+  EXPECT_EQ(
+      (*e)->ToString(),
+      "((a < 4 AND b == 10) OR NOT (c >= 2 AND d != 0))");
+}
+
+TEST(QueryParserTest, ErrorsCarryPositions) {
+  for (const char* bad :
+       {"", "SELECT", "SELECT FOO(x)", "SELECT SUM(x) WHERE",
+        "SELECT SUM(x) WHERE a <", "SELECT SUM(x) WHERE a < 5 extra",
+        "SELECT SUM(x WHERE a < 5", "SELECT SUM(x) WHERE a BETWEEN 1",
+        "SELECT SUM(x) WHERE a IN ()", "SELECT SUM(x) WHERE a IS 5",
+        "SELECT SUM(x) WHERE a = 'not-a-date'",
+        "SELECT SUM(x) WHERE a = '1998-9-02'",
+        "SELECT SUM(x) WHERE a ! 5", "SELECT SUM(x) WHERE (a = 1",
+        "SELECT SUM(x) WHERE a = 1.2345678999"}) {
+    auto q = ParseQuery(bad);
+    EXPECT_FALSE(q.ok()) << "should fail: " << bad;
+    EXPECT_NE(q.status().message().find("position"), std::string::npos)
+        << bad;
+  }
+}
+
+TEST(QueryParserTest, EndToEndWithEngine) {
+  Random rng(8);
+  std::vector<std::int64_t> price(3000), region(3000), date(3000);
+  for (std::size_t i = 0; i < price.size(); ++i) {
+    price[i] = static_cast<std::int64_t>(rng.UniformInt(100, 99999));
+    region[i] = static_cast<std::int64_t>(rng.UniformInt(0, 4));
+    date[i] = DaysFromCivil(1994, 1, 1) +
+              static_cast<std::int64_t>(rng.UniformInt(0, 700));
+  }
+  Table table;
+  ASSERT_TRUE(table.AddColumn("price", price, {}).ok());
+  ASSERT_TRUE(
+      table.AddColumn("region", region, {.dictionary = true}).ok());
+  ASSERT_TRUE(table.AddColumn("shipdate", date, {}).ok());
+
+  auto q = ParseQuery(
+      "SELECT SUM(price) WHERE shipdate BETWEEN '1994-06-01' AND "
+      "'1995-05-31' AND region IN (1, 2) AND price >= 500.00");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  Engine engine;
+  auto result = engine.Execute(table, *q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  double expected = 0;
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < price.size(); ++i) {
+    if (date[i] >= DaysFromCivil(1994, 6, 1) &&
+        date[i] <= DaysFromCivil(1995, 5, 31) &&
+        (region[i] == 1 || region[i] == 2) && price[i] >= 50000) {
+      expected += static_cast<double>(price[i]);
+      ++count;
+    }
+  }
+  EXPECT_EQ(result->count, count);
+  EXPECT_DOUBLE_EQ(result->value, expected);
+}
+
+}  // namespace
+}  // namespace icp

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "bitvector/filter_bit_vector.h"
+#include "layout/hbp_column.h"
+#include "layout/naive_column.h"
+#include "layout/vbp_column.h"
+#include "scan/hbp_scanner.h"
+#include "scan/naive_scanner.h"
+#include "scan/predicate.h"
+#include "scan/vbp_scanner.h"
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+std::vector<std::uint64_t> RandomCodes(std::size_t n, int k,
+                                       std::uint64_t seed) {
+  Random rng(seed);
+  std::vector<std::uint64_t> codes(n);
+  for (auto& c : codes) c = rng.UniformInt(0, LowMask(k));
+  return codes;
+}
+
+std::vector<bool> ReferenceScan(const std::vector<std::uint64_t>& codes,
+                                CompareOp op, std::uint64_t c1,
+                                std::uint64_t c2) {
+  std::vector<bool> out(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    out[i] = EvalCompare(codes[i], op, c1, c2);
+  }
+  return out;
+}
+
+constexpr CompareOp kAllOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                 CompareOp::kLt, CompareOp::kLe,
+                                 CompareOp::kGt, CompareOp::kGe,
+                                 CompareOp::kBetween};
+
+TEST(HbpFieldGeTest, MatchesPerFieldComparison) {
+  // Exhaustive over 3-bit fields (s = 4) in a 16-field word: spot-check with
+  // random field vectors.
+  Random rng(21);
+  const int s = 4;
+  const Word md = DelimiterMask(s);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Word x = 0, c = 0;
+    std::uint64_t xf[16], cf[16];
+    for (int f = 0; f < 16; ++f) {
+      xf[f] = rng.UniformInt(0, 7);
+      cf[f] = rng.UniformInt(0, 7);
+      x |= xf[f] << (64 - (f + 1) * s);
+      c |= cf[f] << (64 - (f + 1) * s);
+    }
+    const Word ge = hbp::FieldGe(x, c, md);
+    for (int f = 0; f < 16; ++f) {
+      const bool bit = (ge >> (63 - f * s)) & 1;
+      ASSERT_EQ(bit, xf[f] >= cf[f]) << "f=" << f;
+    }
+  }
+}
+
+// Scans both layouts across ops, widths and constants and compares with the
+// scalar oracle.
+class ScanAgreementTest
+    : public ::testing::TestWithParam<std::tuple<int, CompareOp>> {};
+
+TEST_P(ScanAgreementTest, VbpMatchesOracle) {
+  const auto [k, op] = GetParam();
+  const std::size_t n = 1000;
+  const auto codes = RandomCodes(n, k, 7 + k);
+  const VbpColumn col = VbpColumn::Pack(codes, k);
+  Random rng(k * 1000 + static_cast<int>(op));
+  for (int trial = 0; trial < 8; ++trial) {
+    std::uint64_t c1 = rng.UniformInt(0, LowMask(k));
+    std::uint64_t c2 = rng.UniformInt(0, LowMask(k));
+    if (op == CompareOp::kBetween && c1 > c2) std::swap(c1, c2);
+    const FilterBitVector f = VbpScanner::Scan(col, op, c1, c2);
+    ASSERT_EQ(f.ToBools(), ReferenceScan(codes, op, c1, c2))
+        << "k=" << k << " op=" << CompareOpToString(op) << " c1=" << c1
+        << " c2=" << c2;
+  }
+}
+
+TEST_P(ScanAgreementTest, HbpMatchesOracle) {
+  const auto [k, op] = GetParam();
+  const std::size_t n = 1000;
+  const auto codes = RandomCodes(n, k, 13 + k);
+  const HbpColumn col = HbpColumn::Pack(codes, k);
+  Random rng(k * 2000 + static_cast<int>(op));
+  for (int trial = 0; trial < 8; ++trial) {
+    std::uint64_t c1 = rng.UniformInt(0, LowMask(k));
+    std::uint64_t c2 = rng.UniformInt(0, LowMask(k));
+    if (op == CompareOp::kBetween && c1 > c2) std::swap(c1, c2);
+    const FilterBitVector f = HbpScanner::Scan(col, op, c1, c2);
+    ASSERT_EQ(f.ToBools(), ReferenceScan(codes, op, c1, c2))
+        << "k=" << k << " op=" << CompareOpToString(op) << " c1=" << c1
+        << " c2=" << c2;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndWidths, ScanAgreementTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 7, 12, 25, 33, 50),
+                       ::testing::ValuesIn(kAllOps)));
+
+TEST(ScanTest, PaperFigure3Predicate) {
+  // Paper Fig. 3b: v < 4 over values 1,7,2,1,6,0,2,7 marks v1.
+  const std::vector<std::uint64_t> codes = {1, 7, 2, 1, 6, 0, 2, 7};
+  const HbpColumn col = HbpColumn::Pack(codes, 3, {.tau = 3});
+  const FilterBitVector f = HbpScanner::Scan(col, CompareOp::kLt, 4);
+  const std::vector<bool> expected = {true,  false, true, true,
+                                      false, true,  true, false};
+  EXPECT_EQ(f.ToBools(), expected);
+}
+
+TEST(ScanTest, PaperFigure2Predicate) {
+  // Paper Fig. 2: v == 4 over 1,7,2,1,6,0,2,7 matches nothing; the example
+  // early-stops after two of three bit positions.
+  const std::vector<std::uint64_t> codes = {1, 7, 2, 1, 6, 0, 2, 7};
+  const VbpColumn col = VbpColumn::Pack(codes, 3, {.tau = 1});
+  ScanStats stats;
+  const FilterBitVector f =
+      VbpScanner::Scan(col, CompareOp::kEq, 4, 0, &stats);
+  EXPECT_EQ(f.CountOnes(), 0u);
+  EXPECT_EQ(stats.segments_early_stopped, 1u);
+  EXPECT_EQ(stats.words_examined, 2u);  // stopped before the third word
+}
+
+TEST(ScanTest, ConstantsOutsideDomain) {
+  const auto codes = RandomCodes(200, 8, 31);
+  const VbpColumn vbp = VbpColumn::Pack(codes, 8);
+  const HbpColumn hbp = HbpColumn::Pack(codes, 8);
+  // c >= 2^k.
+  EXPECT_EQ(VbpScanner::Scan(vbp, CompareOp::kLt, 256).CountOnes(), 200u);
+  EXPECT_EQ(HbpScanner::Scan(hbp, CompareOp::kLt, 256).CountOnes(), 200u);
+  EXPECT_EQ(VbpScanner::Scan(vbp, CompareOp::kGt, 300).CountOnes(), 0u);
+  EXPECT_EQ(HbpScanner::Scan(hbp, CompareOp::kGt, 300).CountOnes(), 0u);
+  EXPECT_EQ(VbpScanner::Scan(vbp, CompareOp::kEq, 999).CountOnes(), 0u);
+  EXPECT_EQ(HbpScanner::Scan(hbp, CompareOp::kNe, 999).CountOnes(), 200u);
+  // BETWEEN with c2 beyond the domain is clamped; with c1 > c2 it is empty.
+  EXPECT_EQ(
+      VbpScanner::Scan(vbp, CompareOp::kBetween, 0, 1000000).CountOnes(),
+      200u);
+  EXPECT_EQ(
+      HbpScanner::Scan(hbp, CompareOp::kBetween, 0, 1000000).CountOnes(),
+      200u);
+  EXPECT_EQ(VbpScanner::Scan(vbp, CompareOp::kBetween, 9, 3).CountOnes(), 0u);
+  EXPECT_EQ(HbpScanner::Scan(hbp, CompareOp::kBetween, 9, 3).CountOnes(), 0u);
+}
+
+TEST(ScanTest, BoundaryConstants) {
+  const auto codes = RandomCodes(500, 10, 37);
+  const VbpColumn vbp = VbpColumn::Pack(codes, 10);
+  const HbpColumn hbp = HbpColumn::Pack(codes, 10);
+  for (std::uint64_t c : {std::uint64_t{0}, LowMask(10)}) {
+    for (CompareOp op : kAllOps) {
+      const auto expected = ReferenceScan(codes, op, c, c);
+      EXPECT_EQ(VbpScanner::Scan(vbp, op, c, c).ToBools(), expected)
+          << CompareOpToString(op) << " c=" << c;
+      EXPECT_EQ(HbpScanner::Scan(hbp, op, c, c).ToBools(), expected)
+          << CompareOpToString(op) << " c=" << c;
+    }
+  }
+}
+
+TEST(ScanTest, PredicateCombination) {
+  // Section II-E: complex predicates combine per-column filter vectors.
+  const std::size_t n = 600;
+  const auto a_codes = RandomCodes(n, 8, 41);
+  const auto b_codes = RandomCodes(n, 8, 43);
+  const VbpColumn a = VbpColumn::Pack(a_codes, 8);
+  const VbpColumn b = VbpColumn::Pack(b_codes, 8);
+  FilterBitVector fa = VbpScanner::Scan(a, CompareOp::kGt, 100);
+  const FilterBitVector fb = VbpScanner::Scan(b, CompareOp::kEq, 10);
+  fa.And(fb);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(fa.GetBit(i), a_codes[i] > 100 && b_codes[i] == 10) << i;
+  }
+}
+
+TEST(ScanTest, CrossLayoutCombinationViaReshape) {
+  const std::size_t n = 600;
+  const auto a_codes = RandomCodes(n, 8, 51);
+  const auto b_codes = RandomCodes(n, 6, 53);
+  const VbpColumn a = VbpColumn::Pack(a_codes, 8);
+  const HbpColumn b = HbpColumn::Pack(b_codes, 6, {.tau = 6});
+  FilterBitVector fa = VbpScanner::Scan(a, CompareOp::kLe, 77);
+  const FilterBitVector fb = HbpScanner::Scan(b, CompareOp::kGe, 20);
+  fa.And(fb.Reshape(fa.values_per_segment()));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(fa.GetBit(i), a_codes[i] <= 77 && b_codes[i] >= 20) << i;
+  }
+}
+
+TEST(ScanTest, NaiveScannerOracleAgreesWithItself) {
+  const auto codes = RandomCodes(300, 12, 61);
+  const NaiveColumn col = NaiveColumn::Pack(codes, 12);
+  const FilterBitVector f = NaiveScanner::Scan(col, CompareOp::kLt, 2000);
+  EXPECT_EQ(f.ToBools(), ReferenceScan(codes, CompareOp::kLt, 2000, 0));
+}
+
+TEST(ScanTest, EarlyStopStatsSkewedData) {
+  // All-zero data against a constant with a 1 MSB decides every slot at the
+  // first bit: every multi-group segment early-stops.
+  const std::vector<std::uint64_t> codes(64 * 10, 0);
+  const VbpColumn col = VbpColumn::Pack(codes, 8, {.tau = 4});
+  ScanStats stats;
+  VbpScanner::Scan(col, CompareOp::kEq, 0x80, 0, &stats);
+  EXPECT_EQ(stats.segments_processed, 10u);
+  EXPECT_EQ(stats.segments_early_stopped, 10u);
+  EXPECT_EQ(stats.words_examined, 10u * 4);  // one group of 4 bits each
+}
+
+TEST(ScanTest, ProgressiveConjunctiveScan) {
+  // ScanAnd must equal scan-then-AND while skipping emptied segments.
+  const std::size_t n = 5000;
+  const auto a_codes = RandomCodes(n, 10, 71);
+  const auto b_codes = RandomCodes(n, 10, 73);
+  {
+    const VbpColumn a = VbpColumn::Pack(a_codes, 10);
+    const VbpColumn b = VbpColumn::Pack(b_codes, 10);
+    // Selective first predicate empties many segments.
+    const FilterBitVector prior = VbpScanner::Scan(a, CompareOp::kLt, 8);
+    ScanStats stats;
+    const FilterBitVector progressive =
+        VbpScanner::ScanAnd(b, CompareOp::kGe, 512, 0, prior, &stats);
+    FilterBitVector reference = VbpScanner::Scan(b, CompareOp::kGe, 512);
+    reference.And(prior);
+    EXPECT_TRUE(progressive == reference);
+    // The progressive scan must have touched fewer segments than exist.
+    EXPECT_LT(stats.segments_processed, prior.num_segments());
+    // Degenerate constants pass through the prior untouched.
+    EXPECT_TRUE(VbpScanner::ScanAnd(b, CompareOp::kLt, 5000, 0, prior) ==
+                prior);
+    EXPECT_EQ(
+        VbpScanner::ScanAnd(b, CompareOp::kGt, 5000, 0, prior).CountOnes(),
+        0u);
+  }
+  {
+    const HbpColumn a = HbpColumn::Pack(a_codes, 10);
+    const HbpColumn b = HbpColumn::Pack(b_codes, 10);
+    const FilterBitVector prior = HbpScanner::Scan(a, CompareOp::kLt, 8);
+    ScanStats stats;
+    const FilterBitVector progressive =
+        HbpScanner::ScanAnd(b, CompareOp::kGe, 512, 0, prior, &stats);
+    FilterBitVector reference = HbpScanner::Scan(b, CompareOp::kGe, 512);
+    reference.And(prior);
+    EXPECT_TRUE(progressive == reference);
+    EXPECT_LT(stats.segments_processed, prior.num_segments());
+  }
+}
+
+TEST(ScanTest, RaggedTailProducesNoGhostMatches) {
+  // 70 values of all-max codes; predicate matches everything; the padding
+  // slots must not contribute.
+  const std::vector<std::uint64_t> codes(70, LowMask(5));
+  const VbpColumn vbp = VbpColumn::Pack(codes, 5);
+  const HbpColumn hbp = HbpColumn::Pack(codes, 5);
+  EXPECT_EQ(VbpScanner::Scan(vbp, CompareOp::kEq, 31).CountOnes(), 70u);
+  EXPECT_EQ(HbpScanner::Scan(hbp, CompareOp::kEq, 31).CountOnes(), 70u);
+  // Padding values are stored as zero; an == 0 scan must also ignore them.
+  EXPECT_EQ(VbpScanner::Scan(vbp, CompareOp::kEq, 0).CountOnes(), 0u);
+  EXPECT_EQ(HbpScanner::Scan(hbp, CompareOp::kEq, 0).CountOnes(), 0u);
+}
+
+}  // namespace
+}  // namespace icp

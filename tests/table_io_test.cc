@@ -1,0 +1,193 @@
+#include "io/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+Table MakeRichTable(std::size_t n) {
+  Random rng(77);
+  std::vector<std::int64_t> a(n), b(n), c(n), d(n);
+  std::vector<bool> d_valid(n);
+  const std::int64_t dict_values[3] = {-5, 100, 7777};
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<std::int64_t>(rng.UniformInt(0, 1000));
+    b[i] = static_cast<std::int64_t>(rng.UniformInt(0, 123456)) - 60000;
+    c[i] = dict_values[rng.UniformInt(0, 2)];
+    d[i] = static_cast<std::int64_t>(rng.UniformInt(0, 99));
+    d_valid[i] = !rng.Bernoulli(0.2);
+  }
+  Table table;
+  ICP_CHECK(table.AddColumn("a", a, {.layout = Layout::kVbp}).ok());
+  ICP_CHECK(
+      table.AddColumn("b", b, {.layout = Layout::kHbp, .tau = 5}).ok());
+  ICP_CHECK(table
+                .AddColumn("c", c,
+                           {.layout = Layout::kHbp, .dictionary = true})
+                .ok());
+  ICP_CHECK(table
+                .AddNullableColumn("d", d, d_valid,
+                                   {.layout = Layout::kVbp, .bit_width = 10})
+                .ok());
+  return table;
+}
+
+TEST(TableIoTest, RoundTripPreservesEverything) {
+  const Table original = MakeRichTable(5000);
+  const std::string path = TempPath("roundtrip.icptbl");
+  ASSERT_TRUE(io::WriteTable(original, path).ok());
+
+  auto loaded_or = io::ReadTable(path);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  const Table& loaded = *loaded_or;
+
+  EXPECT_EQ(loaded.num_rows(), original.num_rows());
+  EXPECT_EQ(loaded.column_names(), original.column_names());
+  for (const auto& name : original.column_names()) {
+    const Table::Column& o = **original.GetColumn(name);
+    const Table::Column& l = **loaded.GetColumn(name);
+    ASSERT_EQ(l.bit_width(), o.bit_width()) << name;
+    ASSERT_EQ(l.spec().layout, o.spec().layout) << name;
+    ASSERT_EQ(l.spec().tau, o.spec().tau) << name;
+    ASSERT_EQ(l.nullable(), o.nullable()) << name;
+    ASSERT_EQ(l.codes(), o.codes()) << name;
+    if (o.nullable()) {
+      ASSERT_TRUE(l.validity() == o.validity()) << name;
+    }
+    ASSERT_EQ(l.encoder().min_value(), o.encoder().min_value()) << name;
+    ASSERT_EQ(l.encoder().max_value(), o.encoder().max_value()) << name;
+    ASSERT_EQ(l.encoder().is_dictionary(), o.encoder().is_dictionary());
+  }
+}
+
+TEST(TableIoTest, QueriesAgreeAfterReload) {
+  const Table original = MakeRichTable(3000);
+  const std::string path = TempPath("query.icptbl");
+  ASSERT_TRUE(io::WriteTable(original, path).ok());
+  auto loaded = io::ReadTable(path);
+  ASSERT_TRUE(loaded.ok());
+
+  Engine engine;
+  Query q;
+  q.agg = AggKind::kMedian;
+  q.agg_column = "b";
+  q.filter = FilterExpr::And(
+      {FilterExpr::Compare("a", CompareOp::kLt, 700),
+       FilterExpr::IsNotNull("d")});
+  auto r1 = engine.Execute(original, q);
+  auto r2 = engine.Execute(*loaded, q);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->count, r2->count);
+  EXPECT_EQ(r1->decoded_value, r2->decoded_value);
+
+  q.agg = AggKind::kSum;
+  q.agg_column = "d";
+  r1 = engine.Execute(original, q);
+  r2 = engine.Execute(*loaded, q);
+  EXPECT_DOUBLE_EQ(r1->value, r2->value);
+}
+
+TEST(TableIoTest, MissingFile) {
+  auto result = io::ReadTable(TempPath("does_not_exist.icptbl"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TableIoTest, BadMagicRejected) {
+  const std::string path = TempPath("bad_magic.icptbl");
+  std::ofstream(path, std::ios::binary) << "NOTATABLEFILE.....";
+  auto result = io::ReadTable(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableIoTest, TruncationDetected) {
+  const Table table = MakeRichTable(500);
+  const std::string path = TempPath("truncated.icptbl");
+  ASSERT_TRUE(io::WriteTable(table, path).ok());
+  // Chop off the tail (checksum + part of the last column).
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  std::ofstream(path, std::ios::binary | std::ios::trunc)
+      << contents.substr(0, contents.size() - 64);
+  auto result = io::ReadTable(path);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TableIoTest, CorruptionDetectedByChecksum) {
+  const Table table = MakeRichTable(500);
+  const std::string path = TempPath("corrupt.icptbl");
+  ASSERT_TRUE(io::WriteTable(table, path).ok());
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    contents.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  // Flip one bit somewhere in the code stream.
+  contents[contents.size() / 2] ^= 0x10;
+  std::ofstream(path, std::ios::binary | std::ios::trunc) << contents;
+  auto result = io::ReadTable(path);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(TableIoTest, PaddedAndNaiveLayoutsRoundTrip) {
+  Random rng(21);
+  std::vector<std::int64_t> v(800);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.UniformInt(0, 5000));
+  Table table;
+  ASSERT_TRUE(table.AddColumn("p", v, {.layout = Layout::kPadded}).ok());
+  ASSERT_TRUE(table.AddColumn("n", v, {.layout = Layout::kNaive}).ok());
+  const std::string path = TempPath("layouts.icptbl");
+  ASSERT_TRUE(io::WriteTable(table, path).ok());
+  auto loaded = io::ReadTable(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded->GetColumn("p"))->spec().layout, Layout::kPadded);
+  EXPECT_EQ((*loaded->GetColumn("n"))->spec().layout, Layout::kNaive);
+  EXPECT_EQ((*loaded->GetColumn("p"))->codes(), (*table.GetColumn("p"))->codes());
+}
+
+TEST(TableIoTest, SingleRowTable) {
+  Table table;
+  ASSERT_TRUE(table.AddColumn("x", {42}, {}).ok());
+  const std::string path = TempPath("tiny.icptbl");
+  ASSERT_TRUE(io::WriteTable(table, path).ok());
+  auto loaded = io::ReadTable(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 1u);
+  EXPECT_EQ((*loaded->GetColumn("x"))->encoder().Decode(
+                (*loaded->GetColumn("x"))->codes()[0]),
+            42);
+}
+
+TEST(TableIoTest, PackedFileIsCompact) {
+  // 10k rows of 7-bit values must take ~10k * 7 / 8 bytes, not 8 bytes/row.
+  Random rng(5);
+  std::vector<std::int64_t> v(10000);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.UniformInt(0, 100));
+  Table table;
+  ASSERT_TRUE(table.AddColumn("v", v, {}).ok());
+  const std::string path = TempPath("compact.icptbl");
+  ASSERT_TRUE(io::WriteTable(table, path).ok());
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  EXPECT_LT(size, 10000u * 2);  // ~0.875 B/row payload + header
+}
+
+}  // namespace
+}  // namespace icp

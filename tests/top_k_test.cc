@@ -1,0 +1,96 @@
+#include "core/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+struct TopKWorkload {
+  std::vector<std::uint64_t> codes;
+  std::vector<bool> pass;
+  std::vector<std::uint64_t> sorted_passing;
+};
+
+TopKWorkload Make(std::size_t n, int k_bits, double selectivity,
+                  std::uint64_t seed, std::uint64_t domain = 0) {
+  Random rng(seed);
+  TopKWorkload w;
+  w.codes.resize(n);
+  w.pass.resize(n);
+  const std::uint64_t max_code = domain ? domain : LowMask(k_bits);
+  for (std::size_t i = 0; i < n; ++i) {
+    w.codes[i] = rng.UniformInt(0, max_code);
+    w.pass[i] = rng.Bernoulli(selectivity);
+    if (w.pass[i]) w.sorted_passing.push_back(w.codes[i]);
+  }
+  std::sort(w.sorted_passing.begin(), w.sorted_passing.end());
+  return w;
+}
+
+class TopKTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopKTest, SmallestAndLargestMatchSortReference) {
+  const std::uint64_t k = GetParam();
+  const TopKWorkload w = Make(4000, 14, 0.5, 42 + k);
+  const VbpColumn vcol = VbpColumn::Pack(w.codes, 14);
+  const HbpColumn hcol = HbpColumn::Pack(w.codes, 14);
+  const FilterBitVector vf = FilterBitVector::FromBools(w.pass, 64);
+  const FilterBitVector hf =
+      FilterBitVector::FromBools(w.pass, hcol.values_per_segment());
+
+  const std::uint64_t expect_n =
+      std::min<std::uint64_t>(k, w.sorted_passing.size());
+  std::vector<std::uint64_t> expected_small(
+      w.sorted_passing.begin(), w.sorted_passing.begin() + expect_n);
+  std::vector<std::uint64_t> expected_large(
+      w.sorted_passing.rbegin(), w.sorted_passing.rbegin() + expect_n);
+
+  EXPECT_EQ(SmallestK(vcol, vf, k), expected_small);
+  EXPECT_EQ(SmallestK(hcol, hf, k), expected_small);
+  EXPECT_EQ(LargestK(vcol, vf, k), expected_large);
+  EXPECT_EQ(LargestK(hcol, hf, k), expected_large);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKTest,
+                         ::testing::Values(1, 2, 7, 64, 100, 1000, 5000));
+
+TEST(TopKTest, HeavyDuplicates) {
+  // Tiny domain: ties dominate; the tail of the result is threshold copies.
+  const TopKWorkload w = Make(2000, 8, 0.8, 9, /*domain=*/3);
+  const VbpColumn col = VbpColumn::Pack(w.codes, 8);
+  const FilterBitVector f = FilterBitVector::FromBools(w.pass, 64);
+  for (std::uint64_t k : {std::uint64_t{5}, std::uint64_t{500}}) {
+    std::vector<std::uint64_t> expected(w.sorted_passing.begin(),
+                                        w.sorted_passing.begin() + k);
+    ASSERT_EQ(SmallestK(col, f, k), expected) << k;
+    std::vector<std::uint64_t> expected_large(
+        w.sorted_passing.rbegin(), w.sorted_passing.rbegin() + k);
+    ASSERT_EQ(LargestK(col, f, k), expected_large) << k;
+  }
+}
+
+TEST(TopKTest, EdgeCases) {
+  const TopKWorkload w = Make(300, 10, 0.5, 17);
+  const VbpColumn col = VbpColumn::Pack(w.codes, 10);
+  const FilterBitVector f = FilterBitVector::FromBools(w.pass, 64);
+  // K = 0.
+  EXPECT_TRUE(SmallestK(col, f, 0).empty());
+  EXPECT_TRUE(LargestK(col, f, 0).empty());
+  // Empty filter.
+  FilterBitVector empty(w.codes.size(), 64);
+  EXPECT_TRUE(SmallestK(col, empty, 5).empty());
+  EXPECT_TRUE(LargestK(col, empty, 5).empty());
+  // K exceeding the passing count returns everything, ordered.
+  const auto all_small = SmallestK(col, f, 1 << 20);
+  EXPECT_EQ(all_small, w.sorted_passing);
+  auto all_large = LargestK(col, f, 1 << 20);
+  std::reverse(all_large.begin(), all_large.end());
+  EXPECT_EQ(all_large, w.sorted_passing);
+}
+
+}  // namespace
+}  // namespace icp

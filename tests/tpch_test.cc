@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/engine.h"
+#include "tpch/dates.h"
+#include "tpch/generator.h"
+#include "tpch/queries.h"
+
+namespace icp::tpch {
+namespace {
+
+TEST(DatesTest, KnownDays) {
+  EXPECT_EQ(Day(1992, 1, 1), 0);
+  EXPECT_EQ(Day(1992, 12, 31), 365);  // leap year
+  EXPECT_EQ(Day(1995, 6, 17), 1263);
+  EXPECT_EQ(Day(1998, 9, 2), 2436);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(2000, 3, 1) - DaysFromCivil(2000, 2, 28), 2);
+}
+
+class TpchDataTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new WideTableData(
+        GenerateWideTable({.num_rows = 200000, .seed = 7}));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  static WideTableData* data_;
+};
+
+WideTableData* TpchDataTest::data_ = nullptr;
+
+TEST_F(TpchDataTest, ColumnDomains) {
+  const auto& d = *data_;
+  for (std::size_t i = 0; i < d.num_rows(); ++i) {
+    ASSERT_GE(d.quantity[i], 1);
+    ASSERT_LE(d.quantity[i], 50);
+    ASSERT_GE(d.discount[i], 0);
+    ASSERT_LE(d.discount[i], 10);
+    ASSERT_GE(d.extendedprice[i], 90000);
+    ASSERT_LE(d.extendedprice[i], 50 * 104949);
+    ASSERT_GT(d.shipdate[i], d.orderdate[i]);
+    ASSERT_GT(d.receiptdate[i], d.shipdate[i]);
+    ASSERT_TRUE(d.returnflag[i] == 'A' || d.returnflag[i] == 'N' ||
+                d.returnflag[i] == 'R');
+    ASSERT_GE(d.supp_nation[i], 0);
+    ASSERT_LE(d.supp_nation[i], 24);
+  }
+}
+
+TEST_F(TpchDataTest, MaterializedColumnsConsistent) {
+  const auto& d = *data_;
+  for (std::size_t i = 0; i < d.num_rows(); i += 17) {
+    ASSERT_EQ(d.disc_price[i],
+              d.extendedprice[i] * (100 - d.discount[i]) / 100);
+    ASSERT_EQ(d.charge[i], d.disc_price[i] * (100 + d.tax[i]) / 100);
+    ASSERT_EQ(d.disc_revenue[i], d.extendedprice[i] * d.discount[i] / 100);
+    ASSERT_EQ(d.amount[i],
+              d.disc_price[i] - d.supplycost[i] * d.quantity[i]);
+    ASSERT_EQ(d.supp_value[i], d.supplycost[i] * d.availqty[i]);
+    ASSERT_EQ(d.promo_volume[i],
+              d.part_promo[i] == 1 ? d.disc_price[i] : 0);
+  }
+}
+
+TEST_F(TpchDataTest, ExtendedPriceEncodesIn24Bits) {
+  // The paper's footnote: l_extendedprice, the widest numeric TPC-H
+  // attribute, encodes in 24 bits.
+  auto table_or = BuildTable(*data_, Layout::kVbp);
+  ASSERT_TRUE(table_or.ok());
+  auto col = table_or->GetColumn("l_extendedprice");
+  ASSERT_TRUE(col.ok());
+  EXPECT_LE((*col)->bit_width(), 24);
+}
+
+TEST_F(TpchDataTest, SelectivitiesMatchPaper) {
+  // The generated distributions must land each query's measured selectivity
+  // in the paper's regime. Q10 is a documented exception (see queries.cc):
+  // it lands near 0.0095 vs the paper's 0.019 — same <2% regime.
+  auto table_or = BuildTable(*data_, Layout::kVbp);
+  ASSERT_TRUE(table_or.ok());
+  const Table& table = *table_or;
+  Engine engine;
+
+  const std::map<std::string, double> tolerance = {
+      {"Q1", 0.004}, {"Q6", 0.004},  {"Q7", 0.015}, {"Q9", 0.006},
+      {"Q10", 0.011}, {"Q11", 0.004}, {"Q14", 0.004}, {"Q15", 0.006},
+      {"Q20", 0.015}};
+
+  for (const QuerySpec& spec : MakeQueries()) {
+    auto filter =
+        engine.EvaluateFilter(table, spec.filter, spec.aggregates[0].second);
+    ASSERT_TRUE(filter.ok()) << spec.id;
+    const double selectivity =
+        static_cast<double>(filter->CountOnes()) /
+        static_cast<double>(table.num_rows());
+    EXPECT_NEAR(selectivity, spec.paper_selectivity, tolerance.at(spec.id))
+        << spec.id;
+  }
+}
+
+TEST_F(TpchDataTest, QueriesRunUnderAllLayoutsAndMethods) {
+  for (Layout layout : {Layout::kVbp, Layout::kHbp}) {
+    auto table_or = BuildTable(*data_, layout);
+    ASSERT_TRUE(table_or.ok());
+    const Table& table = *table_or;
+    Engine bp(ExecOptions{.method = AggMethod::kBitParallel});
+    Engine nbp(ExecOptions{.method = AggMethod::kNonBitParallel});
+    for (const QuerySpec& spec : MakeQueries()) {
+      for (const auto& [kind, column] : spec.aggregates) {
+        Query q{.agg = kind, .agg_column = column, .filter = spec.filter};
+        auto bp_result = bp.Execute(table, q);
+        auto nbp_result = nbp.Execute(table, q);
+        ASSERT_TRUE(bp_result.ok())
+            << spec.id << " " << bp_result.status().ToString();
+        ASSERT_TRUE(nbp_result.ok()) << spec.id;
+        // BP and NBP must agree exactly in code space.
+        ASSERT_EQ(bp_result->count, nbp_result->count) << spec.id;
+        ASSERT_TRUE(bp_result->code_sum == nbp_result->code_sum)
+            << spec.id << " " << column;
+        ASSERT_EQ(bp_result->code_value, nbp_result->code_value)
+            << spec.id << " " << column;
+      }
+    }
+  }
+}
+
+TEST_F(TpchDataTest, Q6RevenueAgainstReference) {
+  auto table_or = BuildTable(*data_, Layout::kHbp);
+  ASSERT_TRUE(table_or.ok());
+  Engine engine;
+  const auto queries = MakeQueries();
+  const QuerySpec& q6 = queries[1];
+  ASSERT_EQ(q6.id, "Q6");
+  Query q{.agg = AggKind::kSum,
+          .agg_column = "disc_revenue",
+          .filter = q6.filter};
+  auto result = engine.Execute(*table_or, q);
+  ASSERT_TRUE(result.ok());
+
+  const auto& d = *data_;
+  double expected = 0;
+  for (std::size_t i = 0; i < d.num_rows(); ++i) {
+    if (d.shipdate[i] >= Day(1994, 1, 1) && d.shipdate[i] < Day(1995, 1, 1) &&
+        d.discount[i] >= 5 && d.discount[i] <= 7 && d.quantity[i] < 24) {
+      expected += static_cast<double>(d.disc_revenue[i]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(result->value, expected);
+}
+
+TEST_F(TpchDataTest, LinestatusDomainAndGroupedQ1) {
+  const auto& d = *data_;
+  for (std::size_t i = 0; i < d.num_rows(); ++i) {
+    ASSERT_TRUE(d.linestatus[i] == 'F' || d.linestatus[i] == 'O');
+    // linestatus 'F' iff shipped by the 1995-06-17 cutoff.
+    ASSERT_EQ(d.linestatus[i] == 'F', d.shipdate[i] <= Day(1995, 6, 17));
+  }
+
+  // Grouped Q1: the groups partition the filtered rows, and only the four
+  // classic TPC-H combinations appear (A/F, N/F, N/O, R/F — R/O and A/O are
+  // impossible because returnflag R/A requires receipt before the cutoff).
+  auto table_or = BuildTable(*data_, Layout::kVbp);
+  ASSERT_TRUE(table_or.ok());
+  Engine engine;
+  const auto q1_filter =
+      FilterExpr::Compare("l_shipdate", CompareOp::kLe, Day(1998, 9, 2));
+  Query base{.agg = AggKind::kCount,
+             .agg_column = "l_quantity",
+             .filter = q1_filter};
+  const std::uint64_t total = engine.Execute(*table_or, base)->count;
+
+  std::uint64_t group_total = 0;
+  int groups_seen = 0;
+  for (std::int64_t rflag : {'A', 'N', 'R'}) {
+    Query q = base;
+    q.filter = FilterExpr::And(
+        {q1_filter,
+         FilterExpr::Compare("l_returnflag", CompareOp::kEq, rflag)});
+    auto groups = engine.ExecuteGroupBy(*table_or, q, "l_linestatus");
+    ASSERT_TRUE(groups.ok());
+    for (const auto& [lstatus, result] : *groups) {
+      ASSERT_TRUE(!(rflag == 'A' && lstatus == 'O'));
+      ASSERT_TRUE(!(rflag == 'R' && lstatus == 'O'));
+      group_total += result.count;
+      ++groups_seen;
+    }
+  }
+  EXPECT_EQ(group_total, total);
+  EXPECT_EQ(groups_seen, 4);
+}
+
+TEST(TpchQueriesTest, SpecShapes) {
+  const auto queries = MakeQueries();
+  ASSERT_EQ(queries.size(), 9u);
+  for (const auto& q : queries) {
+    EXPECT_FALSE(q.aggregates.empty()) << q.id;
+    EXPECT_NE(q.filter, nullptr) << q.id;
+    EXPECT_GT(q.paper_selectivity, 0.0) << q.id;
+    EXPECT_FALSE(q.note.empty()) << q.id;
+  }
+  EXPECT_EQ(queries[0].id, "Q1");
+  EXPECT_EQ(queries[0].aggregates.size(), 8u);
+}
+
+}  // namespace
+}  // namespace icp::tpch

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/aligned_buffer.h"
+#include "util/bits.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace icp {
+namespace {
+
+TEST(BitsTest, Popcount) {
+  EXPECT_EQ(Popcount(0), 0);
+  EXPECT_EQ(Popcount(1), 1);
+  EXPECT_EQ(Popcount(~Word{0}), 64);
+  EXPECT_EQ(Popcount(0xF0F0F0F0F0F0F0F0ULL), 32);
+}
+
+TEST(BitsTest, CountTrailingZeros) {
+  EXPECT_EQ(CountTrailingZeros(0), 64);
+  EXPECT_EQ(CountTrailingZeros(1), 0);
+  EXPECT_EQ(CountTrailingZeros(Word{1} << 63), 63);
+  EXPECT_EQ(CountTrailingZeros(0b101000), 3);
+}
+
+TEST(BitsTest, LowMask) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(1), 1u);
+  EXPECT_EQ(LowMask(8), 0xFFu);
+  EXPECT_EQ(LowMask(64), ~Word{0});
+}
+
+TEST(BitsTest, HighMask) {
+  EXPECT_EQ(HighMask(0), 0u);
+  EXPECT_EQ(HighMask(1), Word{1} << 63);
+  EXPECT_EQ(HighMask(64), ~Word{0});
+  EXPECT_EQ(HighMask(8), 0xFF00000000000000ULL);
+}
+
+TEST(BitsTest, BitsFor) {
+  EXPECT_EQ(BitsFor(0), 1);
+  EXPECT_EQ(BitsFor(1), 1);
+  EXPECT_EQ(BitsFor(2), 2);
+  EXPECT_EQ(BitsFor(255), 8);
+  EXPECT_EQ(BitsFor(256), 9);
+  EXPECT_EQ(BitsFor(std::numeric_limits<std::uint64_t>::max()), 64);
+}
+
+TEST(BitsTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 8), 0u);
+  EXPECT_EQ(CeilDiv(1, 8), 1u);
+  EXPECT_EQ(CeilDiv(8, 8), 1u);
+  EXPECT_EQ(CeilDiv(9, 8), 2u);
+}
+
+TEST(BitsTest, FieldsPerWord) {
+  EXPECT_EQ(FieldsPerWord(4), 16);
+  EXPECT_EQ(FieldsPerWord(26), 2);
+  EXPECT_EQ(FieldsPerWord(64), 1);
+  EXPECT_EQ(FieldsPerWord(33), 1);
+}
+
+TEST(BitsTest, DelimiterMaskMatchesPaperPattern) {
+  // s = 4 (tau = 3): 1000 1000 ... repeated 16 times.
+  EXPECT_EQ(DelimiterMask(4), 0x8888888888888888ULL);
+  // s = 64: single delimiter at the MSB.
+  EXPECT_EQ(DelimiterMask(64), Word{1} << 63);
+  // s = 26 (k = 25, no bit-groups): two fields, 12 pad bits at the bottom.
+  EXPECT_EQ(DelimiterMask(26), (Word{1} << 63) | (Word{1} << 37));
+}
+
+TEST(BitsTest, FieldLsbMask) {
+  EXPECT_EQ(FieldLsbMask(4), 0x1111111111111111ULL);
+  EXPECT_EQ(FieldLsbMask(64), Word{1});
+}
+
+TEST(BitsTest, FieldValueMask) {
+  // s = 4: 0111 0111 ...
+  EXPECT_EQ(FieldValueMask(4), 0x7777777777777777ULL);
+  // s = 1: no value bits.
+  EXPECT_EQ(FieldValueMask(1), 0u);
+  // Delimiter, value and padding bits partition the word.
+  for (int s = 1; s <= 64; ++s) {
+    const int m = FieldsPerWord(s);
+    EXPECT_EQ(Popcount(DelimiterMask(s)), m) << s;
+    EXPECT_EQ(Popcount(FieldValueMask(s)), m * (s - 1)) << s;
+    EXPECT_EQ(DelimiterMask(s) & FieldValueMask(s), 0u) << s;
+  }
+}
+
+TEST(BitsTest, RepeatField) {
+  // Paper Fig. 3b: constant 4 = 100 in 4-bit fields of an 8-bit example;
+  // for 64-bit words this is 0100 repeated.
+  EXPECT_EQ(RepeatField(4, 4), 0x4444444444444444ULL);
+  EXPECT_EQ(RepeatField(0, 7), 0u);
+  // Round-trip: every field holds the value.
+  const Word packed = RepeatField(19, 9);
+  for (int f = 0; f < FieldsPerWord(9); ++f) {
+    EXPECT_EQ((packed >> (64 - (f + 1) * 9)) & LowMask(9), 19u);
+  }
+}
+
+TEST(BitsTest, StridedOnes) {
+  EXPECT_EQ(StridedOnes(8, 8), 0x0101010101010101ULL);
+  EXPECT_EQ(StridedOnes(1, 4), 0xFULL);
+  EXPECT_EQ(StridedOnes(63, 2), (Word{1} << 63) | 1);
+}
+
+TEST(StatusTest, OkStatus) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorStatus) {
+  Status s = Status::InvalidArgument("bad width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad width");
+}
+
+TEST(StatusTest, StatusOrValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusTest, StatusOrError) {
+  StatusOr<int> v = Status::NotFound("col");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, UniformIntStaysInRange) {
+  Random rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.UniformInt(5, 17);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 17u);
+  }
+}
+
+TEST(RandomTest, UniformIntCoversRange) {
+  Random rng(13);
+  bool seen[8] = {};
+  for (int i = 0; i < 1000; ++i) {
+    seen[rng.UniformInt(0, 7)] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RandomTest, BernoulliRate) {
+  Random rng(17);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    hits += rng.Bernoulli(0.1);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.1, 0.01);
+}
+
+TEST(WordBufferTest, ZeroInitializedAndAligned) {
+  WordBuffer buf(100);
+  EXPECT_EQ(buf.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % 64, 0u);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i], 0u);
+  }
+}
+
+TEST(WordBufferTest, CopyIsDeep) {
+  WordBuffer a(4);
+  a[2] = 99;
+  WordBuffer b = a;
+  b[2] = 7;
+  EXPECT_EQ(a[2], 99u);
+  EXPECT_EQ(b[2], 7u);
+}
+
+TEST(WordBufferTest, MoveTransfersOwnership) {
+  WordBuffer a(4);
+  a[0] = 5;
+  WordBuffer b = std::move(a);
+  EXPECT_EQ(b[0], 5u);
+  EXPECT_EQ(b.size(), 4u);
+}
+
+TEST(WordBufferTest, EmptyBuffer) {
+  WordBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+}  // namespace
+}  // namespace icp

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Parse bench_output.txt into per-harness CSV files for plotting.
+
+Usage:
+    tools/parse_bench.py bench_output.txt out_dir/
+
+Emits one CSV per recognized table in the harness output (figure 5/6 style
+series tables, the Figure 8 matrix, and the Table II query tables), named
+after the harness and section, e.g.:
+
+    out_dir/fig5_vbp_sum.csv
+    out_dir/fig8_mt_simd.csv
+    out_dir/table2_hbp.csv
+
+The parser is intentionally forgiving: it keys on the harness banner lines
+("== build/bench/bench_... ==") and on bracketed section headers, and turns
+whitespace-separated numeric rows into CSV. Anything it does not recognize
+is ignored, so harness prose can evolve freely.
+"""
+
+import csv
+import os
+import re
+import sys
+
+
+def slugify(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")
+
+
+def is_number(token: str) -> bool:
+    token = token.rstrip("x%")
+    try:
+        float(token)
+        return True
+    except ValueError:
+        return False
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    source, out_dir = sys.argv[1], sys.argv[2]
+    os.makedirs(out_dir, exist_ok=True)
+
+    harness = None
+    section = None
+    rows = []
+    header = None
+    written = []
+
+    def flush():
+        nonlocal rows, header
+        if harness and rows:
+            name = slugify(harness.replace("bench_", ""))
+            if section:
+                name += "_" + slugify(section)
+            path = os.path.join(out_dir, f"{name}.csv")
+            with open(path, "w", newline="") as f:
+                writer = csv.writer(f)
+                if header:
+                    writer.writerow(header)
+                writer.writerows(rows)
+            written.append(path)
+        rows = []
+        header = None
+
+    with open(source) as f:
+        for line in f:
+            line = line.rstrip()
+            banner = re.match(r"== .*/(bench_\w+) ==", line)
+            if banner:
+                flush()
+                harness = banner.group(1)
+                section = None
+                continue
+            bracket = re.match(r"\[(.+)\]", line)
+            if bracket:
+                flush()
+                section = bracket.group(1)
+                continue
+            tokens = line.split()
+            if not tokens:
+                continue
+            numeric = sum(is_number(t) for t in tokens)
+            if numeric >= max(2, len(tokens) - 2) and is_number(tokens[-1]):
+                rows.append([t.rstrip("x%") if is_number(t) else t
+                             for t in tokens])
+            elif rows == [] and len(tokens) >= 3 and numeric == 0:
+                header = tokens  # likely the column header line
+    flush()
+
+    for path in written:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
