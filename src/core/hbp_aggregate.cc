@@ -64,9 +64,13 @@ UInt128 CombineGroupSums(const HbpColumn& column,
   return sum;
 }
 
-UInt128 Sum(const HbpColumn& column, const FilterBitVector& filter) {
+UInt128 Sum(const HbpColumn& column, const FilterBitVector& filter,
+            const CancelContext* cancel) {
   std::uint64_t group_sums[kWordBits] = {};
-  AccumulateGroupSums(column, filter, 0, filter.num_segments(), group_sums);
+  ForEachCancellableBatch(
+      cancel, 0, filter.num_segments(), [&](std::size_t b, std::size_t e) {
+        AccumulateGroupSums(column, filter, b, e, group_sums);
+      });
   return CombineGroupSums(column, group_sums);
 }
 
@@ -179,25 +183,29 @@ namespace {
 
 std::optional<std::uint64_t> Extreme(const HbpColumn& column,
                                      const FilterBitVector& filter,
-                                     bool is_min) {
+                                     bool is_min, const CancelContext* cancel) {
   if (filter.CountOnes() == 0) return std::nullopt;
   Word temp[kWordBits];
   InitSubSlotExtreme(column, is_min, temp);
-  SubSlotExtremeRange(column, filter, 0, filter.num_segments(), is_min,
-                      temp);
+  ForEachCancellableBatch(
+      cancel, 0, filter.num_segments(), [&](std::size_t b, std::size_t e) {
+        SubSlotExtremeRange(column, filter, b, e, is_min, temp);
+      });
   return ExtremeOfSubSlots(column, temp, is_min);
 }
 
 }  // namespace
 
 std::optional<std::uint64_t> Min(const HbpColumn& column,
-                                 const FilterBitVector& filter) {
-  return Extreme(column, filter, /*is_min=*/true);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel) {
+  return Extreme(column, filter, /*is_min=*/true, cancel);
 }
 
 std::optional<std::uint64_t> Max(const HbpColumn& column,
-                                 const FilterBitVector& filter) {
-  return Extreme(column, filter, /*is_min=*/false);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel) {
+  return Extreme(column, filter, /*is_min=*/false, cancel);
 }
 
 // ---------------------------------------------------------------------------
@@ -252,7 +260,8 @@ void NarrowCandidates(const HbpColumn& column, Word* v,
 
 std::optional<std::uint64_t> RankSelect(const HbpColumn& column,
                                         const FilterBitVector& filter,
-                                        std::uint64_t r) {
+                                        std::uint64_t r,
+                                        const CancelContext* cancel) {
   ICP_CHECK_EQ(column.lanes(), 1);
   const std::uint64_t u = filter.CountOnes();
   if (r < 1 || r > u) return std::nullopt;
@@ -263,7 +272,12 @@ std::optional<std::uint64_t> RankSelect(const HbpColumn& column,
   std::uint64_t result = 0;
   for (int g = 0; g < column.num_groups(); ++g) {
     std::fill(hist.begin(), hist.end(), 0);
-    BuildGroupHistogram(column, v.data(), 0, num_segments, g, hist.data());
+    if (!ForEachCancellableBatch(
+            cancel, 0, num_segments, [&](std::size_t b, std::size_t e) {
+              BuildGroupHistogram(column, v.data(), b, e, g, hist.data());
+            })) {
+      return std::nullopt;
+    }
     // bin = argmin_i sum_{j<=i} hist[j] >= r (paper Alg. 6 line 7).
     std::uint64_t cum = 0;
     std::uint64_t bin = 0;
@@ -275,22 +289,28 @@ std::optional<std::uint64_t> RankSelect(const HbpColumn& column,
     result |= bin << column.GroupShift(g);
     // The last group needs no candidate narrowing: the answer is complete.
     if (g + 1 < column.num_groups()) {
-      NarrowCandidates(column, v.data(), 0, num_segments, g, bin);
+      if (!ForEachCancellableBatch(
+              cancel, 0, num_segments, [&](std::size_t b, std::size_t e) {
+                NarrowCandidates(column, v.data(), b, e, g, bin);
+              })) {
+        return std::nullopt;
+      }
     }
   }
   return result;
 }
 
 std::optional<std::uint64_t> Median(const HbpColumn& column,
-                                    const FilterBitVector& filter) {
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
   const std::uint64_t count = filter.CountOnes();
   if (count == 0) return std::nullopt;
-  return RankSelect(column, filter, LowerMedianRank(count));
+  return RankSelect(column, filter, LowerMedianRank(count), cancel);
 }
 
 AggregateResult Aggregate(const HbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank) {
+                          std::uint64_t rank, const CancelContext* cancel) {
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -299,19 +319,19 @@ AggregateResult Aggregate(const HbpColumn& column,
       break;
     case AggKind::kSum:
     case AggKind::kAvg:
-      result.sum = Sum(column, filter);
+      result.sum = Sum(column, filter, cancel);
       break;
     case AggKind::kMin:
-      result.value = Min(column, filter);
+      result.value = Min(column, filter, cancel);
       break;
     case AggKind::kMax:
-      result.value = Max(column, filter);
+      result.value = Max(column, filter, cancel);
       break;
     case AggKind::kMedian:
-      result.value = Median(column, filter);
+      result.value = Median(column, filter, cancel);
       break;
     case AggKind::kRank:
-      result.value = RankSelect(column, filter, rank);
+      result.value = RankSelect(column, filter, rank, cancel);
       break;
   }
   return result;

@@ -28,6 +28,7 @@
 #include "core/in_word_sum.h"
 #include "layout/hbp_column.h"
 #include "util/bits.h"
+#include "util/cancellation.h"
 
 namespace icp::hbp {
 
@@ -46,8 +47,12 @@ void AccumulateGroupSums(const HbpColumn& column,
 UInt128 CombineGroupSums(const HbpColumn& column,
                          const std::uint64_t* group_sums);
 
-/// SUM over all tuples passing `filter`.
-UInt128 Sum(const HbpColumn& column, const FilterBitVector& filter);
+/// SUM over all tuples passing `filter`. As in vbp_aggregate.h, the
+/// full-column entry points take an optional CancelContext, check it every
+/// kCancelBatchSegments segments, and return a meaningless partial value
+/// once it fires (the engine surfaces the context's Status instead).
+UInt128 Sum(const HbpColumn& column, const FilterBitVector& filter,
+            const CancelContext* cancel = nullptr);
 
 // ---------------------------------------------------------------------------
 // MIN / MAX
@@ -73,9 +78,11 @@ std::uint64_t ExtremeOfSubSlots(const HbpColumn& column, const Word* temp,
                                 bool is_min);
 
 std::optional<std::uint64_t> Min(const HbpColumn& column,
-                                 const FilterBitVector& filter);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> Max(const HbpColumn& column,
-                                 const FilterBitVector& filter);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel = nullptr);
 
 // ---------------------------------------------------------------------------
 // MEDIAN / r-selection
@@ -97,17 +104,20 @@ void NarrowCandidates(const HbpColumn& column, Word* v,
 /// The r-th smallest (1-based) value among passing tuples.
 std::optional<std::uint64_t> RankSelect(const HbpColumn& column,
                                         const FilterBitVector& filter,
-                                        std::uint64_t r);
+                                        std::uint64_t r,
+                                        const CancelContext* cancel = nullptr);
 
 /// Lower median.
 std::optional<std::uint64_t> Median(const HbpColumn& column,
-                                    const FilterBitVector& filter);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr);
 
 /// Convenience dispatcher used by the engine and benches. `rank` is used
 /// only by AggKind::kRank (1-based r-selection).
 AggregateResult Aggregate(const HbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank = 0);
+                          std::uint64_t rank = 0,
+                          const CancelContext* cancel = nullptr);
 
 }  // namespace icp::hbp
 

@@ -9,13 +9,15 @@ namespace {
 template <typename ColumnT>
 std::optional<std::uint64_t> RankSelectImpl(const ColumnT& column,
                                             const FilterBitVector& filter,
-                                            std::uint64_t r) {
+                                            std::uint64_t r,
+                                            const CancelContext* cancel) {
   const std::uint64_t count = filter.CountOnes();
   if (r < 1 || r > count) return std::nullopt;
   std::vector<std::uint64_t> values;
   values.reserve(count);
-  ForEachPassing(column, filter,
-                 [&](std::uint64_t v) { values.push_back(v); });
+  ForEachPassing(
+      column, filter, [&](std::uint64_t v) { values.push_back(v); }, cancel);
+  if (values.size() < r) return std::nullopt;  // walk stopped early
   auto nth = values.begin() + static_cast<std::ptrdiff_t>(r - 1);
   std::nth_element(values.begin(), nth, values.end());
   return *nth;
@@ -26,27 +28,33 @@ std::optional<std::uint64_t> RankSelectImpl(const ColumnT& column,
 template <>
 std::optional<std::uint64_t> RankSelect(const VbpColumn& column,
                                         const FilterBitVector& filter,
-                                        std::uint64_t r) {
-  return RankSelectImpl(column, filter, r);
+                                        std::uint64_t r,
+                                        const CancelContext* cancel) {
+  return RankSelectImpl(column, filter, r, cancel);
 }
 
 template <>
 std::optional<std::uint64_t> RankSelect(const HbpColumn& column,
                                         const FilterBitVector& filter,
-                                        std::uint64_t r) {
-  return RankSelectImpl(column, filter, r);
+                                        std::uint64_t r,
+                                        const CancelContext* cancel) {
+  return RankSelectImpl(column, filter, r, cancel);
 }
 
 template <>
 std::optional<std::uint64_t> Median(const VbpColumn& column,
-                                    const FilterBitVector& filter) {
-  return RankSelectImpl(column, filter, LowerMedianRank(filter.CountOnes()));
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
+  return RankSelectImpl(column, filter, LowerMedianRank(filter.CountOnes()),
+                        cancel);
 }
 
 template <>
 std::optional<std::uint64_t> Median(const HbpColumn& column,
-                                    const FilterBitVector& filter) {
-  return RankSelectImpl(column, filter, LowerMedianRank(filter.CountOnes()));
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
+  return RankSelectImpl(column, filter, LowerMedianRank(filter.CountOnes()),
+                        cancel);
 }
 
 }  // namespace icp::nbp

@@ -24,6 +24,7 @@
 #include "layout/hbp_column.h"
 #include "layout/vbp_column.h"
 #include "util/bits.h"
+#include "util/cancellation.h"
 
 namespace icp::nbp {
 
@@ -105,56 +106,73 @@ void ForEachPassingRange(const HbpColumn& column,
   }
 }
 
-/// Full-column convenience wrapper.
+/// Full-column convenience wrapper. The optional CancelContext is checked
+/// every kCancelBatchSegments segments (same contract as the bit-parallel
+/// entry points): once it fires the walk stops early, so the caller's
+/// accumulator holds a meaningless partial that the engine discards.
 template <typename ColumnT, typename Fn>
 void ForEachPassing(const ColumnT& column, const FilterBitVector& filter,
-                    Fn&& fn) {
-  ForEachPassingRange(column, filter, 0, filter.num_segments(),
-                      std::forward<Fn>(fn));
+                    Fn&& fn, const CancelContext* cancel = nullptr) {
+  ForEachCancellableBatch(cancel, 0, filter.num_segments(),
+                          [&](std::size_t b, std::size_t e) {
+                            ForEachPassingRange(column, filter, b, e, fn);
+                          });
 }
 
 /// NBP SUM / MIN / MAX / MEDIAN / RankSelect over either packed layout.
 template <typename ColumnT>
-UInt128 Sum(const ColumnT& column, const FilterBitVector& filter) {
+UInt128 Sum(const ColumnT& column, const FilterBitVector& filter,
+            const CancelContext* cancel = nullptr) {
   UInt128 sum = 0;
-  ForEachPassing(column, filter, [&](std::uint64_t v) { sum += v; });
+  ForEachPassing(column, filter, [&](std::uint64_t v) { sum += v; }, cancel);
   return sum;
 }
 
 template <typename ColumnT>
 std::optional<std::uint64_t> Min(const ColumnT& column,
-                                 const FilterBitVector& filter) {
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel = nullptr) {
   std::optional<std::uint64_t> best;
-  ForEachPassing(column, filter, [&](std::uint64_t v) {
-    if (!best.has_value() || v < *best) best = v;
-  });
+  ForEachPassing(
+      column, filter,
+      [&](std::uint64_t v) {
+        if (!best.has_value() || v < *best) best = v;
+      },
+      cancel);
   return best;
 }
 
 template <typename ColumnT>
 std::optional<std::uint64_t> Max(const ColumnT& column,
-                                 const FilterBitVector& filter) {
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel = nullptr) {
   std::optional<std::uint64_t> best;
-  ForEachPassing(column, filter, [&](std::uint64_t v) {
-    if (!best.has_value() || v > *best) best = v;
-  });
+  ForEachPassing(
+      column, filter,
+      [&](std::uint64_t v) {
+        if (!best.has_value() || v > *best) best = v;
+      },
+      cancel);
   return best;
 }
 
 template <typename ColumnT>
 std::optional<std::uint64_t> RankSelect(const ColumnT& column,
                                         const FilterBitVector& filter,
-                                        std::uint64_t r);
+                                        std::uint64_t r,
+                                        const CancelContext* cancel = nullptr);
 
 template <typename ColumnT>
 std::optional<std::uint64_t> Median(const ColumnT& column,
-                                    const FilterBitVector& filter);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr);
 
 /// Convenience dispatcher mirroring the bit-parallel Aggregate().
 template <typename ColumnT>
 AggregateResult Aggregate(const ColumnT& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank = 0) {
+                          std::uint64_t rank = 0,
+                          const CancelContext* cancel = nullptr) {
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -163,19 +181,19 @@ AggregateResult Aggregate(const ColumnT& column,
       break;
     case AggKind::kSum:
     case AggKind::kAvg:
-      result.sum = Sum(column, filter);
+      result.sum = Sum(column, filter, cancel);
       break;
     case AggKind::kMin:
-      result.value = Min(column, filter);
+      result.value = Min(column, filter, cancel);
       break;
     case AggKind::kMax:
-      result.value = Max(column, filter);
+      result.value = Max(column, filter, cancel);
       break;
     case AggKind::kMedian:
-      result.value = Median(column, filter);
+      result.value = Median(column, filter, cancel);
       break;
     case AggKind::kRank:
-      result.value = RankSelect(column, filter, rank);
+      result.value = RankSelect(column, filter, rank, cancel);
       break;
   }
   return result;

@@ -49,9 +49,13 @@ UInt128 CombineBitSums(const std::uint64_t* bit_sums, int k) {
   return sum;
 }
 
-UInt128 Sum(const VbpColumn& column, const FilterBitVector& filter) {
+UInt128 Sum(const VbpColumn& column, const FilterBitVector& filter,
+            const CancelContext* cancel) {
   std::uint64_t bit_sums[kWordBits] = {};
-  AccumulateBitSums(column, filter, 0, LiveSegments(filter), bit_sums);
+  ForEachCancellableBatch(cancel, 0, LiveSegments(filter),
+                          [&](std::size_t b, std::size_t e) {
+                            AccumulateBitSums(column, filter, b, e, bit_sums);
+                          });
   return CombineBitSums(bit_sums, column.bit_width());
 }
 
@@ -160,25 +164,30 @@ namespace {
 
 std::optional<std::uint64_t> Extreme(const VbpColumn& column,
                                      const FilterBitVector& filter,
-                                     bool is_min) {
+                                     bool is_min, const CancelContext* cancel) {
   if (filter.CountOnes() == 0) return std::nullopt;
   const int k = column.bit_width();
   Word temp[kWordBits];
   InitSlotExtreme(k, is_min, temp);
-  SlotExtremeRange(column, filter, 0, LiveSegments(filter), is_min, temp);
+  ForEachCancellableBatch(
+      cancel, 0, LiveSegments(filter), [&](std::size_t b, std::size_t e) {
+        SlotExtremeRange(column, filter, b, e, is_min, temp);
+      });
   return ExtremeOfSlots(temp, k, is_min);
 }
 
 }  // namespace
 
 std::optional<std::uint64_t> Min(const VbpColumn& column,
-                                 const FilterBitVector& filter) {
-  return Extreme(column, filter, /*is_min=*/true);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel) {
+  return Extreme(column, filter, /*is_min=*/true, cancel);
 }
 
 std::optional<std::uint64_t> Max(const VbpColumn& column,
-                                 const FilterBitVector& filter) {
-  return Extreme(column, filter, /*is_min=*/false);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel) {
+  return Extreme(column, filter, /*is_min=*/false, cancel);
 }
 
 // ---------------------------------------------------------------------------
@@ -214,7 +223,8 @@ void UpdateCandidates(const VbpColumn& column, Word* v,
 
 std::optional<std::uint64_t> RankSelect(const VbpColumn& column,
                                         const FilterBitVector& filter,
-                                        std::uint64_t r) {
+                                        std::uint64_t r,
+                                        const CancelContext* cancel) {
   ICP_CHECK_EQ(column.lanes(), 1);
   std::uint64_t u = filter.CountOnes();
   if (r < 1 || r > u) return std::nullopt;
@@ -229,8 +239,12 @@ std::optional<std::uint64_t> RankSelect(const VbpColumn& column,
     const int j = jb - g * tau;
     // c = number of remaining candidates whose current bit is 1, i.e. the
     // candidates larger than (result | 1 << (k-1-jb))'s prefix.
-    const std::uint64_t c =
-        CountCandidateBit(column, v.data(), 0, num_segments, g, j);
+    std::uint64_t c = 0;
+    const bool ok = ForEachCancellableBatch(
+        cancel, 0, num_segments, [&](std::size_t b, std::size_t e) {
+          c += CountCandidateBit(column, v.data(), b, e, g, j);
+        });
+    if (!ok) return std::nullopt;
     const bool bit_is_one = u - c < r;
     if (bit_is_one) {
       result |= std::uint64_t{1} << (k - 1 - jb);
@@ -239,21 +253,27 @@ std::optional<std::uint64_t> RankSelect(const VbpColumn& column,
     } else {
       u -= c;
     }
-    UpdateCandidates(column, v.data(), 0, num_segments, g, j, bit_is_one);
+    if (!ForEachCancellableBatch(
+            cancel, 0, num_segments, [&](std::size_t b, std::size_t e) {
+              UpdateCandidates(column, v.data(), b, e, g, j, bit_is_one);
+            })) {
+      return std::nullopt;
+    }
   }
   return result;
 }
 
 std::optional<std::uint64_t> Median(const VbpColumn& column,
-                                    const FilterBitVector& filter) {
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
   const std::uint64_t count = filter.CountOnes();
   if (count == 0) return std::nullopt;
-  return RankSelect(column, filter, LowerMedianRank(count));
+  return RankSelect(column, filter, LowerMedianRank(count), cancel);
 }
 
 AggregateResult Aggregate(const VbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank) {
+                          std::uint64_t rank, const CancelContext* cancel) {
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -262,19 +282,19 @@ AggregateResult Aggregate(const VbpColumn& column,
       break;
     case AggKind::kSum:
     case AggKind::kAvg:
-      result.sum = Sum(column, filter);
+      result.sum = Sum(column, filter, cancel);
       break;
     case AggKind::kMin:
-      result.value = Min(column, filter);
+      result.value = Min(column, filter, cancel);
       break;
     case AggKind::kMax:
-      result.value = Max(column, filter);
+      result.value = Max(column, filter, cancel);
       break;
     case AggKind::kMedian:
-      result.value = Median(column, filter);
+      result.value = Median(column, filter, cancel);
       break;
     case AggKind::kRank:
-      result.value = RankSelect(column, filter, rank);
+      result.value = RankSelect(column, filter, rank, cancel);
       break;
   }
   return result;

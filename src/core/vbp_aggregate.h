@@ -26,6 +26,7 @@
 #include "core/aggregate.h"
 #include "layout/vbp_column.h"
 #include "util/bits.h"
+#include "util/cancellation.h"
 
 namespace icp::vbp {
 
@@ -42,8 +43,13 @@ void AccumulateBitSums(const VbpColumn& column, const FilterBitVector& filter,
 /// Applies the final shifts: sum = sum_j bit_sums[j] << (k-1-j).
 UInt128 CombineBitSums(const std::uint64_t* bit_sums, int k);
 
-/// SUM over all tuples passing `filter`.
-UInt128 Sum(const VbpColumn& column, const FilterBitVector& filter);
+/// SUM over all tuples passing `filter`. All full-column entry points below
+/// take an optional CancelContext: they process segments in batches of
+/// kCancelBatchSegments and stop early once the context fires, returning a
+/// partial (meaningless) value that the engine discards in favour of the
+/// context's Status.
+UInt128 Sum(const VbpColumn& column, const FilterBitVector& filter,
+            const CancelContext* cancel = nullptr);
 
 // ---------------------------------------------------------------------------
 // MIN / MAX
@@ -68,9 +74,11 @@ std::uint64_t ExtremeOfSlots(const Word* temp, int k, bool is_min);
 
 /// MIN/MAX over all tuples passing `filter`; absent when none pass.
 std::optional<std::uint64_t> Min(const VbpColumn& column,
-                                 const FilterBitVector& filter);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> Max(const VbpColumn& column,
-                                 const FilterBitVector& filter);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel = nullptr);
 
 // ---------------------------------------------------------------------------
 // MEDIAN / r-selection
@@ -93,17 +101,20 @@ void UpdateCandidates(const VbpColumn& column, Word* v,
 /// when fewer than r tuples pass.
 std::optional<std::uint64_t> RankSelect(const VbpColumn& column,
                                         const FilterBitVector& filter,
-                                        std::uint64_t r);
+                                        std::uint64_t r,
+                                        const CancelContext* cancel = nullptr);
 
 /// Lower median (RankSelect at rank floor((count+1)/2)).
 std::optional<std::uint64_t> Median(const VbpColumn& column,
-                                    const FilterBitVector& filter);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr);
 
 /// Convenience dispatcher used by the engine and benches. `rank` is used
 /// only by AggKind::kRank (1-based r-selection).
 AggregateResult Aggregate(const VbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank = 0);
+                          std::uint64_t rank = 0,
+                          const CancelContext* cancel = nullptr);
 
 }  // namespace icp::vbp
 

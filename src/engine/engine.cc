@@ -110,6 +110,21 @@ Engine::Engine(ExecOptions options) : options_(options) {
   pool_ = std::make_unique<ThreadPool>(options_.threads);
 }
 
+CancelContext Engine::MakeCancelContext() const {
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (options_.deadline.has_value()) {
+    deadline = std::chrono::steady_clock::now() + *options_.deadline;
+  }
+  return CancelContext(options_.cancel_token, deadline);
+}
+
+Status Engine::CheckPool() {
+  if (pool_->TakeTaskFailure()) {
+    return Status::Internal("a thread pool task failed to run");
+  }
+  return Status::Ok();
+}
+
 namespace {
 
 // FALSE set of a tri-state filter: ~(pass | unknown).
@@ -118,7 +133,8 @@ FilterBitVector FalseSet(const Engine::TriState& t);
 }  // namespace
 
 StatusOr<Engine::TriState> Engine::ScanLeaf(const Table& table,
-                                            const FilterExpr& leaf) {
+                                            const FilterExpr& leaf,
+                                            const CancelContext* cancel) {
   auto column_or = table.GetColumn(leaf.column());
   ICP_RETURN_IF_ERROR(column_or.status());
   const Table::Column& column = **column_or;
@@ -155,9 +171,9 @@ StatusOr<Engine::TriState> Engine::ScanLeaf(const Table& table,
                                         pred.c2);
         } else {
           out.pass = mt ? par::Scan(*pool_, column.vbp(), pred.op, pred.c1,
-                                    pred.c2)
+                                    pred.c2, cancel)
                         : VbpScanner::Scan(column.vbp(), pred.op, pred.c1,
-                                           pred.c2);
+                                           pred.c2, nullptr, cancel);
         }
         break;
       case Layout::kHbp:
@@ -168,9 +184,9 @@ StatusOr<Engine::TriState> Engine::ScanLeaf(const Table& table,
                                         pred.c2);
         } else {
           out.pass = mt ? par::Scan(*pool_, column.hbp(), pred.op, pred.c1,
-                                    pred.c2)
+                                    pred.c2, cancel)
                         : HbpScanner::Scan(column.hbp(), pred.op, pred.c1,
-                                           pred.c2);
+                                           pred.c2, nullptr, cancel);
         }
         break;
       case Layout::kNaive:
@@ -215,22 +231,24 @@ void AlignShape(const Engine::TriState& acc, Engine::TriState* child) {
 }  // namespace
 
 StatusOr<Engine::TriState> Engine::EvalExpr(const Table& table,
-                                            const FilterExpr& expr) {
+                                            const FilterExpr& expr,
+                                            const CancelContext* cancel) {
+  if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   switch (expr.kind()) {
     case FilterExpr::Kind::kLeaf:
     case FilterExpr::Kind::kIsNull:
     case FilterExpr::Kind::kIsNotNull:
-      return ScanLeaf(table, expr);
+      return ScanLeaf(table, expr, cancel);
     case FilterExpr::Kind::kAnd:
     case FilterExpr::Kind::kOr: {
       if (expr.children().empty()) {
         return Status::InvalidArgument("AND/OR needs at least one child");
       }
-      auto acc_or = EvalExpr(table, *expr.children()[0]);
+      auto acc_or = EvalExpr(table, *expr.children()[0], cancel);
       ICP_RETURN_IF_ERROR(acc_or.status());
       TriState acc = std::move(acc_or).value();
       for (std::size_t i = 1; i < expr.children().size(); ++i) {
-        auto child_or = EvalExpr(table, *expr.children()[i]);
+        auto child_or = EvalExpr(table, *expr.children()[i], cancel);
         ICP_RETURN_IF_ERROR(child_or.status());
         TriState child = std::move(child_or).value();
         AlignShape(acc, &child);
@@ -255,7 +273,7 @@ StatusOr<Engine::TriState> Engine::EvalExpr(const Table& table,
       return acc;
     }
     case FilterExpr::Kind::kNot: {
-      auto child_or = EvalExpr(table, *expr.children()[0]);
+      auto child_or = EvalExpr(table, *expr.children()[0], cancel);
       ICP_RETURN_IF_ERROR(child_or.status());
       TriState child = std::move(child_or).value();
       // NOT TRUE = FALSE, NOT FALSE = TRUE, NOT UNKNOWN = UNKNOWN.
@@ -270,6 +288,15 @@ StatusOr<Engine::TriState> Engine::EvalExpr(const Table& table,
 StatusOr<FilterBitVector> Engine::EvaluateFilter(
     const Table& table, const FilterExprPtr& filter,
     const std::string& shape_column, std::uint64_t* scan_cycles) {
+  const CancelContext cancel = MakeCancelContext();
+  return EvaluateFilterImpl(table, filter, shape_column, scan_cycles,
+                            &cancel);
+}
+
+StatusOr<FilterBitVector> Engine::EvaluateFilterImpl(
+    const Table& table, const FilterExprPtr& filter,
+    const std::string& shape_column, std::uint64_t* scan_cycles,
+    const CancelContext* cancel) {
   auto column_or = table.GetColumn(shape_column);
   ICP_RETURN_IF_ERROR(column_or.status());
   const Table::Column& column = **column_or;
@@ -280,12 +307,14 @@ StatusOr<FilterBitVector> Engine::EvaluateFilter(
     f = FilterBitVector(table.num_rows(), column.values_per_segment());
     f.SetAll();
   } else {
-    auto result = EvalExpr(table, *filter);
+    auto result = EvalExpr(table, *filter, cancel);
     if (scan_cycles != nullptr) *scan_cycles = ReadCycleCounter() - begin;
     ICP_RETURN_IF_ERROR(result.status());
     f = std::move(std::move(result).value().pass);
   }
   if (scan_cycles != nullptr) *scan_cycles = ReadCycleCounter() - begin;
+  ICP_RETURN_IF_ERROR(CheckPool());
+  if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   if (f.values_per_segment() != column.values_per_segment()) {
     f = f.Reshape(column.values_per_segment());
   }
@@ -296,6 +325,15 @@ StatusOr<QueryResult> Engine::Aggregate(const Table& table, AggKind kind,
                                         const std::string& column_name,
                                         const FilterBitVector& filter,
                                         std::uint64_t rank) {
+  const CancelContext cancel = MakeCancelContext();
+  return AggregateImpl(table, kind, column_name, filter, rank, &cancel);
+}
+
+StatusOr<QueryResult> Engine::AggregateImpl(const Table& table, AggKind kind,
+                                            const std::string& column_name,
+                                            const FilterBitVector& filter,
+                                            std::uint64_t rank,
+                                            const CancelContext* cancel) {
   auto column_or = table.GetColumn(column_name);
   ICP_RETURN_IF_ERROR(column_or.status());
   const Table::Column& column = **column_or;
@@ -329,11 +367,15 @@ StatusOr<QueryResult> Engine::Aggregate(const Table& table, AggKind kind,
         agg = mt ? simd::AggregateVbp(*pool_, column.vbp_simd(), *effective, kind, rank)
                  : simd::AggregateVbp(column.vbp_simd(), *effective, kind, rank);
       } else if (bp) {
-        agg = mt ? par::Aggregate(*pool_, column.vbp(), *effective, kind, rank)
-                 : vbp::Aggregate(column.vbp(), *effective, kind, rank);
+        agg = mt ? par::Aggregate(*pool_, column.vbp(), *effective, kind,
+                                  rank, cancel)
+                 : vbp::Aggregate(column.vbp(), *effective, kind, rank,
+                                  cancel);
       } else {
-        agg = mt ? par_nbp::Aggregate(*pool_, column.vbp(), *effective, kind, rank)
-                 : nbp::Aggregate(column.vbp(), *effective, kind, rank);
+        agg = mt ? par_nbp::Aggregate(*pool_, column.vbp(), *effective, kind,
+                                      rank, cancel)
+                 : nbp::Aggregate(column.vbp(), *effective, kind, rank,
+                                  cancel);
       }
       break;
     case Layout::kHbp:
@@ -341,11 +383,15 @@ StatusOr<QueryResult> Engine::Aggregate(const Table& table, AggKind kind,
         agg = mt ? simd::AggregateHbp(*pool_, column.hbp_simd(), *effective, kind, rank)
                  : simd::AggregateHbp(column.hbp_simd(), *effective, kind, rank);
       } else if (bp) {
-        agg = mt ? par::Aggregate(*pool_, column.hbp(), *effective, kind, rank)
-                 : hbp::Aggregate(column.hbp(), *effective, kind, rank);
+        agg = mt ? par::Aggregate(*pool_, column.hbp(), *effective, kind,
+                                  rank, cancel)
+                 : hbp::Aggregate(column.hbp(), *effective, kind, rank,
+                                  cancel);
       } else {
-        agg = mt ? par_nbp::Aggregate(*pool_, column.hbp(), *effective, kind, rank)
-                 : nbp::Aggregate(column.hbp(), *effective, kind, rank);
+        agg = mt ? par_nbp::Aggregate(*pool_, column.hbp(), *effective, kind,
+                                      rank, cancel)
+                 : nbp::Aggregate(column.hbp(), *effective, kind, rank,
+                                  cancel);
       }
       break;
     case Layout::kNaive:
@@ -356,6 +402,8 @@ StatusOr<QueryResult> Engine::Aggregate(const Table& table, AggKind kind,
       break;
   }
   const std::uint64_t agg_cycles = ReadCycleCounter() - begin;
+  ICP_RETURN_IF_ERROR(CheckPool());
+  if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
 
   QueryResult result;
   result.kind = kind;
@@ -399,22 +447,26 @@ StatusOr<std::vector<QueryResult>> Engine::ExecuteMulti(
   if (query.aggregates.empty()) {
     return Status::InvalidArgument("MultiQuery needs at least one aggregate");
   }
+  const CancelContext cancel = MakeCancelContext();
   std::uint64_t scan_cycles = 0;
-  auto filter_or = EvaluateFilter(table, query.filter,
-                                  query.aggregates[0].second, &scan_cycles);
+  auto filter_or = EvaluateFilterImpl(table, query.filter,
+                                      query.aggregates[0].second,
+                                      &scan_cycles, &cancel);
   ICP_RETURN_IF_ERROR(filter_or.status());
   const FilterBitVector& filter = *filter_or;
 
   std::vector<QueryResult> results;
   results.reserve(query.aggregates.size());
   for (const auto& [kind, column_name] : query.aggregates) {
+    if (cancel.ShouldStop()) return cancel.ToStatus();
     auto column_or = table.GetColumn(column_name);
     ICP_RETURN_IF_ERROR(column_or.status());
     const int vps = (*column_or)->values_per_segment();
     StatusOr<QueryResult> r =
         vps == filter.values_per_segment()
-            ? Aggregate(table, kind, column_name, filter)
-            : Aggregate(table, kind, column_name, filter.Reshape(vps));
+            ? AggregateImpl(table, kind, column_name, filter, 0, &cancel)
+            : AggregateImpl(table, kind, column_name, filter.Reshape(vps), 0,
+                            &cancel);
     ICP_RETURN_IF_ERROR(r.status());
     QueryResult result = std::move(r).value();
     result.scan_cycles = scan_cycles;
@@ -435,22 +487,25 @@ Engine::ExecuteGroupBy(const Table& table, const Query& query,
         "' must be dictionary-encoded (low cardinality)");
   }
 
+  const CancelContext cancel = MakeCancelContext();
   std::uint64_t scan_cycles = 0;
-  auto base_or =
-      EvaluateFilter(table, query.filter, group_column, &scan_cycles);
+  auto base_or = EvaluateFilterImpl(table, query.filter, group_column,
+                                    &scan_cycles, &cancel);
   ICP_RETURN_IF_ERROR(base_or.status());
   const FilterBitVector& base = *base_or;
 
   std::vector<std::pair<std::int64_t, QueryResult>> results;
   const std::uint64_t num_groups = group.encoder().num_codes();
   for (std::uint64_t code = 0; code < num_groups; ++code) {
+    if (cancel.ShouldStop()) return cancel.ToStatus();
     const std::int64_t group_value = group.encoder().Decode(code);
     // group filter = base AND (group_column == value): one extra
     // bit-parallel scan per group (the wide-table group-by of [11]).
     std::uint64_t group_scan = 0;
     auto leaf = FilterExpr::Compare(group_column, CompareOp::kEq,
                                     group_value);
-    auto f_or = EvaluateFilter(table, leaf, group_column, &group_scan);
+    auto f_or =
+        EvaluateFilterImpl(table, leaf, group_column, &group_scan, &cancel);
     ICP_RETURN_IF_ERROR(f_or.status());
     FilterBitVector f = std::move(f_or).value();
     f.And(base);
@@ -460,7 +515,8 @@ Engine::ExecuteGroupBy(const Table& table, const Query& query,
       f = f.Reshape(
           (*table.GetColumn(query.agg_column))->values_per_segment());
     }
-    auto r_or = Aggregate(table, query.agg, query.agg_column, f);
+    auto r_or =
+        AggregateImpl(table, query.agg, query.agg_column, f, 0, &cancel);
     ICP_RETURN_IF_ERROR(r_or.status());
     QueryResult r = std::move(r_or).value();
     r.scan_cycles = scan_cycles + group_scan;
@@ -470,12 +526,13 @@ Engine::ExecuteGroupBy(const Table& table, const Query& query,
 }
 
 StatusOr<QueryResult> Engine::Execute(const Table& table, const Query& query) {
+  const CancelContext cancel = MakeCancelContext();
   std::uint64_t scan_cycles = 0;
-  auto filter_or =
-      EvaluateFilter(table, query.filter, query.agg_column, &scan_cycles);
+  auto filter_or = EvaluateFilterImpl(table, query.filter, query.agg_column,
+                                      &scan_cycles, &cancel);
   ICP_RETURN_IF_ERROR(filter_or.status());
-  auto result_or =
-      Aggregate(table, query.agg, query.agg_column, *filter_or, query.rank);
+  auto result_or = AggregateImpl(table, query.agg, query.agg_column,
+                                 *filter_or, query.rank, &cancel);
   ICP_RETURN_IF_ERROR(result_or.status());
   QueryResult result = std::move(result_or).value();
   result.scan_cycles = scan_cycles;

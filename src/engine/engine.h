@@ -10,6 +10,7 @@
 #ifndef ICP_ENGINE_ENGINE_H_
 #define ICP_ENGINE_ENGINE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -22,6 +23,7 @@
 #include "engine/expression.h"
 #include "engine/table.h"
 #include "parallel/thread_pool.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace icp {
@@ -35,6 +37,17 @@ struct ExecOptions {
   /// Use the 256-bit SIMD kernels (bit-parallel method only; the column's
   /// lanes == 4 packing is built lazily).
   bool simd = false;
+  /// Cooperative cancellation: the scalar scan and aggregation drivers check
+  /// this token every kCancelBatchSegments segments and the query returns
+  /// Status kCancelled. Default-constructed tokens are inert (no overhead).
+  /// The SIMD and naive/padded baseline kernels do not check it; the engine
+  /// still observes the token between phases.
+  CancellationToken cancel_token;
+  /// Per-call time budget: each Execute/ExecuteMulti/ExecuteGroupBy (and
+  /// standalone EvaluateFilter/Aggregate) call converts it to an absolute
+  /// deadline at entry and returns Status kDeadlineExceeded once it passes,
+  /// with the same granularity as cancellation.
+  std::optional<std::chrono::nanoseconds> deadline;
 };
 
 struct Query {
@@ -122,8 +135,28 @@ class Engine {
   };
 
  private:
-  StatusOr<TriState> EvalExpr(const Table& table, const FilterExpr& expr);
-  StatusOr<TriState> ScanLeaf(const Table& table, const FilterExpr& leaf);
+  /// Converts the per-call deadline budget into an absolute deadline and
+  /// pairs it with the token. Called once at each public entry point so the
+  /// whole query (all phases) shares one deadline.
+  CancelContext MakeCancelContext() const;
+
+  StatusOr<FilterBitVector> EvaluateFilterImpl(const Table& table,
+                                               const FilterExprPtr& filter,
+                                               const std::string& shape_column,
+                                               std::uint64_t* scan_cycles,
+                                               const CancelContext* cancel);
+  StatusOr<QueryResult> AggregateImpl(const Table& table, AggKind kind,
+                                      const std::string& column,
+                                      const FilterBitVector& filter,
+                                      std::uint64_t rank,
+                                      const CancelContext* cancel);
+  StatusOr<TriState> EvalExpr(const Table& table, const FilterExpr& expr,
+                              const CancelContext* cancel);
+  StatusOr<TriState> ScanLeaf(const Table& table, const FilterExpr& leaf,
+                              const CancelContext* cancel);
+  /// Turns a dropped thread-pool task ("thread_pool/task" failpoint) into a
+  /// Status so multi-threaded phases fail cleanly after the region joins.
+  Status CheckPool();
 
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;

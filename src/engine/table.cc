@@ -200,6 +200,26 @@ Status Table::AddColumnImpl(const std::string& name, ColumnSpec spec,
       column->padded_ = PaddedColumn::Pack(codes, k);
       break;
   }
+  // Allocation failure (real exhaustion or the "aligned_buffer/alloc"
+  // failpoint) leaves the packed column empty; report it instead of handing
+  // out a column whose kernels would read null storage.
+  const bool storage_ok = [&] {
+    switch (spec.layout) {
+      case Layout::kVbp:
+        return column->vbp_.storage_ok();
+      case Layout::kHbp:
+        return column->hbp_.storage_ok();
+      case Layout::kNaive:
+        return column->naive_.storage_ok();
+      case Layout::kPadded:
+        return column->padded_.storage_ok();
+    }
+    return true;
+  }();
+  if (!storage_ok) {
+    return Status::Internal("allocation failed packing column '" + name +
+                            "'");
+  }
   column->codes_ = std::move(codes);
   if (valid != nullptr) {
     column->nullable_ = true;

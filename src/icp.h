@@ -10,7 +10,9 @@
 
 // Utilities.
 #include "util/bits.h"           // IWYU pragma: export
+#include "util/cancellation.h"   // IWYU pragma: export
 #include "util/dates.h"          // IWYU pragma: export
+#include "util/failpoint.h"      // IWYU pragma: export
 #include "util/random.h"         // IWYU pragma: export
 #include "util/rdtsc.h"          // IWYU pragma: export
 #include "util/status.h"         // IWYU pragma: export

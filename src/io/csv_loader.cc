@@ -92,8 +92,12 @@ StatusOr<Table> LoadFromStream(std::istream& in,
         return Status::Internal("bad column type");
       }();
       if (!parsed.ok()) {
-        return ParseError(line_number, "column '" + spec.name + "': " +
-                                           parsed.status().message());
+        // Keep the original code (OutOfRange vs InvalidArgument) so callers
+        // can tell overflow from malformed input; prepend the line number.
+        return Status(parsed.status().code(),
+                      "CSV line " + std::to_string(line_number) +
+                          ": column '" + spec.name + "': " +
+                          parsed.status().message());
       }
       values[c].push_back(*parsed);
       valid[c].push_back(true);
@@ -171,7 +175,16 @@ StatusOr<std::int64_t> ParseDecimal(const std::string& field, int scale) {
   std::int64_t magnitude = 1;
   for (int i = 0; i < scale; ++i) magnitude *= 10;
   const bool negative = !integral.empty() && integral[0] == '-';
-  return *int_part * magnitude + (negative ? -frac_part : frac_part);
+  // The scaled value can exceed int64 even when both parts parsed cleanly
+  // (e.g. 9223372036854775.808 at scale 3).
+  std::int64_t scaled = 0;
+  std::int64_t result = 0;
+  if (__builtin_mul_overflow(*int_part, magnitude, &scaled) ||
+      __builtin_add_overflow(scaled, negative ? -frac_part : frac_part,
+                             &result)) {
+    return Status::OutOfRange("decimal overflows int64: '" + field + "'");
+  }
+  return result;
 }
 
 StatusOr<Table> LoadCsv(const std::string& path,

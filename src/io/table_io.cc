@@ -1,10 +1,15 @@
 #include "io/table_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <vector>
 
 #include "util/bits.h"
+#include "util/failpoint.h"
 
 namespace icp::io {
 namespace {
@@ -35,6 +40,12 @@ class Writer {
   bool ok() const { return out_.good(); }
 
   void Raw(const void* data, std::size_t size) {
+    // "table_io/write" simulates a short/failed write (disk full, I/O
+    // error): the stream goes bad and WriteTable discards the temp file.
+    if (ICP_FAILPOINT("table_io/write")) {
+      out_.setstate(std::ios::badbit);
+      return;
+    }
     out_.write(static_cast<const char*>(data),
                static_cast<std::streamsize>(size));
     checksum_.Update(data, size);
@@ -53,27 +64,73 @@ class Writer {
     out_.write(reinterpret_cast<const char*>(&sum), 8);
     out_.flush();
   }
+  void Close() { out_.close(); }
 
  private:
   std::ofstream out_;
   Checksum checksum_;
 };
 
+// fsync of an already-written file by path. Returns false on any failure
+// (or when the "table_io/fsync" failpoint fires).
+bool SyncFile(const std::string& path) {
+  if (ICP_FAILPOINT("table_io/fsync")) return false;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+// fsync of the directory containing `path`, making the rename durable.
+bool SyncParentDir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
 class Reader {
  public:
-  explicit Reader(const std::string& path)
-      : in_(path, std::ios::binary) {}
+  explicit Reader(const std::string& path) : in_(path, std::ios::binary) {
+    if (in_.good()) {
+      in_.seekg(0, std::ios::end);
+      const auto end = in_.tellg();
+      file_size_ = end < 0 ? 0 : static_cast<std::uint64_t>(end);
+      in_.seekg(0, std::ios::beg);
+    }
+  }
 
   bool ok() const { return !failed_ && in_.good(); }
   bool failed() const { return failed_; }
 
+  /// Bytes of file left unread. Every length/count field must be checked
+  /// against this before allocating, so a corrupt count can never trigger a
+  /// huge allocation or an unbounded read.
+  std::uint64_t remaining() const {
+    return consumed_ <= file_size_ ? file_size_ - consumed_ : 0;
+  }
+
   void Raw(void* data, std::size_t size) {
+    // "table_io/read" simulates an I/O error mid-file (bad sector, NFS
+    // hiccup): the read fails exactly like a truncated file.
+    if (ICP_FAILPOINT("table_io/read")) {
+      failed_ = true;
+      std::memset(data, 0, size);
+      return;
+    }
     in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
     if (in_.gcount() != static_cast<std::streamsize>(size)) {
       failed_ = true;
       std::memset(data, 0, size);
       return;
     }
+    consumed_ += size;
     checksum_.Update(data, size);
   }
   std::uint8_t U8() {
@@ -103,7 +160,7 @@ class Reader {
   }
   std::string String(std::size_t max_size = 1 << 20) {
     const std::uint32_t size = U32();
-    if (size > max_size) {
+    if (size > max_size || size > remaining()) {
       failed_ = true;
       return {};
     }
@@ -123,6 +180,8 @@ class Reader {
  private:
   std::ifstream in_;
   Checksum checksum_;
+  std::uint64_t file_size_ = 0;
+  std::uint64_t consumed_ = 0;
   bool failed_ = false;
 };
 
@@ -166,13 +225,9 @@ std::vector<std::uint64_t> UnpackCodes(const std::vector<Word>& words, int k,
   return codes;
 }
 
-}  // namespace
-
-Status WriteTable(const Table& table, const std::string& path) {
-  Writer w(path);
-  if (!w.ok()) {
-    return Status::InvalidArgument("cannot open '" + path + "' for writing");
-  }
+// Serializes the table into `w` (everything between the magic and the
+// checksum trailer).
+void WritePayload(const Table& table, Writer& w) {
   // Magic is outside the checksum so corrupted files fail fast on it.
   w.Raw(kMagic, sizeof kMagic);
   w.U64(table.num_rows());
@@ -208,7 +263,46 @@ Status WriteTable(const Table& table, const std::string& path) {
     }
   }
   w.Finish();
-  if (!w.ok()) return Status::Internal("write to '" + path + "' failed");
+}
+
+}  // namespace
+
+Status WriteTable(const Table& table, const std::string& path) {
+  // Crash-safe protocol: write a temp file in the same directory, fsync it,
+  // rename over the target, fsync the directory. A crash or failure at any
+  // step leaves `path` either absent or a complete previous version — never
+  // a partial file. The temp file is removed on every failure path.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    Writer w(tmp);
+    if (!w.ok()) {
+      return Status::InvalidArgument("cannot open '" + tmp +
+                                     "' for writing");
+    }
+    WritePayload(table, w);
+    if (!w.ok()) {
+      w.Close();
+      std::remove(tmp.c_str());
+      return Status::Internal("write to '" + tmp + "' failed");
+    }
+    w.Close();
+  }
+  if (!SyncFile(tmp)) {
+    std::remove(tmp.c_str());
+    return Status::Internal("fsync of '" + tmp + "' failed");
+  }
+  if (ICP_FAILPOINT("table_io/rename") ||
+      std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename of '" + tmp + "' to '" + path +
+                            "' failed");
+  }
+  // Directory sync failure after a successful rename is reported but the
+  // data is already visible under `path`; there is no partial file to clean.
+  if (!SyncParentDir(path)) {
+    return Status::Internal("directory fsync after renaming '" + path +
+                            "' failed");
+  }
   return Status::Ok();
 }
 
@@ -224,8 +318,11 @@ StatusOr<Table> ReadTable(const std::string& path) {
   }
   const std::uint64_t num_rows = r.U64();
   const std::uint32_t num_columns = r.U32();
+  // Each row of each column occupies at least one bit of the packed code
+  // stream, so num_rows is bounded by 8x the bytes left in the file; this
+  // rejects absurd counts before any allocation sized from them.
   if (r.failed() || num_rows == 0 || num_columns == 0 ||
-      num_columns > 100000) {
+      num_columns > 100000 || num_rows / 8 > r.remaining()) {
     return Status::InvalidArgument("corrupt table header");
   }
 
@@ -241,7 +338,10 @@ StatusOr<Table> ReadTable(const std::string& path) {
     r.U8();
     spec.tau = r.I32();
     const std::int32_t bit_width = r.I32();
-    if (r.failed() || bit_width < 1 || bit_width > 63) {
+    // tau 0 means "layout default"; the packers require 1 <= tau <= 63
+    // otherwise (they ICP_CHECK it, so reject here rather than abort).
+    if (r.failed() || bit_width < 1 || bit_width > 63 || spec.tau < 0 ||
+        spec.tau > 63) {
       return Status::InvalidArgument("corrupt column header for '" + name +
                                      "'");
     }
@@ -249,17 +349,26 @@ StatusOr<Table> ReadTable(const std::string& path) {
     ColumnEncoder encoder;
     if (spec.dictionary) {
       const std::uint64_t count = r.U64();
-      if (r.failed() || count == 0 || count > num_rows + (1u << 20)) {
+      if (r.failed() || count == 0 || count > num_rows + (1u << 20) ||
+          count * 8 > r.remaining()) {
         return Status::InvalidArgument("corrupt dictionary for '" + name +
                                        "'");
       }
       std::vector<std::int64_t> entries(count);
       for (auto& e : entries) e = r.I64();
+      if (r.failed()) {
+        return Status::InvalidArgument("corrupt dictionary for '" + name +
+                                       "'");
+      }
       encoder = ColumnEncoder::ForDictionary(entries);
     } else {
       const std::int64_t lo = r.I64();
       const std::int64_t hi = r.I64();
-      if (r.failed() || lo > hi) {
+      // ForRangeWithWidth ICP_CHECKs bit_width >= BitsFor(span); validate
+      // instead of aborting on a corrupt range.
+      const std::uint64_t span = static_cast<std::uint64_t>(hi) -
+                                 static_cast<std::uint64_t>(lo);
+      if (r.failed() || lo > hi || BitsFor(span) > bit_width) {
         return Status::InvalidArgument("corrupt range for '" + name + "'");
       }
       encoder = ColumnEncoder::ForRangeWithWidth(lo, hi, bit_width);
@@ -269,12 +378,17 @@ StatusOr<Table> ReadTable(const std::string& path) {
     const std::uint64_t word_count = r.U64();
     const std::uint64_t expected_words =
         CeilDiv(num_rows * static_cast<std::uint64_t>(bit_width), 64);
-    if (r.failed() || word_count != expected_words) {
+    if (r.failed() || word_count != expected_words ||
+        word_count * 8 > r.remaining()) {
       return Status::InvalidArgument("corrupt code stream for '" + name +
                                      "'");
     }
     std::vector<Word> packed(word_count);
     r.Raw(packed.data(), packed.size() * sizeof(Word));
+    if (r.failed()) {
+      return Status::InvalidArgument("corrupt code stream for '" + name +
+                                     "'");
+    }
     const std::vector<std::uint64_t> codes =
         UnpackCodes(packed, bit_width, num_rows);
 
@@ -291,14 +405,29 @@ StatusOr<Table> ReadTable(const std::string& path) {
     Status status;
     if (nullable) {
       const std::uint64_t bitmap_words = r.U64();
-      if (r.failed() || bitmap_words != CeilDiv(num_rows, 64)) {
+      if (r.failed() || bitmap_words != CeilDiv(num_rows, 64) ||
+          bitmap_words * 8 > r.remaining()) {
         return Status::InvalidArgument("corrupt validity bitmap for '" +
                                        name + "'");
       }
       FilterBitVector dense(num_rows, kWordBits);
       r.Raw(dense.words(), bitmap_words * sizeof(Word));
+      if (r.failed()) {
+        return Status::InvalidArgument("corrupt validity bitmap for '" +
+                                       name + "'");
+      }
       std::vector<bool> valid(num_rows);
-      for (std::size_t i = 0; i < num_rows; ++i) valid[i] = dense.GetBit(i);
+      bool any_valid = false;
+      for (std::size_t i = 0; i < num_rows; ++i) {
+        valid[i] = dense.GetBit(i);
+        any_valid |= valid[i];
+      }
+      if (!any_valid) {
+        // AddNullableColumn rejects all-NULL columns; a corrupt bitmap must
+        // not surface as a different column-building error.
+        return Status::InvalidArgument("corrupt validity bitmap for '" +
+                                       name + "'");
+      }
       status = table.AddNullableColumn(name, values, valid, spec);
     } else {
       status = table.AddColumn(name, values, spec);

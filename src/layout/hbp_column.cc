@@ -28,6 +28,7 @@ HbpColumn HbpColumn::Pack(const std::uint64_t* codes, std::size_t n, int k,
   for (int g = 0; g < col.num_groups_; ++g) {
     col.groups_.emplace_back(col.num_segments_ * s);
   }
+  if (!col.storage_ok()) return col;  // caller surfaces the failed alloc
 
   const Word group_mask = LowMask(tau);
   for (std::size_t i = 0; i < n; ++i) {

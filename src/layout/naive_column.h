@@ -25,6 +25,7 @@ class NaiveColumn {
     col.k_ = k;
     col.values_ = WordBuffer(n == 0 ? 1 : n);
     col.num_values_ = n;
+    if (col.values_.alloc_failed()) return col;
     for (std::size_t i = 0; i < n; ++i) {
       ICP_DCHECK(k == kWordBits || codes[i] < (std::uint64_t{1} << k));
       col.values_[i] = codes[i];
@@ -45,6 +46,8 @@ class NaiveColumn {
   const Word* data() const { return values_.data(); }
 
   std::size_t MemoryBytes() const { return values_.size() * sizeof(Word); }
+
+  bool storage_ok() const { return !values_.alloc_failed(); }
 
  private:
   std::size_t num_values_ = 0;

@@ -34,6 +34,7 @@ class PaddedColumn {
     col.num_values_ = n;
     col.element_bits_ = k <= 8 ? 8 : k <= 16 ? 16 : k <= 32 ? 32 : 64;
     col.data_ = WordBuffer(CeilDiv(n * col.element_bits_, kWordBits));
+    if (col.data_.alloc_failed()) return col;
     for (std::size_t i = 0; i < n; ++i) {
       ICP_DCHECK(k == kWordBits || codes[i] < (std::uint64_t{1} << k));
       col.Set(i, codes[i]);
@@ -70,6 +71,8 @@ class PaddedColumn {
   }
 
   std::size_t MemoryBytes() const { return data_.size() * sizeof(Word); }
+
+  bool storage_ok() const { return !data_.alloc_failed(); }
 
  private:
   void Set(std::size_t i, std::uint64_t v) {

@@ -29,6 +29,7 @@ VbpColumn VbpColumn::Pack(const std::uint64_t* codes, std::size_t n, int k,
     const int width = g + 1 < num_groups ? tau : k - g * tau;
     col.groups_.emplace_back(col.num_segments_ * width);
   }
+  if (!col.storage_ok()) return col;  // caller surfaces the failed alloc
 
   for (std::size_t i = 0; i < n; ++i) {
     const std::uint64_t v = codes[i];

@@ -88,6 +88,15 @@ class VbpColumn {
   /// Total packed size in bytes (all word-group regions).
   std::size_t MemoryBytes() const;
 
+  /// False when any word-group allocation failed (see
+  /// WordBuffer::alloc_failed); the column is then empty and unusable.
+  bool storage_ok() const {
+    for (const WordBuffer& group : groups_) {
+      if (group.alloc_failed()) return false;
+    }
+    return true;
+  }
+
  private:
   std::size_t num_values_ = 0;
   std::size_t num_segments_ = 0;

@@ -13,6 +13,18 @@ namespace {
 
 constexpr int kMaxThreads = 256;
 
+// Runs fn(begin, end) over each worker's static partition of [0, total),
+// chunked by kCancelBatchSegments so every worker observes a cancellation
+// within one batch. Workers always return into the region barrier.
+void CancellableParallelFor(
+    ThreadPool& pool, std::size_t total, const CancelContext* cancel,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  pool.RunPerThread([&](int index) {
+    const auto [begin, end] = PartitionRange(total, pool.num_threads(), index);
+    ForEachCancellableBatch(cancel, begin, end, fn);
+  });
+}
+
 }  // namespace
 
 std::uint64_t Count(ThreadPool& pool, const FilterBitVector& filter) {
@@ -32,39 +44,42 @@ std::uint64_t Count(ThreadPool& pool, const FilterBitVector& filter) {
 }
 
 FilterBitVector Scan(ThreadPool& pool, const VbpColumn& column, CompareOp op,
-                     std::uint64_t c1, std::uint64_t c2) {
+                     std::uint64_t c1, std::uint64_t c2,
+                     const CancelContext* cancel) {
   FilterBitVector out(column.num_values(), VbpColumn::kValuesPerSegment);
-  pool.ParallelFor(out.num_segments(),
-                   [&](std::size_t begin, std::size_t end) {
-                     VbpScanner::ScanRange(column, op, c1, c2, begin, end,
-                                           &out);
-                   });
+  CancellableParallelFor(pool, out.num_segments(), cancel,
+                         [&](std::size_t begin, std::size_t end) {
+                           VbpScanner::ScanRange(column, op, c1, c2, begin,
+                                                 end, &out);
+                         });
   return out;
 }
 
 FilterBitVector Scan(ThreadPool& pool, const HbpColumn& column, CompareOp op,
-                     std::uint64_t c1, std::uint64_t c2) {
+                     std::uint64_t c1, std::uint64_t c2,
+                     const CancelContext* cancel) {
   FilterBitVector out(column.num_values(), column.values_per_segment());
-  pool.ParallelFor(out.num_segments(),
-                   [&](std::size_t begin, std::size_t end) {
-                     HbpScanner::ScanRange(column, op, c1, c2, begin, end,
-                                           &out);
-                   });
+  CancellableParallelFor(pool, out.num_segments(), cancel,
+                         [&](std::size_t begin, std::size_t end) {
+                           HbpScanner::ScanRange(column, op, c1, c2, begin,
+                                                 end, &out);
+                         });
   return out;
 }
 
 UInt128 Sum(ThreadPool& pool, const VbpColumn& column,
-            const FilterBitVector& filter) {
+            const FilterBitVector& filter, const CancelContext* cancel) {
   const int k = column.bit_width();
   std::vector<std::uint64_t> bit_sums(
       static_cast<std::size_t>(pool.num_threads()) * kWordBits, 0);
   pool.RunPerThread([&](int index) {
     const auto [begin, end] =
         PartitionRange(filter.num_segments(), pool.num_threads(), index);
-    if (begin < end) {
-      vbp::AccumulateBitSums(column, filter, begin, end,
-                             bit_sums.data() + index * kWordBits);
-    }
+    ForEachCancellableBatch(
+        cancel, begin, end, [&](std::size_t b, std::size_t e) {
+          vbp::AccumulateBitSums(column, filter, b, e,
+                                 bit_sums.data() + index * kWordBits);
+        });
   });
   for (int i = 1; i < pool.num_threads(); ++i) {
     for (int j = 0; j < k; ++j) {
@@ -75,16 +90,17 @@ UInt128 Sum(ThreadPool& pool, const VbpColumn& column,
 }
 
 UInt128 Sum(ThreadPool& pool, const HbpColumn& column,
-            const FilterBitVector& filter) {
+            const FilterBitVector& filter, const CancelContext* cancel) {
   std::vector<std::uint64_t> group_sums(
       static_cast<std::size_t>(pool.num_threads()) * kWordBits, 0);
   pool.RunPerThread([&](int index) {
     const auto [begin, end] =
         PartitionRange(filter.num_segments(), pool.num_threads(), index);
-    if (begin < end) {
-      hbp::AccumulateGroupSums(column, filter, begin, end,
-                               group_sums.data() + index * kWordBits);
-    }
+    ForEachCancellableBatch(
+        cancel, begin, end, [&](std::size_t b, std::size_t e) {
+          hbp::AccumulateGroupSums(column, filter, b, e,
+                                   group_sums.data() + index * kWordBits);
+        });
   });
   for (int i = 1; i < pool.num_threads(); ++i) {
     for (int g = 0; g < column.num_groups(); ++g) {
@@ -99,7 +115,8 @@ namespace {
 std::optional<std::uint64_t> ExtremeVbp(ThreadPool& pool,
                                         const VbpColumn& column,
                                         const FilterBitVector& filter,
-                                        bool is_min) {
+                                        bool is_min,
+                                        const CancelContext* cancel) {
   if (Count(pool, filter) == 0) return std::nullopt;
   const int k = column.bit_width();
   std::vector<Word> temps(
@@ -109,9 +126,11 @@ std::optional<std::uint64_t> ExtremeVbp(ThreadPool& pool,
     vbp::InitSlotExtreme(k, is_min, temp);
     const auto [begin, end] =
         PartitionRange(filter.num_segments(), pool.num_threads(), index);
-    if (begin < end) {
-      vbp::SlotExtremeRange(column, filter, begin, end, is_min, temp);
-    }
+    ForEachCancellableBatch(cancel, begin, end,
+                            [&](std::size_t b, std::size_t e) {
+                              vbp::SlotExtremeRange(column, filter, b, e,
+                                                    is_min, temp);
+                            });
   });
   for (int i = 1; i < pool.num_threads(); ++i) {
     vbp::MergeSlotExtreme(temps.data() + i * kWordBits, k, is_min,
@@ -123,7 +142,8 @@ std::optional<std::uint64_t> ExtremeVbp(ThreadPool& pool,
 std::optional<std::uint64_t> ExtremeHbp(ThreadPool& pool,
                                         const HbpColumn& column,
                                         const FilterBitVector& filter,
-                                        bool is_min) {
+                                        bool is_min,
+                                        const CancelContext* cancel) {
   if (Count(pool, filter) == 0) return std::nullopt;
   std::vector<Word> temps(
       static_cast<std::size_t>(pool.num_threads()) * kWordBits);
@@ -132,9 +152,11 @@ std::optional<std::uint64_t> ExtremeHbp(ThreadPool& pool,
     hbp::InitSubSlotExtreme(column, is_min, temp);
     const auto [begin, end] =
         PartitionRange(filter.num_segments(), pool.num_threads(), index);
-    if (begin < end) {
-      hbp::SubSlotExtremeRange(column, filter, begin, end, is_min, temp);
-    }
+    ForEachCancellableBatch(cancel, begin, end,
+                            [&](std::size_t b, std::size_t e) {
+                              hbp::SubSlotExtremeRange(column, filter, b, e,
+                                                       is_min, temp);
+                            });
   });
   for (int i = 1; i < pool.num_threads(); ++i) {
     hbp::MergeSubSlotExtreme(column, temps.data() + i * kWordBits, is_min,
@@ -146,26 +168,31 @@ std::optional<std::uint64_t> ExtremeHbp(ThreadPool& pool,
 }  // namespace
 
 std::optional<std::uint64_t> Min(ThreadPool& pool, const VbpColumn& column,
-                                 const FilterBitVector& filter) {
-  return ExtremeVbp(pool, column, filter, /*is_min=*/true);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel) {
+  return ExtremeVbp(pool, column, filter, /*is_min=*/true, cancel);
 }
 std::optional<std::uint64_t> Max(ThreadPool& pool, const VbpColumn& column,
-                                 const FilterBitVector& filter) {
-  return ExtremeVbp(pool, column, filter, /*is_min=*/false);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel) {
+  return ExtremeVbp(pool, column, filter, /*is_min=*/false, cancel);
 }
 std::optional<std::uint64_t> Min(ThreadPool& pool, const HbpColumn& column,
-                                 const FilterBitVector& filter) {
-  return ExtremeHbp(pool, column, filter, /*is_min=*/true);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel) {
+  return ExtremeHbp(pool, column, filter, /*is_min=*/true, cancel);
 }
 std::optional<std::uint64_t> Max(ThreadPool& pool, const HbpColumn& column,
-                                 const FilterBitVector& filter) {
-  return ExtremeHbp(pool, column, filter, /*is_min=*/false);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel) {
+  return ExtremeHbp(pool, column, filter, /*is_min=*/false, cancel);
 }
 
 std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
                                         const VbpColumn& column,
                                         const FilterBitVector& filter,
-                                        std::uint64_t r) {
+                                        std::uint64_t r,
+                                        const CancelContext* cancel) {
   std::uint64_t u = Count(pool, filter);
   if (r < 1 || r > u) return std::nullopt;
   const std::size_t num_segments = filter.num_segments();
@@ -176,6 +203,7 @@ std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
   std::uint64_t partial[kMaxThreads];
   std::uint64_t result = 0;
   for (int jb = 0; jb < k; ++jb) {
+    if (cancel != nullptr && cancel->ShouldStop()) return std::nullopt;
     const int g = jb / tau;
     const int j = jb - g * tau;
     // Parallel popcount reduce; workers synchronize on the global counter c
@@ -183,10 +211,12 @@ std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
     pool.RunPerThread([&](int index) {
       const auto [begin, end] =
           PartitionRange(num_segments, pool.num_threads(), index);
-      partial[index] =
-          begin < end
-              ? vbp::CountCandidateBit(column, v.data(), begin, end, g, j)
-              : 0;
+      std::uint64_t count = 0;
+      ForEachCancellableBatch(
+          cancel, begin, end, [&](std::size_t b, std::size_t e) {
+            count += vbp::CountCandidateBit(column, v.data(), b, e, g, j);
+          });
+      partial[index] = count;
     });
     std::uint64_t c = 0;
     for (int i = 0; i < pool.num_threads(); ++i) c += partial[i];
@@ -198,17 +228,21 @@ std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
     } else {
       u -= c;
     }
-    pool.ParallelFor(num_segments, [&](std::size_t begin, std::size_t end) {
-      vbp::UpdateCandidates(column, v.data(), begin, end, g, j, bit_is_one);
-    });
+    CancellableParallelFor(pool, num_segments, cancel,
+                           [&](std::size_t b, std::size_t e) {
+                             vbp::UpdateCandidates(column, v.data(), b, e, g,
+                                                   j, bit_is_one);
+                           });
   }
+  if (cancel != nullptr && cancel->ShouldStop()) return std::nullopt;
   return result;
 }
 
 std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
                                         const HbpColumn& column,
                                         const FilterBitVector& filter,
-                                        std::uint64_t r) {
+                                        std::uint64_t r,
+                                        const CancelContext* cancel) {
   const std::uint64_t u = Count(pool, filter);
   if (r < 1 || r > u) return std::nullopt;
   const std::size_t num_segments = filter.num_segments();
@@ -219,15 +253,20 @@ std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
 
   std::uint64_t result = 0;
   for (int g = 0; g < column.num_groups(); ++g) {
+    if (cancel != nullptr && cancel->ShouldStop()) return std::nullopt;
     std::fill(hists.begin(), hists.end(), 0);
     pool.RunPerThread([&](int index) {
       const auto [begin, end] =
           PartitionRange(num_segments, pool.num_threads(), index);
-      if (begin < end) {
-        hbp::BuildGroupHistogram(column, v.data(), begin, end, g,
-                                 hists.data() + index * bins);
-      }
+      ForEachCancellableBatch(
+          cancel, begin, end, [&](std::size_t b, std::size_t e) {
+            hbp::BuildGroupHistogram(column, v.data(), b, e, g,
+                                     hists.data() + index * bins);
+          });
     });
+    // A cancelled histogram pass may not cover all candidates; the cumulative
+    // walk below could then run past r. Bail out before using it.
+    if (cancel != nullptr && cancel->ShouldStop()) return std::nullopt;
     for (int i = 1; i < pool.num_threads(); ++i) {
       for (std::size_t b = 0; b < bins; ++b) {
         hists[b] += hists[i * bins + b];
@@ -235,35 +274,38 @@ std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
     }
     std::uint64_t cum = 0;
     std::uint64_t bin = 0;
-    while (cum + hists[bin] < r) {
+    while (bin + 1 < bins && cum + hists[bin] < r) {
       cum += hists[bin];
       ++bin;
     }
     r -= cum;
     result |= bin << column.GroupShift(g);
     if (g + 1 < column.num_groups()) {
-      pool.ParallelFor(num_segments,
-                       [&](std::size_t begin, std::size_t end) {
-                         hbp::NarrowCandidates(column, v.data(), begin, end,
-                                               g, bin);
-                       });
+      CancellableParallelFor(pool, num_segments, cancel,
+                             [&](std::size_t b, std::size_t e) {
+                               hbp::NarrowCandidates(column, v.data(), b, e,
+                                                     g, bin);
+                             });
     }
   }
+  if (cancel != nullptr && cancel->ShouldStop()) return std::nullopt;
   return result;
 }
 
 std::optional<std::uint64_t> Median(ThreadPool& pool, const VbpColumn& column,
-                                    const FilterBitVector& filter) {
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
   const std::uint64_t count = Count(pool, filter);
   if (count == 0) return std::nullopt;
-  return RankSelect(pool, column, filter, LowerMedianRank(count));
+  return RankSelect(pool, column, filter, LowerMedianRank(count), cancel);
 }
 
 std::optional<std::uint64_t> Median(ThreadPool& pool, const HbpColumn& column,
-                                    const FilterBitVector& filter) {
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
   const std::uint64_t count = Count(pool, filter);
   if (count == 0) return std::nullopt;
-  return RankSelect(pool, column, filter, LowerMedianRank(count));
+  return RankSelect(pool, column, filter, LowerMedianRank(count), cancel);
 }
 
 namespace {
@@ -271,7 +313,8 @@ namespace {
 template <typename ColumnT>
 AggregateResult AggregateImpl(ThreadPool& pool, const ColumnT& column,
                               const FilterBitVector& filter, AggKind kind,
-                              std::uint64_t rank) {
+                              std::uint64_t rank,
+                              const CancelContext* cancel) {
   AggregateResult result;
   result.kind = kind;
   result.count = Count(pool, filter);
@@ -280,19 +323,19 @@ AggregateResult AggregateImpl(ThreadPool& pool, const ColumnT& column,
       break;
     case AggKind::kSum:
     case AggKind::kAvg:
-      result.sum = Sum(pool, column, filter);
+      result.sum = Sum(pool, column, filter, cancel);
       break;
     case AggKind::kMin:
-      result.value = Min(pool, column, filter);
+      result.value = Min(pool, column, filter, cancel);
       break;
     case AggKind::kMax:
-      result.value = Max(pool, column, filter);
+      result.value = Max(pool, column, filter, cancel);
       break;
     case AggKind::kMedian:
-      result.value = Median(pool, column, filter);
+      result.value = Median(pool, column, filter, cancel);
       break;
     case AggKind::kRank:
-      result.value = RankSelect(pool, column, filter, rank);
+      result.value = RankSelect(pool, column, filter, rank, cancel);
       break;
   }
   return result;
@@ -302,14 +345,14 @@ AggregateResult AggregateImpl(ThreadPool& pool, const ColumnT& column,
 
 AggregateResult Aggregate(ThreadPool& pool, const VbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank) {
-  return AggregateImpl(pool, column, filter, kind, rank);
+                          std::uint64_t rank, const CancelContext* cancel) {
+  return AggregateImpl(pool, column, filter, kind, rank, cancel);
 }
 
 AggregateResult Aggregate(ThreadPool& pool, const HbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank) {
-  return AggregateImpl(pool, column, filter, kind, rank);
+                          std::uint64_t rank, const CancelContext* cancel) {
+  return AggregateImpl(pool, column, filter, kind, rank, cancel);
 }
 
 }  // namespace icp::par

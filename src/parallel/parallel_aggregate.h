@@ -24,55 +24,75 @@
 #include "layout/vbp_column.h"
 #include "parallel/thread_pool.h"
 #include "scan/predicate.h"
+#include "util/cancellation.h"
 
 namespace icp::par {
 
 /// Parallel COUNT: popcount of the filter, partitioned across workers.
 std::uint64_t Count(ThreadPool& pool, const FilterBitVector& filter);
 
-/// Parallel bit-parallel filter scans.
+/// Parallel bit-parallel filter scans. Every entry point below takes an
+/// optional CancelContext: each worker checks it every kCancelBatchSegments
+/// segments of its partition and stops early once it fires. Workers always
+/// rejoin the region barrier, so the pool stays consistent; the partial
+/// result is meaningless and the engine surfaces the context's Status.
 FilterBitVector Scan(ThreadPool& pool, const VbpColumn& column, CompareOp op,
-                     std::uint64_t c1, std::uint64_t c2 = 0);
+                     std::uint64_t c1, std::uint64_t c2 = 0,
+                     const CancelContext* cancel = nullptr);
 FilterBitVector Scan(ThreadPool& pool, const HbpColumn& column, CompareOp op,
-                     std::uint64_t c1, std::uint64_t c2 = 0);
+                     std::uint64_t c1, std::uint64_t c2 = 0,
+                     const CancelContext* cancel = nullptr);
 
 /// Parallel SUM.
 UInt128 Sum(ThreadPool& pool, const VbpColumn& column,
-            const FilterBitVector& filter);
+            const FilterBitVector& filter,
+            const CancelContext* cancel = nullptr);
 UInt128 Sum(ThreadPool& pool, const HbpColumn& column,
-            const FilterBitVector& filter);
+            const FilterBitVector& filter,
+            const CancelContext* cancel = nullptr);
 
 /// Parallel MIN / MAX.
 std::optional<std::uint64_t> Min(ThreadPool& pool, const VbpColumn& column,
-                                 const FilterBitVector& filter);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> Max(ThreadPool& pool, const VbpColumn& column,
-                                 const FilterBitVector& filter);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> Min(ThreadPool& pool, const HbpColumn& column,
-                                 const FilterBitVector& filter);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> Max(ThreadPool& pool, const HbpColumn& column,
-                                 const FilterBitVector& filter);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel = nullptr);
 
-/// Parallel r-selection / MEDIAN.
+/// Parallel r-selection / MEDIAN. The iterative loops additionally check the
+/// context between bit / bit-group iterations and bail out with nullopt.
 std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
                                         const VbpColumn& column,
                                         const FilterBitVector& filter,
-                                        std::uint64_t r);
+                                        std::uint64_t r,
+                                        const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
                                         const HbpColumn& column,
                                         const FilterBitVector& filter,
-                                        std::uint64_t r);
+                                        std::uint64_t r,
+                                        const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> Median(ThreadPool& pool, const VbpColumn& column,
-                                    const FilterBitVector& filter);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> Median(ThreadPool& pool, const HbpColumn& column,
-                                    const FilterBitVector& filter);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr);
 
 /// Convenience dispatcher mirroring vbp::Aggregate / hbp::Aggregate.
 AggregateResult Aggregate(ThreadPool& pool, const VbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank = 0);
+                          std::uint64_t rank = 0,
+                          const CancelContext* cancel = nullptr);
 AggregateResult Aggregate(ThreadPool& pool, const HbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank = 0);
+                          std::uint64_t rank = 0,
+                          const CancelContext* cancel = nullptr);
 
 }  // namespace icp::par
 

@@ -17,19 +17,28 @@
 #include "core/nbp_aggregate.h"
 #include "parallel/thread_pool.h"
 #include "util/bits.h"
+#include "util/cancellation.h"
 
 namespace icp::par_nbp {
 
+/// The optional CancelContext is checked every kCancelBatchSegments segments
+/// of each worker's partition (same contract as par:: — workers always
+/// rejoin the barrier and the engine discards the partial result).
 template <typename ColumnT>
 UInt128 Sum(ThreadPool& pool, const ColumnT& column,
-            const FilterBitVector& filter) {
+            const FilterBitVector& filter,
+            const CancelContext* cancel = nullptr) {
   std::vector<UInt128> partial(pool.num_threads(), 0);
   pool.RunPerThread([&](int index) {
     const auto [begin, end] =
         PartitionRange(filter.num_segments(), pool.num_threads(), index);
     UInt128 sum = 0;
-    nbp::ForEachPassingRange(column, filter, begin, end,
-                             [&](std::uint64_t v) { sum += v; });
+    ForEachCancellableBatch(cancel, begin, end,
+                            [&](std::size_t b, std::size_t e) {
+                              nbp::ForEachPassingRange(
+                                  column, filter, b, e,
+                                  [&](std::uint64_t v) { sum += v; });
+                            });
     partial[index] = sum;
   });
   UInt128 total = 0;
@@ -40,19 +49,23 @@ UInt128 Sum(ThreadPool& pool, const ColumnT& column,
 template <typename ColumnT>
 std::optional<std::uint64_t> Extreme(ThreadPool& pool, const ColumnT& column,
                                      const FilterBitVector& filter,
-                                     bool is_min) {
+                                     bool is_min,
+                                     const CancelContext* cancel = nullptr) {
   std::vector<std::optional<std::uint64_t>> partial(pool.num_threads());
   pool.RunPerThread([&](int index) {
     const auto [begin, end] =
         PartitionRange(filter.num_segments(), pool.num_threads(), index);
     std::optional<std::uint64_t> best;
-    nbp::ForEachPassingRange(column, filter, begin, end,
-                             [&](std::uint64_t v) {
-                               if (!best.has_value() ||
-                                   (is_min ? v < *best : v > *best)) {
-                                 best = v;
-                               }
-                             });
+    ForEachCancellableBatch(
+        cancel, begin, end, [&](std::size_t b, std::size_t e) {
+          nbp::ForEachPassingRange(column, filter, b, e,
+                                   [&](std::uint64_t v) {
+                                     if (!best.has_value() ||
+                                         (is_min ? v < *best : v > *best)) {
+                                       best = v;
+                                     }
+                                   });
+        });
     partial[index] = best;
   });
   std::optional<std::uint64_t> best;
@@ -65,36 +78,43 @@ std::optional<std::uint64_t> Extreme(ThreadPool& pool, const ColumnT& column,
 
 template <typename ColumnT>
 std::optional<std::uint64_t> Min(ThreadPool& pool, const ColumnT& column,
-                                 const FilterBitVector& filter) {
-  return Extreme(pool, column, filter, /*is_min=*/true);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel = nullptr) {
+  return Extreme(pool, column, filter, /*is_min=*/true, cancel);
 }
 
 template <typename ColumnT>
 std::optional<std::uint64_t> Max(ThreadPool& pool, const ColumnT& column,
-                                 const FilterBitVector& filter) {
-  return Extreme(pool, column, filter, /*is_min=*/false);
+                                 const FilterBitVector& filter,
+                                 const CancelContext* cancel = nullptr) {
+  return Extreme(pool, column, filter, /*is_min=*/false, cancel);
 }
 
 template <typename ColumnT>
 std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
                                         const ColumnT& column,
                                         const FilterBitVector& filter,
-                                        std::uint64_t r) {
+                                        std::uint64_t r,
+                                        const CancelContext* cancel = nullptr) {
   const std::uint64_t count = filter.CountOnes();
   if (r < 1 || r > count) return std::nullopt;
   std::vector<std::vector<std::uint64_t>> partial(pool.num_threads());
   pool.RunPerThread([&](int index) {
     const auto [begin, end] =
         PartitionRange(filter.num_segments(), pool.num_threads(), index);
-    nbp::ForEachPassingRange(
-        column, filter, begin, end,
-        [&](std::uint64_t v) { partial[index].push_back(v); });
+    ForEachCancellableBatch(
+        cancel, begin, end, [&](std::size_t b, std::size_t e) {
+          nbp::ForEachPassingRange(
+              column, filter, b, e,
+              [&](std::uint64_t v) { partial[index].push_back(v); });
+        });
   });
   std::vector<std::uint64_t> values;
   values.reserve(count);
   for (auto& p : partial) {
     values.insert(values.end(), p.begin(), p.end());
   }
+  if (values.size() < r) return std::nullopt;  // cancelled mid-walk
   auto nth = values.begin() + static_cast<std::ptrdiff_t>(r - 1);
   std::nth_element(values.begin(), nth, values.end());
   return *nth;
@@ -102,15 +122,17 @@ std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
 
 template <typename ColumnT>
 std::optional<std::uint64_t> Median(ThreadPool& pool, const ColumnT& column,
-                                    const FilterBitVector& filter) {
-  return RankSelect(pool, column, filter,
-                    LowerMedianRank(filter.CountOnes()));
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr) {
+  return RankSelect(pool, column, filter, LowerMedianRank(filter.CountOnes()),
+                    cancel);
 }
 
 template <typename ColumnT>
 AggregateResult Aggregate(ThreadPool& pool, const ColumnT& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank = 0) {
+                          std::uint64_t rank = 0,
+                          const CancelContext* cancel = nullptr) {
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -119,19 +141,19 @@ AggregateResult Aggregate(ThreadPool& pool, const ColumnT& column,
       break;
     case AggKind::kSum:
     case AggKind::kAvg:
-      result.sum = Sum(pool, column, filter);
+      result.sum = Sum(pool, column, filter, cancel);
       break;
     case AggKind::kMin:
-      result.value = Min(pool, column, filter);
+      result.value = Min(pool, column, filter, cancel);
       break;
     case AggKind::kMax:
-      result.value = Max(pool, column, filter);
+      result.value = Max(pool, column, filter, cancel);
       break;
     case AggKind::kMedian:
-      result.value = Median(pool, column, filter);
+      result.value = Median(pool, column, filter, cancel);
       break;
     case AggKind::kRank:
-      result.value = RankSelect(pool, column, filter, rank);
+      result.value = RankSelect(pool, column, filter, rank, cancel);
       break;
   }
   return result;

@@ -1,6 +1,15 @@
 #include "parallel/thread_pool.h"
 
+#include "util/failpoint.h"
+
 namespace icp {
+namespace {
+
+// Consults the "thread_pool/task" failpoint for one worker's task. Returns
+// true when the task should be dropped (simulating a failed region task).
+bool DropTask() { return ICP_FAILPOINT("thread_pool/task"); }
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
   ICP_CHECK_GE(num_threads, 1);
@@ -32,7 +41,11 @@ void ThreadPool::WorkerLoop(int index) {
       seen_generation = generation_;
       task = task_;
     }
-    (*task)(index);
+    if (DropTask()) {
+      task_failed_.store(true);
+    } else {
+      (*task)(index);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_cv_.notify_one();
@@ -41,8 +54,18 @@ void ThreadPool::WorkerLoop(int index) {
 }
 
 void ThreadPool::RunPerThread(const std::function<void(int)>& fn) {
+  // Detect misuse (nested call from inside fn, or a concurrent region from
+  // another thread) instead of deadlocking on done_cv_.
+  if (in_region_.exchange(true, std::memory_order_acquire)) {
+    ICP_CHECK(false && "ThreadPool::RunPerThread is not reentrant");
+  }
   if (num_threads_ == 1) {
-    fn(0);
+    if (DropTask()) {
+      task_failed_.store(true);
+    } else {
+      fn(0);
+    }
+    in_region_.store(false, std::memory_order_release);
     return;
   }
   {
@@ -52,12 +75,17 @@ void ThreadPool::RunPerThread(const std::function<void(int)>& fn) {
     ++generation_;
   }
   work_cv_.notify_all();
-  fn(0);
+  if (DropTask()) {
+    task_failed_.store(true);
+  } else {
+    fn(0);
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return pending_ == 0; });
     task_ = nullptr;
   }
+  in_region_.store(false, std::memory_order_release);
 }
 
 void ThreadPool::ParallelFor(

@@ -9,6 +9,7 @@
 #ifndef ICP_PARALLEL_THREAD_POOL_H_
 #define ICP_PARALLEL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -35,7 +36,9 @@ class ThreadPool {
 
   /// Runs fn(thread_index) for thread_index in [0, num_threads) and blocks
   /// until every invocation returns. fn runs on the calling thread for
-  /// index 0. Not reentrant.
+  /// index 0. Not reentrant: calling RunPerThread from inside fn (or from a
+  /// second thread while a region is in flight) would deadlock on the shared
+  /// generation counter, so it aborts via ICP_CHECK instead.
   void RunPerThread(const std::function<void(int)>& fn);
 
   /// Convenience: statically partitions [0, total) into num_threads
@@ -43,6 +46,13 @@ class ThreadPool {
   /// skipped).
   void ParallelFor(std::size_t total,
                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Returns true (and clears the flag) if any per-thread task of a region
+  /// run since the last call was dropped by the "thread_pool/task"
+  /// failpoint. The region itself completes — workers that drop their task
+  /// still join the barrier — so callers observe a consistent pool and turn
+  /// the flag into a Status. Always false in builds without ICP_FAILPOINTS.
+  bool TakeTaskFailure() { return task_failed_.exchange(false); }
 
  private:
   void WorkerLoop(int index);
@@ -57,6 +67,8 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   int pending_ = 0;
   bool shutdown_ = false;
+  std::atomic<bool> in_region_{false};
+  std::atomic<bool> task_failed_{false};
 };
 
 /// The begin/end of chunk `index` when splitting `total` items

@@ -91,9 +91,13 @@ Word CompareSegment(const HbpColumn& column, std::size_t seg, CompareOp op,
 
 FilterBitVector HbpScanner::Scan(const HbpColumn& column, CompareOp op,
                                  std::uint64_t c1, std::uint64_t c2,
-                                 ScanStats* stats) {
+                                 ScanStats* stats,
+                                 const CancelContext* cancel) {
   FilterBitVector out(column.num_values(), column.values_per_segment());
-  ScanRange(column, op, c1, c2, 0, out.num_segments(), &out, stats);
+  ForEachCancellableBatch(cancel, 0, out.num_segments(),
+                          [&](std::size_t b, std::size_t e) {
+                            ScanRange(column, op, c1, c2, b, e, &out, stats);
+                          });
   return out;
 }
 
@@ -150,7 +154,8 @@ void HbpScanner::ScanRange(const HbpColumn& column, CompareOp op,
 FilterBitVector HbpScanner::ScanAnd(const HbpColumn& column, CompareOp op,
                                     std::uint64_t c1, std::uint64_t c2,
                                     const FilterBitVector& prior,
-                                    ScanStats* stats) {
+                                    ScanStats* stats,
+                                    const CancelContext* cancel) {
   ICP_CHECK_EQ(column.lanes(), 1);
   ICP_CHECK_EQ(prior.num_values(), column.num_values());
   ICP_CHECK_EQ(prior.values_per_segment(), column.values_per_segment());
@@ -178,14 +183,18 @@ FilterBitVector HbpScanner::ScanAnd(const HbpColumn& column, CompareOp op,
   std::array<FieldCompareState, kWordBits> b{};
 
   ScanStats local;
-  for (std::size_t seg = 0; seg < out.num_segments(); ++seg) {
-    const Word p = prior.SegmentWord(seg);
-    if (p == 0) continue;  // segment already empty: skip its words entirely
-    const Word filter =
-        CompareSegment(column, seg, op, c1_packed.data(), c2_packed.data(),
-                       dual, md, a.data(), b.data(), &local);
-    out.SetSegmentWord(seg, filter & p);
-  }
+  ForEachCancellableBatch(
+      cancel, 0, out.num_segments(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t seg = lo; seg < hi; ++seg) {
+          const Word p = prior.SegmentWord(seg);
+          if (p == 0) continue;  // segment already empty: skip its words
+          const Word filter = CompareSegment(column, seg, op,
+                                             c1_packed.data(),
+                                             c2_packed.data(), dual, md,
+                                             a.data(), b.data(), &local);
+          out.SetSegmentWord(seg, filter & p);
+        }
+      });
   if (stats != nullptr) {
     stats->words_examined += local.words_examined;
     stats->segments_processed += local.segments_processed;

@@ -23,6 +23,7 @@
 #include "bitvector/filter_bit_vector.h"
 #include "layout/hbp_column.h"
 #include "scan/predicate.h"
+#include "util/cancellation.h"
 
 namespace icp {
 
@@ -31,9 +32,13 @@ class HbpScanner {
   /// Evaluates `column <op> c1` (or BETWEEN [c1, c2]) and returns the filter
   /// bit vector (values_per_segment == column.values_per_segment()).
   /// Works on lanes == 1 columns; use the simd kernels for lanes == 4.
+  /// The full-column wrappers (Scan / ScanAnd) check the optional
+  /// CancelContext every kCancelBatchSegments segments and return a partial
+  /// filter once it fires; the engine discards it.
   static FilterBitVector Scan(const HbpColumn& column, CompareOp op,
                               std::uint64_t c1, std::uint64_t c2 = 0,
-                              ScanStats* stats = nullptr);
+                              ScanStats* stats = nullptr,
+                              const CancelContext* cancel = nullptr);
 
   /// Scan restricted to [seg_begin, seg_end) segments (multi-threading).
   static void ScanRange(const HbpColumn& column, CompareOp op,
@@ -46,7 +51,8 @@ class HbpScanner {
   static FilterBitVector ScanAnd(const HbpColumn& column, CompareOp op,
                                  std::uint64_t c1, std::uint64_t c2,
                                  const FilterBitVector& prior,
-                                 ScanStats* stats = nullptr);
+                                 ScanStats* stats = nullptr,
+                                 const CancelContext* cancel = nullptr);
 };
 
 namespace hbp {

@@ -79,9 +79,13 @@ Word CompareSegment(const VbpColumn& column, std::size_t seg, CompareOp op,
 
 FilterBitVector VbpScanner::Scan(const VbpColumn& column, CompareOp op,
                                  std::uint64_t c1, std::uint64_t c2,
-                                 ScanStats* stats) {
+                                 ScanStats* stats,
+                                 const CancelContext* cancel) {
   FilterBitVector out(column.num_values(), VbpColumn::kValuesPerSegment);
-  ScanRange(column, op, c1, c2, 0, out.num_segments(), &out, stats);
+  ForEachCancellableBatch(cancel, 0, out.num_segments(),
+                          [&](std::size_t b, std::size_t e) {
+                            ScanRange(column, op, c1, c2, b, e, &out, stats);
+                          });
   return out;
 }
 
@@ -129,7 +133,8 @@ void VbpScanner::ScanRange(const VbpColumn& column, CompareOp op,
 FilterBitVector VbpScanner::ScanAnd(const VbpColumn& column, CompareOp op,
                                     std::uint64_t c1, std::uint64_t c2,
                                     const FilterBitVector& prior,
-                                    ScanStats* stats) {
+                                    ScanStats* stats,
+                                    const CancelContext* cancel) {
   ICP_CHECK_EQ(column.lanes(), 1);
   ICP_CHECK_EQ(prior.num_values(), column.num_values());
   ICP_CHECK_EQ(prior.values_per_segment(), VbpColumn::kValuesPerSegment);
@@ -152,14 +157,17 @@ FilterBitVector VbpScanner::ScanAnd(const VbpColumn& column, CompareOp op,
   }
 
   ScanStats local;
-  for (std::size_t seg = 0; seg < out.num_segments(); ++seg) {
-    const Word p = prior.SegmentWord(seg);
-    if (p == 0) continue;  // segment already empty: skip its words entirely
-    out.SetSegmentWord(
-        seg, CompareSegment(column, seg, op, c1_bits.data(), c2_bits.data(),
-                            dual, &local) &
-                 p);
-  }
+  ForEachCancellableBatch(
+      cancel, 0, out.num_segments(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t seg = b; seg < e; ++seg) {
+          const Word p = prior.SegmentWord(seg);
+          if (p == 0) continue;  // segment already empty: skip its words
+          out.SetSegmentWord(
+              seg, CompareSegment(column, seg, op, c1_bits.data(),
+                                  c2_bits.data(), dual, &local) &
+                       p);
+        }
+      });
   if (stats != nullptr) {
     stats->words_examined += local.words_examined;
     stats->segments_processed += local.segments_processed;

@@ -18,6 +18,7 @@
 #include "bitvector/filter_bit_vector.h"
 #include "layout/vbp_column.h"
 #include "scan/predicate.h"
+#include "util/cancellation.h"
 
 namespace icp {
 
@@ -27,9 +28,13 @@ class VbpScanner {
   /// bit vector. Constants are codes (already encoded k-bit values); they
   /// may exceed the column's value range, which simply saturates the result.
   /// Works on lanes == 1 columns; use the simd kernels for lanes == 4.
+  /// The full-column wrappers (Scan / ScanAnd) check the optional
+  /// CancelContext every kCancelBatchSegments segments and return a partial
+  /// filter once it fires; the engine discards it.
   static FilterBitVector Scan(const VbpColumn& column, CompareOp op,
                               std::uint64_t c1, std::uint64_t c2 = 0,
-                              ScanStats* stats = nullptr);
+                              ScanStats* stats = nullptr,
+                              const CancelContext* cancel = nullptr);
 
   /// Scan restricted to a [seg_begin, seg_end) segment range, writing into
   /// `out` (used by the multi-threaded driver). `out` must already have the
@@ -46,7 +51,8 @@ class VbpScanner {
   static FilterBitVector ScanAnd(const VbpColumn& column, CompareOp op,
                                  std::uint64_t c1, std::uint64_t c2,
                                  const FilterBitVector& prior,
-                                 ScanStats* stats = nullptr);
+                                 ScanStats* stats = nullptr,
+                                 const CancelContext* cancel = nullptr);
 };
 
 }  // namespace icp

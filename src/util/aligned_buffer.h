@@ -16,6 +16,7 @@
 
 #include "util/bits.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace icp {
 
@@ -35,8 +36,17 @@ class WordBuffer {
     if (size_ == 0) return;
     const std::size_t bytes =
         CeilDiv(size_ * sizeof(Word), kAlignment) * kAlignment;
-    void* raw = std::aligned_alloc(kAlignment, bytes);
-    ICP_CHECK(raw != nullptr);
+    void* raw = ICP_FAILPOINT("aligned_buffer/alloc")
+                    ? nullptr
+                    : std::aligned_alloc(kAlignment, bytes);
+    if (raw == nullptr) {
+      // Leave a valid empty buffer and let the statusful caller (e.g.
+      // Table::AddColumn) surface the failure; the packers bail out before
+      // writing when alloc_failed() is set.
+      size_ = 0;
+      alloc_failed_ = true;
+      return;
+    }
     std::memset(raw, 0, bytes);
     data_.reset(static_cast<Word*>(raw));
   }
@@ -56,6 +66,10 @@ class WordBuffer {
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// True when the requested allocation failed (real exhaustion or the
+  /// "aligned_buffer/alloc" failpoint); the buffer is then empty.
+  bool alloc_failed() const { return alloc_failed_; }
 
   Word* data() { return data_.get(); }
   const Word* data() const { return data_.get(); }
@@ -81,6 +95,7 @@ class WordBuffer {
 
   std::unique_ptr<Word, FreeDeleter> data_;
   std::size_t size_ = 0;
+  bool alloc_failed_ = false;
 };
 
 }  // namespace icp

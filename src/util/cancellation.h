@@ -1,0 +1,145 @@
+// Cooperative query cancellation and deadlines.
+//
+// The bit-parallel kernels run uninterruptible tight loops over segments; a
+// MEDIAN over a large VBP column makes k full passes. To make long queries
+// abortable without signals or thread kills, the drivers above the kernels
+// (core dispatchers, scanners, parallel drivers) split their segment ranges
+// into batches of kCancelBatchSegments and consult a CancelContext between
+// batches. When the context reports a stop, workers drain — they simply stop
+// issuing batches — and the engine converts the latched stop reason into
+// Status kCancelled or kDeadlineExceeded, discarding partial results.
+//
+// Cancellation latency is therefore bounded by one batch per worker
+// (kCancelBatchSegments segments, a few microseconds of kernel work) plus
+// the in-flight batch. When no token or deadline is set the drivers run one
+// full-range batch, so the uncancellable fast path is unchanged.
+
+#ifndef ICP_UTIL_CANCELLATION_H_
+#define ICP_UTIL_CANCELLATION_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "util/status.h"
+
+namespace icp {
+
+/// A shareable cancel flag. Default-constructed tokens are inert (cannot be
+/// cancelled and cost one null check); Create() makes a live token whose
+/// copies all observe RequestCancel() from any thread.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  static CancellationToken Create() {
+    CancellationToken token;
+    token.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return token;
+  }
+
+  /// True for tokens made by Create() (i.e. RequestCancel can have effect).
+  bool can_cancel() const { return flag_ != nullptr; }
+
+  /// Requests cancellation; safe from any thread, idempotent, no-op on an
+  /// inert token.
+  void RequestCancel() const {
+    if (flag_ != nullptr) flag_->store(true, std::memory_order_relaxed);
+  }
+
+  bool IsCancelRequested() const {
+    return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Segments per cooperative check. 4096 segments is ~256K tuples under VBP:
+/// large enough that the per-batch branch and clock read vanish in the
+/// kernel cost, small enough that cancellation lands in well under a
+/// millisecond of kernel work.
+inline constexpr std::size_t kCancelBatchSegments = 4096;
+
+/// Per-query stop state: a token plus an optional absolute deadline.
+/// ShouldStop() is safe to call concurrently from pool workers; the first
+/// observed reason latches so every caller (and the final engine check)
+/// agrees on why the query stopped.
+class CancelContext {
+ public:
+  CancelContext() = default;
+  CancelContext(CancellationToken token,
+                std::optional<std::chrono::steady_clock::time_point> deadline)
+      : token_(std::move(token)), deadline_(deadline) {}
+
+  /// False when neither a live token nor a deadline is present — drivers use
+  /// this to skip batching entirely.
+  bool active() const { return token_.can_cancel() || deadline_.has_value(); }
+
+  /// Polls the token and the clock; latches and returns true once either
+  /// fires. Cheap after latching (one relaxed load).
+  bool ShouldStop() const {
+    if (reason_.load(std::memory_order_relaxed) != kNone) return true;
+    if (token_.IsCancelRequested()) {
+      Latch(kCancelled);
+      return true;
+    }
+    if (deadline_.has_value() &&
+        std::chrono::steady_clock::now() >= *deadline_) {
+      Latch(kDeadline);
+      return true;
+    }
+    return false;
+  }
+
+  /// OK while running; kCancelled / kDeadlineExceeded once latched.
+  Status ToStatus() const {
+    switch (reason_.load(std::memory_order_relaxed)) {
+      case kCancelled:
+        return Status::Cancelled("query cancelled");
+      case kDeadline:
+        return Status::DeadlineExceeded("query deadline exceeded");
+      default:
+        return Status::Ok();
+    }
+  }
+
+ private:
+  enum Reason : int { kNone = 0, kCancelled = 1, kDeadline = 2 };
+
+  void Latch(Reason reason) const {
+    int expected = kNone;
+    reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_relaxed);
+  }
+
+  CancellationToken token_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  mutable std::atomic<int> reason_{kNone};
+};
+
+/// Runs body(batch_begin, batch_end) over [begin, end) in batches of
+/// kCancelBatchSegments, checking `cancel` between batches. With a null or
+/// inactive context the whole range runs as one batch. Returns false iff the
+/// loop stopped early (remaining batches were skipped).
+template <typename Body>
+inline bool ForEachCancellableBatch(const CancelContext* cancel,
+                                    std::size_t begin, std::size_t end,
+                                    Body&& body) {
+  if (cancel == nullptr || !cancel->active()) {
+    if (begin < end) body(begin, end);
+    return true;
+  }
+  for (std::size_t s = begin; s < end; s += kCancelBatchSegments) {
+    if (cancel->ShouldStop()) return false;
+    body(s, std::min(end, s + kCancelBatchSegments));
+  }
+  return true;
+}
+
+}  // namespace icp
+
+#endif  // ICP_UTIL_CANCELLATION_H_

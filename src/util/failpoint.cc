@@ -1,0 +1,108 @@
+#include "util/failpoint.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace icp::fail {
+namespace {
+
+enum class Mode { kOff, kAlways, kEveryNth, kOneShot };
+
+struct Point {
+  Mode mode = Mode::kOff;
+  std::uint64_t n = 0;      // period for kEveryNth
+  std::uint64_t evals = 0;  // total evaluations
+  std::uint64_t fires = 0;  // total times the point fired
+};
+
+// One global registry guarded by a mutex. Failpoints sit on cold failure
+// paths (file I/O, allocation, region dispatch), never inside per-word
+// kernels, so a lock per evaluation is fine even in failpoint builds.
+std::mutex& Mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_map<std::string, Point>& Registry() {
+  static auto* registry = new std::unordered_map<std::string, Point>();
+  return *registry;
+}
+
+void Arm(const std::string& name, Mode mode, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(Mu());
+  Point& point = Registry()[name];
+  point.mode = mode;
+  point.n = n;
+}
+
+}  // namespace
+
+bool Armed() {
+#ifdef ICP_FAILPOINTS
+  return true;
+#else
+  return false;
+#endif
+}
+
+void EnableAlways(const std::string& name) { Arm(name, Mode::kAlways, 0); }
+
+void EnableEveryNth(const std::string& name, std::uint64_t n) {
+  Arm(name, Mode::kEveryNth, n == 0 ? 1 : n);
+}
+
+void EnableOneShot(const std::string& name) { Arm(name, Mode::kOneShot, 0); }
+
+void Disable(const std::string& name) { Arm(name, Mode::kOff, 0); }
+
+void DisableAll() {
+  std::lock_guard<std::mutex> lock(Mu());
+  Registry().clear();
+}
+
+std::uint64_t EvalCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mu());
+  const auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.evals;
+}
+
+std::uint64_t TriggerCount(const std::string& name) {
+  std::lock_guard<std::mutex> lock(Mu());
+  const auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> KnownFailpoints() {
+  std::lock_guard<std::mutex> lock(Mu());
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& [name, point] : Registry()) names.push_back(name);
+  return names;
+}
+
+#ifdef ICP_FAILPOINTS
+bool ShouldFail(const char* name) {
+  std::lock_guard<std::mutex> lock(Mu());
+  Point& point = Registry()[name];
+  ++point.evals;
+  bool fire = false;
+  switch (point.mode) {
+    case Mode::kOff:
+      break;
+    case Mode::kAlways:
+      fire = true;
+      break;
+    case Mode::kEveryNth:
+      fire = point.evals % point.n == 0;
+      break;
+    case Mode::kOneShot:
+      fire = true;
+      point.mode = Mode::kOff;
+      break;
+  }
+  if (fire) ++point.fires;
+  return fire;
+}
+#endif
+
+}  // namespace icp::fail

@@ -1,0 +1,253 @@
+// Cooperative cancellation and deadline tests.
+//
+// The acceptance bar: a MEDIAN over 10M rows with a 1ms deadline must come
+// back as kDeadlineExceeded well under 100ms of wall time, with every pool
+// worker drained and the engine immediately reusable.
+
+#include "util/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/table.h"
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+Table MakeBigTable(std::size_t n) {
+  Random rng(123);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<std::int64_t>(rng.UniformInt(0, (1u << 20) - 1));
+  }
+  Table table;
+  ICP_CHECK(table.AddColumn("v", v, {.layout = Layout::kVbp}).ok());
+  return table;
+}
+
+Query MedianQuery() {
+  Query q;
+  q.agg = AggKind::kMedian;
+  q.agg_column = "v";
+  return q;
+}
+
+TEST(CancellationTokenTest, InertByDefault) {
+  CancellationToken token;
+  EXPECT_FALSE(token.can_cancel());
+  token.RequestCancel();  // no-op, must not crash
+  EXPECT_FALSE(token.IsCancelRequested());
+}
+
+TEST(CancellationTokenTest, CopiesShareTheFlag) {
+  CancellationToken token = CancellationToken::Create();
+  CancellationToken copy = token;
+  EXPECT_FALSE(copy.IsCancelRequested());
+  token.RequestCancel();
+  EXPECT_TRUE(copy.IsCancelRequested());
+}
+
+TEST(CancelContextTest, LatchesFirstReason) {
+  CancellationToken token = CancellationToken::Create();
+  CancelContext ctx(token, std::nullopt);
+  EXPECT_TRUE(ctx.active());
+  EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.ToStatus().ok());
+  token.RequestCancel();
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.ToStatus().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelContextTest, PastDeadlineStops) {
+  CancelContext ctx(CancellationToken(),
+                    steady_clock::now() - milliseconds(1));
+  EXPECT_TRUE(ctx.active());
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.ToStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ForEachCancellableBatchTest, InactiveContextRunsOneBatch) {
+  int batches = 0;
+  std::size_t covered = 0;
+  CancelContext inert;
+  EXPECT_TRUE(ForEachCancellableBatch(&inert, 0, 3 * kCancelBatchSegments,
+                                      [&](std::size_t b, std::size_t e) {
+                                        ++batches;
+                                        covered += e - b;
+                                      }));
+  EXPECT_EQ(batches, 1);
+  EXPECT_EQ(covered, 3 * kCancelBatchSegments);
+  // Null context behaves the same.
+  batches = 0;
+  EXPECT_TRUE(ForEachCancellableBatch(nullptr, 0, 10,
+                                      [&](std::size_t, std::size_t) {
+                                        ++batches;
+                                      }));
+  EXPECT_EQ(batches, 1);
+}
+
+TEST(ForEachCancellableBatchTest, ActiveContextBatchesAndStops) {
+  CancellationToken token = CancellationToken::Create();
+  CancelContext ctx(token, std::nullopt);
+  int batches = 0;
+  EXPECT_FALSE(ForEachCancellableBatch(
+      &ctx, 0, 10 * kCancelBatchSegments, [&](std::size_t b, std::size_t e) {
+        EXPECT_LE(e - b, kCancelBatchSegments);
+        if (++batches == 2) token.RequestCancel();
+      }));
+  EXPECT_EQ(batches, 2) << "no batch may start after the cancel";
+}
+
+class CancelQueryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CancelQueryTest, PreCancelledTokenReturnsCancelled) {
+  const Table table = MakeBigTable(100000);
+  CancellationToken token = CancellationToken::Create();
+  token.RequestCancel();
+  Engine engine(
+      ExecOptions{.threads = GetParam(), .cancel_token = token});
+  auto result = engine.Execute(table, MedianQuery());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+TEST_P(CancelQueryTest, ZeroDeadlineReturnsDeadlineExceeded) {
+  const Table table = MakeBigTable(100000);
+  Engine engine(ExecOptions{.threads = GetParam(),
+                            .deadline = std::chrono::nanoseconds(0)});
+  auto result = engine.Execute(table, MedianQuery());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST_P(CancelQueryTest, NbpMethodIsCancellableToo) {
+  const Table table = MakeBigTable(100000);
+  CancellationToken token = CancellationToken::Create();
+  token.RequestCancel();
+  Engine engine(ExecOptions{.method = AggMethod::kNonBitParallel,
+                            .threads = GetParam(),
+                            .cancel_token = token});
+  auto result = engine.Execute(table, MedianQuery());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, CancelQueryTest, ::testing::Values(1, 4));
+
+// The ISSUE acceptance criterion, verbatim: MEDIAN over >= 10M rows with a
+// 1ms deadline returns kDeadlineExceeded in under 100ms wall time, workers
+// joined (proved by reusing the engine for a full run right after).
+TEST(CancellationTest, TenMillionRowMedianHonoursOneMsDeadline) {
+  const std::size_t kRows = 10'000'000;
+  const Table table = MakeBigTable(kRows);
+
+  Engine engine(ExecOptions{.threads = 4, .deadline = milliseconds(1)});
+  const auto start = steady_clock::now();
+  auto result = engine.Execute(table, MedianQuery());
+  const auto elapsed = steady_clock::now() - start;
+
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(std::chrono::duration_cast<milliseconds>(elapsed).count(), 100)
+      << "cancellation latency must stay far below the full query cost";
+
+  // Workers drained and rejoined: the same pool finishes a real query.
+  Engine unlimited(ExecOptions{.threads = 4});
+  auto full = unlimited.Execute(table, MedianQuery());
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->count, kRows);
+}
+
+TEST(CancellationTest, CancelFromAnotherThreadMidQuery) {
+  const Table table = MakeBigTable(4'000'000);
+  CancellationToken token = CancellationToken::Create();
+  Engine engine(ExecOptions{.threads = 4, .cancel_token = token});
+
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(milliseconds(2));
+    token.RequestCancel();
+  });
+  auto result = engine.Execute(table, MedianQuery());
+  canceller.join();
+  // The query may legitimately beat the 2ms fuse; if it lost the race the
+  // status must be kCancelled, never a crash or a wrong error.
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+  // Either way the engine is reusable.
+  Engine fresh(ExecOptions{.threads = 4});
+  EXPECT_TRUE(fresh.Execute(table, MedianQuery()).ok());
+}
+
+TEST(CancellationTest, GenerousDeadlineDoesNotAffectResults) {
+  const Table table = MakeBigTable(200000);
+  Engine with(ExecOptions{.threads = 2, .deadline = std::chrono::hours(1)});
+  Engine without(ExecOptions{.threads = 2});
+  auto a = with.Execute(table, MedianQuery());
+  auto b = without.Execute(table, MedianQuery());
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->decoded_value, b->decoded_value);
+  EXPECT_EQ(a->count, b->count);
+}
+
+TEST(CancellationTest, MultiAndGroupByQueriesCancel) {
+  Random rng(7);
+  const std::size_t n = 100000;
+  std::vector<std::int64_t> v(n), g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::int64_t>(rng.UniformInt(0, 100000));
+    g[i] = static_cast<std::int64_t>(rng.UniformInt(0, 4));
+  }
+  Table table;
+  ASSERT_TRUE(table.AddColumn("v", v, {}).ok());
+  ASSERT_TRUE(table.AddColumn("g", g, {.dictionary = true}).ok());
+
+  CancellationToken token = CancellationToken::Create();
+  token.RequestCancel();
+  Engine engine(ExecOptions{.cancel_token = token});
+
+  MultiQuery mq;
+  mq.aggregates = {{AggKind::kSum, "v"}, {AggKind::kMin, "v"}};
+  auto multi = engine.ExecuteMulti(table, mq);
+  ASSERT_FALSE(multi.ok());
+  EXPECT_EQ(multi.status().code(), StatusCode::kCancelled);
+
+  Query q;
+  q.agg = AggKind::kSum;
+  q.agg_column = "v";
+  auto grouped = engine.ExecuteGroupBy(table, q, "g");
+  ASSERT_FALSE(grouped.ok());
+  EXPECT_EQ(grouped.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTest, StandaloneFilterAndAggregateHonourToken) {
+  const Table table = MakeBigTable(200000);
+  CancellationToken token = CancellationToken::Create();
+  token.RequestCancel();
+  Engine engine(ExecOptions{.cancel_token = token});
+
+  auto filter = engine.EvaluateFilter(
+      table, FilterExpr::Compare("v", CompareOp::kLt, 1000), "v");
+  ASSERT_FALSE(filter.ok());
+  EXPECT_EQ(filter.status().code(), StatusCode::kCancelled);
+
+  Engine clean;
+  auto good_filter = clean.EvaluateFilter(
+      table, FilterExpr::Compare("v", CompareOp::kLt, 1000), "v");
+  ASSERT_TRUE(good_filter.ok());
+  auto agg = engine.Aggregate(table, AggKind::kSum, "v", *good_filter);
+  ASSERT_FALSE(agg.ok());
+  EXPECT_EQ(agg.status().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace icp

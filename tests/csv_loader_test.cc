@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <limits>
 
 #include "engine/engine.h"
 #include "util/dates.h"
@@ -148,6 +149,38 @@ TEST(CsvLoaderTest, ParseDecimalEdgeCases) {
   EXPECT_EQ(*io::ParseDecimal("7", 0), 7);
   EXPECT_FALSE(io::ParseDecimal("1.234", 2).ok());  // too many digits
   EXPECT_FALSE(io::ParseDecimal("abc", 2).ok());
+}
+
+TEST(CsvLoaderTest, DecimalOverflowIsOutOfRangeNotWraparound) {
+  // INT64_MAX is 9223372036854775807; scaling these by 10^scale overflows
+  // even though both halves parse cleanly on their own.
+  auto r = io::ParseDecimal("9223372036854775.808", 3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  r = io::ParseDecimal("-9223372036854775.809", 3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  r = io::ParseDecimal("92233720368547758070", 0);
+  EXPECT_FALSE(r.ok());  // from_chars catches the unscaled overflow
+
+  // The scaled extremes that do fit must still round-trip exactly.
+  EXPECT_EQ(*io::ParseDecimal("9223372036854775.807", 3),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(*io::ParseDecimal("-9223372036854775.808", 3),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(CsvLoaderTest, DecimalOverflowReportsLineNumber) {
+  const char* csv = "x\n1.50\n9223372036854775.808\n";
+  auto table = io::LoadCsvFromString(
+      csv, {{.name = "x",
+             .type = io::CsvColumnSpec::Type::kDecimal,
+             .scale = 3}},
+      {.has_header = true});
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kOutOfRange);
+  EXPECT_NE(table.status().message().find("line 3"), std::string::npos)
+      << table.status().message();
 }
 
 TEST(CsvLoaderTest, LoadFromFile) {

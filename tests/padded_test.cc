@@ -22,7 +22,9 @@ std::vector<std::uint64_t> RandomCodes(std::size_t n, int k,
 }
 
 TEST(PaddedColumnTest, ElementWidthSelection) {
-  const std::vector<std::uint64_t> codes = {1, 2, 3};
+  // Width selection depends only on k; keep the codes valid for k == 1 so
+  // the packing contract (codes[i] < 2^k) holds at every width tested.
+  const std::vector<std::uint64_t> codes = {1, 0, 1};
   EXPECT_EQ(PaddedColumn::Pack(codes, 1).element_bits(), 8);
   EXPECT_EQ(PaddedColumn::Pack(codes, 8).element_bits(), 8);
   EXPECT_EQ(PaddedColumn::Pack(codes, 9).element_bits(), 16);

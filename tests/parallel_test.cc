@@ -148,6 +148,20 @@ TEST(ParallelAggTest, MoreThreadsThanSegments) {
   EXPECT_EQ(par::Median(pool, col, f), std::optional<std::uint64_t>(3));
 }
 
+TEST(ThreadPoolDeathTest, RunPerThreadIsNotReentrant) {
+  // Nested regions would deadlock on the shared generation counter; the pool
+  // turns that latent hang into an immediate ICP_CHECK abort.
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ThreadPool pool(2);
+        pool.RunPerThread([&](int index) {
+          if (index == 0) pool.RunPerThread([](int) {});
+        });
+      },
+      "not reentrant");
+}
+
 TEST(ParallelAggTest, AggregateDispatcher) {
   ThreadPool pool(4);
   Random rng(5);

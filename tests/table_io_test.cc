@@ -1,7 +1,9 @@
 #include "io/table_io.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -173,6 +175,90 @@ TEST(TableIoTest, SingleRowTable) {
   EXPECT_EQ((*loaded->GetColumn("x"))->encoder().Decode(
                 (*loaded->GetColumn("x"))->codes()[0]),
             42);
+}
+
+TEST(TableIoTest, SuccessfulWriteLeavesNoStagingFile) {
+  const Table table = MakeRichTable(200);
+  const std::string path = TempPath("atomic.icptbl");
+  ASSERT_TRUE(io::WriteTable(table, path).ok());
+  const std::string staging = path + ".tmp." + std::to_string(::getpid());
+  EXPECT_FALSE(std::ifstream(staging).good())
+      << "temp file must be renamed away, not left behind";
+  EXPECT_TRUE(io::ReadTable(path).ok());
+}
+
+TEST(TableIoTest, RewriteReplacesFileAtomically) {
+  const std::string path = TempPath("rewrite.icptbl");
+  ASSERT_TRUE(io::WriteTable(MakeRichTable(300), path).ok());
+  // Overwriting an existing table goes through the same temp+rename path.
+  const Table v2 = MakeRichTable(700);
+  ASSERT_TRUE(io::WriteTable(v2, path).ok());
+  auto loaded = io::ReadTable(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_rows(), 700u);
+}
+
+// The torture test: flip one bit at every byte offset of a valid file. Every
+// single flip must be rejected with a Status — a crash, an ICP_CHECK abort,
+// a hang, or an absurd allocation at any offset fails the test harness
+// itself. (The varying bit index exercises high bits of count fields, sign
+// bits of tau/lo/hi, and the checksum trailer alike.)
+TEST(TableIoTest, EverySingleBitFlipIsRejected) {
+  const Table table = MakeRichTable(64);
+  const std::string path = TempPath("torture.icptbl");
+  ASSERT_TRUE(io::WriteTable(table, path).ok());
+  std::string good;
+  {
+    std::ifstream in(path, std::ios::binary);
+    good.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  ASSERT_GT(good.size(), 100u);
+
+  const std::string mutant_path = TempPath("torture_mutant.icptbl");
+  for (std::size_t offset = 0; offset < good.size(); ++offset) {
+    std::string mutant = good;
+    mutant[offset] ^= static_cast<char>(1u << (offset % 8));
+    std::ofstream(mutant_path, std::ios::binary | std::ios::trunc) << mutant;
+    auto result = io::ReadTable(mutant_path);
+    EXPECT_FALSE(result.ok())
+        << "bit flip at offset " << offset << " went undetected";
+  }
+}
+
+TEST(TableIoTest, TruncationAtEveryLengthIsRejected) {
+  const Table table = MakeRichTable(64);
+  const std::string path = TempPath("trunc_sweep.icptbl");
+  ASSERT_TRUE(io::WriteTable(table, path).ok());
+  std::string good;
+  {
+    std::ifstream in(path, std::ios::binary);
+    good.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const std::string mutant_path = TempPath("trunc_mutant.icptbl");
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    std::ofstream(mutant_path, std::ios::binary | std::ios::trunc)
+        << good.substr(0, len);
+    auto result = io::ReadTable(mutant_path);
+    EXPECT_FALSE(result.ok()) << "truncation to " << len << " bytes";
+  }
+}
+
+TEST(TableIoTest, HugeCountFieldsAreRejectedWithoutAllocating) {
+  // Hand-craft a header claiming 2^60 rows: the reader must bound the claim
+  // against the actual file size instead of allocating petabytes.
+  const std::string path = TempPath("huge_rows.icptbl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "ICPTBL01";
+    const std::uint64_t rows = 1ULL << 60;
+    const std::uint32_t cols = 1;
+    out.write(reinterpret_cast<const char*>(&rows), 8);
+    out.write(reinterpret_cast<const char*>(&cols), 4);
+    out << "padpadpad";
+  }
+  auto result = io::ReadTable(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(TableIoTest, PackedFileIsCompact) {
