@@ -7,10 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/in_word_sum.h"
+#include "simd/dispatch.h"
+#include "simd/hbp_simd.h"
+#include "simd/vbp_simd.h"
 
 namespace icp::bench {
 namespace {
@@ -86,6 +90,132 @@ void BM_FilterAnd(benchmark::State& state) {
                           static_cast<std::int64_t>(kKernelTuples));
 }
 BENCHMARK(BM_FilterAnd);
+
+// ---------------------------------------------------------------------------
+// Kernel-tier benchmarks (arg 0 = kern::Tier). Unsupported tiers skip with
+// an error so the JSON records why a row is missing. The recorded series
+// (BENCH_kernels.json, via tools/parse_bench.py --kernel-json) tracks the
+// positional-popcount kernels against the scalar per-plane popcount loop.
+// ---------------------------------------------------------------------------
+
+// True when this process can run `tier`; otherwise marks the run skipped.
+bool RequireTier(benchmark::State& state, kern::Tier tier) {
+  if (static_cast<int>(tier) <= static_cast<int>(kern::MaxSupportedTier())) {
+    return true;
+  }
+  state.SkipWithError("tier unsupported on this CPU");
+  return false;
+}
+
+// 50% selectivity filter over `n` tuples (the paper's default workload
+// point), shaped for 64-value segments.
+FilterBitVector HalfFilter(std::size_t n) {
+  FilterBitVector f(n, 64);
+  Random rng(21);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.5)) f.SetBit(i, true);
+  }
+  return f;
+}
+
+// The raw quad-interleaved positional-popcount kernel: the inner loop of
+// VBP SUM/AVG over a lanes==4 column.
+void BM_VbpBitSumsQuads(benchmark::State& state) {
+  const auto tier = static_cast<kern::Tier>(state.range(0));
+  if (!RequireTier(state, tier)) return;
+  const int k = static_cast<int>(state.range(1));
+  const auto codes = UniformCodes(kKernelTuples, k, 7);
+  const VbpColumn col = VbpColumn::Pack(codes, k, {.lanes = 4});
+  const FilterBitVector f = HalfFilter(kKernelTuples);
+  const kern::KernelOps& ops = kern::OpsFor(tier);
+  const std::size_t num_quads = f.num_segments() / 4;
+  std::uint64_t sums[kWordBits];
+  for (auto _ : state) {
+    for (int j = 0; j < k; ++j) sums[j] = 0;
+    std::size_t consumed = 0;
+    for (int g = 0; g < col.num_groups(); ++g) {
+      const int width = col.GroupWidth(g);
+      ops.vbp_bit_sums_quads(col.GroupData(g), f.words(), num_quads, width,
+                             sums + consumed);
+      consumed += static_cast<std::size_t>(width);
+    }
+    benchmark::DoNotOptimize(sums);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+  state.SetLabel(std::string("tier=") + ops.name);
+}
+BENCHMARK(BM_VbpBitSumsQuads)
+    ->ArgNames({"tier", "k"})
+    ->Args({0, 10})
+    ->Args({1, 10})
+    ->Args({2, 10})
+    ->Args({0, 25})
+    ->Args({1, 25})
+    ->Args({2, 25});
+
+// Full VBP SUM through the registry (bit sums + weighting), per tier.
+void BM_VbpSum(benchmark::State& state) {
+  const auto tier = static_cast<kern::Tier>(state.range(0));
+  if (!RequireTier(state, tier)) return;
+  const int k = static_cast<int>(state.range(1));
+  const auto codes = UniformCodes(kKernelTuples, k, 7);
+  const VbpColumn col = VbpColumn::Pack(codes, k, {.lanes = 4});
+  const FilterBitVector f = HalfFilter(kKernelTuples);
+  kern::ForceTier(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::SumVbp(col, f));
+  }
+  kern::ForceTier(std::nullopt);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+  state.SetLabel(std::string("tier=") + kern::OpsFor(tier).name);
+}
+BENCHMARK(BM_VbpSum)
+    ->ArgNames({"tier", "k"})
+    ->Args({0, 10})
+    ->Args({1, 10})
+    ->Args({2, 10});
+
+// Full HBP SUM per tier; the AVX2 tier additionally enables the
+// widened-accumulator in-word-sum path.
+void BM_HbpSum(benchmark::State& state) {
+  const auto tier = static_cast<kern::Tier>(state.range(0));
+  if (!RequireTier(state, tier)) return;
+  const int k = static_cast<int>(state.range(1));
+  const auto codes = UniformCodes(kKernelTuples, k, 9);
+  const HbpColumn col = HbpColumn::Pack(codes, k, {.lanes = 4});
+  const FilterBitVector f = HalfFilter(kKernelTuples);
+  kern::ForceTier(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::SumHbp(col, f));
+  }
+  kern::ForceTier(std::nullopt);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+  state.SetLabel(std::string("tier=") + kern::OpsFor(tier).name);
+}
+BENCHMARK(BM_HbpSum)
+    ->ArgNames({"tier", "k"})
+    ->Args({0, 10})
+    ->Args({1, 10})
+    ->Args({2, 10});
+
+// COUNT: plain popcount over the filter words, per tier.
+void BM_CountTier(benchmark::State& state) {
+  const auto tier = static_cast<kern::Tier>(state.range(0));
+  if (!RequireTier(state, tier)) return;
+  const FilterBitVector f = HalfFilter(kKernelTuples);
+  const kern::KernelOps& ops = kern::OpsFor(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops.popcount_words(f.words(), f.num_segments()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+  state.SetLabel(std::string("tier=") + ops.name);
+}
+BENCHMARK(BM_CountTier)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 }  // namespace icp::bench

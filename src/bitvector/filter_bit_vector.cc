@@ -1,5 +1,7 @@
 #include "bitvector/filter_bit_vector.h"
 
+#include "simd/dispatch.h"
+
 namespace icp {
 
 FilterBitVector::FilterBitVector(std::size_t num_values,
@@ -22,11 +24,7 @@ void FilterBitVector::ClearAll() {
 }
 
 std::uint64_t FilterBitVector::CountOnes() const {
-  std::uint64_t count = 0;
-  for (std::size_t s = 0; s < words_.size(); ++s) {
-    count += Popcount(words_[s]);
-  }
-  return count;
+  return kern::Ops().popcount_words(words_.data(), words_.size());
 }
 
 void FilterBitVector::And(const FilterBitVector& other) {

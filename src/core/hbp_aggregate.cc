@@ -187,10 +187,12 @@ std::optional<std::uint64_t> Extreme(const HbpColumn& column,
   if (filter.CountOnes() == 0) return std::nullopt;
   Word temp[kWordBits];
   InitSubSlotExtreme(column, is_min, temp);
-  ForEachCancellableBatch(
-      cancel, 0, filter.num_segments(), [&](std::size_t b, std::size_t e) {
-        SubSlotExtremeRange(column, filter, b, e, is_min, temp);
-      });
+  if (!ForEachCancellableBatch(
+          cancel, 0, filter.num_segments(), [&](std::size_t b, std::size_t e) {
+            SubSlotExtremeRange(column, filter, b, e, is_min, temp);
+          })) {
+    return std::nullopt;
+  }
   return ExtremeOfSubSlots(column, temp, is_min);
 }
 

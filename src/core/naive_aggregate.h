@@ -3,6 +3,11 @@
 // baseline in ablation benches. Two filter application styles are provided:
 // branching (test per tuple) and branchless (masked arithmetic), since their
 // relative cost depends on selectivity.
+//
+// All entry points take an optional CancelContext and poll it between
+// batches of tuples (in-kernel cooperative cancellation); a cancelled run
+// returns a partial/empty result and the caller converts the context to a
+// Status.
 
 #ifndef ICP_CORE_NAIVE_AGGREGATE_H_
 #define ICP_CORE_NAIVE_AGGREGATE_H_
@@ -16,75 +21,103 @@
 #include "core/aggregate.h"
 #include "layout/naive_column.h"
 #include "util/bits.h"
+#include "util/cancellation.h"
 
 namespace icp::naive {
 
 template <typename Fn>
-void ForEachPassing(const NaiveColumn& column, const FilterBitVector& filter,
-                    Fn&& fn) {
-  for (std::size_t i = 0; i < column.num_values(); ++i) {
-    if (filter.GetBit(i)) fn(column.GetValue(i));
-  }
+bool ForEachPassing(const NaiveColumn& column, const FilterBitVector& filter,
+                    Fn&& fn, const CancelContext* cancel = nullptr) {
+  return ForEachCancellableBatch(
+      cancel, 0, column.num_values(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          if (filter.GetBit(i)) fn(column.GetValue(i));
+        }
+      });
 }
 
-inline UInt128 Sum(const NaiveColumn& column, const FilterBitVector& filter) {
+inline UInt128 Sum(const NaiveColumn& column, const FilterBitVector& filter,
+                   const CancelContext* cancel = nullptr) {
   UInt128 sum = 0;
-  ForEachPassing(column, filter, [&](std::uint64_t v) { sum += v; });
+  ForEachPassing(column, filter, [&](std::uint64_t v) { sum += v; }, cancel);
   return sum;
 }
 
 /// Branchless SUM: adds value & mask where mask is all-ones iff passing.
 inline UInt128 SumBranchless(const NaiveColumn& column,
-                             const FilterBitVector& filter) {
+                             const FilterBitVector& filter,
+                             const CancelContext* cancel = nullptr) {
   UInt128 sum = 0;
   const Word* data = column.data();
-  for (std::size_t i = 0; i < column.num_values(); ++i) {
-    const Word mask = filter.GetBit(i) ? ~Word{0} : Word{0};
-    sum += data[i] & mask;
-  }
+  ForEachCancellableBatch(
+      cancel, 0, column.num_values(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+          const Word mask = filter.GetBit(i) ? ~Word{0} : Word{0};
+          sum += data[i] & mask;
+        }
+      });
   return sum;
 }
 
 inline std::optional<std::uint64_t> Min(const NaiveColumn& column,
-                                        const FilterBitVector& filter) {
+                                        const FilterBitVector& filter,
+                                        const CancelContext* cancel =
+                                            nullptr) {
   std::optional<std::uint64_t> best;
-  ForEachPassing(column, filter, [&](std::uint64_t v) {
-    if (!best.has_value() || v < *best) best = v;
-  });
+  ForEachPassing(
+      column, filter,
+      [&](std::uint64_t v) {
+        if (!best.has_value() || v < *best) best = v;
+      },
+      cancel);
   return best;
 }
 
 inline std::optional<std::uint64_t> Max(const NaiveColumn& column,
-                                        const FilterBitVector& filter) {
+                                        const FilterBitVector& filter,
+                                        const CancelContext* cancel =
+                                            nullptr) {
   std::optional<std::uint64_t> best;
-  ForEachPassing(column, filter, [&](std::uint64_t v) {
-    if (!best.has_value() || v > *best) best = v;
-  });
+  ForEachPassing(
+      column, filter,
+      [&](std::uint64_t v) {
+        if (!best.has_value() || v > *best) best = v;
+      },
+      cancel);
   return best;
 }
 
 inline std::optional<std::uint64_t> RankSelect(const NaiveColumn& column,
                                                const FilterBitVector& filter,
-                                               std::uint64_t r) {
+                                               std::uint64_t r,
+                                               const CancelContext* cancel =
+                                                   nullptr) {
   const std::uint64_t count = filter.CountOnes();
   if (r < 1 || r > count) return std::nullopt;
   std::vector<std::uint64_t> values;
   values.reserve(count);
-  ForEachPassing(column, filter,
-                 [&](std::uint64_t v) { values.push_back(v); });
+  if (!ForEachPassing(
+          column, filter, [&](std::uint64_t v) { values.push_back(v); },
+          cancel)) {
+    return std::nullopt;
+  }
   auto nth = values.begin() + static_cast<std::ptrdiff_t>(r - 1);
   std::nth_element(values.begin(), nth, values.end());
   return *nth;
 }
 
 inline std::optional<std::uint64_t> Median(const NaiveColumn& column,
-                                           const FilterBitVector& filter) {
-  return RankSelect(column, filter, LowerMedianRank(filter.CountOnes()));
+                                           const FilterBitVector& filter,
+                                           const CancelContext* cancel =
+                                               nullptr) {
+  return RankSelect(column, filter, LowerMedianRank(filter.CountOnes()),
+                    cancel);
 }
 
 inline AggregateResult Aggregate(const NaiveColumn& column,
                                  const FilterBitVector& filter,
-                                 AggKind kind, std::uint64_t rank = 0) {
+                                 AggKind kind, std::uint64_t rank = 0,
+                                 const CancelContext* cancel = nullptr) {
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -93,19 +126,19 @@ inline AggregateResult Aggregate(const NaiveColumn& column,
       break;
     case AggKind::kSum:
     case AggKind::kAvg:
-      result.sum = Sum(column, filter);
+      result.sum = Sum(column, filter, cancel);
       break;
     case AggKind::kMin:
-      result.value = Min(column, filter);
+      result.value = Min(column, filter, cancel);
       break;
     case AggKind::kMax:
-      result.value = Max(column, filter);
+      result.value = Max(column, filter, cancel);
       break;
     case AggKind::kMedian:
-      result.value = Median(column, filter);
+      result.value = Median(column, filter, cancel);
       break;
     case AggKind::kRank:
-      result.value = RankSelect(column, filter, rank);
+      result.value = RankSelect(column, filter, rank, cancel);
       break;
   }
   return result;

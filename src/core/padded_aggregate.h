@@ -1,6 +1,9 @@
 // Aggregation over the padded layout: typed loops with branchless masked
 // accumulation (SUM) and per-bit iteration for the order statistics — the
 // realistic "no intra-cycle parallelism" baseline.
+//
+// All entry points take an optional CancelContext and poll it between
+// segment batches (in-kernel cooperative cancellation).
 
 #ifndef ICP_CORE_PADDED_AGGREGATE_H_
 #define ICP_CORE_PADDED_AGGREGATE_H_
@@ -14,107 +17,135 @@
 #include "core/aggregate.h"
 #include "layout/padded_column.h"
 #include "util/bits.h"
+#include "util/cancellation.h"
 
 namespace icp::padded {
 
 template <typename Fn>
-void ForEachPassing(const PaddedColumn& column, const FilterBitVector& filter,
-                    Fn&& fn) {
-  for (std::size_t seg = 0; seg < filter.num_segments(); ++seg) {
-    Word f = filter.SegmentWord(seg);
-    while (f != 0) {
-      const int pos = CountTrailingZeros(f);
-      f &= f - 1;
-      fn(column.GetValue(seg * kWordBits + (kWordBits - 1 - pos)));
-    }
-  }
+bool ForEachPassing(const PaddedColumn& column, const FilterBitVector& filter,
+                    Fn&& fn, const CancelContext* cancel = nullptr) {
+  return ForEachCancellableBatch(
+      cancel, 0, filter.num_segments(), [&](std::size_t b, std::size_t e) {
+        for (std::size_t seg = b; seg < e; ++seg) {
+          Word f = filter.SegmentWord(seg);
+          while (f != 0) {
+            const int pos = CountTrailingZeros(f);
+            f &= f - 1;
+            fn(column.GetValue(seg * kWordBits + (kWordBits - 1 - pos)));
+          }
+        }
+      });
 }
 
 namespace internal {
 
 template <typename T>
-UInt128 SumTyped(const PaddedColumn& column, const FilterBitVector& filter) {
+UInt128 SumTyped(const PaddedColumn& column, const FilterBitVector& filter,
+                 const CancelContext* cancel) {
   const T* data = column.As<T>();
   const std::size_t n = column.num_values();
   std::uint64_t sum = 0;  // n * 2^k fits: checked by the caller split
   UInt128 wide_sum = 0;
-  for (std::size_t seg = 0; seg < filter.num_segments(); ++seg) {
-    const Word f = filter.SegmentWord(seg);
-    const std::size_t begin = seg * kWordBits;
-    const std::size_t end = begin + kWordBits < n ? begin + kWordBits : n;
-    // Branchless masked add; auto-vectorizable.
-    for (std::size_t i = begin; i < end; ++i) {
-      const std::uint64_t mask =
-          static_cast<std::uint64_t>(0) -
-          ((f >> (63 - (i - begin))) & 1);
-      sum += static_cast<std::uint64_t>(data[i]) & mask;
-    }
-    // Periodically drain into the wide accumulator so narrow-element sums
-    // cannot overflow 64 bits even for huge columns.
-    if ((seg & 0xFFFF) == 0xFFFF) {
-      wide_sum += sum;
-      sum = 0;
-    }
-  }
+  ForEachCancellableBatch(
+      cancel, 0, filter.num_segments(), [&](std::size_t sb, std::size_t se) {
+        for (std::size_t seg = sb; seg < se; ++seg) {
+          const Word f = filter.SegmentWord(seg);
+          const std::size_t begin = seg * kWordBits;
+          const std::size_t end =
+              begin + kWordBits < n ? begin + kWordBits : n;
+          // Branchless masked add; auto-vectorizable.
+          for (std::size_t i = begin; i < end; ++i) {
+            const std::uint64_t mask =
+                static_cast<std::uint64_t>(0) -
+                ((f >> (63 - (i - begin))) & 1);
+            sum += static_cast<std::uint64_t>(data[i]) & mask;
+          }
+          // Periodically drain into the wide accumulator so narrow-element
+          // sums cannot overflow 64 bits even for huge columns.
+          if ((seg & 0xFFFF) == 0xFFFF) {
+            wide_sum += sum;
+            sum = 0;
+          }
+        }
+      });
   return wide_sum + sum;
 }
 
 }  // namespace internal
 
-inline UInt128 Sum(const PaddedColumn& column,
-                   const FilterBitVector& filter) {
+inline UInt128 Sum(const PaddedColumn& column, const FilterBitVector& filter,
+                   const CancelContext* cancel = nullptr) {
   switch (column.element_bits()) {
     case 8:
-      return internal::SumTyped<std::uint8_t>(column, filter);
+      return internal::SumTyped<std::uint8_t>(column, filter, cancel);
     case 16:
-      return internal::SumTyped<std::uint16_t>(column, filter);
+      return internal::SumTyped<std::uint16_t>(column, filter, cancel);
     case 32:
-      return internal::SumTyped<std::uint32_t>(column, filter);
+      return internal::SumTyped<std::uint32_t>(column, filter, cancel);
     default:
-      return internal::SumTyped<std::uint64_t>(column, filter);
+      return internal::SumTyped<std::uint64_t>(column, filter, cancel);
   }
 }
 
 inline std::optional<std::uint64_t> Min(const PaddedColumn& column,
-                                        const FilterBitVector& filter) {
+                                        const FilterBitVector& filter,
+                                        const CancelContext* cancel =
+                                            nullptr) {
   std::optional<std::uint64_t> best;
-  ForEachPassing(column, filter, [&](std::uint64_t v) {
-    if (!best.has_value() || v < *best) best = v;
-  });
+  ForEachPassing(
+      column, filter,
+      [&](std::uint64_t v) {
+        if (!best.has_value() || v < *best) best = v;
+      },
+      cancel);
   return best;
 }
 
 inline std::optional<std::uint64_t> Max(const PaddedColumn& column,
-                                        const FilterBitVector& filter) {
+                                        const FilterBitVector& filter,
+                                        const CancelContext* cancel =
+                                            nullptr) {
   std::optional<std::uint64_t> best;
-  ForEachPassing(column, filter, [&](std::uint64_t v) {
-    if (!best.has_value() || v > *best) best = v;
-  });
+  ForEachPassing(
+      column, filter,
+      [&](std::uint64_t v) {
+        if (!best.has_value() || v > *best) best = v;
+      },
+      cancel);
   return best;
 }
 
 inline std::optional<std::uint64_t> RankSelect(const PaddedColumn& column,
                                                const FilterBitVector& filter,
-                                               std::uint64_t r) {
+                                               std::uint64_t r,
+                                               const CancelContext* cancel =
+                                                   nullptr) {
   const std::uint64_t count = filter.CountOnes();
   if (r < 1 || r > count) return std::nullopt;
   std::vector<std::uint64_t> values;
   values.reserve(count);
-  ForEachPassing(column, filter,
-                 [&](std::uint64_t v) { values.push_back(v); });
+  if (!ForEachPassing(
+          column, filter, [&](std::uint64_t v) { values.push_back(v); },
+          cancel)) {
+    return std::nullopt;
+  }
   auto nth = values.begin() + static_cast<std::ptrdiff_t>(r - 1);
   std::nth_element(values.begin(), nth, values.end());
   return *nth;
 }
 
 inline std::optional<std::uint64_t> Median(const PaddedColumn& column,
-                                           const FilterBitVector& filter) {
-  return RankSelect(column, filter, LowerMedianRank(filter.CountOnes()));
+                                           const FilterBitVector& filter,
+                                           const CancelContext* cancel =
+                                               nullptr) {
+  return RankSelect(column, filter, LowerMedianRank(filter.CountOnes()),
+                    cancel);
 }
 
 inline AggregateResult Aggregate(const PaddedColumn& column,
                                  const FilterBitVector& filter, AggKind kind,
-                                 std::uint64_t rank = 0) {
+                                 std::uint64_t rank = 0,
+                                 const CancelContext* cancel = nullptr) {
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -123,19 +154,19 @@ inline AggregateResult Aggregate(const PaddedColumn& column,
       break;
     case AggKind::kSum:
     case AggKind::kAvg:
-      result.sum = Sum(column, filter);
+      result.sum = Sum(column, filter, cancel);
       break;
     case AggKind::kMin:
-      result.value = Min(column, filter);
+      result.value = Min(column, filter, cancel);
       break;
     case AggKind::kMax:
-      result.value = Max(column, filter);
+      result.value = Max(column, filter, cancel);
       break;
     case AggKind::kMedian:
-      result.value = Median(column, filter);
+      result.value = Median(column, filter, cancel);
       break;
     case AggKind::kRank:
-      result.value = RankSelect(column, filter, rank);
+      result.value = RankSelect(column, filter, rank, cancel);
       break;
   }
   return result;

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "simd/dispatch.h"
 #include "util/check.h"
 
 namespace icp::vbp {
@@ -25,19 +26,14 @@ void AccumulateBitSums(const VbpColumn& column, const FilterBitVector& filter,
   ICP_CHECK_LE(seg_end, filter.num_segments());
   const int tau = column.tau();
   const Word* f_words = filter.words();
+  const kern::KernelOps& ops = kern::Ops();
   // Word-group-major (paper Alg. 1 line 2): each group region is scanned
   // sequentially, and the shifts are deferred to CombineBitSums.
   for (int g = 0; g < column.num_groups(); ++g) {
     const int width = column.GroupWidth(g);
-    const Word* base = column.GroupData(g) + seg_begin * width;
-    std::uint64_t* group_sums = bit_sums + g * tau;
-    for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
-      const Word f = f_words[seg];
-      for (int j = 0; j < width; ++j) {
-        group_sums[j] += Popcount(base[j] & f);
-      }
-      base += width;
-    }
+    ops.vbp_bit_sums(column.GroupData(g) + seg_begin * width,
+                     f_words + seg_begin, seg_end - seg_begin, width,
+                     bit_sums + g * tau);
   }
 }
 
@@ -169,10 +165,12 @@ std::optional<std::uint64_t> Extreme(const VbpColumn& column,
   const int k = column.bit_width();
   Word temp[kWordBits];
   InitSlotExtreme(k, is_min, temp);
-  ForEachCancellableBatch(
-      cancel, 0, LiveSegments(filter), [&](std::size_t b, std::size_t e) {
-        SlotExtremeRange(column, filter, b, e, is_min, temp);
-      });
+  if (!ForEachCancellableBatch(
+          cancel, 0, LiveSegments(filter), [&](std::size_t b, std::size_t e) {
+            SlotExtremeRange(column, filter, b, e, is_min, temp);
+          })) {
+    return std::nullopt;
+  }
   return ExtremeOfSlots(temp, k, is_min);
 }
 

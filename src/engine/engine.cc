@@ -364,8 +364,10 @@ StatusOr<QueryResult> Engine::AggregateImpl(const Table& table, AggKind kind,
   switch (column.spec().layout) {
     case Layout::kVbp:
       if (bp && options_.simd) {
-        agg = mt ? simd::AggregateVbp(*pool_, column.vbp_simd(), *effective, kind, rank)
-                 : simd::AggregateVbp(column.vbp_simd(), *effective, kind, rank);
+        agg = mt ? simd::AggregateVbp(*pool_, column.vbp_simd(), *effective,
+                                      kind, rank, cancel)
+                 : simd::AggregateVbp(column.vbp_simd(), *effective, kind,
+                                      rank, cancel);
       } else if (bp) {
         agg = mt ? par::Aggregate(*pool_, column.vbp(), *effective, kind,
                                   rank, cancel)
@@ -380,8 +382,10 @@ StatusOr<QueryResult> Engine::AggregateImpl(const Table& table, AggKind kind,
       break;
     case Layout::kHbp:
       if (bp && options_.simd) {
-        agg = mt ? simd::AggregateHbp(*pool_, column.hbp_simd(), *effective, kind, rank)
-                 : simd::AggregateHbp(column.hbp_simd(), *effective, kind, rank);
+        agg = mt ? simd::AggregateHbp(*pool_, column.hbp_simd(), *effective,
+                                      kind, rank, cancel)
+                 : simd::AggregateHbp(column.hbp_simd(), *effective, kind,
+                                      rank, cancel);
       } else if (bp) {
         agg = mt ? par::Aggregate(*pool_, column.hbp(), *effective, kind,
                                   rank, cancel)
@@ -395,10 +399,11 @@ StatusOr<QueryResult> Engine::AggregateImpl(const Table& table, AggKind kind,
       }
       break;
     case Layout::kNaive:
-      agg = naive::Aggregate(column.naive(), *effective, kind, rank);
+      agg = naive::Aggregate(column.naive(), *effective, kind, rank, cancel);
       break;
     case Layout::kPadded:
-      agg = padded::Aggregate(column.padded(), *effective, kind, rank);
+      agg = padded::Aggregate(column.padded(), *effective, kind, rank,
+                              cancel);
       break;
   }
   const std::uint64_t agg_cycles = ReadCycleCounter() - begin;

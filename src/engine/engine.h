@@ -37,11 +37,11 @@ struct ExecOptions {
   /// Use the 256-bit SIMD kernels (bit-parallel method only; the column's
   /// lanes == 4 packing is built lazily).
   bool simd = false;
-  /// Cooperative cancellation: the scalar scan and aggregation drivers check
-  /// this token every kCancelBatchSegments segments and the query returns
-  /// Status kCancelled. Default-constructed tokens are inert (no overhead).
-  /// The SIMD and naive/padded baseline kernels do not check it; the engine
-  /// still observes the token between phases.
+  /// Cooperative cancellation: every aggregation kernel (scalar, SIMD,
+  /// naive/padded, multi-threaded) polls this token every
+  /// kCancelBatchSegments segments and the query returns Status kCancelled.
+  /// Default-constructed tokens are inert (no overhead); the engine also
+  /// observes the token between phases.
   CancellationToken cancel_token;
   /// Per-call time budget: each Execute/ExecuteMulti/ExecuteGroupBy (and
   /// standalone EvaluateFilter/Aggregate) call converts it to an absolute

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "util/dates.h"
+#include "util/failpoint.h"
 
 namespace icp {
 namespace {
@@ -41,6 +42,11 @@ class Lexer {
   explicit Lexer(const std::string& text) : text_(text) {}
 
   StatusOr<std::vector<Token>> Run() {
+    // "query_parser/lex" simulates a lexer-internal failure (e.g. a token
+    // buffer allocation throwing): callers must get a Status, never a crash.
+    if (ICP_FAILPOINT("query_parser/lex")) {
+      return Status::Internal("lexer failure injected");
+    }
     std::vector<Token> tokens;
     while (true) {
       while (pos_ < text_.size() && std::isspace(Byte(pos_))) ++pos_;
@@ -404,12 +410,20 @@ class Parser {
 }  // namespace
 
 StatusOr<Query> ParseQuery(const std::string& sql) {
+  // "query_parser/parse" simulates a parser-internal failure; the partially
+  // built expression tree must be released (checked under ASan).
+  if (ICP_FAILPOINT("query_parser/parse")) {
+    return Status::Internal("parser failure injected");
+  }
   auto tokens = Lexer(sql).Run();
   ICP_RETURN_IF_ERROR(tokens.status());
   return Parser(std::move(tokens).value()).ParseSelect();
 }
 
 StatusOr<FilterExprPtr> ParsePredicate(const std::string& text) {
+  if (ICP_FAILPOINT("query_parser/parse")) {
+    return Status::Internal("parser failure injected");
+  }
   auto tokens = Lexer(text).Run();
   ICP_RETURN_IF_ERROR(tokens.status());
   return Parser(std::move(tokens).value()).ParseBarePredicate();

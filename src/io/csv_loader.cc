@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/dates.h"
+#include "util/failpoint.h"
 
 namespace icp::io {
 namespace {
@@ -58,6 +59,12 @@ StatusOr<Table> LoadFromStream(std::istream& in,
   if (options.has_header && std::getline(in, line)) ++line_number;
   while (std::getline(in, line)) {
     ++line_number;
+    // "csv_loader/read" simulates a stream error mid-file (bad sector,
+    // truncated pipe): the loader must surface a Status, not a partial table.
+    if (ICP_FAILPOINT("csv_loader/read")) {
+      return Status::Internal("CSV read failed at line " +
+                              std::to_string(line_number));
+    }
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (options.max_rows != 0 && rows >= options.max_rows) break;
@@ -191,7 +198,9 @@ StatusOr<Table> LoadCsv(const std::string& path,
                         const std::vector<CsvColumnSpec>& columns,
                         const CsvOptions& options) {
   std::ifstream in(path);
-  if (!in.good()) {
+  // "csv_loader/open" simulates an open failure (permissions, missing
+  // mount) even when the file exists.
+  if (ICP_FAILPOINT("csv_loader/open") || !in.good()) {
     return Status::NotFound("cannot open '" + path + "'");
   }
   return LoadFromStream(in, columns, options);

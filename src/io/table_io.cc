@@ -1,8 +1,11 @@
 #include "io/table_io.h"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -439,6 +442,48 @@ StatusOr<Table> ReadTable(const std::string& path) {
     return Status::InvalidArgument("checksum mismatch in '" + path + "'");
   }
   return table;
+}
+
+namespace {
+
+// True for names produced by WriteTable's staging protocol:
+// "<base>.tmp.<digits>" with a non-empty base and at least one digit.
+bool IsStagingName(const char* name) {
+  const char* marker = nullptr;
+  for (const char* p = name; (p = std::strstr(p, ".tmp.")) != nullptr; ++p) {
+    marker = p;  // last occurrence: the suffix WriteTable appended
+  }
+  if (marker == nullptr || marker == name) return false;
+  const char* digits = marker + 5;
+  if (*digits == '\0') return false;
+  for (const char* p = digits; *p != '\0'; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status SweepOrphanedStagingFiles(const std::string& dir, int* removed) {
+  if (removed != nullptr) *removed = 0;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::NotFound("cannot open directory '" + dir + "'");
+  }
+  Status status = Status::Ok();
+  while (struct dirent* entry = ::readdir(d)) {
+    if (!IsStagingName(entry->d_name)) continue;
+    const std::string path = dir + "/" + entry->d_name;
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0 || !S_ISREG(st.st_mode)) continue;
+    if (std::remove(path.c_str()) == 0) {
+      if (removed != nullptr) ++*removed;
+    } else {
+      status = Status::Internal("cannot remove orphan '" + path + "'");
+    }
+  }
+  ::closedir(d);
+  return status;
 }
 
 }  // namespace icp::io

@@ -35,6 +35,14 @@ Status WriteTable(const Table& table, const std::string& path);
 /// checksum mismatch.
 StatusOr<Table> ReadTable(const std::string& path);
 
+/// Removes orphaned staging files ("<name>.tmp.<pid>") left in `dir` by a
+/// WriteTable that crashed between creating its temp file and renaming it
+/// over the target. Completed tables are never touched. Call once at
+/// startup on each directory that holds tables. `removed` (optional)
+/// receives the number of files deleted.
+Status SweepOrphanedStagingFiles(const std::string& dir,
+                                 int* removed = nullptr);
+
 }  // namespace icp::io
 
 #endif  // ICP_IO_TABLE_IO_H_

@@ -6,6 +6,7 @@
 #include "core/vbp_aggregate.h"
 #include "scan/hbp_scanner.h"
 #include "scan/vbp_scanner.h"
+#include "simd/dispatch.h"
 #include "util/check.h"
 
 namespace icp::par {
@@ -31,12 +32,11 @@ std::uint64_t Count(ThreadPool& pool, const FilterBitVector& filter) {
   std::uint64_t partial[kMaxThreads] = {};
   ICP_CHECK_LE(pool.num_threads(), kMaxThreads);
   const Word* words = filter.words();
+  const kern::KernelOps& ops = kern::Ops();
   pool.RunPerThread([&](int index) {
     const auto [begin, end] =
         PartitionRange(filter.num_segments(), pool.num_threads(), index);
-    std::uint64_t count = 0;
-    for (std::size_t s = begin; s < end; ++s) count += Popcount(words[s]);
-    partial[index] = count;
+    partial[index] = ops.popcount_words(words + begin, end - begin);
   });
   std::uint64_t total = 0;
   for (int i = 0; i < pool.num_threads(); ++i) total += partial[i];

@@ -1,0 +1,144 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/vbp_pospopcnt.h"
+
+namespace icp::kern {
+namespace {
+
+const KernelOps kScalarOps = {
+    "scalar",          VbpBitSumsScalar, VbpBitSumsQuadsScalar,
+    PopcountWordsScalar, PopcountAndScalar,
+};
+
+const KernelOps kSse64Ops = {
+    "sse",            VbpBitSumsCsa64, VbpBitSumsQuadsCsa64,
+    PopcountWordsCsa64, PopcountAndCsa64,
+};
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX2)
+// The lanes==1 seg-major layout strides plane words `width` apart, which
+// 256-bit loads cannot exploit; the AVX2 tier keeps the Csa64 kernel for
+// that slot and upgrades the contiguous-layout entry points.
+//
+// When the build itself targets AVX-512 VPOPCNTDQ (-march=native on a
+// capable host), the compiler vectorizes the plain loops in
+// PopcountWordsScalar/PopcountAndScalar with vpopcntq %zmm — 8 words per
+// instruction — which measures ~1.7x faster than 256-bit Harley–Seal
+// (see BENCH_kernels.json). The flat-popcount slots keep the compiler's
+// code in that configuration; the positional kernels still win on AVX2
+// because their per-plane accumulation defeats auto-vectorization.
+const KernelOps kAvx2Ops = {
+    "avx2",           VbpBitSumsCsa64, VbpBitSumsQuadsAvx2,
+#if defined(__AVX512VPOPCNTDQ__)
+    PopcountWordsScalar, PopcountAndScalar,
+#else
+    PopcountWordsAvx2, PopcountAndAvx2,
+#endif
+};
+#endif
+
+// -1 = no programmatic override; otherwise a Tier value.
+std::atomic<int> g_forced_tier{-1};
+
+Tier ClampToSupported(Tier tier) {
+  return static_cast<int>(tier) > static_cast<int>(MaxSupportedTier())
+             ? MaxSupportedTier()
+             : tier;
+}
+
+Tier DetectStartupTier() {
+  Tier tier = MaxSupportedTier();
+  if (const char* env = std::getenv("ICP_FORCE_KERNEL")) {
+    Tier forced;
+    if (!ParseTier(env, &forced)) {
+      std::fprintf(stderr,
+                   "icp: ignoring ICP_FORCE_KERNEL=%s (want scalar|sse|avx2)\n",
+                   env);
+    } else if (static_cast<int>(forced) > static_cast<int>(tier)) {
+      std::fprintf(stderr,
+                   "icp: ICP_FORCE_KERNEL=%s unsupported on this CPU; "
+                   "using %s\n",
+                   env, TierName(tier));
+    } else {
+      tier = forced;
+    }
+  }
+  return tier;
+}
+
+Tier StartupTier() {
+  static const Tier tier = DetectStartupTier();
+  return tier;
+}
+
+}  // namespace
+
+const char* TierName(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return "scalar";
+    case Tier::kSse64:
+      return "sse";
+    case Tier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ParseTier(const char* name, Tier* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = Tier::kScalar;
+  } else if (std::strcmp(name, "sse") == 0) {
+    *out = Tier::kSse64;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = Tier::kAvx2;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Tier MaxSupportedTier() {
+#if defined(ICP_POSPOPCNT_HAVE_AVX2)
+  static const bool have_avx2 = __builtin_cpu_supports("avx2");
+  return have_avx2 ? Tier::kAvx2 : Tier::kSse64;
+#else
+  return Tier::kSse64;
+#endif
+}
+
+Tier ActiveTier() {
+  const int forced = g_forced_tier.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Tier>(forced);
+  return StartupTier();
+}
+
+void ForceTier(std::optional<Tier> tier) {
+  g_forced_tier.store(
+      tier.has_value() ? static_cast<int>(ClampToSupported(*tier)) : -1,
+      std::memory_order_relaxed);
+}
+
+const KernelOps& OpsFor(Tier tier) {
+  switch (ClampToSupported(tier)) {
+    case Tier::kScalar:
+      return kScalarOps;
+    case Tier::kSse64:
+      return kSse64Ops;
+    case Tier::kAvx2:
+#if defined(ICP_POSPOPCNT_HAVE_AVX2)
+      return kAvx2Ops;
+#else
+      return kSse64Ops;
+#endif
+  }
+  return kScalarOps;
+}
+
+}  // namespace icp::kern

@@ -1,0 +1,90 @@
+// Runtime kernel dispatch for the aggregation hot paths.
+//
+// Every positional-popcount / popcount call site in the engine routes
+// through a small registry of function pointers instead of ad-hoc
+// `#ifdef __AVX2__` blocks. The registry is resolved once at startup:
+//
+//   tier = min(MaxSupportedTier(), ICP_FORCE_KERNEL if set)
+//
+// where MaxSupportedTier() consults cpuid (via __builtin_cpu_supports) on
+// x86-64 and caps at kSse64 elsewhere. The AVX2 kernels are compiled with
+// a function-level target("avx2") attribute, so they are always *linked*
+// but only *selected* when the CPU actually has AVX2 — a portable
+// (-DICP_NATIVE_ARCH=OFF) binary still picks the AVX2 tier on capable
+// hardware.
+//
+// Overrides, strongest first:
+//   1. ForceTier(tier)            — programmatic, for tests and benchmarks;
+//                                   ForceTier(std::nullopt) clears it.
+//   2. ICP_FORCE_KERNEL=<tier>    — environment, read once at first use;
+//                                   <tier> in {scalar, sse, avx2}.
+// Both are clamped to MaxSupportedTier() (with a one-line stderr warning
+// for the env var) so forcing "avx2" on a non-AVX2 host degrades safely.
+//
+// To add a kernel: declare the per-tier implementations (see
+// vbp_pospopcnt.h), add a slot to KernelOps, fill it in the three tier
+// tables in dispatch.cc, and call `kern::Ops().slot(...)` at the call
+// site. docs/simd_dispatch.md walks through this.
+
+#ifndef ICP_SIMD_DISPATCH_H_
+#define ICP_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "util/bits.h"
+
+namespace icp::kern {
+
+enum class Tier : int {
+  kScalar = 0,  // per-word POPCNT loops (the original baseline)
+  kSse64 = 1,   // Harley-Seal CSA over plain 64-bit words; portable C++
+  kAvx2 = 2,    // Harley-Seal over 256-bit registers, pshufb popcount
+};
+
+// Display / parse names: "scalar", "sse", "avx2".
+const char* TierName(Tier tier);
+bool ParseTier(const char* name, Tier* out);
+
+// Highest tier this CPU can run (cpuid on x86-64; kSse64 elsewhere).
+Tier MaxSupportedTier();
+
+// The tier in effect right now (startup detection + overrides).
+Tier ActiveTier();
+
+// Programmatic override for tests/benchmarks; clamped to
+// MaxSupportedTier(). Pass std::nullopt to fall back to startup detection.
+void ForceTier(std::optional<Tier> tier);
+
+// The function-pointer bundle for one tier. All pointers are always
+// non-null; signatures are documented in vbp_pospopcnt.h.
+struct KernelOps {
+  const char* name;
+
+  // sums[j] += sum_i popcount(data[i*width+j] & filter[i]), lanes==1.
+  void (*vbp_bit_sums)(const Word* data, const Word* filter, std::size_t n,
+                       int width, std::uint64_t* sums);
+
+  // Quad-interleaved (lanes==4) variant.
+  void (*vbp_bit_sums_quads)(const Word* data, const Word* filter,
+                             std::size_t num_quads, int width,
+                             std::uint64_t* sums);
+
+  // sum_i popcount(words[i])
+  std::uint64_t (*popcount_words)(const Word* words, std::size_t n);
+
+  // sum_i popcount(a[i] & b[i])
+  std::uint64_t (*popcount_and)(const Word* a, const Word* b, std::size_t n);
+};
+
+// Ops table for an explicit tier (clamped to MaxSupportedTier()).
+const KernelOps& OpsFor(Tier tier);
+
+// Ops table for ActiveTier(). Call sites should grab this once per
+// aggregate, not per segment.
+inline const KernelOps& Ops() { return OpsFor(ActiveTier()); }
+
+}  // namespace icp::kern
+
+#endif  // ICP_SIMD_DISPATCH_H_

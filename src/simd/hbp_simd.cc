@@ -6,6 +6,7 @@
 
 #include "core/hbp_aggregate.h"
 #include "core/in_word_sum.h"
+#include "simd/dispatch.h"
 #include "util/aligned_buffer.h"
 #include "util/check.h"
 
@@ -159,6 +160,30 @@ class InWordSumPlan256 {
     for (int i = 0; i < plan_.num_steps(); ++i) {
       masks_[i] = Word256::Broadcast(plan_.step_mask(i));
     }
+    // Widened-accumulator plan: after step i the word holds packed partial
+    // sums in slots of stride s*2^(i+1), each bounded by (2^(s-1)-1)*2^(i+1).
+    // Several such words can be Add64-ed together before any slot overflows
+    // its stride (or, for the truncated top slot, the end of the word), so
+    // the tail of the halving cascade runs once per flush instead of once
+    // per word. Pick the deepest prefix (at most 2 steps) that still leaves
+    // a useful accumulation budget.
+    int width = s;
+    int count = kWordBits / s;
+    UInt128 bound = LowMask(s - 1);
+    for (int i = 0; i < plan_.num_steps() && i < 2; ++i) {
+      width *= 2;
+      bound *= 2;
+      count = (count + 1) / 2;
+      const int pos_top = (count - 1) * width;
+      const int cap_bits = std::min(width, kWordBits - pos_top);
+      const UInt128 slot_max = ((UInt128{1} << (cap_bits - 1)) - 1) * 2 + 1;
+      const UInt128 budget = slot_max / bound;
+      if (budget >= 8) {
+        prefix_steps_ = i + 1;
+        max_accum_ = budget > 65536 ? 65536
+                                    : static_cast<std::size_t>(budget);
+      }
+    }
   }
 
   Word256 Apply(Word256 w) const {
@@ -169,10 +194,36 @@ class InWordSumPlan256 {
     return w & final_mask_;
   }
 
+  // Align + the first prefix_steps() halving steps only; the result is a
+  // packed partial-sum word suitable for Add64 accumulation.
+  Word256 ApplyPrefix(Word256 w) const {
+    w = w.Shr64(plan_.align_shift());
+    for (int i = 0; i < prefix_steps_; ++i) {
+      w = Add64(w & masks_[i], w.Shr64(plan_.step_shift(i)) & masks_[i]);
+    }
+    return w;
+  }
+
+  // Completes the reduction of an accumulated packed word.
+  Word256 Finish(Word256 w) const {
+    for (int i = prefix_steps_; i < plan_.num_steps(); ++i) {
+      w = Add64(w & masks_[i], w.Shr64(plan_.step_shift(i)) & masks_[i]);
+    }
+    return w & final_mask_;
+  }
+
+  // Number of halving steps deferred until Finish(); 0 disables the
+  // widened-accumulator path.
+  int prefix_steps() const { return prefix_steps_; }
+  // How many ApplyPrefix() results may be Add64-ed before Finish() must run.
+  std::size_t max_accum() const { return max_accum_; }
+
  private:
   InWordSumPlan plan_;
   Word256 masks_[8];
   Word256 final_mask_;
+  int prefix_steps_ = 0;
+  std::size_t max_accum_ = 0;
 };
 
 }  // namespace
@@ -188,18 +239,52 @@ void AccumulateGroupSumsHbp(const HbpColumn& column,
   const Word256 dm = Word256::Broadcast(DelimiterMask(s));
   const InWordSumPlan256 plan(s);
   const Word* f_words = filter.words();
-  // Same loop order as the scalar kernel: the per-sub-segment value mask is
-  // computed once and reused across word-groups.
   Word256 acc[kWordBits];
-  for (std::size_t q = quad_begin; q < quad_end; ++q) {
-    const Word256 f = Word256::Load(f_words + q * 4);
-    for (int t = 0; t < s; ++t) {
-      const Word256 md = f.Shl64(t) & dm;
-      const Word256 m = ValueMaskFromDelimiters256(md, tau);
-      for (int g = 0; g < num_groups; ++g) {
-        acc[g] = Add64(acc[g], plan.Apply(Word256::Load(QuadWordPtr(
-                                              column, g, q, s, t)) &
-                                          m));
+  // Widened-accumulator variant (AVX2 tier): run only the first halving
+  // steps per word and Add64 the packed partial sums; the rest of the
+  // cascade runs once per flush. The scalar/sse tiers keep the one-full-
+  // reduction-per-word baseline so the differential harness exercises both.
+  if (kern::ActiveTier() == kern::Tier::kAvx2 && plan.prefix_steps() > 0 &&
+      plan.max_accum() >= static_cast<std::size_t>(s)) {
+    Word256 packed[kWordBits];
+    std::size_t pending = 0;  // ApplyPrefix results added since last flush
+    for (std::size_t q = quad_begin; q < quad_end; ++q) {
+      if (pending + static_cast<std::size_t>(s) > plan.max_accum()) {
+        for (int g = 0; g < num_groups; ++g) {
+          acc[g] = Add64(acc[g], plan.Finish(packed[g]));
+          packed[g] = Word256::Zero();
+        }
+        pending = 0;
+      }
+      const Word256 f = Word256::Load(f_words + q * 4);
+      for (int t = 0; t < s; ++t) {
+        const Word256 md = f.Shl64(t) & dm;
+        const Word256 m = ValueMaskFromDelimiters256(md, tau);
+        for (int g = 0; g < num_groups; ++g) {
+          packed[g] = Add64(
+              packed[g],
+              plan.ApplyPrefix(
+                  Word256::Load(QuadWordPtr(column, g, q, s, t)) & m));
+        }
+      }
+      pending += static_cast<std::size_t>(s);
+    }
+    for (int g = 0; g < num_groups; ++g) {
+      acc[g] = Add64(acc[g], plan.Finish(packed[g]));
+    }
+  } else {
+    // Same loop order as the scalar kernel: the per-sub-segment value mask
+    // is computed once and reused across word-groups.
+    for (std::size_t q = quad_begin; q < quad_end; ++q) {
+      const Word256 f = Word256::Load(f_words + q * 4);
+      for (int t = 0; t < s; ++t) {
+        const Word256 md = f.Shl64(t) & dm;
+        const Word256 m = ValueMaskFromDelimiters256(md, tau);
+        for (int g = 0; g < num_groups; ++g) {
+          acc[g] = Add64(acc[g], plan.Apply(Word256::Load(QuadWordPtr(
+                                                column, g, q, s, t)) &
+                                            m));
+        }
       }
     }
   }
@@ -209,9 +294,13 @@ void AccumulateGroupSumsHbp(const HbpColumn& column,
   }
 }
 
-UInt128 SumHbp(const HbpColumn& column, const FilterBitVector& filter) {
+UInt128 SumHbp(const HbpColumn& column, const FilterBitVector& filter,
+               const CancelContext* cancel) {
   std::uint64_t group_sums[kWordBits] = {};
-  AccumulateGroupSumsHbp(column, filter, 0, NumQuads(column), group_sums);
+  ForEachCancellableBatch(
+      cancel, 0, NumQuads(column), [&](std::size_t b, std::size_t e) {
+        AccumulateGroupSumsHbp(column, filter, b, e, group_sums);
+      });
   return hbp::CombineGroupSums(column, group_sums);
 }
 
@@ -288,29 +377,38 @@ namespace {
 
 std::optional<std::uint64_t> ExtremeHbp(const HbpColumn& column,
                                         const FilterBitVector& filter,
-                                        bool is_min) {
+                                        bool is_min,
+                                        const CancelContext* cancel) {
   if (filter.CountOnes() == 0) return std::nullopt;
   Word256 temp[kWordBits];
   InitSubSlotExtremeHbp(column, is_min, temp);
-  SubSlotExtremeRangeHbp(column, filter, 0, NumQuads(column), is_min, temp);
+  if (!ForEachCancellableBatch(
+          cancel, 0, NumQuads(column), [&](std::size_t b, std::size_t e) {
+            SubSlotExtremeRangeHbp(column, filter, b, e, is_min, temp);
+          })) {
+    return std::nullopt;
+  }
   return ExtremeOfSubSlotsHbp(column, temp, is_min);
 }
 
 }  // namespace
 
 std::optional<std::uint64_t> MinHbp(const HbpColumn& column,
-                                    const FilterBitVector& filter) {
-  return ExtremeHbp(column, filter, /*is_min=*/true);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
+  return ExtremeHbp(column, filter, /*is_min=*/true, cancel);
 }
 
 std::optional<std::uint64_t> MaxHbp(const HbpColumn& column,
-                                    const FilterBitVector& filter) {
-  return ExtremeHbp(column, filter, /*is_min=*/false);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
+  return ExtremeHbp(column, filter, /*is_min=*/false, cancel);
 }
 
 std::optional<std::uint64_t> RankSelectHbp(const HbpColumn& column,
                                            const FilterBitVector& filter,
-                                           std::uint64_t r) {
+                                           std::uint64_t r,
+                                           const CancelContext* cancel) {
   ICP_CHECK_EQ(column.lanes(), 4);
   const std::uint64_t u = filter.CountOnes();
   if (r < 1 || r > u) return std::nullopt;
@@ -331,20 +429,25 @@ std::optional<std::uint64_t> RankSelectHbp(const HbpColumn& column,
   for (int g = 0; g < column.num_groups(); ++g) {
     std::fill(hist.begin(), hist.end(), 0);
     // Histogram: scalar slot extraction per lane (Alg. 6's per-slot walk).
-    for (std::size_t q = 0; q < quads; ++q) {
-      for (int lane = 0; lane < 4; ++lane) {
-        const Word cand = v[q * 4 + lane];
-        if (cand == 0) continue;
-        for (int t = 0; t < s; ++t) {
-          Word md = (cand << t) & dm_scalar;
-          const Word w = QuadWordPtr(column, g, q, s, t)[lane];
-          while (md != 0) {
-            const int p = CountTrailingZeros(md);
-            md &= md - 1;
-            ++hist[(w >> (p - tau)) & value_mask];
-          }
-        }
-      }
+    if (!ForEachCancellableBatch(
+            cancel, 0, quads, [&](std::size_t qb, std::size_t qe) {
+              for (std::size_t q = qb; q < qe; ++q) {
+                for (int lane = 0; lane < 4; ++lane) {
+                  const Word cand = v[q * 4 + lane];
+                  if (cand == 0) continue;
+                  for (int t = 0; t < s; ++t) {
+                    Word md = (cand << t) & dm_scalar;
+                    const Word w = QuadWordPtr(column, g, q, s, t)[lane];
+                    while (md != 0) {
+                      const int p = CountTrailingZeros(md);
+                      md &= md - 1;
+                      ++hist[(w >> (p - tau)) & value_mask];
+                    }
+                  }
+                }
+              }
+            })) {
+      return std::nullopt;
     }
     std::uint64_t cum = 0;
     std::uint64_t bin = 0;
@@ -357,18 +460,23 @@ std::optional<std::uint64_t> RankSelectHbp(const HbpColumn& column,
     if (g + 1 < column.num_groups()) {
       // Vectorized candidate narrowing with BIT-PARALLEL-EQUAL.
       const Word256 packed_bin = Word256::Broadcast(RepeatField(bin, s));
-      for (std::size_t q = 0; q < quads; ++q) {
-        Word256 cand = Word256::Load(v.data() + q * 4);
-        if (cand.IsZero()) continue;
-        const Word* base = QuadWordPtr(column, g, q, s, 0);
-        Word256 matches = Word256::Zero();
-        for (int t = 0; t < s; ++t) {
-          const Word256 x = Word256::Load(base + t * 4);
-          const Word256 eq =
-              FieldGe256(x, packed_bin, dm) & FieldGe256(packed_bin, x, dm);
-          matches = matches | eq.Shr64(t);
-        }
-        (cand & matches).Store(v.data() + q * 4);
+      if (!ForEachCancellableBatch(
+              cancel, 0, quads, [&](std::size_t qb, std::size_t qe) {
+                for (std::size_t q = qb; q < qe; ++q) {
+                  Word256 cand = Word256::Load(v.data() + q * 4);
+                  if (cand.IsZero()) continue;
+                  const Word* base = QuadWordPtr(column, g, q, s, 0);
+                  Word256 matches = Word256::Zero();
+                  for (int t = 0; t < s; ++t) {
+                    const Word256 x = Word256::Load(base + t * 4);
+                    const Word256 eq = FieldGe256(x, packed_bin, dm) &
+                                       FieldGe256(packed_bin, x, dm);
+                    matches = matches | eq.Shr64(t);
+                  }
+                  (cand & matches).Store(v.data() + q * 4);
+                }
+              })) {
+        return std::nullopt;
       }
     }
   }
@@ -376,15 +484,16 @@ std::optional<std::uint64_t> RankSelectHbp(const HbpColumn& column,
 }
 
 std::optional<std::uint64_t> MedianHbp(const HbpColumn& column,
-                                       const FilterBitVector& filter) {
+                                       const FilterBitVector& filter,
+                                       const CancelContext* cancel) {
   const std::uint64_t count = filter.CountOnes();
   if (count == 0) return std::nullopt;
-  return RankSelectHbp(column, filter, LowerMedianRank(count));
+  return RankSelectHbp(column, filter, LowerMedianRank(count), cancel);
 }
 
 AggregateResult AggregateHbp(const HbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
-                             std::uint64_t rank) {
+                             std::uint64_t rank, const CancelContext* cancel) {
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -393,19 +502,19 @@ AggregateResult AggregateHbp(const HbpColumn& column,
       break;
     case AggKind::kSum:
     case AggKind::kAvg:
-      result.sum = SumHbp(column, filter);
+      result.sum = SumHbp(column, filter, cancel);
       break;
     case AggKind::kMin:
-      result.value = MinHbp(column, filter);
+      result.value = MinHbp(column, filter, cancel);
       break;
     case AggKind::kMax:
-      result.value = MaxHbp(column, filter);
+      result.value = MaxHbp(column, filter, cancel);
       break;
     case AggKind::kMedian:
-      result.value = MedianHbp(column, filter);
+      result.value = MedianHbp(column, filter, cancel);
       break;
     case AggKind::kRank:
-      result.value = RankSelectHbp(column, filter, rank);
+      result.value = RankSelectHbp(column, filter, rank, cancel);
       break;
   }
   return result;

@@ -23,6 +23,7 @@
 #include "layout/hbp_column.h"
 #include "scan/predicate.h"
 #include "simd/word256.h"
+#include "util/cancellation.h"
 
 namespace icp::simd {
 
@@ -48,7 +49,8 @@ void AccumulateGroupSumsHbp(const HbpColumn& column,
                             const FilterBitVector& filter,
                             std::size_t quad_begin, std::size_t quad_end,
                             std::uint64_t* group_sums);
-UInt128 SumHbp(const HbpColumn& column, const FilterBitVector& filter);
+UInt128 SumHbp(const HbpColumn& column, const FilterBitVector& filter,
+               const CancelContext* cancel = nullptr);
 
 /// MIN/MAX: four running extreme sub-segments (one per lane).
 void InitSubSlotExtremeHbp(const HbpColumn& column, bool is_min,
@@ -60,22 +62,28 @@ void SubSlotExtremeRangeHbp(const HbpColumn& column,
 std::uint64_t ExtremeOfSubSlotsHbp(const HbpColumn& column,
                                    const Word256* temp, bool is_min);
 std::optional<std::uint64_t> MinHbp(const HbpColumn& column,
-                                    const FilterBitVector& filter);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> MaxHbp(const HbpColumn& column,
-                                    const FilterBitVector& filter);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr);
 
 /// MEDIAN / r-selection: vectorized candidate narrowing; histogram slot
 /// extraction stays scalar per lane (gather-style work, as in Alg. 6).
 std::optional<std::uint64_t> RankSelectHbp(const HbpColumn& column,
                                            const FilterBitVector& filter,
-                                           std::uint64_t r);
+                                           std::uint64_t r,
+                                           const CancelContext* cancel =
+                                               nullptr);
 std::optional<std::uint64_t> MedianHbp(const HbpColumn& column,
-                                       const FilterBitVector& filter);
+                                       const FilterBitVector& filter,
+                                       const CancelContext* cancel = nullptr);
 
 /// Dispatcher mirroring hbp::Aggregate.
 AggregateResult AggregateHbp(const HbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
-                             std::uint64_t rank = 0);
+                             std::uint64_t rank = 0,
+                             const CancelContext* cancel = nullptr);
 
 }  // namespace icp::simd
 

@@ -34,17 +34,18 @@ FilterBitVector ScanHbp(ThreadPool& pool, const HbpColumn& column,
 }
 
 UInt128 SumVbp(ThreadPool& pool, const VbpColumn& column,
-               const FilterBitVector& filter) {
+               const FilterBitVector& filter, const CancelContext* cancel) {
   const int k = column.bit_width();
   std::vector<std::uint64_t> bit_sums(
       static_cast<std::size_t>(pool.num_threads()) * kWordBits, 0);
   pool.RunPerThread([&](int index) {
     const auto [begin, end] =
         PartitionRange(NumQuads(column), pool.num_threads(), index);
-    if (begin < end) {
-      AccumulateBitSumsVbp(column, filter, begin, end,
-                           bit_sums.data() + index * kWordBits);
-    }
+    ForEachCancellableBatch(
+        cancel, begin, end, [&](std::size_t b, std::size_t e) {
+          AccumulateBitSumsVbp(column, filter, b, e,
+                               bit_sums.data() + index * kWordBits);
+        });
   });
   for (int i = 1; i < pool.num_threads(); ++i) {
     for (int j = 0; j < k; ++j) bit_sums[j] += bit_sums[i * kWordBits + j];
@@ -53,16 +54,17 @@ UInt128 SumVbp(ThreadPool& pool, const VbpColumn& column,
 }
 
 UInt128 SumHbp(ThreadPool& pool, const HbpColumn& column,
-               const FilterBitVector& filter) {
+               const FilterBitVector& filter, const CancelContext* cancel) {
   std::vector<std::uint64_t> group_sums(
       static_cast<std::size_t>(pool.num_threads()) * kWordBits, 0);
   pool.RunPerThread([&](int index) {
     const auto [begin, end] =
         PartitionRange(NumQuads(column), pool.num_threads(), index);
-    if (begin < end) {
-      AccumulateGroupSumsHbp(column, filter, begin, end,
-                             group_sums.data() + index * kWordBits);
-    }
+    ForEachCancellableBatch(
+        cancel, begin, end, [&](std::size_t b, std::size_t e) {
+          AccumulateGroupSumsHbp(column, filter, b, e,
+                                 group_sums.data() + index * kWordBits);
+        });
   });
   for (int i = 1; i < pool.num_threads(); ++i) {
     for (int g = 0; g < column.num_groups(); ++g) {
@@ -77,7 +79,8 @@ namespace {
 std::optional<std::uint64_t> ExtremeVbpMt(ThreadPool& pool,
                                           const VbpColumn& column,
                                           const FilterBitVector& filter,
-                                          bool is_min) {
+                                          bool is_min,
+                                          const CancelContext* cancel) {
   if (par::Count(pool, filter) == 0) return std::nullopt;
   const int k = column.bit_width();
   std::vector<Word256> temps(
@@ -87,10 +90,12 @@ std::optional<std::uint64_t> ExtremeVbpMt(ThreadPool& pool,
     InitSlotExtremeVbp(k, is_min, temp);
     const auto [begin, end] =
         PartitionRange(NumQuads(column), pool.num_threads(), index);
-    if (begin < end) {
-      SlotExtremeRangeVbp(column, filter, begin, end, is_min, temp);
-    }
+    ForEachCancellableBatch(
+        cancel, begin, end, [&](std::size_t b, std::size_t e) {
+          SlotExtremeRangeVbp(column, filter, b, e, is_min, temp);
+        });
   });
+  if (cancel != nullptr && cancel->ShouldStop()) return std::nullopt;
   std::uint64_t best = 0;
   for (int i = 0; i < pool.num_threads(); ++i) {
     const std::uint64_t v =
@@ -103,7 +108,8 @@ std::optional<std::uint64_t> ExtremeVbpMt(ThreadPool& pool,
 std::optional<std::uint64_t> ExtremeHbpMt(ThreadPool& pool,
                                           const HbpColumn& column,
                                           const FilterBitVector& filter,
-                                          bool is_min) {
+                                          bool is_min,
+                                          const CancelContext* cancel) {
   if (par::Count(pool, filter) == 0) return std::nullopt;
   std::vector<Word256> temps(
       static_cast<std::size_t>(pool.num_threads()) * kWordBits);
@@ -112,10 +118,12 @@ std::optional<std::uint64_t> ExtremeHbpMt(ThreadPool& pool,
     InitSubSlotExtremeHbp(column, is_min, temp);
     const auto [begin, end] =
         PartitionRange(NumQuads(column), pool.num_threads(), index);
-    if (begin < end) {
-      SubSlotExtremeRangeHbp(column, filter, begin, end, is_min, temp);
-    }
+    ForEachCancellableBatch(
+        cancel, begin, end, [&](std::size_t b, std::size_t e) {
+          SubSlotExtremeRangeHbp(column, filter, b, e, is_min, temp);
+        });
   });
+  if (cancel != nullptr && cancel->ShouldStop()) return std::nullopt;
   std::uint64_t best = 0;
   for (int i = 0; i < pool.num_threads(); ++i) {
     const std::uint64_t v =
@@ -128,26 +136,31 @@ std::optional<std::uint64_t> ExtremeHbpMt(ThreadPool& pool,
 }  // namespace
 
 std::optional<std::uint64_t> MinVbp(ThreadPool& pool, const VbpColumn& column,
-                                    const FilterBitVector& filter) {
-  return ExtremeVbpMt(pool, column, filter, /*is_min=*/true);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
+  return ExtremeVbpMt(pool, column, filter, /*is_min=*/true, cancel);
 }
 std::optional<std::uint64_t> MaxVbp(ThreadPool& pool, const VbpColumn& column,
-                                    const FilterBitVector& filter) {
-  return ExtremeVbpMt(pool, column, filter, /*is_min=*/false);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
+  return ExtremeVbpMt(pool, column, filter, /*is_min=*/false, cancel);
 }
 std::optional<std::uint64_t> MinHbp(ThreadPool& pool, const HbpColumn& column,
-                                    const FilterBitVector& filter) {
-  return ExtremeHbpMt(pool, column, filter, /*is_min=*/true);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
+  return ExtremeHbpMt(pool, column, filter, /*is_min=*/true, cancel);
 }
 std::optional<std::uint64_t> MaxHbp(ThreadPool& pool, const HbpColumn& column,
-                                    const FilterBitVector& filter) {
-  return ExtremeHbpMt(pool, column, filter, /*is_min=*/false);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
+  return ExtremeHbpMt(pool, column, filter, /*is_min=*/false, cancel);
 }
 
 std::optional<std::uint64_t> RankSelectVbp(ThreadPool& pool,
                                            const VbpColumn& column,
                                            const FilterBitVector& filter,
-                                           std::uint64_t r) {
+                                           std::uint64_t r,
+                                           const CancelContext* cancel) {
   ICP_CHECK_EQ(column.lanes(), 4);
   ICP_CHECK_LE(pool.num_threads(), kMaxThreads);
   std::uint64_t u = par::Count(pool, filter);
@@ -163,6 +176,7 @@ std::optional<std::uint64_t> RankSelectVbp(ThreadPool& pool,
   std::uint64_t partial[kMaxThreads];
   std::uint64_t result = 0;
   for (int jb = 0; jb < k; ++jb) {
+    if (cancel != nullptr && cancel->ShouldStop()) return std::nullopt;
     const int g = jb / tau;
     const int j = jb - g * tau;
     const int width = column.GroupWidth(g);
@@ -170,12 +184,15 @@ std::optional<std::uint64_t> RankSelectVbp(ThreadPool& pool,
       const auto [begin, end] =
           PartitionRange(quads, pool.num_threads(), index);
       std::uint64_t c = 0;
-      for (std::size_t q = begin; q < end; ++q) {
-        const Word256 cand = Word256::Load(v.data() + q * 4);
-        if (cand.IsZero()) continue;
-        const Word* ptr = column.GroupData(g) + (q * width + j) * 4;
-        c += (cand & Word256::Load(ptr)).PopcountSum();
-      }
+      ForEachCancellableBatch(
+          cancel, begin, end, [&](std::size_t qb, std::size_t qe) {
+            for (std::size_t q = qb; q < qe; ++q) {
+              const Word256 cand = Word256::Load(v.data() + q * 4);
+              if (cand.IsZero()) continue;
+              const Word* ptr = column.GroupData(g) + (q * width + j) * 4;
+              c += (cand & Word256::Load(ptr)).PopcountSum();
+            }
+          });
       partial[index] = c;
     });
     std::uint64_t c = 0;
@@ -188,24 +205,31 @@ std::optional<std::uint64_t> RankSelectVbp(ThreadPool& pool,
     } else {
       u -= c;
     }
-    pool.ParallelFor(quads, [&](std::size_t begin, std::size_t end) {
-      for (std::size_t q = begin; q < end; ++q) {
-        Word256 cand = Word256::Load(v.data() + q * 4);
-        if (cand.IsZero()) continue;
-        const Word* ptr = column.GroupData(g) + (q * width + j) * 4;
-        const Word256 x = Word256::Load(ptr);
-        cand = bit_is_one ? (cand & x) : AndNot(x, cand);
-        cand.Store(v.data() + q * 4);
-      }
+    pool.RunPerThread([&](int index) {
+      const auto [begin, end] =
+          PartitionRange(quads, pool.num_threads(), index);
+      ForEachCancellableBatch(
+          cancel, begin, end, [&](std::size_t qb, std::size_t qe) {
+            for (std::size_t q = qb; q < qe; ++q) {
+              Word256 cand = Word256::Load(v.data() + q * 4);
+              if (cand.IsZero()) continue;
+              const Word* ptr = column.GroupData(g) + (q * width + j) * 4;
+              const Word256 x = Word256::Load(ptr);
+              cand = bit_is_one ? (cand & x) : AndNot(x, cand);
+              cand.Store(v.data() + q * 4);
+            }
+          });
     });
   }
+  if (cancel != nullptr && cancel->ShouldStop()) return std::nullopt;
   return result;
 }
 
 std::optional<std::uint64_t> RankSelectHbp(ThreadPool& pool,
                                            const HbpColumn& column,
                                            const FilterBitVector& filter,
-                                           std::uint64_t r) {
+                                           std::uint64_t r,
+                                           const CancelContext* cancel) {
   ICP_CHECK_EQ(column.lanes(), 4);
   const std::uint64_t u = par::Count(pool, filter);
   if (r < 1 || r > u) return std::nullopt;
@@ -226,27 +250,34 @@ std::optional<std::uint64_t> RankSelectHbp(ThreadPool& pool,
 
   std::uint64_t result = 0;
   for (int g = 0; g < column.num_groups(); ++g) {
+    if (cancel != nullptr && cancel->ShouldStop()) return std::nullopt;
     std::fill(hists.begin(), hists.end(), 0);
     pool.RunPerThread([&](int index) {
       const auto [begin, end] =
           PartitionRange(quads, pool.num_threads(), index);
       std::uint64_t* hist = hists.data() + index * bins;
-      for (std::size_t q = begin; q < end; ++q) {
-        for (int lane = 0; lane < 4; ++lane) {
-          const Word cand = v[q * 4 + lane];
-          if (cand == 0) continue;
-          for (int t = 0; t < s; ++t) {
-            Word md = (cand << t) & dm_scalar;
-            const Word w = column.GroupData(g)[(q * s + t) * 4 + lane];
-            while (md != 0) {
-              const int p = CountTrailingZeros(md);
-              md &= md - 1;
-              ++hist[(w >> (p - tau)) & value_mask];
+      ForEachCancellableBatch(
+          cancel, begin, end, [&](std::size_t qb, std::size_t qe) {
+            for (std::size_t q = qb; q < qe; ++q) {
+              for (int lane = 0; lane < 4; ++lane) {
+                const Word cand = v[q * 4 + lane];
+                if (cand == 0) continue;
+                for (int t = 0; t < s; ++t) {
+                  Word md = (cand << t) & dm_scalar;
+                  const Word w = column.GroupData(g)[(q * s + t) * 4 + lane];
+                  while (md != 0) {
+                    const int p = CountTrailingZeros(md);
+                    md &= md - 1;
+                    ++hist[(w >> (p - tau)) & value_mask];
+                  }
+                }
+              }
             }
-          }
-        }
-      }
+          });
     });
+    // A cancelled histogram pass may not cover all candidates; bail out
+    // before the cumulative walk uses it.
+    if (cancel != nullptr && cancel->ShouldStop()) return std::nullopt;
     for (int i = 1; i < pool.num_threads(); ++i) {
       for (std::size_t b = 0; b < bins; ++b) hists[b] += hists[i * bins + b];
     }
@@ -260,45 +291,53 @@ std::optional<std::uint64_t> RankSelectHbp(ThreadPool& pool,
     result |= bin << column.GroupShift(g);
     if (g + 1 < column.num_groups()) {
       const Word256 packed_bin = Word256::Broadcast(RepeatField(bin, s));
-      pool.ParallelFor(quads, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t q = begin; q < end; ++q) {
-          Word256 cand = Word256::Load(v.data() + q * 4);
-          if (cand.IsZero()) continue;
-          const Word* base = column.GroupData(g) + q * s * 4;
-          Word256 matches = Word256::Zero();
-          for (int t = 0; t < s; ++t) {
-            const Word256 x = Word256::Load(base + t * 4);
-            const Word256 eq =
-                FieldGe256(x, packed_bin, dm) & FieldGe256(packed_bin, x, dm);
-            matches = matches | eq.Shr64(t);
-          }
-          (cand & matches).Store(v.data() + q * 4);
-        }
+      pool.RunPerThread([&](int index) {
+        const auto [begin, end] =
+            PartitionRange(quads, pool.num_threads(), index);
+        ForEachCancellableBatch(
+            cancel, begin, end, [&](std::size_t qb, std::size_t qe) {
+              for (std::size_t q = qb; q < qe; ++q) {
+                Word256 cand = Word256::Load(v.data() + q * 4);
+                if (cand.IsZero()) continue;
+                const Word* base = column.GroupData(g) + q * s * 4;
+                Word256 matches = Word256::Zero();
+                for (int t = 0; t < s; ++t) {
+                  const Word256 x = Word256::Load(base + t * 4);
+                  const Word256 eq = FieldGe256(x, packed_bin, dm) &
+                                     FieldGe256(packed_bin, x, dm);
+                  matches = matches | eq.Shr64(t);
+                }
+                (cand & matches).Store(v.data() + q * 4);
+              }
+            });
       });
     }
   }
+  if (cancel != nullptr && cancel->ShouldStop()) return std::nullopt;
   return result;
 }
 
 std::optional<std::uint64_t> MedianVbp(ThreadPool& pool,
                                        const VbpColumn& column,
-                                       const FilterBitVector& filter) {
+                                       const FilterBitVector& filter,
+                                       const CancelContext* cancel) {
   const std::uint64_t count = par::Count(pool, filter);
   if (count == 0) return std::nullopt;
-  return RankSelectVbp(pool, column, filter, LowerMedianRank(count));
+  return RankSelectVbp(pool, column, filter, LowerMedianRank(count), cancel);
 }
 
 std::optional<std::uint64_t> MedianHbp(ThreadPool& pool,
                                        const HbpColumn& column,
-                                       const FilterBitVector& filter) {
+                                       const FilterBitVector& filter,
+                                       const CancelContext* cancel) {
   const std::uint64_t count = par::Count(pool, filter);
   if (count == 0) return std::nullopt;
-  return RankSelectHbp(pool, column, filter, LowerMedianRank(count));
+  return RankSelectHbp(pool, column, filter, LowerMedianRank(count), cancel);
 }
 
 AggregateResult AggregateVbp(ThreadPool& pool, const VbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
-                             std::uint64_t rank) {
+                             std::uint64_t rank, const CancelContext* cancel) {
   AggregateResult result;
   result.kind = kind;
   result.count = par::Count(pool, filter);
@@ -307,19 +346,19 @@ AggregateResult AggregateVbp(ThreadPool& pool, const VbpColumn& column,
       break;
     case AggKind::kSum:
     case AggKind::kAvg:
-      result.sum = SumVbp(pool, column, filter);
+      result.sum = SumVbp(pool, column, filter, cancel);
       break;
     case AggKind::kMin:
-      result.value = MinVbp(pool, column, filter);
+      result.value = MinVbp(pool, column, filter, cancel);
       break;
     case AggKind::kMax:
-      result.value = MaxVbp(pool, column, filter);
+      result.value = MaxVbp(pool, column, filter, cancel);
       break;
     case AggKind::kMedian:
-      result.value = MedianVbp(pool, column, filter);
+      result.value = MedianVbp(pool, column, filter, cancel);
       break;
     case AggKind::kRank:
-      result.value = RankSelectVbp(pool, column, filter, rank);
+      result.value = RankSelectVbp(pool, column, filter, rank, cancel);
       break;
   }
   return result;
@@ -327,7 +366,7 @@ AggregateResult AggregateVbp(ThreadPool& pool, const VbpColumn& column,
 
 AggregateResult AggregateHbp(ThreadPool& pool, const HbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
-                             std::uint64_t rank) {
+                             std::uint64_t rank, const CancelContext* cancel) {
   AggregateResult result;
   result.kind = kind;
   result.count = par::Count(pool, filter);
@@ -336,19 +375,19 @@ AggregateResult AggregateHbp(ThreadPool& pool, const HbpColumn& column,
       break;
     case AggKind::kSum:
     case AggKind::kAvg:
-      result.sum = SumHbp(pool, column, filter);
+      result.sum = SumHbp(pool, column, filter, cancel);
       break;
     case AggKind::kMin:
-      result.value = MinHbp(pool, column, filter);
+      result.value = MinHbp(pool, column, filter, cancel);
       break;
     case AggKind::kMax:
-      result.value = MaxHbp(pool, column, filter);
+      result.value = MaxHbp(pool, column, filter, cancel);
       break;
     case AggKind::kMedian:
-      result.value = MedianHbp(pool, column, filter);
+      result.value = MedianHbp(pool, column, filter, cancel);
       break;
     case AggKind::kRank:
-      result.value = RankSelectHbp(pool, column, filter, rank);
+      result.value = RankSelectHbp(pool, column, filter, rank, cancel);
       break;
   }
   return result;

@@ -18,6 +18,7 @@
 #include "scan/predicate.h"
 #include "simd/hbp_simd.h"
 #include "simd/vbp_simd.h"
+#include "util/cancellation.h"
 
 namespace icp::simd {
 
@@ -27,40 +28,54 @@ FilterBitVector ScanHbp(ThreadPool& pool, const HbpColumn& column,
                         CompareOp op, std::uint64_t c1, std::uint64_t c2 = 0);
 
 UInt128 SumVbp(ThreadPool& pool, const VbpColumn& column,
-               const FilterBitVector& filter);
+               const FilterBitVector& filter,
+               const CancelContext* cancel = nullptr);
 UInt128 SumHbp(ThreadPool& pool, const HbpColumn& column,
-               const FilterBitVector& filter);
+               const FilterBitVector& filter,
+               const CancelContext* cancel = nullptr);
 
 std::optional<std::uint64_t> MinVbp(ThreadPool& pool, const VbpColumn& column,
-                                    const FilterBitVector& filter);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> MaxVbp(ThreadPool& pool, const VbpColumn& column,
-                                    const FilterBitVector& filter);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> MinHbp(ThreadPool& pool, const HbpColumn& column,
-                                    const FilterBitVector& filter);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> MaxHbp(ThreadPool& pool, const HbpColumn& column,
-                                    const FilterBitVector& filter);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr);
 
 std::optional<std::uint64_t> RankSelectVbp(ThreadPool& pool,
                                            const VbpColumn& column,
                                            const FilterBitVector& filter,
-                                           std::uint64_t r);
+                                           std::uint64_t r,
+                                           const CancelContext* cancel =
+                                               nullptr);
 std::optional<std::uint64_t> RankSelectHbp(ThreadPool& pool,
                                            const HbpColumn& column,
                                            const FilterBitVector& filter,
-                                           std::uint64_t r);
+                                           std::uint64_t r,
+                                           const CancelContext* cancel =
+                                               nullptr);
 std::optional<std::uint64_t> MedianVbp(ThreadPool& pool,
                                        const VbpColumn& column,
-                                       const FilterBitVector& filter);
+                                       const FilterBitVector& filter,
+                                       const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> MedianHbp(ThreadPool& pool,
                                        const HbpColumn& column,
-                                       const FilterBitVector& filter);
+                                       const FilterBitVector& filter,
+                                       const CancelContext* cancel = nullptr);
 
 AggregateResult AggregateVbp(ThreadPool& pool, const VbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
-                             std::uint64_t rank = 0);
+                             std::uint64_t rank = 0,
+                             const CancelContext* cancel = nullptr);
 AggregateResult AggregateHbp(ThreadPool& pool, const HbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
-                             std::uint64_t rank = 0);
+                             std::uint64_t rank = 0,
+                             const CancelContext* cancel = nullptr);
 
 }  // namespace icp::simd
 

@@ -1,0 +1,319 @@
+#include "simd/vbp_pospopcnt.h"
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace icp::kern {
+namespace {
+
+// Carry-save adder: (high, low) <- low + a + b, bit-sliced. low accumulates
+// the sum bit, high the carry (majority) bit.
+inline void Csa(Word* h, Word* l, Word a, Word b) {
+  const Word u = *l ^ a;
+  *h = (*l & a) | (u & b);
+  *l = u ^ b;
+}
+
+// Popcount of 8 words with a fresh CSA tree: 4 POPCNTs instead of 8.
+inline std::uint64_t Popcount8(const Word* w) {
+  Word ones = 0, twos = 0, fours = 0, eights = 0;
+  Word twos_a = 0, twos_b = 0, fours_a = 0, fours_b = 0;
+  Csa(&twos_a, &ones, w[0], w[1]);
+  Csa(&twos_b, &ones, w[2], w[3]);
+  Csa(&fours_a, &twos, twos_a, twos_b);
+  Csa(&twos_a, &ones, w[4], w[5]);
+  Csa(&twos_b, &ones, w[6], w[7]);
+  Csa(&fours_b, &twos, twos_a, twos_b);
+  Csa(&eights, &fours, fours_a, fours_b);
+  return 8 * static_cast<std::uint64_t>(Popcount(eights)) +
+         4 * static_cast<std::uint64_t>(Popcount(fours)) +
+         2 * static_cast<std::uint64_t>(Popcount(twos)) +
+         static_cast<std::uint64_t>(Popcount(ones));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scalar tier
+// ---------------------------------------------------------------------------
+
+void VbpBitSumsScalar(const Word* data, const Word* filter, std::size_t n,
+                      int width, std::uint64_t* sums) {
+  const Word* base = data;
+  for (std::size_t seg = 0; seg < n; ++seg) {
+    const Word f = filter[seg];
+    for (int j = 0; j < width; ++j) {
+      sums[j] += Popcount(base[j] & f);
+    }
+    base += width;
+  }
+}
+
+void VbpBitSumsQuadsScalar(const Word* data, const Word* filter,
+                           std::size_t num_quads, int width,
+                           std::uint64_t* sums) {
+  for (std::size_t q = 0; q < num_quads; ++q) {
+    const Word* f = filter + q * 4;
+    const Word* base = data + q * width * 4;
+    for (int j = 0; j < width; ++j) {
+      const Word* p = base + j * 4;
+      sums[j] += Popcount(p[0] & f[0]) + Popcount(p[1] & f[1]) +
+                 Popcount(p[2] & f[2]) + Popcount(p[3] & f[3]);
+    }
+  }
+}
+
+std::uint64_t PopcountWordsScalar(const Word* words, std::size_t n) {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += Popcount(words[i]);
+  return count;
+}
+
+std::uint64_t PopcountAndScalar(const Word* a, const Word* b, std::size_t n) {
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) count += Popcount(a[i] & b[i]);
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Csa64 tier ("sse": Harley–Seal on plain 64-bit registers)
+// ---------------------------------------------------------------------------
+
+void VbpBitSumsCsa64(const Word* data, const Word* filter, std::size_t n,
+                     int width, std::uint64_t* sums) {
+  std::size_t seg = 0;
+  // Blocks of 8 segments; j is the inner loop so each 8*width-word block is
+  // traversed once while it is L1-resident.
+  for (; seg + 8 <= n; seg += 8) {
+    const Word* block = data + seg * width;
+    const Word* f = filter + seg;
+    for (int j = 0; j < width; ++j) {
+      Word w[8];
+      for (int i = 0; i < 8; ++i) w[i] = block[i * width + j] & f[i];
+      sums[j] += Popcount8(w);
+    }
+  }
+  for (; seg < n; ++seg) {
+    const Word* base = data + seg * width;
+    const Word f = filter[seg];
+    for (int j = 0; j < width; ++j) sums[j] += Popcount(base[j] & f);
+  }
+}
+
+void VbpBitSumsQuadsCsa64(const Word* data, const Word* filter,
+                          std::size_t num_quads, int width,
+                          std::uint64_t* sums) {
+  std::size_t q = 0;
+  // Two quads give 8 lane words per plane — one fresh CSA tree each.
+  for (; q + 2 <= num_quads; q += 2) {
+    const Word* f = filter + q * 4;
+    const Word* base = data + q * width * 4;
+    for (int j = 0; j < width; ++j) {
+      const Word* p0 = base + j * 4;
+      const Word* p1 = p0 + width * 4;
+      Word w[8];
+      for (int l = 0; l < 4; ++l) {
+        w[l] = p0[l] & f[l];
+        w[4 + l] = p1[l] & f[4 + l];
+      }
+      sums[j] += Popcount8(w);
+    }
+  }
+  if (q < num_quads) {
+    const Word* f = filter + q * 4;
+    const Word* base = data + q * width * 4;
+    for (int j = 0; j < width; ++j) {
+      const Word* p = base + j * 4;
+      sums[j] += Popcount(p[0] & f[0]) + Popcount(p[1] & f[1]) +
+                 Popcount(p[2] & f[2]) + Popcount(p[3] & f[3]);
+    }
+  }
+}
+
+std::uint64_t PopcountWordsCsa64(const Word* words, std::size_t n) {
+  std::uint64_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) count += Popcount8(words + i);
+  for (; i < n; ++i) count += Popcount(words[i]);
+  return count;
+}
+
+std::uint64_t PopcountAndCsa64(const Word* a, const Word* b, std::size_t n) {
+  std::uint64_t count = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    Word w[8];
+    for (int l = 0; l < 8; ++l) w[l] = a[i + l] & b[i + l];
+    count += Popcount8(w);
+  }
+  for (; i < n; ++i) count += Popcount(a[i] & b[i]);
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tier (Harley–Seal on 256-bit registers + Mula's pshufb popcount).
+// Everything below carries target("avx2") so the translation unit compiles
+// without -mavx2; dispatch.cc only hands these out when cpuid says AVX2.
+// ---------------------------------------------------------------------------
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX2)
+namespace {
+
+#define ICP_AVX2 __attribute__((target("avx2")))
+
+// 4x64 per-lane popcounts via the nibble LUT + psadbw (Mula).
+ICP_AVX2 inline __m256i Popcount256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+ICP_AVX2 inline std::uint64_t Hsum64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(s)) +
+         static_cast<std::uint64_t>(
+             _mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s)));
+}
+
+ICP_AVX2 inline void Csa256(__m256i* h, __m256i* l, __m256i a, __m256i b) {
+  const __m256i u = _mm256_xor_si256(*l, a);
+  *h = _mm256_or_si256(_mm256_and_si256(*l, a), _mm256_and_si256(u, b));
+  *l = _mm256_xor_si256(u, b);
+}
+
+// Running Harley–Seal state: sixteens are popcounted into `counter` as the
+// stream is consumed; the lower levels flush once at the end.
+struct HsState {
+  __m256i ones, twos, fours, eights, counter;
+};
+
+ICP_AVX2 inline void HsInit(HsState* s) {
+  s->ones = _mm256_setzero_si256();
+  s->twos = _mm256_setzero_si256();
+  s->fours = _mm256_setzero_si256();
+  s->eights = _mm256_setzero_si256();
+  s->counter = _mm256_setzero_si256();
+}
+
+// Feeds 16 vectors (already masked) into the state.
+ICP_AVX2 inline void HsStep16(HsState* s, const __m256i* w) {
+  __m256i twos_a, twos_b, fours_a, fours_b, eights_a, eights_b, sixteens;
+  Csa256(&twos_a, &s->ones, w[0], w[1]);
+  Csa256(&twos_b, &s->ones, w[2], w[3]);
+  Csa256(&fours_a, &s->twos, twos_a, twos_b);
+  Csa256(&twos_a, &s->ones, w[4], w[5]);
+  Csa256(&twos_b, &s->ones, w[6], w[7]);
+  Csa256(&fours_b, &s->twos, twos_a, twos_b);
+  Csa256(&eights_a, &s->fours, fours_a, fours_b);
+  Csa256(&twos_a, &s->ones, w[8], w[9]);
+  Csa256(&twos_b, &s->ones, w[10], w[11]);
+  Csa256(&fours_a, &s->twos, twos_a, twos_b);
+  Csa256(&twos_a, &s->ones, w[12], w[13]);
+  Csa256(&twos_b, &s->ones, w[14], w[15]);
+  Csa256(&fours_b, &s->twos, twos_a, twos_b);
+  Csa256(&eights_b, &s->fours, fours_a, fours_b);
+  Csa256(&sixteens, &s->eights, eights_a, eights_b);
+  s->counter = _mm256_add_epi64(s->counter, Popcount256(sixteens));
+}
+
+ICP_AVX2 inline std::uint64_t HsFlush(const HsState* s) {
+  __m256i total = _mm256_slli_epi64(s->counter, 4);
+  total = _mm256_add_epi64(total,
+                           _mm256_slli_epi64(Popcount256(s->eights), 3));
+  total = _mm256_add_epi64(total,
+                           _mm256_slli_epi64(Popcount256(s->fours), 2));
+  total = _mm256_add_epi64(total,
+                           _mm256_slli_epi64(Popcount256(s->twos), 1));
+  total = _mm256_add_epi64(total, Popcount256(s->ones));
+  return Hsum64(total);
+}
+
+ICP_AVX2 inline __m256i LoadU(const Word* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+}  // namespace
+
+ICP_AVX2 void VbpBitSumsQuadsAvx2(const Word* data, const Word* filter,
+                                  std::size_t num_quads, int width,
+                                  std::uint64_t* sums) {
+  // Per-plane running Harley–Seal state; blocks of 16 quads keep one pass
+  // over memory (the block is L1-resident across the j loop) while the CSA
+  // tree replaces 16 lane-popcount sequences per plane with one.
+  HsState state[kWordBits];
+  for (int j = 0; j < width; ++j) HsInit(&state[j]);
+  const std::size_t stride = static_cast<std::size_t>(width) * 4;
+  std::size_t q = 0;
+  for (; q + 16 <= num_quads; q += 16) {
+    const Word* f = filter + q * 4;
+    const Word* base = data + q * stride;
+    for (int j = 0; j < width; ++j) {
+      const Word* p = base + j * 4;
+      __m256i w[16];
+      for (int i = 0; i < 16; ++i) {
+        w[i] = _mm256_and_si256(LoadU(p + i * stride), LoadU(f + i * 4));
+      }
+      HsStep16(&state[j], w);
+    }
+  }
+  for (int j = 0; j < width; ++j) sums[j] += HsFlush(&state[j]);
+  // Ragged tail: one vector popcount per plane word.
+  for (; q < num_quads; ++q) {
+    const Word* f = filter + q * 4;
+    const Word* base = data + q * stride;
+    for (int j = 0; j < width; ++j) {
+      const __m256i w = _mm256_and_si256(LoadU(base + j * 4), LoadU(f));
+      sums[j] += Hsum64(Popcount256(w));
+    }
+  }
+}
+
+ICP_AVX2 std::uint64_t PopcountWordsAvx2(const Word* words, std::size_t n) {
+  HsState state;
+  HsInit(&state);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    __m256i w[16];
+    for (int v = 0; v < 16; ++v) w[v] = LoadU(words + i + v * 4);
+    HsStep16(&state, w);
+  }
+  std::uint64_t count = HsFlush(&state);
+  for (; i + 4 <= n; i += 4) count += Hsum64(Popcount256(LoadU(words + i)));
+  for (; i < n; ++i) count += Popcount(words[i]);
+  return count;
+}
+
+ICP_AVX2 std::uint64_t PopcountAndAvx2(const Word* a, const Word* b,
+                                       std::size_t n) {
+  HsState state;
+  HsInit(&state);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    __m256i w[16];
+    for (int v = 0; v < 16; ++v) {
+      w[v] = _mm256_and_si256(LoadU(a + i + v * 4), LoadU(b + i + v * 4));
+    }
+    HsStep16(&state, w);
+  }
+  std::uint64_t count = HsFlush(&state);
+  for (; i + 4 <= n; i += 4) {
+    count += Hsum64(
+        Popcount256(_mm256_and_si256(LoadU(a + i), LoadU(b + i))));
+  }
+  for (; i < n; ++i) count += Popcount(a[i] & b[i]);
+  return count;
+}
+
+#undef ICP_AVX2
+#endif  // ICP_POSPOPCNT_HAVE_AVX2
+
+}  // namespace icp::kern

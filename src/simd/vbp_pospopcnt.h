@@ -1,0 +1,90 @@
+// Positional-popcount kernels for the VBP bit-plane aggregates.
+//
+// The inner loop of VBP SUM/AVG (Algorithm 1) is, per bit plane j,
+// sum_seg popcount(W_j(seg) & F(seg)) — a filter-masked positional
+// population count. Following "Faster Positional-Population Counts for
+// AVX2, AVX-512, and ASIMD" (Clausecker, Lemire & Schintke, 2024), the
+// plain one-POPCNT-per-word loop can be reformulated with carry-save
+// adders (Harley–Seal): groups of masked words are CSA-compressed into
+// ones/twos/fours/... partial counters so only a fraction of the words
+// need an actual population count.
+//
+// Three implementations per entry point, one per dispatch tier
+// (simd/dispatch.h):
+//   * Scalar  — the original per-word POPCNT loop (the correctness
+//               baseline, and what every pre-registry build ran).
+//   * Csa64   — Harley–Seal over 64-bit words; portable C++, runs on any
+//               CPU (the "sse" tier: plain 64-bit registers).
+//   * Avx2    — Harley–Seal over 256-bit registers with the pshufb
+//               nibble-LUT vector popcount (Mula), compiled with a
+//               function-level target("avx2") attribute so it exists even
+//               in non-native builds and is selected at runtime via cpuid.
+//
+// Two memory layouts are served (see layout/vbp_column.h):
+//   * lanes == 1 (seg-major): plane j of segment seg at data[seg*width+j];
+//   * lanes == 4 (quad-interleaved): plane j of quad q occupies the four
+//     contiguous words data[(q*width+j)*4 .. +3], with the quad's filter
+//     words contiguous too — the layout the 256-bit kernels load directly.
+//
+// The word-array popcounts (COUNT, filter cardinality) share the same CSA
+// machinery.
+
+#ifndef ICP_SIMD_VBP_POSPOPCNT_H_
+#define ICP_SIMD_VBP_POSPOPCNT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bits.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ICP_POSPOPCNT_HAVE_AVX2 1
+#endif
+
+namespace icp::kern {
+
+// ---------------------------------------------------------------------------
+// Masked positional popcount, lanes == 1 seg-major layout.
+//   sums[j] += sum_{i < n} popcount(data[i*width + j] & filter[i])
+// for j in [0, width). `data` points at the first segment's plane-0 word.
+// ---------------------------------------------------------------------------
+void VbpBitSumsScalar(const Word* data, const Word* filter, std::size_t n,
+                      int width, std::uint64_t* sums);
+void VbpBitSumsCsa64(const Word* data, const Word* filter, std::size_t n,
+                     int width, std::uint64_t* sums);
+
+// ---------------------------------------------------------------------------
+// Masked positional popcount, lanes == 4 quad-interleaved layout.
+//   sums[j] += sum_{q < num_quads} sum_{l < 4}
+//                popcount(data[(q*width + j)*4 + l] & filter[q*4 + l])
+// `data` points at the first quad's plane-0 word, `filter` at the first
+// quad's four filter words.
+// ---------------------------------------------------------------------------
+void VbpBitSumsQuadsScalar(const Word* data, const Word* filter,
+                           std::size_t num_quads, int width,
+                           std::uint64_t* sums);
+void VbpBitSumsQuadsCsa64(const Word* data, const Word* filter,
+                          std::size_t num_quads, int width,
+                          std::uint64_t* sums);
+
+// ---------------------------------------------------------------------------
+// Word-array popcounts (COUNT and the filter-cardinality hot spots).
+// ---------------------------------------------------------------------------
+std::uint64_t PopcountWordsScalar(const Word* words, std::size_t n);
+std::uint64_t PopcountWordsCsa64(const Word* words, std::size_t n);
+std::uint64_t PopcountAndScalar(const Word* a, const Word* b, std::size_t n);
+std::uint64_t PopcountAndCsa64(const Word* a, const Word* b, std::size_t n);
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX2)
+// AVX2 Harley–Seal variants. Safe to *link* everywhere (target attribute);
+// only call them when cpuid reports AVX2 — dispatch.cc guarantees that.
+void VbpBitSumsQuadsAvx2(const Word* data, const Word* filter,
+                         std::size_t num_quads, int width,
+                         std::uint64_t* sums);
+std::uint64_t PopcountWordsAvx2(const Word* words, std::size_t n);
+std::uint64_t PopcountAndAvx2(const Word* a, const Word* b, std::size_t n);
+#endif
+
+}  // namespace icp::kern
+
+#endif  // ICP_SIMD_VBP_POSPOPCNT_H_

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "core/vbp_aggregate.h"
+#include "simd/dispatch.h"
 #include "util/aligned_buffer.h"
 #include "util/check.h"
 
@@ -130,22 +131,22 @@ void AccumulateBitSumsVbp(const VbpColumn& column,
   ICP_CHECK_EQ(column.lanes(), 4);
   const int tau = column.tau();
   const Word* f_words = filter.words();
+  const kern::KernelOps& ops = kern::Ops();
   for (int g = 0; g < column.num_groups(); ++g) {
     const int width = column.GroupWidth(g);
-    std::uint64_t* group_sums = bit_sums + g * tau;
-    for (std::size_t q = quad_begin; q < quad_end; ++q) {
-      const Word256 f = Word256::Load(f_words + q * 4);
-      const Word* base = QuadWordPtr(column, g, q, width, 0);
-      for (int j = 0; j < width; ++j) {
-        group_sums[j] += (Word256::Load(base + j * 4) & f).PopcountSum();
-      }
-    }
+    ops.vbp_bit_sums_quads(QuadWordPtr(column, g, quad_begin, width, 0),
+                           f_words + quad_begin * 4, quad_end - quad_begin,
+                           width, bit_sums + g * tau);
   }
 }
 
-UInt128 SumVbp(const VbpColumn& column, const FilterBitVector& filter) {
+UInt128 SumVbp(const VbpColumn& column, const FilterBitVector& filter,
+               const CancelContext* cancel) {
   std::uint64_t bit_sums[kWordBits] = {};
-  AccumulateBitSumsVbp(column, filter, 0, NumQuads(column), bit_sums);
+  ForEachCancellableBatch(
+      cancel, 0, NumQuads(column), [&](std::size_t b, std::size_t e) {
+        AccumulateBitSumsVbp(column, filter, b, e, bit_sums);
+      });
   return vbp::CombineBitSums(bit_sums, column.bit_width());
 }
 
@@ -208,30 +209,39 @@ namespace {
 
 std::optional<std::uint64_t> ExtremeVbp(const VbpColumn& column,
                                         const FilterBitVector& filter,
-                                        bool is_min) {
+                                        bool is_min,
+                                        const CancelContext* cancel) {
   if (filter.CountOnes() == 0) return std::nullopt;
   const int k = column.bit_width();
   Word256 temp[kWordBits];
   InitSlotExtremeVbp(k, is_min, temp);
-  SlotExtremeRangeVbp(column, filter, 0, NumQuads(column), is_min, temp);
+  if (!ForEachCancellableBatch(
+          cancel, 0, NumQuads(column), [&](std::size_t b, std::size_t e) {
+            SlotExtremeRangeVbp(column, filter, b, e, is_min, temp);
+          })) {
+    return std::nullopt;
+  }
   return ExtremeOfSlotsVbp(temp, k, is_min);
 }
 
 }  // namespace
 
 std::optional<std::uint64_t> MinVbp(const VbpColumn& column,
-                                    const FilterBitVector& filter) {
-  return ExtremeVbp(column, filter, /*is_min=*/true);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
+  return ExtremeVbp(column, filter, /*is_min=*/true, cancel);
 }
 
 std::optional<std::uint64_t> MaxVbp(const VbpColumn& column,
-                                    const FilterBitVector& filter) {
-  return ExtremeVbp(column, filter, /*is_min=*/false);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel) {
+  return ExtremeVbp(column, filter, /*is_min=*/false, cancel);
 }
 
 std::optional<std::uint64_t> RankSelectVbp(const VbpColumn& column,
                                            const FilterBitVector& filter,
-                                           std::uint64_t r) {
+                                           std::uint64_t r,
+                                           const CancelContext* cancel) {
   ICP_CHECK_EQ(column.lanes(), 4);
   std::uint64_t u = filter.CountOnes();
   if (r < 1 || r > u) return std::nullopt;
@@ -249,12 +259,16 @@ std::optional<std::uint64_t> RankSelectVbp(const VbpColumn& column,
     const int j = jb - g * tau;
     const int width = column.GroupWidth(g);
     std::uint64_t c = 0;
-    for (std::size_t q = 0; q < quads; ++q) {
-      const Word256 cand = Word256::Load(v.data() + q * 4);
-      if (cand.IsZero()) continue;
-      c += (cand & Word256::Load(QuadWordPtr(column, g, q, width, j)))
-               .PopcountSum();
-    }
+    const bool ok = ForEachCancellableBatch(
+        cancel, 0, quads, [&](std::size_t qb, std::size_t qe) {
+          for (std::size_t q = qb; q < qe; ++q) {
+            const Word256 cand = Word256::Load(v.data() + q * 4);
+            if (cand.IsZero()) continue;
+            c += (cand & Word256::Load(QuadWordPtr(column, g, q, width, j)))
+                     .PopcountSum();
+          }
+        });
+    if (!ok) return std::nullopt;
     const bool bit_is_one = u - c < r;
     if (bit_is_one) {
       result |= std::uint64_t{1} << (k - 1 - jb);
@@ -263,27 +277,34 @@ std::optional<std::uint64_t> RankSelectVbp(const VbpColumn& column,
     } else {
       u -= c;
     }
-    for (std::size_t q = 0; q < quads; ++q) {
-      Word256 cand = Word256::Load(v.data() + q * 4);
-      if (cand.IsZero()) continue;
-      const Word256 x = Word256::Load(QuadWordPtr(column, g, q, width, j));
-      cand = bit_is_one ? (cand & x) : AndNot(x, cand);
-      cand.Store(v.data() + q * 4);
+    if (!ForEachCancellableBatch(
+            cancel, 0, quads, [&](std::size_t qb, std::size_t qe) {
+              for (std::size_t q = qb; q < qe; ++q) {
+                Word256 cand = Word256::Load(v.data() + q * 4);
+                if (cand.IsZero()) continue;
+                const Word256 x =
+                    Word256::Load(QuadWordPtr(column, g, q, width, j));
+                cand = bit_is_one ? (cand & x) : AndNot(x, cand);
+                cand.Store(v.data() + q * 4);
+              }
+            })) {
+      return std::nullopt;
     }
   }
   return result;
 }
 
 std::optional<std::uint64_t> MedianVbp(const VbpColumn& column,
-                                       const FilterBitVector& filter) {
+                                       const FilterBitVector& filter,
+                                       const CancelContext* cancel) {
   const std::uint64_t count = filter.CountOnes();
   if (count == 0) return std::nullopt;
-  return RankSelectVbp(column, filter, LowerMedianRank(count));
+  return RankSelectVbp(column, filter, LowerMedianRank(count), cancel);
 }
 
 AggregateResult AggregateVbp(const VbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
-                             std::uint64_t rank) {
+                             std::uint64_t rank, const CancelContext* cancel) {
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -292,19 +313,19 @@ AggregateResult AggregateVbp(const VbpColumn& column,
       break;
     case AggKind::kSum:
     case AggKind::kAvg:
-      result.sum = SumVbp(column, filter);
+      result.sum = SumVbp(column, filter, cancel);
       break;
     case AggKind::kMin:
-      result.value = MinVbp(column, filter);
+      result.value = MinVbp(column, filter, cancel);
       break;
     case AggKind::kMax:
-      result.value = MaxVbp(column, filter);
+      result.value = MaxVbp(column, filter, cancel);
       break;
     case AggKind::kMedian:
-      result.value = MedianVbp(column, filter);
+      result.value = MedianVbp(column, filter, cancel);
       break;
     case AggKind::kRank:
-      result.value = RankSelectVbp(column, filter, rank);
+      result.value = RankSelectVbp(column, filter, rank, cancel);
       break;
   }
   return result;

@@ -22,6 +22,7 @@
 #include "layout/vbp_column.h"
 #include "scan/predicate.h"
 #include "simd/word256.h"
+#include "util/cancellation.h"
 
 namespace icp::simd {
 
@@ -42,7 +43,8 @@ void AccumulateBitSumsVbp(const VbpColumn& column,
                           const FilterBitVector& filter,
                           std::size_t quad_begin, std::size_t quad_end,
                           std::uint64_t* bit_sums);
-UInt128 SumVbp(const VbpColumn& column, const FilterBitVector& filter);
+UInt128 SumVbp(const VbpColumn& column, const FilterBitVector& filter,
+               const CancelContext* cancel = nullptr);
 
 /// MIN/MAX: 256-value slot-wise extreme state (k Word256 entries).
 void InitSlotExtremeVbp(int k, bool is_min, Word256* temp);
@@ -53,21 +55,27 @@ void SlotExtremeRangeVbp(const VbpColumn& column,
 /// Collapses a 256-slot state to the extreme value.
 std::uint64_t ExtremeOfSlotsVbp(const Word256* temp, int k, bool is_min);
 std::optional<std::uint64_t> MinVbp(const VbpColumn& column,
-                                    const FilterBitVector& filter);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr);
 std::optional<std::uint64_t> MaxVbp(const VbpColumn& column,
-                                    const FilterBitVector& filter);
+                                    const FilterBitVector& filter,
+                                    const CancelContext* cancel = nullptr);
 
 /// MEDIAN / r-selection on 256-bit candidate vectors.
 std::optional<std::uint64_t> RankSelectVbp(const VbpColumn& column,
                                            const FilterBitVector& filter,
-                                           std::uint64_t r);
+                                           std::uint64_t r,
+                                           const CancelContext* cancel =
+                                               nullptr);
 std::optional<std::uint64_t> MedianVbp(const VbpColumn& column,
-                                       const FilterBitVector& filter);
+                                       const FilterBitVector& filter,
+                                       const CancelContext* cancel = nullptr);
 
 /// Dispatcher mirroring vbp::Aggregate.
 AggregateResult AggregateVbp(const VbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
-                             std::uint64_t rank = 0);
+                             std::uint64_t rank = 0,
+                             const CancelContext* cancel = nullptr);
 
 }  // namespace icp::simd
 

@@ -25,6 +25,14 @@
 //   thread_pool/task     — ThreadPool::RunPerThread: one worker's task is
 //                          dropped; the region completes and the failure is
 //                          surfaced via ThreadPool::TakeTaskFailure()
+//   csv_loader/open      — LoadCsv: opening the file fails (permissions,
+//                          missing mount) even though it exists
+//   csv_loader/read      — LoadFromStream: stream error mid-file; the loader
+//                          returns a Status instead of a partial table
+//   query_parser/lex     — Lexer::Run: lexer-internal failure before
+//                          tokenizing
+//   query_parser/parse   — ParseQuery/ParsePredicate: parser-internal
+//                          failure; partial expression trees must not leak
 
 #ifndef ICP_UTIL_FAILPOINT_H_
 #define ICP_UTIL_FAILPOINT_H_

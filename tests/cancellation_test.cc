@@ -12,8 +12,12 @@
 #include <thread>
 #include <vector>
 
+#include "core/naive_aggregate.h"
+#include "core/padded_aggregate.h"
 #include "engine/engine.h"
 #include "engine/table.h"
+#include "simd/hbp_simd.h"
+#include "simd/vbp_simd.h"
 #include "util/random.h"
 
 namespace icp {
@@ -227,6 +231,109 @@ TEST(CancellationTest, MultiAndGroupByQueriesCancel) {
   auto grouped = engine.ExecuteGroupBy(table, q, "g");
   ASSERT_FALSE(grouped.ok());
   EXPECT_EQ(grouped.status().code(), StatusCode::kCancelled);
+}
+
+// The cancellation checks live inside the kernels, not just in the engine
+// driver above them: a pre-stopped context must stop every kernel before it
+// accumulates anything, and order statistics must come back empty.
+TEST(CancellationTest, KernelsObserveStoppedContextDirectly) {
+  Random rng(55);
+  const std::size_t n = 300000;
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.UniformInt(1, 1000));
+  Table table;
+  ASSERT_TRUE(table.AddColumn("vbp", v, {.layout = Layout::kVbp}).ok());
+  ASSERT_TRUE(table.AddColumn("hbp", v, {.layout = Layout::kHbp}).ok());
+  ASSERT_TRUE(table.AddColumn("nv", v, {.layout = Layout::kNaive}).ok());
+  ASSERT_TRUE(table.AddColumn("pd", v, {.layout = Layout::kPadded}).ok());
+
+  CancellationToken token = CancellationToken::Create();
+  token.RequestCancel();
+  const CancelContext stopped(token, std::nullopt);
+
+  auto filter_for = [&](const char* name) {
+    const Table::Column& c = **table.GetColumn(name);
+    FilterBitVector f(table.num_rows(), c.values_per_segment());
+    f.SetAll();
+    return f;
+  };
+
+  {
+    const Table::Column& c = **table.GetColumn("nv");
+    const FilterBitVector f = filter_for("nv");
+    EXPECT_NE(naive::Sum(c.naive(), f), UInt128{0});
+    EXPECT_EQ(naive::Sum(c.naive(), f, &stopped), UInt128{0});
+    EXPECT_EQ(naive::SumBranchless(c.naive(), f, &stopped), UInt128{0});
+    EXPECT_FALSE(naive::Median(c.naive(), f, &stopped).has_value());
+  }
+  {
+    const Table::Column& c = **table.GetColumn("pd");
+    const FilterBitVector f = filter_for("pd");
+    EXPECT_NE(padded::Sum(c.padded(), f), UInt128{0});
+    EXPECT_EQ(padded::Sum(c.padded(), f, &stopped), UInt128{0});
+    EXPECT_FALSE(padded::Min(c.padded(), f, &stopped).has_value());
+  }
+  {
+    const Table::Column& c = **table.GetColumn("vbp");
+    const FilterBitVector f = filter_for("vbp");
+    EXPECT_NE(simd::SumVbp(c.vbp_simd(), f), UInt128{0});
+    EXPECT_EQ(simd::SumVbp(c.vbp_simd(), f, &stopped), UInt128{0});
+    EXPECT_FALSE(simd::MaxVbp(c.vbp_simd(), f, &stopped).has_value());
+    EXPECT_FALSE(
+        simd::RankSelectVbp(c.vbp_simd(), f, n / 2, &stopped).has_value());
+  }
+  {
+    const Table::Column& c = **table.GetColumn("hbp");
+    const FilterBitVector f = filter_for("hbp");
+    EXPECT_NE(simd::SumHbp(c.hbp_simd(), f), UInt128{0});
+    EXPECT_EQ(simd::SumHbp(c.hbp_simd(), f, &stopped), UInt128{0});
+    EXPECT_FALSE(simd::MinHbp(c.hbp_simd(), f, &stopped).has_value());
+    EXPECT_FALSE(
+        simd::RankSelectHbp(c.hbp_simd(), f, n / 2, &stopped).has_value());
+  }
+}
+
+class SimdCancelQueryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimdCancelQueryTest, SimdPathIsCancellableToo) {
+  const Table table = MakeBigTable(100000);
+  CancellationToken token = CancellationToken::Create();
+  token.RequestCancel();
+  Engine engine(ExecOptions{
+      .threads = GetParam(), .simd = true, .cancel_token = token});
+  auto result = engine.Execute(table, MedianQuery());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, SimdCancelQueryTest,
+                         ::testing::Values(1, 4));
+
+// Mid-kernel cancellation on a large table through the SIMD path: the
+// cancel lands while a kernel is running, not between engine phases.
+TEST(CancellationTest, SimdQueryCancelsMidKernelOnLargeTable) {
+  const Table table = MakeBigTable(4'000'000);
+  CancellationToken token = CancellationToken::Create();
+  Engine engine(ExecOptions{.threads = 1, .simd = true,
+                            .cancel_token = token});
+
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(milliseconds(2));
+    token.RequestCancel();
+  });
+  auto result = engine.Execute(table, MedianQuery());
+  canceller.join();
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+  // The engine stays usable and correct after the cancel.
+  Engine fresh(ExecOptions{.threads = 1, .simd = true});
+  auto full = fresh.Execute(table, MedianQuery());
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  Engine scalar(ExecOptions{.threads = 1});
+  auto reference = scalar.Execute(table, MedianQuery());
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(full->decoded_value, reference->decoded_value);
 }
 
 TEST(CancellationTest, StandaloneFilterAndAggregateHonourToken) {

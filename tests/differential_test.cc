@@ -1,0 +1,230 @@
+// Differential correctness harness: seed-replayable random tables and
+// queries, executed across every layout (naive / NBP / padded / VBP / HBP),
+// every kernel tier (forced via kern::ForceTier, same mechanism as the
+// ICP_FORCE_KERNEL env var) and thread counts {1, 4}, cross-checked against
+// the naive scalar oracle.
+//
+// On a mismatch the assertion message prints the seed, query, layout, tier
+// and thread count; re-running with ICP_DIFF_SEED=<seed> replays exactly
+// that table and query set.
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "engine/table.h"
+#include "simd/dispatch.h"
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+struct RandomQuery {
+  Query query;
+  std::string description;
+};
+
+// One random table: the same value vector encoded under every layout, so a
+// single logical query can run against each encoding and must agree.
+struct RandomTable {
+  Table table;
+  std::size_t num_rows = 0;
+};
+
+constexpr const char* kLayoutColumns[] = {"v_naive", "v_padded", "v_vbp",
+                                          "v_hbp"};
+
+RandomTable MakeRandomTable(std::uint64_t seed) {
+  Random rng(seed);
+  RandomTable out;
+  out.num_rows = 1000 + rng.UniformInt(0, 9000);
+  // Random domain: width 1..16 bits, shifted so negative minima are hit too.
+  const std::uint64_t width = 1 + rng.UniformInt(0, 15);
+  const std::int64_t min_value =
+      static_cast<std::int64_t>(rng.UniformInt(0, 2000)) - 1000;
+  std::vector<std::int64_t> v(out.num_rows);
+  for (auto& x : v) {
+    x = min_value + static_cast<std::int64_t>(
+                        rng.UniformInt(0, (std::uint64_t{1} << width) - 1));
+  }
+  ICP_CHECK(out.table.AddColumn("v_naive", v, {.layout = Layout::kNaive})
+                .ok());
+  ICP_CHECK(out.table.AddColumn("v_padded", v, {.layout = Layout::kPadded})
+                .ok());
+  ICP_CHECK(out.table.AddColumn("v_vbp", v, {.layout = Layout::kVbp}).ok());
+  ICP_CHECK(out.table.AddColumn("v_hbp", v, {.layout = Layout::kHbp}).ok());
+  return out;
+}
+
+// A random aggregate + predicate against `column`. The predicate constants
+// are drawn wider than the value domain so out-of-domain and empty-result
+// cases come up naturally.
+RandomQuery MakeRandomQuery(Random& rng, const std::string& column,
+                            std::uint64_t num_rows) {
+  static const AggKind kAggs[] = {AggKind::kCount, AggKind::kSum,
+                                  AggKind::kAvg,   AggKind::kMin,
+                                  AggKind::kMax,   AggKind::kMedian,
+                                  AggKind::kRank};
+  static const CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe,
+                                   CompareOp::kLt, CompareOp::kLe,
+                                   CompareOp::kGt, CompareOp::kGe,
+                                   CompareOp::kBetween};
+  RandomQuery out;
+  out.query.agg = kAggs[rng.UniformInt(0, 6)];
+  out.query.agg_column = column;
+  if (out.query.agg == AggKind::kRank) {
+    out.query.rank = 1 + rng.UniformInt(0, num_rows - 1);
+  }
+  std::ostringstream desc;
+  desc << "agg=" << static_cast<int>(out.query.agg)
+       << " rank=" << out.query.rank;
+  if (rng.Bernoulli(0.15)) {
+    desc << " filter=none";
+  } else {
+    const CompareOp op = kOps[rng.UniformInt(0, 6)];
+    const std::int64_t c1 =
+        static_cast<std::int64_t>(rng.UniformInt(0, 70000)) - 2000;
+    const std::int64_t c2 =
+        c1 + static_cast<std::int64_t>(rng.UniformInt(0, 30000));
+    out.query.filter = FilterExpr::Compare(column, op, c1, c2);
+    desc << " filter=op" << static_cast<int>(op) << "(" << c1 << "," << c2
+         << ")";
+  }
+  out.description = desc.str();
+  return out;
+}
+
+// Retargets a query (built against one layout's column) at another layout.
+Query Retarget(const RandomQuery& rq, const std::string& column) {
+  Query q = rq.query;
+  q.agg_column = column;
+  if (q.filter != nullptr) {
+    // The filter tree is a single leaf (see MakeRandomQuery); rebuild it
+    // against the new column.
+    q.filter = FilterExpr::Compare(column, q.filter->op(),
+                                   q.filter->value(), q.filter->value2());
+  }
+  return q;
+}
+
+void ExpectSameResult(const QueryResult& got, const QueryResult& want,
+                      const std::string& context) {
+  EXPECT_EQ(got.count, want.count) << context;
+  EXPECT_EQ(got.code_sum, want.code_sum) << context;
+  EXPECT_EQ(got.decoded_value.has_value(), want.decoded_value.has_value())
+      << context;
+  if (got.decoded_value.has_value() && want.decoded_value.has_value()) {
+    EXPECT_EQ(*got.decoded_value, *want.decoded_value) << context;
+  }
+  // SUM/AVG doubles are computed from (count, code_sum, min) the same way
+  // everywhere, so they must match bit-for-bit, not just approximately.
+  EXPECT_EQ(got.value, want.value) << context;
+}
+
+// Engine configurations exercised per layout. Naive/padded layouts have one
+// execution path; VBP/HBP have scalar bit-parallel, SIMD bit-parallel and
+// the non-bit-parallel fallback.
+std::vector<ExecOptions> ConfigsFor(const std::string& column, int threads) {
+  std::vector<ExecOptions> configs;
+  if (column == "v_vbp" || column == "v_hbp") {
+    configs.push_back(
+        {.method = AggMethod::kBitParallel, .threads = threads});
+    configs.push_back({.method = AggMethod::kBitParallel,
+                       .threads = threads,
+                       .simd = true});
+    configs.push_back(
+        {.method = AggMethod::kNonBitParallel, .threads = threads});
+  } else {
+    configs.push_back({.threads = threads});
+  }
+  return configs;
+}
+
+std::uint64_t BaseSeed() {
+  if (const char* env = std::getenv("ICP_DIFF_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260805;
+}
+
+TEST(DifferentialTest, AllLayoutsTiersAndThreadCountsAgreeWithOracle) {
+  const int kSeeds = 4;
+  const int kQueriesPerSeed = 6;
+  const kern::Tier max_tier = kern::MaxSupportedTier();
+
+  for (int s = 0; s < kSeeds; ++s) {
+    const std::uint64_t seed = BaseSeed() + static_cast<std::uint64_t>(s);
+    const RandomTable rt = MakeRandomTable(seed);
+    Random qrng(seed ^ 0x9E3779B97F4A7C15ULL);
+
+    for (int qi = 0; qi < kQueriesPerSeed; ++qi) {
+      const RandomQuery rq =
+          MakeRandomQuery(qrng, "v_naive", rt.num_rows);
+
+      // Oracle: naive layout, scalar tier, single thread.
+      kern::ForceTier(kern::Tier::kScalar);
+      Engine oracle_engine(ExecOptions{.threads = 1});
+      auto oracle_or = oracle_engine.Execute(rt.table, rq.query);
+      kern::ForceTier(std::nullopt);
+      ASSERT_TRUE(oracle_or.ok())
+          << "seed=" << seed << " " << rq.description << ": "
+          << oracle_or.status().ToString();
+      const QueryResult oracle = *oracle_or;
+
+      for (int tier_i = 0; tier_i <= static_cast<int>(max_tier); ++tier_i) {
+        const auto tier = static_cast<kern::Tier>(tier_i);
+        kern::ForceTier(tier);
+        for (int threads : {1, 4}) {
+          for (const char* column : kLayoutColumns) {
+            const Query q = Retarget(rq, column);
+            for (const ExecOptions& base : ConfigsFor(column, threads)) {
+              ExecOptions options = base;
+              Engine engine(options);
+              auto result = engine.Execute(rt.table, q);
+              std::ostringstream context;
+              context << "seed=" << seed << " query{" << rq.description
+                      << "} layout=" << column
+                      << " tier=" << kern::TierName(tier)
+                      << " threads=" << threads << " method="
+                      << (options.method == AggMethod::kBitParallel ? "bp"
+                                                                    : "nbp")
+                      << " simd=" << options.simd
+                      << " (replay with ICP_DIFF_SEED=" << BaseSeed()
+                      << ")";
+              ASSERT_TRUE(result.ok())
+                  << context.str() << ": " << result.status().ToString();
+              ExpectSameResult(*result, oracle, context.str());
+            }
+          }
+        }
+        kern::ForceTier(std::nullopt);
+      }
+    }
+  }
+}
+
+// The env-var override path: ICP_FORCE_KERNEL is read once at startup, so
+// this test only checks that a forced tier (exported by the CI job) is
+// reflected by ActiveTier() and still aggregates correctly.
+TEST(DifferentialTest, ActiveTierMatchesForcedEnvironment) {
+  const char* forced = std::getenv("ICP_FORCE_KERNEL");
+  if (forced == nullptr) {
+    GTEST_SKIP() << "ICP_FORCE_KERNEL not set";
+  }
+  kern::Tier want;
+  ASSERT_TRUE(kern::ParseTier(forced, &want))
+      << "unparseable ICP_FORCE_KERNEL=" << forced;
+  if (static_cast<int>(want) > static_cast<int>(kern::MaxSupportedTier())) {
+    want = kern::MaxSupportedTier();  // env tiers clamp, with a warning
+  }
+  EXPECT_EQ(kern::ActiveTier(), want);
+}
+
+}  // namespace
+}  // namespace icp

@@ -1,0 +1,144 @@
+// Unit tests for the kernel registry: tier parsing/selection, the
+// programmatic override, and bit-exact agreement of every tier's kernels on
+// random inputs (including ragged tails that don't fill a CSA block).
+
+#include "simd/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+TEST(DispatchTest, TierNamesRoundTrip) {
+  for (kern::Tier tier : {kern::Tier::kScalar, kern::Tier::kSse64,
+                          kern::Tier::kAvx2}) {
+    kern::Tier parsed;
+    ASSERT_TRUE(kern::ParseTier(kern::TierName(tier), &parsed));
+    EXPECT_EQ(parsed, tier);
+  }
+  kern::Tier parsed;
+  EXPECT_FALSE(kern::ParseTier("avx512", &parsed));
+  EXPECT_FALSE(kern::ParseTier("", &parsed));
+}
+
+TEST(DispatchTest, ActiveTierNeverExceedsSupport) {
+  EXPECT_LE(static_cast<int>(kern::ActiveTier()),
+            static_cast<int>(kern::MaxSupportedTier()));
+}
+
+TEST(DispatchTest, ForceTierOverridesAndClamps) {
+  kern::ForceTier(kern::Tier::kScalar);
+  EXPECT_EQ(kern::ActiveTier(), kern::Tier::kScalar);
+  EXPECT_STREQ(kern::Ops().name, "scalar");
+
+  // Forcing above the CPU's capability degrades to the best supported tier.
+  kern::ForceTier(kern::Tier::kAvx2);
+  EXPECT_EQ(kern::ActiveTier(), kern::MaxSupportedTier() < kern::Tier::kAvx2
+                                    ? kern::MaxSupportedTier()
+                                    : kern::Tier::kAvx2);
+
+  kern::ForceTier(std::nullopt);
+  EXPECT_LE(static_cast<int>(kern::ActiveTier()),
+            static_cast<int>(kern::MaxSupportedTier()));
+}
+
+std::vector<Word> RandomWords(Random& rng, std::size_t n) {
+  std::vector<Word> words(n);
+  for (auto& w : words) {
+    w = rng.UniformInt(0, ~std::uint64_t{0} - 1);
+  }
+  return words;
+}
+
+// Sizes chosen to land on and around the kernels' internal block sizes
+// (8-word CSA blocks, 16x4-word AVX2 blocks): 0, tiny, one block, one block
+// +/- 1, and a large ragged size.
+const std::size_t kSizes[] = {0, 1, 7, 8, 9, 63, 64, 65, 1024, 1339};
+
+TEST(DispatchTest, PopcountKernelsAgreeAcrossTiers) {
+  Random rng(99);
+  const kern::KernelOps& scalar = kern::OpsFor(kern::Tier::kScalar);
+  for (const std::size_t n : kSizes) {
+    const std::vector<Word> a = RandomWords(rng, n);
+    const std::vector<Word> b = RandomWords(rng, n);
+    const std::uint64_t want_words = scalar.popcount_words(a.data(), n);
+    const std::uint64_t want_and = scalar.popcount_and(a.data(), b.data(), n);
+    for (int t = 0; t <= static_cast<int>(kern::MaxSupportedTier()); ++t) {
+      const kern::KernelOps& ops = kern::OpsFor(static_cast<kern::Tier>(t));
+      EXPECT_EQ(ops.popcount_words(a.data(), n), want_words)
+          << "tier=" << ops.name << " n=" << n;
+      EXPECT_EQ(ops.popcount_and(a.data(), b.data(), n), want_and)
+          << "tier=" << ops.name << " n=" << n;
+    }
+  }
+}
+
+TEST(DispatchTest, VbpBitSumKernelsAgreeAcrossTiers) {
+  Random rng(100);
+  for (const int width : {1, 3, 10, 17}) {
+    for (const std::size_t n : kSizes) {
+      const std::vector<Word> data = RandomWords(rng, n * width);
+      const std::vector<Word> filter = RandomWords(rng, n);
+      std::vector<std::uint64_t> want(width, 0);
+      kern::OpsFor(kern::Tier::kScalar)
+          .vbp_bit_sums(data.data(), filter.data(), n, width, want.data());
+      for (int t = 0; t <= static_cast<int>(kern::MaxSupportedTier()); ++t) {
+        const kern::KernelOps& ops =
+            kern::OpsFor(static_cast<kern::Tier>(t));
+        std::vector<std::uint64_t> got(width, 0);
+        ops.vbp_bit_sums(data.data(), filter.data(), n, width, got.data());
+        EXPECT_EQ(got, want) << "tier=" << ops.name << " width=" << width
+                             << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(DispatchTest, VbpQuadBitSumKernelsAgreeAcrossTiers) {
+  Random rng(101);
+  for (const int width : {1, 3, 10, 17}) {
+    for (const std::size_t quads : kSizes) {
+      const std::vector<Word> data = RandomWords(rng, quads * width * 4);
+      const std::vector<Word> filter = RandomWords(rng, quads * 4);
+      std::vector<std::uint64_t> want(width, 0);
+      kern::OpsFor(kern::Tier::kScalar)
+          .vbp_bit_sums_quads(data.data(), filter.data(), quads, width,
+                              want.data());
+      for (int t = 0; t <= static_cast<int>(kern::MaxSupportedTier()); ++t) {
+        const kern::KernelOps& ops =
+            kern::OpsFor(static_cast<kern::Tier>(t));
+        std::vector<std::uint64_t> got(width, 0);
+        ops.vbp_bit_sums_quads(data.data(), filter.data(), quads, width,
+                               got.data());
+        EXPECT_EQ(got, want) << "tier=" << ops.name << " width=" << width
+                             << " quads=" << quads;
+      }
+    }
+  }
+}
+
+// Sums accumulate (+=): a second call adds on top of the first.
+TEST(DispatchTest, BitSumsAccumulateIntoExistingTotals) {
+  Random rng(102);
+  const int width = 5;
+  const std::size_t n = 100;
+  const std::vector<Word> data = RandomWords(rng, n * width);
+  const std::vector<Word> filter = RandomWords(rng, n);
+  std::vector<std::uint64_t> once(width, 0), twice(width, 0);
+  const kern::KernelOps& ops = kern::Ops();
+  ops.vbp_bit_sums(data.data(), filter.data(), n, width, once.data());
+  ops.vbp_bit_sums(data.data(), filter.data(), n, width, twice.data());
+  ops.vbp_bit_sums(data.data(), filter.data(), n, width, twice.data());
+  for (int j = 0; j < width; ++j) {
+    EXPECT_EQ(twice[j], 2 * once[j]) << "plane " << j;
+  }
+}
+
+}  // namespace
+}  // namespace icp

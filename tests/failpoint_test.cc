@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/query_parser.h"
 #include "engine/table.h"
+#include "io/csv_loader.h"
 #include "io/table_io.h"
 #include "parallel/thread_pool.h"
 #include "util/random.h"
@@ -217,6 +219,72 @@ TEST_F(FailpointTest, EngineTurnsDroppedTaskIntoStatus) {
   ASSERT_TRUE(reference.ok());
   EXPECT_EQ(again->count, reference->count);
   EXPECT_EQ(again->code_sum, reference->code_sum);
+}
+
+TEST_F(FailpointTest, CsvOpenFailureReturnsNotFound) {
+  const std::string path = TempPath("fp_csv_open.csv");
+  {
+    std::ofstream out(path);
+    out << "v\n1\n2\n3\n";
+  }
+  const std::vector<io::CsvColumnSpec> specs = {{.name = "v"}};
+
+  fail::EnableAlways("csv_loader/open");
+  const auto result = io::LoadCsv(path, specs);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  fail::DisableAll();
+
+  auto again = io::LoadCsv(path, specs);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->num_rows(), 3u);
+}
+
+TEST_F(FailpointTest, CsvReadFailureMidFileReturnsStatusNotPartialTable) {
+  const std::string path = TempPath("fp_csv_read.csv");
+  {
+    std::ofstream out(path);
+    out << "v\n";
+    for (int i = 0; i < 100; ++i) out << i << "\n";
+  }
+  const std::vector<io::CsvColumnSpec> specs = {{.name = "v"}};
+
+  // Fail on a data line mid-file: no partial table may escape.
+  fail::EnableEveryNth("csv_loader/read", 50);
+  const auto result = io::LoadCsv(path, specs);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  fail::DisableAll();
+
+  auto again = io::LoadCsv(path, specs);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->num_rows(), 100u);
+}
+
+TEST_F(FailpointTest, LexerFailureSurfacesAsStatus) {
+  fail::EnableAlways("query_parser/lex");
+  const auto q = ParseQuery("SELECT SUM(v) WHERE v > 10");
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInternal);
+  const auto p = ParsePredicate("v > 10");
+  EXPECT_FALSE(p.ok());
+  fail::DisableAll();
+  EXPECT_TRUE(ParseQuery("SELECT SUM(v) WHERE v > 10").ok());
+}
+
+TEST_F(FailpointTest, ParserFailureSurfacesAsStatusAndLeaksNothing) {
+  // A deep predicate allocates a partially built expression tree; under
+  // ASan this test also proves the failure path releases it.
+  const std::string sql =
+      "SELECT SUM(v) WHERE (a > 1 AND b < 2) OR NOT (c = 3 AND d != 4)";
+  fail::EnableAlways("query_parser/parse");
+  const auto q = ParseQuery(sql);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInternal);
+  const auto p = ParsePredicate("(a > 1 AND b < 2) OR c = 3");
+  EXPECT_FALSE(p.ok());
+  fail::DisableAll();
+  EXPECT_TRUE(ParseQuery(sql).ok());
 }
 
 TEST(FailpointConfigTest, ReleaseBuildsAreInert) {

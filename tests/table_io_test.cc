@@ -1,6 +1,7 @@
 #include "io/table_io.h"
 
 #include <gtest/gtest.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdint>
@@ -259,6 +260,48 @@ TEST(TableIoTest, HugeCountFieldsAreRejectedWithoutAllocating) {
   auto result = io::ReadTable(path);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableIoTest, SweepRemovesOrphansAndKeepsCompletedTables) {
+  // A crash between staging and rename leaves "<name>.tmp.<pid>" files
+  // behind; the startup sweep must delete exactly those.
+  const std::string dir = TempPath("sweep_dir");
+  ::mkdir(dir.c_str(), 0755);
+
+  const Table table = MakeRichTable(2000);
+  const std::string survivor = dir + "/survivor.icptbl";
+  ASSERT_TRUE(io::WriteTable(table, survivor).ok());
+
+  auto plant = [&](const std::string& name) {
+    std::ofstream out(dir + "/" + name, std::ios::binary);
+    out << "partial garbage from a crashed writer";
+  };
+  plant("crashed.icptbl.tmp.12345");
+  plant("other.icptbl.tmp.999");
+  // Not staging files: wrong suffix shape, or no base name.
+  plant("keep.icptbl.tmp.12x45");
+  plant("keep2.tmp.notdigits");
+  plant(".tmp.777");
+
+  int removed = -1;
+  ASSERT_TRUE(io::SweepOrphanedStagingFiles(dir, &removed).ok());
+  EXPECT_EQ(removed, 2);
+  EXPECT_FALSE(std::ifstream(dir + "/crashed.icptbl.tmp.12345").good());
+  EXPECT_FALSE(std::ifstream(dir + "/other.icptbl.tmp.999").good());
+  EXPECT_TRUE(std::ifstream(dir + "/keep.icptbl.tmp.12x45").good());
+  EXPECT_TRUE(std::ifstream(dir + "/keep2.tmp.notdigits").good());
+  EXPECT_TRUE(std::ifstream(dir + "/.tmp.777").good());
+
+  // The completed table is untouched and still loads with a clean checksum.
+  auto loaded = io::ReadTable(survivor);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_rows(), table.num_rows());
+
+  // Idempotent: a second sweep finds nothing.
+  ASSERT_TRUE(io::SweepOrphanedStagingFiles(dir, &removed).ok());
+  EXPECT_EQ(removed, 0);
+
+  EXPECT_FALSE(io::SweepOrphanedStagingFiles(dir + "/nope").ok());
 }
 
 TEST(TableIoTest, PackedFileIsCompact) {

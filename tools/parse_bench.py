@@ -3,6 +3,7 @@
 
 Usage:
     tools/parse_bench.py bench_output.txt out_dir/
+    tools/parse_bench.py --kernel-json google_benchmark.json out.json
 
 Emits one CSV per recognized table in the harness output (figure 5/6 style
 series tables, the Figure 8 matrix, and the Table II query tables), named
@@ -16,12 +17,98 @@ The parser is intentionally forgiving: it keys on the harness banner lines
 ("== build/bench/bench_... ==") and on bracketed section headers, and turns
 whitespace-separated numeric rows into CSV. Anything it does not recognize
 is ignored, so harness prose can evolve freely.
+
+The --kernel-json mode instead reads google-benchmark JSON output from
+bench_kernels (run with --benchmark_format=json) and distills the
+kernel-tier series into a compact record: one row per (benchmark, tier,
+args) with items/second, plus per-benchmark speedups of each tier over the
+scalar tier. This is the file committed as BENCH_kernels.json to track the
+kernel perf trajectory across PRs.
 """
 
 import csv
+import json
 import os
 import re
 import sys
+
+TIER_NAMES = {0: "scalar", 1: "sse", 2: "avx2"}
+
+
+def parse_kernel_bench_name(name: str):
+    """Splits 'BM_VbpSum/tier:2/k:10' into ('BM_VbpSum', 2, {'k': 10})."""
+    parts = name.split("/")
+    tier = None
+    args = {}
+    for part in parts[1:]:
+        if ":" in part:
+            key, _, value = part.partition(":")
+            try:
+                value = int(value)
+            except ValueError:
+                continue
+            if key == "tier":
+                tier = value
+            else:
+                args[key] = value
+    return parts[0], tier, args
+
+
+def kernel_json_main(source: str, out_path: str) -> int:
+    with open(source) as f:
+        data = json.load(f)
+
+    rows = []
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        base, tier, args = parse_kernel_bench_name(bench.get("name", ""))
+        if tier is None:
+            continue  # not a tier-parameterized benchmark
+        row = {
+            "benchmark": base,
+            "tier": TIER_NAMES.get(tier, str(tier)),
+            "args": args,
+        }
+        if "error_occurred" in bench:
+            row["skipped"] = bench.get("error_message", "skipped")
+        else:
+            row["items_per_second"] = bench.get("items_per_second")
+            row["cpu_time_ns"] = bench.get("cpu_time")
+        rows.append(row)
+
+    # Speedup of each tier over scalar, per (benchmark, non-tier args).
+    speedups = {}
+    by_key = {}
+    for row in rows:
+        if "items_per_second" not in row:
+            continue
+        key = row["benchmark"] + "".join(
+            f"/{k}:{v}" for k, v in sorted(row["args"].items()))
+        by_key.setdefault(key, {})[row["tier"]] = row["items_per_second"]
+    for key, tiers in sorted(by_key.items()):
+        scalar = tiers.get("scalar")
+        if not scalar:
+            continue
+        speedups[key] = {
+            f"{tier}_vs_scalar": round(rate / scalar, 3)
+            for tier, rate in tiers.items() if tier != "scalar"
+        }
+
+    out = {
+        "source": os.path.basename(source),
+        "context": {
+            k: data.get("context", {}).get(k)
+            for k in ("host_name", "num_cpus", "mhz_per_cpu", "date")
+        },
+        "benchmarks": rows,
+        "speedups": speedups,
+    }
+    with open(out_path, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(out_path)
+    return 0
 
 
 def slugify(text: str) -> str:
@@ -38,6 +125,8 @@ def is_number(token: str) -> bool:
 
 
 def main() -> int:
+    if len(sys.argv) == 4 and sys.argv[1] == "--kernel-json":
+        return kernel_json_main(sys.argv[2], sys.argv[3])
     if len(sys.argv) != 3:
         print(__doc__)
         return 2
