@@ -98,9 +98,12 @@ BENCHMARK(BM_FilterAnd);
 // positional-popcount kernels against the scalar per-plane popcount loop.
 // ---------------------------------------------------------------------------
 
-// True when this process can run `tier`; otherwise marks the run skipped.
+// True when this process can genuinely run `tier`; otherwise marks the run
+// skipped. Uses EffectiveTier so a tier that clamps to a lower table
+// (unsupported CPU feature or compiled-out TU) records a skip instead of
+// silently re-measuring the lower tier under the higher tier's name.
 bool RequireTier(benchmark::State& state, kern::Tier tier) {
-  if (static_cast<int>(tier) <= static_cast<int>(kern::MaxSupportedTier())) {
+  if (kern::EffectiveTier(tier) == tier) {
     return true;
   }
   state.SkipWithError("tier unsupported on this CPU");
@@ -150,9 +153,11 @@ BENCHMARK(BM_VbpBitSumsQuads)
     ->Args({0, 10})
     ->Args({1, 10})
     ->Args({2, 10})
+    ->Args({3, 10})
     ->Args({0, 25})
     ->Args({1, 25})
-    ->Args({2, 25});
+    ->Args({2, 25})
+    ->Args({3, 25});
 
 // Full VBP SUM through the registry (bit sums + weighting), per tier.
 void BM_VbpSum(benchmark::State& state) {
@@ -175,7 +180,8 @@ BENCHMARK(BM_VbpSum)
     ->ArgNames({"tier", "k"})
     ->Args({0, 10})
     ->Args({1, 10})
-    ->Args({2, 10});
+    ->Args({2, 10})
+    ->Args({3, 10});
 
 // Full HBP SUM per tier; the AVX2 tier additionally enables the
 // widened-accumulator in-word-sum path.
@@ -199,7 +205,8 @@ BENCHMARK(BM_HbpSum)
     ->ArgNames({"tier", "k"})
     ->Args({0, 10})
     ->Args({1, 10})
-    ->Args({2, 10});
+    ->Args({2, 10})
+    ->Args({3, 10});
 
 // COUNT: plain popcount over the filter words, per tier.
 void BM_CountTier(benchmark::State& state) {
@@ -215,7 +222,97 @@ void BM_CountTier(benchmark::State& state) {
                           static_cast<std::int64_t>(kKernelTuples));
   state.SetLabel(std::string("tier=") + ops.name);
 }
-BENCHMARK(BM_CountTier)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_CountTier)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// Full VBP MIN through the registry (slot-extreme fold kernel), per tier.
+void BM_VbpMinTier(benchmark::State& state) {
+  const auto tier = static_cast<kern::Tier>(state.range(0));
+  if (!RequireTier(state, tier)) return;
+  const int k = static_cast<int>(state.range(1));
+  const auto codes = UniformCodes(kKernelTuples, k, 7);
+  const VbpColumn col = VbpColumn::Pack(codes, k, {.lanes = 4});
+  const FilterBitVector f = HalfFilter(kKernelTuples);
+  kern::ForceTier(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::MinVbp(col, f));
+  }
+  kern::ForceTier(std::nullopt);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+  state.SetLabel(std::string("tier=") + kern::OpsFor(tier).name);
+}
+BENCHMARK(BM_VbpMinTier)
+    ->ArgNames({"tier", "k"})
+    ->Args({0, 10})
+    ->Args({1, 10})
+    ->Args({2, 10})
+    ->Args({3, 10});
+
+// Full HBP MIN through the registry (sub-slot extreme fold), per tier.
+void BM_HbpMinTier(benchmark::State& state) {
+  const auto tier = static_cast<kern::Tier>(state.range(0));
+  if (!RequireTier(state, tier)) return;
+  const int k = static_cast<int>(state.range(1));
+  const auto codes = UniformCodes(kKernelTuples, k, 9);
+  const HbpColumn col = HbpColumn::Pack(codes, k, {.lanes = 4});
+  const FilterBitVector f = HalfFilter(kKernelTuples);
+  kern::ForceTier(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::MinHbp(col, f));
+  }
+  kern::ForceTier(std::nullopt);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+  state.SetLabel(std::string("tier=") + kern::OpsFor(tier).name);
+}
+BENCHMARK(BM_HbpMinTier)
+    ->ArgNames({"tier", "k"})
+    ->Args({0, 10})
+    ->Args({1, 10})
+    ->Args({2, 10})
+    ->Args({3, 10});
+
+// The rank/MEDIAN counting step: masked popcount of one bit-plane against
+// a candidate vector, per tier.
+void BM_MaskedPopcountTier(benchmark::State& state) {
+  const auto tier = static_cast<kern::Tier>(state.range(0));
+  if (!RequireTier(state, tier)) return;
+  const int k = 10;
+  const auto codes = UniformCodes(kKernelTuples, k, 7);
+  const VbpColumn col = VbpColumn::Pack(codes, k, {.lanes = 4});
+  const FilterBitVector f = HalfFilter(kKernelTuples);
+  const std::size_t num_quads = f.num_segments() / 4;
+  std::vector<Word> cand(f.words(), f.words() + num_quads * 4);
+  const kern::KernelOps& ops = kern::OpsFor(tier);
+  const int width = col.GroupWidth(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.masked_popcount(
+        col.GroupData(0), static_cast<std::size_t>(width) * 4, /*lanes=*/4,
+        cand.data(), num_quads));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+  state.SetLabel(std::string("tier=") + ops.name);
+}
+BENCHMARK(BM_MaskedPopcountTier)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+// Filter combine (AND) over the full filter, per tier.
+void BM_CombineTier(benchmark::State& state) {
+  const auto tier = static_cast<kern::Tier>(state.range(0));
+  if (!RequireTier(state, tier)) return;
+  FilterBitVector a = HalfFilter(kKernelTuples);
+  const FilterBitVector b = HalfFilter(kKernelTuples);
+  const kern::KernelOps& ops = kern::OpsFor(tier);
+  for (auto _ : state) {
+    ops.combine_words(a.words(), b.words(), a.num_segments(),
+                      static_cast<int>(kern::CombineOp::kAnd));
+    benchmark::DoNotOptimize(a.words());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+  state.SetLabel(std::string("tier=") + ops.name);
+}
+BENCHMARK(BM_CombineTier)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 }  // namespace
 }  // namespace icp::bench

@@ -30,33 +30,33 @@ std::uint64_t FilterBitVector::CountOnes() const {
 void FilterBitVector::And(const FilterBitVector& other) {
   ICP_CHECK_EQ(num_values_, other.num_values_);
   ICP_CHECK_EQ(vps_, other.vps_);
-  for (std::size_t s = 0; s < words_.size(); ++s) {
-    words_[s] &= other.words_[s];
-  }
+  kern::Ops().combine_words(words_.data(), other.words_.data(),
+                            words_.size(),
+                            static_cast<int>(kern::CombineOp::kAnd));
 }
 
 void FilterBitVector::Or(const FilterBitVector& other) {
   ICP_CHECK_EQ(num_values_, other.num_values_);
   ICP_CHECK_EQ(vps_, other.vps_);
-  for (std::size_t s = 0; s < words_.size(); ++s) {
-    words_[s] |= other.words_[s];
-  }
+  kern::Ops().combine_words(words_.data(), other.words_.data(),
+                            words_.size(),
+                            static_cast<int>(kern::CombineOp::kOr));
 }
 
 void FilterBitVector::Xor(const FilterBitVector& other) {
   ICP_CHECK_EQ(num_values_, other.num_values_);
   ICP_CHECK_EQ(vps_, other.vps_);
-  for (std::size_t s = 0; s < words_.size(); ++s) {
-    words_[s] ^= other.words_[s];
-  }
+  kern::Ops().combine_words(words_.data(), other.words_.data(),
+                            words_.size(),
+                            static_cast<int>(kern::CombineOp::kXor));
 }
 
 void FilterBitVector::AndNot(const FilterBitVector& other) {
   ICP_CHECK_EQ(num_values_, other.num_values_);
   ICP_CHECK_EQ(vps_, other.vps_);
-  for (std::size_t s = 0; s < words_.size(); ++s) {
-    words_[s] &= ~other.words_[s];
-  }
+  kern::Ops().combine_words(words_.data(), other.words_.data(),
+                            words_.size(),
+                            static_cast<int>(kern::CombineOp::kAndNot));
 }
 
 void FilterBitVector::Not() {

@@ -3,19 +3,10 @@
 #include <vector>
 
 #include "scan/hbp_scanner.h"
+#include "simd/dispatch.h"
 #include "util/check.h"
 
 namespace icp::hbp {
-namespace {
-
-// GET-VALUE-FILTER step 2 (paper Alg. 4): delimiter filter -> value mask.
-// Per passing field, 2^p - 2^(p-tau) sets exactly the tau value bits; the
-// subtraction never borrows across fields.
-inline Word ValueMaskFromDelimiters(Word md, int tau) {
-  return md - (md >> tau);
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // SUM (Algorithm 4)
@@ -28,31 +19,14 @@ void AccumulateGroupSums(const HbpColumn& column,
   ICP_CHECK_EQ(column.lanes(), 1);
   ICP_CHECK_LE(seg_end, filter.num_segments());
   const int s = column.field_width();
-  const int tau = column.tau();
   const int num_groups = column.num_groups();
-  const Word dm = DelimiterMask(s);
-  const InWordSumPlan plan(s);
-  const Word* f_words = filter.words();
-  // Paper Alg. 4 loop order: segment -> sub-segment -> word-group, so
-  // GET-VALUE-FILTER runs once per sub-segment and its mask is reused for
-  // every word-group word.
   const Word* bases[kWordBits];
-  std::uint64_t acc[kWordBits] = {};
   for (int g = 0; g < num_groups; ++g) {
     bases[g] = column.GroupData(g) + seg_begin * s;
   }
-  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
-    const Word f = f_words[seg];
-    for (int t = 0; t < s; ++t) {
-      const Word md = (f << t) & dm;
-      const Word m = ValueMaskFromDelimiters(md, tau);
-      for (int g = 0; g < num_groups; ++g) {
-        acc[g] += plan.Apply(bases[g][t] & m);
-      }
-    }
-    for (int g = 0; g < num_groups; ++g) bases[g] += s;
-  }
-  for (int g = 0; g < num_groups; ++g) group_sums[g] += acc[g];
+  kern::Ops().hbp_sum(bases, num_groups, s, column.tau(), /*lanes=*/1,
+                      filter.words() + seg_begin, seg_end - seg_begin,
+                      group_sums);
 }
 
 UInt128 CombineGroupSums(const HbpColumn& column,
@@ -85,45 +59,6 @@ void InitSubSlotExtreme(const HbpColumn& column, bool is_min, Word* temp) {
   }
 }
 
-namespace {
-
-// SUB-SLOTMIN/-MAX of one sub-segment into `temp`, restricted to the
-// delimiter filter `md`. `bases[g]` points at the segment's words in
-// word-group g; the sub-segment's word is bases[g][t].
-void FoldSubSegment(const Word* const* bases, int t, int num_groups,
-                    Word dm, int tau, Word md, bool is_min, Word* temp,
-                    AggStats* stats) {
-  Word eq = dm;
-  Word replace = 0;  // fields where the data beats the running extreme
-  if (stats != nullptr) ++stats->folds;
-  for (int g = 0; g < num_groups; ++g) {
-    const Word x = bases[g][t];
-    const Word y = temp[g];
-    const Word ge_xy = FieldGe(x, y, dm);
-    const Word ge_yx = FieldGe(y, x, dm);
-    const Word beats = is_min ? (ge_xy ^ dm) : (ge_yx ^ dm);
-    replace |= eq & beats;
-    eq &= ge_xy & ge_yx;
-    if (eq == 0) {
-      if (stats != nullptr && g + 1 < num_groups) {
-        ++stats->compare_early_stops;
-      }
-      break;  // every field decided: early stop
-    }
-  }
-  replace &= md;
-  if (replace == 0) {
-    if (stats != nullptr) ++stats->blends_skipped;
-    return;
-  }
-  const Word m = ValueMaskFromDelimiters(replace, tau);
-  for (int g = 0; g < num_groups; ++g) {
-    temp[g] = (m & bases[g][t]) | (~m & temp[g]);
-  }
-}
-
-}  // namespace
-
 void SubSlotExtremeRange(const HbpColumn& column,
                          const FilterBitVector& filter,
                          std::size_t seg_begin, std::size_t seg_end,
@@ -131,35 +66,36 @@ void SubSlotExtremeRange(const HbpColumn& column,
   ICP_CHECK_EQ(column.lanes(), 1);
   ICP_CHECK_LE(seg_end, filter.num_segments());
   const int s = column.field_width();
-  const int tau = column.tau();
   const int num_groups = column.num_groups();
-  const Word dm = DelimiterMask(s);
-  const Word* f_words = filter.words();
   const Word* bases[kWordBits];
-  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
-    const Word f = f_words[seg];
-    if (f == 0) {
-      if (stats != nullptr) ++stats->segments_skipped;
-      continue;
-    }
-    for (int g = 0; g < num_groups; ++g) {
-      bases[g] = column.GroupData(g) + seg * s;
-    }
-    for (int t = 0; t < s; ++t) {
-      const Word md = (f << t) & dm;
-      if (md == 0) continue;
-      FoldSubSegment(bases, t, num_groups, dm, tau, md, is_min, temp, stats);
-    }
+  for (int g = 0; g < num_groups; ++g) {
+    bases[g] = column.GroupData(g) + seg_begin * s;
+  }
+  kern::FoldCounters counters;
+  kern::Ops().hbp_extreme_fold(bases, num_groups, s, column.tau(),
+                               /*lanes=*/1, filter.words() + seg_begin,
+                               seg_end - seg_begin, is_min, temp,
+                               stats != nullptr ? &counters : nullptr);
+  if (stats != nullptr) {
+    stats->folds += counters.folds;
+    stats->compare_early_stops += counters.compare_early_stops;
+    stats->blends_skipped += counters.blends_skipped;
+    stats->segments_skipped += counters.segments_skipped;
   }
 }
 
 void MergeSubSlotExtreme(const HbpColumn& column, const Word* other,
                          bool is_min, Word* temp) {
+  // One single-word "segment" per group, with the full delimiter mask as
+  // the filter: only sub-segment 0 has a nonzero md, so the kernel never
+  // reads past the one word each bases[g] points at.
   const Word dm = DelimiterMask(column.field_width());
   const Word* bases[kWordBits];
   for (int g = 0; g < column.num_groups(); ++g) bases[g] = other + g;
-  FoldSubSegment(bases, 0, column.num_groups(), dm, column.tau(), dm,
-                 is_min, temp, nullptr);
+  kern::Ops().hbp_extreme_fold(bases, column.num_groups(),
+                               column.field_width(), column.tau(),
+                               /*lanes=*/1, &dm, /*n=*/1, is_min, temp,
+                               nullptr);
 }
 
 std::uint64_t ExtremeOfSubSlots(const HbpColumn& column, const Word* temp,

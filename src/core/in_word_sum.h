@@ -88,6 +88,8 @@ class InWordSumPlan {
   Word step_mask(int i) const { return step_mask_[i]; }
   int step_shift(int i) const { return step_shift_[i]; }
   bool use_multiply() const { return use_multiply_; }
+  Word multiplier() const { return multiplier_; }
+  int final_shift() const { return final_shift_; }
   Word final_mask() const { return final_mask_; }
 
  private:

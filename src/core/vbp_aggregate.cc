@@ -65,82 +65,40 @@ void InitSlotExtreme(int k, bool is_min, Word* temp) {
   }
 }
 
-namespace {
-
-// SLOTMIN/SLOTMAX between the column's segment `seg` (X) and the running
-// state `temp` (Y), restricted to slots passing `f`. Implements the
-// BIT-PARALLEL-LESSTHAN cascade between two segments and the blend
-// (M & X) | (~M & Y) of Algorithm 2.
-void FoldSegment(const VbpColumn& column, std::size_t seg, Word f,
-                 bool is_min, Word* temp, AggStats* stats) {
-  const int tau = column.tau();
-  const int num_groups = column.num_groups();
-  Word eq = ~Word{0};
-  Word replace = 0;  // M_lt for MIN, M_gt for MAX
-  if (stats != nullptr) ++stats->folds;
-  for (int g = 0; g < num_groups; ++g) {
-    const int width = column.GroupWidth(g);
-    const Word* base = column.GroupData(g) + seg * width;
-    for (int j = 0; j < width; ++j) {
-      const Word x = base[j];
-      const Word y = temp[g * tau + j];
-      replace |= is_min ? (eq & ~x & y) : (eq & x & ~y);
-      eq &= ~(x ^ y);
-    }
-    // Early stop: every slot's comparison is decided (paper Section II-C).
-    if (eq == 0) {
-      if (stats != nullptr && g + 1 < num_groups) {
-        ++stats->compare_early_stops;
-      }
-      break;
-    }
-  }
-  replace &= f;
-  if (replace == 0) {
-    if (stats != nullptr) ++stats->blends_skipped;
-    return;  // no slot improves; skip the blend pass
-  }
-  const Word keep = ~replace;
-  for (int g = 0; g < num_groups; ++g) {
-    const int width = column.GroupWidth(g);
-    const Word* base = column.GroupData(g) + seg * width;
-    for (int j = 0; j < width; ++j) {
-      Word& y = temp[g * tau + j];
-      y = (replace & base[j]) | (keep & y);
-    }
-  }
-}
-
-}  // namespace
-
 void SlotExtremeRange(const VbpColumn& column, const FilterBitVector& filter,
                       std::size_t seg_begin, std::size_t seg_end, bool is_min,
                       Word* temp, AggStats* stats) {
   ICP_CHECK_EQ(column.lanes(), 1);
   ICP_CHECK_LE(seg_end, filter.num_segments());
-  const Word* f_words = filter.words();
-  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
-    const Word f = f_words[seg];
-    if (f == 0) {
-      if (stats != nullptr) ++stats->segments_skipped;
-      continue;  // nothing passes in this segment
-    }
-    FoldSegment(column, seg, f, is_min, temp, stats);
+  const int num_groups = column.num_groups();
+  const Word* bases[kWordBits];
+  int widths[kWordBits];
+  for (int g = 0; g < num_groups; ++g) {
+    widths[g] = column.GroupWidth(g);
+    bases[g] = column.GroupData(g) + seg_begin * widths[g];
+  }
+  kern::FoldCounters counters;
+  kern::Ops().vbp_extreme_fold(bases, widths, num_groups, column.tau(),
+                               /*lanes=*/1, filter.words() + seg_begin,
+                               seg_end - seg_begin, is_min, temp,
+                               stats != nullptr ? &counters : nullptr);
+  if (stats != nullptr) {
+    stats->folds += counters.folds;
+    stats->compare_early_stops += counters.compare_early_stops;
+    stats->blends_skipped += counters.blends_skipped;
+    stats->segments_skipped += counters.segments_skipped;
   }
 }
 
 void MergeSlotExtreme(const Word* other, int k, bool is_min, Word* temp) {
-  Word eq = ~Word{0};
-  Word replace = 0;
-  for (int j = 0; j < k; ++j) {
-    const Word x = other[j];
-    const Word y = temp[j];
-    replace |= is_min ? (eq & ~x & y) : (eq & x & ~y);
-    eq &= ~(x ^ y);
-  }
-  for (int j = 0; j < k; ++j) {
-    temp[j] = (replace & other[j]) | (~replace & temp[j]);
-  }
+  // One "segment" of k planes against the running state: the fold kernel
+  // with a single group, an all-ones filter, and no counters.
+  const Word all = ~Word{0};
+  const Word* bases[1] = {other};
+  const int widths[1] = {k};
+  kern::Ops().vbp_extreme_fold(bases, widths, /*num_groups=*/1, /*tau=*/k,
+                               /*lanes=*/1, &all, /*n=*/1, is_min, temp,
+                               nullptr);
 }
 
 std::uint64_t ExtremeOfSlots(const Word* temp, int k, bool is_min) {
@@ -196,14 +154,9 @@ std::uint64_t CountCandidateBit(const VbpColumn& column, const Word* v,
                                 std::size_t seg_begin, std::size_t seg_end,
                                 int g, int j) {
   const int width = column.GroupWidth(g);
-  const Word* base = column.GroupData(g) + seg_begin * width + j;
-  std::uint64_t count = 0;
-  for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
-    const Word cand = v[seg];
-    if (cand != 0) count += Popcount(cand & *base);
-    base += width;
-  }
-  return count;
+  return kern::Ops().masked_popcount(
+      column.GroupData(g) + seg_begin * width + j, width, /*lanes=*/1,
+      v + seg_begin, seg_end - seg_begin);
 }
 
 void UpdateCandidates(const VbpColumn& column, Word* v,

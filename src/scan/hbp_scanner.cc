@@ -2,89 +2,39 @@
 
 #include <array>
 
+#include "simd/dispatch.h"
 #include "util/check.h"
 
 namespace icp {
 namespace {
 
-// Per-sub-segment comparison state in delimiter space.
-struct FieldCompareState {
-  Word eq;
-  Word lt = 0;
-  Word gt = 0;
+static_assert(static_cast<int>(CompareOp::kEq) == 0 &&
+                  static_cast<int>(CompareOp::kNe) == 1 &&
+                  static_cast<int>(CompareOp::kLt) == 2 &&
+                  static_cast<int>(CompareOp::kLe) == 3 &&
+                  static_cast<int>(CompareOp::kGt) == 4 &&
+                  static_cast<int>(CompareOp::kGe) == 5 &&
+                  static_cast<int>(CompareOp::kBetween) == 6,
+              "kern::hbp_scan op encoding out of sync with CompareOp");
 
-  FieldCompareState() : eq(0) {}
-  explicit FieldCompareState(Word delimiter_mask) : eq(delimiter_mask) {}
-
-  // One most-significant-group-first cascade step: `x` is the sub-segment's
-  // word in the current word-group, `c` the constant's packed group value.
-  void Step(Word x, Word c, Word md) {
-    const Word ge = hbp::FieldGe(x, c, md);
-    const Word le = hbp::FieldGe(c, x, md);
-    lt |= eq & (ge ^ md);
-    gt |= eq & (le ^ md);
-    eq &= ge & le;
+// Packed per-group constants (the paper's word W_c, one per word-group).
+void BuildPackedConstants(const HbpColumn& column, std::uint64_t c1,
+                          std::uint64_t c2, Word* c1_packed,
+                          Word* c2_packed) {
+  const int s = column.field_width();
+  const Word group_mask = LowMask(column.tau());
+  for (int g = 0; g < column.num_groups(); ++g) {
+    const int shift = column.GroupShift(g);
+    c1_packed[g] = RepeatField((c1 >> shift) & group_mask, s);
+    c2_packed[g] = RepeatField((c2 >> shift) & group_mask, s);
   }
-};
-
-Word ResultWord(CompareOp op, Word md, const FieldCompareState& a,
-                const FieldCompareState& b) {
-  switch (op) {
-    case CompareOp::kEq:
-      return a.eq;
-    case CompareOp::kNe:
-      return md ^ a.eq;
-    case CompareOp::kLt:
-      return a.lt;
-    case CompareOp::kLe:
-      return a.lt | a.eq;
-    case CompareOp::kGt:
-      return a.gt;
-    case CompareOp::kGe:
-      return a.gt | a.eq;
-    case CompareOp::kBetween:
-      return (a.gt | a.eq) & (b.lt | b.eq);
-  }
-  return 0;
 }
 
-// Evaluates one segment: runs the cascade for all sub-segments and returns
-// the assembled (unmasked) filter word. `a`/`b` are scratch state arrays of
-// at least `s` entries.
-Word CompareSegment(const HbpColumn& column, std::size_t seg, CompareOp op,
-                    const Word* c1_packed, const Word* c2_packed, bool dual,
-                    Word md, FieldCompareState* a, FieldCompareState* b,
-                    ScanStats* stats) {
-  const int s = column.field_width();
-  const int num_groups = column.num_groups();
-  for (int t = 0; t < s; ++t) {
-    a[t] = FieldCompareState(md);
-    b[t] = FieldCompareState(md);
-  }
-  ++stats->segments_processed;
-  for (int g = 0; g < num_groups; ++g) {
-    const Word* base = column.GroupData(g) + seg * s;
-    Word any_eq = 0;
-    for (int t = 0; t < s; ++t) {
-      const Word x = base[t];
-      a[t].Step(x, c1_packed[g], md);
-      any_eq |= a[t].eq;
-      if (dual) {
-        b[t].Step(x, c2_packed[g], md);
-        any_eq |= b[t].eq;
-      }
-    }
-    stats->words_examined += s;
-    if (any_eq == 0 && g + 1 < num_groups) {
-      ++stats->segments_early_stopped;
-      break;
-    }
-  }
-  Word filter = 0;
-  for (int t = 0; t < s; ++t) {
-    filter |= ResultWord(op, md, a[t], b[t]) >> t;
-  }
-  return filter;
+void MergeScanCounters(const kern::ScanCounters& local, ScanStats* stats) {
+  if (stats == nullptr) return;
+  stats->words_examined += local.words_examined;
+  stats->segments_processed += local.segments_processed;
+  stats->segments_early_stopped += local.segments_early_stopped;
 }
 
 }  // namespace
@@ -109,10 +59,7 @@ void HbpScanner::ScanRange(const HbpColumn& column, CompareOp op,
   ICP_CHECK_EQ(out->values_per_segment(), column.values_per_segment());
   ICP_CHECK_LE(seg_end, out->num_segments());
   const int k = column.bit_width();
-  const int tau = column.tau();
   const int s = column.field_width();
-  const int num_groups = column.num_groups();
-  const Word md = DelimiterMask(s);
 
   bool all = false;
   if (ScanIsDegenerate(k, op, c1, &c2, &all)) {
@@ -122,33 +69,26 @@ void HbpScanner::ScanRange(const HbpColumn& column, CompareOp op,
     return;
   }
 
-  const bool dual = op == CompareOp::kBetween;
-  // Packed per-group constants (the paper's word W_c, one per word-group).
   std::array<Word, kWordBits> c1_packed{};
   std::array<Word, kWordBits> c2_packed{};
-  const Word group_mask = LowMask(tau);
+  BuildPackedConstants(column, c1, c2, c1_packed.data(), c2_packed.data());
+
+  const int num_groups = column.num_groups();
+  const Word* bases[kWordBits];
   for (int g = 0; g < num_groups; ++g) {
-    const int shift = column.GroupShift(g);
-    c1_packed[g] = RepeatField((c1 >> shift) & group_mask, s);
-    c2_packed[g] = RepeatField((c2 >> shift) & group_mask, s);
+    bases[g] = column.GroupData(g) + seg_begin * s;
   }
 
-  // Per-sub-segment state (s <= 64).
-  std::array<FieldCompareState, kWordBits> a{};
-  std::array<FieldCompareState, kWordBits> b{};
-
-  ScanStats local;
+  kern::ScanCounters local;
+  kern::Ops().hbp_scan(bases, num_groups, s, static_cast<int>(op),
+                       c1_packed.data(), c2_packed.data(), DelimiterMask(s),
+                       seg_end - seg_begin, /*prior=*/nullptr,
+                       out->words() + seg_begin,
+                       stats != nullptr ? &local : nullptr);
   for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
-    const Word filter =
-        CompareSegment(column, seg, op, c1_packed.data(), c2_packed.data(),
-                       dual, md, a.data(), b.data(), &local);
-    out->SetSegmentWord(seg, filter & out->ValidMask(seg));
+    out->words()[seg] &= out->ValidMask(seg);
   }
-  if (stats != nullptr) {
-    stats->words_examined += local.words_examined;
-    stats->segments_processed += local.segments_processed;
-    stats->segments_early_stopped += local.segments_early_stopped;
-  }
+  MergeScanCounters(local, stats);
 }
 
 FilterBitVector HbpScanner::ScanAnd(const HbpColumn& column, CompareOp op,
@@ -161,45 +101,34 @@ FilterBitVector HbpScanner::ScanAnd(const HbpColumn& column, CompareOp op,
   ICP_CHECK_EQ(prior.values_per_segment(), column.values_per_segment());
   FilterBitVector out(column.num_values(), column.values_per_segment());
   const int k = column.bit_width();
-  const int tau = column.tau();
   const int s = column.field_width();
-  const Word md = DelimiterMask(s);
 
   bool all = false;
   if (ScanIsDegenerate(k, op, c1, &c2, &all)) {
     if (all) out = prior;
     return out;
   }
-  const bool dual = op == CompareOp::kBetween;
-  const Word group_mask = LowMask(tau);
   std::array<Word, kWordBits> c1_packed{};
   std::array<Word, kWordBits> c2_packed{};
-  for (int g = 0; g < column.num_groups(); ++g) {
-    const int shift = column.GroupShift(g);
-    c1_packed[g] = RepeatField((c1 >> shift) & group_mask, s);
-    c2_packed[g] = RepeatField((c2 >> shift) & group_mask, s);
-  }
-  std::array<FieldCompareState, kWordBits> a{};
-  std::array<FieldCompareState, kWordBits> b{};
+  BuildPackedConstants(column, c1, c2, c1_packed.data(), c2_packed.data());
 
-  ScanStats local;
+  const int num_groups = column.num_groups();
+  const kern::KernelOps& ops = kern::Ops();
+  kern::ScanCounters local;
   ForEachCancellableBatch(
       cancel, 0, out.num_segments(), [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t seg = lo; seg < hi; ++seg) {
-          const Word p = prior.SegmentWord(seg);
-          if (p == 0) continue;  // segment already empty: skip its words
-          const Word filter = CompareSegment(column, seg, op,
-                                             c1_packed.data(),
-                                             c2_packed.data(), dual, md,
-                                             a.data(), b.data(), &local);
-          out.SetSegmentWord(seg, filter & p);
+        const Word* bases[kWordBits];
+        for (int g = 0; g < num_groups; ++g) {
+          bases[g] = column.GroupData(g) + lo * s;
         }
+        // prior bits are a subset of the valid mask, so `result & prior`
+        // needs no further masking.
+        ops.hbp_scan(bases, num_groups, s, static_cast<int>(op),
+                     c1_packed.data(), c2_packed.data(), DelimiterMask(s),
+                     hi - lo, prior.words() + lo, out.words() + lo,
+                     stats != nullptr ? &local : nullptr);
       });
-  if (stats != nullptr) {
-    stats->words_examined += local.words_examined;
-    stats->segments_processed += local.segments_processed;
-    stats->segments_early_stopped += local.segments_early_stopped;
-  }
+  MergeScanCounters(local, stats);
   return out;
 }
 

@@ -2,77 +2,38 @@
 
 #include <array>
 
+#include "simd/dispatch.h"
 #include "util/check.h"
 
 namespace icp {
 namespace {
 
-// Per-segment comparison state against one constant.
-struct CompareState {
-  Word eq = ~Word{0};
-  Word lt = 0;
-  Word gt = 0;
+// The registry kernels take CompareOp as a raw int (the dispatch layer is a
+// leaf library); pin the encoding they document.
+static_assert(static_cast<int>(CompareOp::kEq) == 0 &&
+                  static_cast<int>(CompareOp::kNe) == 1 &&
+                  static_cast<int>(CompareOp::kLt) == 2 &&
+                  static_cast<int>(CompareOp::kLe) == 3 &&
+                  static_cast<int>(CompareOp::kGt) == 4 &&
+                  static_cast<int>(CompareOp::kGe) == 5 &&
+                  static_cast<int>(CompareOp::kBetween) == 6,
+              "kern::vbp_scan op encoding out of sync with CompareOp");
 
-  // One MSB-to-LSB step: `x` is the data word for the current bit, `c_bit`
-  // the constant's bit.
-  void Step(Word x, bool c_bit) {
-    if (c_bit) {
-      lt |= eq & ~x;
-      eq &= x;
-    } else {
-      gt |= eq & x;
-      eq &= ~x;
-    }
+// Constant bits, MSB first (index j = 0 is the value's most significant
+// bit), for both constants.
+void BuildConstantBits(int k, std::uint64_t c1, std::uint64_t c2,
+                       bool* c1_bits, bool* c2_bits) {
+  for (int j = 0; j < k; ++j) {
+    c1_bits[j] = (c1 >> (k - 1 - j)) & 1;
+    c2_bits[j] = (c2 >> (k - 1 - j)) & 1;
   }
-};
-
-// Result word for a fully-compared segment.
-Word ResultWord(CompareOp op, const CompareState& a, const CompareState& b) {
-  switch (op) {
-    case CompareOp::kEq:
-      return a.eq;
-    case CompareOp::kNe:
-      return ~a.eq;
-    case CompareOp::kLt:
-      return a.lt;
-    case CompareOp::kLe:
-      return a.lt | a.eq;
-    case CompareOp::kGt:
-      return a.gt;
-    case CompareOp::kGe:
-      return a.gt | a.eq;
-    case CompareOp::kBetween:
-      // v >= c1 && v <= c2.
-      return (a.gt | a.eq) & (b.lt | b.eq);
-  }
-  return 0;
 }
 
-// Evaluates one segment, returning the (unmasked) result word.
-Word CompareSegment(const VbpColumn& column, std::size_t seg, CompareOp op,
-                    const bool* c1_bits, const bool* c2_bits, bool dual,
-                    ScanStats* stats) {
-  const int tau = column.tau();
-  const int num_groups = column.num_groups();
-  CompareState a;
-  CompareState b;
-  ++stats->segments_processed;
-  for (int g = 0; g < num_groups; ++g) {
-    const int width = column.GroupWidth(g);
-    const Word* base = column.GroupData(g) + seg * width;
-    for (int j = 0; j < width; ++j) {
-      const Word x = base[j];
-      const int jb = g * tau + j;
-      a.Step(x, c1_bits[jb]);
-      if (dual) b.Step(x, c2_bits[jb]);
-    }
-    stats->words_examined += width;
-    if ((a.eq | (dual ? b.eq : Word{0})) == 0 && g + 1 < num_groups) {
-      ++stats->segments_early_stopped;
-      break;
-    }
-  }
-  return ResultWord(op, a, b);
+void MergeScanCounters(const kern::ScanCounters& local, ScanStats* stats) {
+  if (stats == nullptr) return;
+  stats->words_examined += local.words_examined;
+  stats->segments_processed += local.segments_processed;
+  stats->segments_early_stopped += local.segments_early_stopped;
 }
 
 }  // namespace
@@ -106,28 +67,28 @@ void VbpScanner::ScanRange(const VbpColumn& column, CompareOp op,
     return;
   }
 
-  const bool dual = op == CompareOp::kBetween;
-  // Constant bits, MSB first (index j = 0 is the value's most significant
-  // bit), for both constants.
   std::array<bool, kWordBits> c1_bits{};
   std::array<bool, kWordBits> c2_bits{};
-  for (int j = 0; j < k; ++j) {
-    c1_bits[j] = (c1 >> (k - 1 - j)) & 1;
-    c2_bits[j] = (c2 >> (k - 1 - j)) & 1;
+  BuildConstantBits(k, c1, c2, c1_bits.data(), c2_bits.data());
+
+  const int num_groups = column.num_groups();
+  const Word* bases[kWordBits];
+  int widths[kWordBits];
+  for (int g = 0; g < num_groups; ++g) {
+    widths[g] = column.GroupWidth(g);
+    bases[g] = column.GroupData(g) + seg_begin * widths[g];
   }
 
-  ScanStats local;
+  kern::ScanCounters local;
+  Word* out_words = out->words() + seg_begin;
+  kern::Ops().vbp_scan(bases, widths, num_groups, column.tau(),
+                       static_cast<int>(op), c1_bits.data(), c2_bits.data(),
+                       seg_end - seg_begin, /*prior=*/nullptr, out_words,
+                       stats != nullptr ? &local : nullptr);
   for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
-    out->SetSegmentWord(
-        seg, CompareSegment(column, seg, op, c1_bits.data(), c2_bits.data(),
-                            dual, &local) &
-                 out->ValidMask(seg));
+    out->words()[seg] &= out->ValidMask(seg);
   }
-  if (stats != nullptr) {
-    stats->words_examined += local.words_examined;
-    stats->segments_processed += local.segments_processed;
-    stats->segments_early_stopped += local.segments_early_stopped;
-  }
+  MergeScanCounters(local, stats);
 }
 
 FilterBitVector VbpScanner::ScanAnd(const VbpColumn& column, CompareOp op,
@@ -148,31 +109,29 @@ FilterBitVector VbpScanner::ScanAnd(const VbpColumn& column, CompareOp op,
     }
     return out;
   }
-  const bool dual = op == CompareOp::kBetween;
   std::array<bool, kWordBits> c1_bits{};
   std::array<bool, kWordBits> c2_bits{};
-  for (int j = 0; j < k; ++j) {
-    c1_bits[j] = (c1 >> (k - 1 - j)) & 1;
-    c2_bits[j] = (c2 >> (k - 1 - j)) & 1;
-  }
+  BuildConstantBits(k, c1, c2, c1_bits.data(), c2_bits.data());
 
-  ScanStats local;
+  const int num_groups = column.num_groups();
+  const kern::KernelOps& ops = kern::Ops();
+  kern::ScanCounters local;
   ForEachCancellableBatch(
       cancel, 0, out.num_segments(), [&](std::size_t b, std::size_t e) {
-        for (std::size_t seg = b; seg < e; ++seg) {
-          const Word p = prior.SegmentWord(seg);
-          if (p == 0) continue;  // segment already empty: skip its words
-          out.SetSegmentWord(
-              seg, CompareSegment(column, seg, op, c1_bits.data(),
-                                  c2_bits.data(), dual, &local) &
-                       p);
+        const Word* bases[kWordBits];
+        int widths[kWordBits];
+        for (int g = 0; g < num_groups; ++g) {
+          widths[g] = column.GroupWidth(g);
+          bases[g] = column.GroupData(g) + b * widths[g];
         }
+        // prior bits are a subset of the valid mask, so `result & prior`
+        // needs no further masking.
+        ops.vbp_scan(bases, widths, num_groups, column.tau(),
+                     static_cast<int>(op), c1_bits.data(), c2_bits.data(),
+                     e - b, prior.words() + b, out.words() + b,
+                     stats != nullptr ? &local : nullptr);
       });
-  if (stats != nullptr) {
-    stats->words_examined += local.words_examined;
-    stats->segments_processed += local.segments_processed;
-    stats->segments_early_stopped += local.segments_early_stopped;
-  }
+  MergeScanCounters(local, stats);
   return out;
 }
 

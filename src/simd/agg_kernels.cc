@@ -1,0 +1,949 @@
+#include "simd/agg_kernels.h"
+
+#include "core/in_word_sum.h"  // header-only; no core link dependency
+#include "simd/dispatch.h"
+#include "util/check.h"
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace icp::kern {
+namespace {
+
+// Largest lane count any layout produces (lanes == 4 quad-interleaving).
+constexpr int kMaxLanes = 4;
+
+// Integer CompareOp encoding shared with scan/predicate.h (the scanner call
+// sites static_assert the mapping).
+constexpr int kOpEq = 0;
+constexpr int kOpNe = 1;
+constexpr int kOpLt = 2;
+constexpr int kOpLe = 3;
+constexpr int kOpGt = 4;
+constexpr int kOpGe = 5;
+constexpr int kOpBetween = 6;
+
+// Per-field X >= C under delimiter mask `md` (the paper's borrow trick).
+inline Word FieldGe(Word x, Word c, Word md) { return ((x | md) - c) & md; }
+
+// GET-VALUE-FILTER step 2: delimiter filter -> value mask.
+inline Word ValueMaskFromDelimiters(Word md, int tau) {
+  return md - (md >> tau);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// combine_words
+// ---------------------------------------------------------------------------
+
+void CombineWordsScalar(Word* dst, const Word* src, std::size_t n, int op) {
+  switch (static_cast<CombineOp>(op)) {
+    case CombineOp::kAnd:
+      for (std::size_t i = 0; i < n; ++i) dst[i] &= src[i];
+      break;
+    case CombineOp::kOr:
+      for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+      break;
+    case CombineOp::kXor:
+      for (std::size_t i = 0; i < n; ++i) dst[i] ^= src[i];
+      break;
+    case CombineOp::kAndNot:
+      for (std::size_t i = 0; i < n; ++i) dst[i] &= ~src[i];
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// masked_popcount
+// ---------------------------------------------------------------------------
+
+std::uint64_t MaskedPopcountScalar(const Word* data, std::size_t stride,
+                                   int lanes, const Word* cand,
+                                   std::size_t n) {
+  ICP_DCHECK(lanes >= 1 && lanes <= kMaxLanes);
+  std::uint64_t count = 0;
+  for (std::size_t u = 0; u < n; ++u) {
+    const Word* c = cand + u * lanes;
+    Word any = 0;
+    for (int l = 0; l < lanes; ++l) any |= c[l];
+    if (any == 0) continue;  // unit fully narrowed away
+    const Word* w = data + u * stride;
+    for (int l = 0; l < lanes; ++l) count += Popcount(c[l] & w[l]);
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// hbp_sum
+// ---------------------------------------------------------------------------
+
+void HbpSumScalar(const Word* const* bases, int num_groups, int s, int tau,
+                  int lanes, const Word* filter, std::size_t n,
+                  std::uint64_t* group_sums) {
+  ICP_DCHECK(lanes >= 1 && lanes <= kMaxLanes);
+  const Word dm = DelimiterMask(s);
+  const InWordSumPlan plan(s);
+  std::uint64_t acc[kWordBits] = {};
+  for (std::size_t u = 0; u < n; ++u) {
+    const Word* f = filter + u * lanes;
+    for (int t = 0; t < s; ++t) {
+      Word m[kMaxLanes];
+      for (int l = 0; l < lanes; ++l) {
+        const Word md = (f[l] << t) & dm;
+        m[l] = ValueMaskFromDelimiters(md, tau);
+      }
+      for (int g = 0; g < num_groups; ++g) {
+        const Word* w =
+            bases[g] + (u * static_cast<std::size_t>(s) + t) * lanes;
+        for (int l = 0; l < lanes; ++l) acc[g] += plan.Apply(w[l] & m[l]);
+      }
+    }
+  }
+  for (int g = 0; g < num_groups; ++g) group_sums[g] += acc[g];
+}
+
+// ---------------------------------------------------------------------------
+// vbp_extreme_fold
+// ---------------------------------------------------------------------------
+
+void VbpExtremeFoldScalar(const Word* const* bases, const int* widths,
+                          int num_groups, int tau, int lanes,
+                          const Word* filter, std::size_t n, bool is_min,
+                          Word* temp, FoldCounters* counters) {
+  ICP_DCHECK(lanes >= 1 && lanes <= kMaxLanes);
+  for (std::size_t u = 0; u < n; ++u) {
+    const Word* f = filter + u * lanes;
+    Word f_any = 0;
+    for (int l = 0; l < lanes; ++l) f_any |= f[l];
+    if (f_any == 0) {
+      if (counters != nullptr) ++counters->segments_skipped;
+      continue;  // nothing passes in this unit
+    }
+    if (counters != nullptr) ++counters->folds;
+    Word eq[kMaxLanes];
+    Word replace[kMaxLanes];  // M_lt for MIN, M_gt for MAX
+    for (int l = 0; l < lanes; ++l) {
+      eq[l] = ~Word{0};
+      replace[l] = 0;
+    }
+    for (int g = 0; g < num_groups; ++g) {
+      const int width = widths[g];
+      const Word* base =
+          bases[g] + u * static_cast<std::size_t>(width) * lanes;
+      for (int j = 0; j < width; ++j) {
+        const Word* x = base + j * lanes;
+        const Word* y = temp + (g * tau + j) * lanes;
+        for (int l = 0; l < lanes; ++l) {
+          replace[l] |=
+              is_min ? (eq[l] & ~x[l] & y[l]) : (eq[l] & x[l] & ~y[l]);
+          eq[l] &= ~(x[l] ^ y[l]);
+        }
+      }
+      Word eq_any = 0;
+      for (int l = 0; l < lanes; ++l) eq_any |= eq[l];
+      // Early stop: every slot's comparison is decided.
+      if (eq_any == 0) {
+        if (counters != nullptr && g + 1 < num_groups) {
+          ++counters->compare_early_stops;
+        }
+        break;
+      }
+    }
+    Word rep_any = 0;
+    for (int l = 0; l < lanes; ++l) {
+      replace[l] &= f[l];
+      rep_any |= replace[l];
+    }
+    if (rep_any == 0) {
+      if (counters != nullptr) ++counters->blends_skipped;
+      continue;  // no slot improves; skip the blend pass
+    }
+    for (int g = 0; g < num_groups; ++g) {
+      const int width = widths[g];
+      const Word* base =
+          bases[g] + u * static_cast<std::size_t>(width) * lanes;
+      for (int j = 0; j < width; ++j) {
+        const Word* x = base + j * lanes;
+        Word* y = temp + (g * tau + j) * lanes;
+        for (int l = 0; l < lanes; ++l) {
+          y[l] = (replace[l] & x[l]) | (~replace[l] & y[l]);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hbp_extreme_fold
+// ---------------------------------------------------------------------------
+
+void HbpExtremeFoldScalar(const Word* const* bases, int num_groups, int s,
+                          int tau, int lanes, const Word* filter,
+                          std::size_t n, bool is_min, Word* temp,
+                          FoldCounters* counters) {
+  ICP_DCHECK(lanes >= 1 && lanes <= kMaxLanes);
+  const Word dm = DelimiterMask(s);
+  for (std::size_t u = 0; u < n; ++u) {
+    const Word* f = filter + u * lanes;
+    Word f_any = 0;
+    for (int l = 0; l < lanes; ++l) f_any |= f[l];
+    if (f_any == 0) {
+      if (counters != nullptr) ++counters->segments_skipped;
+      continue;
+    }
+    for (int t = 0; t < s; ++t) {
+      Word md[kMaxLanes];
+      Word md_any = 0;
+      for (int l = 0; l < lanes; ++l) {
+        md[l] = (f[l] << t) & dm;
+        md_any |= md[l];
+      }
+      // Contract: never touch sub-segment t's data when no lane selects a
+      // field in it (callers fold single out-of-range-adjacent words).
+      if (md_any == 0) continue;
+      if (counters != nullptr) ++counters->folds;
+      const std::size_t word_off =
+          (u * static_cast<std::size_t>(s) + t) * lanes;
+      Word eq[kMaxLanes];
+      Word replace[kMaxLanes];
+      for (int l = 0; l < lanes; ++l) {
+        eq[l] = dm;
+        replace[l] = 0;
+      }
+      for (int g = 0; g < num_groups; ++g) {
+        const Word* x = bases[g] + word_off;
+        const Word* y = temp + g * lanes;
+        Word eq_any = 0;
+        for (int l = 0; l < lanes; ++l) {
+          const Word ge_xy = FieldGe(x[l], y[l], dm);
+          const Word ge_yx = FieldGe(y[l], x[l], dm);
+          replace[l] |= eq[l] & ((is_min ? ge_xy : ge_yx) ^ dm);
+          eq[l] &= ge_xy & ge_yx;
+          eq_any |= eq[l];
+        }
+        if (eq_any == 0) {
+          if (counters != nullptr && g + 1 < num_groups) {
+            ++counters->compare_early_stops;
+          }
+          break;  // every field decided: early stop
+        }
+      }
+      Word m[kMaxLanes];
+      Word rep_any = 0;
+      for (int l = 0; l < lanes; ++l) {
+        replace[l] &= md[l];
+        rep_any |= replace[l];
+        m[l] = ValueMaskFromDelimiters(replace[l], tau);
+      }
+      if (rep_any == 0) {
+        if (counters != nullptr) ++counters->blends_skipped;
+        continue;
+      }
+      for (int g = 0; g < num_groups; ++g) {
+        const Word* x = bases[g] + word_off;
+        Word* y = temp + g * lanes;
+        for (int l = 0; l < lanes; ++l) {
+          y[l] = (m[l] & x[l]) | (~m[l] & y[l]);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// vbp_scan (shared by every tier)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Per-segment comparison state against one constant (MSB-to-LSB cascade).
+struct VbpCompareState {
+  Word eq = ~Word{0};
+  Word lt = 0;
+  Word gt = 0;
+
+  void Step(Word x, bool c_bit) {
+    if (c_bit) {
+      lt |= eq & ~x;
+      eq &= x;
+    } else {
+      gt |= eq & x;
+      eq &= ~x;
+    }
+  }
+};
+
+Word VbpResultWord(int op, const VbpCompareState& a,
+                   const VbpCompareState& b) {
+  switch (op) {
+    case kOpEq:
+      return a.eq;
+    case kOpNe:
+      return ~a.eq;
+    case kOpLt:
+      return a.lt;
+    case kOpLe:
+      return a.lt | a.eq;
+    case kOpGt:
+      return a.gt;
+    case kOpGe:
+      return a.gt | a.eq;
+    case kOpBetween:
+      // v >= c1 && v <= c2.
+      return (a.gt | a.eq) & (b.lt | b.eq);
+  }
+  return 0;
+}
+
+}  // namespace
+
+void VbpScanKernel(const Word* const* bases, const int* widths,
+                   int num_groups, int tau, int op, const bool* c1_bits,
+                   const bool* c2_bits, std::size_t n, const Word* prior,
+                   Word* out, ScanCounters* counters) {
+  const bool dual = op == kOpBetween;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (prior != nullptr && prior[i] == 0) {
+      out[i] = 0;  // segment already empty: skip its words
+      continue;
+    }
+    if (counters != nullptr) ++counters->segments_processed;
+    VbpCompareState a;
+    VbpCompareState b;
+    for (int g = 0; g < num_groups; ++g) {
+      const int width = widths[g];
+      const Word* base = bases[g] + i * static_cast<std::size_t>(width);
+      for (int j = 0; j < width; ++j) {
+        const Word x = base[j];
+        const int jb = g * tau + j;
+        a.Step(x, c1_bits[jb]);
+        if (dual) b.Step(x, c2_bits[jb]);
+      }
+      if (counters != nullptr) counters->words_examined += width;
+      if ((a.eq | (dual ? b.eq : Word{0})) == 0 && g + 1 < num_groups) {
+        if (counters != nullptr) ++counters->segments_early_stopped;
+        break;
+      }
+    }
+    const Word r = VbpResultWord(op, a, b);
+    out[i] = prior != nullptr ? (r & prior[i]) : r;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hbp_scan (shared by every tier)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Per-sub-segment comparison state in delimiter space.
+struct HbpCompareState {
+  Word eq = 0;
+  Word lt = 0;
+  Word gt = 0;
+
+  void Reset(Word delimiter_mask) {
+    eq = delimiter_mask;
+    lt = 0;
+    gt = 0;
+  }
+
+  void Step(Word x, Word c, Word md) {
+    const Word ge = FieldGe(x, c, md);
+    const Word le = FieldGe(c, x, md);
+    lt |= eq & (ge ^ md);
+    gt |= eq & (le ^ md);
+    eq &= ge & le;
+  }
+};
+
+Word HbpResultWord(int op, Word md, const HbpCompareState& a,
+                   const HbpCompareState& b) {
+  switch (op) {
+    case kOpEq:
+      return a.eq;
+    case kOpNe:
+      return md ^ a.eq;
+    case kOpLt:
+      return a.lt;
+    case kOpLe:
+      return a.lt | a.eq;
+    case kOpGt:
+      return a.gt;
+    case kOpGe:
+      return a.gt | a.eq;
+    case kOpBetween:
+      return (a.gt | a.eq) & (b.lt | b.eq);
+  }
+  return 0;
+}
+
+}  // namespace
+
+void HbpScanKernel(const Word* const* bases, int num_groups, int s, int op,
+                   const Word* c1_packed, const Word* c2_packed, Word md,
+                   std::size_t n, const Word* prior, Word* out,
+                   ScanCounters* counters) {
+  const bool dual = op == kOpBetween;
+  HbpCompareState a[kWordBits];
+  HbpCompareState b[kWordBits];
+  for (std::size_t i = 0; i < n; ++i) {
+    if (prior != nullptr && prior[i] == 0) {
+      out[i] = 0;
+      continue;
+    }
+    if (counters != nullptr) ++counters->segments_processed;
+    for (int t = 0; t < s; ++t) {
+      a[t].Reset(md);
+      b[t].Reset(md);
+    }
+    for (int g = 0; g < num_groups; ++g) {
+      const Word* base = bases[g] + i * static_cast<std::size_t>(s);
+      Word any_eq = 0;
+      for (int t = 0; t < s; ++t) {
+        const Word x = base[t];
+        a[t].Step(x, c1_packed[g], md);
+        any_eq |= a[t].eq;
+        if (dual) {
+          b[t].Step(x, c2_packed[g], md);
+          any_eq |= b[t].eq;
+        }
+      }
+      if (counters != nullptr) counters->words_examined += s;
+      if (any_eq == 0 && g + 1 < num_groups) {
+        if (counters != nullptr) ++counters->segments_early_stopped;
+        break;
+      }
+    }
+    Word filter = 0;
+    for (int t = 0; t < s; ++t) {
+      filter |= HbpResultWord(op, md, a[t], b[t]) >> t;
+    }
+    out[i] = prior != nullptr ? (filter & prior[i]) : filter;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 tier. Function-level target("avx2") so the TU compiles without
+// -mavx2; dispatch.cc only hands these out when cpuid reports AVX2.
+// ---------------------------------------------------------------------------
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX2)
+namespace {
+
+#define ICP_AVX2 __attribute__((target("avx2")))
+
+ICP_AVX2 inline __m256i LoadU(const Word* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+ICP_AVX2 inline void StoreU(Word* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+// 4x64 per-lane popcounts via the nibble LUT + psadbw (Mula).
+ICP_AVX2 inline __m256i Popcount256(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                         _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(counts, _mm256_setzero_si256());
+}
+
+ICP_AVX2 inline std::uint64_t Hsum64(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  const __m128i s = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(s)) +
+         static_cast<std::uint64_t>(
+             _mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s)));
+}
+
+ICP_AVX2 inline __m256i FieldGe256(__m256i x, __m256i c, __m256i md) {
+  return _mm256_and_si256(
+      _mm256_sub_epi64(_mm256_or_si256(x, md), c), md);
+}
+
+// Widened-accumulator bookkeeping for the AVX2 HBP SUM kernel: after the
+// plan's step i the word holds packed partial sums in slots of stride
+// s*2^(i+1), each bounded by (2^(s-1)-1)*2^(i+1). Several such words can be
+// added before any slot overflows its stride (or, for the truncated top
+// slot, the end of the word), so the tail of the halving cascade runs once
+// per flush instead of once per word. Picks the deepest prefix (at most 2
+// steps) that still leaves a useful accumulation budget.
+struct HbpSumAccumPlan {
+  int prefix_steps = 0;
+  std::size_t max_accum = 0;
+
+  explicit HbpSumAccumPlan(const InWordSumPlan& plan, int s) {
+    int width = s;
+    int count = kWordBits / s;
+    UInt128 bound = LowMask(s - 1);
+    for (int i = 0; i < plan.num_steps() && i < 2; ++i) {
+      width *= 2;
+      bound *= 2;
+      count = (count + 1) / 2;
+      const int pos_top = (count - 1) * width;
+      const int cap_bits =
+          width < kWordBits - pos_top ? width : kWordBits - pos_top;
+      const UInt128 slot_max = ((UInt128{1} << (cap_bits - 1)) - 1) * 2 + 1;
+      const UInt128 budget = slot_max / bound;
+      if (budget >= 8) {
+        prefix_steps = i + 1;
+        max_accum =
+            budget > 65536 ? 65536 : static_cast<std::size_t>(budget);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ICP_AVX2 void CombineWordsAvx2(Word* dst, const Word* src, std::size_t n,
+                               int op) {
+  std::size_t i = 0;
+  switch (static_cast<CombineOp>(op)) {
+    case CombineOp::kAnd:
+      for (; i + 4 <= n; i += 4) {
+        StoreU(dst + i, _mm256_and_si256(LoadU(dst + i), LoadU(src + i)));
+      }
+      for (; i < n; ++i) dst[i] &= src[i];
+      break;
+    case CombineOp::kOr:
+      for (; i + 4 <= n; i += 4) {
+        StoreU(dst + i, _mm256_or_si256(LoadU(dst + i), LoadU(src + i)));
+      }
+      for (; i < n; ++i) dst[i] |= src[i];
+      break;
+    case CombineOp::kXor:
+      for (; i + 4 <= n; i += 4) {
+        StoreU(dst + i, _mm256_xor_si256(LoadU(dst + i), LoadU(src + i)));
+      }
+      for (; i < n; ++i) dst[i] ^= src[i];
+      break;
+    case CombineOp::kAndNot:
+      for (; i + 4 <= n; i += 4) {
+        StoreU(dst + i, _mm256_andnot_si256(LoadU(src + i), LoadU(dst + i)));
+      }
+      for (; i < n; ++i) dst[i] &= ~src[i];
+      break;
+  }
+}
+
+ICP_AVX2 std::uint64_t MaskedPopcountAvx2(const Word* data,
+                                          std::size_t stride, int lanes,
+                                          const Word* cand, std::size_t n) {
+  if (lanes != 4) return MaskedPopcountScalar(data, stride, lanes, cand, n);
+  __m256i acc = _mm256_setzero_si256();
+  for (std::size_t u = 0; u < n; ++u) {
+    const __m256i c = LoadU(cand + u * 4);
+    if (_mm256_testz_si256(c, c)) continue;
+    const __m256i w = _mm256_and_si256(c, LoadU(data + u * stride));
+    acc = _mm256_add_epi64(acc, Popcount256(w));
+  }
+  return Hsum64(acc);
+}
+
+ICP_AVX2 void HbpSumAvx2(const Word* const* bases, int num_groups, int s,
+                         int tau, int lanes, const Word* filter,
+                         std::size_t n, std::uint64_t* group_sums) {
+  if (lanes != 4) {
+    HbpSumScalar(bases, num_groups, s, tau, lanes, filter, n, group_sums);
+    return;
+  }
+  // Pure halving plan: AVX2 has no 64-bit lane multiply.
+  const InWordSumPlan plan(s, /*allow_multiply=*/false);
+  const HbpSumAccumPlan accum(plan, s);
+  const __m256i dm = _mm256_set1_epi64x(
+      static_cast<long long>(DelimiterMask(s)));
+  __m256i masks[8];
+  for (int i = 0; i < plan.num_steps(); ++i) {
+    masks[i] = _mm256_set1_epi64x(static_cast<long long>(plan.step_mask(i)));
+  }
+  const __m256i final_mask =
+      _mm256_set1_epi64x(static_cast<long long>(plan.final_mask()));
+  __m256i acc[kWordBits];
+  for (int g = 0; g < num_groups; ++g) acc[g] = _mm256_setzero_si256();
+
+  if (accum.prefix_steps > 0 &&
+      accum.max_accum >= static_cast<std::size_t>(s)) {
+    __m256i packed[kWordBits];
+    for (int g = 0; g < num_groups; ++g) packed[g] = _mm256_setzero_si256();
+    std::size_t pending = 0;  // prefix results added since the last flush
+    for (std::size_t u = 0; u < n; ++u) {
+      if (pending + static_cast<std::size_t>(s) > accum.max_accum) {
+        for (int g = 0; g < num_groups; ++g) {
+          __m256i w = packed[g];
+          for (int i = accum.prefix_steps; i < plan.num_steps(); ++i) {
+            w = _mm256_add_epi64(
+                _mm256_and_si256(w, masks[i]),
+                _mm256_and_si256(_mm256_srli_epi64(w, plan.step_shift(i)),
+                                 masks[i]));
+          }
+          acc[g] = _mm256_add_epi64(acc[g], _mm256_and_si256(w, final_mask));
+          packed[g] = _mm256_setzero_si256();
+        }
+        pending = 0;
+      }
+      const __m256i f = LoadU(filter + u * 4);
+      for (int t = 0; t < s; ++t) {
+        const __m256i md = _mm256_and_si256(_mm256_slli_epi64(f, t), dm);
+        const __m256i m = _mm256_sub_epi64(md, _mm256_srli_epi64(md, tau));
+        for (int g = 0; g < num_groups; ++g) {
+          __m256i w = _mm256_and_si256(
+              LoadU(bases[g] + (u * static_cast<std::size_t>(s) + t) * 4),
+              m);
+          w = _mm256_srli_epi64(w, plan.align_shift());
+          for (int i = 0; i < accum.prefix_steps; ++i) {
+            w = _mm256_add_epi64(
+                _mm256_and_si256(w, masks[i]),
+                _mm256_and_si256(_mm256_srli_epi64(w, plan.step_shift(i)),
+                                 masks[i]));
+          }
+          packed[g] = _mm256_add_epi64(packed[g], w);
+        }
+      }
+      pending += static_cast<std::size_t>(s);
+    }
+    for (int g = 0; g < num_groups; ++g) {
+      __m256i w = packed[g];
+      for (int i = accum.prefix_steps; i < plan.num_steps(); ++i) {
+        w = _mm256_add_epi64(
+            _mm256_and_si256(w, masks[i]),
+            _mm256_and_si256(_mm256_srli_epi64(w, plan.step_shift(i)),
+                             masks[i]));
+      }
+      acc[g] = _mm256_add_epi64(acc[g], _mm256_and_si256(w, final_mask));
+    }
+  } else {
+    // Full halving reduction per word.
+    for (std::size_t u = 0; u < n; ++u) {
+      const __m256i f = LoadU(filter + u * 4);
+      for (int t = 0; t < s; ++t) {
+        const __m256i md = _mm256_and_si256(_mm256_slli_epi64(f, t), dm);
+        const __m256i m = _mm256_sub_epi64(md, _mm256_srli_epi64(md, tau));
+        for (int g = 0; g < num_groups; ++g) {
+          __m256i w = _mm256_and_si256(
+              LoadU(bases[g] + (u * static_cast<std::size_t>(s) + t) * 4),
+              m);
+          w = _mm256_srli_epi64(w, plan.align_shift());
+          for (int i = 0; i < plan.num_steps(); ++i) {
+            w = _mm256_add_epi64(
+                _mm256_and_si256(w, masks[i]),
+                _mm256_and_si256(_mm256_srli_epi64(w, plan.step_shift(i)),
+                                 masks[i]));
+          }
+          acc[g] = _mm256_add_epi64(acc[g], _mm256_and_si256(w, final_mask));
+        }
+      }
+    }
+  }
+  for (int g = 0; g < num_groups; ++g) {
+    alignas(32) Word lanes_out[4];
+    StoreU(lanes_out, acc[g]);
+    group_sums[g] +=
+        lanes_out[0] + lanes_out[1] + lanes_out[2] + lanes_out[3];
+  }
+}
+
+ICP_AVX2 void VbpExtremeFoldAvx2(const Word* const* bases, const int* widths,
+                                 int num_groups, int tau, int lanes,
+                                 const Word* filter, std::size_t n,
+                                 bool is_min, Word* temp,
+                                 FoldCounters* counters) {
+  if (lanes != 4) {
+    VbpExtremeFoldScalar(bases, widths, num_groups, tau, lanes, filter, n,
+                         is_min, temp, counters);
+    return;
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    const __m256i f = LoadU(filter + u * 4);
+    if (_mm256_testz_si256(f, f)) {
+      if (counters != nullptr) ++counters->segments_skipped;
+      continue;
+    }
+    if (counters != nullptr) ++counters->folds;
+    __m256i eq = _mm256_set1_epi64x(-1);
+    __m256i replace = _mm256_setzero_si256();
+    for (int g = 0; g < num_groups; ++g) {
+      const int width = widths[g];
+      const Word* base = bases[g] + u * static_cast<std::size_t>(width) * 4;
+      for (int j = 0; j < width; ++j) {
+        const __m256i x = LoadU(base + j * 4);
+        const __m256i y = LoadU(temp + (g * tau + j) * 4);
+        const __m256i wins = is_min ? _mm256_andnot_si256(x, y)
+                                    : _mm256_andnot_si256(y, x);
+        replace = _mm256_or_si256(replace, _mm256_and_si256(eq, wins));
+        eq = _mm256_andnot_si256(_mm256_xor_si256(x, y), eq);
+      }
+      if (_mm256_testz_si256(eq, eq)) {
+        if (counters != nullptr && g + 1 < num_groups) {
+          ++counters->compare_early_stops;
+        }
+        break;
+      }
+    }
+    replace = _mm256_and_si256(replace, f);
+    if (_mm256_testz_si256(replace, replace)) {
+      if (counters != nullptr) ++counters->blends_skipped;
+      continue;
+    }
+    for (int g = 0; g < num_groups; ++g) {
+      const int width = widths[g];
+      const Word* base = bases[g] + u * static_cast<std::size_t>(width) * 4;
+      for (int j = 0; j < width; ++j) {
+        const __m256i x = LoadU(base + j * 4);
+        Word* yp = temp + (g * tau + j) * 4;
+        StoreU(yp, _mm256_or_si256(_mm256_and_si256(replace, x),
+                                   _mm256_andnot_si256(replace, LoadU(yp))));
+      }
+    }
+  }
+}
+
+ICP_AVX2 void HbpExtremeFoldAvx2(const Word* const* bases, int num_groups,
+                                 int s, int tau, int lanes,
+                                 const Word* filter, std::size_t n,
+                                 bool is_min, Word* temp,
+                                 FoldCounters* counters) {
+  if (lanes != 4) {
+    HbpExtremeFoldScalar(bases, num_groups, s, tau, lanes, filter, n, is_min,
+                         temp, counters);
+    return;
+  }
+  const __m256i dm =
+      _mm256_set1_epi64x(static_cast<long long>(DelimiterMask(s)));
+  for (std::size_t u = 0; u < n; ++u) {
+    const __m256i f = LoadU(filter + u * 4);
+    if (_mm256_testz_si256(f, f)) {
+      if (counters != nullptr) ++counters->segments_skipped;
+      continue;
+    }
+    for (int t = 0; t < s; ++t) {
+      const __m256i md = _mm256_and_si256(_mm256_slli_epi64(f, t), dm);
+      if (_mm256_testz_si256(md, md)) continue;
+      if (counters != nullptr) ++counters->folds;
+      const std::size_t word_off =
+          (u * static_cast<std::size_t>(s) + t) * 4;
+      __m256i eq = dm;
+      __m256i replace = _mm256_setzero_si256();
+      for (int g = 0; g < num_groups; ++g) {
+        const __m256i x = LoadU(bases[g] + word_off);
+        const __m256i y = LoadU(temp + g * 4);
+        const __m256i ge_xy = FieldGe256(x, y, dm);
+        const __m256i ge_yx = FieldGe256(y, x, dm);
+        replace = _mm256_or_si256(
+            replace,
+            _mm256_and_si256(
+                eq, _mm256_xor_si256(is_min ? ge_xy : ge_yx, dm)));
+        eq = _mm256_and_si256(eq, _mm256_and_si256(ge_xy, ge_yx));
+        if (_mm256_testz_si256(eq, eq)) {
+          if (counters != nullptr && g + 1 < num_groups) {
+            ++counters->compare_early_stops;
+          }
+          break;
+        }
+      }
+      replace = _mm256_and_si256(replace, md);
+      if (_mm256_testz_si256(replace, replace)) {
+        if (counters != nullptr) ++counters->blends_skipped;
+        continue;
+      }
+      const __m256i m =
+          _mm256_sub_epi64(replace, _mm256_srli_epi64(replace, tau));
+      for (int g = 0; g < num_groups; ++g) {
+        const __m256i x = LoadU(bases[g] + word_off);
+        Word* yp = temp + g * 4;
+        StoreU(yp, _mm256_or_si256(_mm256_and_si256(m, x),
+                                   _mm256_andnot_si256(m, LoadU(yp))));
+      }
+    }
+  }
+}
+
+#undef ICP_AVX2
+#endif  // ICP_POSPOPCNT_HAVE_AVX2
+
+// ---------------------------------------------------------------------------
+// AVX-512 tier (VPOPCNTDQ + DQ's 64-bit lane multiply).
+// ---------------------------------------------------------------------------
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX512)
+namespace {
+
+#define ICP_AVX512                 \
+  __attribute__((target(          \
+      "avx512f,avx512bw,avx512dq,avx512vl,avx512vpopcntdq")))
+
+ICP_AVX512 inline __m512i LoadU512(const Word* p) {
+  return _mm512_loadu_si512(static_cast<const void*>(p));
+}
+
+ICP_AVX512 inline void StoreU512(Word* p, __m512i v) {
+  _mm512_storeu_si512(static_cast<void*>(p), v);
+}
+
+ICP_AVX512 inline __m512i LoadU256Zext512(const Word* p) {
+  return _mm512_zextsi256_si512(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+
+// One zmm holding units u and u+1 of a lanes==4 stream strided by `stride`.
+ICP_AVX512 inline __m512i LoadUnitPair(const Word* p, std::size_t stride) {
+  return _mm512_inserti64x4(
+      _mm512_castsi256_si512(
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))),
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + stride)), 1);
+}
+
+}  // namespace
+
+ICP_AVX512 void CombineWordsAvx512(Word* dst, const Word* src, std::size_t n,
+                                   int op) {
+  std::size_t i = 0;
+  switch (static_cast<CombineOp>(op)) {
+    case CombineOp::kAnd:
+      for (; i + 8 <= n; i += 8) {
+        StoreU512(dst + i,
+                  _mm512_and_si512(LoadU512(dst + i), LoadU512(src + i)));
+      }
+      for (; i < n; ++i) dst[i] &= src[i];
+      break;
+    case CombineOp::kOr:
+      for (; i + 8 <= n; i += 8) {
+        StoreU512(dst + i,
+                  _mm512_or_si512(LoadU512(dst + i), LoadU512(src + i)));
+      }
+      for (; i < n; ++i) dst[i] |= src[i];
+      break;
+    case CombineOp::kXor:
+      for (; i + 8 <= n; i += 8) {
+        StoreU512(dst + i,
+                  _mm512_xor_si512(LoadU512(dst + i), LoadU512(src + i)));
+      }
+      for (; i < n; ++i) dst[i] ^= src[i];
+      break;
+    case CombineOp::kAndNot:
+      for (; i + 8 <= n; i += 8) {
+        StoreU512(dst + i,
+                  _mm512_andnot_si512(LoadU512(src + i), LoadU512(dst + i)));
+      }
+      for (; i < n; ++i) dst[i] &= ~src[i];
+      break;
+  }
+}
+
+ICP_AVX512 std::uint64_t MaskedPopcountAvx512(const Word* data,
+                                              std::size_t stride, int lanes,
+                                              const Word* cand,
+                                              std::size_t n) {
+  if (lanes != 4) return MaskedPopcountScalar(data, stride, lanes, cand, n);
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t u = 0;
+  for (; u + 2 <= n; u += 2) {
+    const __m512i c = LoadU512(cand + u * 4);  // both units' words adjoin
+    if (_mm512_test_epi64_mask(c, c) == 0) continue;
+    const __m512i w = LoadUnitPair(data + u * stride, stride);
+    acc = _mm512_add_epi64(acc,
+                           _mm512_popcnt_epi64(_mm512_and_si512(c, w)));
+  }
+  if (u < n) {
+    const __m512i c = LoadU256Zext512(cand + u * 4);
+    if (_mm512_test_epi64_mask(c, c) != 0) {
+      const __m512i w = LoadU256Zext512(data + u * stride);
+      acc = _mm512_add_epi64(acc,
+                             _mm512_popcnt_epi64(_mm512_and_si512(c, w)));
+    }
+  }
+  return static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+}
+
+ICP_AVX512 void HbpSumAvx512(const Word* const* bases, int num_groups, int s,
+                             int tau, int lanes, const Word* filter,
+                             std::size_t n, std::uint64_t* group_sums) {
+  if (lanes != 4) {
+    HbpSumScalar(bases, num_groups, s, tau, lanes, filter, n, group_sums);
+    return;
+  }
+  // Full multiply plan per word: vpmullq (AVX512DQ) restores the 64-bit
+  // lane multiply that AVX2 lacks, so no widened accumulator is needed.
+  const InWordSumPlan plan(s);
+  const __m512i dm =
+      _mm512_set1_epi64(static_cast<long long>(DelimiterMask(s)));
+  __m512i masks[8];
+  for (int i = 0; i < plan.num_steps(); ++i) {
+    masks[i] = _mm512_set1_epi64(static_cast<long long>(plan.step_mask(i)));
+  }
+  const __m512i final_mask =
+      _mm512_set1_epi64(static_cast<long long>(plan.final_mask()));
+  const __m512i multiplier =
+      _mm512_set1_epi64(static_cast<long long>(plan.multiplier()));
+  const std::size_t unit_stride = static_cast<std::size_t>(s) * 4;
+  __m512i acc[kWordBits];
+  for (int g = 0; g < num_groups; ++g) acc[g] = _mm512_setzero_si512();
+  std::size_t u = 0;
+  for (; u + 2 <= n; u += 2) {
+    const __m512i f = LoadU512(filter + u * 4);
+    for (int t = 0; t < s; ++t) {
+      const __m512i md = _mm512_and_si512(_mm512_slli_epi64(f, t), dm);
+      const __m512i m = _mm512_sub_epi64(md, _mm512_srli_epi64(md, tau));
+      for (int g = 0; g < num_groups; ++g) {
+        __m512i w = _mm512_and_si512(
+            LoadUnitPair(bases[g] + u * unit_stride + t * 4, unit_stride),
+            m);
+        w = _mm512_srli_epi64(w, plan.align_shift());
+        for (int i = 0; i < plan.num_steps(); ++i) {
+          w = _mm512_add_epi64(
+              _mm512_and_si512(w, masks[i]),
+              _mm512_and_si512(_mm512_srli_epi64(w, plan.step_shift(i)),
+                               masks[i]));
+        }
+        if (plan.use_multiply()) {
+          w = _mm512_srli_epi64(_mm512_mullo_epi64(w, multiplier),
+                                plan.final_shift());
+        }
+        acc[g] = _mm512_add_epi64(acc[g], _mm512_and_si512(w, final_mask));
+      }
+    }
+  }
+  if (u < n) {
+    // Tail unit: zero-extended loads; the upper lanes' value masks are zero
+    // so they contribute nothing.
+    const __m512i f = LoadU256Zext512(filter + u * 4);
+    for (int t = 0; t < s; ++t) {
+      const __m512i md = _mm512_and_si512(_mm512_slli_epi64(f, t), dm);
+      const __m512i m = _mm512_sub_epi64(md, _mm512_srli_epi64(md, tau));
+      for (int g = 0; g < num_groups; ++g) {
+        __m512i w = _mm512_and_si512(
+            LoadU256Zext512(bases[g] + u * unit_stride + t * 4), m);
+        w = _mm512_srli_epi64(w, plan.align_shift());
+        for (int i = 0; i < plan.num_steps(); ++i) {
+          w = _mm512_add_epi64(
+              _mm512_and_si512(w, masks[i]),
+              _mm512_and_si512(_mm512_srli_epi64(w, plan.step_shift(i)),
+                               masks[i]));
+        }
+        if (plan.use_multiply()) {
+          w = _mm512_srli_epi64(_mm512_mullo_epi64(w, multiplier),
+                                plan.final_shift());
+        }
+        acc[g] = _mm512_add_epi64(acc[g], _mm512_and_si512(w, final_mask));
+      }
+    }
+  }
+  for (int g = 0; g < num_groups; ++g) {
+    group_sums[g] +=
+        static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc[g]));
+  }
+}
+
+#undef ICP_AVX512
+#endif  // ICP_POSPOPCNT_HAVE_AVX512
+
+}  // namespace icp::kern

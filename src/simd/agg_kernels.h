@@ -1,0 +1,113 @@
+// Per-tier implementations of the non-popcount KernelOps slots: the filter
+// boolean combines, the rank/MEDIAN masked popcount, the HBP in-word SUM,
+// the VBP/HBP MIN/MAX folds, and the scanner word-compare cascades.
+//
+// These are the hot paths the engine used to hand-roll per call site; they
+// now live behind the dispatch registry (simd/dispatch.h) so one binary
+// carries every implementation, ICP_FORCE_KERNEL covers them, and the
+// differential harness exercises each tier.
+//
+// Layout conventions shared by all kernels (see layout/{vbp,hbp}_column.h):
+//   * lanes == 1 (seg-major): unit == one segment; group g's word w of
+//     unit u at bases[g][u*words_per_unit + w].
+//   * lanes == 4 (quad-interleaved): unit == one segment-quad; the four
+//     lanes of (unit, word) are contiguous at
+//     bases[g][(u*words_per_unit + w)*4 .. +3], and the filter/candidate
+//     words of a unit are contiguous too.
+// The generic kernels accept any lanes in [1, 4]; the AVX2/AVX-512
+// specializations fast-path lanes == 4 and fall back to the generic body
+// otherwise. All kernels use unaligned loads, so temp/candidate buffers
+// need no special alignment.
+//
+// The scanner kernels are shared by every tier: their lane-strided,
+// branch-heavy cascades do not vectorize (one segment's early stop is
+// independent of its neighbours'), so routing them through the registry
+// buys ICP_FORCE_KERNEL coverage and a single implementation — not a
+// per-tier speedup. The contracts (counter semantics included) are
+// documented on the KernelOps slots in dispatch.h.
+
+#ifndef ICP_SIMD_AGG_KERNELS_H_
+#define ICP_SIMD_AGG_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/vbp_pospopcnt.h"  // ICP_POSPOPCNT_HAVE_AVX2 / _AVX512
+#include "util/bits.h"
+
+namespace icp::kern {
+
+struct ScanCounters;
+struct FoldCounters;
+
+// ---------------------------------------------------------------------------
+// Scalar tier (also the "sse" tier: the CSA trick has no purchase on these
+// mask/compare-dominated loops, so the sse table reuses these entries).
+// ---------------------------------------------------------------------------
+void CombineWordsScalar(Word* dst, const Word* src, std::size_t n, int op);
+std::uint64_t MaskedPopcountScalar(const Word* data, std::size_t stride,
+                                   int lanes, const Word* cand, std::size_t n);
+void HbpSumScalar(const Word* const* bases, int num_groups, int s, int tau,
+                  int lanes, const Word* filter, std::size_t n,
+                  std::uint64_t* group_sums);
+void VbpExtremeFoldScalar(const Word* const* bases, const int* widths,
+                          int num_groups, int tau, int lanes,
+                          const Word* filter, std::size_t n, bool is_min,
+                          Word* temp, FoldCounters* counters);
+void HbpExtremeFoldScalar(const Word* const* bases, int num_groups, int s,
+                          int tau, int lanes, const Word* filter,
+                          std::size_t n, bool is_min, Word* temp,
+                          FoldCounters* counters);
+
+// ---------------------------------------------------------------------------
+// Shared scanner kernels (every tier's vbp_scan / hbp_scan slot).
+// ---------------------------------------------------------------------------
+void VbpScanKernel(const Word* const* bases, const int* widths,
+                   int num_groups, int tau, int op, const bool* c1_bits,
+                   const bool* c2_bits, std::size_t n, const Word* prior,
+                   Word* out, ScanCounters* counters);
+void HbpScanKernel(const Word* const* bases, int num_groups, int s, int op,
+                   const Word* c1_packed, const Word* c2_packed, Word md,
+                   std::size_t n, const Word* prior, Word* out,
+                   ScanCounters* counters);
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX2)
+// AVX2 variants (function-level target("avx2"); linked everywhere, selected
+// via cpuid). lanes != 4 falls back to the scalar body.
+void CombineWordsAvx2(Word* dst, const Word* src, std::size_t n, int op);
+std::uint64_t MaskedPopcountAvx2(const Word* data, std::size_t stride,
+                                 int lanes, const Word* cand, std::size_t n);
+// Widened-accumulator halving plan (AVX2 has no 64-bit lane multiply):
+// per-word prefix steps + deferred cascade tail, flushed before overflow.
+void HbpSumAvx2(const Word* const* bases, int num_groups, int s, int tau,
+                int lanes, const Word* filter, std::size_t n,
+                std::uint64_t* group_sums);
+void VbpExtremeFoldAvx2(const Word* const* bases, const int* widths,
+                        int num_groups, int tau, int lanes,
+                        const Word* filter, std::size_t n, bool is_min,
+                        Word* temp, FoldCounters* counters);
+void HbpExtremeFoldAvx2(const Word* const* bases, int num_groups, int s,
+                        int tau, int lanes, const Word* filter,
+                        std::size_t n, bool is_min, Word* temp,
+                        FoldCounters* counters);
+#endif
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX512)
+// AVX-512 variants. The extreme folds have no AVX-512 version: their state
+// is one 256-bit register set per quad, so widening to 512 bits would fold
+// two quads whose early stops diverge — the avx512 tier reuses the AVX2
+// fold kernels (see dispatch.cc).
+void CombineWordsAvx512(Word* dst, const Word* src, std::size_t n, int op);
+std::uint64_t MaskedPopcountAvx512(const Word* data, std::size_t stride,
+                                   int lanes, const Word* cand,
+                                   std::size_t n);
+// Full multiply plan per word via vpmullq (AVX512DQ) — no widened
+// accumulator needed.
+void HbpSumAvx512(const Word* const* bases, int num_groups, int s, int tau,
+                  int lanes, const Word* filter, std::size_t n,
+                  std::uint64_t* group_sums);
+#endif
+
+}  // namespace icp::kern
+
+#endif  // ICP_SIMD_AGG_KERNELS_H_

@@ -5,19 +5,42 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "simd/agg_kernels.h"
 #include "simd/vbp_pospopcnt.h"
 
 namespace icp::kern {
 namespace {
 
 const KernelOps kScalarOps = {
-    "scalar",          VbpBitSumsScalar, VbpBitSumsQuadsScalar,
-    PopcountWordsScalar, PopcountAndScalar,
+    .name = "scalar",
+    .vbp_bit_sums = VbpBitSumsScalar,
+    .vbp_bit_sums_quads = VbpBitSumsQuadsScalar,
+    .popcount_words = PopcountWordsScalar,
+    .popcount_and = PopcountAndScalar,
+    .combine_words = CombineWordsScalar,
+    .masked_popcount = MaskedPopcountScalar,
+    .hbp_sum = HbpSumScalar,
+    .vbp_extreme_fold = VbpExtremeFoldScalar,
+    .hbp_extreme_fold = HbpExtremeFoldScalar,
+    .vbp_scan = VbpScanKernel,
+    .hbp_scan = HbpScanKernel,
 };
 
+// The CSA trick only pays off on popcount-dominated loops; the compare/
+// mask-dominated slots reuse the scalar kernels (agg_kernels.h explains).
 const KernelOps kSse64Ops = {
-    "sse",            VbpBitSumsCsa64, VbpBitSumsQuadsCsa64,
-    PopcountWordsCsa64, PopcountAndCsa64,
+    .name = "sse",
+    .vbp_bit_sums = VbpBitSumsCsa64,
+    .vbp_bit_sums_quads = VbpBitSumsQuadsCsa64,
+    .popcount_words = PopcountWordsCsa64,
+    .popcount_and = PopcountAndCsa64,
+    .combine_words = CombineWordsScalar,
+    .masked_popcount = MaskedPopcountScalar,
+    .hbp_sum = HbpSumScalar,
+    .vbp_extreme_fold = VbpExtremeFoldScalar,
+    .hbp_extreme_fold = HbpExtremeFoldScalar,
+    .vbp_scan = VbpScanKernel,
+    .hbp_scan = HbpScanKernel,
 };
 
 #if defined(ICP_POSPOPCNT_HAVE_AVX2)
@@ -31,14 +54,46 @@ const KernelOps kSse64Ops = {
 // instruction — which measures ~1.7x faster than 256-bit Harley–Seal
 // (see BENCH_kernels.json). The flat-popcount slots keep the compiler's
 // code in that configuration; the positional kernels still win on AVX2
-// because their per-plane accumulation defeats auto-vectorization.
+// because their per-plane accumulation defeats auto-vectorization. The
+// avx512 tier below owns vpopcntq explicitly, independent of build flags.
 const KernelOps kAvx2Ops = {
-    "avx2",           VbpBitSumsCsa64, VbpBitSumsQuadsAvx2,
+    .name = "avx2",
+    .vbp_bit_sums = VbpBitSumsCsa64,
+    .vbp_bit_sums_quads = VbpBitSumsQuadsAvx2,
 #if defined(__AVX512VPOPCNTDQ__)
-    PopcountWordsScalar, PopcountAndScalar,
+    .popcount_words = PopcountWordsScalar,
+    .popcount_and = PopcountAndScalar,
 #else
-    PopcountWordsAvx2, PopcountAndAvx2,
+    .popcount_words = PopcountWordsAvx2,
+    .popcount_and = PopcountAndAvx2,
 #endif
+    .combine_words = CombineWordsAvx2,
+    .masked_popcount = MaskedPopcountAvx2,
+    .hbp_sum = HbpSumAvx2,
+    .vbp_extreme_fold = VbpExtremeFoldAvx2,
+    .hbp_extreme_fold = HbpExtremeFoldAvx2,
+    .vbp_scan = VbpScanKernel,
+    .hbp_scan = HbpScanKernel,
+};
+#endif
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX512)
+// The extreme folds reuse the AVX2 kernels: fold state is one 256-bit
+// register set per quad, and widening to 512 bits would chain two quads
+// whose early stops diverge (agg_kernels.h documents this).
+const KernelOps kAvx512Ops = {
+    .name = "avx512",
+    .vbp_bit_sums = VbpBitSumsCsa64,
+    .vbp_bit_sums_quads = VbpBitSumsQuadsAvx512,
+    .popcount_words = PopcountWordsAvx512,
+    .popcount_and = PopcountAndAvx512,
+    .combine_words = CombineWordsAvx512,
+    .masked_popcount = MaskedPopcountAvx512,
+    .hbp_sum = HbpSumAvx512,
+    .vbp_extreme_fold = VbpExtremeFoldAvx2,
+    .hbp_extreme_fold = HbpExtremeFoldAvx2,
+    .vbp_scan = VbpScanKernel,
+    .hbp_scan = HbpScanKernel,
 };
 #endif
 
@@ -56,9 +111,10 @@ Tier DetectStartupTier() {
   if (const char* env = std::getenv("ICP_FORCE_KERNEL")) {
     Tier forced;
     if (!ParseTier(env, &forced)) {
-      std::fprintf(stderr,
-                   "icp: ignoring ICP_FORCE_KERNEL=%s (want scalar|sse|avx2)\n",
-                   env);
+      std::fprintf(
+          stderr,
+          "icp: ignoring ICP_FORCE_KERNEL=%s (want scalar|sse|avx2|avx512)\n",
+          env);
     } else if (static_cast<int>(forced) > static_cast<int>(tier)) {
       std::fprintf(stderr,
                    "icp: ICP_FORCE_KERNEL=%s unsupported on this CPU; "
@@ -86,6 +142,8 @@ const char* TierName(Tier tier) {
       return "sse";
     case Tier::kAvx2:
       return "avx2";
+    case Tier::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -98,6 +156,8 @@ bool ParseTier(const char* name, Tier* out) {
     *out = Tier::kSse64;
   } else if (std::strcmp(name, "avx2") == 0) {
     *out = Tier::kAvx2;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    *out = Tier::kAvx512;
   } else {
     return false;
   }
@@ -106,11 +166,30 @@ bool ParseTier(const char* name, Tier* out) {
 
 Tier MaxSupportedTier() {
 #if defined(ICP_POSPOPCNT_HAVE_AVX2)
-  static const bool have_avx2 = __builtin_cpu_supports("avx2");
-  return have_avx2 ? Tier::kAvx2 : Tier::kSse64;
+  static const Tier max_tier = [] {
+#if defined(ICP_POSPOPCNT_HAVE_AVX512)
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512vpopcntdq")) {
+      return Tier::kAvx512;
+    }
+#endif
+    return __builtin_cpu_supports("avx2") ? Tier::kAvx2 : Tier::kSse64;
+  }();
+  return max_tier;
 #else
   return Tier::kSse64;
 #endif
+}
+
+Tier EffectiveTier(Tier tier) {
+  // Round-trip through the selected table's name so compile-time #if
+  // fallbacks in OpsFor are reflected too, not just the cpuid clamp.
+  Tier out = Tier::kScalar;
+  ParseTier(OpsFor(tier).name, &out);
+  return out;
 }
 
 Tier ActiveTier() {
@@ -133,6 +212,14 @@ const KernelOps& OpsFor(Tier tier) {
       return kSse64Ops;
     case Tier::kAvx2:
 #if defined(ICP_POSPOPCNT_HAVE_AVX2)
+      return kAvx2Ops;
+#else
+      return kSse64Ops;
+#endif
+    case Tier::kAvx512:
+#if defined(ICP_POSPOPCNT_HAVE_AVX512)
+      return kAvx512Ops;
+#elif defined(ICP_POSPOPCNT_HAVE_AVX2)
       return kAvx2Ops;
 #else
       return kSse64Ops;

@@ -5,7 +5,6 @@
 #include <vector>
 
 #include "core/hbp_aggregate.h"
-#include "core/in_word_sum.h"
 #include "simd/dispatch.h"
 #include "util/aligned_buffer.h"
 #include "util/check.h"
@@ -58,10 +57,6 @@ Word256 ResultWord(CompareOp op, Word256 md, const FieldCompareState256& a,
       return (a.gt | a.eq) & (b.lt | b.eq);
   }
   return Word256::Zero();
-}
-
-inline Word256 ValueMaskFromDelimiters256(Word256 md, int tau) {
-  return Sub64(md, md.Shr64(tau));
 }
 
 }  // namespace
@@ -149,149 +144,20 @@ void ScanHbpRange(const HbpColumn& column, CompareOp op, std::uint64_t c1,
   }
 }
 
-namespace {
-
-// Replays InWordSumPlan's halving steps on four lanes.
-class InWordSumPlan256 {
- public:
-  explicit InWordSumPlan256(int s) : plan_(s, /*allow_multiply=*/false) {
-    ICP_CHECK(!plan_.use_multiply());
-    final_mask_ = Word256::Broadcast(plan_.final_mask());
-    for (int i = 0; i < plan_.num_steps(); ++i) {
-      masks_[i] = Word256::Broadcast(plan_.step_mask(i));
-    }
-    // Widened-accumulator plan: after step i the word holds packed partial
-    // sums in slots of stride s*2^(i+1), each bounded by (2^(s-1)-1)*2^(i+1).
-    // Several such words can be Add64-ed together before any slot overflows
-    // its stride (or, for the truncated top slot, the end of the word), so
-    // the tail of the halving cascade runs once per flush instead of once
-    // per word. Pick the deepest prefix (at most 2 steps) that still leaves
-    // a useful accumulation budget.
-    int width = s;
-    int count = kWordBits / s;
-    UInt128 bound = LowMask(s - 1);
-    for (int i = 0; i < plan_.num_steps() && i < 2; ++i) {
-      width *= 2;
-      bound *= 2;
-      count = (count + 1) / 2;
-      const int pos_top = (count - 1) * width;
-      const int cap_bits = std::min(width, kWordBits - pos_top);
-      const UInt128 slot_max = ((UInt128{1} << (cap_bits - 1)) - 1) * 2 + 1;
-      const UInt128 budget = slot_max / bound;
-      if (budget >= 8) {
-        prefix_steps_ = i + 1;
-        max_accum_ = budget > 65536 ? 65536
-                                    : static_cast<std::size_t>(budget);
-      }
-    }
-  }
-
-  Word256 Apply(Word256 w) const {
-    w = w.Shr64(plan_.align_shift());
-    for (int i = 0; i < plan_.num_steps(); ++i) {
-      w = Add64(w & masks_[i], w.Shr64(plan_.step_shift(i)) & masks_[i]);
-    }
-    return w & final_mask_;
-  }
-
-  // Align + the first prefix_steps() halving steps only; the result is a
-  // packed partial-sum word suitable for Add64 accumulation.
-  Word256 ApplyPrefix(Word256 w) const {
-    w = w.Shr64(plan_.align_shift());
-    for (int i = 0; i < prefix_steps_; ++i) {
-      w = Add64(w & masks_[i], w.Shr64(plan_.step_shift(i)) & masks_[i]);
-    }
-    return w;
-  }
-
-  // Completes the reduction of an accumulated packed word.
-  Word256 Finish(Word256 w) const {
-    for (int i = prefix_steps_; i < plan_.num_steps(); ++i) {
-      w = Add64(w & masks_[i], w.Shr64(plan_.step_shift(i)) & masks_[i]);
-    }
-    return w & final_mask_;
-  }
-
-  // Number of halving steps deferred until Finish(); 0 disables the
-  // widened-accumulator path.
-  int prefix_steps() const { return prefix_steps_; }
-  // How many ApplyPrefix() results may be Add64-ed before Finish() must run.
-  std::size_t max_accum() const { return max_accum_; }
-
- private:
-  InWordSumPlan plan_;
-  Word256 masks_[8];
-  Word256 final_mask_;
-  int prefix_steps_ = 0;
-  std::size_t max_accum_ = 0;
-};
-
-}  // namespace
-
 void AccumulateGroupSumsHbp(const HbpColumn& column,
                             const FilterBitVector& filter,
                             std::size_t quad_begin, std::size_t quad_end,
                             std::uint64_t* group_sums) {
   ICP_CHECK_EQ(column.lanes(), 4);
   const int s = column.field_width();
-  const int tau = column.tau();
   const int num_groups = column.num_groups();
-  const Word256 dm = Word256::Broadcast(DelimiterMask(s));
-  const InWordSumPlan256 plan(s);
-  const Word* f_words = filter.words();
-  Word256 acc[kWordBits];
-  // Widened-accumulator variant (AVX2 tier): run only the first halving
-  // steps per word and Add64 the packed partial sums; the rest of the
-  // cascade runs once per flush. The scalar/sse tiers keep the one-full-
-  // reduction-per-word baseline so the differential harness exercises both.
-  if (kern::ActiveTier() == kern::Tier::kAvx2 && plan.prefix_steps() > 0 &&
-      plan.max_accum() >= static_cast<std::size_t>(s)) {
-    Word256 packed[kWordBits];
-    std::size_t pending = 0;  // ApplyPrefix results added since last flush
-    for (std::size_t q = quad_begin; q < quad_end; ++q) {
-      if (pending + static_cast<std::size_t>(s) > plan.max_accum()) {
-        for (int g = 0; g < num_groups; ++g) {
-          acc[g] = Add64(acc[g], plan.Finish(packed[g]));
-          packed[g] = Word256::Zero();
-        }
-        pending = 0;
-      }
-      const Word256 f = Word256::Load(f_words + q * 4);
-      for (int t = 0; t < s; ++t) {
-        const Word256 md = f.Shl64(t) & dm;
-        const Word256 m = ValueMaskFromDelimiters256(md, tau);
-        for (int g = 0; g < num_groups; ++g) {
-          packed[g] = Add64(
-              packed[g],
-              plan.ApplyPrefix(
-                  Word256::Load(QuadWordPtr(column, g, q, s, t)) & m));
-        }
-      }
-      pending += static_cast<std::size_t>(s);
-    }
-    for (int g = 0; g < num_groups; ++g) {
-      acc[g] = Add64(acc[g], plan.Finish(packed[g]));
-    }
-  } else {
-    // Same loop order as the scalar kernel: the per-sub-segment value mask
-    // is computed once and reused across word-groups.
-    for (std::size_t q = quad_begin; q < quad_end; ++q) {
-      const Word256 f = Word256::Load(f_words + q * 4);
-      for (int t = 0; t < s; ++t) {
-        const Word256 md = f.Shl64(t) & dm;
-        const Word256 m = ValueMaskFromDelimiters256(md, tau);
-        for (int g = 0; g < num_groups; ++g) {
-          acc[g] = Add64(acc[g], plan.Apply(Word256::Load(QuadWordPtr(
-                                                column, g, q, s, t)) &
-                                            m));
-        }
-      }
-    }
-  }
+  const Word* bases[kWordBits];
   for (int g = 0; g < num_groups; ++g) {
-    group_sums[g] +=
-        acc[g].Lane(0) + acc[g].Lane(1) + acc[g].Lane(2) + acc[g].Lane(3);
+    bases[g] = QuadWordPtr(column, g, quad_begin, s, 0);
   }
+  kern::Ops().hbp_sum(bases, num_groups, s, column.tau(), /*lanes=*/4,
+                      filter.words() + quad_begin * 4,
+                      quad_end - quad_begin, group_sums);
 }
 
 UInt128 SumHbp(const HbpColumn& column, const FilterBitVector& filter,
@@ -304,68 +170,36 @@ UInt128 SumHbp(const HbpColumn& column, const FilterBitVector& filter,
   return hbp::CombineGroupSums(column, group_sums);
 }
 
-void InitSubSlotExtremeHbp(const HbpColumn& column, bool is_min,
-                           Word256* temp) {
-  const Word256 fields =
-      Word256::Broadcast(FieldValueMask(column.field_width()));
-  for (int g = 0; g < column.num_groups(); ++g) {
-    temp[g] = is_min ? fields : Word256::Zero();
+void InitSubSlotExtremeHbp(const HbpColumn& column, bool is_min, Word* temp) {
+  const Word fields = FieldValueMask(column.field_width());
+  for (int i = 0; i < column.num_groups() * 4; ++i) {
+    temp[i] = is_min ? fields : Word{0};
   }
 }
 
 void SubSlotExtremeRangeHbp(const HbpColumn& column,
                             const FilterBitVector& filter,
                             std::size_t quad_begin, std::size_t quad_end,
-                            bool is_min, Word256* temp) {
+                            bool is_min, Word* temp) {
   ICP_CHECK_EQ(column.lanes(), 4);
   const int s = column.field_width();
-  const int tau = column.tau();
   const int num_groups = column.num_groups();
-  const Word256 dm = Word256::Broadcast(DelimiterMask(s));
-  const Word* f_words = filter.words();
-  for (std::size_t q = quad_begin; q < quad_end; ++q) {
-    const Word256 f = Word256::Load(f_words + q * 4);
-    if (f.IsZero()) continue;
-    const Word* bases[kWordBits];
-    for (int g = 0; g < num_groups; ++g) {
-      bases[g] = QuadWordPtr(column, g, q, s, 0);
-    }
-    for (int t = 0; t < s; ++t) {
-      const Word256 md = f.Shl64(t) & dm;
-      if (md.IsZero()) continue;
-      Word256 eq = dm;
-      Word256 replace = Word256::Zero();
-      for (int g = 0; g < num_groups; ++g) {
-        const Word256 x = Word256::Load(bases[g] + t * 4);
-        const Word256 y = temp[g];
-        const Word256 ge_xy = FieldGe256(x, y, dm);
-        const Word256 ge_yx = FieldGe256(y, x, dm);
-        replace = replace | (eq & ((is_min ? ge_xy : ge_yx) ^ dm));
-        eq = eq & ge_xy & ge_yx;
-        if (eq.IsZero() && g + 1 < num_groups) {
-          // No field is still tied: the remaining groups cannot change
-          // `replace`, but we must not read them either (early stop).
-          break;
-        }
-      }
-      replace = replace & md;
-      if (replace.IsZero()) continue;
-      const Word256 m = ValueMaskFromDelimiters256(replace, tau);
-      for (int g = 0; g < num_groups; ++g) {
-        temp[g] =
-            (m & Word256::Load(bases[g] + t * 4)) | AndNot(m, temp[g]);
-      }
-    }
+  const Word* bases[kWordBits];
+  for (int g = 0; g < num_groups; ++g) {
+    bases[g] = QuadWordPtr(column, g, quad_begin, s, 0);
   }
+  kern::Ops().hbp_extreme_fold(bases, num_groups, s, column.tau(),
+                               /*lanes=*/4, filter.words() + quad_begin * 4,
+                               quad_end - quad_begin, is_min, temp, nullptr);
 }
 
-std::uint64_t ExtremeOfSubSlotsHbp(const HbpColumn& column,
-                                   const Word256* temp, bool is_min) {
+std::uint64_t ExtremeOfSubSlotsHbp(const HbpColumn& column, const Word* temp,
+                                   bool is_min) {
   std::uint64_t best = 0;
   for (int lane = 0; lane < 4; ++lane) {
     Word lane_temp[kWordBits];
     for (int g = 0; g < column.num_groups(); ++g) {
-      lane_temp[g] = temp[g].Lane(lane);
+      lane_temp[g] = temp[g * 4 + lane];
     }
     const std::uint64_t v = hbp::ExtremeOfSubSlots(column, lane_temp, is_min);
     if (lane == 0 || (is_min ? v < best : v > best)) best = v;
@@ -380,7 +214,7 @@ std::optional<std::uint64_t> ExtremeHbp(const HbpColumn& column,
                                         bool is_min,
                                         const CancelContext* cancel) {
   if (filter.CountOnes() == 0) return std::nullopt;
-  Word256 temp[kWordBits];
+  Word temp[kWordBits * 4];
   InitSubSlotExtremeHbp(column, is_min, temp);
   if (!ForEachCancellableBatch(
           cancel, 0, NumQuads(column), [&](std::size_t b, std::size_t e) {

@@ -8,9 +8,10 @@
 // one aligned 256-bit load, and the four segments' filter words are
 // contiguous in the filter bit vector.
 //
-// IN-WORD-SUM is replayed on 256-bit registers using the pure halving
-// reduction (AVX2 has no 64-bit lane multiply, mirroring the paper's note
-// that not every scalar instruction has a 256-bit counterpart).
+// The SUM / MIN/MAX / rank counting loops route through the kernel
+// registry (simd/dispatch.h) with lanes == 4; the per-tier bodies —
+// including the AVX2 widened-accumulator IN-WORD-SUM and the AVX-512
+// vpmullq multiply plan — live in simd/agg_kernels.cc.
 
 #ifndef ICP_SIMD_HBP_SIMD_H_
 #define ICP_SIMD_HBP_SIMD_H_
@@ -52,15 +53,16 @@ void AccumulateGroupSumsHbp(const HbpColumn& column,
 UInt128 SumHbp(const HbpColumn& column, const FilterBitVector& filter,
                const CancelContext* cancel = nullptr);
 
-/// MIN/MAX: four running extreme sub-segments (one per lane).
-void InitSubSlotExtremeHbp(const HbpColumn& column, bool is_min,
-                           Word256* temp);
+/// MIN/MAX: four running extreme sub-segments (one per lane), 4 words per
+/// group — group g's lane words at temp[g*4 .. g*4+3] (the layout
+/// kern::hbp_extreme_fold consumes; no alignment requirement).
+void InitSubSlotExtremeHbp(const HbpColumn& column, bool is_min, Word* temp);
 void SubSlotExtremeRangeHbp(const HbpColumn& column,
                             const FilterBitVector& filter,
                             std::size_t quad_begin, std::size_t quad_end,
-                            bool is_min, Word256* temp);
-std::uint64_t ExtremeOfSubSlotsHbp(const HbpColumn& column,
-                                   const Word256* temp, bool is_min);
+                            bool is_min, Word* temp);
+std::uint64_t ExtremeOfSubSlotsHbp(const HbpColumn& column, const Word* temp,
+                                   bool is_min);
 std::optional<std::uint64_t> MinHbp(const HbpColumn& column,
                                     const FilterBitVector& filter,
                                     const CancelContext* cancel = nullptr);

@@ -5,6 +5,7 @@
 #include "core/hbp_aggregate.h"
 #include "core/vbp_aggregate.h"
 #include "parallel/parallel_aggregate.h"
+#include "simd/dispatch.h"
 #include "util/aligned_buffer.h"
 #include "util/check.h"
 
@@ -83,10 +84,10 @@ std::optional<std::uint64_t> ExtremeVbpMt(ThreadPool& pool,
                                           const CancelContext* cancel) {
   if (par::Count(pool, filter) == 0) return std::nullopt;
   const int k = column.bit_width();
-  std::vector<Word256> temps(
-      static_cast<std::size_t>(pool.num_threads()) * kWordBits);
+  std::vector<Word> temps(
+      static_cast<std::size_t>(pool.num_threads()) * kWordBits * 4);
   pool.RunPerThread([&](int index) {
-    Word256* temp = temps.data() + index * kWordBits;
+    Word* temp = temps.data() + index * kWordBits * 4;
     InitSlotExtremeVbp(k, is_min, temp);
     const auto [begin, end] =
         PartitionRange(NumQuads(column), pool.num_threads(), index);
@@ -99,7 +100,7 @@ std::optional<std::uint64_t> ExtremeVbpMt(ThreadPool& pool,
   std::uint64_t best = 0;
   for (int i = 0; i < pool.num_threads(); ++i) {
     const std::uint64_t v =
-        ExtremeOfSlotsVbp(temps.data() + i * kWordBits, k, is_min);
+        ExtremeOfSlotsVbp(temps.data() + i * kWordBits * 4, k, is_min);
     if (i == 0 || (is_min ? v < best : v > best)) best = v;
   }
   return best;
@@ -111,10 +112,10 @@ std::optional<std::uint64_t> ExtremeHbpMt(ThreadPool& pool,
                                           bool is_min,
                                           const CancelContext* cancel) {
   if (par::Count(pool, filter) == 0) return std::nullopt;
-  std::vector<Word256> temps(
-      static_cast<std::size_t>(pool.num_threads()) * kWordBits);
+  std::vector<Word> temps(
+      static_cast<std::size_t>(pool.num_threads()) * kWordBits * 4);
   pool.RunPerThread([&](int index) {
-    Word256* temp = temps.data() + index * kWordBits;
+    Word* temp = temps.data() + index * kWordBits * 4;
     InitSubSlotExtremeHbp(column, is_min, temp);
     const auto [begin, end] =
         PartitionRange(NumQuads(column), pool.num_threads(), index);
@@ -126,8 +127,8 @@ std::optional<std::uint64_t> ExtremeHbpMt(ThreadPool& pool,
   if (cancel != nullptr && cancel->ShouldStop()) return std::nullopt;
   std::uint64_t best = 0;
   for (int i = 0; i < pool.num_threads(); ++i) {
-    const std::uint64_t v =
-        ExtremeOfSubSlotsHbp(column, temps.data() + i * kWordBits, is_min);
+    const std::uint64_t v = ExtremeOfSubSlotsHbp(
+        column, temps.data() + i * kWordBits * 4, is_min);
     if (i == 0 || (is_min ? v < best : v > best)) best = v;
   }
   return best;
@@ -183,15 +184,14 @@ std::optional<std::uint64_t> RankSelectVbp(ThreadPool& pool,
     pool.RunPerThread([&](int index) {
       const auto [begin, end] =
           PartitionRange(quads, pool.num_threads(), index);
+      const kern::KernelOps& ops = kern::Ops();
       std::uint64_t c = 0;
       ForEachCancellableBatch(
           cancel, begin, end, [&](std::size_t qb, std::size_t qe) {
-            for (std::size_t q = qb; q < qe; ++q) {
-              const Word256 cand = Word256::Load(v.data() + q * 4);
-              if (cand.IsZero()) continue;
-              const Word* ptr = column.GroupData(g) + (q * width + j) * 4;
-              c += (cand & Word256::Load(ptr)).PopcountSum();
-            }
+            c += ops.masked_popcount(
+                column.GroupData(g) + (qb * width + j) * 4,
+                static_cast<std::size_t>(width) * 4, /*lanes=*/4,
+                v.data() + qb * 4, qe - qb);
           });
       partial[index] = c;
     });

@@ -316,4 +316,120 @@ ICP_AVX2 std::uint64_t PopcountAndAvx2(const Word* a, const Word* b,
 #undef ICP_AVX2
 #endif  // ICP_POSPOPCNT_HAVE_AVX2
 
+// ---------------------------------------------------------------------------
+// AVX-512 tier. VPOPCNTDQ's vpopcntq counts 8 words per instruction, so no
+// Harley–Seal tree is needed: load, mask, popcount, add. The target list
+// includes BW/DQ/VL so the kernels may use 256-bit EVEX forms for ragged
+// tails. Everything compiles without -mavx512*; dispatch.cc only hands
+// these out when cpuid reports the full feature set.
+// ---------------------------------------------------------------------------
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX512)
+namespace {
+
+#define ICP_AVX512                 \
+  __attribute__((target(          \
+      "avx512f,avx512bw,avx512dq,avx512vl,avx512vpopcntdq")))
+
+ICP_AVX512 inline __m512i LoadU512(const Word* p) {
+  return _mm512_loadu_si512(static_cast<const void*>(p));
+}
+
+// Zero-extending 256-bit load (upper half guaranteed zero, unlike the
+// cast intrinsic) — used for the odd tail quad.
+ICP_AVX512 inline __m512i LoadU256Zext(const Word* p) {
+  return _mm512_zextsi256_si512(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+
+}  // namespace
+
+ICP_AVX512 void VbpBitSumsQuadsAvx512(const Word* data, const Word* filter,
+                                      std::size_t num_quads, int width,
+                                      std::uint64_t* sums) {
+  // Per-plane 8-lane accumulators; two quads per iteration (the plane-j
+  // words of quads q and q+1 sit `stride` apart, gathered with two 256-bit
+  // loads; the eight filter words are contiguous). Flushed once at the end.
+  __m512i acc[kWordBits];
+  for (int j = 0; j < width; ++j) acc[j] = _mm512_setzero_si512();
+  const std::size_t stride = static_cast<std::size_t>(width) * 4;
+  std::size_t q = 0;
+  for (; q + 2 <= num_quads; q += 2) {
+    const Word* base = data + q * stride;
+    const __m512i f = LoadU512(filter + q * 4);
+    for (int j = 0; j < width; ++j) {
+      const Word* p = base + j * 4;
+      const __m512i w = _mm512_inserti64x4(
+          _mm512_castsi256_si512(
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + stride)),
+          1);
+      acc[j] = _mm512_add_epi64(acc[j],
+                                _mm512_popcnt_epi64(_mm512_and_si512(w, f)));
+    }
+  }
+  if (q < num_quads) {
+    // Odd tail quad: zero-extended 256-bit loads (the upper popcounts are 0).
+    const Word* base = data + q * stride;
+    const __m512i f = LoadU256Zext(filter + q * 4);
+    for (int j = 0; j < width; ++j) {
+      const __m512i w = LoadU256Zext(base + j * 4);
+      acc[j] = _mm512_add_epi64(acc[j],
+                                _mm512_popcnt_epi64(_mm512_and_si512(w, f)));
+    }
+  }
+  for (int j = 0; j < width; ++j) {
+    sums[j] += static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc[j]));
+  }
+}
+
+ICP_AVX512 std::uint64_t PopcountWordsAvx512(const Word* words,
+                                             std::size_t n) {
+  // Two accumulators break the add dependency chain.
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_add_epi64(acc0, _mm512_popcnt_epi64(LoadU512(words + i)));
+    acc1 = _mm512_add_epi64(acc1,
+                            _mm512_popcnt_epi64(LoadU512(words + i + 8)));
+  }
+  if (i + 8 <= n) {
+    acc0 = _mm512_add_epi64(acc0, _mm512_popcnt_epi64(LoadU512(words + i)));
+    i += 8;
+  }
+  std::uint64_t count = static_cast<std::uint64_t>(
+      _mm512_reduce_add_epi64(_mm512_add_epi64(acc0, acc1)));
+  for (; i < n; ++i) count += Popcount(words[i]);
+  return count;
+}
+
+ICP_AVX512 std::uint64_t PopcountAndAvx512(const Word* a, const Word* b,
+                                           std::size_t n) {
+  __m512i acc0 = _mm512_setzero_si512();
+  __m512i acc1 = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_add_epi64(
+        acc0, _mm512_popcnt_epi64(
+                  _mm512_and_si512(LoadU512(a + i), LoadU512(b + i))));
+    acc1 = _mm512_add_epi64(
+        acc1, _mm512_popcnt_epi64(_mm512_and_si512(LoadU512(a + i + 8),
+                                                   LoadU512(b + i + 8))));
+  }
+  if (i + 8 <= n) {
+    acc0 = _mm512_add_epi64(
+        acc0, _mm512_popcnt_epi64(
+                  _mm512_and_si512(LoadU512(a + i), LoadU512(b + i))));
+    i += 8;
+  }
+  std::uint64_t count = static_cast<std::uint64_t>(
+      _mm512_reduce_add_epi64(_mm512_add_epi64(acc0, acc1)));
+  for (; i < n; ++i) count += Popcount(a[i] & b[i]);
+  return count;
+}
+
+#undef ICP_AVX512
+#endif  // ICP_POSPOPCNT_HAVE_AVX512
+
 }  // namespace icp::kern

@@ -39,6 +39,7 @@
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define ICP_POSPOPCNT_HAVE_AVX2 1
+#define ICP_POSPOPCNT_HAVE_AVX512 1
 #endif
 
 namespace icp::kern {
@@ -83,6 +84,18 @@ void VbpBitSumsQuadsAvx2(const Word* data, const Word* filter,
                          std::uint64_t* sums);
 std::uint64_t PopcountWordsAvx2(const Word* words, std::size_t n);
 std::uint64_t PopcountAndAvx2(const Word* a, const Word* b, std::size_t n);
+#endif
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX512)
+// AVX-512 variants built on VPOPCNTDQ's vpopcntq (one 8-word popcount per
+// instruction — no CSA tree needed). Compiled with a function-level
+// target("avx512f,avx512bw,avx512dq,avx512vl,avx512vpopcntdq") attribute;
+// dispatch.cc only hands these out when cpuid reports the full feature set.
+void VbpBitSumsQuadsAvx512(const Word* data, const Word* filter,
+                           std::size_t num_quads, int width,
+                           std::uint64_t* sums);
+std::uint64_t PopcountWordsAvx512(const Word* words, std::size_t n);
+std::uint64_t PopcountAndAvx512(const Word* a, const Word* b, std::size_t n);
 #endif
 
 }  // namespace icp::kern

@@ -150,55 +150,34 @@ UInt128 SumVbp(const VbpColumn& column, const FilterBitVector& filter,
   return vbp::CombineBitSums(bit_sums, column.bit_width());
 }
 
-void InitSlotExtremeVbp(int k, bool is_min, Word256* temp) {
-  for (int j = 0; j < k; ++j) {
-    temp[j] = is_min ? Word256::Ones() : Word256::Zero();
+void InitSlotExtremeVbp(int k, bool is_min, Word* temp) {
+  for (int i = 0; i < k * 4; ++i) {
+    temp[i] = is_min ? ~Word{0} : Word{0};
   }
 }
 
 void SlotExtremeRangeVbp(const VbpColumn& column,
                          const FilterBitVector& filter,
                          std::size_t quad_begin, std::size_t quad_end,
-                         bool is_min, Word256* temp) {
+                         bool is_min, Word* temp) {
   ICP_CHECK_EQ(column.lanes(), 4);
-  const int tau = column.tau();
   const int num_groups = column.num_groups();
-  const Word* f_words = filter.words();
-  for (std::size_t q = quad_begin; q < quad_end; ++q) {
-    const Word256 f = Word256::Load(f_words + q * 4);
-    if (f.IsZero()) continue;
-    Word256 eq = Word256::Ones();
-    Word256 replace = Word256::Zero();
-    for (int g = 0; g < num_groups; ++g) {
-      const int width = column.GroupWidth(g);
-      const Word* base = QuadWordPtr(column, g, q, width, 0);
-      for (int j = 0; j < width; ++j) {
-        const Word256 x = Word256::Load(base + j * 4);
-        const Word256 y = temp[g * tau + j];
-        replace =
-            replace | (eq & (is_min ? AndNot(x, y) : AndNot(y, x)));
-        eq = AndNot(x ^ y, eq);
-      }
-      if (eq.IsZero()) break;
-    }
-    replace = replace & f;
-    if (replace.IsZero()) continue;
-    for (int g = 0; g < num_groups; ++g) {
-      const int width = column.GroupWidth(g);
-      const Word* base = QuadWordPtr(column, g, q, width, 0);
-      for (int j = 0; j < width; ++j) {
-        Word256& y = temp[g * tau + j];
-        y = (replace & Word256::Load(base + j * 4)) | AndNot(replace, y);
-      }
-    }
+  const Word* bases[kWordBits];
+  int widths[kWordBits];
+  for (int g = 0; g < num_groups; ++g) {
+    widths[g] = column.GroupWidth(g);
+    bases[g] = QuadWordPtr(column, g, quad_begin, widths[g], 0);
   }
+  kern::Ops().vbp_extreme_fold(bases, widths, num_groups, column.tau(),
+                               /*lanes=*/4, filter.words() + quad_begin * 4,
+                               quad_end - quad_begin, is_min, temp, nullptr);
 }
 
-std::uint64_t ExtremeOfSlotsVbp(const Word256* temp, int k, bool is_min) {
+std::uint64_t ExtremeOfSlotsVbp(const Word* temp, int k, bool is_min) {
   std::uint64_t best = 0;
   for (int lane = 0; lane < 4; ++lane) {
     Word lane_temp[kWordBits];
-    for (int j = 0; j < k; ++j) lane_temp[j] = temp[j].Lane(lane);
+    for (int j = 0; j < k; ++j) lane_temp[j] = temp[j * 4 + lane];
     const std::uint64_t v = vbp::ExtremeOfSlots(lane_temp, k, is_min);
     if (lane == 0 || (is_min ? v < best : v > best)) best = v;
   }
@@ -213,7 +192,7 @@ std::optional<std::uint64_t> ExtremeVbp(const VbpColumn& column,
                                         const CancelContext* cancel) {
   if (filter.CountOnes() == 0) return std::nullopt;
   const int k = column.bit_width();
-  Word256 temp[kWordBits];
+  Word temp[kWordBits * 4];
   InitSlotExtremeVbp(k, is_min, temp);
   if (!ForEachCancellableBatch(
           cancel, 0, NumQuads(column), [&](std::size_t b, std::size_t e) {
@@ -259,14 +238,12 @@ std::optional<std::uint64_t> RankSelectVbp(const VbpColumn& column,
     const int j = jb - g * tau;
     const int width = column.GroupWidth(g);
     std::uint64_t c = 0;
+    const kern::KernelOps& ops = kern::Ops();
     const bool ok = ForEachCancellableBatch(
         cancel, 0, quads, [&](std::size_t qb, std::size_t qe) {
-          for (std::size_t q = qb; q < qe; ++q) {
-            const Word256 cand = Word256::Load(v.data() + q * 4);
-            if (cand.IsZero()) continue;
-            c += (cand & Word256::Load(QuadWordPtr(column, g, q, width, j)))
-                     .PopcountSum();
-          }
+          c += ops.masked_popcount(QuadWordPtr(column, g, qb, width, j),
+                                   static_cast<std::size_t>(width) * 4,
+                                   /*lanes=*/4, v.data() + qb * 4, qe - qb);
         });
     if (!ok) return std::nullopt;
     const bool bit_is_one = u - c < r;

@@ -46,14 +46,16 @@ void AccumulateBitSumsVbp(const VbpColumn& column,
 UInt128 SumVbp(const VbpColumn& column, const FilterBitVector& filter,
                const CancelContext* cancel = nullptr);
 
-/// MIN/MAX: 256-value slot-wise extreme state (k Word256 entries).
-void InitSlotExtremeVbp(int k, bool is_min, Word256* temp);
+/// MIN/MAX: 256-value slot-wise extreme state, 4*k words — plane j's four
+/// lane words at temp[j*4 .. j*4+3] (the layout kern::vbp_extreme_fold
+/// consumes; no alignment requirement).
+void InitSlotExtremeVbp(int k, bool is_min, Word* temp);
 void SlotExtremeRangeVbp(const VbpColumn& column,
                          const FilterBitVector& filter,
                          std::size_t quad_begin, std::size_t quad_end,
-                         bool is_min, Word256* temp);
+                         bool is_min, Word* temp);
 /// Collapses a 256-slot state to the extreme value.
-std::uint64_t ExtremeOfSlotsVbp(const Word256* temp, int k, bool is_min);
+std::uint64_t ExtremeOfSlotsVbp(const Word* temp, int k, bool is_min);
 std::optional<std::uint64_t> MinVbp(const VbpColumn& column,
                                     const FilterBitVector& filter,
                                     const CancelContext* cancel = nullptr);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -153,10 +154,30 @@ std::uint64_t BaseSeed() {
   return 20260805;
 }
 
+// Distinct tiers this host can genuinely run. A tier whose ops table
+// clamps to a lower tier (unsupported CPU feature or compiled-out TU) is
+// skipped with a log line — re-running the lower tier under the higher
+// tier's name would report phantom coverage.
+std::vector<kern::Tier> CoveredTiers() {
+  std::vector<kern::Tier> tiers;
+  for (int t = 0; t <= static_cast<int>(kern::Tier::kAvx512); ++t) {
+    const auto tier = static_cast<kern::Tier>(t);
+    const kern::Tier eff = kern::EffectiveTier(tier);
+    if (eff != tier) {
+      std::cout << "[ SKIPPED  ] tier '" << kern::TierName(tier)
+                << "' clamps to '" << kern::TierName(eff)
+                << "' on this host\n";
+      continue;
+    }
+    tiers.push_back(tier);
+  }
+  return tiers;
+}
+
 TEST(DifferentialTest, AllLayoutsTiersAndThreadCountsAgreeWithOracle) {
   const int kSeeds = 4;
   const int kQueriesPerSeed = 6;
-  const kern::Tier max_tier = kern::MaxSupportedTier();
+  const std::vector<kern::Tier> tiers = CoveredTiers();
 
   for (int s = 0; s < kSeeds; ++s) {
     const std::uint64_t seed = BaseSeed() + static_cast<std::uint64_t>(s);
@@ -177,8 +198,7 @@ TEST(DifferentialTest, AllLayoutsTiersAndThreadCountsAgreeWithOracle) {
           << oracle_or.status().ToString();
       const QueryResult oracle = *oracle_or;
 
-      for (int tier_i = 0; tier_i <= static_cast<int>(max_tier); ++tier_i) {
-        const auto tier = static_cast<kern::Tier>(tier_i);
+      for (const kern::Tier tier : tiers) {
         kern::ForceTier(tier);
         for (int threads : {1, 4}) {
           for (const char* column : kLayoutColumns) {

@@ -78,6 +78,42 @@ TEST_P(InWordSumWidthTest, RandomWordsMatchOracle) {
 INSTANTIATE_TEST_SUITE_P(AllWidths, InWordSumWidthTest,
                          ::testing::Range(2, 65));
 
+// allow_multiply = false forces the pure halving reduction (what the AVX2
+// kernels replay on 256-bit registers: no 64-bit lane multiply in AVX2).
+// Exhaustive over every field width, including the widths whose top slot
+// is truncated by the word boundary (s where halving doubles width past
+// the remaining bits, e.g. s = 17: widths 17 -> 34 -> 68 > 64).
+class InWordSumHalvingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InWordSumHalvingTest, HalvingOnlyPlanMatchesOracle) {
+  const int s = GetParam();
+  const InWordSumPlan plan(s, /*allow_multiply=*/false);
+  EXPECT_FALSE(plan.use_multiply()) << "s=" << s;
+  // Pure halving needs exactly ceil(log2(m)) pairwise-add steps.
+  const int m = FieldsPerWord(s);
+  int expected_steps = 0;
+  for (int c = m; c > 1; c = (c + 1) / 2) ++expected_steps;
+  EXPECT_EQ(plan.num_steps(), expected_steps) << "s=" << s;
+
+  Random rng(2000 + s);
+  std::uint64_t values[64];
+  for (int trial = 0; trial < 2000; ++trial) {
+    for (int f = 0; f < m; ++f) {
+      values[f] = rng.UniformInt(0, LowMask(s - 1));
+    }
+    const Word w = BuildWord(values, s);
+    ASSERT_EQ(plan.Apply(w), FieldSumOracle(w, s)) << "s=" << s << " w=" << w;
+  }
+  // Extremes: all-zero and all-max words.
+  EXPECT_EQ(plan.Apply(0), 0u) << "s=" << s;
+  EXPECT_EQ(plan.Apply(FieldValueMask(s)),
+            static_cast<std::uint64_t>(m) * LowMask(s - 1))
+      << "s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, InWordSumHalvingTest,
+                         ::testing::Range(2, 65));
+
 TEST(InWordSumTest, PlanReuseMatchesOneShot) {
   const InWordSumPlan plan(5);
   Random rng(7);

@@ -26,13 +26,14 @@ scalar tier. This is the file committed as BENCH_kernels.json to track the
 kernel perf trajectory across PRs.
 """
 
+import argparse
 import csv
 import json
 import os
 import re
 import sys
 
-TIER_NAMES = {0: "scalar", 1: "sse", 2: "avx2"}
+TIER_NAMES = {0: "scalar", 1: "sse", 2: "avx2", 3: "avx512"}
 
 
 def parse_kernel_bench_name(name: str):
@@ -55,8 +56,16 @@ def parse_kernel_bench_name(name: str):
 
 
 def kernel_json_main(source: str, out_path: str) -> int:
-    with open(source) as f:
-        data = json.load(f)
+    try:
+        with open(source) as f:
+            data = json.load(f)
+    except OSError as e:
+        print(f"parse_bench: cannot read {source}: {e}", file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as e:
+        print(f"parse_bench: {source} is not valid JSON: {e}",
+              file=sys.stderr)
+        return 1
 
     rows = []
     for bench in data.get("benchmarks", []):
@@ -124,13 +133,34 @@ def is_number(token: str) -> bool:
         return False
 
 
-def main() -> int:
-    if len(sys.argv) == 4 and sys.argv[1] == "--kernel-json":
-        return kernel_json_main(sys.argv[2], sys.argv[3])
-    if len(sys.argv) != 3:
-        print(__doc__)
-        return 2
-    source, out_dir = sys.argv[1], sys.argv[2]
+# Exit codes: 0 success, 1 runtime error (unreadable/invalid input),
+# 2 usage error (argparse's default for bad arguments).
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="parse_bench.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument(
+        "--kernel-json", action="store_true",
+        help="treat SOURCE as google-benchmark JSON from bench_kernels and "
+             "write the distilled kernel-tier record to OUT")
+    parser.add_argument(
+        "source", metavar="SOURCE",
+        help="bench_output.txt (default mode) or google-benchmark JSON "
+             "(--kernel-json)")
+    parser.add_argument(
+        "out", metavar="OUT",
+        help="output directory for CSVs (default mode) or output JSON path "
+             "(--kernel-json)")
+    args = parser.parse_args(argv)
+
+    if args.kernel_json:
+        return kernel_json_main(args.source, args.out)
+    source, out_dir = args.source, args.out
+    if not os.path.isfile(source):
+        print(f"parse_bench: cannot read {source}: no such file",
+              file=sys.stderr)
+        return 1
     os.makedirs(out_dir, exist_ok=True)
 
     harness = None
