@@ -38,6 +38,7 @@ void BM_InWordSum(benchmark::State& state) {
 }
 BENCHMARK(BM_InWordSum)->Arg(2)->Arg(4)->Arg(5)->Arg(8)->Arg(14)->Arg(26);
 
+// exercises: vbp_scan
 void BM_VbpScan(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   const auto codes = UniformCodes(kKernelTuples, k, 7);
@@ -52,6 +53,7 @@ void BM_VbpScan(benchmark::State& state) {
 }
 BENCHMARK(BM_VbpScan)->Arg(4)->Arg(12)->Arg(25);
 
+// exercises: hbp_scan
 void BM_HbpScan(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   const auto codes = UniformCodes(kKernelTuples, k, 9);
@@ -160,6 +162,7 @@ BENCHMARK(BM_VbpBitSumsQuads)
     ->Args({3, 25});
 
 // Full VBP SUM through the registry (bit sums + weighting), per tier.
+// exercises: vbp_bit_sums_quads
 void BM_VbpSum(benchmark::State& state) {
   const auto tier = static_cast<kern::Tier>(state.range(0));
   if (!RequireTier(state, tier)) return;
@@ -185,6 +188,7 @@ BENCHMARK(BM_VbpSum)
 
 // Full HBP SUM per tier; the AVX2 tier additionally enables the
 // widened-accumulator in-word-sum path.
+// exercises: hbp_sum
 void BM_HbpSum(benchmark::State& state) {
   const auto tier = static_cast<kern::Tier>(state.range(0));
   if (!RequireTier(state, tier)) return;
@@ -208,7 +212,38 @@ BENCHMARK(BM_HbpSum)
     ->Args({2, 10})
     ->Args({3, 10});
 
+// The lanes==1 positional-popcount kernel: the inner loop of VBP SUM over
+// an uninterleaved (single-segment layout) column.
+// exercises: vbp_bit_sums
+void BM_VbpBitSumsTier(benchmark::State& state) {
+  const auto tier = static_cast<kern::Tier>(state.range(0));
+  if (!RequireTier(state, tier)) return;
+  const int k = 10;
+  const auto codes = UniformCodes(kKernelTuples, k, 7);
+  const VbpColumn col = VbpColumn::Pack(codes, k);
+  const FilterBitVector f = HalfFilter(kKernelTuples);
+  const kern::KernelOps& ops = kern::OpsFor(tier);
+  const std::size_t n = f.num_segments();
+  std::uint64_t sums[kWordBits];
+  for (auto _ : state) {
+    for (int j = 0; j < k; ++j) sums[j] = 0;
+    std::size_t consumed = 0;
+    for (int g = 0; g < col.num_groups(); ++g) {
+      const int width = col.GroupWidth(g);
+      ops.vbp_bit_sums(col.GroupData(g), f.words(), n, width,
+                       sums + consumed);
+      consumed += static_cast<std::size_t>(width);
+    }
+    benchmark::DoNotOptimize(sums);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+  state.SetLabel(std::string("tier=") + ops.name);
+}
+BENCHMARK(BM_VbpBitSumsTier)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
 // COUNT: plain popcount over the filter words, per tier.
+// exercises: popcount_words
 void BM_CountTier(benchmark::State& state) {
   const auto tier = static_cast<kern::Tier>(state.range(0));
   if (!RequireTier(state, tier)) return;
@@ -224,7 +259,27 @@ void BM_CountTier(benchmark::State& state) {
 }
 BENCHMARK(BM_CountTier)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
+// COUNT under a conjunctive filter: popcount(a & b) without materializing
+// the combined bit vector, per tier.
+// exercises: popcount_and
+void BM_PopcountAndTier(benchmark::State& state) {
+  const auto tier = static_cast<kern::Tier>(state.range(0));
+  if (!RequireTier(state, tier)) return;
+  const FilterBitVector a = HalfFilter(kKernelTuples);
+  const FilterBitVector b = HalfFilter(kKernelTuples);
+  const kern::KernelOps& ops = kern::OpsFor(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops.popcount_and(a.words(), b.words(), a.num_segments()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+  state.SetLabel(std::string("tier=") + ops.name);
+}
+BENCHMARK(BM_PopcountAndTier)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
 // Full VBP MIN through the registry (slot-extreme fold kernel), per tier.
+// exercises: vbp_extreme_fold
 void BM_VbpMinTier(benchmark::State& state) {
   const auto tier = static_cast<kern::Tier>(state.range(0));
   if (!RequireTier(state, tier)) return;
@@ -249,6 +304,7 @@ BENCHMARK(BM_VbpMinTier)
     ->Args({3, 10});
 
 // Full HBP MIN through the registry (sub-slot extreme fold), per tier.
+// exercises: hbp_extreme_fold
 void BM_HbpMinTier(benchmark::State& state) {
   const auto tier = static_cast<kern::Tier>(state.range(0));
   if (!RequireTier(state, tier)) return;
@@ -274,6 +330,7 @@ BENCHMARK(BM_HbpMinTier)
 
 // The rank/MEDIAN counting step: masked popcount of one bit-plane against
 // a candidate vector, per tier.
+// exercises: masked_popcount
 void BM_MaskedPopcountTier(benchmark::State& state) {
   const auto tier = static_cast<kern::Tier>(state.range(0));
   if (!RequireTier(state, tier)) return;
@@ -294,9 +351,15 @@ void BM_MaskedPopcountTier(benchmark::State& state) {
                           static_cast<std::int64_t>(kKernelTuples));
   state.SetLabel(std::string("tier=") + ops.name);
 }
-BENCHMARK(BM_MaskedPopcountTier)->ArgName("tier")->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+BENCHMARK(BM_MaskedPopcountTier)
+    ->ArgName("tier")
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3);
 
 // Filter combine (AND) over the full filter, per tier.
+// exercises: combine_words
 void BM_CombineTier(benchmark::State& state) {
   const auto tier = static_cast<kern::Tier>(state.range(0));
   if (!RequireTier(state, tier)) return;

@@ -201,11 +201,11 @@ inline double MeasureAgg(const Workload& w, Layout layout, BenchAgg agg,
 
 /// Prints a standard harness header.
 inline void PrintHeader(const char* title, std::size_t n, int reps) {
-  std::printf("================================================================\n");
+  std::printf("========================================================\n");
   std::printf("%s\n", title);
   std::printf("tuples = %zu, repetitions = %d (median reported)\n", n, reps);
   std::printf("cycles/tuple measured with RDTSC, as in the paper\n");
-  std::printf("================================================================\n");
+  std::printf("========================================================\n");
 }
 
 }  // namespace icp::bench

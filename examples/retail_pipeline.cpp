@@ -151,7 +151,8 @@ int main() {
   q = Query{};
   q.agg_column = "total";
   q.agg = AggKind::kCount;
-  q.filter = FilterExpr::Between("order_date", io::ParseDate("2024-03-01").value(),
+  q.filter = FilterExpr::Between("order_date",
+                                 io::ParseDate("2024-03-01").value(),
                                  io::ParseDate("2024-03-31").value());
   const std::uint64_t march = engine.Execute(table, q)->count;
   q.agg = AggKind::kRank;

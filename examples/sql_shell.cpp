@@ -1,7 +1,8 @@
 // Interactive SQL-subset shell over a synthetic "trips" table.
 //
 // Build & run:    ./build/examples/sql_shell
-// Non-interactive: ./build/examples/sql_shell -c "SELECT AVG(fare) WHERE distance > 5000"
+// Non-interactive:
+//   ./build/examples/sql_shell -c "SELECT AVG(fare) WHERE distance > 5000"
 //
 // Supported: SELECT COUNT|SUM|AVG|MIN|MAX|MEDIAN(column) and
 // RANK(column, r), WHERE with AND/OR/NOT, =/!=/<>/</<=/>/>=, BETWEEN,

@@ -71,14 +71,18 @@ struct AggStats {
 /// Result of evaluating one aggregate over codes. `value` carries MIN/MAX/
 /// MEDIAN codes and is absent when no tuple passes the filter; `sum` backs
 /// SUM and AVG.
-struct AggregateResult {
+/// [[nodiscard]]: an ignored AggregateResult means the whole aggregation ran
+/// for nothing — every dispatcher returning one inherits the warning.
+struct [[nodiscard]] AggregateResult {
   AggKind kind = AggKind::kCount;
   std::uint64_t count = 0;
   UInt128 sum = 0;
   std::optional<std::uint64_t> value;
 
   double Avg() const {
-    return count == 0 ? 0.0 : UInt128ToDouble(sum) / static_cast<double>(count);
+    return count == 0
+               ? 0.0
+               : UInt128ToDouble(sum) / static_cast<double>(count);
   }
 };
 

@@ -119,7 +119,8 @@ namespace {
 
 std::optional<std::uint64_t> Extreme(const HbpColumn& column,
                                      const FilterBitVector& filter,
-                                     bool is_min, const CancelContext* cancel) {
+                                     bool is_min,
+                                     const CancelContext* cancel) {
   if (filter.CountOnes() == 0) return std::nullopt;
   Word temp[kWordBits];
   InitSubSlotExtreme(column, is_min, temp);
@@ -187,7 +188,8 @@ void NarrowCandidates(const HbpColumn& column, Word* v,
       Word matches = 0;
       for (int t = 0; t < s; ++t) {
         const Word x = base[t];
-        const Word eq = FieldGe(x, packed_bin, dm) & FieldGe(packed_bin, x, dm);
+        const Word eq =
+            FieldGe(x, packed_bin, dm) & FieldGe(packed_bin, x, dm);
         matches |= eq >> t;
       }
       v[seg] &= matches;

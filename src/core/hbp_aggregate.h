@@ -77,12 +77,12 @@ void MergeSubSlotExtreme(const HbpColumn& column, const Word* other,
 std::uint64_t ExtremeOfSubSlots(const HbpColumn& column, const Word* temp,
                                 bool is_min);
 
-std::optional<std::uint64_t> Min(const HbpColumn& column,
-                                 const FilterBitVector& filter,
-                                 const CancelContext* cancel = nullptr);
-std::optional<std::uint64_t> Max(const HbpColumn& column,
-                                 const FilterBitVector& filter,
-                                 const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> Min(
+    const HbpColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> Max(
+    const HbpColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr);
 
 // ---------------------------------------------------------------------------
 // MEDIAN / r-selection
@@ -102,15 +102,14 @@ void NarrowCandidates(const HbpColumn& column, Word* v,
                       std::uint64_t bin);
 
 /// The r-th smallest (1-based) value among passing tuples.
-std::optional<std::uint64_t> RankSelect(const HbpColumn& column,
-                                        const FilterBitVector& filter,
-                                        std::uint64_t r,
-                                        const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> RankSelect(
+    const HbpColumn& column, const FilterBitVector& filter, std::uint64_t r,
+    const CancelContext* cancel = nullptr);
 
 /// Lower median.
-std::optional<std::uint64_t> Median(const HbpColumn& column,
-                                    const FilterBitVector& filter,
-                                    const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> Median(
+    const HbpColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr);
 
 /// Convenience dispatcher used by the engine and benches. `rank` is used
 /// only by AggKind::kRank (1-based r-selection).

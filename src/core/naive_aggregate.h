@@ -59,10 +59,9 @@ inline UInt128 SumBranchless(const NaiveColumn& column,
   return sum;
 }
 
-inline std::optional<std::uint64_t> Min(const NaiveColumn& column,
-                                        const FilterBitVector& filter,
-                                        const CancelContext* cancel =
-                                            nullptr) {
+[[nodiscard]] inline std::optional<std::uint64_t> Min(
+    const NaiveColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr) {
   std::optional<std::uint64_t> best;
   ForEachPassing(
       column, filter,
@@ -73,10 +72,9 @@ inline std::optional<std::uint64_t> Min(const NaiveColumn& column,
   return best;
 }
 
-inline std::optional<std::uint64_t> Max(const NaiveColumn& column,
-                                        const FilterBitVector& filter,
-                                        const CancelContext* cancel =
-                                            nullptr) {
+[[nodiscard]] inline std::optional<std::uint64_t> Max(
+    const NaiveColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr) {
   std::optional<std::uint64_t> best;
   ForEachPassing(
       column, filter,
@@ -87,11 +85,9 @@ inline std::optional<std::uint64_t> Max(const NaiveColumn& column,
   return best;
 }
 
-inline std::optional<std::uint64_t> RankSelect(const NaiveColumn& column,
-                                               const FilterBitVector& filter,
-                                               std::uint64_t r,
-                                               const CancelContext* cancel =
-                                                   nullptr) {
+[[nodiscard]] inline std::optional<std::uint64_t> RankSelect(
+    const NaiveColumn& column, const FilterBitVector& filter, std::uint64_t r,
+    const CancelContext* cancel = nullptr) {
   const std::uint64_t count = filter.CountOnes();
   if (r < 1 || r > count) return std::nullopt;
   std::vector<std::uint64_t> values;
@@ -106,10 +102,9 @@ inline std::optional<std::uint64_t> RankSelect(const NaiveColumn& column,
   return *nth;
 }
 
-inline std::optional<std::uint64_t> Median(const NaiveColumn& column,
-                                           const FilterBitVector& filter,
-                                           const CancelContext* cancel =
-                                               nullptr) {
+[[nodiscard]] inline std::optional<std::uint64_t> Median(
+    const NaiveColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr) {
   return RankSelect(column, filter, LowerMedianRank(filter.CountOnes()),
                     cancel);
 }

@@ -129,9 +129,9 @@ UInt128 Sum(const ColumnT& column, const FilterBitVector& filter,
 }
 
 template <typename ColumnT>
-std::optional<std::uint64_t> Min(const ColumnT& column,
-                                 const FilterBitVector& filter,
-                                 const CancelContext* cancel = nullptr) {
+[[nodiscard]] std::optional<std::uint64_t> Min(
+    const ColumnT& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr) {
   std::optional<std::uint64_t> best;
   ForEachPassing(
       column, filter,
@@ -143,9 +143,9 @@ std::optional<std::uint64_t> Min(const ColumnT& column,
 }
 
 template <typename ColumnT>
-std::optional<std::uint64_t> Max(const ColumnT& column,
-                                 const FilterBitVector& filter,
-                                 const CancelContext* cancel = nullptr) {
+[[nodiscard]] std::optional<std::uint64_t> Max(
+    const ColumnT& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr) {
   std::optional<std::uint64_t> best;
   ForEachPassing(
       column, filter,
@@ -157,15 +157,14 @@ std::optional<std::uint64_t> Max(const ColumnT& column,
 }
 
 template <typename ColumnT>
-std::optional<std::uint64_t> RankSelect(const ColumnT& column,
-                                        const FilterBitVector& filter,
-                                        std::uint64_t r,
-                                        const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> RankSelect(
+    const ColumnT& column, const FilterBitVector& filter, std::uint64_t r,
+    const CancelContext* cancel = nullptr);
 
 template <typename ColumnT>
-std::optional<std::uint64_t> Median(const ColumnT& column,
-                                    const FilterBitVector& filter,
-                                    const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> Median(
+    const ColumnT& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr);
 
 /// Convenience dispatcher mirroring the bit-parallel Aggregate().
 template <typename ColumnT>

@@ -87,10 +87,9 @@ inline UInt128 Sum(const PaddedColumn& column, const FilterBitVector& filter,
   }
 }
 
-inline std::optional<std::uint64_t> Min(const PaddedColumn& column,
-                                        const FilterBitVector& filter,
-                                        const CancelContext* cancel =
-                                            nullptr) {
+[[nodiscard]] inline std::optional<std::uint64_t> Min(
+    const PaddedColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr) {
   std::optional<std::uint64_t> best;
   ForEachPassing(
       column, filter,
@@ -101,10 +100,9 @@ inline std::optional<std::uint64_t> Min(const PaddedColumn& column,
   return best;
 }
 
-inline std::optional<std::uint64_t> Max(const PaddedColumn& column,
-                                        const FilterBitVector& filter,
-                                        const CancelContext* cancel =
-                                            nullptr) {
+[[nodiscard]] inline std::optional<std::uint64_t> Max(
+    const PaddedColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr) {
   std::optional<std::uint64_t> best;
   ForEachPassing(
       column, filter,
@@ -115,11 +113,9 @@ inline std::optional<std::uint64_t> Max(const PaddedColumn& column,
   return best;
 }
 
-inline std::optional<std::uint64_t> RankSelect(const PaddedColumn& column,
-                                               const FilterBitVector& filter,
-                                               std::uint64_t r,
-                                               const CancelContext* cancel =
-                                                   nullptr) {
+[[nodiscard]] inline std::optional<std::uint64_t> RankSelect(
+    const PaddedColumn& column, const FilterBitVector& filter, std::uint64_t r,
+    const CancelContext* cancel = nullptr) {
   const std::uint64_t count = filter.CountOnes();
   if (r < 1 || r > count) return std::nullopt;
   std::vector<std::uint64_t> values;
@@ -134,10 +130,9 @@ inline std::optional<std::uint64_t> RankSelect(const PaddedColumn& column,
   return *nth;
 }
 
-inline std::optional<std::uint64_t> Median(const PaddedColumn& column,
-                                           const FilterBitVector& filter,
-                                           const CancelContext* cancel =
-                                               nullptr) {
+[[nodiscard]] inline std::optional<std::uint64_t> Median(
+    const PaddedColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr) {
   return RankSelect(column, filter, LowerMedianRank(filter.CountOnes()),
                     cancel);
 }

@@ -25,14 +25,12 @@
 namespace icp {
 namespace topk_internal {
 
-inline std::optional<std::uint64_t> RankSelect(const VbpColumn& column,
-                                               const FilterBitVector& filter,
-                                               std::uint64_t r) {
+[[nodiscard]] inline std::optional<std::uint64_t> RankSelect(
+    const VbpColumn& column, const FilterBitVector& filter, std::uint64_t r) {
   return vbp::RankSelect(column, filter, r);
 }
-inline std::optional<std::uint64_t> RankSelect(const HbpColumn& column,
-                                               const FilterBitVector& filter,
-                                               std::uint64_t r) {
+[[nodiscard]] inline std::optional<std::uint64_t> RankSelect(
+    const HbpColumn& column, const FilterBitVector& filter, std::uint64_t r) {
   return hbp::RankSelect(column, filter, r);
 }
 inline FilterBitVector Scan(const VbpColumn& column, CompareOp op,

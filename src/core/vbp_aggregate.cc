@@ -118,7 +118,8 @@ namespace {
 
 std::optional<std::uint64_t> Extreme(const VbpColumn& column,
                                      const FilterBitVector& filter,
-                                     bool is_min, const CancelContext* cancel) {
+                                     bool is_min,
+                                     const CancelContext* cancel) {
   if (filter.CountOnes() == 0) return std::nullopt;
   const int k = column.bit_width();
   Word temp[kWordBits];

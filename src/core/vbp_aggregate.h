@@ -73,12 +73,12 @@ void MergeSlotExtreme(const Word* other, int k, bool is_min, Word* temp);
 std::uint64_t ExtremeOfSlots(const Word* temp, int k, bool is_min);
 
 /// MIN/MAX over all tuples passing `filter`; absent when none pass.
-std::optional<std::uint64_t> Min(const VbpColumn& column,
-                                 const FilterBitVector& filter,
-                                 const CancelContext* cancel = nullptr);
-std::optional<std::uint64_t> Max(const VbpColumn& column,
-                                 const FilterBitVector& filter,
-                                 const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> Min(
+    const VbpColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> Max(
+    const VbpColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr);
 
 // ---------------------------------------------------------------------------
 // MEDIAN / r-selection
@@ -99,15 +99,14 @@ void UpdateCandidates(const VbpColumn& column, Word* v,
 
 /// The r-th smallest (1-based) value among tuples passing `filter`; absent
 /// when fewer than r tuples pass.
-std::optional<std::uint64_t> RankSelect(const VbpColumn& column,
-                                        const FilterBitVector& filter,
-                                        std::uint64_t r,
-                                        const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> RankSelect(
+    const VbpColumn& column, const FilterBitVector& filter, std::uint64_t r,
+    const CancelContext* cancel = nullptr);
 
 /// Lower median (RankSelect at rank floor((count+1)/2)).
-std::optional<std::uint64_t> Median(const VbpColumn& column,
-                                    const FilterBitVector& filter,
-                                    const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> Median(
+    const VbpColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr);
 
 /// Convenience dispatcher used by the engine and benches. `rank` is used
 /// only by AggKind::kRank (1-based r-selection).

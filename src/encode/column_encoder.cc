@@ -42,7 +42,8 @@ ColumnEncoder ColumnEncoder::ForDictionary(
   return enc;
 }
 
-ColumnEncoder ColumnEncoder::FitRange(const std::vector<std::int64_t>& values) {
+ColumnEncoder ColumnEncoder::FitRange(
+    const std::vector<std::int64_t>& values) {
   ICP_CHECK(!values.empty());
   const auto [lo, hi] = std::minmax_element(values.begin(), values.end());
   return ForRange(*lo, *hi);

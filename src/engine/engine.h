@@ -96,10 +96,9 @@ class Engine {
   /// Evaluates `filter` (null = pass-all) and returns the filter bit vector
   /// shaped for `shape_column`'s layout. `scan_cycles`, if non-null,
   /// receives the RDTSC cost of the scans (excluding reshaping).
-  StatusOr<FilterBitVector> EvaluateFilter(const Table& table,
-                                           const FilterExprPtr& filter,
-                                           const std::string& shape_column,
-                                           std::uint64_t* scan_cycles = nullptr);
+  StatusOr<FilterBitVector> EvaluateFilter(
+      const Table& table, const FilterExprPtr& filter,
+      const std::string& shape_column, std::uint64_t* scan_cycles = nullptr);
 
   /// Runs the aggregation phase only, on a pre-computed filter. `rank` is
   /// used only by AggKind::kRank.

@@ -421,7 +421,7 @@ StatusOr<Query> ParseQuery(const std::string& sql) {
 }
 
 StatusOr<FilterExprPtr> ParsePredicate(const std::string& text) {
-  if (ICP_FAILPOINT("query_parser/parse")) {
+  if (ICP_FAILPOINT("query_parser/parse_predicate")) {
     return Status::Internal("parser failure injected");
   }
   auto tokens = Lexer(text).Run();

@@ -35,7 +35,8 @@ VbpColumn VbpColumn::Pack(const std::uint64_t* codes, std::size_t n, int k,
     const std::uint64_t v = codes[i];
     ICP_DCHECK(k == kWordBits || v < (std::uint64_t{1} << k));
     const std::size_t seg = i / kValuesPerSegment;
-    const int bit_pos = kWordBits - 1 - static_cast<int>(i % kValuesPerSegment);
+    const int bit_pos =
+        kWordBits - 1 - static_cast<int>(i % kValuesPerSegment);
     for (int j = 0; j < k; ++j) {
       if ((v >> (k - 1 - j)) & 1) {
         const int g = j / tau;

@@ -95,7 +95,8 @@ std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
                                         const ColumnT& column,
                                         const FilterBitVector& filter,
                                         std::uint64_t r,
-                                        const CancelContext* cancel = nullptr) {
+                                        const CancelContext* cancel =
+                                            nullptr) {
   const std::uint64_t count = filter.CountOnes();
   if (r < 1 || r > count) return std::nullopt;
   std::vector<std::vector<std::uint64_t>> partial(pool.num_threads());

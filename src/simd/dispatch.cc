@@ -108,6 +108,9 @@ Tier ClampToSupported(Tier tier) {
 
 Tier DetectStartupTier() {
   Tier tier = MaxSupportedTier();
+  // getenv is read exactly once, from the magic-static initializer in
+  // StartupTier(), before any worker thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("ICP_FORCE_KERNEL")) {
     Tier forced;
     if (!ParseTier(env, &forced)) {

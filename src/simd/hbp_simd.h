@@ -39,8 +39,8 @@ inline Word256 FieldGe256(Word256 x, Word256 c, Word256 md) {
 }
 
 /// Bit-parallel scan; requires column.lanes() == 4.
-FilterBitVector ScanHbp(const HbpColumn& column, CompareOp op,
-                        std::uint64_t c1, std::uint64_t c2 = 0);
+[[nodiscard]] FilterBitVector ScanHbp(const HbpColumn& column, CompareOp op,
+                                      std::uint64_t c1, std::uint64_t c2 = 0);
 void ScanHbpRange(const HbpColumn& column, CompareOp op, std::uint64_t c1,
                   std::uint64_t c2, std::size_t quad_begin,
                   std::size_t quad_end, FilterBitVector* out);
@@ -50,8 +50,9 @@ void AccumulateGroupSumsHbp(const HbpColumn& column,
                             const FilterBitVector& filter,
                             std::size_t quad_begin, std::size_t quad_end,
                             std::uint64_t* group_sums);
-UInt128 SumHbp(const HbpColumn& column, const FilterBitVector& filter,
-               const CancelContext* cancel = nullptr);
+[[nodiscard]] UInt128 SumHbp(const HbpColumn& column,
+                             const FilterBitVector& filter,
+                             const CancelContext* cancel = nullptr);
 
 /// MIN/MAX: four running extreme sub-segments (one per lane), 4 words per
 /// group — group g's lane words at temp[g*4 .. g*4+3] (the layout
@@ -63,23 +64,21 @@ void SubSlotExtremeRangeHbp(const HbpColumn& column,
                             bool is_min, Word* temp);
 std::uint64_t ExtremeOfSubSlotsHbp(const HbpColumn& column, const Word* temp,
                                    bool is_min);
-std::optional<std::uint64_t> MinHbp(const HbpColumn& column,
-                                    const FilterBitVector& filter,
-                                    const CancelContext* cancel = nullptr);
-std::optional<std::uint64_t> MaxHbp(const HbpColumn& column,
-                                    const FilterBitVector& filter,
-                                    const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> MinHbp(
+    const HbpColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> MaxHbp(
+    const HbpColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr);
 
 /// MEDIAN / r-selection: vectorized candidate narrowing; histogram slot
 /// extraction stays scalar per lane (gather-style work, as in Alg. 6).
-std::optional<std::uint64_t> RankSelectHbp(const HbpColumn& column,
-                                           const FilterBitVector& filter,
-                                           std::uint64_t r,
-                                           const CancelContext* cancel =
-                                               nullptr);
-std::optional<std::uint64_t> MedianHbp(const HbpColumn& column,
-                                       const FilterBitVector& filter,
-                                       const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> RankSelectHbp(
+    const HbpColumn& column, const FilterBitVector& filter, std::uint64_t r,
+    const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> MedianHbp(
+    const HbpColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr);
 
 /// Dispatcher mirroring hbp::Aggregate.
 AggregateResult AggregateHbp(const HbpColumn& column,

@@ -32,8 +32,8 @@ inline std::size_t NumQuads(const VbpColumn& column) {
 }
 
 /// Bit-parallel scan; requires column.lanes() == 4.
-FilterBitVector ScanVbp(const VbpColumn& column, CompareOp op,
-                        std::uint64_t c1, std::uint64_t c2 = 0);
+[[nodiscard]] FilterBitVector ScanVbp(const VbpColumn& column, CompareOp op,
+                                      std::uint64_t c1, std::uint64_t c2 = 0);
 void ScanVbpRange(const VbpColumn& column, CompareOp op, std::uint64_t c1,
                   std::uint64_t c2, std::size_t quad_begin,
                   std::size_t quad_end, FilterBitVector* out);
@@ -43,8 +43,9 @@ void AccumulateBitSumsVbp(const VbpColumn& column,
                           const FilterBitVector& filter,
                           std::size_t quad_begin, std::size_t quad_end,
                           std::uint64_t* bit_sums);
-UInt128 SumVbp(const VbpColumn& column, const FilterBitVector& filter,
-               const CancelContext* cancel = nullptr);
+[[nodiscard]] UInt128 SumVbp(const VbpColumn& column,
+                             const FilterBitVector& filter,
+                             const CancelContext* cancel = nullptr);
 
 /// MIN/MAX: 256-value slot-wise extreme state, 4*k words — plane j's four
 /// lane words at temp[j*4 .. j*4+3] (the layout kern::vbp_extreme_fold
@@ -56,22 +57,20 @@ void SlotExtremeRangeVbp(const VbpColumn& column,
                          bool is_min, Word* temp);
 /// Collapses a 256-slot state to the extreme value.
 std::uint64_t ExtremeOfSlotsVbp(const Word* temp, int k, bool is_min);
-std::optional<std::uint64_t> MinVbp(const VbpColumn& column,
-                                    const FilterBitVector& filter,
-                                    const CancelContext* cancel = nullptr);
-std::optional<std::uint64_t> MaxVbp(const VbpColumn& column,
-                                    const FilterBitVector& filter,
-                                    const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> MinVbp(
+    const VbpColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> MaxVbp(
+    const VbpColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr);
 
 /// MEDIAN / r-selection on 256-bit candidate vectors.
-std::optional<std::uint64_t> RankSelectVbp(const VbpColumn& column,
-                                           const FilterBitVector& filter,
-                                           std::uint64_t r,
-                                           const CancelContext* cancel =
-                                               nullptr);
-std::optional<std::uint64_t> MedianVbp(const VbpColumn& column,
-                                       const FilterBitVector& filter,
-                                       const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> RankSelectVbp(
+    const VbpColumn& column, const FilterBitVector& filter, std::uint64_t r,
+    const CancelContext* cancel = nullptr);
+[[nodiscard]] std::optional<std::uint64_t> MedianVbp(
+    const VbpColumn& column, const FilterBitVector& filter,
+    const CancelContext* cancel = nullptr);
 
 /// Dispatcher mirroring vbp::Aggregate.
 AggregateResult AggregateVbp(const VbpColumn& column,

@@ -4,7 +4,7 @@
 // allocation, a worker task dispatch) that tests can arm to simulate the
 // failure deterministically. Production code plants a site with
 //
-//   if (ICP_FAILPOINT("table_io/write")) { /* behave as if the write failed */ }
+//   if (ICP_FAILPOINT("table_io/write")) { /* act as if the write failed */ }
 //
 // and tests arm it with fail::EnableOneShot("table_io/write") (or Always /
 // EveryNth). Failpoints are compiled in only when the ICP_FAILPOINTS CMake
@@ -31,8 +31,10 @@
 //                          returns a Status instead of a partial table
 //   query_parser/lex     — Lexer::Run: lexer-internal failure before
 //                          tokenizing
-//   query_parser/parse   — ParseQuery/ParsePredicate: parser-internal
-//                          failure; partial expression trees must not leak
+//   query_parser/parse   — ParseQuery: parser-internal failure; partial
+//                          expression trees must not leak
+//   query_parser/parse_predicate — ParsePredicate: same failure mode for the
+//                          bare-predicate entry point
 
 #ifndef ICP_UTIL_FAILPOINT_H_
 #define ICP_UTIL_FAILPOINT_H_

@@ -31,7 +31,10 @@ enum class StatusCode {
 const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error result for operations that return no value.
-class Status {
+/// [[nodiscard]]: silently dropping a Status is how persistence and parser
+/// failures get lost — call sites must check, propagate, or explicitly
+/// (void)-discard with a comment saying why.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -78,7 +81,7 @@ class Status {
 
 /// A value-or-error result. Accessing the value of a non-OK result aborts.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`
   // (mirrors absl::StatusOr ergonomics).

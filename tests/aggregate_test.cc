@@ -491,9 +491,10 @@ TEST(AggregateEdgeTest, AggregateDispatcher) {
       FilterBitVector::FromBools(w.pass, VbpColumn::kValuesPerSegment);
   const AggregateResult avg = vbp::Aggregate(vcol, f, AggKind::kAvg);
   ASSERT_GT(avg.count, 0u);
-  EXPECT_NEAR(avg.Avg(),
-              UInt128ToDouble(w.ExpectedSum()) / static_cast<double>(avg.count),
-              1e-9);
+  EXPECT_NEAR(
+      avg.Avg(),
+      UInt128ToDouble(w.ExpectedSum()) / static_cast<double>(avg.count),
+      1e-9);
   const AggregateResult cnt = vbp::Aggregate(vcol, f, AggKind::kCount);
   EXPECT_EQ(cnt.count, f.CountOnes());
 }

@@ -69,7 +69,14 @@ TEST(CsvLoaderTest, EmptyFieldsBecomeNulls) {
       "2,\n"
       "3,30\n";
   auto table = LoadCsvFromString(
-      csv, {{.name = "a", .type = io::CsvColumnSpec::Type::kInt64, .scale = 2, .storage = {}}, {.name = "b", .type = io::CsvColumnSpec::Type::kInt64, .scale = 2, .storage = {}}});
+      csv, {{.name = "a",
+             .type = io::CsvColumnSpec::Type::kInt64,
+             .scale = 2,
+             .storage = {}},
+            {.name = "b",
+             .type = io::CsvColumnSpec::Type::kInt64,
+             .scale = 2,
+             .storage = {}}});
   ASSERT_TRUE(table.ok()) << table.status().ToString();
   const auto& b = **table->GetColumn("b");
   EXPECT_TRUE(b.nullable());
@@ -89,7 +96,10 @@ TEST(CsvLoaderTest, SkippedColumns) {
   const char* csv = "a,junk,b\n1,xyz,2\n3,abc,4\n";
   auto table = LoadCsvFromString(
       csv, {{.name = "a", .storage = {}},
-            {.name = "junk", .type = CsvColumnSpec::Type::kSkip, .scale = 0, .storage = {}},
+            {.name = "junk",
+             .type = CsvColumnSpec::Type::kSkip,
+             .scale = 0,
+             .storage = {}},
             {.name = "b", .storage = {}}});
   ASSERT_TRUE(table.ok());
   EXPECT_EQ(table->num_columns(), 2u);

@@ -334,7 +334,8 @@ TEST(EngineTest, MixedLayoutPredicates) {
   }
   Table table;
   ASSERT_TRUE(table.AddColumn("a", a, {.layout = Layout::kVbp}).ok());
-  ASSERT_TRUE(table.AddColumn("b", b, {.layout = Layout::kHbp, .tau = 4}).ok());
+  ASSERT_TRUE(
+      table.AddColumn("b", b, {.layout = Layout::kHbp, .tau = 4}).ok());
   Engine engine;
   Query q;
   q.agg = AggKind::kSum;

@@ -281,6 +281,7 @@ TEST_F(FailpointTest, ParserFailureSurfacesAsStatusAndLeaksNothing) {
   const auto q = ParseQuery(sql);
   EXPECT_FALSE(q.ok());
   EXPECT_EQ(q.status().code(), StatusCode::kInternal);
+  fail::EnableAlways("query_parser/parse_predicate");
   const auto p = ParsePredicate("(a > 1 AND b < 2) OR c = 3");
   EXPECT_FALSE(p.ok());
   fail::DisableAll();

@@ -87,7 +87,8 @@ constexpr CompareOp kOps[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
                               CompareOp::kLe, CompareOp::kGt, CompareOp::kGe,
                               CompareOp::kBetween};
 
-class SimdScanTest : public ::testing::TestWithParam<std::tuple<int, CompareOp>> {};
+class SimdScanTest
+    : public ::testing::TestWithParam<std::tuple<int, CompareOp>> {};
 
 TEST_P(SimdScanTest, VbpSimdMatchesScalar) {
   const auto [k, op] = GetParam();
@@ -135,7 +136,8 @@ INSTANTIATE_TEST_SUITE_P(
 // SIMD aggregates match scalar aggregates
 // ---------------------------------------------------------------------------
 
-class SimdAggTest : public ::testing::TestWithParam<std::tuple<int, double>> {};
+class SimdAggTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
 
 TEST_P(SimdAggTest, VbpSimdAggregates) {
   const auto [k, sel] = GetParam();

@@ -162,7 +162,8 @@ TEST(TableIoTest, PaddedAndNaiveLayoutsRoundTrip) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ((*loaded->GetColumn("p"))->spec().layout, Layout::kPadded);
   EXPECT_EQ((*loaded->GetColumn("n"))->spec().layout, Layout::kNaive);
-  EXPECT_EQ((*loaded->GetColumn("p"))->codes(), (*table.GetColumn("p"))->codes());
+  EXPECT_EQ((*loaded->GetColumn("p"))->codes(),
+            (*table.GetColumn("p"))->codes());
 }
 
 TEST(TableIoTest, SingleRowTable) {

@@ -27,7 +27,8 @@ TEST(UmbrellaTest, OneSymbolPerLayer) {
   ASSERT_TRUE(table.AddColumn("x", {3, 1, 4, 1, 5}, {}).ok());
   Engine engine;
   Query q{.agg = AggKind::kMax, .agg_column = "x", .filter = nullptr};
-  EXPECT_EQ(engine.Execute(table, q)->decoded_value, std::optional<std::int64_t>(5));
+  EXPECT_EQ(engine.Execute(table, q)->decoded_value,
+            std::optional<std::int64_t>(5));
 }
 
 }  // namespace

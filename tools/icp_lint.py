@@ -1,0 +1,401 @@
+#!/usr/bin/env python3
+"""icp_lint: machine-checks this repo's correctness invariants.
+
+The linter exists because each rule below encodes a bug class that has
+already happened (or nearly happened) in this codebase:
+
+  ICP001 rogue-intrinsic
+      Raw SIMD intrinsics, vector types, intrinsic headers, or
+      __AVX2__/__AVX512*__ feature tests outside the sanctioned SIMD
+      translation units. Everything else must route through the kernel
+      registry (src/simd/dispatch.h) so ICP_FORCE_KERNEL and the
+      differential harness see every hot path.
+  ICP002 no-exceptions
+      throw/try/catch anywhere in src/ or tests/. The project uses the
+      Status / ICP_CHECK idiom (Google C++ style, exceptions off).
+  ICP003 failpoint-registry
+      Every ICP_FAILPOINT site must carry a unique name, and every name
+      must be listed in docs/robustness.md (and vice versa: the doc must
+      not list failpoints that are no longer planted).
+  ICP004 slot-coverage
+      Every kernel slot declared in the KernelOps struct must be
+      exercised by tests/dispatch_test.cc (cross-tier agreement) and by
+      a bench/bench_kernels.cc benchmark — directly, or through an
+      "// exercises: slot_a, slot_b" annotation naming the slot the
+      benchmark drives through a higher-level entry point.
+
+Usage:
+    tools/icp_lint.py [--root REPO_ROOT]
+
+Findings are printed as `path:line: [rule] message`, one per line.
+Exit codes: 0 clean, 1 findings, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+# Translation units allowed to use raw intrinsics / CPU-feature tests.
+SANCTIONED_SIMD_TUS = frozenset(
+    {
+        "src/simd/agg_kernels.cc",
+        "src/simd/vbp_pospopcnt.cc",
+        "src/simd/word256.h",
+        "src/simd/dispatch.cc",
+    }
+)
+
+# Allowed to include an intrinsics header for the __rdtsc() timestamp
+# intrinsic only — still checked for SIMD compute tokens like everything
+# else outside the sanctioned TUs.
+TSC_HEADER_EXEMPT = frozenset({"src/util/rdtsc.h"})
+
+# Directories scanned for ICP001/ICP002 (relative to the root).
+CODE_DIRS = ("src", "tests")
+CODE_SUFFIXES = (".cc", ".h", ".cpp", ".hpp")
+
+DISPATCH_HEADER = "src/simd/dispatch.h"
+DISPATCH_TEST = "tests/dispatch_test.cc"
+KERNEL_BENCH = "bench/bench_kernels.cc"
+ROBUSTNESS_DOC = "docs/robustness.md"
+
+INTRINSIC_RE = re.compile(
+    r"\b_mm\d*_\w+"  # _mm_*, _mm256_*, _mm512_* intrinsics
+    r"|\b__m(?:64|128|256|512)[di]?\b"  # __m256i-style vector types
+    r"|\b__AVX2__\b|\b__AVX512\w*__\b"  # feature-test macros
+    r"|#\s*include\s*<\w*intrin\.h>"  # immintrin.h, x86intrin.h, ...
+)
+EXCEPTION_RE = re.compile(r"\bthrow\b|\btry\s*(?=\{)|\bcatch\s*\(")
+FAILPOINT_RE = re.compile(r'ICP_FAILPOINT\(\s*"([^"]+)"')
+SLOT_RE = re.compile(r"\(\s*\*\s*(\w+)\s*\)\s*\(")
+EXERCISES_RE = re.compile(r"//\s*exercises:\s*([\w,\s]+?)\s*$")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments(text: str, keep_strings: bool) -> str:
+    """Blanks comments (and, unless keep_strings, string/char literals).
+
+    Newlines are preserved so findings keep their line numbers. Handles
+    C++ digit separators (1'000'000) and simple raw string literals.
+    """
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+        elif c == "/" and nxt == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not text.startswith("*/", i):
+                out.append(text[i] if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+        elif c == '"':
+            is_raw = i > 0 and text[i - 1] == "R" and (
+                i < 2 or not (text[i - 2].isalnum() or text[i - 2] == "_")
+            )
+            if is_raw:
+                delim_end = text.index("(", i)
+                closer = ")" + text[i + 1 : delim_end] + '"'
+                end = text.index(closer, delim_end) + len(closer)
+            else:
+                end = i + 1
+                while end < n and text[end] != '"':
+                    end += 2 if text[end] == "\\" else 1
+                end = min(end + 1, n)
+            chunk = text[i:end]
+            if keep_strings:
+                out.append(chunk)
+            else:
+                out.extend(ch if ch == "\n" else " " for ch in chunk)
+            i = end
+        elif c == "'":
+            prev = text[i - 1] if i > 0 else ""
+            if prev.isalnum():  # digit separator, e.g. 10'000'000
+                out.append(c)
+                i += 1
+                continue
+            end = i + 1
+            while end < n and text[end] != "'":
+                end += 2 if text[end] == "\\" else 1
+            end = min(end + 1, n)
+            out.extend(" " for _ in range(end - i))
+            i = end
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def iter_code_files(root: str) -> list[str]:
+    files: list[str] = []
+    for code_dir in CODE_DIRS:
+        base = os.path.join(root, code_dir)
+        for dirpath, _, names in os.walk(base):
+            for name in sorted(names):
+                if name.endswith(CODE_SUFFIXES):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def rel(root: str, path: str) -> str:
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def check_intrinsics(root: str, findings: list[Finding]) -> None:
+    for path in iter_code_files(root):
+        relpath = rel(root, path)
+        if relpath in SANCTIONED_SIMD_TUS:
+            continue
+        text = read_text(path)
+        code = strip_comments(text, keep_strings=False)
+        for m in INTRINSIC_RE.finditer(code):
+            if m.group(0).startswith("#") and relpath in TSC_HEADER_EXEMPT:
+                continue
+            findings.append(
+                Finding(
+                    relpath,
+                    line_of(code, m.start()),
+                    "ICP001",
+                    f"raw SIMD token '{m.group(0)}' outside the sanctioned "
+                    "SIMD TUs; route through the kernel registry "
+                    "(src/simd/dispatch.h) instead",
+                )
+            )
+
+
+def check_exceptions(root: str, findings: list[Finding]) -> None:
+    for path in iter_code_files(root):
+        relpath = rel(root, path)
+        text = read_text(path)
+        code = strip_comments(text, keep_strings=False)
+        for m in EXCEPTION_RE.finditer(code):
+            findings.append(
+                Finding(
+                    relpath,
+                    line_of(code, m.start()),
+                    "ICP002",
+                    f"'{m.group(0).strip()}' found; this codebase uses the "
+                    "Status / ICP_CHECK idiom, not exceptions",
+                )
+            )
+
+
+def check_failpoints(root: str, findings: list[Finding]) -> None:
+    sites: dict[str, list[tuple[str, int]]] = {}
+    for path in iter_code_files(root):
+        relpath = rel(root, path)
+        if not relpath.startswith("src/"):
+            continue
+        text = read_text(path)
+        code = strip_comments(text, keep_strings=True)
+        for m in FAILPOINT_RE.finditer(code):
+            sites.setdefault(m.group(1), []).append(
+                (relpath, line_of(code, m.start()))
+            )
+
+    doc_path = os.path.join(root, ROBUSTNESS_DOC)
+    doc_text = read_text(doc_path) if os.path.isfile(doc_path) else ""
+    doc_names = set(re.findall(r"`([\w./]+/[\w./]+)`", doc_text))
+
+    for name, occurrences in sorted(sites.items()):
+        if len(occurrences) > 1:
+            locs = ", ".join(f"{p}:{ln}" for p, ln in occurrences[1:])
+            findings.append(
+                Finding(
+                    occurrences[0][0],
+                    occurrences[0][1],
+                    "ICP003",
+                    f"failpoint '{name}' is planted at more than one site "
+                    f"(also at {locs}); every site needs a unique name",
+                )
+            )
+        if name not in doc_names:
+            path0, line0 = occurrences[0]
+            findings.append(
+                Finding(
+                    path0,
+                    line0,
+                    "ICP003",
+                    f"failpoint '{name}' is not listed in {ROBUSTNESS_DOC}",
+                )
+            )
+    for name in sorted(doc_names):
+        if "/" in name and name not in sites and not name.endswith(".md"):
+            # Only flag names that look like failpoints (the doc also
+            # holds file paths in backticks).
+            if re.fullmatch(r"[a-z0-9_]+/[a-z0-9_]+", name):
+                findings.append(
+                    Finding(
+                        ROBUSTNESS_DOC,
+                        1 + doc_text[: doc_text.find(f"`{name}`")].count("\n"),
+                        "ICP003",
+                        f"{ROBUSTNESS_DOC} lists failpoint '{name}' but no "
+                        "ICP_FAILPOINT site plants it",
+                    )
+                )
+
+
+def parse_kernel_slots(root: str, findings: list[Finding]) -> list[str]:
+    path = os.path.join(root, DISPATCH_HEADER)
+    if not os.path.isfile(path):
+        findings.append(
+            Finding(
+                DISPATCH_HEADER,
+                1,
+                "ICP004",
+                "kernel registry header not found; the slot-coverage rule "
+                "has nothing to anchor on (was the header moved?)",
+            )
+        )
+        return []
+    code = strip_comments(read_text(path), keep_strings=False)
+    m = re.search(r"struct\s+KernelOps\s*\{(.*?)\n\};", code, re.DOTALL)
+    if not m:
+        findings.append(
+            Finding(
+                DISPATCH_HEADER,
+                1,
+                "ICP004",
+                "no `struct KernelOps` found in the registry header",
+            )
+        )
+        return []
+    return SLOT_RE.findall(m.group(1))
+
+
+def check_slot_coverage(root: str, findings: list[Finding]) -> None:
+    slots = parse_kernel_slots(root, findings)
+    if not slots:
+        return
+
+    def covered_names(relpath: str, with_annotations: bool) -> set[str]:
+        path = os.path.join(root, relpath)
+        if not os.path.isfile(path):
+            findings.append(
+                Finding(
+                    relpath,
+                    1,
+                    "ICP004",
+                    f"{relpath} not found; every kernel slot must be "
+                    "exercised there",
+                )
+            )
+            return set()
+        text = read_text(path)
+        code = strip_comments(text, keep_strings=False)
+        names = {s for s in slots if re.search(rf"\b{s}\b", code)}
+        if with_annotations:
+            for i, line in enumerate(text.split("\n"), start=1):
+                ann = EXERCISES_RE.search(line)
+                if not ann:
+                    continue
+                for token in re.split(r"[,\s]+", ann.group(1)):
+                    if not token:
+                        continue
+                    if token not in slots:
+                        findings.append(
+                            Finding(
+                                relpath,
+                                i,
+                                "ICP004",
+                                f"'exercises:' annotation names unknown "
+                                f"kernel slot '{token}'",
+                            )
+                        )
+                    else:
+                        names.add(token)
+        return names
+
+    tested = covered_names(DISPATCH_TEST, with_annotations=False)
+    benched = covered_names(KERNEL_BENCH, with_annotations=True)
+    for slot in slots:
+        if slot not in tested:
+            findings.append(
+                Finding(
+                    DISPATCH_HEADER,
+                    1,
+                    "ICP004",
+                    f"kernel slot '{slot}' has no cross-tier agreement "
+                    f"coverage in {DISPATCH_TEST}",
+                )
+            )
+        if slot not in benched:
+            findings.append(
+                Finding(
+                    DISPATCH_HEADER,
+                    1,
+                    "ICP004",
+                    f"kernel slot '{slot}' has no benchmark in "
+                    f"{KERNEL_BENCH} (direct call or 'exercises:' "
+                    "annotation)",
+                )
+            )
+
+
+def read_text(path: str) -> str:
+    with open(path, encoding="utf-8") as f:
+        return f.read()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="icp_lint.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    default_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument(
+        "--root",
+        default=default_root,
+        help="repo root to lint (default: the checkout containing this "
+        "script)",
+    )
+    args = parser.parse_args(argv)
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"icp_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    check_intrinsics(root, findings)
+    check_exceptions(root, findings)
+    check_failpoints(root, findings)
+    check_slot_coverage(root, findings)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"icp_lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+// Miniature kernel benchmark TU: one slot benchmarked directly, the other
+// through an annotated higher-level entry point.
+#include "simd/dispatch.h"
+
+namespace icp::bench {
+
+void BM_Count() {
+  kern::Word w = 1;
+  (void)kern::Ops().popcount_words(&w, 1);
+}
+
+// exercises: combine_words
+void BM_FilterAnd() {
+  // Drives combine_words through a higher-level helper in the real tree.
+}
+
+}  // namespace icp::bench

@@ -1,0 +1,14 @@
+// Miniature failpoint-planting TU for the icp_lint self-test. The string
+// literal below mentions "throw" to prove the linter ignores strings.
+#include "util/failpoint.h"
+
+namespace icp::io {
+
+bool WriteTable(const char* path) {
+  if (ICP_FAILPOINT("table_io/write")) {
+    return false;  // behave as if the write failed; do not "throw"
+  }
+  return path != nullptr;
+}
+
+}  // namespace icp::io

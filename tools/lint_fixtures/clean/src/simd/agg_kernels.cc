@@ -1,0 +1,13 @@
+// Sanctioned SIMD TU: raw intrinsics are allowed here, and the self-test
+// asserts the linter stays quiet about them.
+#include "simd/dispatch.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+namespace icp::kern {
+
+__m256i AddLanes(__m256i a, __m256i b) { return _mm256_add_epi64(a, b); }
+
+}  // namespace icp::kern
+#endif

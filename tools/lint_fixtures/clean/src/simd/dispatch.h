@@ -1,0 +1,29 @@
+// Miniature kernel registry used by the icp_lint self-test. Mirrors the
+// real header's shape: a KernelOps struct of function-pointer slots. The
+// comment below intentionally mentions #ifdef __AVX2__ and _mm256_add_epi64
+// to prove the linter ignores comments.
+#ifndef FIXTURE_DISPATCH_H_
+#define FIXTURE_DISPATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace icp::kern {
+
+using Word = std::uint64_t;
+
+struct KernelOps {
+  const char* name;
+
+  // sum_i popcount(words[i])
+  std::uint64_t (*popcount_words)(const Word* words, std::size_t n);
+
+  // dst[i] (op)= src[i]
+  void (*combine_words)(Word* dst, const Word* src, std::size_t n, int op);
+};
+
+const KernelOps& Ops();
+
+}  // namespace icp::kern
+
+#endif  // FIXTURE_DISPATCH_H_

