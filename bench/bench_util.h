@@ -26,11 +26,11 @@
 #include "bitvector/filter_bit_vector.h"
 #include "layout/hbp_column.h"
 #include "layout/vbp_column.h"
+#include "obs/stage_timer.h"
 #include "scan/hbp_scanner.h"
 #include "scan/vbp_scanner.h"
 #include "util/bits.h"
 #include "util/random.h"
-#include "util/rdtsc.h"
 
 namespace icp::bench {
 
@@ -49,13 +49,15 @@ inline int Repetitions(int default_reps = 3) {
   return default_reps;
 }
 
-/// Median cycles-per-tuple of `reps` runs of fn().
+/// Median cycles-per-tuple of `reps` runs of fn(). Measured with
+/// obs::StageTimer — the same clock QueryStats and EXPLAIN ANALYZE use,
+/// so bench JSON and engine stage tables can never disagree.
 template <typename Fn>
 double CyclesPerTuple(std::size_t n, int reps, Fn&& fn) {
   std::vector<double> samples;
   samples.reserve(reps);
   for (int r = 0; r < reps; ++r) {
-    const std::uint64_t cycles = MeasureCycles(fn);
+    const std::uint64_t cycles = obs::StageTimer::Measure(fn);
     samples.push_back(static_cast<double>(cycles) /
                       static_cast<double>(n));
   }

@@ -7,6 +7,9 @@
 // Supported: SELECT COUNT|SUM|AVG|MIN|MAX|MEDIAN(column) and
 // RANK(column, r), WHERE with AND/OR/NOT, =/!=/<>/</<=/>/>=, BETWEEN,
 // IN (...), IS [NOT] NULL, integer/decimal/'YYYY-MM-DD' literals.
+// Prefix any statement with EXPLAIN ANALYZE for the per-stage report.
+// Pass --trace <path> to record a Chrome trace (open in Perfetto /
+// chrome://tracing); it is written when the shell exits.
 
 #include <cstdio>
 #include <cstring>
@@ -51,12 +54,22 @@ Table MakeTripsTable() {
 
 void RunStatement(Engine& engine, const Table& table,
                   const std::string& sql) {
-  auto query = ParseQuery(sql);
-  if (!query.ok()) {
-    std::printf("  error: %s\n", query.status().ToString().c_str());
+  auto stmt = ParseStatement(sql);
+  if (!stmt.ok()) {
+    std::printf("  error: %s\n", stmt.status().ToString().c_str());
     return;
   }
-  auto result = engine.Execute(table, *query);
+  if (stmt->explain_analyze) {
+    auto report =
+        engine.ExplainAnalyze(table, stmt->query, stmt->parse_cycles);
+    if (!report.ok()) {
+      std::printf("  error: %s\n", report.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", report->c_str());
+    return;
+  }
+  auto result = engine.Execute(table, stmt->query);
   if (!result.ok()) {
     std::printf("  error: %s\n", result.status().ToString().c_str());
     return;
@@ -87,13 +100,26 @@ void RunStatement(Engine& engine, const Table& table,
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string trace_path;
+  int arg = 1;
+  if (argc > 2 && std::strcmp(argv[1], "--trace") == 0) {
+    trace_path = argv[2];
+    arg = 3;
+    icp::obs::EnableTracing();
+  }
+
   std::printf("building 1M-row trips table (distance, fare, tip [nullable], "
               "passengers, pickup_day)...\n");
   const icp::Table table = MakeTripsTable();
   icp::Engine engine(icp::ExecOptions{.threads = 4, .simd = true});
 
-  if (argc == 3 && std::strcmp(argv[1], "-c") == 0) {
-    RunStatement(engine, table, argv[2]);
+  if (argc == arg + 2 && std::strcmp(argv[arg], "-c") == 0) {
+    RunStatement(engine, table, argv[arg + 1]);
+    if (!trace_path.empty() && !icp::obs::WriteChromeTrace(trace_path)) {
+      std::printf("  error: could not write trace to %s\n",
+                  trace_path.c_str());
+      return 1;
+    }
     return 0;
   }
 
@@ -107,6 +133,10 @@ int main(int argc, char** argv) {
     if (!std::getline(std::cin, line) || line == "\\q") break;
     if (line.empty()) continue;
     RunStatement(engine, table, line);
+  }
+  if (!trace_path.empty() && !icp::obs::WriteChromeTrace(trace_path)) {
+    std::printf("  error: could not write trace to %s\n", trace_path.c_str());
+    return 1;
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "bitvector/filter_bit_vector.h"
 
+#include "obs/obs.h"
 #include "simd/dispatch.h"
 
 namespace icp {
@@ -30,6 +31,7 @@ std::uint64_t FilterBitVector::CountOnes() const {
 void FilterBitVector::And(const FilterBitVector& other) {
   ICP_CHECK_EQ(num_values_, other.num_values_);
   ICP_CHECK_EQ(vps_, other.vps_);
+  ICP_OBS_ADD(FilterCombineWords, words_.size());
   kern::Ops().combine_words(words_.data(), other.words_.data(),
                             words_.size(),
                             static_cast<int>(kern::CombineOp::kAnd));
@@ -38,6 +40,7 @@ void FilterBitVector::And(const FilterBitVector& other) {
 void FilterBitVector::Or(const FilterBitVector& other) {
   ICP_CHECK_EQ(num_values_, other.num_values_);
   ICP_CHECK_EQ(vps_, other.vps_);
+  ICP_OBS_ADD(FilterCombineWords, words_.size());
   kern::Ops().combine_words(words_.data(), other.words_.data(),
                             words_.size(),
                             static_cast<int>(kern::CombineOp::kOr));
@@ -46,6 +49,7 @@ void FilterBitVector::Or(const FilterBitVector& other) {
 void FilterBitVector::Xor(const FilterBitVector& other) {
   ICP_CHECK_EQ(num_values_, other.num_values_);
   ICP_CHECK_EQ(vps_, other.vps_);
+  ICP_OBS_ADD(FilterCombineWords, words_.size());
   kern::Ops().combine_words(words_.data(), other.words_.data(),
                             words_.size(),
                             static_cast<int>(kern::CombineOp::kXor));
@@ -54,12 +58,14 @@ void FilterBitVector::Xor(const FilterBitVector& other) {
 void FilterBitVector::AndNot(const FilterBitVector& other) {
   ICP_CHECK_EQ(num_values_, other.num_values_);
   ICP_CHECK_EQ(vps_, other.vps_);
+  ICP_OBS_ADD(FilterCombineWords, words_.size());
   kern::Ops().combine_words(words_.data(), other.words_.data(),
                             words_.size(),
                             static_cast<int>(kern::CombineOp::kAndNot));
 }
 
 void FilterBitVector::Not() {
+  ICP_OBS_ADD(FilterCombineWords, words_.size());
   for (std::size_t s = 0; s < words_.size(); ++s) {
     words_[s] = ~words_[s] & ValidMask(s);
   }

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "bitvector/filter_bit_vector.h"
+#include "obs/obs.h"
 #include "util/bits.h"
 
 namespace icp {
@@ -53,8 +54,10 @@ inline std::uint64_t LowerMedianRank(std::uint64_t count) {
   return (count + 1) / 2;
 }
 
-/// Optional instrumentation for the scalar aggregation kernels (used by
-/// the ablation benches and tests; the SIMD/MT paths are not instrumented).
+/// Optional instrumentation for the aggregation kernels. The scalar
+/// MIN/MAX cascades fill every field exactly; the value-at-a-time and
+/// SIMD dispatchers report the segment-liveness summary of
+/// CountFilterSegments below (see docs/observability.md).
 struct AggStats {
   /// SLOTMIN / SUB-SLOTMIN folds attempted.
   std::uint64_t folds = 0;
@@ -67,6 +70,26 @@ struct AggStats {
   /// (F == 0 in MIN/MAX, V == 0 in MEDIAN's iterations).
   std::uint64_t segments_skipped = 0;
 };
+
+/// Cheap segment-liveness summary for aggregate paths with no fold
+/// cascade to count (NBP / padded value walks skip all-dead segments;
+/// the SIMD dispatchers are uninstrumented inside): live segments count
+/// as folds, all-dead segments as segments_skipped. One O(segments) pass
+/// per aggregate call, only when the caller collects stats — the
+/// process-wide agg.* counters advance from the same numbers.
+inline void CountFilterSegments(const FilterBitVector& filter,
+                                AggStats* stats) {
+  if (stats == nullptr) return;
+  std::uint64_t live = 0;
+  const std::size_t num_segments = filter.num_segments();
+  for (std::size_t s = 0; s < num_segments; ++s) {
+    if (filter.SegmentWord(s) != 0) ++live;
+  }
+  stats->folds += live;
+  stats->segments_skipped += num_segments - live;
+  ICP_OBS_ADD(AggSegmentsFolded, live);
+  ICP_OBS_ADD(AggSegmentsSkipped, num_segments - live);
+}
 
 /// Result of evaluating one aggregate over codes. `value` carries MIN/MAX/
 /// MEDIAN codes and is absent when no tuple passes the filter; `sum` backs

@@ -81,6 +81,10 @@ void SubSlotExtremeRange(const HbpColumn& column,
     stats->compare_early_stops += counters.compare_early_stops;
     stats->blends_skipped += counters.blends_skipped;
     stats->segments_skipped += counters.segments_skipped;
+    ICP_OBS_ADD(AggSegmentsFolded, counters.folds);
+    ICP_OBS_ADD(AggCompareEarlyStops, counters.compare_early_stops);
+    ICP_OBS_ADD(AggBlendsSkipped, counters.blends_skipped);
+    ICP_OBS_ADD(AggSegmentsSkipped, counters.segments_skipped);
   }
 }
 
@@ -120,13 +124,14 @@ namespace {
 std::optional<std::uint64_t> Extreme(const HbpColumn& column,
                                      const FilterBitVector& filter,
                                      bool is_min,
-                                     const CancelContext* cancel) {
+                                     const CancelContext* cancel,
+                                     AggStats* stats) {
   if (filter.CountOnes() == 0) return std::nullopt;
   Word temp[kWordBits];
   InitSubSlotExtreme(column, is_min, temp);
   if (!ForEachCancellableBatch(
           cancel, 0, filter.num_segments(), [&](std::size_t b, std::size_t e) {
-            SubSlotExtremeRange(column, filter, b, e, is_min, temp);
+            SubSlotExtremeRange(column, filter, b, e, is_min, temp, stats);
           })) {
     return std::nullopt;
   }
@@ -137,14 +142,16 @@ std::optional<std::uint64_t> Extreme(const HbpColumn& column,
 
 std::optional<std::uint64_t> Min(const HbpColumn& column,
                                  const FilterBitVector& filter,
-                                 const CancelContext* cancel) {
-  return Extreme(column, filter, /*is_min=*/true, cancel);
+                                 const CancelContext* cancel,
+                                 AggStats* stats) {
+  return Extreme(column, filter, /*is_min=*/true, cancel, stats);
 }
 
 std::optional<std::uint64_t> Max(const HbpColumn& column,
                                  const FilterBitVector& filter,
-                                 const CancelContext* cancel) {
-  return Extreme(column, filter, /*is_min=*/false, cancel);
+                                 const CancelContext* cancel,
+                                 AggStats* stats) {
+  return Extreme(column, filter, /*is_min=*/false, cancel, stats);
 }
 
 // ---------------------------------------------------------------------------
@@ -250,7 +257,9 @@ std::optional<std::uint64_t> Median(const HbpColumn& column,
 
 AggregateResult Aggregate(const HbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank, const CancelContext* cancel) {
+                          std::uint64_t rank, const CancelContext* cancel,
+                          AggStats* stats) {
+  ICP_OBS_INCREMENT(AggPathHbp);
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -260,18 +269,21 @@ AggregateResult Aggregate(const HbpColumn& column,
     case AggKind::kSum:
     case AggKind::kAvg:
       result.sum = Sum(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kMin:
-      result.value = Min(column, filter, cancel);
+      result.value = Min(column, filter, cancel, stats);
       break;
     case AggKind::kMax:
-      result.value = Max(column, filter, cancel);
+      result.value = Max(column, filter, cancel, stats);
       break;
     case AggKind::kMedian:
       result.value = Median(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kRank:
       result.value = RankSelect(column, filter, rank, cancel);
+      CountFilterSegments(filter, stats);
       break;
   }
   return result;

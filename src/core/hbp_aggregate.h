@@ -77,12 +77,13 @@ void MergeSubSlotExtreme(const HbpColumn& column, const Word* other,
 std::uint64_t ExtremeOfSubSlots(const HbpColumn& column, const Word* temp,
                                 bool is_min);
 
+/// `stats`, when non-null, accumulates the fold instrumentation.
 [[nodiscard]] std::optional<std::uint64_t> Min(
     const HbpColumn& column, const FilterBitVector& filter,
-    const CancelContext* cancel = nullptr);
+    const CancelContext* cancel = nullptr, AggStats* stats = nullptr);
 [[nodiscard]] std::optional<std::uint64_t> Max(
     const HbpColumn& column, const FilterBitVector& filter,
-    const CancelContext* cancel = nullptr);
+    const CancelContext* cancel = nullptr, AggStats* stats = nullptr);
 
 // ---------------------------------------------------------------------------
 // MEDIAN / r-selection
@@ -112,11 +113,14 @@ void NarrowCandidates(const HbpColumn& column, Word* v,
     const CancelContext* cancel = nullptr);
 
 /// Convenience dispatcher used by the engine and benches. `rank` is used
-/// only by AggKind::kRank (1-based r-selection).
+/// only by AggKind::kRank (1-based r-selection). `stats`, when non-null,
+/// collects fold instrumentation (exact for MIN/MAX, the
+/// CountFilterSegments liveness summary for the other kinds).
 AggregateResult Aggregate(const HbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
                           std::uint64_t rank = 0,
-                          const CancelContext* cancel = nullptr);
+                          const CancelContext* cancel = nullptr,
+                          AggStats* stats = nullptr);
 
 }  // namespace icp::hbp
 

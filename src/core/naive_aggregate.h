@@ -109,10 +109,16 @@ inline UInt128 SumBranchless(const NaiveColumn& column,
                     cancel);
 }
 
+/// `stats`, when non-null, carries the CountFilterSegments liveness
+/// summary. Note the naive walk visits every tuple (it tests the filter
+/// bit per value, it does not skip dead segments), so segments_skipped
+/// here describes the filter, not work actually avoided.
 inline AggregateResult Aggregate(const NaiveColumn& column,
                                  const FilterBitVector& filter,
                                  AggKind kind, std::uint64_t rank = 0,
-                                 const CancelContext* cancel = nullptr) {
+                                 const CancelContext* cancel = nullptr,
+                                 AggStats* stats = nullptr) {
+  ICP_OBS_INCREMENT(AggPathNaive);
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -122,18 +128,23 @@ inline AggregateResult Aggregate(const NaiveColumn& column,
     case AggKind::kSum:
     case AggKind::kAvg:
       result.sum = Sum(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kMin:
       result.value = Min(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kMax:
       result.value = Max(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kMedian:
       result.value = Median(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kRank:
       result.value = RankSelect(column, filter, rank, cancel);
+      CountFilterSegments(filter, stats);
       break;
   }
   return result;

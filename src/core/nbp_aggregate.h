@@ -167,11 +167,16 @@ template <typename ColumnT>
     const CancelContext* cancel = nullptr);
 
 /// Convenience dispatcher mirroring the bit-parallel Aggregate().
+/// NBP has no fold cascade, so `stats` (when requested) carries the
+/// CountFilterSegments liveness summary: ForEachPassingRange really does
+/// skip all-dead segments, so the numbers are faithful.
 template <typename ColumnT>
 AggregateResult Aggregate(const ColumnT& column,
                           const FilterBitVector& filter, AggKind kind,
                           std::uint64_t rank = 0,
-                          const CancelContext* cancel = nullptr) {
+                          const CancelContext* cancel = nullptr,
+                          AggStats* stats = nullptr) {
+  ICP_OBS_INCREMENT(AggPathNbp);
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -181,18 +186,23 @@ AggregateResult Aggregate(const ColumnT& column,
     case AggKind::kSum:
     case AggKind::kAvg:
       result.sum = Sum(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kMin:
       result.value = Min(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kMax:
       result.value = Max(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kMedian:
       result.value = Median(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kRank:
       result.value = RankSelect(column, filter, rank, cancel);
+      CountFilterSegments(filter, stats);
       break;
   }
   return result;

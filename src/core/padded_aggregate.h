@@ -137,10 +137,15 @@ inline UInt128 Sum(const PaddedColumn& column, const FilterBitVector& filter,
                     cancel);
 }
 
+/// `stats`, when non-null, carries the CountFilterSegments liveness
+/// summary: the order statistics (ForEachPassing) genuinely skip all-dead
+/// segments, SUM's masked loop still touches every word of them.
 inline AggregateResult Aggregate(const PaddedColumn& column,
                                  const FilterBitVector& filter, AggKind kind,
                                  std::uint64_t rank = 0,
-                                 const CancelContext* cancel = nullptr) {
+                                 const CancelContext* cancel = nullptr,
+                                 AggStats* stats = nullptr) {
+  ICP_OBS_INCREMENT(AggPathPadded);
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -150,18 +155,23 @@ inline AggregateResult Aggregate(const PaddedColumn& column,
     case AggKind::kSum:
     case AggKind::kAvg:
       result.sum = Sum(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kMin:
       result.value = Min(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kMax:
       result.value = Max(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kMedian:
       result.value = Median(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kRank:
       result.value = RankSelect(column, filter, rank, cancel);
+      CountFilterSegments(filter, stats);
       break;
   }
   return result;

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/obs.h"
 #include "simd/dispatch.h"
 #include "util/check.h"
 
@@ -87,6 +88,10 @@ void SlotExtremeRange(const VbpColumn& column, const FilterBitVector& filter,
     stats->compare_early_stops += counters.compare_early_stops;
     stats->blends_skipped += counters.blends_skipped;
     stats->segments_skipped += counters.segments_skipped;
+    ICP_OBS_ADD(AggSegmentsFolded, counters.folds);
+    ICP_OBS_ADD(AggCompareEarlyStops, counters.compare_early_stops);
+    ICP_OBS_ADD(AggBlendsSkipped, counters.blends_skipped);
+    ICP_OBS_ADD(AggSegmentsSkipped, counters.segments_skipped);
   }
 }
 
@@ -119,14 +124,15 @@ namespace {
 std::optional<std::uint64_t> Extreme(const VbpColumn& column,
                                      const FilterBitVector& filter,
                                      bool is_min,
-                                     const CancelContext* cancel) {
+                                     const CancelContext* cancel,
+                                     AggStats* stats) {
   if (filter.CountOnes() == 0) return std::nullopt;
   const int k = column.bit_width();
   Word temp[kWordBits];
   InitSlotExtreme(k, is_min, temp);
   if (!ForEachCancellableBatch(
           cancel, 0, LiveSegments(filter), [&](std::size_t b, std::size_t e) {
-            SlotExtremeRange(column, filter, b, e, is_min, temp);
+            SlotExtremeRange(column, filter, b, e, is_min, temp, stats);
           })) {
     return std::nullopt;
   }
@@ -137,14 +143,16 @@ std::optional<std::uint64_t> Extreme(const VbpColumn& column,
 
 std::optional<std::uint64_t> Min(const VbpColumn& column,
                                  const FilterBitVector& filter,
-                                 const CancelContext* cancel) {
-  return Extreme(column, filter, /*is_min=*/true, cancel);
+                                 const CancelContext* cancel,
+                                 AggStats* stats) {
+  return Extreme(column, filter, /*is_min=*/true, cancel, stats);
 }
 
 std::optional<std::uint64_t> Max(const VbpColumn& column,
                                  const FilterBitVector& filter,
-                                 const CancelContext* cancel) {
-  return Extreme(column, filter, /*is_min=*/false, cancel);
+                                 const CancelContext* cancel,
+                                 AggStats* stats) {
+  return Extreme(column, filter, /*is_min=*/false, cancel, stats);
 }
 
 // ---------------------------------------------------------------------------
@@ -225,7 +233,9 @@ std::optional<std::uint64_t> Median(const VbpColumn& column,
 
 AggregateResult Aggregate(const VbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank, const CancelContext* cancel) {
+                          std::uint64_t rank, const CancelContext* cancel,
+                          AggStats* stats) {
+  ICP_OBS_INCREMENT(AggPathVbp);
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -235,18 +245,21 @@ AggregateResult Aggregate(const VbpColumn& column,
     case AggKind::kSum:
     case AggKind::kAvg:
       result.sum = Sum(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kMin:
-      result.value = Min(column, filter, cancel);
+      result.value = Min(column, filter, cancel, stats);
       break;
     case AggKind::kMax:
-      result.value = Max(column, filter, cancel);
+      result.value = Max(column, filter, cancel, stats);
       break;
     case AggKind::kMedian:
       result.value = Median(column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kRank:
       result.value = RankSelect(column, filter, rank, cancel);
+      CountFilterSegments(filter, stats);
       break;
   }
   return result;

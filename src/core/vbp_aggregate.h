@@ -73,12 +73,13 @@ void MergeSlotExtreme(const Word* other, int k, bool is_min, Word* temp);
 std::uint64_t ExtremeOfSlots(const Word* temp, int k, bool is_min);
 
 /// MIN/MAX over all tuples passing `filter`; absent when none pass.
+/// `stats`, when non-null, accumulates the fold instrumentation.
 [[nodiscard]] std::optional<std::uint64_t> Min(
     const VbpColumn& column, const FilterBitVector& filter,
-    const CancelContext* cancel = nullptr);
+    const CancelContext* cancel = nullptr, AggStats* stats = nullptr);
 [[nodiscard]] std::optional<std::uint64_t> Max(
     const VbpColumn& column, const FilterBitVector& filter,
-    const CancelContext* cancel = nullptr);
+    const CancelContext* cancel = nullptr, AggStats* stats = nullptr);
 
 // ---------------------------------------------------------------------------
 // MEDIAN / r-selection
@@ -109,11 +110,14 @@ void UpdateCandidates(const VbpColumn& column, Word* v,
     const CancelContext* cancel = nullptr);
 
 /// Convenience dispatcher used by the engine and benches. `rank` is used
-/// only by AggKind::kRank (1-based r-selection).
+/// only by AggKind::kRank (1-based r-selection). `stats`, when non-null,
+/// collects fold instrumentation (exact for MIN/MAX, the
+/// CountFilterSegments liveness summary for the other kinds).
 AggregateResult Aggregate(const VbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
                           std::uint64_t rank = 0,
-                          const CancelContext* cancel = nullptr);
+                          const CancelContext* cancel = nullptr,
+                          AggStats* stats = nullptr);
 
 }  // namespace icp::vbp
 

@@ -1,21 +1,25 @@
 #include "engine/engine.h"
 
+#include <cstdarg>
+#include <cstdio>
 #include <utility>
 #include <vector>
 
 #include "core/hbp_aggregate.h"
 #include "core/naive_aggregate.h"
 #include "core/nbp_aggregate.h"
+#include "core/padded_aggregate.h"
 #include "core/vbp_aggregate.h"
+#include "obs/obs.h"
+#include "obs/stage_timer.h"
 #include "parallel/parallel_aggregate.h"
 #include "parallel/parallel_nbp.h"
 #include "scan/hbp_scanner.h"
-#include "core/padded_aggregate.h"
 #include "scan/naive_scanner.h"
 #include "scan/padded_scanner.h"
 #include "scan/vbp_scanner.h"
+#include "simd/dispatch.h"
 #include "simd/simd_parallel.h"
-#include "util/rdtsc.h"
 
 namespace icp {
 namespace {
@@ -135,6 +139,8 @@ FilterBitVector FalseSet(const Engine::TriState& t);
 StatusOr<Engine::TriState> Engine::ScanLeaf(const Table& table,
                                             const FilterExpr& leaf,
                                             const CancelContext* cancel) {
+  obs::QueryStats* qs = options_.stats;
+  const obs::StageTimer timer;
   auto column_or = table.GetColumn(leaf.column());
   ICP_RETURN_IF_ERROR(column_or.status());
   const Table::Column& column = **column_or;
@@ -152,9 +158,13 @@ StatusOr<Engine::TriState> Engine::ScanLeaf(const Table& table,
       out.pass = FilterBitVector(table.num_rows(), vps);
       if (leaf.kind() == FilterExpr::Kind::kIsNotNull) out.pass.SetAll();
     }
+    if (qs != nullptr) qs->scan_cycles += timer.ElapsedCycles();
     return out;
   }
 
+  ScanStats sstats;
+  ScanStats* sp = qs != nullptr ? &sstats : nullptr;
+  bool modeled = false;
   const CodePredicate pred =
       MapPredicate(column.encoder(), leaf.op(), leaf.value(), leaf.value2());
   if (pred.all || pred.none) {
@@ -166,30 +176,35 @@ StatusOr<Engine::TriState> Engine::ScanLeaf(const Table& table,
       case Layout::kVbp:
         if (options_.simd) {
           out.pass = mt ? simd::ScanVbp(*pool_, column.vbp_simd(), pred.op,
-                                        pred.c1, pred.c2)
+                                        pred.c1, pred.c2, sp)
                         : simd::ScanVbp(column.vbp_simd(), pred.op, pred.c1,
-                                        pred.c2);
+                                        pred.c2, sp);
+          modeled = true;
         } else {
           out.pass = mt ? par::Scan(*pool_, column.vbp(), pred.op, pred.c1,
-                                    pred.c2, cancel)
+                                    pred.c2, cancel, sp)
                         : VbpScanner::Scan(column.vbp(), pred.op, pred.c1,
-                                           pred.c2, nullptr, cancel);
+                                           pred.c2, sp, cancel);
         }
         break;
       case Layout::kHbp:
         if (options_.simd) {
           out.pass = mt ? simd::ScanHbp(*pool_, column.hbp_simd(), pred.op,
-                                        pred.c1, pred.c2)
+                                        pred.c1, pred.c2, sp)
                         : simd::ScanHbp(column.hbp_simd(), pred.op, pred.c1,
-                                        pred.c2);
+                                        pred.c2, sp);
+          modeled = true;
         } else {
           out.pass = mt ? par::Scan(*pool_, column.hbp(), pred.op, pred.c1,
-                                    pred.c2, cancel)
+                                    pred.c2, cancel, sp)
                         : HbpScanner::Scan(column.hbp(), pred.op, pred.c1,
-                                           pred.c2, nullptr, cancel);
+                                           pred.c2, sp, cancel);
         }
         break;
       case Layout::kNaive:
+        // The scalar baseline scanners are deliberately uninstrumented
+        // (they are the thing the paper measures against, not the engine's
+        // hot path); their leaves report zero scan work.
         out.pass =
             NaiveScanner::Scan(column.naive(), pred.op, pred.c1, pred.c2);
         break;
@@ -208,6 +223,13 @@ StatusOr<Engine::TriState> Engine::ScanLeaf(const Table& table,
     out.unknown.Not();
   } else {
     out.unknown = FilterBitVector(table.num_rows(), vps);
+  }
+  if (qs != nullptr) {
+    qs->words_scanned += sstats.words_examined;
+    qs->segments_scanned += sstats.segments_processed;
+    qs->segments_early_stopped += sstats.segments_early_stopped;
+    if (modeled) ++qs->scan_leaves_modeled;
+    qs->scan_cycles += timer.ElapsedCycles();
   }
   return out;
 }
@@ -252,6 +274,7 @@ StatusOr<Engine::TriState> Engine::EvalExpr(const Table& table,
         ICP_RETURN_IF_ERROR(child_or.status());
         TriState child = std::move(child_or).value();
         AlignShape(acc, &child);
+        const obs::StageTimer combine_timer;
         if (expr.kind() == FilterExpr::Kind::kAnd) {
           // AND: FALSE dominates, then UNKNOWN.
           FilterBitVector false_set = FalseSet(acc);
@@ -269,6 +292,13 @@ StatusOr<Engine::TriState> Engine::EvalExpr(const Table& table,
           acc.unknown.Or(false_set);
           acc.unknown.Not();
         }
+        if (obs::QueryStats* qs = options_.stats; qs != nullptr) {
+          qs->combine_cycles += combine_timer.ElapsedCycles();
+          // Each AND/OR step above runs 8 whole-vector word ops (two
+          // FalseSets at 2 each, plus Or/And/Or/Not on the accumulator).
+          qs->filter_words_combined +=
+              8 * static_cast<std::uint64_t>(acc.pass.num_segments());
+        }
       }
       return acc;
     }
@@ -277,8 +307,15 @@ StatusOr<Engine::TriState> Engine::EvalExpr(const Table& table,
       ICP_RETURN_IF_ERROR(child_or.status());
       TriState child = std::move(child_or).value();
       // NOT TRUE = FALSE, NOT FALSE = TRUE, NOT UNKNOWN = UNKNOWN.
+      const obs::StageTimer combine_timer;
       FilterBitVector new_pass = FalseSet(child);
       child.pass = std::move(new_pass);
+      if (obs::QueryStats* qs = options_.stats; qs != nullptr) {
+        qs->combine_cycles += combine_timer.ElapsedCycles();
+        // FalseSet is 2 whole-vector word ops (Or + Not).
+        qs->filter_words_combined +=
+            2 * static_cast<std::uint64_t>(child.pass.num_segments());
+      }
       return child;
     }
   }
@@ -301,22 +338,30 @@ StatusOr<FilterBitVector> Engine::EvaluateFilterImpl(
   ICP_RETURN_IF_ERROR(column_or.status());
   const Table::Column& column = **column_or;
 
-  const std::uint64_t begin = ReadCycleCounter();
+  const obs::StageTimer timer;
   FilterBitVector f;
   if (filter == nullptr) {
     f = FilterBitVector(table.num_rows(), column.values_per_segment());
     f.SetAll();
   } else {
     auto result = EvalExpr(table, *filter, cancel);
-    if (scan_cycles != nullptr) *scan_cycles = ReadCycleCounter() - begin;
+    if (scan_cycles != nullptr) *scan_cycles = timer.ElapsedCycles();
     ICP_RETURN_IF_ERROR(result.status());
     f = std::move(std::move(result).value().pass);
   }
-  if (scan_cycles != nullptr) *scan_cycles = ReadCycleCounter() - begin;
+  if (scan_cycles != nullptr) *scan_cycles = timer.ElapsedCycles();
   ICP_RETURN_IF_ERROR(CheckPool());
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   if (f.values_per_segment() != column.values_per_segment()) {
     f = f.Reshape(column.values_per_segment());
+  }
+  if (obs::QueryStats* qs = options_.stats; qs != nullptr) {
+    // One extra popcount pass over the filter — the only stats-only work
+    // whose cost scales with the data.
+    qs->rows_total = table.num_rows();
+    qs->rows_passing = f.CountOnes();
+    ICP_OBS_ADD(FilterRowsScanned, qs->rows_total);
+    ICP_OBS_ADD(FilterRowsPassing, qs->rows_passing);
   }
   return f;
 }
@@ -359,56 +404,85 @@ StatusOr<QueryResult> Engine::AggregateImpl(const Table& table, AggKind kind,
 
   const bool mt = options_.threads > 1;
   const bool bp = options_.method == AggMethod::kBitParallel;
+  obs::QueryStats* qs = options_.stats;
+  AggStats astats;
+  AggStats* ap = qs != nullptr ? &astats : nullptr;
   AggregateResult agg;
-  const std::uint64_t begin = ReadCycleCounter();
+  const obs::StageTimer agg_timer;
   switch (column.spec().layout) {
     case Layout::kVbp:
       if (bp && options_.simd) {
         agg = mt ? simd::AggregateVbp(*pool_, column.vbp_simd(), *effective,
-                                      kind, rank, cancel)
+                                      kind, rank, cancel, ap)
                  : simd::AggregateVbp(column.vbp_simd(), *effective, kind,
-                                      rank, cancel);
+                                      rank, cancel, ap);
       } else if (bp) {
         agg = mt ? par::Aggregate(*pool_, column.vbp(), *effective, kind,
-                                  rank, cancel)
+                                  rank, cancel, ap)
                  : vbp::Aggregate(column.vbp(), *effective, kind, rank,
-                                  cancel);
+                                  cancel, ap);
       } else {
         agg = mt ? par_nbp::Aggregate(*pool_, column.vbp(), *effective, kind,
-                                      rank, cancel)
+                                      rank, cancel, ap)
                  : nbp::Aggregate(column.vbp(), *effective, kind, rank,
-                                  cancel);
+                                  cancel, ap);
       }
       break;
     case Layout::kHbp:
       if (bp && options_.simd) {
         agg = mt ? simd::AggregateHbp(*pool_, column.hbp_simd(), *effective,
-                                      kind, rank, cancel)
+                                      kind, rank, cancel, ap)
                  : simd::AggregateHbp(column.hbp_simd(), *effective, kind,
-                                      rank, cancel);
+                                      rank, cancel, ap);
       } else if (bp) {
         agg = mt ? par::Aggregate(*pool_, column.hbp(), *effective, kind,
-                                  rank, cancel)
+                                  rank, cancel, ap)
                  : hbp::Aggregate(column.hbp(), *effective, kind, rank,
-                                  cancel);
+                                  cancel, ap);
       } else {
         agg = mt ? par_nbp::Aggregate(*pool_, column.hbp(), *effective, kind,
-                                      rank, cancel)
+                                      rank, cancel, ap)
                  : nbp::Aggregate(column.hbp(), *effective, kind, rank,
-                                  cancel);
+                                  cancel, ap);
       }
       break;
     case Layout::kNaive:
-      agg = naive::Aggregate(column.naive(), *effective, kind, rank, cancel);
+      agg = naive::Aggregate(column.naive(), *effective, kind, rank, cancel,
+                             ap);
       break;
     case Layout::kPadded:
       agg = padded::Aggregate(column.padded(), *effective, kind, rank,
-                              cancel);
+                              cancel, ap);
       break;
   }
-  const std::uint64_t agg_cycles = ReadCycleCounter() - begin;
+  const std::uint64_t agg_cycles = agg_timer.ElapsedCycles();
   ICP_RETURN_IF_ERROR(CheckPool());
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
+  if (qs != nullptr) {
+    qs->agg_cycles += agg_cycles;
+    qs->agg_folds += astats.folds;
+    qs->agg_segments_skipped += astats.segments_skipped;
+    qs->agg_compare_early_stops += astats.compare_early_stops;
+    qs->agg_blends_skipped += astats.blends_skipped;
+    qs->method = AggMethodToString(options_.method);
+    qs->threads = options_.threads;
+    qs->simd = options_.simd;
+    qs->kernel_tier = kern::TierName(kern::EffectiveTier(kern::ActiveTier()));
+    switch (column.spec().layout) {
+      case Layout::kVbp:
+        qs->agg_path = bp ? "vbp" : "nbp";
+        break;
+      case Layout::kHbp:
+        qs->agg_path = bp ? "hbp" : "nbp";
+        break;
+      case Layout::kNaive:
+        qs->agg_path = "naive";
+        break;
+      case Layout::kPadded:
+        qs->agg_path = "padded";
+        break;
+    }
+  }
 
   QueryResult result;
   result.kind = kind;
@@ -452,6 +526,10 @@ StatusOr<std::vector<QueryResult>> Engine::ExecuteMulti(
   if (query.aggregates.empty()) {
     return Status::InvalidArgument("MultiQuery needs at least one aggregate");
   }
+  obs::QueryStats* qs = options_.stats;
+  if (qs != nullptr) *qs = obs::QueryStats{};
+  const obs::StageTimer total;
+  ICP_OBS_INCREMENT(EngineQueries);
   const CancelContext cancel = MakeCancelContext();
   std::uint64_t scan_cycles = 0;
   auto filter_or = EvaluateFilterImpl(table, query.filter,
@@ -477,6 +555,10 @@ StatusOr<std::vector<QueryResult>> Engine::ExecuteMulti(
     result.scan_cycles = scan_cycles;
     results.push_back(std::move(result));
   }
+  if (qs != nullptr) {
+    qs->cancel_checks = cancel.checks();
+    qs->total_cycles = total.ElapsedCycles();
+  }
   return results;
 }
 
@@ -492,6 +574,10 @@ Engine::ExecuteGroupBy(const Table& table, const Query& query,
         "' must be dictionary-encoded (low cardinality)");
   }
 
+  obs::QueryStats* qs = options_.stats;
+  if (qs != nullptr) *qs = obs::QueryStats{};
+  const obs::StageTimer total;
+  ICP_OBS_INCREMENT(EngineQueries);
   const CancelContext cancel = MakeCancelContext();
   std::uint64_t scan_cycles = 0;
   auto base_or = EvaluateFilterImpl(table, query.filter, group_column,
@@ -527,10 +613,18 @@ Engine::ExecuteGroupBy(const Table& table, const Query& query,
     r.scan_cycles = scan_cycles + group_scan;
     results.emplace_back(group_value, std::move(r));
   }
+  if (qs != nullptr) {
+    qs->cancel_checks = cancel.checks();
+    qs->total_cycles = total.ElapsedCycles();
+  }
   return results;
 }
 
 StatusOr<QueryResult> Engine::Execute(const Table& table, const Query& query) {
+  obs::QueryStats* qs = options_.stats;
+  if (qs != nullptr) *qs = obs::QueryStats{};
+  const obs::StageTimer total;
+  ICP_OBS_INCREMENT(EngineQueries);
   const CancelContext cancel = MakeCancelContext();
   std::uint64_t scan_cycles = 0;
   auto filter_or = EvaluateFilterImpl(table, query.filter, query.agg_column,
@@ -541,7 +635,99 @@ StatusOr<QueryResult> Engine::Execute(const Table& table, const Query& query) {
   ICP_RETURN_IF_ERROR(result_or.status());
   QueryResult result = std::move(result_or).value();
   result.scan_cycles = scan_cycles;
+  if (qs != nullptr) {
+    qs->cancel_checks = cancel.checks();
+    qs->total_cycles = total.ElapsedCycles();
+  }
   return result;
+}
+
+StatusOr<std::string> Engine::ExplainAnalyze(const Table& table,
+                                             const Query& query,
+                                             std::uint64_t parse_cycles) {
+  obs::QueryStats local;
+  obs::QueryStats* saved = options_.stats;
+  options_.stats = &local;
+  auto result_or = Execute(table, query);
+  options_.stats = saved;
+  ICP_RETURN_IF_ERROR(result_or.status());
+  // Fold the caller-measured parse stage into both the breakdown and the
+  // total so StageCyclesSum() <= total_cycles stays true.
+  local.parse_cycles = parse_cycles;
+  local.total_cycles += parse_cycles;
+  if (saved != nullptr) *saved = local;
+  return FormatExplainAnalyze(local, *result_or);
+}
+
+namespace {
+
+// printf-append onto a std::string; 192 bytes covers the widest EXPLAIN
+// ANALYZE line (two 20-digit counters plus labels) with slack.
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[192];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf);
+}
+
+void AppendStageRow(std::string* out, const char* name, std::uint64_t cycles,
+                    std::uint64_t total) {
+  const double pct =
+      total == 0 ? 0.0
+                 : 100.0 * static_cast<double>(cycles) /
+                       static_cast<double>(total);
+  AppendF(out, "  %-10s %14llu  %5.1f%%\n", name,
+          static_cast<unsigned long long>(cycles), pct);
+}
+
+}  // namespace
+
+std::string FormatExplainAnalyze(const obs::QueryStats& stats,
+                                 const QueryResult& result) {
+  std::string out;
+  out += "EXPLAIN ANALYZE\n";
+  AppendF(&out, "result: %s = %.6g  (count=%llu, density=%.2f%%)\n",
+          AggKindToString(result.kind), result.value,
+          static_cast<unsigned long long>(result.count),
+          100.0 * stats.FilterDensity());
+  AppendF(&out, "plan:   method=%s path=%s tier=%s threads=%d simd=%s\n",
+          stats.method, stats.agg_path, stats.kernel_tier, stats.threads,
+          stats.simd ? "on" : "off");
+  out += "stage              cycles   %-of-total\n";
+  AppendStageRow(&out, "parse", stats.parse_cycles, stats.total_cycles);
+  AppendStageRow(&out, "scan", stats.scan_cycles, stats.total_cycles);
+  AppendStageRow(&out, "combine", stats.combine_cycles, stats.total_cycles);
+  AppendStageRow(&out, "aggregate", stats.agg_cycles, stats.total_cycles);
+  const std::uint64_t accounted = stats.StageCyclesSum();
+  AppendStageRow(&out, "(other)",
+                 stats.total_cycles > accounted
+                     ? stats.total_cycles - accounted
+                     : 0,
+                 stats.total_cycles);
+  AppendStageRow(&out, "total", stats.total_cycles, stats.total_cycles);
+  AppendF(&out,
+          "scan:   words=%llu segments=%llu early_stopped=%llu "
+          "modeled_leaves=%llu\n",
+          static_cast<unsigned long long>(stats.words_scanned),
+          static_cast<unsigned long long>(stats.segments_scanned),
+          static_cast<unsigned long long>(stats.segments_early_stopped),
+          static_cast<unsigned long long>(stats.scan_leaves_modeled));
+  AppendF(&out, "filter: rows=%llu/%llu combine_words=%llu\n",
+          static_cast<unsigned long long>(stats.rows_passing),
+          static_cast<unsigned long long>(stats.rows_total),
+          static_cast<unsigned long long>(stats.filter_words_combined));
+  AppendF(&out,
+          "agg:    folds=%llu segments_skipped=%llu early_stops=%llu "
+          "blends_skipped=%llu\n",
+          static_cast<unsigned long long>(stats.agg_folds),
+          static_cast<unsigned long long>(stats.agg_segments_skipped),
+          static_cast<unsigned long long>(stats.agg_compare_early_stops),
+          static_cast<unsigned long long>(stats.agg_blends_skipped));
+  AppendF(&out, "cancel_checks=%llu\n",
+          static_cast<unsigned long long>(stats.cancel_checks));
+  return out;
 }
 
 }  // namespace icp

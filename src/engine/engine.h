@@ -22,6 +22,7 @@
 #include "core/aggregate.h"
 #include "engine/expression.h"
 #include "engine/table.h"
+#include "obs/query_stats.h"
 #include "parallel/thread_pool.h"
 #include "util/cancellation.h"
 #include "util/status.h"
@@ -48,6 +49,14 @@ struct ExecOptions {
   /// deadline at entry and returns Status kDeadlineExceeded once it passes,
   /// with the same granularity as cancellation.
   std::optional<std::chrono::nanoseconds> deadline;
+  /// Per-query statistics sink. When non-null, Execute / ExecuteMulti /
+  /// ExecuteGroupBy reset it at entry and fill the stage-cycle breakdown,
+  /// scan/aggregate work counters and dispatch info; the standalone
+  /// EvaluateFilter / Aggregate phases accumulate into it without
+  /// resetting. Not owned; must outlive the engine calls. Collecting
+  /// stats costs one extra filter popcount per query plus the ScanStats /
+  /// AggStats merges.
+  obs::QueryStats* stats = nullptr;
 };
 
 struct Query {
@@ -110,6 +119,15 @@ class Engine {
   /// Full query: scan + aggregate, with per-phase timings.
   StatusOr<QueryResult> Execute(const Table& table, const Query& query);
 
+  /// Runs the query with stats collection forced on and renders the
+  /// EXPLAIN ANALYZE report (per-stage cycles, scan/aggregate work,
+  /// dispatched kernel tier). `parse_cycles`, when nonzero, is folded in
+  /// as the parse stage — the engine itself never sees SQL text, so the
+  /// parser's cost arrives from the caller (see query_parser.h). If
+  /// options().stats is set it receives the same QueryStats.
+  StatusOr<std::string> ExplainAnalyze(const Table& table, const Query& query,
+                                       std::uint64_t parse_cycles = 0);
+
   /// Executes several aggregates over one shared filter scan; results come
   /// back in the order of `query.aggregates`. Each result's scan_cycles is
   /// the (shared) scan cost; agg_cycles is per aggregate.
@@ -160,6 +178,12 @@ class Engine {
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;
 };
+
+/// Renders a filled QueryStats + QueryResult as the EXPLAIN ANALYZE text
+/// (what Engine::ExplainAnalyze returns; exposed for shells that collect
+/// the stats themselves).
+std::string FormatExplainAnalyze(const obs::QueryStats& stats,
+                                 const QueryResult& result);
 
 }  // namespace icp
 

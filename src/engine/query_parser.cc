@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stage_timer.h"
 #include "util/dates.h"
 #include "util/failpoint.h"
 
@@ -427,6 +428,56 @@ StatusOr<FilterExprPtr> ParsePredicate(const std::string& text) {
   auto tokens = Lexer(text).Run();
   ICP_RETURN_IF_ERROR(tokens.status());
   return Parser(std::move(tokens).value()).ParseBarePredicate();
+}
+
+namespace {
+
+// Case-insensitively consumes keyword `word` at `*pos` (it must end at a
+// non-identifier byte) and skips trailing whitespace. Leaves `*pos`
+// untouched on a miss.
+bool ConsumeKeyword(const std::string& sql, const char* word,
+                    std::size_t* pos) {
+  std::size_t p = *pos;
+  for (const char* w = word; *w != '\0'; ++w, ++p) {
+    if (p >= sql.size() ||
+        std::toupper(static_cast<unsigned char>(sql[p])) != *w) {
+      return false;
+    }
+  }
+  if (p < sql.size() && (std::isalnum(static_cast<unsigned char>(sql[p])) ||
+                         sql[p] == '_')) {
+    return false;  // longer identifier, e.g. "EXPLAINX"
+  }
+  while (p < sql.size() && std::isspace(static_cast<unsigned char>(sql[p]))) {
+    ++p;
+  }
+  *pos = p;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<Statement> ParseStatement(const std::string& sql) {
+  const obs::StageTimer timer;
+  Statement out;
+  std::size_t pos = 0;
+  while (pos < sql.size() &&
+         std::isspace(static_cast<unsigned char>(sql[pos]))) {
+    ++pos;
+  }
+  std::size_t after = pos;
+  if (ConsumeKeyword(sql, "EXPLAIN", &after)) {
+    if (!ConsumeKeyword(sql, "ANALYZE", &after)) {
+      return SyntaxError(after, "expected ANALYZE after EXPLAIN");
+    }
+    out.explain_analyze = true;
+    pos = after;
+  }
+  auto query_or = ParseQuery(sql.substr(pos));
+  ICP_RETURN_IF_ERROR(query_or.status());
+  out.query = std::move(query_or).value();
+  out.parse_cycles = timer.ElapsedCycles();
+  return out;
 }
 
 }  // namespace icp

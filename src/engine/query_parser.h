@@ -20,6 +20,7 @@
 #ifndef ICP_ENGINE_QUERY_PARSER_H_
 #define ICP_ENGINE_QUERY_PARSER_H_
 
+#include <cstdint>
 #include <string>
 
 #include "engine/engine.h"
@@ -29,6 +30,19 @@ namespace icp {
 
 /// Parses one SELECT statement into a Query.
 StatusOr<Query> ParseQuery(const std::string& sql);
+
+/// A full shell statement: a SELECT, optionally wrapped in EXPLAIN
+/// ANALYZE. `parse_cycles` is the obs::StageTimer cost of this parse —
+/// hand it to Engine::ExplainAnalyze so the report's parse row reflects
+/// the statement that produced the query.
+struct Statement {
+  Query query;
+  bool explain_analyze = false;
+  std::uint64_t parse_cycles = 0;
+};
+
+/// Parses `[EXPLAIN ANALYZE] SELECT ...` (keywords case-insensitive).
+StatusOr<Statement> ParseStatement(const std::string& sql);
 
 /// Parses just a predicate (the text after WHERE) into an expression tree.
 StatusOr<FilterExprPtr> ParsePredicate(const std::string& text);

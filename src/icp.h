@@ -43,6 +43,12 @@
 #include "core/top_k.h"            // IWYU pragma: export
 #include "core/vbp_aggregate.h"     // IWYU pragma: export
 
+// Observability (process counters, stage timers, tracing).
+#include "obs/obs.h"          // IWYU pragma: export
+#include "obs/query_stats.h"  // IWYU pragma: export
+#include "obs/stage_timer.h"  // IWYU pragma: export
+#include "obs/trace.h"        // IWYU pragma: export
+
 // Parallel and SIMD execution.
 #include "parallel/parallel_aggregate.h"  // IWYU pragma: export
 #include "parallel/parallel_nbp.h"        // IWYU pragma: export

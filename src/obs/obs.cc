@@ -1,0 +1,199 @@
+#include "obs/obs.h"
+
+#if ICP_OBS
+
+#include <algorithm>
+#include <mutex>
+
+namespace icp::obs {
+namespace {
+
+// Registration is rare (once per counter per process) and snapshots are
+// cold; a mutex-guarded vector keeps the registry allocation-free on the
+// increment path (counters themselves are plain atomics).
+std::mutex& RegistryMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<Counter*>& Registry() {
+  static auto* registry = new std::vector<Counter*>();
+  return *registry;
+}
+
+}  // namespace
+
+Counter::Counter(const char* name, const char* help)
+    : name_(name), help_(help) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  Registry().push_back(this);
+}
+
+// One accessor per catalogued counter. The function-local static registers
+// on first use; RegisterAllCounters() touches every accessor so snapshots
+// always see the full catalogue. Names here are the source of truth the
+// ICP005 lint syncs against docs/observability.md.
+#define ICP_OBS_DEFINE_COUNTER(fn, counter_name, counter_help) \
+  Counter& fn() {                                              \
+    static Counter counter(counter_name, counter_help);        \
+    return counter;                                            \
+  }
+
+ICP_OBS_DEFINE_COUNTER(ScanWordsExamined, "scan.words_examined",
+                       "memory words read by the bit-parallel scans "
+                       "(plane words for VBP, sub-segment words for HBP)")
+ICP_OBS_DEFINE_COUNTER(ScanSegmentsProcessed, "scan.segments_processed",
+                       "segments run through a scan compare cascade")
+ICP_OBS_DEFINE_COUNTER(ScanSegmentsEarlyStopped,
+                       "scan.segments_early_stopped",
+                       "segments whose scan cascade early-stopped before "
+                       "the last word group (pruned words)")
+ICP_OBS_DEFINE_COUNTER(FilterCombineWords, "filter.combine_words",
+                       "segment words combined by filter bit-vector "
+                       "AND/OR/XOR/ANDNOT/NOT")
+ICP_OBS_DEFINE_COUNTER(FilterRowsScanned, "filter.rows_scanned",
+                       "rows covered by evaluated filters (query row "
+                       "counts, summed)")
+ICP_OBS_DEFINE_COUNTER(FilterRowsPassing, "filter.rows_passing",
+                       "rows that passed evaluated filters (with "
+                       "filter.rows_scanned gives the mean bit density)")
+ICP_OBS_DEFINE_COUNTER(AggSegmentsFolded, "agg.segments_folded",
+                       "segments folded by an aggregation kernel (live "
+                       "segments actually processed)")
+ICP_OBS_DEFINE_COUNTER(AggSegmentsSkipped, "agg.segments_skipped",
+                       "segments an aggregation kernel skipped because no "
+                       "tuple/candidate was live (early-exit pruning)")
+ICP_OBS_DEFINE_COUNTER(AggCompareEarlyStops, "agg.compare_early_stops",
+                       "MIN/MAX folds whose compare cascade decided every "
+                       "slot before the last word group")
+ICP_OBS_DEFINE_COUNTER(AggBlendsSkipped, "agg.blends_skipped",
+                       "MIN/MAX folds where no slot improved the running "
+                       "extreme (blend pass skipped)")
+ICP_OBS_DEFINE_COUNTER(AggPathVbp, "agg.path.vbp",
+                       "aggregate dispatches taking the VBP bit-parallel "
+                       "path")
+ICP_OBS_DEFINE_COUNTER(AggPathHbp, "agg.path.hbp",
+                       "aggregate dispatches taking the HBP bit-parallel "
+                       "path")
+ICP_OBS_DEFINE_COUNTER(AggPathNbp, "agg.path.nbp",
+                       "aggregate dispatches taking the NBP "
+                       "reconstruct-then-aggregate baseline")
+ICP_OBS_DEFINE_COUNTER(AggPathNaive, "agg.path.naive",
+                       "aggregate dispatches over the naive unpacked "
+                       "layout")
+ICP_OBS_DEFINE_COUNTER(AggPathPadded, "agg.path.padded",
+                       "aggregate dispatches over the padded layout")
+ICP_OBS_DEFINE_COUNTER(KernDispatchScalar, "kern.dispatch.scalar",
+                       "kernel-registry ops-table grabs resolving to the "
+                       "scalar tier")
+ICP_OBS_DEFINE_COUNTER(KernDispatchSse, "kern.dispatch.sse",
+                       "kernel-registry ops-table grabs resolving to the "
+                       "sse (CSA-64) tier")
+ICP_OBS_DEFINE_COUNTER(KernDispatchAvx2, "kern.dispatch.avx2",
+                       "kernel-registry ops-table grabs resolving to the "
+                       "avx2 tier")
+ICP_OBS_DEFINE_COUNTER(KernDispatchAvx512, "kern.dispatch.avx512",
+                       "kernel-registry ops-table grabs resolving to the "
+                       "avx512 tier")
+ICP_OBS_DEFINE_COUNTER(CancelChecks, "cancel.checks",
+                       "cooperative cancellation/deadline polls "
+                       "(CancelContext::ShouldStop calls)")
+ICP_OBS_DEFINE_COUNTER(FailpointHits, "failpoint.hits",
+                       "failpoints that actually fired (injected failures "
+                       "taken)")
+ICP_OBS_DEFINE_COUNTER(PoolRegions, "pool.regions",
+                       "thread-pool parallel regions run to the barrier")
+ICP_OBS_DEFINE_COUNTER(PoolTasks, "pool.tasks",
+                       "per-worker tasks run inside pool regions (regions "
+                       "x workers; the barrier pool has no queue or "
+                       "stealing)")
+ICP_OBS_DEFINE_COUNTER(EngineQueries, "engine.queries",
+                       "engine query executions (Execute / ExecuteMulti / "
+                       "ExecuteGroupBy entry points)")
+
+#undef ICP_OBS_DEFINE_COUNTER
+
+void RegisterAllCounters() {
+  ScanWordsExamined();
+  ScanSegmentsProcessed();
+  ScanSegmentsEarlyStopped();
+  FilterCombineWords();
+  FilterRowsScanned();
+  FilterRowsPassing();
+  AggSegmentsFolded();
+  AggSegmentsSkipped();
+  AggCompareEarlyStops();
+  AggBlendsSkipped();
+  AggPathVbp();
+  AggPathHbp();
+  AggPathNbp();
+  AggPathNaive();
+  AggPathPadded();
+  KernDispatchScalar();
+  KernDispatchSse();
+  KernDispatchAvx2();
+  KernDispatchAvx512();
+  CancelChecks();
+  FailpointHits();
+  PoolRegions();
+  PoolTasks();
+  EngineQueries();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> SnapshotCounters() {
+  RegisterAllCounters();
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMu());
+    out.reserve(Registry().size());
+    for (const Counter* counter : Registry()) {
+      out.emplace_back(counter->name(), counter->Load());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ResetAllCounters() {
+  RegisterAllCounters();
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  for (Counter* counter : Registry()) counter->Reset();
+}
+
+std::uint64_t CounterValue(const std::string& name) {
+  std::lock_guard<std::mutex> lock(RegistryMu());
+  for (const Counter* counter : Registry()) {
+    if (name == counter->name()) return counter->Load();
+  }
+  return 0;
+}
+
+std::string SnapshotText() {
+  std::string out;
+  for (const auto& [name, value] : SnapshotCounters()) {
+    out += name;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string SnapshotJson() {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : SnapshotCounters()) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"';
+    out += name;
+    out += "\": ";
+    out += std::to_string(value);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace icp::obs
+
+#endif  // ICP_OBS

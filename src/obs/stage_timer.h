@@ -1,0 +1,70 @@
+// The one cycle clock for stage timing.
+//
+// Every per-stage duration in the repo — QueryStats stage breakdowns,
+// EXPLAIN ANALYZE tables, trace spans, and the bench harness'
+// cycles-per-tuple numbers — goes through this timer, so the bench JSON
+// and EXPLAIN ANALYZE can never disagree about what a "cycle" is. It
+// reads the TSC via util/rdtsc.h (nanosecond steady_clock fallback off
+// x86-64).
+//
+// StageTimer is deliberately not gated on ICP_OBS: it is a plain local
+// integer pair with no registry behind it, and the engine's QueryResult
+// timing fields predate the obs layer and must keep working in
+// ICP_OBS=0 builds.
+
+#ifndef ICP_OBS_STAGE_TIMER_H_
+#define ICP_OBS_STAGE_TIMER_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "util/rdtsc.h"
+
+namespace icp::obs {
+
+/// Measures elapsed cycles from construction (or the last Restart).
+/// Typical stage use:
+///
+///   obs::StageTimer timer;
+///   ... scan ...
+///   stats->scan_cycles += timer.Restart();   // also starts the next stage
+///   ... aggregate ...
+///   stats->agg_cycles += timer.Restart();
+class StageTimer {
+ public:
+  StageTimer() : start_(ReadCycleCounter()) {}
+
+  /// Cycles since construction / the last Restart().
+  std::uint64_t ElapsedCycles() const {
+    return ReadCycleCounter() - start_;
+  }
+
+  /// Returns the elapsed cycles and restarts the timer at "now", so
+  /// consecutive stages share boundary reads instead of double-counting.
+  std::uint64_t Restart() {
+    const std::uint64_t now = ReadCycleCounter();
+    const std::uint64_t elapsed = now - start_;
+    start_ = now;
+    return elapsed;
+  }
+
+  /// The raw TSC value at the last (re)start — trace spans pair this
+  /// with ElapsedCycles() to place the span on the global timeline.
+  std::uint64_t start_cycles() const { return start_; }
+
+  /// Cycles spent running `fn()` once (the bench harness' measurement
+  /// primitive).
+  template <typename Fn>
+  static std::uint64_t Measure(Fn&& fn) {
+    StageTimer timer;
+    std::forward<Fn>(fn)();
+    return timer.ElapsedCycles();
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace icp::obs
+
+#endif  // ICP_OBS_STAGE_TIMER_H_

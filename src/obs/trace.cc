@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#if ICP_OBS
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+#include "util/rdtsc.h"
+
+namespace icp::obs {
+namespace {
+
+struct Span {
+  const char* name;
+  int tid;
+  std::uint64_t start_cycles;
+  std::uint64_t dur_cycles;
+};
+
+struct Calibration {
+  std::uint64_t cycles = 0;
+  std::uint64_t wall_ns = 0;
+};
+
+Calibration SampleCalibration() {
+  Calibration sample;
+  sample.wall_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  sample.cycles = ReadCycleCounter();
+  return sample;
+}
+
+std::atomic<bool> g_enabled{false};
+
+std::mutex& TraceMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<Span>& Spans() {
+  static auto* spans = new std::vector<Span>();
+  return *spans;
+}
+
+Calibration& BaseCalibration() {
+  static Calibration base;
+  return base;
+}
+
+}  // namespace
+
+void EnableTracing() {
+  std::lock_guard<std::mutex> lock(TraceMu());
+  if (!g_enabled.load(std::memory_order_relaxed)) {
+    BaseCalibration() = SampleCalibration();
+    g_enabled.store(true, std::memory_order_relaxed);
+  }
+}
+
+void DisableTracing() {
+  g_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void RecordSpan(const char* name, int tid, std::uint64_t start_cycles,
+                std::uint64_t dur_cycles) {
+  if (!TracingEnabled()) return;
+  std::lock_guard<std::mutex> lock(TraceMu());
+  Spans().push_back(Span{name, tid, start_cycles, dur_cycles});
+}
+
+std::size_t TraceSpanCount() {
+  std::lock_guard<std::mutex> lock(TraceMu());
+  return Spans().size();
+}
+
+void ClearTrace() {
+  std::lock_guard<std::mutex> lock(TraceMu());
+  Spans().clear();
+}
+
+bool WriteChromeTrace(const std::string& path) {
+  std::vector<Span> spans;
+  Calibration base;
+  {
+    std::lock_guard<std::mutex> lock(TraceMu());
+    spans = Spans();
+    base = BaseCalibration();
+  }
+  const Calibration now = SampleCalibration();
+
+  // Cycles per nanosecond measured across the [enable, write] interval.
+  // When the TSC fallback already returns nanoseconds (non-x86) the
+  // ratio comes out ~1.0, so the same formula works there too.
+  double cycles_per_ns = 1.0;
+  if (now.wall_ns > base.wall_ns && now.cycles > base.cycles) {
+    cycles_per_ns = static_cast<double>(now.cycles - base.cycles) /
+                    static_cast<double>(now.wall_ns - base.wall_ns);
+  }
+  const double cycles_per_us = cycles_per_ns * 1000.0;
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [", f);
+  bool first = true;
+  for (const Span& span : spans) {
+    const double ts =
+        static_cast<double>(span.start_cycles - base.cycles) /
+        cycles_per_us;
+    const double dur =
+        static_cast<double>(span.dur_cycles) / cycles_per_us;
+    std::fprintf(f,
+                 "%s\n  {\"name\": \"%s\", \"cat\": \"icp\", "
+                 "\"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
+                 "\"pid\": 1, \"tid\": %d}",
+                 first ? "" : ",", span.name, ts, dur, span.tid);
+    first = false;
+  }
+  std::fputs("\n]}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+TraceSpan::TraceSpan(const char* name, int tid)
+    : name_(name), tid_(tid), start_(ReadCycleCounter()) {}
+
+TraceSpan::~TraceSpan() {
+  if (!TracingEnabled()) return;
+  RecordSpan(name_, tid_, start_, ReadCycleCounter() - start_);
+}
+
+}  // namespace icp::obs
+
+#endif  // ICP_OBS

@@ -26,6 +26,29 @@ void CancellableParallelFor(
   });
 }
 
+// Adds every worker's local ScanStats into the caller's (after the region
+// barrier, so there is no concurrent write). The locals already advanced
+// the process-wide counters inside the scanners.
+void MergeLocalScanStats(const ScanStats* locals, int n, ScanStats* stats) {
+  if (stats == nullptr) return;
+  for (int i = 0; i < n; ++i) {
+    stats->words_examined += locals[i].words_examined;
+    stats->segments_processed += locals[i].segments_processed;
+    stats->segments_early_stopped += locals[i].segments_early_stopped;
+  }
+}
+
+// Same for AggStats (the fold kernels advanced the global counters).
+void MergeLocalAggStats(const AggStats* locals, int n, AggStats* stats) {
+  if (stats == nullptr) return;
+  for (int i = 0; i < n; ++i) {
+    stats->folds += locals[i].folds;
+    stats->compare_early_stops += locals[i].compare_early_stops;
+    stats->blends_skipped += locals[i].blends_skipped;
+    stats->segments_skipped += locals[i].segments_skipped;
+  }
+}
+
 }  // namespace
 
 std::uint64_t Count(ThreadPool& pool, const FilterBitVector& filter) {
@@ -45,25 +68,39 @@ std::uint64_t Count(ThreadPool& pool, const FilterBitVector& filter) {
 
 FilterBitVector Scan(ThreadPool& pool, const VbpColumn& column, CompareOp op,
                      std::uint64_t c1, std::uint64_t c2,
-                     const CancelContext* cancel) {
+                     const CancelContext* cancel, ScanStats* stats) {
   FilterBitVector out(column.num_values(), VbpColumn::kValuesPerSegment);
-  CancellableParallelFor(pool, out.num_segments(), cancel,
-                         [&](std::size_t begin, std::size_t end) {
-                           VbpScanner::ScanRange(column, op, c1, c2, begin,
-                                                 end, &out);
-                         });
+  ICP_CHECK_LE(pool.num_threads(), kMaxThreads);
+  ScanStats locals[kMaxThreads];
+  pool.RunPerThread([&](int index) {
+    const auto [begin, end] =
+        PartitionRange(out.num_segments(), pool.num_threads(), index);
+    ForEachCancellableBatch(
+        cancel, begin, end, [&](std::size_t b, std::size_t e) {
+          VbpScanner::ScanRange(column, op, c1, c2, b, e, &out,
+                                stats != nullptr ? &locals[index] : nullptr);
+        });
+  });
+  MergeLocalScanStats(locals, pool.num_threads(), stats);
   return out;
 }
 
 FilterBitVector Scan(ThreadPool& pool, const HbpColumn& column, CompareOp op,
                      std::uint64_t c1, std::uint64_t c2,
-                     const CancelContext* cancel) {
+                     const CancelContext* cancel, ScanStats* stats) {
   FilterBitVector out(column.num_values(), column.values_per_segment());
-  CancellableParallelFor(pool, out.num_segments(), cancel,
-                         [&](std::size_t begin, std::size_t end) {
-                           HbpScanner::ScanRange(column, op, c1, c2, begin,
-                                                 end, &out);
-                         });
+  ICP_CHECK_LE(pool.num_threads(), kMaxThreads);
+  ScanStats locals[kMaxThreads];
+  pool.RunPerThread([&](int index) {
+    const auto [begin, end] =
+        PartitionRange(out.num_segments(), pool.num_threads(), index);
+    ForEachCancellableBatch(
+        cancel, begin, end, [&](std::size_t b, std::size_t e) {
+          HbpScanner::ScanRange(column, op, c1, c2, b, e, &out,
+                                stats != nullptr ? &locals[index] : nullptr);
+        });
+  });
+  MergeLocalScanStats(locals, pool.num_threads(), stats);
   return out;
 }
 
@@ -116,22 +153,26 @@ std::optional<std::uint64_t> ExtremeVbp(ThreadPool& pool,
                                         const VbpColumn& column,
                                         const FilterBitVector& filter,
                                         bool is_min,
-                                        const CancelContext* cancel) {
+                                        const CancelContext* cancel,
+                                        AggStats* stats) {
   if (Count(pool, filter) == 0) return std::nullopt;
   const int k = column.bit_width();
   std::vector<Word> temps(
       static_cast<std::size_t>(pool.num_threads()) * kWordBits);
+  ICP_CHECK_LE(pool.num_threads(), kMaxThreads);
+  AggStats locals[kMaxThreads];
   pool.RunPerThread([&](int index) {
     Word* temp = temps.data() + index * kWordBits;
     vbp::InitSlotExtreme(k, is_min, temp);
     const auto [begin, end] =
         PartitionRange(filter.num_segments(), pool.num_threads(), index);
-    ForEachCancellableBatch(cancel, begin, end,
-                            [&](std::size_t b, std::size_t e) {
-                              vbp::SlotExtremeRange(column, filter, b, e,
-                                                    is_min, temp);
-                            });
+    ForEachCancellableBatch(
+        cancel, begin, end, [&](std::size_t b, std::size_t e) {
+          vbp::SlotExtremeRange(column, filter, b, e, is_min, temp,
+                                stats != nullptr ? &locals[index] : nullptr);
+        });
   });
+  MergeLocalAggStats(locals, pool.num_threads(), stats);
   for (int i = 1; i < pool.num_threads(); ++i) {
     vbp::MergeSlotExtreme(temps.data() + i * kWordBits, k, is_min,
                           temps.data());
@@ -143,21 +184,26 @@ std::optional<std::uint64_t> ExtremeHbp(ThreadPool& pool,
                                         const HbpColumn& column,
                                         const FilterBitVector& filter,
                                         bool is_min,
-                                        const CancelContext* cancel) {
+                                        const CancelContext* cancel,
+                                        AggStats* stats) {
   if (Count(pool, filter) == 0) return std::nullopt;
   std::vector<Word> temps(
       static_cast<std::size_t>(pool.num_threads()) * kWordBits);
+  ICP_CHECK_LE(pool.num_threads(), kMaxThreads);
+  AggStats locals[kMaxThreads];
   pool.RunPerThread([&](int index) {
     Word* temp = temps.data() + index * kWordBits;
     hbp::InitSubSlotExtreme(column, is_min, temp);
     const auto [begin, end] =
         PartitionRange(filter.num_segments(), pool.num_threads(), index);
-    ForEachCancellableBatch(cancel, begin, end,
-                            [&](std::size_t b, std::size_t e) {
-                              hbp::SubSlotExtremeRange(column, filter, b, e,
-                                                       is_min, temp);
-                            });
+    ForEachCancellableBatch(
+        cancel, begin, end, [&](std::size_t b, std::size_t e) {
+          hbp::SubSlotExtremeRange(column, filter, b, e, is_min, temp,
+                                   stats != nullptr ? &locals[index]
+                                                    : nullptr);
+        });
   });
+  MergeLocalAggStats(locals, pool.num_threads(), stats);
   for (int i = 1; i < pool.num_threads(); ++i) {
     hbp::MergeSubSlotExtreme(column, temps.data() + i * kWordBits, is_min,
                              temps.data());
@@ -169,23 +215,27 @@ std::optional<std::uint64_t> ExtremeHbp(ThreadPool& pool,
 
 std::optional<std::uint64_t> Min(ThreadPool& pool, const VbpColumn& column,
                                  const FilterBitVector& filter,
-                                 const CancelContext* cancel) {
-  return ExtremeVbp(pool, column, filter, /*is_min=*/true, cancel);
+                                 const CancelContext* cancel,
+                                 AggStats* stats) {
+  return ExtremeVbp(pool, column, filter, /*is_min=*/true, cancel, stats);
 }
 std::optional<std::uint64_t> Max(ThreadPool& pool, const VbpColumn& column,
                                  const FilterBitVector& filter,
-                                 const CancelContext* cancel) {
-  return ExtremeVbp(pool, column, filter, /*is_min=*/false, cancel);
+                                 const CancelContext* cancel,
+                                 AggStats* stats) {
+  return ExtremeVbp(pool, column, filter, /*is_min=*/false, cancel, stats);
 }
 std::optional<std::uint64_t> Min(ThreadPool& pool, const HbpColumn& column,
                                  const FilterBitVector& filter,
-                                 const CancelContext* cancel) {
-  return ExtremeHbp(pool, column, filter, /*is_min=*/true, cancel);
+                                 const CancelContext* cancel,
+                                 AggStats* stats) {
+  return ExtremeHbp(pool, column, filter, /*is_min=*/true, cancel, stats);
 }
 std::optional<std::uint64_t> Max(ThreadPool& pool, const HbpColumn& column,
                                  const FilterBitVector& filter,
-                                 const CancelContext* cancel) {
-  return ExtremeHbp(pool, column, filter, /*is_min=*/false, cancel);
+                                 const CancelContext* cancel,
+                                 AggStats* stats) {
+  return ExtremeHbp(pool, column, filter, /*is_min=*/false, cancel, stats);
 }
 
 std::optional<std::uint64_t> RankSelect(ThreadPool& pool,
@@ -314,7 +364,7 @@ template <typename ColumnT>
 AggregateResult AggregateImpl(ThreadPool& pool, const ColumnT& column,
                               const FilterBitVector& filter, AggKind kind,
                               std::uint64_t rank,
-                              const CancelContext* cancel) {
+                              const CancelContext* cancel, AggStats* stats) {
   AggregateResult result;
   result.kind = kind;
   result.count = Count(pool, filter);
@@ -324,18 +374,21 @@ AggregateResult AggregateImpl(ThreadPool& pool, const ColumnT& column,
     case AggKind::kSum:
     case AggKind::kAvg:
       result.sum = Sum(pool, column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kMin:
-      result.value = Min(pool, column, filter, cancel);
+      result.value = Min(pool, column, filter, cancel, stats);
       break;
     case AggKind::kMax:
-      result.value = Max(pool, column, filter, cancel);
+      result.value = Max(pool, column, filter, cancel, stats);
       break;
     case AggKind::kMedian:
       result.value = Median(pool, column, filter, cancel);
+      CountFilterSegments(filter, stats);
       break;
     case AggKind::kRank:
       result.value = RankSelect(pool, column, filter, rank, cancel);
+      CountFilterSegments(filter, stats);
       break;
   }
   return result;
@@ -345,14 +398,18 @@ AggregateResult AggregateImpl(ThreadPool& pool, const ColumnT& column,
 
 AggregateResult Aggregate(ThreadPool& pool, const VbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank, const CancelContext* cancel) {
-  return AggregateImpl(pool, column, filter, kind, rank, cancel);
+                          std::uint64_t rank, const CancelContext* cancel,
+                          AggStats* stats) {
+  ICP_OBS_INCREMENT(AggPathVbp);
+  return AggregateImpl(pool, column, filter, kind, rank, cancel, stats);
 }
 
 AggregateResult Aggregate(ThreadPool& pool, const HbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
-                          std::uint64_t rank, const CancelContext* cancel) {
-  return AggregateImpl(pool, column, filter, kind, rank, cancel);
+                          std::uint64_t rank, const CancelContext* cancel,
+                          AggStats* stats) {
+  ICP_OBS_INCREMENT(AggPathHbp);
+  return AggregateImpl(pool, column, filter, kind, rank, cancel, stats);
 }
 
 }  // namespace icp::par

@@ -36,12 +36,16 @@ std::uint64_t Count(ThreadPool& pool, const FilterBitVector& filter);
 /// segments of its partition and stops early once it fires. Workers always
 /// rejoin the region barrier, so the pool stays consistent; the partial
 /// result is meaningless and the engine surfaces the context's Status.
+/// `stats`, when non-null, receives the per-worker counters summed after
+/// the region barrier (no worker writes it concurrently).
 FilterBitVector Scan(ThreadPool& pool, const VbpColumn& column, CompareOp op,
                      std::uint64_t c1, std::uint64_t c2 = 0,
-                     const CancelContext* cancel = nullptr);
+                     const CancelContext* cancel = nullptr,
+                     ScanStats* stats = nullptr);
 FilterBitVector Scan(ThreadPool& pool, const HbpColumn& column, CompareOp op,
                      std::uint64_t c1, std::uint64_t c2 = 0,
-                     const CancelContext* cancel = nullptr);
+                     const CancelContext* cancel = nullptr,
+                     ScanStats* stats = nullptr);
 
 /// Parallel SUM.
 UInt128 Sum(ThreadPool& pool, const VbpColumn& column,
@@ -51,19 +55,24 @@ UInt128 Sum(ThreadPool& pool, const HbpColumn& column,
             const FilterBitVector& filter,
             const CancelContext* cancel = nullptr);
 
-/// Parallel MIN / MAX.
+/// Parallel MIN / MAX. `stats`, when non-null, receives the fold
+/// instrumentation summed across workers after the region barrier.
 std::optional<std::uint64_t> Min(ThreadPool& pool, const VbpColumn& column,
                                  const FilterBitVector& filter,
-                                 const CancelContext* cancel = nullptr);
+                                 const CancelContext* cancel = nullptr,
+                                 AggStats* stats = nullptr);
 std::optional<std::uint64_t> Max(ThreadPool& pool, const VbpColumn& column,
                                  const FilterBitVector& filter,
-                                 const CancelContext* cancel = nullptr);
+                                 const CancelContext* cancel = nullptr,
+                                 AggStats* stats = nullptr);
 std::optional<std::uint64_t> Min(ThreadPool& pool, const HbpColumn& column,
                                  const FilterBitVector& filter,
-                                 const CancelContext* cancel = nullptr);
+                                 const CancelContext* cancel = nullptr,
+                                 AggStats* stats = nullptr);
 std::optional<std::uint64_t> Max(ThreadPool& pool, const HbpColumn& column,
                                  const FilterBitVector& filter,
-                                 const CancelContext* cancel = nullptr);
+                                 const CancelContext* cancel = nullptr,
+                                 AggStats* stats = nullptr);
 
 /// Parallel r-selection / MEDIAN. The iterative loops additionally check the
 /// context between bit / bit-group iterations and bail out with nullopt.
@@ -84,15 +93,19 @@ std::optional<std::uint64_t> Median(ThreadPool& pool, const HbpColumn& column,
                                     const FilterBitVector& filter,
                                     const CancelContext* cancel = nullptr);
 
-/// Convenience dispatcher mirroring vbp::Aggregate / hbp::Aggregate.
+/// Convenience dispatcher mirroring vbp::Aggregate / hbp::Aggregate,
+/// including the AggStats contract (exact for MIN/MAX, liveness summary
+/// for the other kinds).
 AggregateResult Aggregate(ThreadPool& pool, const VbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
                           std::uint64_t rank = 0,
-                          const CancelContext* cancel = nullptr);
+                          const CancelContext* cancel = nullptr,
+                          AggStats* stats = nullptr);
 AggregateResult Aggregate(ThreadPool& pool, const HbpColumn& column,
                           const FilterBitVector& filter, AggKind kind,
                           std::uint64_t rank = 0,
-                          const CancelContext* cancel = nullptr);
+                          const CancelContext* cancel = nullptr,
+                          AggStats* stats = nullptr);
 
 }  // namespace icp::par
 

@@ -129,11 +129,15 @@ std::optional<std::uint64_t> Median(ThreadPool& pool, const ColumnT& column,
                     cancel);
 }
 
+/// `stats`, when non-null, carries the CountFilterSegments liveness
+/// summary (same contract as nbp::Aggregate).
 template <typename ColumnT>
 AggregateResult Aggregate(ThreadPool& pool, const ColumnT& column,
                           const FilterBitVector& filter, AggKind kind,
                           std::uint64_t rank = 0,
-                          const CancelContext* cancel = nullptr) {
+                          const CancelContext* cancel = nullptr,
+                          AggStats* stats = nullptr) {
+  ICP_OBS_INCREMENT(AggPathNbp);
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -157,6 +161,7 @@ AggregateResult Aggregate(ThreadPool& pool, const ColumnT& column,
       result.value = RankSelect(pool, column, filter, rank, cancel);
       break;
   }
+  if (kind != AggKind::kCount) CountFilterSegments(filter, stats);
   return result;
 }
 

@@ -1,5 +1,7 @@
 #include "parallel/thread_pool.h"
 
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "util/failpoint.h"
 
 namespace icp {
@@ -44,6 +46,7 @@ void ThreadPool::WorkerLoop(int index) {
     if (DropTask()) {
       task_failed_.store(true);
     } else {
+      ICP_OBS_TRACE_SPAN("pool.task", index);
       (*task)(index);
     }
     {
@@ -59,10 +62,15 @@ void ThreadPool::RunPerThread(const std::function<void(int)>& fn) {
   if (in_region_.exchange(true, std::memory_order_acquire)) {
     ICP_CHECK(false && "ThreadPool::RunPerThread is not reentrant");
   }
+  // The barrier pool has no task queue and does no stealing: one region =
+  // num_threads tasks, so these two counters fully describe its activity.
+  ICP_OBS_INCREMENT(PoolRegions);
+  ICP_OBS_ADD(PoolTasks, static_cast<std::uint64_t>(num_threads_));
   if (num_threads_ == 1) {
     if (DropTask()) {
       task_failed_.store(true);
     } else {
+      ICP_OBS_TRACE_SPAN("pool.task", 0);
       fn(0);
     }
     in_region_.store(false, std::memory_order_release);
@@ -78,6 +86,7 @@ void ThreadPool::RunPerThread(const std::function<void(int)>& fn) {
   if (DropTask()) {
     task_failed_.store(true);
   } else {
+    ICP_OBS_TRACE_SPAN("pool.task", 0);
     fn(0);
   }
   {

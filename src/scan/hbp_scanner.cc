@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "obs/obs.h"
 #include "simd/dispatch.h"
 #include "util/check.h"
 
@@ -30,11 +31,16 @@ void BuildPackedConstants(const HbpColumn& column, std::uint64_t c1,
   }
 }
 
+// Also feeds the process-wide scan.* counters; see the VBP twin for the
+// batching rationale.
 void MergeScanCounters(const kern::ScanCounters& local, ScanStats* stats) {
   if (stats == nullptr) return;
   stats->words_examined += local.words_examined;
   stats->segments_processed += local.segments_processed;
   stats->segments_early_stopped += local.segments_early_stopped;
+  ICP_OBS_ADD(ScanWordsExamined, local.words_examined);
+  ICP_OBS_ADD(ScanSegmentsProcessed, local.segments_processed);
+  ICP_OBS_ADD(ScanSegmentsEarlyStopped, local.segments_early_stopped);
 }
 
 }  // namespace

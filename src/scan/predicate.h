@@ -7,6 +7,8 @@
 
 #include <cstdint>
 
+#include "obs/obs.h"
+
 namespace icp {
 
 enum class CompareOp {
@@ -58,6 +60,20 @@ struct ScanStats {
   std::uint64_t segments_processed = 0;
   std::uint64_t segments_early_stopped = 0;
 };
+
+/// Reports an analytic scan-cost model into `stats` and the process-wide
+/// counters (the SIMD scan kernels are uninstrumented inside; words is the
+/// layout's word count with no early stopping, and early_stopped stays 0 —
+/// see QueryStats::scan_leaves_modeled and docs/observability.md). Only
+/// fires when the caller collects ScanStats, like the instrumented paths.
+inline void RecordModeledScan(std::uint64_t segments, std::uint64_t words,
+                              ScanStats* stats) {
+  if (stats == nullptr) return;
+  stats->words_examined += words;
+  stats->segments_processed += segments;
+  ICP_OBS_ADD(ScanWordsExamined, words);
+  ICP_OBS_ADD(ScanSegmentsProcessed, segments);
+}
 
 }  // namespace icp
 

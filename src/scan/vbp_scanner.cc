@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "obs/obs.h"
 #include "simd/dispatch.h"
 #include "util/check.h"
 
@@ -29,11 +30,18 @@ void BuildConstantBits(int k, std::uint64_t c1, std::uint64_t c2,
   }
 }
 
+// Also feeds the process-wide scan.* counters; one batched Add per scan
+// call, so the per-word hot loops stay untouched. (The kernels only
+// collect counters when the caller asked for ScanStats — the engine
+// always does, stat-less bench paths keep the uninstrumented kernels.)
 void MergeScanCounters(const kern::ScanCounters& local, ScanStats* stats) {
   if (stats == nullptr) return;
   stats->words_examined += local.words_examined;
   stats->segments_processed += local.segments_processed;
   stats->segments_early_stopped += local.segments_early_stopped;
+  ICP_OBS_ADD(ScanWordsExamined, local.words_examined);
+  ICP_OBS_ADD(ScanSegmentsProcessed, local.segments_processed);
+  ICP_OBS_ADD(ScanSegmentsEarlyStopped, local.segments_early_stopped);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/obs.h"
 #include "simd/agg_kernels.h"
 #include "simd/vbp_pospopcnt.h"
 
@@ -205,6 +206,31 @@ void ForceTier(std::optional<Tier> tier) {
   g_forced_tier.store(
       tier.has_value() ? static_cast<int>(ClampToSupported(*tier)) : -1,
       std::memory_order_relaxed);
+}
+
+const KernelOps& Ops() {
+  const KernelOps& ops = OpsFor(ActiveTier());
+#if ICP_OBS
+  // Counts the tier actually handed out (post-clamp), not the requested
+  // one, so the counters agree with EffectiveTier-based reporting.
+  Tier effective = Tier::kScalar;
+  ParseTier(ops.name, &effective);
+  switch (effective) {
+    case Tier::kScalar:
+      ICP_OBS_INCREMENT(KernDispatchScalar);
+      break;
+    case Tier::kSse64:
+      ICP_OBS_INCREMENT(KernDispatchSse);
+      break;
+    case Tier::kAvx2:
+      ICP_OBS_INCREMENT(KernDispatchAvx2);
+      break;
+    case Tier::kAvx512:
+      ICP_OBS_INCREMENT(KernDispatchAvx512);
+      break;
+  }
+#endif
+  return ops;
 }
 
 const KernelOps& OpsFor(Tier tier) {

@@ -213,8 +213,10 @@ struct KernelOps {
 const KernelOps& OpsFor(Tier tier);
 
 // Ops table for ActiveTier(). Call sites should grab this once per
-// aggregate, not per segment.
-inline const KernelOps& Ops() { return OpsFor(ActiveTier()); }
+// aggregate, not per segment. Out of line so each grab can bump the
+// per-tier kern.dispatch.* obs counter (batch granularity by the rule
+// above; compiled out under ICP_OBS=0).
+const KernelOps& Ops();
 
 }  // namespace icp::kern
 

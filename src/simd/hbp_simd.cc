@@ -62,9 +62,16 @@ Word256 ResultWord(CompareOp op, Word256 md, const FieldCompareState256& a,
 }  // namespace
 
 FilterBitVector ScanHbp(const HbpColumn& column, CompareOp op,
-                        std::uint64_t c1, std::uint64_t c2) {
+                        std::uint64_t c1, std::uint64_t c2,
+                        ScanStats* stats) {
   FilterBitVector out(column.num_values(), column.values_per_segment());
   ScanHbpRange(column, op, c1, c2, 0, NumQuads(column), &out);
+  // Model: s sub-segment words per group per segment.
+  RecordModeledScan(column.num_segments(),
+                    column.num_segments() *
+                        static_cast<std::uint64_t>(column.num_groups()) *
+                        static_cast<std::uint64_t>(column.field_width()),
+                    stats);
   return out;
 }
 
@@ -327,7 +334,9 @@ std::optional<std::uint64_t> MedianHbp(const HbpColumn& column,
 
 AggregateResult AggregateHbp(const HbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
-                             std::uint64_t rank, const CancelContext* cancel) {
+                             std::uint64_t rank, const CancelContext* cancel,
+                             AggStats* stats) {
+  ICP_OBS_INCREMENT(AggPathHbp);
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -351,6 +360,7 @@ AggregateResult AggregateHbp(const HbpColumn& column,
       result.value = RankSelectHbp(column, filter, rank, cancel);
       break;
   }
+  if (kind != AggKind::kCount) CountFilterSegments(filter, stats);
   return result;
 }
 

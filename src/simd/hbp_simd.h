@@ -38,9 +38,12 @@ inline Word256 FieldGe256(Word256 x, Word256 c, Word256 md) {
   return Sub64(x | md, c) & md;
 }
 
-/// Bit-parallel scan; requires column.lanes() == 4.
+/// Bit-parallel scan; requires column.lanes() == 4. `stats`, when
+/// non-null, receives the analytic model of RecordModeledScan (the SIMD
+/// kernel is uninstrumented inside).
 [[nodiscard]] FilterBitVector ScanHbp(const HbpColumn& column, CompareOp op,
-                                      std::uint64_t c1, std::uint64_t c2 = 0);
+                                      std::uint64_t c1, std::uint64_t c2 = 0,
+                                      ScanStats* stats = nullptr);
 void ScanHbpRange(const HbpColumn& column, CompareOp op, std::uint64_t c1,
                   std::uint64_t c2, std::size_t quad_begin,
                   std::size_t quad_end, FilterBitVector* out);
@@ -80,11 +83,14 @@ std::uint64_t ExtremeOfSubSlotsHbp(const HbpColumn& column, const Word* temp,
     const HbpColumn& column, const FilterBitVector& filter,
     const CancelContext* cancel = nullptr);
 
-/// Dispatcher mirroring hbp::Aggregate.
+/// Dispatcher mirroring hbp::Aggregate. `stats`, when non-null, carries
+/// the CountFilterSegments liveness summary for every kind (the SIMD fold
+/// kernels report no per-fold counters).
 AggregateResult AggregateHbp(const HbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
                              std::uint64_t rank = 0,
-                             const CancelContext* cancel = nullptr);
+                             const CancelContext* cancel = nullptr,
+                             AggStats* stats = nullptr);
 
 }  // namespace icp::simd
 

@@ -17,20 +17,31 @@ constexpr int kMaxThreads = 256;
 }  // namespace
 
 FilterBitVector ScanVbp(ThreadPool& pool, const VbpColumn& column,
-                        CompareOp op, std::uint64_t c1, std::uint64_t c2) {
+                        CompareOp op, std::uint64_t c1, std::uint64_t c2,
+                        ScanStats* stats) {
   FilterBitVector out(column.num_values(), VbpColumn::kValuesPerSegment);
   pool.ParallelFor(NumQuads(column), [&](std::size_t begin, std::size_t end) {
     ScanVbpRange(column, op, c1, c2, begin, end, &out);
   });
+  RecordModeledScan(column.num_segments(),
+                    column.num_segments() *
+                        static_cast<std::uint64_t>(column.bit_width()),
+                    stats);
   return out;
 }
 
 FilterBitVector ScanHbp(ThreadPool& pool, const HbpColumn& column,
-                        CompareOp op, std::uint64_t c1, std::uint64_t c2) {
+                        CompareOp op, std::uint64_t c1, std::uint64_t c2,
+                        ScanStats* stats) {
   FilterBitVector out(column.num_values(), column.values_per_segment());
   pool.ParallelFor(NumQuads(column), [&](std::size_t begin, std::size_t end) {
     ScanHbpRange(column, op, c1, c2, begin, end, &out);
   });
+  RecordModeledScan(column.num_segments(),
+                    column.num_segments() *
+                        static_cast<std::uint64_t>(column.num_groups()) *
+                        static_cast<std::uint64_t>(column.field_width()),
+                    stats);
   return out;
 }
 
@@ -337,7 +348,9 @@ std::optional<std::uint64_t> MedianHbp(ThreadPool& pool,
 
 AggregateResult AggregateVbp(ThreadPool& pool, const VbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
-                             std::uint64_t rank, const CancelContext* cancel) {
+                             std::uint64_t rank, const CancelContext* cancel,
+                             AggStats* stats) {
+  ICP_OBS_INCREMENT(AggPathVbp);
   AggregateResult result;
   result.kind = kind;
   result.count = par::Count(pool, filter);
@@ -361,12 +374,15 @@ AggregateResult AggregateVbp(ThreadPool& pool, const VbpColumn& column,
       result.value = RankSelectVbp(pool, column, filter, rank, cancel);
       break;
   }
+  if (kind != AggKind::kCount) CountFilterSegments(filter, stats);
   return result;
 }
 
 AggregateResult AggregateHbp(ThreadPool& pool, const HbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
-                             std::uint64_t rank, const CancelContext* cancel) {
+                             std::uint64_t rank, const CancelContext* cancel,
+                             AggStats* stats) {
+  ICP_OBS_INCREMENT(AggPathHbp);
   AggregateResult result;
   result.kind = kind;
   result.count = par::Count(pool, filter);
@@ -390,6 +406,7 @@ AggregateResult AggregateHbp(ThreadPool& pool, const HbpColumn& column,
       result.value = RankSelectHbp(pool, column, filter, rank, cancel);
       break;
   }
+  if (kind != AggKind::kCount) CountFilterSegments(filter, stats);
   return result;
 }
 

@@ -22,10 +22,14 @@
 
 namespace icp::simd {
 
+/// `stats`, when non-null, receives the analytic RecordModeledScan model
+/// (once, on the calling thread — not per worker).
 FilterBitVector ScanVbp(ThreadPool& pool, const VbpColumn& column,
-                        CompareOp op, std::uint64_t c1, std::uint64_t c2 = 0);
+                        CompareOp op, std::uint64_t c1, std::uint64_t c2 = 0,
+                        ScanStats* stats = nullptr);
 FilterBitVector ScanHbp(ThreadPool& pool, const HbpColumn& column,
-                        CompareOp op, std::uint64_t c1, std::uint64_t c2 = 0);
+                        CompareOp op, std::uint64_t c1, std::uint64_t c2 = 0,
+                        ScanStats* stats = nullptr);
 
 UInt128 SumVbp(ThreadPool& pool, const VbpColumn& column,
                const FilterBitVector& filter,
@@ -68,14 +72,18 @@ std::optional<std::uint64_t> MedianHbp(ThreadPool& pool,
                                        const FilterBitVector& filter,
                                        const CancelContext* cancel = nullptr);
 
+/// `stats`, when non-null, carries the CountFilterSegments liveness
+/// summary (the SIMD fold kernels report no per-fold counters).
 AggregateResult AggregateVbp(ThreadPool& pool, const VbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
                              std::uint64_t rank = 0,
-                             const CancelContext* cancel = nullptr);
+                             const CancelContext* cancel = nullptr,
+                             AggStats* stats = nullptr);
 AggregateResult AggregateHbp(ThreadPool& pool, const HbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
                              std::uint64_t rank = 0,
-                             const CancelContext* cancel = nullptr);
+                             const CancelContext* cancel = nullptr,
+                             AggStats* stats = nullptr);
 
 }  // namespace icp::simd
 

@@ -57,9 +57,15 @@ inline const Word* QuadWordPtr(const VbpColumn& column, int g, std::size_t q,
 }  // namespace
 
 FilterBitVector ScanVbp(const VbpColumn& column, CompareOp op,
-                        std::uint64_t c1, std::uint64_t c2) {
+                        std::uint64_t c1, std::uint64_t c2,
+                        ScanStats* stats) {
   FilterBitVector out(column.num_values(), VbpColumn::kValuesPerSegment);
   ScanVbpRange(column, op, c1, c2, 0, NumQuads(column), &out);
+  // Model: k bit-plane words per segment, no early-stop attribution.
+  RecordModeledScan(column.num_segments(),
+                    column.num_segments() *
+                        static_cast<std::uint64_t>(column.bit_width()),
+                    stats);
   return out;
 }
 
@@ -281,7 +287,9 @@ std::optional<std::uint64_t> MedianVbp(const VbpColumn& column,
 
 AggregateResult AggregateVbp(const VbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
-                             std::uint64_t rank, const CancelContext* cancel) {
+                             std::uint64_t rank, const CancelContext* cancel,
+                             AggStats* stats) {
+  ICP_OBS_INCREMENT(AggPathVbp);
   AggregateResult result;
   result.kind = kind;
   result.count = filter.CountOnes();
@@ -305,6 +313,7 @@ AggregateResult AggregateVbp(const VbpColumn& column,
       result.value = RankSelectVbp(column, filter, rank, cancel);
       break;
   }
+  if (kind != AggKind::kCount) CountFilterSegments(filter, stats);
   return result;
 }
 

@@ -31,9 +31,12 @@ inline std::size_t NumQuads(const VbpColumn& column) {
   return column.num_segments() / 4;
 }
 
-/// Bit-parallel scan; requires column.lanes() == 4.
+/// Bit-parallel scan; requires column.lanes() == 4. `stats`, when
+/// non-null, receives the analytic model of RecordModeledScan (the SIMD
+/// kernel is uninstrumented inside).
 [[nodiscard]] FilterBitVector ScanVbp(const VbpColumn& column, CompareOp op,
-                                      std::uint64_t c1, std::uint64_t c2 = 0);
+                                      std::uint64_t c1, std::uint64_t c2 = 0,
+                                      ScanStats* stats = nullptr);
 void ScanVbpRange(const VbpColumn& column, CompareOp op, std::uint64_t c1,
                   std::uint64_t c2, std::size_t quad_begin,
                   std::size_t quad_end, FilterBitVector* out);
@@ -72,11 +75,14 @@ std::uint64_t ExtremeOfSlotsVbp(const Word* temp, int k, bool is_min);
     const VbpColumn& column, const FilterBitVector& filter,
     const CancelContext* cancel = nullptr);
 
-/// Dispatcher mirroring vbp::Aggregate.
+/// Dispatcher mirroring vbp::Aggregate. `stats`, when non-null, carries
+/// the CountFilterSegments liveness summary for every kind (the SIMD fold
+/// kernels report no per-fold counters).
 AggregateResult AggregateVbp(const VbpColumn& column,
                              const FilterBitVector& filter, AggKind kind,
                              std::uint64_t rank = 0,
-                             const CancelContext* cancel = nullptr);
+                             const CancelContext* cancel = nullptr,
+                             AggStats* stats = nullptr);
 
 }  // namespace icp::simd
 

@@ -24,6 +24,7 @@
 #include <memory>
 #include <optional>
 
+#include "obs/obs.h"
 #include "util/status.h"
 
 namespace icp {
@@ -80,8 +81,10 @@ class CancelContext {
   bool active() const { return token_.can_cancel() || deadline_.has_value(); }
 
   /// Polls the token and the clock; latches and returns true once either
-  /// fires. Cheap after latching (one relaxed load).
+  /// fires. Cheap after latching (two relaxed atomic ops).
   bool ShouldStop() const {
+    checks_.fetch_add(1, std::memory_order_relaxed);
+    ICP_OBS_INCREMENT(CancelChecks);
     if (reason_.load(std::memory_order_relaxed) != kNone) return true;
     if (token_.IsCancelRequested()) {
       Latch(kCancelled);
@@ -93,6 +96,12 @@ class CancelContext {
       return true;
     }
     return false;
+  }
+
+  /// Cooperative polls made against this context so far (batch checks by
+  /// drivers and workers); the engine copies this into QueryStats.
+  std::uint64_t checks() const {
+    return checks_.load(std::memory_order_relaxed);
   }
 
   /// OK while running; kCancelled / kDeadlineExceeded once latched.
@@ -119,6 +128,7 @@ class CancelContext {
   CancellationToken token_;
   std::optional<std::chrono::steady_clock::time_point> deadline_;
   mutable std::atomic<int> reason_{kNone};
+  mutable std::atomic<std::uint64_t> checks_{0};
 };
 
 /// Runs body(batch_begin, batch_end) over [begin, end) in batches of

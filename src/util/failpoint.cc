@@ -3,6 +3,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/obs.h"
+
 namespace icp::fail {
 namespace {
 
@@ -100,7 +102,10 @@ bool ShouldFail(const char* name) {
       point.mode = Mode::kOff;
       break;
   }
-  if (fire) ++point.fires;
+  if (fire) {
+    ++point.fires;
+    ICP_OBS_INCREMENT(FailpointHits);
+  }
   return fire;
 }
 #endif

@@ -30,24 +30,9 @@ inline std::uint64_t ReadCycleCounter() {
 #endif
 }
 
-/// Measures elapsed cycles between Start() and Stop().
-class CycleTimer {
- public:
-  void Start() { start_ = ReadCycleCounter(); }
-  /// Returns cycles elapsed since the last Start().
-  std::uint64_t Stop() const { return ReadCycleCounter() - start_; }
-
- private:
-  std::uint64_t start_ = 0;
-};
-
-/// Convenience: cycles spent running `fn()` once.
-template <typename Fn>
-std::uint64_t MeasureCycles(Fn&& fn) {
-  const std::uint64_t begin = ReadCycleCounter();
-  fn();
-  return ReadCycleCounter() - begin;
-}
+// Elapsed-time measurement on top of this counter lives in
+// obs/stage_timer.h (obs::StageTimer) — the single clock shared by the
+// engine's QueryStats, trace spans, and the bench harness.
 
 }  // namespace icp
 

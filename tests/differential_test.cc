@@ -7,6 +7,19 @@
 // On a mismatch the assertion message prints the seed, query, layout, tier
 // and thread count; re-running with ICP_DIFF_SEED=<seed> replays exactly
 // that table and query set.
+//
+// Registry coverage (checked by icp_lint ICP004): the engine configs
+// below — every layout x {scalar BP, SIMD BP, NBP} x tiers x threads —
+// drive each KernelOps slot through the public Execute path:
+//   scans reach the scanner word-compare slots and the boolean algebra,
+//     // exercises: vbp_scan, hbp_scan, combine_words
+//   COUNT and filter densities reach the popcount slots,
+//     // exercises: popcount_words, popcount_and
+//   SUM/AVG reach the bit-sum slots (lanes 1 and 4) and the HBP in-word
+//   sum,
+//     // exercises: vbp_bit_sums, vbp_bit_sums_quads, hbp_sum
+//   MIN/MAX reach the extreme folds and MEDIAN/RANK the counting step.
+//     // exercises: vbp_extreme_fold, hbp_extreme_fold, masked_popcount
 
 #include <cstdint>
 #include <cstdlib>

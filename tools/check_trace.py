@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace-event JSON file written by obs::WriteChromeTrace.
+
+Checks the shape CI relies on:
+
+  * top level is an object with a "traceEvents" list (the format Perfetto
+    and chrome://tracing load);
+  * every event is a complete-duration span: ph == "X", a non-empty
+    string name, numeric ts/dur with dur >= 0, integer pid/tid;
+  * at least --min-events events (default 1), so an engine run that
+    recorded nothing fails loudly;
+  * every span lies within the file's overall [min_ts, max_ts + dur]
+    window (a calibration bug shows up as spans light-years off-axis).
+
+Usage:
+    tools/check_trace.py trace.json [--min-events N]
+
+Exit codes: 0 valid, 1 invalid trace, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+
+def fail(message: str) -> int:
+    print(f"check_trace: {message}", file=sys.stderr)
+    return 1
+
+
+def check_event(index: int, event: Any) -> str | None:
+    """Returns an error string for a malformed event, else None."""
+    if not isinstance(event, dict):
+        return f"event {index} is not an object"
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        return f"event {index} has no non-empty string 'name'"
+    if event.get("ph") != "X":
+        return f"event {index} ('{name}') is not a complete span (ph != X)"
+    for key in ("ts", "dur"):
+        value = event.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return f"event {index} ('{name}') has non-numeric '{key}'"
+    if float(event["dur"]) < 0:
+        return f"event {index} ('{name}') has negative duration"
+    for key in ("pid", "tid"):
+        value = event.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            return f"event {index} ('{name}') has non-integer '{key}'"
+    return None
+
+
+def check_trace(path: str, min_events: int) -> int:
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as e:
+        return fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        return fail(f"{path} is not valid JSON: {e}")
+
+    if not isinstance(data, dict):
+        return fail("top level is not an object")
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("no 'traceEvents' list at top level")
+    if len(events) < min_events:
+        return fail(
+            f"only {len(events)} event(s), expected at least {min_events}"
+        )
+
+    for i, event in enumerate(events):
+        error = check_event(i, event)
+        if error is not None:
+            return fail(error)
+
+    if events:
+        starts = [float(e["ts"]) for e in events]
+        ends = [float(e["ts"]) + float(e["dur"]) for e in events]
+        window = max(ends) - min(starts)
+        # A calibration bug scatters spans across hours; real recordings
+        # from one process run fit comfortably in an hour.
+        if window > 3_600_000_000:  # microseconds
+            return fail(
+                f"span window is {window / 1e6:.0f}s wide; cycle-to-time "
+                "calibration looks broken"
+            )
+        tids = sorted({int(e["tid"]) for e in events})
+        print(
+            f"check_trace: {len(events)} span(s) on {len(tids)} track(s) "
+            f"({window / 1e3:.3f} ms window)"
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_trace.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("trace", metavar="TRACE", help="trace JSON path")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="fail unless the trace holds at least this many spans "
+        "(default 1)",
+    )
+    args = parser.parse_args(argv)
+    return check_trace(args.trace, args.min_events)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

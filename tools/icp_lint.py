@@ -19,10 +19,17 @@ already happened (or nearly happened) in this codebase:
       not list failpoints that are no longer planted).
   ICP004 slot-coverage
       Every kernel slot declared in the KernelOps struct must be
-      exercised by tests/dispatch_test.cc (cross-tier agreement) and by
-      a bench/bench_kernels.cc benchmark — directly, or through an
+      exercised by tests/dispatch_test.cc (cross-tier agreement), by
+      a bench/bench_kernels.cc benchmark, and by the differential
+      harness tests/differential_test.cc (seed-replayable cross-layout
+      agreement) — directly, or through an
       "// exercises: slot_a, slot_b" annotation naming the slot the
-      benchmark drives through a higher-level entry point.
+      file drives through a higher-level entry point.
+  ICP005 counter-catalogue
+      Every observability counter registered through
+      ICP_OBS_DEFINE_COUNTER must be catalogued in
+      docs/observability.md, and the doc must not list counters that
+      are no longer registered (same both-ways sync as ICP003).
 
 Usage:
     tools/icp_lint.py [--root REPO_ROOT]
@@ -61,7 +68,14 @@ CODE_SUFFIXES = (".cc", ".h", ".cpp", ".hpp")
 DISPATCH_HEADER = "src/simd/dispatch.h"
 DISPATCH_TEST = "tests/dispatch_test.cc"
 KERNEL_BENCH = "bench/bench_kernels.cc"
+DIFFERENTIAL_TEST = "tests/differential_test.cc"
 ROBUSTNESS_DOC = "docs/robustness.md"
+OBSERVABILITY_DOC = "docs/observability.md"
+
+# Backticked names in the docs that look dotted but are files, not
+# counters (the observability doc also mentions trace.json etc.).
+DOC_FILE_SUFFIXES = (".md", ".json", ".txt", ".py", ".cc", ".h", ".cpp",
+                     ".yml", ".cmake")
 
 INTRINSIC_RE = re.compile(
     r"\b_mm\d*_\w+"  # _mm_*, _mm256_*, _mm512_* intrinsics
@@ -73,6 +87,9 @@ EXCEPTION_RE = re.compile(r"\bthrow\b|\btry\s*(?=\{)|\bcatch\s*\(")
 FAILPOINT_RE = re.compile(r'ICP_FAILPOINT\(\s*"([^"]+)"')
 SLOT_RE = re.compile(r"\(\s*\*\s*(\w+)\s*\)\s*\(")
 EXERCISES_RE = re.compile(r"//\s*exercises:\s*([\w,\s]+?)\s*$")
+COUNTER_RE = re.compile(r'ICP_OBS_DEFINE_COUNTER\(\s*(\w+)\s*,\s*"([^"]+)"')
+# Dotted lowercase counter names in backticks, e.g. `scan.words_examined`.
+DOC_COUNTER_RE = re.compile(r"`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
 
 
 @dataclass
@@ -334,6 +351,7 @@ def check_slot_coverage(root: str, findings: list[Finding]) -> None:
 
     tested = covered_names(DISPATCH_TEST, with_annotations=False)
     benched = covered_names(KERNEL_BENCH, with_annotations=True)
+    diffed = covered_names(DIFFERENTIAL_TEST, with_annotations=True)
     for slot in slots:
         if slot not in tested:
             findings.append(
@@ -356,6 +374,73 @@ def check_slot_coverage(root: str, findings: list[Finding]) -> None:
                     "annotation)",
                 )
             )
+        if slot not in diffed:
+            findings.append(
+                Finding(
+                    DISPATCH_HEADER,
+                    1,
+                    "ICP004",
+                    f"kernel slot '{slot}' has no differential-harness "
+                    f"coverage in {DIFFERENTIAL_TEST} (direct call or "
+                    "'exercises:' annotation)",
+                )
+            )
+
+
+def check_counter_catalogue(root: str, findings: list[Finding]) -> None:
+    sites: dict[str, list[tuple[str, int]]] = {}
+    for path in iter_code_files(root):
+        relpath = rel(root, path)
+        if not relpath.startswith("src/"):
+            continue
+        text = read_text(path)
+        code = strip_comments(text, keep_strings=True)
+        for m in COUNTER_RE.finditer(code):
+            sites.setdefault(m.group(2), []).append(
+                (relpath, line_of(code, m.start()))
+            )
+
+    doc_path = os.path.join(root, OBSERVABILITY_DOC)
+    doc_text = read_text(doc_path) if os.path.isfile(doc_path) else ""
+    doc_names = {
+        name
+        for name in DOC_COUNTER_RE.findall(doc_text)
+        if not name.endswith(DOC_FILE_SUFFIXES)
+    }
+
+    for name, occurrences in sorted(sites.items()):
+        if len(occurrences) > 1:
+            locs = ", ".join(f"{p}:{ln}" for p, ln in occurrences[1:])
+            findings.append(
+                Finding(
+                    occurrences[0][0],
+                    occurrences[0][1],
+                    "ICP005",
+                    f"counter '{name}' is registered more than once "
+                    f"(also at {locs}); counter names must be unique",
+                )
+            )
+        if name not in doc_names:
+            path0, line0 = occurrences[0]
+            findings.append(
+                Finding(
+                    path0,
+                    line0,
+                    "ICP005",
+                    f"counter '{name}' is not catalogued in "
+                    f"{OBSERVABILITY_DOC}",
+                )
+            )
+    for name in sorted(doc_names - set(sites)):
+        findings.append(
+            Finding(
+                OBSERVABILITY_DOC,
+                1 + doc_text[: doc_text.find(f"`{name}`")].count("\n"),
+                "ICP005",
+                f"{OBSERVABILITY_DOC} catalogues counter '{name}' but no "
+                "ICP_OBS_DEFINE_COUNTER registers it",
+            )
+        )
 
 
 def read_text(path: str) -> str:
@@ -387,6 +472,7 @@ def main(argv: list[str] | None = None) -> int:
     check_exceptions(root, findings)
     check_failpoints(root, findings)
     check_slot_coverage(root, findings)
+    check_counter_catalogue(root, findings)
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
     for finding in findings:

@@ -196,7 +196,8 @@ class LintFixtureTest(unittest.TestCase):
             if "masked_popcount" in line
         ]
         self.assertEqual(
-            len(both), 2, f"expected test + bench findings:\n{out}"
+            len(both), 3,
+            f"expected test + bench + differential findings:\n{out}",
         )
 
     def test_unknown_exercises_annotation_fires(self) -> None:
@@ -206,6 +207,59 @@ class LintFixtureTest(unittest.TestCase):
         self.assert_finding(
             "ICP004", "bogus_slot", "bench/bench_kernels.cc"
         )
+
+    def test_missing_differential_coverage_fires(self) -> None:
+        # Drop the annotation that covers combine_words in the fixture
+        # differential harness; only the differential finding should fire
+        # (dispatch_test and bench still cover the slot).
+        diff = os.path.join(self.root, "tests", "differential_test.cc")
+        with open(diff, encoding="utf-8") as f:
+            text = f.read()
+        with open(diff, "w", encoding="utf-8") as f:
+            f.write(text.replace("// exercises: combine_words\n", ""))
+        self.assert_finding(
+            "ICP004", "differential-harness", "src/simd/dispatch.h"
+        )
+        _, out, _ = run_linter(self.root)
+        hits = [ln for ln in out.splitlines() if "combine_words" in ln]
+        self.assertEqual(len(hits), 1, f"expected one finding:\n{out}")
+
+    def test_uncatalogued_counter_fires(self) -> None:
+        write(
+            self.root,
+            "src/obs/extra.cc",
+            'ICP_OBS_DEFINE_COUNTER(Mystery, "engine.mystery",\n'
+            '                       "a counter the doc never heard of")\n',
+        )
+        self.assert_finding(
+            "ICP005", "engine.mystery", "src/obs/extra.cc"
+        )
+
+    def test_stale_doc_counter_fires(self) -> None:
+        doc = os.path.join(self.root, "docs", "observability.md")
+        with open(doc, "a", encoding="utf-8") as f:
+            f.write("| `scan.words_imagined` | gone | stale row |\n")
+        self.assert_finding(
+            "ICP005", "scan.words_imagined", "docs/observability.md"
+        )
+
+    def test_duplicate_counter_name_fires(self) -> None:
+        write(
+            self.root,
+            "src/obs/dup.cc",
+            'ICP_OBS_DEFINE_COUNTER(ScanWordsExamined2,\n'
+            '                       "scan.words_examined", "duplicate")\n',
+        )
+        self.assert_finding("ICP005", "more than once")
+
+    def test_doc_file_mentions_are_not_counters(self) -> None:
+        # Dotted file names in backticks (trace.json and friends) must not
+        # be mistaken for catalogued counters.
+        doc = os.path.join(self.root, "docs", "observability.md")
+        with open(doc, "a", encoding="utf-8") as f:
+            f.write("\nSee `trace.json` and `tools/check_trace.py`.\n")
+        code, out, _ = run_linter(self.root)
+        self.assertEqual(code, 0, out)
 
     def test_sanctioned_tu_intrinsics_do_not_fire(self) -> None:
         # agg_kernels.cc in the clean fixture is full of intrinsics; the

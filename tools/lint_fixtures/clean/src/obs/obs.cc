@@ -1,0 +1,7 @@
+// Miniature observability registry for the icp_lint self-test: one
+// catalogued counter, synced with the fixture docs/observability.md.
+#define ICP_OBS_DEFINE_COUNTER(fn, counter_name, counter_help) \
+  int fn##_fixture = 0;
+
+ICP_OBS_DEFINE_COUNTER(ScanWordsExamined, "scan.words_examined",
+                       "memory words read by the bit-parallel scans")

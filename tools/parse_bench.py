@@ -109,6 +109,11 @@ def kernel_json_main(source: str, out_path: str) -> int:
 
     out = {
         "source": os.path.basename(source),
+        # Which clock produced the numbers. google-benchmark reports
+        # cpu_time in ns; the harness-text tables instead carry
+        # cycles/tuple from obs::StageTimer (rdtsc) — see
+        # docs/observability.md.
+        "clock": "google-benchmark cpu_time (ns)",
         "context": {
             k: data.get("context", {}).get(k)
             for k in ("host_name", "num_cpus", "mhz_per_cpu", "date")
