@@ -8,11 +8,18 @@
 // ~1x — the harness prints the detected hardware concurrency so the reader
 // can interpret the bars (see EXPERIMENTS.md).
 
+// The harness also measures the morsel-driven scheduler (docs/scheduler.md)
+// against the static per-worker split on the same MT scalar path, printing
+// machine-greppable `sched_overhead_pct <layout> <agg> <pct>` lines; CI's
+// stress job asserts the single-query SUM overhead stays within budget.
+
 #include <cstdio>
 #include <thread>
 
 #include "bench_util.h"
 #include "parallel/parallel_aggregate.h"
+#include "sched/admission.h"
+#include "sched/scheduler.h"
 #include "simd/simd_parallel.h"
 
 namespace icp::bench {
@@ -114,6 +121,33 @@ double Measure(const Workload& w, ThreadPool& pool, Layout layout,
   return CyclesPerTuple(w.n, reps, run);
 }
 
+// The MT scalar path again, but dispatched as morsels through a governed
+// QuerySession instead of the static per-worker split. Admission happens
+// once, outside the timed region: the comparison isolates pure
+// scheduling overhead (shard queues, slot claims, stealing).
+double MeasureSched(const Workload& w, sched::QuerySession& ex,
+                    Layout layout, BenchAgg agg, int reps) {
+  auto run = [&] {
+    DoNotOptimize(
+        layout == Layout::kVbp
+            ? (agg == BenchAgg::kSum
+                   ? static_cast<std::uint64_t>(
+                         par::Sum(ex, w.vbp, w.filter_vbp))
+                   : (agg == BenchAgg::kMin
+                          ? par::Min(ex, w.vbp, w.filter_vbp).value_or(0)
+                          : par::Median(ex, w.vbp, w.filter_vbp)
+                                .value_or(0)))
+            : (agg == BenchAgg::kSum
+                   ? static_cast<std::uint64_t>(
+                         par::Sum(ex, w.hbp, w.filter_hbp))
+                   : (agg == BenchAgg::kMin
+                          ? par::Min(ex, w.hbp, w.filter_hbp).value_or(0)
+                          : par::Median(ex, w.hbp, w.filter_hbp)
+                                .value_or(0))));
+  };
+  return CyclesPerTuple(w.n, reps, run);
+}
+
 void Run() {
   const std::size_t n = TupleCount();
   const int reps = Repetitions();
@@ -126,9 +160,22 @@ void Run() {
               std::thread::hardware_concurrency(), kThreads);
 
   ThreadPool pool(kThreads);
-  std::printf("\n%-4s %-8s %10s %10s %10s %10s  %8s %8s %8s\n", "lay",
-              "agg", "base c/t", "MT c/t", "SIMD c/t", "both c/t", "MT x",
-              "SIMD x", "both x");
+  // Same core count as the static split: kThreads - 1 workers plus the
+  // calling thread, one uncontended query.
+  sched::MorselScheduler scheduler(kThreads - 1);
+  sched::QueryGovernor governor(scheduler,
+                                {.max_concurrent = 1, .max_queued = 0});
+  auto session = governor.Admit(CancellationToken(), std::nullopt);
+  if (!session.ok()) {
+    std::printf("admission failed: %s\n",
+                session.status().ToString().c_str());
+    return;
+  }
+
+  std::printf("\n%-4s %-8s %10s %10s %10s %10s %10s  %8s %8s %8s\n", "lay",
+              "agg", "base c/t", "MT c/t", "SIMD c/t", "both c/t",
+              "morsel c/t", "MT x", "SIMD x", "both x");
+  double overhead_pct[2][3] = {};
   for (int l = 0; l < 2; ++l) {
     const Layout layout = l == 0 ? Layout::kVbp : Layout::kHbp;
     for (int a = 0; a < 3; ++a) {
@@ -141,10 +188,24 @@ void Run() {
       const double sd = Measure(w, pool, layout, agg, Config::kSimd, reps);
       const double both =
           Measure(w, pool, layout, agg, Config::kMtSimd, reps);
-      std::printf("%-4s %-8s %10.3f %10.3f %10.3f %10.3f  %7.2fx %7.2fx "
-                  "%7.2fx\n",
+      const double morsel =
+          MeasureSched(w, *session.value(), layout, agg, reps);
+      overhead_pct[l][a] = (morsel / mt - 1.0) * 100.0;
+      std::printf("%-4s %-8s %10.3f %10.3f %10.3f %10.3f %10.3f  %7.2fx "
+                  "%7.2fx %7.2fx\n",
                   l == 0 ? "VBP" : "HBP", BenchAggName(agg), base, mt, sd,
-                  both, base / mt, base / sd, base / both);
+                  both, morsel, base / mt, base / sd, base / both);
+    }
+  }
+
+  // Machine-greppable: morsel-scheduler overhead vs the static split on
+  // the same single query (negative = morsels were faster this run).
+  std::printf("\n");
+  for (int l = 0; l < 2; ++l) {
+    for (int a = 0; a < 3; ++a) {
+      std::printf("sched_overhead_pct %s %s %.2f\n", l == 0 ? "VBP" : "HBP",
+                  BenchAggName(static_cast<BenchAgg>(a)),
+                  overhead_pct[l][a]);
     }
   }
 }

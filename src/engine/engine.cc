@@ -12,12 +12,14 @@
 #include "core/vbp_aggregate.h"
 #include "obs/obs.h"
 #include "obs/stage_timer.h"
+#include "obs/trace.h"
 #include "parallel/parallel_aggregate.h"
 #include "parallel/parallel_nbp.h"
 #include "scan/hbp_scanner.h"
 #include "scan/naive_scanner.h"
 #include "scan/padded_scanner.h"
 #include "scan/vbp_scanner.h"
+#include "sched/admission.h"
 #include "simd/dispatch.h"
 #include "simd/simd_parallel.h"
 
@@ -114,12 +116,14 @@ Engine::Engine(ExecOptions options) : options_(options) {
   pool_ = std::make_unique<ThreadPool>(options_.threads);
 }
 
+std::optional<std::chrono::steady_clock::time_point> Engine::AbsoluteDeadline()
+    const {
+  if (!options_.deadline.has_value()) return std::nullopt;
+  return std::chrono::steady_clock::now() + *options_.deadline;
+}
+
 CancelContext Engine::MakeCancelContext() const {
-  std::optional<std::chrono::steady_clock::time_point> deadline;
-  if (options_.deadline.has_value()) {
-    deadline = std::chrono::steady_clock::now() + *options_.deadline;
-  }
-  return CancelContext(options_.cancel_token, deadline);
+  return CancelContext(options_.cancel_token, AbsoluteDeadline());
 }
 
 Status Engine::CheckPool() {
@@ -128,6 +132,46 @@ Status Engine::CheckPool() {
   }
   return Status::Ok();
 }
+
+Status Engine::CheckSession() {
+  if (session_ == nullptr) return Status::Ok();
+  return session_->Error();
+}
+
+// Admission is per entry point: Enter blocks in the governor's bounded
+// queue (or is shed) before any work runs; the destructor copies the
+// session's scheduling stats into the query's QueryStats and releases the
+// admission slot.
+struct Engine::SessionScope {
+  Engine* engine = nullptr;
+  std::unique_ptr<sched::QuerySession> session;
+
+  [[nodiscard]] Status Enter(
+      Engine& e,
+      std::optional<std::chrono::steady_clock::time_point> deadline) {
+    if (e.options_.governor == nullptr) return Status::Ok();
+    auto session_or = e.options_.governor->Admit(e.options_.cancel_token,
+                                                 deadline);
+    ICP_RETURN_IF_ERROR(session_or.status());
+    session = std::move(session_or).value();
+    engine = &e;
+    e.session_ = session.get();
+    return Status::Ok();
+  }
+
+  ~SessionScope() {
+    if (engine == nullptr) return;
+    if (obs::QueryStats* qs = engine->options_.stats; qs != nullptr) {
+      qs->granted_parallelism = session->granted_parallelism();
+      qs->admit_queued_cycles = session->queued_cycles();
+      qs->sched_morsels_dispatched = session->stats().dispatched;
+      qs->sched_morsels_completed = session->stats().completed;
+      qs->sched_morsels_cancelled = session->stats().cancelled;
+      qs->sched_steals = session->stats().steals;
+    }
+    engine->session_ = nullptr;
+  }
+};
 
 namespace {
 
@@ -141,6 +185,7 @@ StatusOr<Engine::TriState> Engine::ScanLeaf(const Table& table,
                                             const CancelContext* cancel) {
   obs::QueryStats* qs = options_.stats;
   const obs::StageTimer timer;
+  ICP_OBS_TRACE_SPAN("execute.scan", 0);
   auto column_or = table.GetColumn(leaf.column());
   ICP_RETURN_IF_ERROR(column_or.status());
   const Table::Column& column = **column_or;
@@ -180,6 +225,9 @@ StatusOr<Engine::TriState> Engine::ScanLeaf(const Table& table,
                         : simd::ScanVbp(column.vbp_simd(), pred.op, pred.c1,
                                         pred.c2, sp);
           modeled = true;
+        } else if (session_ != nullptr) {
+          out.pass = par::Scan(*session_, column.vbp(), pred.op, pred.c1,
+                               pred.c2, cancel, sp);
         } else {
           out.pass = mt ? par::Scan(*pool_, column.vbp(), pred.op, pred.c1,
                                     pred.c2, cancel, sp)
@@ -194,6 +242,9 @@ StatusOr<Engine::TriState> Engine::ScanLeaf(const Table& table,
                         : simd::ScanHbp(column.hbp_simd(), pred.op, pred.c1,
                                         pred.c2, sp);
           modeled = true;
+        } else if (session_ != nullptr) {
+          out.pass = par::Scan(*session_, column.hbp(), pred.op, pred.c1,
+                               pred.c2, cancel, sp);
         } else {
           out.pass = mt ? par::Scan(*pool_, column.hbp(), pred.op, pred.c1,
                                     pred.c2, cancel, sp)
@@ -275,6 +326,7 @@ StatusOr<Engine::TriState> Engine::EvalExpr(const Table& table,
         TriState child = std::move(child_or).value();
         AlignShape(acc, &child);
         const obs::StageTimer combine_timer;
+        ICP_OBS_TRACE_SPAN("execute.combine", 0);
         if (expr.kind() == FilterExpr::Kind::kAnd) {
           // AND: FALSE dominates, then UNKNOWN.
           FilterBitVector false_set = FalseSet(acc);
@@ -308,6 +360,7 @@ StatusOr<Engine::TriState> Engine::EvalExpr(const Table& table,
       TriState child = std::move(child_or).value();
       // NOT TRUE = FALSE, NOT FALSE = TRUE, NOT UNKNOWN = UNKNOWN.
       const obs::StageTimer combine_timer;
+      ICP_OBS_TRACE_SPAN("execute.combine", 0);
       FilterBitVector new_pass = FalseSet(child);
       child.pass = std::move(new_pass);
       if (obs::QueryStats* qs = options_.stats; qs != nullptr) {
@@ -351,6 +404,7 @@ StatusOr<FilterBitVector> Engine::EvaluateFilterImpl(
   }
   if (scan_cycles != nullptr) *scan_cycles = timer.ElapsedCycles();
   ICP_RETURN_IF_ERROR(CheckPool());
+  ICP_RETURN_IF_ERROR(CheckSession());
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   if (f.values_per_segment() != column.values_per_segment()) {
     f = f.Reshape(column.values_per_segment());
@@ -409,6 +463,7 @@ StatusOr<QueryResult> Engine::AggregateImpl(const Table& table, AggKind kind,
   AggStats* ap = qs != nullptr ? &astats : nullptr;
   AggregateResult agg;
   const obs::StageTimer agg_timer;
+  ICP_OBS_TRACE_SPAN("execute.aggregate", 0);
   switch (column.spec().layout) {
     case Layout::kVbp:
       if (bp && options_.simd) {
@@ -416,6 +471,9 @@ StatusOr<QueryResult> Engine::AggregateImpl(const Table& table, AggKind kind,
                                       kind, rank, cancel, ap)
                  : simd::AggregateVbp(column.vbp_simd(), *effective, kind,
                                       rank, cancel, ap);
+      } else if (bp && session_ != nullptr) {
+        agg = par::Aggregate(*session_, column.vbp(), *effective, kind, rank,
+                             cancel, ap);
       } else if (bp) {
         agg = mt ? par::Aggregate(*pool_, column.vbp(), *effective, kind,
                                   rank, cancel, ap)
@@ -434,6 +492,9 @@ StatusOr<QueryResult> Engine::AggregateImpl(const Table& table, AggKind kind,
                                       kind, rank, cancel, ap)
                  : simd::AggregateHbp(column.hbp_simd(), *effective, kind,
                                       rank, cancel, ap);
+      } else if (bp && session_ != nullptr) {
+        agg = par::Aggregate(*session_, column.hbp(), *effective, kind, rank,
+                             cancel, ap);
       } else if (bp) {
         agg = mt ? par::Aggregate(*pool_, column.hbp(), *effective, kind,
                                   rank, cancel, ap)
@@ -457,6 +518,7 @@ StatusOr<QueryResult> Engine::AggregateImpl(const Table& table, AggKind kind,
   }
   const std::uint64_t agg_cycles = agg_timer.ElapsedCycles();
   ICP_RETURN_IF_ERROR(CheckPool());
+  ICP_RETURN_IF_ERROR(CheckSession());
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   if (qs != nullptr) {
     qs->agg_cycles += agg_cycles;
@@ -530,7 +592,10 @@ StatusOr<std::vector<QueryResult>> Engine::ExecuteMulti(
   if (qs != nullptr) *qs = obs::QueryStats{};
   const obs::StageTimer total;
   ICP_OBS_INCREMENT(EngineQueries);
-  const CancelContext cancel = MakeCancelContext();
+  const auto deadline = AbsoluteDeadline();
+  SessionScope scope;
+  ICP_RETURN_IF_ERROR(scope.Enter(*this, deadline));
+  const CancelContext cancel(options_.cancel_token, deadline);
   std::uint64_t scan_cycles = 0;
   auto filter_or = EvaluateFilterImpl(table, query.filter,
                                       query.aggregates[0].second,
@@ -578,7 +643,10 @@ Engine::ExecuteGroupBy(const Table& table, const Query& query,
   if (qs != nullptr) *qs = obs::QueryStats{};
   const obs::StageTimer total;
   ICP_OBS_INCREMENT(EngineQueries);
-  const CancelContext cancel = MakeCancelContext();
+  const auto deadline = AbsoluteDeadline();
+  SessionScope scope;
+  ICP_RETURN_IF_ERROR(scope.Enter(*this, deadline));
+  const CancelContext cancel(options_.cancel_token, deadline);
   std::uint64_t scan_cycles = 0;
   auto base_or = EvaluateFilterImpl(table, query.filter, group_column,
                                     &scan_cycles, &cancel);
@@ -625,7 +693,12 @@ StatusOr<QueryResult> Engine::Execute(const Table& table, const Query& query) {
   if (qs != nullptr) *qs = obs::QueryStats{};
   const obs::StageTimer total;
   ICP_OBS_INCREMENT(EngineQueries);
-  const CancelContext cancel = MakeCancelContext();
+  // Admission (and, while queued, shedding) happens before any work; the
+  // queue wait shares the query's absolute deadline with every phase.
+  const auto deadline = AbsoluteDeadline();
+  SessionScope scope;
+  ICP_RETURN_IF_ERROR(scope.Enter(*this, deadline));
+  const CancelContext cancel(options_.cancel_token, deadline);
   std::uint64_t scan_cycles = 0;
   auto filter_or = EvaluateFilterImpl(table, query.filter, query.agg_column,
                                       &scan_cycles, &cancel);
@@ -725,6 +798,17 @@ std::string FormatExplainAnalyze(const obs::QueryStats& stats,
           static_cast<unsigned long long>(stats.agg_segments_skipped),
           static_cast<unsigned long long>(stats.agg_compare_early_stops),
           static_cast<unsigned long long>(stats.agg_blends_skipped));
+  if (stats.granted_parallelism > 0) {
+    AppendF(&out,
+            "sched:  parallelism=%d morsels=%llu/%llu cancelled=%llu "
+            "steals=%llu queued_cycles=%llu\n",
+            stats.granted_parallelism,
+            static_cast<unsigned long long>(stats.sched_morsels_completed),
+            static_cast<unsigned long long>(stats.sched_morsels_dispatched),
+            static_cast<unsigned long long>(stats.sched_morsels_cancelled),
+            static_cast<unsigned long long>(stats.sched_steals),
+            static_cast<unsigned long long>(stats.admit_queued_cycles));
+  }
   AppendF(&out, "cancel_checks=%llu\n",
           static_cast<unsigned long long>(stats.cancel_checks));
   return out;

@@ -29,6 +29,11 @@
 
 namespace icp {
 
+namespace sched {
+class QueryGovernor;
+class QuerySession;
+}  // namespace sched
+
 struct ExecOptions {
   /// Aggregation implementation (scans are always bit-parallel, as in the
   /// paper: both methods take the filter bit vector as input).
@@ -57,6 +62,16 @@ struct ExecOptions {
   /// stats costs one extra filter popcount per query plus the ScanStats /
   /// AggStats merges.
   obs::QueryStats* stats = nullptr;
+  /// Overload-safe concurrent execution: when non-null, every Execute /
+  /// ExecuteMulti / ExecuteGroupBy call first admits itself against the
+  /// governor (bounded queue, load shedding with kResourceExhausted,
+  /// degraded parallelism under load) and runs its bit-parallel
+  /// non-SIMD scan + aggregate phases on the governor's shared morsel
+  /// scheduler instead of this engine's private pool. SIMD and NBP
+  /// phases and the standalone EvaluateFilter / Aggregate entry points
+  /// keep the private pool (see docs/scheduler.md). Not owned; must
+  /// outlive the engine.
+  sched::QueryGovernor* governor = nullptr;
 };
 
 struct Query {
@@ -152,6 +167,16 @@ class Engine {
   };
 
  private:
+  /// Admits the query against options().governor for the duration of one
+  /// public entry point and copies the session's scheduling stats into
+  /// options().stats on exit. No-op when ungoverned.
+  struct SessionScope;
+
+  /// The per-call deadline budget as an absolute deadline (nullopt when
+  /// unset). Computed once per public entry point so admission queueing
+  /// and every execution phase share one deadline.
+  std::optional<std::chrono::steady_clock::time_point> AbsoluteDeadline()
+      const;
   /// Converts the per-call deadline budget into an absolute deadline and
   /// pairs it with the token. Called once at each public entry point so the
   /// whole query (all phases) shares one deadline.
@@ -174,9 +199,17 @@ class Engine {
   /// Turns a dropped thread-pool task ("thread_pool/task" failpoint) into a
   /// Status so multi-threaded phases fail cleanly after the region joins.
   Status CheckPool();
+  /// Surfaces the active session's latched error (scratch budget
+  /// exhausted, dropped morsel) after a governed phase. Ok when
+  /// ungoverned.
+  Status CheckSession();
 
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  /// Session of the governed entry point currently on this engine's call
+  /// stack (engines are single-query objects; set/cleared by
+  /// SessionScope).
+  sched::QuerySession* session_ = nullptr;
 };
 
 /// Renders a filled QueryStats + QueryResult as the EXPLAIN ANALYZE text

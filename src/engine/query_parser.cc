@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/stage_timer.h"
+#include "obs/trace.h"
 #include "util/dates.h"
 #include "util/failpoint.h"
 
@@ -459,6 +460,7 @@ bool ConsumeKeyword(const std::string& sql, const char* word,
 
 StatusOr<Statement> ParseStatement(const std::string& sql) {
   const obs::StageTimer timer;
+  ICP_OBS_TRACE_SPAN("execute.parse", 0);
   Statement out;
   std::size_t pos = 0;
   while (pos < sql.size() &&

@@ -49,10 +49,14 @@
 #include "obs/stage_timer.h"  // IWYU pragma: export
 #include "obs/trace.h"        // IWYU pragma: export
 
-// Parallel and SIMD execution.
+// Parallel and SIMD execution; overload-safe scheduling and admission.
+#include "parallel/executor.h"            // IWYU pragma: export
 #include "parallel/parallel_aggregate.h"  // IWYU pragma: export
 #include "parallel/parallel_nbp.h"        // IWYU pragma: export
 #include "parallel/thread_pool.h"         // IWYU pragma: export
+#include "sched/admission.h"              // IWYU pragma: export
+#include "sched/morsel.h"                 // IWYU pragma: export
+#include "sched/scheduler.h"              // IWYU pragma: export
 #include "simd/hbp_simd.h"                // IWYU pragma: export
 #include "simd/simd_parallel.h"           // IWYU pragma: export
 #include "simd/vbp_simd.h"                // IWYU pragma: export

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/obs.h"
+#include "util/backoff.h"
 #include "util/dates.h"
 #include "util/failpoint.h"
 
@@ -64,6 +66,19 @@ StatusOr<Table> LoadFromStream(std::istream& in,
     if (ICP_FAILPOINT("csv_loader/read")) {
       return Status::Internal("CSV read failed at line " +
                               std::to_string(line_number));
+    }
+    // "csv_loader/read_transient" simulates a retryable stream error; the
+    // already-buffered line is re-processed after a jittered backoff, and
+    // exhaustion fails like the hard error above.
+    int attempt = 1;
+    while (ICP_FAILPOINT("csv_loader/read_transient")) {
+      if (attempt >= kIoMaxAttempts) {
+        return Status::Internal("CSV read failed at line " +
+                                std::to_string(line_number) + " after " +
+                                std::to_string(kIoMaxAttempts) + " attempts");
+      }
+      ICP_OBS_INCREMENT(IoRetries);
+      SleepForRetry(attempt++);
     }
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;

@@ -11,6 +11,8 @@
 #include <fstream>
 #include <vector>
 
+#include "obs/obs.h"
+#include "util/backoff.h"
 #include "util/bits.h"
 #include "util/failpoint.h"
 
@@ -126,6 +128,20 @@ class Reader {
       failed_ = true;
       std::memset(data, 0, size);
       return;
+    }
+    // "table_io/read_transient" simulates a retryable error (EINTR, NFS
+    // timeout): re-reading the same bytes is idempotent, so retry with
+    // jittered backoff up to kIoMaxAttempts before failing like a hard
+    // error.
+    int attempt = 1;
+    while (ICP_FAILPOINT("table_io/read_transient")) {
+      if (attempt >= kIoMaxAttempts) {
+        failed_ = true;
+        std::memset(data, 0, size);
+        return;
+      }
+      ICP_OBS_INCREMENT(IoRetries);
+      SleepForRetry(attempt++);
     }
     in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
     if (in_.gcount() != static_cast<std::streamsize>(size)) {

@@ -110,6 +110,29 @@ ICP_OBS_DEFINE_COUNTER(PoolTasks, "pool.tasks",
 ICP_OBS_DEFINE_COUNTER(EngineQueries, "engine.queries",
                        "engine query executions (Execute / ExecuteMulti / "
                        "ExecuteGroupBy entry points)")
+ICP_OBS_DEFINE_COUNTER(SchedMorselsDispatched, "sched.morsels.dispatched",
+                       "morsels enqueued into scheduler regions (segment "
+                       "ranges of kMorselSegments)")
+ICP_OBS_DEFINE_COUNTER(SchedMorselsCompleted, "sched.morsels.completed",
+                       "morsels whose body actually ran to completion")
+ICP_OBS_DEFINE_COUNTER(SchedMorselsCancelled, "sched.morsels.cancelled",
+                       "morsels drained without running because their "
+                       "query was cancelled or its deadline passed")
+ICP_OBS_DEFINE_COUNTER(SchedSteals, "sched.steals",
+                       "morsels a scheduler participant stole from another "
+                       "slot's shard after draining its own")
+ICP_OBS_DEFINE_COUNTER(AdmitAdmitted, "admit.admitted",
+                       "queries granted a session by the admission "
+                       "governor (immediately or after queueing)")
+ICP_OBS_DEFINE_COUNTER(AdmitShed, "admit.shed",
+                       "queries rejected by admission control (queue full, "
+                       "deadline already expired, or injected shed)")
+ICP_OBS_DEFINE_COUNTER(AdmitQueuedCycles, "admit.queued_cycles",
+                       "cycles queries spent waiting in the bounded "
+                       "admission queue before being granted")
+ICP_OBS_DEFINE_COUNTER(IoRetries, "io.retries",
+                       "transient I/O read failures retried with backoff "
+                       "(table_io and csv_loader)")
 
 #undef ICP_OBS_DEFINE_COUNTER
 
@@ -138,6 +161,14 @@ void RegisterAllCounters() {
   PoolRegions();
   PoolTasks();
   EngineQueries();
+  SchedMorselsDispatched();
+  SchedMorselsCompleted();
+  SchedMorselsCancelled();
+  SchedSteals();
+  AdmitAdmitted();
+  AdmitShed();
+  AdmitQueuedCycles();
+  IoRetries();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> SnapshotCounters() {

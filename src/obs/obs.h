@@ -117,6 +117,14 @@ Counter& FailpointHits();
 Counter& PoolRegions();
 Counter& PoolTasks();
 Counter& EngineQueries();
+Counter& SchedMorselsDispatched();
+Counter& SchedMorselsCompleted();
+Counter& SchedMorselsCancelled();
+Counter& SchedSteals();
+Counter& AdmitAdmitted();
+Counter& AdmitShed();
+Counter& AdmitQueuedCycles();
+Counter& IoRetries();
 
 #else  // !ICP_OBS
 

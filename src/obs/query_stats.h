@@ -53,6 +53,18 @@ struct QueryStats {
   // -- Robustness-layer activity during this query.
   std::uint64_t cancel_checks = 0;
 
+  // -- Scheduler / admission activity (all zero when the query ran
+  // -- without a governor; see ExecOptions::governor).
+  std::uint64_t sched_morsels_dispatched = 0;
+  std::uint64_t sched_morsels_completed = 0;
+  std::uint64_t sched_morsels_cancelled = 0;
+  std::uint64_t sched_steals = 0;
+  /// Cycles spent queued at admission before the query was granted.
+  std::uint64_t admit_queued_cycles = 0;
+  /// Parallelism the governor granted (degradation ladder output);
+  /// 0 when ungoverned.
+  int granted_parallelism = 0;
+
   // -- What ran. Static strings (tier names, layout names); never freed.
   const char* kernel_tier = "";
   const char* agg_path = "";

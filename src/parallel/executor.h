@@ -1,0 +1,90 @@
+// Execution-strategy seam between the parallel aggregation drivers and
+// whatever supplies their worker slots.
+//
+// The drivers in parallel_aggregate.{h,cc} used to partition segments
+// statically across a private ThreadPool. ParallelExecutor abstracts the
+// "run this body over [0, total) with bounded worker slots" contract so
+// the same drivers run on either:
+//
+//   * StaticPoolExecutor — the legacy static split over a ThreadPool
+//     (one contiguous partition per worker, batched for cancellation);
+//   * sched::QuerySession — the morsel-driven scheduler (small segment
+//     ranges pulled by a shared worker pool with stealing; admission
+//     control and per-query budgets in front).
+//
+// The virtual call happens once per batch/morsel (~kMorselSegments
+// segments of kernel work), never per word, so the seam costs nothing
+// measurable (see docs/scheduler.md for the overhead guard).
+
+#ifndef ICP_PARALLEL_EXECUTOR_H_
+#define ICP_PARALLEL_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "parallel/thread_pool.h"
+#include "util/cancellation.h"
+
+namespace icp {
+
+/// Contract for running driver bodies in parallel.
+///
+///   * ParallelFor invokes fn(slot, begin, end) over disjoint subranges
+///     that together cover [0, total) (unless cancelled/dropped early).
+///   * `slot` is in [0, max_slots()); two invocations with the same slot
+///     never run concurrently, so drivers may index per-slot partial
+///     accumulators without synchronization. A slot may receive many
+///     disjoint subranges, so accumulators must be initialized by the
+///     caller before the region and folded with += / merge semantics.
+///   * All writes made by fn happen-before ParallelFor's return.
+///   * `cancel`, when active, is polled at least once per subrange, so
+///     worst-case cancellation latency is one subrange per slot.
+class ParallelExecutor {
+ public:
+  virtual ~ParallelExecutor() = default;
+
+  /// Exclusive upper bound on the `slot` argument fn can be called with.
+  virtual int max_slots() const = 0;
+
+  /// Accounts `bytes` of per-query scratch (partial-result arrays) against
+  /// the executor's budget. Returns false when the budget is exhausted;
+  /// the driver must then skip the allocation and return a degenerate
+  /// result, which the engine discards after surfacing the executor's
+  /// latched error.
+  virtual bool AccountScratch(std::size_t bytes) = 0;
+
+  virtual void ParallelFor(
+      std::size_t total, const CancelContext* cancel,
+      const std::function<void(int, std::size_t, std::size_t)>& fn) = 0;
+};
+
+/// The legacy strategy: one contiguous static partition per pool worker,
+/// chunked by kCancelBatchSegments for cancellation. Unlimited scratch.
+class StaticPoolExecutor final : public ParallelExecutor {
+ public:
+  explicit StaticPoolExecutor(ThreadPool& pool) : pool_(pool) {}
+
+  int max_slots() const override { return pool_.num_threads(); }
+
+  bool AccountScratch(std::size_t) override { return true; }
+
+  void ParallelFor(std::size_t total, const CancelContext* cancel,
+                   const std::function<void(int, std::size_t, std::size_t)>&
+                       fn) override {
+    pool_.RunPerThread([&](int index) {
+      const auto [begin, end] =
+          PartitionRange(total, pool_.num_threads(), index);
+      ForEachCancellableBatch(cancel, begin, end,
+                              [&](std::size_t b, std::size_t e) {
+                                fn(index, b, e);
+                              });
+    });
+  }
+
+ private:
+  ThreadPool& pool_;
+};
+
+}  // namespace icp
+
+#endif  // ICP_PARALLEL_EXECUTOR_H_

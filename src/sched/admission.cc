@@ -1,0 +1,199 @@
+#include "sched/admission.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <string>
+
+#include "obs/obs.h"
+#include "obs/stage_timer.h"
+#include "util/check.h"
+#include "util/failpoint.h"
+
+namespace icp::sched {
+
+// A queued arrival. Lives on Admit's stack; every field is guarded by
+// the governor's mu_, and Release notifies under that lock so the cv is
+// never touched after the waiter returns.
+struct QueryGovernor::Waiter {
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  std::uint64_t seq = 0;
+  bool granted = false;
+  std::condition_variable cv;
+
+  // Earliest deadline first; no-deadline waiters order FIFO after every
+  // deadline-carrying waiter.
+  static bool OrdersBefore(const Waiter& a, const Waiter& b) {
+    if (a.deadline.has_value() && b.deadline.has_value()) {
+      if (*a.deadline != *b.deadline) return *a.deadline < *b.deadline;
+      return a.seq < b.seq;
+    }
+    if (a.deadline.has_value()) return true;
+    if (b.deadline.has_value()) return false;
+    return a.seq < b.seq;
+  }
+};
+
+QueryGovernor::QueryGovernor(MorselScheduler& scheduler,
+                             AdmissionOptions options)
+    : scheduler_(scheduler), options_(options) {
+  ICP_CHECK_GE(options_.max_concurrent, 1);
+  ICP_CHECK_GE(options_.max_queued, 0);
+  ICP_CHECK_GE(options_.max_parallelism, 0);
+}
+
+QueryGovernor::~QueryGovernor() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Sessions hold a governor pointer; destroying the governor under them
+  // (or under queued waiters) is a lifetime bug, not load.
+  ICP_CHECK(active_ == 0 && queue_.empty());
+}
+
+int QueryGovernor::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+int QueryGovernor::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
+int QueryGovernor::GrantParallelismLocked() const {
+  const int hardware = scheduler_.num_workers() + 1;  // + calling thread
+  int cap = hardware;
+  if (options_.max_parallelism > 0) {
+    cap = std::min(cap, options_.max_parallelism);
+  }
+  cap = std::min(cap, kMaxRegionSlots);
+  // Degradation ladder: at load, shrink per-query parallelism before
+  // shedding anyone. With A active queries each gets ~cap/A slots.
+  return std::max(1, cap / std::max(1, active_));
+}
+
+StatusOr<std::unique_ptr<QuerySession>> QueryGovernor::Admit(
+    const CancellationToken& token,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  // "sched/admit" simulates the governor shedding at the gate (e.g. an
+  // operator-forced brownout): callers must handle kResourceExhausted on
+  // any admission, not only when the queue is observably full.
+  if (ICP_FAILPOINT("sched/admit")) {
+    ICP_OBS_INCREMENT(AdmitShed);
+    return Status::ResourceExhausted("admission shed (injected overload)");
+  }
+  if (deadline.has_value() &&
+      std::chrono::steady_clock::now() >= *deadline) {
+    // Shed without dispatch: running an already-expired query only
+    // wastes the cores other queries are waiting for.
+    ICP_OBS_INCREMENT(AdmitShed);
+    return Status::DeadlineExceeded("deadline expired before admission");
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (active_ < options_.max_concurrent) {
+    ++active_;
+    ICP_OBS_INCREMENT(AdmitAdmitted);
+    return std::unique_ptr<QuerySession>(
+        new QuerySession(this, GrantParallelismLocked(), 0));
+  }
+  if (static_cast<int>(queue_.size()) >= options_.max_queued) {
+    ICP_OBS_INCREMENT(AdmitShed);
+    return Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(options_.max_queued) +
+        " queued, " + std::to_string(options_.max_concurrent) +
+        " running)");
+  }
+
+  Waiter waiter;
+  waiter.deadline = deadline;
+  waiter.seq = next_seq_++;
+  auto pos = queue_.begin();
+  while (pos != queue_.end() && !Waiter::OrdersBefore(waiter, **pos)) ++pos;
+  queue_.insert(pos, &waiter);
+
+  const obs::StageTimer queued_timer;
+  while (!waiter.granted) {
+    if (token.IsCancelRequested()) {
+      queue_.remove(&waiter);
+      ICP_OBS_INCREMENT(AdmitShed);
+      return Status::Cancelled("query cancelled while queued");
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (waiter.deadline.has_value() && now >= *waiter.deadline) {
+      queue_.remove(&waiter);
+      ICP_OBS_INCREMENT(AdmitShed);
+      return Status::DeadlineExceeded("deadline expired while queued");
+    }
+    // 1ms polls bound the wait by the token even though RequestCancel
+    // does not know about this cv; the deadline additionally caps each
+    // wait directly.
+    auto wake = now + std::chrono::milliseconds(1);
+    if (waiter.deadline.has_value()) wake = std::min(wake, *waiter.deadline);
+    waiter.cv.wait_until(lock, wake);
+  }
+  const std::uint64_t queued_cycles = queued_timer.ElapsedCycles();
+  ICP_OBS_ADD(AdmitQueuedCycles, queued_cycles);
+  ICP_OBS_INCREMENT(AdmitAdmitted);
+  return std::unique_ptr<QuerySession>(
+      new QuerySession(this, GrantParallelismLocked(), queued_cycles));
+}
+
+void QueryGovernor::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!queue_.empty()) {
+    // The slot transfers to the earliest-deadline waiter; active_ stays.
+    Waiter* next = queue_.front();
+    queue_.pop_front();
+    next->granted = true;
+    next->cv.notify_one();
+  } else {
+    --active_;
+  }
+}
+
+QuerySession::QuerySession(QueryGovernor* governor, int parallelism,
+                           std::uint64_t queued_cycles)
+    : governor_(governor),
+      parallelism_(parallelism),
+      queued_cycles_(queued_cycles) {}
+
+QuerySession::~QuerySession() { governor_->Release(); }
+
+bool QuerySession::AccountScratch(std::size_t bytes) {
+  const std::size_t cap = governor_->options_.max_scratch_bytes;
+  const std::size_t used =
+      scratch_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (cap != 0 && used > cap) {
+    int expected = kNone;
+    error_.compare_exchange_strong(expected, kScratch,
+                                   std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void QuerySession::ParallelFor(
+    std::size_t total, const CancelContext* cancel,
+    const std::function<void(int, std::size_t, std::size_t)>& fn) {
+  governor_->scheduler_.RunRegion(parallelism_, total, cancel, fn, &stats_);
+  if (stats_.dropped) {
+    int expected = kNone;
+    error_.compare_exchange_strong(expected, kDropped,
+                                   std::memory_order_relaxed);
+  }
+}
+
+Status QuerySession::Error() const {
+  switch (error_.load(std::memory_order_relaxed)) {
+    case kScratch:
+      return Status::ResourceExhausted(
+          "per-query scratch budget exceeded (" +
+          std::to_string(scratch_bytes()) + " bytes requested, cap " +
+          std::to_string(governor_->options_.max_scratch_bytes) + ")");
+    case kDropped:
+      return Status::Internal("a scheduled morsel was dropped");
+    default:
+      return Status::Ok();
+  }
+}
+
+}  // namespace icp::sched

@@ -1,0 +1,31 @@
+// A morsel: one small contiguous segment range, the scheduling unit of
+// the shared worker pool (Leis et al., SIGMOD'14).
+
+#ifndef ICP_SCHED_MORSEL_H_
+#define ICP_SCHED_MORSEL_H_
+
+#include <cstddef>
+
+namespace icp::sched {
+
+/// Half-open segment range [begin, end) of one parallel-for region.
+struct Morsel {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Segments per morsel. 1024 segments is ~64K tuples under VBP — tens of
+/// microseconds of kernel work per morsel, so:
+///   * worst-case cancellation latency is one in-flight morsel per slot
+///     (the queue itself drains instantly);
+///   * the per-morsel dispatch cost (one mutex-guarded deque pop plus a
+///     std::function call) is amortized over enough kernel work to keep
+///     single-query overhead versus the static split under the 5% guard
+///     in CI (see docs/scheduler.md and EXPERIMENTS.md);
+///   * a 1M-row column still yields dozens of morsels, enough for
+///     stealing to rebalance skewed shards.
+inline constexpr std::size_t kMorselSegments = 1024;
+
+}  // namespace icp::sched
+
+#endif  // ICP_SCHED_MORSEL_H_

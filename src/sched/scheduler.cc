@@ -1,0 +1,275 @@
+#include "sched/scheduler.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <deque>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
+#include "util/check.h"
+#include "util/failpoint.h"
+
+namespace icp::sched {
+
+// One parallel-for region: per-slot morsel deques plus the completion
+// accounting. Shared-ptr held by the submitting caller and by every
+// worker snapshot that touches it, so draining/finishing never races
+// destruction.
+struct MorselScheduler::Region {
+  // Guards `shards` (pops, steals, drains). Morsel bodies run outside it.
+  std::mutex mu;
+  std::vector<std::deque<Morsel>> shards;
+  int parallelism = 0;
+
+  /// Bitmask of claimable slots; bit i free <=> no participant currently
+  /// runs morsels as slot i.
+  std::atomic<std::uint64_t> free_slots{0};
+  /// Morsels still sitting in shards (fast emptiness probe).
+  std::atomic<std::uint64_t> queued{0};
+  /// Morsels not yet completed or drained; 0 <=> region done. Decrements
+  /// use acq_rel so the caller's final acquire load sees all fn writes.
+  std::atomic<std::uint64_t> remaining{0};
+
+  std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> drops{0};
+
+  const CancelContext* cancel = nullptr;
+  const std::function<void(int, std::size_t, std::size_t)>* fn = nullptr;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+};
+
+// Completes `n` morsels and pokes the region's caller (which may be
+// waiting either for completion or for a freed slot). The empty critical
+// section pairs with the caller's predicate check under done_mu.
+void MorselScheduler::FinishAndNotify(Region& r, std::uint64_t n) {
+  r.remaining.fetch_sub(n, std::memory_order_acq_rel);
+  { std::lock_guard<std::mutex> lock(r.done_mu); }
+  r.done_cv.notify_all();
+}
+
+MorselScheduler::MorselScheduler(int num_workers) {
+  ICP_CHECK_GE(num_workers, 0);
+  workers_.reserve(static_cast<std::size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MorselScheduler::~MorselScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ICP_CHECK(regions_.empty());  // sessions must not outlive the scheduler
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool MorselScheduler::TryRunOneMorsel(Region& r) {
+  // Claim a free slot; without one this participant cannot help (the
+  // region is already running at its granted parallelism).
+  std::uint64_t mask = r.free_slots.load(std::memory_order_acquire);
+  int slot = 0;
+  while (true) {
+    if (mask == 0) return false;
+    slot = std::countr_zero(mask);
+    if (r.free_slots.compare_exchange_weak(
+            mask, mask & ~(std::uint64_t{1} << slot),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      break;
+    }
+  }
+
+  Morsel m;
+  bool got = false;
+  bool stolen = false;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    std::deque<Morsel>& own = r.shards[static_cast<std::size_t>(slot)];
+    if (!own.empty()) {
+      m = own.front();
+      own.pop_front();
+      got = true;
+    } else {
+      for (int j = 1; j < r.parallelism && !got; ++j) {
+        std::deque<Morsel>& other =
+            r.shards[static_cast<std::size_t>((slot + j) % r.parallelism)];
+        if (other.empty()) continue;
+        // "sched/steal" simulates a lost steal race: the thief backs off
+        // and the morsel stays queued for another participant.
+        if (ICP_FAILPOINT("sched/steal")) continue;
+        m = other.back();
+        other.pop_back();
+        got = true;
+        stolen = true;
+      }
+    }
+  }
+  if (!got) {
+    r.free_slots.fetch_or(std::uint64_t{1} << slot,
+                          std::memory_order_release);
+    return false;
+  }
+  r.queued.fetch_sub(1, std::memory_order_relaxed);
+
+  // Morsel-boundary cancellation: poll before running; once the context
+  // fires, drain the whole queue so the query releases its cores within
+  // one in-flight morsel per slot.
+  if (r.cancel != nullptr && r.cancel->active() && r.cancel->ShouldStop()) {
+    std::uint64_t cleared = 0;
+    {
+      std::lock_guard<std::mutex> lock(r.mu);
+      for (std::deque<Morsel>& shard : r.shards) {
+        cleared += shard.size();
+        shard.clear();
+      }
+    }
+    if (cleared > 0) r.queued.fetch_sub(cleared, std::memory_order_relaxed);
+    r.cancelled.fetch_add(cleared + 1, std::memory_order_relaxed);
+    ICP_OBS_ADD(SchedMorselsCancelled, cleared + 1);
+    r.free_slots.fetch_or(std::uint64_t{1} << slot,
+                          std::memory_order_release);
+    FinishAndNotify(r, cleared + 1);
+    return true;
+  }
+
+  // "sched/dequeue" simulates a dispatch that loses its morsel (worker
+  // death between pop and run): the morsel never executes but the region
+  // still completes; the drop surfaces as Status Internal via the
+  // session, mirroring ThreadPool::TakeTaskFailure.
+  if (ICP_FAILPOINT("sched/dequeue")) {
+    r.drops.fetch_add(1, std::memory_order_relaxed);
+    r.free_slots.fetch_or(std::uint64_t{1} << slot,
+                          std::memory_order_release);
+    FinishAndNotify(r, 1);
+    return true;
+  }
+
+  {
+    ICP_OBS_TRACE_SPAN("sched.morsel", slot);
+    (*r.fn)(slot, m.begin, m.end);
+  }
+  if (stolen) {
+    r.steals.fetch_add(1, std::memory_order_relaxed);
+    ICP_OBS_INCREMENT(SchedSteals);
+  }
+  ICP_OBS_INCREMENT(SchedMorselsCompleted);
+  r.free_slots.fetch_or(std::uint64_t{1} << slot,
+                        std::memory_order_release);
+  FinishAndNotify(r, 1);
+  return true;
+}
+
+void MorselScheduler::WorkerLoop() {
+  std::size_t cursor = 0;
+  std::vector<std::shared_ptr<Region>> snapshot;
+  while (true) {
+    std::uint64_t seen = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) return;
+      snapshot = regions_;
+      seen = epoch_;
+    }
+    bool did_work = false;
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      Region& region = *snapshot[(cursor + i) % snapshot.size()];
+      if (TryRunOneMorsel(region)) {
+        did_work = true;
+        // Rotate the scan start so K concurrent queries share this
+        // worker at morsel granularity instead of one query hogging it.
+        ++cursor;
+        break;
+      }
+    }
+    snapshot.clear();
+    if (did_work) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    if (epoch_ != seen) continue;
+    // The timeout is a liveness backstop: freed slots do not bump the
+    // epoch, so without it a worker could sleep while work remains.
+    cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+void MorselScheduler::RunRegion(
+    int parallelism, std::size_t total, const CancelContext* cancel,
+    const std::function<void(int, std::size_t, std::size_t)>& fn,
+    MorselStats* stats) {
+  if (total == 0) return;
+  const std::size_t num_morsels =
+      (total + kMorselSegments - 1) / kMorselSegments;
+  int p = std::clamp(parallelism, 1, kMaxRegionSlots);
+  p = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(p), num_morsels));
+
+  auto region = std::make_shared<Region>();
+  region->parallelism = p;
+  region->cancel = cancel;
+  region->fn = &fn;
+  region->shards.resize(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    // Contiguous pre-distribution: uncontended, the region touches
+    // memory in the same order as the legacy static split.
+    const auto [mb, me] = PartitionRange(num_morsels, p, i);
+    for (std::size_t j = mb; j < me; ++j) {
+      region->shards[static_cast<std::size_t>(i)].push_back(
+          Morsel{j * kMorselSegments,
+                 std::min(total, (j + 1) * kMorselSegments)});
+    }
+  }
+  region->queued.store(num_morsels, std::memory_order_relaxed);
+  region->remaining.store(num_morsels, std::memory_order_relaxed);
+  region->free_slots.store(
+      p == kMaxRegionSlots ? ~std::uint64_t{0}
+                           : (std::uint64_t{1} << p) - 1,
+      std::memory_order_release);
+  ICP_OBS_ADD(SchedMorselsDispatched, num_morsels);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    regions_.push_back(region);
+    ++epoch_;
+  }
+  cv_.notify_all();
+
+  // The caller participates, then waits for completion — re-engaging
+  // whenever a slot frees while morsels remain queued.
+  while (true) {
+    while (TryRunOneMorsel(*region)) {
+    }
+    if (region->remaining.load(std::memory_order_acquire) == 0) break;
+    std::unique_lock<std::mutex> lock(region->done_mu);
+    region->done_cv.wait_for(
+        lock, std::chrono::milliseconds(1), [&region] {
+          return region->remaining.load(std::memory_order_acquire) == 0 ||
+                 (region->queued.load(std::memory_order_relaxed) > 0 &&
+                  region->free_slots.load(std::memory_order_relaxed) != 0);
+        });
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    regions_.erase(std::find(regions_.begin(), regions_.end(), region));
+  }
+
+  if (stats != nullptr) {
+    const std::uint64_t cancelled =
+        region->cancelled.load(std::memory_order_relaxed);
+    const std::uint64_t drops =
+        region->drops.load(std::memory_order_relaxed);
+    stats->dispatched += num_morsels;
+    stats->completed += num_morsels - cancelled - drops;
+    stats->cancelled += cancelled;
+    stats->steals += region->steals.load(std::memory_order_relaxed);
+    stats->dropped = stats->dropped || drops > 0;
+  }
+}
+
+}  // namespace icp::sched

@@ -1,0 +1,41 @@
+// Bounded retry with jittered exponential backoff for transient I/O
+// errors (docs/robustness.md). Retrying is only safe for idempotent
+// operations — re-reading the same bytes — so the IO layer applies it
+// exclusively to reads that failed with a *transient* error signature
+// (the "*/read_transient" failpoints in tests).
+//
+// The schedule is deliberately tiny: attempts are bounded (no retry
+// storms under real outages) and the sleep doubles from ~50us with a
+// uniform jitter so concurrent readers hitting one bad device do not
+// re-arrive in lockstep.
+
+#ifndef ICP_UTIL_BACKOFF_H_
+#define ICP_UTIL_BACKOFF_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "util/random.h"
+
+namespace icp {
+
+/// Total tries for a transient I/O failure: the initial attempt plus two
+/// retries. Exhaustion surfaces the original error.
+inline constexpr int kIoMaxAttempts = 3;
+
+/// Sleeps before retry number `attempt` (1-based): base 50us doubled per
+/// attempt, each with up to +100% uniform jitter.
+inline void SleepForRetry(int attempt) {
+  thread_local Random jitter{0x9e3779b97f4a7c15ull ^
+                             (std::hash<std::thread::id>{}(
+                                 std::this_thread::get_id()))};
+  const std::uint64_t base_us = std::uint64_t{50} << (attempt - 1);
+  const std::uint64_t sleep_us = base_us + jitter.UniformInt(0, base_us);
+  std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+}
+
+}  // namespace icp
+
+#endif  // ICP_UTIL_BACKOFF_H_

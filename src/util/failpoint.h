@@ -21,6 +21,9 @@
 //   table_io/fsync       — WriteTable: fsync of the temp file fails
 //   table_io/rename      — WriteTable: rename(temp, target) fails
 //   table_io/read        — Reader::Raw in table_io.cc: simulated short read
+//   table_io/read_transient — Reader::Raw: retryable read error; the reader
+//                          retries with jittered backoff (util/backoff.h) up
+//                          to kIoMaxAttempts before failing like table_io/read
 //   aligned_buffer/alloc — WordBuffer: simulated allocation failure
 //   thread_pool/task     — ThreadPool::RunPerThread: one worker's task is
 //                          dropped; the region completes and the failure is
@@ -29,6 +32,15 @@
 //                          missing mount) even though it exists
 //   csv_loader/read      — LoadFromStream: stream error mid-file; the loader
 //                          returns a Status instead of a partial table
+//   csv_loader/read_transient — LoadFromStream: retryable stream error;
+//                          bounded jittered retries, then a Status
+//   sched/admit          — QueryGovernor::Admit: the governor sheds the
+//                          arrival with kResourceExhausted (forced brownout)
+//   sched/dequeue        — MorselScheduler::TryRunOneMorsel: a dequeued
+//                          morsel is dropped without running; the region
+//                          completes and the session surfaces Status Internal
+//   sched/steal          — MorselScheduler::TryRunOneMorsel: a steal attempt
+//                          backs off (lost race); the morsel stays queued
 //   query_parser/lex     — Lexer::Run: lexer-internal failure before
 //                          tokenizing
 //   query_parser/parse   — ParseQuery: parser-internal failure; partial

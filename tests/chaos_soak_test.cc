@@ -1,0 +1,170 @@
+// Chaos soak: >= 8 concurrent governed queries on one shared morsel
+// scheduler under random cancellation, tight deadlines, and (when the
+// build arms them) injected admission sheds, dropped morsels and lost
+// steal races. The invariants under all that chaos:
+//
+//   * no hang — every Execute returns (the test itself would time out);
+//   * no wrong result — every OK result matches a serially precomputed
+//     oracle exactly;
+//   * no mystery error — every non-OK Status is one of the declared
+//     overload/cancellation codes (Internal only while the
+//     "sched/dequeue" failpoint is armed);
+//   * no leak — the governor ends with zero active and queued queries
+//     and the scheduler shuts down cleanly.
+//
+// CI runs this under TSan with ICP_FAILPOINTS=ON (the `stress` job).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "sched/admission.h"
+#include "sched/scheduler.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace icp {
+namespace {
+
+using sched::AdmissionOptions;
+using sched::MorselScheduler;
+using sched::QueryGovernor;
+
+constexpr int kThreads = 8;
+constexpr int kRoundsPerThread = 25;
+
+TEST(ChaosSoakTest, ConcurrentGovernedQueriesStayCorrect) {
+  Random rng(987654321);
+  const std::size_t n = 120000;
+  std::vector<std::int64_t> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<std::int64_t>(rng.UniformInt(0, 9999));
+    b[i] = static_cast<std::int64_t>(rng.UniformInt(0, 99));
+  }
+  Table table;
+  ASSERT_TRUE(table.AddColumn("a", a, {.layout = Layout::kVbp}).ok());
+  ASSERT_TRUE(table.AddColumn("b", b, {.layout = Layout::kHbp}).ok());
+
+  // Serial oracle: SUM(a) and COUNT over b < threshold for every
+  // threshold the chaos threads may draw.
+  constexpr int kThresholds = 100;
+  std::vector<double> expected_sum(kThresholds, 0.0);
+  std::vector<std::uint64_t> expected_count(kThresholds, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int t = static_cast<int>(b[i]) + 1; t < kThresholds; ++t) {
+      expected_sum[t] += static_cast<double>(a[i]);
+      expected_count[t] += 1;
+    }
+  }
+
+  const bool armed = fail::Armed();
+  if (armed) {
+    fail::DisableAll();
+    // Rare enough that most queries still complete; frequent enough
+    // that every injected path fires many times over the soak.
+    fail::EnableEveryNth("sched/admit", 53);
+    fail::EnableEveryNth("sched/dequeue", 97);
+    fail::EnableEveryNth("sched/steal", 13);
+  }
+
+  MorselScheduler scheduler(4);
+  {
+    QueryGovernor governor(
+        scheduler, AdmissionOptions{.max_concurrent = 4,
+                                    .max_queued = 2,
+                                    .max_scratch_bytes = 1 << 20});
+
+    std::atomic<int> failures{0};
+    std::atomic<std::uint64_t> ok_results{0};
+    std::atomic<std::uint64_t> shed_results{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Random local(0xC0FFEEu + static_cast<std::uint64_t>(t));
+        for (int round = 0; round < kRoundsPerThread; ++round) {
+          const int threshold =
+              static_cast<int>(local.UniformInt(1, kThresholds - 1));
+          Query q;
+          q.agg = AggKind::kSum;
+          q.agg_column = "a";
+          q.filter = FilterExpr::Compare("b", CompareOp::kLt,
+                                         static_cast<std::int64_t>(threshold));
+
+          ExecOptions opts;
+          opts.governor = &governor;
+          CancellationToken token;
+          const std::uint64_t mode = local.UniformInt(0, 3);
+          if (mode == 1) {
+            opts.deadline = std::chrono::microseconds(50);
+          } else if (mode == 2) {
+            opts.deadline = std::chrono::milliseconds(5);
+          } else if (mode == 3) {
+            token = CancellationToken::Create();
+            opts.cancel_token = token;
+          }
+          Engine engine(opts);
+
+          std::thread canceller;
+          if (mode == 3) {
+            const auto delay =
+                std::chrono::microseconds(local.UniformInt(0, 2000));
+            canceller = std::thread([token, delay] {
+              std::this_thread::sleep_for(delay);
+              token.RequestCancel();
+            });
+          }
+          auto r = engine.Execute(table, q);
+          if (canceller.joinable()) canceller.join();
+
+          if (r.ok()) {
+            ok_results.fetch_add(1);
+            if (r->count != expected_count[threshold] ||
+                r->value != expected_sum[threshold]) {
+              ADD_FAILURE() << "wrong result for threshold " << threshold
+                            << ": count=" << r->count
+                            << " sum=" << r->value;
+              failures.fetch_add(1);
+            }
+            continue;
+          }
+          const StatusCode code = r.status().code();
+          const bool expected_overload =
+              code == StatusCode::kResourceExhausted ||
+              code == StatusCode::kDeadlineExceeded ||
+              code == StatusCode::kCancelled;
+          const bool injected = armed && code == StatusCode::kInternal;
+          if (expected_overload) shed_results.fetch_add(1);
+          if (!expected_overload && !injected) {
+            ADD_FAILURE() << "unexpected status: "
+                          << r.status().ToString();
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    // The load mix is tuned so both outcomes occur: plenty of queries
+    // complete and plenty get shed/cancelled/expired.
+    EXPECT_GT(ok_results.load(), 0u);
+    EXPECT_GT(shed_results.load(), 0u);
+    // No leaked admissions: every session released its slot.
+    EXPECT_EQ(governor.active(), 0);
+    EXPECT_EQ(governor.queued(), 0);
+  }
+  if (armed) fail::DisableAll();
+  // Leaving scope joins the scheduler workers; reaching this line at all
+  // is the no-hang assertion.
+}
+
+}  // namespace
+}  // namespace icp

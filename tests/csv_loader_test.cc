@@ -6,7 +6,9 @@
 #include <limits>
 
 #include "engine/engine.h"
+#include "obs/obs.h"
 #include "util/dates.h"
+#include "util/failpoint.h"
 
 namespace icp {
 namespace {
@@ -191,6 +193,38 @@ TEST(CsvLoaderTest, DecimalOverflowReportsLineNumber) {
   EXPECT_EQ(table.status().code(), StatusCode::kOutOfRange);
   EXPECT_NE(table.status().message().find("line 3"), std::string::npos)
       << table.status().message();
+}
+
+class CsvRetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fail::Armed()) GTEST_SKIP() << "built without ICP_FAILPOINTS";
+    fail::DisableAll();
+  }
+  void TearDown() override { fail::DisableAll(); }
+};
+
+TEST_F(CsvRetryTest, TransientStreamErrorIsRetriedAndSucceeds) {
+#if ICP_OBS
+  const std::uint64_t retries_before = obs::IoRetries().Load();
+#endif
+  fail::EnableOneShot("csv_loader/read_transient");
+  auto table = LoadCsvFromString(kOrdersCsv, kOrderSpecs);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  EXPECT_EQ(table->num_rows(), 4u);
+  EXPECT_EQ(fail::TriggerCount("csv_loader/read_transient"), 1u);
+#if ICP_OBS
+  EXPECT_EQ(obs::IoRetries().Load(), retries_before + 1);
+#endif
+}
+
+TEST_F(CsvRetryTest, PersistentTransientErrorFailsWithBoundedRetries) {
+  fail::EnableAlways("csv_loader/read_transient");
+  auto table = LoadCsvFromString(kOrdersCsv, kOrderSpecs);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInternal);
+  // Exhaustion reports where the load gave up.
+  EXPECT_NE(table.status().message().find("after"), std::string::npos);
 }
 
 TEST(CsvLoaderTest, LoadFromFile) {

@@ -15,6 +15,7 @@
 #include "engine/query_parser.h"
 #include "engine/table.h"
 #include "obs/query_stats.h"
+#include "obs/trace.h"
 #include "util/random.h"
 
 namespace icp {
@@ -155,6 +156,39 @@ TEST(ExplainAnalyzeTest, PropagatesExecutionErrors) {
   q.agg_column = "no_such_column";
   EXPECT_FALSE(engine.ExplainAnalyze(fx.table, q).ok());
 }
+
+#if ICP_OBS
+TEST(TraceSpanTest, ExecuteRecordsStageSpans) {
+  Fixture fx(Layout::kVbp);
+  obs::ClearTrace();
+  obs::EnableTracing();
+  Engine engine;
+  auto r = engine.Execute(fx.table, SumOverFilter());
+  obs::DisableTracing();
+  ASSERT_TRUE(r.ok());
+  // One filtered SUM records at least a scan span and an aggregate span;
+  // the parse span only appears via ParseStatement, and combine spans
+  // only for composite filters.
+  EXPECT_GE(obs::TraceSpanCount(), 2u);
+  obs::ClearTrace();
+}
+
+TEST(TraceSpanTest, ParsedStatementAddsParseAndCombineSpans) {
+  Fixture fx(Layout::kHbp);
+  obs::ClearTrace();
+  obs::EnableTracing();
+  auto stmt = ParseStatement(
+      "SELECT SUM(fare) WHERE distance > 5000 AND fare > 100");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  Engine engine;
+  auto r = engine.Execute(fx.table, stmt->query);
+  obs::DisableTracing();
+  ASSERT_TRUE(r.ok());
+  // parse + two scan leaves + combine + aggregate.
+  EXPECT_GE(obs::TraceSpanCount(), 5u);
+  obs::ClearTrace();
+}
+#endif  // ICP_OBS
 
 TEST(ParseStatementTest, RecognizesExplainAnalyzePrefix) {
   auto stmt = ParseStatement("EXPLAIN ANALYZE SELECT SUM(fare)");

@@ -11,6 +11,9 @@
 #include <vector>
 
 #include "engine/engine.h"
+#include "obs/obs.h"
+#include "util/backoff.h"
+#include "util/failpoint.h"
 #include "util/random.h"
 
 namespace icp {
@@ -303,6 +306,48 @@ TEST(TableIoTest, SweepRemovesOrphansAndKeepsCompletedTables) {
   EXPECT_EQ(removed, 0);
 
   EXPECT_FALSE(io::SweepOrphanedStagingFiles(dir + "/nope").ok());
+}
+
+class TableIoRetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fail::Armed()) GTEST_SKIP() << "built without ICP_FAILPOINTS";
+    fail::DisableAll();
+  }
+  void TearDown() override { fail::DisableAll(); }
+};
+
+TEST_F(TableIoRetryTest, TransientReadErrorIsRetriedAndSucceeds) {
+  const Table original = MakeRichTable(2000);
+  const std::string path = TempPath("retry.icptbl");
+  ASSERT_TRUE(io::WriteTable(original, path).ok());
+
+#if ICP_OBS
+  const std::uint64_t retries_before = obs::IoRetries().Load();
+#endif
+  fail::EnableOneShot("table_io/read_transient");
+  auto loaded = io::ReadTable(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_rows(), original.num_rows());
+  EXPECT_EQ(fail::TriggerCount("table_io/read_transient"), 1u);
+#if ICP_OBS
+  EXPECT_EQ(obs::IoRetries().Load(), retries_before + 1);
+#endif
+}
+
+TEST_F(TableIoRetryTest, PersistentTransientErrorFailsAfterBoundedRetries) {
+  const Table original = MakeRichTable(2000);
+  const std::string path = TempPath("retry_exhaust.icptbl");
+  ASSERT_TRUE(io::WriteTable(original, path).ok());
+
+  fail::EnableAlways("table_io/read_transient");
+  auto loaded = io::ReadTable(path);
+  ASSERT_FALSE(loaded.ok());
+  // kIoMaxAttempts total tries for the first read: the failpoint is
+  // evaluated once per attempt, then the read fails hard — bounded, not
+  // an infinite retry loop.
+  EXPECT_EQ(fail::EvalCount("table_io/read_transient"),
+            static_cast<std::uint64_t>(kIoMaxAttempts));
 }
 
 TEST(TableIoTest, PackedFileIsCompact) {
