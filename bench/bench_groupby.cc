@@ -1,0 +1,154 @@
+// Grouped-aggregation strategy benchmark (google-benchmark).
+//
+// Measures Engine::ExecuteGroupBy end-to-end for both strategies — the
+// naive per-code scan loop and the single-pass operator (src/groupby/) —
+// over a dictionary group column at cardinalities 2^g for g in 4..24.
+// The recorded series (BENCH_groupby.json, via tools/parse_bench.py
+// --kernel-json) is the measurement behind ExecOptions::groupby_threshold's
+// default: the crossover where the single-pass operator starts winning.
+//
+// The naive strategy's cost grows O(table x groups / 64) (one chunked
+// scatter pass plus one aggregate kernel pass per code), so it is only
+// registered up to g = 12; past the crossover the single-pass operator is
+// the only strategy worth the machine time.
+//
+// Tuple count defaults to 2^24 (the acceptance point for the crossover
+// measurement); override with ICP_BENCH_TUPLES for smoke runs.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/engine.h"
+#include "engine/table.h"
+#include "simd/dispatch.h"
+#include "util/random.h"
+
+namespace icp::bench {
+namespace {
+
+// True when this process can genuinely run `tier`; otherwise marks the run
+// skipped so the JSON records why a row is missing (same idiom as
+// bench_kernels).
+bool RequireTier(benchmark::State& state, kern::Tier tier) {
+  if (kern::EffectiveTier(tier) == tier) {
+    return true;
+  }
+  state.SkipWithError("tier unsupported on this CPU");
+  return false;
+}
+
+// A dictionary group column of 2^g uniform codes plus a 7-bit aggregate
+// column. Tables at n = 2^24 run to hundreds of MB, so only the most
+// recent cardinality is kept alive; the benchmark args are ordered
+// g-major so each table is built once per strategy sweep.
+struct Workload {
+  std::size_t n = 0;
+  int g = -1;
+  Table table;
+};
+
+const Workload& GetWorkload(int g) {
+  static Workload w;
+  const std::size_t n = TupleCount(std::size_t{1} << 24);
+  if (w.g == g && w.n == n) return w;
+  Random rng(/*seed=*/1000 + static_cast<std::uint64_t>(g));
+  const std::uint64_t cardinality = std::uint64_t{1} << g;
+  std::vector<std::int64_t> groups(n);
+  std::vector<std::int64_t> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    groups[i] = static_cast<std::int64_t>(rng.UniformInt(0, cardinality - 1));
+    values[i] = static_cast<std::int64_t>(rng.UniformInt(0, 99));
+  }
+  w = Workload{};
+  w.n = n;
+  w.g = g;
+  ICP_CHECK(w.table
+                .AddColumn("g", groups,
+                           {.layout = Layout::kVbp, .dictionary = true})
+                .ok());
+  ICP_CHECK(
+      w.table.AddColumn("v", values, {.layout = Layout::kVbp}).ok());
+  return w;
+}
+
+void RunGroupBy(benchmark::State& state, std::uint64_t threshold) {
+  const auto tier = static_cast<kern::Tier>(state.range(0));
+  if (!RequireTier(state, tier)) return;
+  const int g = static_cast<int>(state.range(1));
+  const Workload& w = GetWorkload(g);
+
+  Query q;
+  q.agg = AggKind::kSum;
+  q.agg_column = "v";
+  ExecOptions opts;
+  opts.groupby_threshold = threshold;
+  Engine engine(opts);
+
+  kern::ForceTier(tier);
+  for (auto _ : state) {
+    auto r = engine.ExecuteGroupBy(w.table, q, "g");
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(r->size());
+  }
+  kern::ForceTier(std::nullopt);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(w.n));
+  state.SetLabel(std::string("tier=") + kern::OpsFor(tier).name);
+}
+
+// exercises: groupby single-pass operator
+void BM_GroupBySinglePass(benchmark::State& state) {
+  RunGroupBy(state, /*threshold=*/1);  // force single-pass
+}
+BENCHMARK(BM_GroupBySinglePass)
+    ->ArgNames({"tier", "g"})
+    ->Args({0, 0})
+    ->Args({2, 0})
+    ->Args({0, 2})
+    ->Args({2, 2})
+    ->Args({0, 4})
+    ->Args({2, 4})
+    ->Args({0, 8})
+    ->Args({2, 8})
+    ->Args({0, 12})
+    ->Args({2, 12})
+    ->Args({0, 16})
+    ->Args({2, 16})
+    ->Args({0, 20})
+    ->Args({2, 20})
+    ->Args({0, 24})
+    ->Args({2, 24})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// exercises: naive per-code strategy
+void BM_GroupByNaive(benchmark::State& state) {
+  RunGroupBy(state, /*threshold=*/std::numeric_limits<std::uint64_t>::max());
+}
+BENCHMARK(BM_GroupByNaive)
+    ->ArgNames({"tier", "g"})
+    ->Args({0, 0})
+    ->Args({2, 0})
+    ->Args({0, 2})
+    ->Args({2, 2})
+    ->Args({0, 4})
+    ->Args({2, 4})
+    ->Args({0, 8})
+    ->Args({2, 8})
+    ->Args({0, 12})
+    ->Args({2, 12})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace icp::bench
+
+BENCHMARK_MAIN();

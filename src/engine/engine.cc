@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 #include <utility>
@@ -10,9 +11,11 @@
 #include "core/nbp_aggregate.h"
 #include "core/padded_aggregate.h"
 #include "core/vbp_aggregate.h"
+#include "groupby/groupby.h"
 #include "obs/obs.h"
 #include "obs/stage_timer.h"
 #include "obs/trace.h"
+#include "parallel/executor.h"
 #include "parallel/parallel_aggregate.h"
 #include "parallel/parallel_nbp.h"
 #include "scan/hbp_scanner.h"
@@ -627,6 +630,35 @@ StatusOr<std::vector<QueryResult>> Engine::ExecuteMulti(
   return results;
 }
 
+namespace {
+
+// Aggregates the single-pass operator can fold into one accumulator pass;
+// MEDIAN/RANK need the full per-group filter and always run naive.
+bool SupportsSinglePassGroupBy(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+    case AggKind::kSum:
+    case AggKind::kAvg:
+    case AggKind::kMin:
+    case AggKind::kMax:
+      return true;
+    case AggKind::kMedian:
+    case AggKind::kRank:
+      return false;
+  }
+  return false;
+}
+
+// Default cardinality at which ExecuteGroupBy switches from the naive
+// per-code strategy to the single-pass operator. bench_groupby measured
+// no crossover: the single-pass operator wins at every cardinality from
+// 1 group (1.1-1.2x) to 2^12 (213-266x) and beyond, so decomposable
+// aggregates default to single-pass unconditionally (see EXPERIMENTS.md
+// / docs/groupby.md; MEDIAN/RANK always run naive regardless).
+constexpr std::uint64_t kDefaultGroupByThreshold = 1;
+
+}  // namespace
+
 StatusOr<std::vector<std::pair<std::int64_t, QueryResult>>>
 Engine::ExecuteGroupBy(const Table& table, const Query& query,
                        const std::string& group_column) {
@@ -637,6 +669,19 @@ Engine::ExecuteGroupBy(const Table& table, const Query& query,
     return Status::InvalidArgument(
         "group-by column '" + group_column +
         "' must be dictionary-encoded (low cardinality)");
+  }
+  // Group-invariant validation is hoisted out of the per-group work: the
+  // agg column lookup and the SUM/AVG decodability check apply to every
+  // group identically, so both strategies fail fast the same way (even
+  // when all groups turn out empty).
+  auto agg_or = table.GetColumn(query.agg_column);
+  ICP_RETURN_IF_ERROR(agg_or.status());
+  const Table::Column& agg = **agg_or;
+  if ((query.agg == AggKind::kSum || query.agg == AggKind::kAvg) &&
+      agg.encoder().is_dictionary()) {
+    return Status::InvalidArgument(
+        "SUM/AVG cannot be decoded for dictionary-encoded column '" +
+        query.agg_column + "'");
   }
 
   obs::QueryStats* qs = options_.stats;
@@ -651,39 +696,190 @@ Engine::ExecuteGroupBy(const Table& table, const Query& query,
   auto base_or = EvaluateFilterImpl(table, query.filter, group_column,
                                     &scan_cycles, &cancel);
   ICP_RETURN_IF_ERROR(base_or.status());
-  const FilterBitVector& base = *base_or;
 
-  std::vector<std::pair<std::int64_t, QueryResult>> results;
-  const std::uint64_t num_groups = group.encoder().num_codes();
-  for (std::uint64_t code = 0; code < num_groups; ++code) {
-    if (cancel.ShouldStop()) return cancel.ToStatus();
-    const std::int64_t group_value = group.encoder().Decode(code);
-    // group filter = base AND (group_column == value): one extra
-    // bit-parallel scan per group (the wide-table group-by of [11]).
-    std::uint64_t group_scan = 0;
-    auto leaf = FilterExpr::Compare(group_column, CompareOp::kEq,
-                                    group_value);
-    auto f_or =
-        EvaluateFilterImpl(table, leaf, group_column, &group_scan, &cancel);
-    ICP_RETURN_IF_ERROR(f_or.status());
-    FilterBitVector f = std::move(f_or).value();
-    f.And(base);
-    if (f.CountOnes() == 0) continue;
-    if (f.values_per_segment() !=
-        (*table.GetColumn(query.agg_column))->values_per_segment()) {
-      f = f.Reshape(
-          (*table.GetColumn(query.agg_column))->values_per_segment());
-    }
-    auto r_or =
-        AggregateImpl(table, query.agg, query.agg_column, f, 0, &cancel);
-    ICP_RETURN_IF_ERROR(r_or.status());
-    QueryResult r = std::move(r_or).value();
-    r.scan_cycles = scan_cycles + group_scan;
-    results.emplace_back(group_value, std::move(r));
+  const std::uint64_t threshold = options_.groupby_threshold != 0
+                                      ? options_.groupby_threshold
+                                      : kDefaultGroupByThreshold;
+  const bool single_pass = SupportsSinglePassGroupBy(query.agg) &&
+                           group.encoder().num_codes() >= threshold;
+  auto results_or =
+      single_pass ? SinglePassGroupBy(table, query, group, agg, *base_or,
+                                      scan_cycles, cancel)
+                  : NaiveGroupBy(table, query, group, agg, *base_or,
+                                 scan_cycles, cancel);
+  ICP_RETURN_IF_ERROR(results_or.status());
+  if (single_pass) {
+    ICP_OBS_INCREMENT(GroupByQueriesSinglePass);
+  } else {
+    ICP_OBS_INCREMENT(GroupByQueriesNaive);
   }
   if (qs != nullptr) {
+    qs->groupby_strategy = single_pass ? "single-pass" : "naive";
+    qs->groupby_groups = results_or->size();
     qs->cancel_checks = cancel.checks();
     qs->total_cycles = total.ElapsedCycles();
+  }
+  return results_or;
+}
+
+StatusOr<std::vector<std::pair<std::int64_t, QueryResult>>>
+Engine::NaiveGroupBy(const Table& table, const Query& query,
+                     const Table::Column& group, const Table::Column& agg,
+                     const FilterBitVector& base, std::uint64_t scan_cycles,
+                     const CancelContext& cancel) {
+  obs::QueryStats* qs = options_.stats;
+  const std::vector<std::uint64_t>& codes = group.codes();
+  const std::uint64_t num_groups = group.encoder().num_codes();
+  const int group_vps = group.values_per_segment();
+  const int agg_vps = agg.values_per_segment();
+  std::vector<std::pair<std::int64_t, QueryResult>> results;
+  // Per-code bit vectors come from one chunked scatter pass over the
+  // codes array instead of one bit-parallel scan per group: total filter
+  // construction work is O(table x ceil(groups/64) + groups) rather than
+  // the old O(table x groups), and the scan-work counters only reflect
+  // the base filter's scans.
+  constexpr std::uint64_t kChunk = 64;
+  for (std::uint64_t chunk_begin = 0; chunk_begin < num_groups;
+       chunk_begin += kChunk) {
+    if (cancel.ShouldStop()) return cancel.ToStatus();
+    const std::uint64_t chunk_end =
+        std::min(num_groups, chunk_begin + kChunk);
+    const obs::StageTimer scatter_timer;
+    std::vector<FilterBitVector> fs;
+    fs.reserve(chunk_end - chunk_begin);
+    for (std::uint64_t c = chunk_begin; c < chunk_end; ++c) {
+      fs.emplace_back(table.num_rows(), group_vps);
+    }
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      const std::uint64_t c = codes[i];
+      if (c < chunk_begin || c >= chunk_end) continue;
+      // NULL group rows carry code 0 but belong to no group.
+      if (group.nullable() && !group.validity().GetBit(i)) continue;
+      fs[c - chunk_begin].SetBit(i, true);
+    }
+    for (FilterBitVector& f : fs) f.And(base);
+    if (qs != nullptr) {
+      qs->combine_cycles += scatter_timer.ElapsedCycles();
+      qs->filter_words_combined +=
+          (chunk_end - chunk_begin) *
+          static_cast<std::uint64_t>(base.num_segments());
+    }
+    for (std::uint64_t c = chunk_begin; c < chunk_end; ++c) {
+      if (cancel.ShouldStop()) return cancel.ToStatus();
+      FilterBitVector& f = fs[c - chunk_begin];
+      if (f.CountOnes() == 0) continue;
+      if (group_vps != agg_vps) f = f.Reshape(agg_vps);
+      auto r_or =
+          AggregateImpl(table, query.agg, query.agg_column, f, 0, &cancel);
+      ICP_RETURN_IF_ERROR(r_or.status());
+      QueryResult r = std::move(r_or).value();
+      r.scan_cycles = scan_cycles;
+      results.emplace_back(group.encoder().Decode(c), std::move(r));
+    }
+  }
+  return results;
+}
+
+StatusOr<std::vector<std::pair<std::int64_t, QueryResult>>>
+Engine::SinglePassGroupBy(const Table& table, const Query& query,
+                          const Table::Column& group,
+                          const Table::Column& agg,
+                          const FilterBitVector& base,
+                          std::uint64_t scan_cycles,
+                          const CancelContext& cancel) {
+  obs::QueryStats* qs = options_.stats;
+
+  // NULL group rows belong to no group: intersect once up front (base is
+  // already shaped for the group column).
+  FilterBitVector eff = base;
+  if (group.nullable()) eff.And(group.validity());
+
+  groupby::Input in;
+  in.group_codes = group.codes().data();
+  in.num_codes = group.encoder().num_codes();
+  if (query.agg != AggKind::kCount) {
+    in.agg_codes = agg.codes().data();
+    in.agg_bits = agg.bit_width();
+  }
+  in.filter = &eff;
+  if (agg.nullable()) in.agg_validity = &agg.validity();
+  in.num_rows = table.num_rows();
+
+  groupby::Options gopts;
+  gopts.kind = query.agg;
+  gopts.local_table_bytes = options_.groupby_local_bytes != 0
+                                ? options_.groupby_local_bytes
+                                : std::size_t{1} << 20;
+
+  groupby::Stats gstats;
+  const obs::StageTimer agg_timer;
+  auto groups_or = [&] {
+    if (session_ != nullptr) {
+      return groupby::Execute(in, gopts, *session_, &cancel, &gstats);
+    }
+    StaticPoolExecutor ex(*pool_);
+    return groupby::Execute(in, gopts, ex, &cancel, &gstats);
+  }();
+  const std::uint64_t agg_cycles = agg_timer.ElapsedCycles();
+  ICP_RETURN_IF_ERROR(CheckPool());
+  ICP_RETURN_IF_ERROR(CheckSession());
+  ICP_RETURN_IF_ERROR(groups_or.status());
+
+  const ColumnEncoder& encoder = agg.encoder();
+  std::vector<std::pair<std::int64_t, QueryResult>> results;
+  results.reserve(groups_or->size());
+  for (const auto& [code, acc] : *groups_or) {
+    QueryResult r;
+    r.kind = query.agg;
+    r.count = acc.count;
+    r.scan_cycles = scan_cycles;
+    r.agg_cycles = agg_cycles;
+    switch (query.agg) {
+      case AggKind::kCount:
+        r.value = static_cast<double>(acc.count);
+        break;
+      case AggKind::kSum:
+        r.code_sum = acc.sum;
+        r.value = static_cast<double>(encoder.min_value()) *
+                      static_cast<double>(acc.count) +
+                  UInt128ToDouble(acc.sum);
+        break;
+      case AggKind::kAvg:
+        r.code_sum = acc.sum;
+        if (acc.count > 0) {
+          r.value = static_cast<double>(encoder.min_value()) +
+                    UInt128ToDouble(acc.sum) /
+                        static_cast<double>(acc.count);
+        }
+        break;
+      case AggKind::kMin:
+      case AggKind::kMax: {
+        if (acc.count > 0) {
+          const std::uint64_t v =
+              query.agg == AggKind::kMin ? acc.min : acc.max;
+          r.code_value = v;
+          r.decoded_value = encoder.Decode(v);
+          r.value = static_cast<double>(*r.decoded_value);
+        }
+        break;
+      }
+      default:
+        return Status::Internal("aggregate not supported single-pass");
+    }
+    results.emplace_back(group.encoder().Decode(code), std::move(r));
+  }
+
+  if (qs != nullptr) {
+    qs->agg_cycles += agg_cycles;
+    qs->groupby_local_hits = gstats.local_hits;
+    qs->groupby_spilled_rows = gstats.spilled_rows;
+    qs->groupby_merge_entries = gstats.merge_entries;
+    qs->groupby_partitions = gstats.partitions;
+    qs->method = AggMethodToString(options_.method);
+    qs->threads = options_.threads;
+    qs->simd = options_.simd;
+    qs->kernel_tier = kern::TierName(kern::EffectiveTier(kern::ActiveTier()));
+    qs->agg_path = gstats.hashed ? "groupby-hash" : "groupby-direct";
   }
   return results;
 }
@@ -798,6 +994,17 @@ std::string FormatExplainAnalyze(const obs::QueryStats& stats,
           static_cast<unsigned long long>(stats.agg_segments_skipped),
           static_cast<unsigned long long>(stats.agg_compare_early_stops),
           static_cast<unsigned long long>(stats.agg_blends_skipped));
+  if (stats.groupby_strategy[0] != '\0') {
+    AppendF(&out,
+            "groupby: strategy=%s groups=%llu local_hits=%llu "
+            "spilled=%llu merge_entries=%llu partitions=%llu\n",
+            stats.groupby_strategy,
+            static_cast<unsigned long long>(stats.groupby_groups),
+            static_cast<unsigned long long>(stats.groupby_local_hits),
+            static_cast<unsigned long long>(stats.groupby_spilled_rows),
+            static_cast<unsigned long long>(stats.groupby_merge_entries),
+            static_cast<unsigned long long>(stats.groupby_partitions));
+  }
   if (stats.granted_parallelism > 0) {
     AppendF(&out,
             "sched:  parallelism=%d morsels=%llu/%llu cancelled=%llu "

@@ -72,6 +72,18 @@ struct ExecOptions {
   /// keep the private pool (see docs/scheduler.md). Not owned; must
   /// outlive the engine.
   sched::QueryGovernor* governor = nullptr;
+  /// Grouped-aggregation strategy: ExecuteGroupBy switches from the naive
+  /// per-code scan loop to the single-pass operator (src/groupby/) when
+  /// the group dictionary has at least this many codes. 0 picks the
+  /// measured default (see docs/groupby.md); 1 forces single-pass and
+  /// UINT64_MAX forces naive. MEDIAN/RANK always run naive.
+  std::uint64_t groupby_threshold = 0;
+  /// Per-worker local aggregation-table budget (bytes) for the
+  /// single-pass operator; 0 = 1 MiB. The query's total local-table
+  /// memory is this times the granted worker slots — a governor-degraded
+  /// grant shrinks it — and is metered against the admission scratch
+  /// budget together with the merge accumulators.
+  std::size_t groupby_local_bytes = 0;
 };
 
 struct Query {
@@ -150,10 +162,14 @@ class Engine {
                                                   const MultiQuery& query);
 
   /// Grouped aggregation in the wide-table style the paper adopts from
-  /// [11]: the group-by column must be dictionary-encoded (low cardinality)
-  /// and each group evaluates as `filter AND group_column == value`, i.e.
-  /// one extra bit-parallel scan per group. Returns one (group value,
-  /// QueryResult) pair per non-empty group, ordered by group value.
+  /// [11]: the group-by column must be dictionary-encoded. Below the
+  /// ExecOptions::groupby_threshold cardinality each group evaluates as
+  /// `filter AND group_column == value` against per-code bit vectors built
+  /// in one pass over the codes (the naive strategy); at or above it one
+  /// morsel-driven pass with thread-local tables and radix spill computes
+  /// every group at once (src/groupby/, the single-pass strategy). Returns
+  /// one (group value, QueryResult) pair per non-empty group, ordered by
+  /// group value; both strategies produce identical results.
   StatusOr<std::vector<std::pair<std::int64_t, QueryResult>>> ExecuteGroupBy(
       const Table& table, const Query& query,
       const std::string& group_column);
@@ -194,6 +210,22 @@ class Engine {
                                       const CancelContext* cancel);
   StatusOr<TriState> EvalExpr(const Table& table, const FilterExpr& expr,
                               const CancelContext* cancel);
+  /// The naive GROUP BY strategy: per-code bit vectors scattered from the
+  /// group column's codes in chunked passes (invariant work hoisted out of
+  /// the per-group loop), then one bit-parallel aggregate per non-empty
+  /// group.
+  StatusOr<std::vector<std::pair<std::int64_t, QueryResult>>> NaiveGroupBy(
+      const Table& table, const Query& query, const Table::Column& group,
+      const Table::Column& agg, const FilterBitVector& base,
+      std::uint64_t scan_cycles, const CancelContext& cancel);
+  /// The single-pass GROUP BY strategy (src/groupby/): thread-local
+  /// tables + radix spill + parallel merge on the session's scheduler or
+  /// the private pool.
+  StatusOr<std::vector<std::pair<std::int64_t, QueryResult>>>
+  SinglePassGroupBy(const Table& table, const Query& query,
+                    const Table::Column& group, const Table::Column& agg,
+                    const FilterBitVector& base, std::uint64_t scan_cycles,
+                    const CancelContext& cancel);
   StatusOr<TriState> ScanLeaf(const Table& table, const FilterExpr& leaf,
                               const CancelContext* cancel);
   /// Turns a dropped thread-pool task ("thread_pool/task" failpoint) into a

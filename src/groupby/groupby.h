@@ -1,0 +1,116 @@
+// Single-pass high-cardinality grouped aggregation.
+//
+// The engine's historical GROUP BY ran one bit-parallel scan per group
+// code — O(groups x table) work that collapses past a few hundred groups.
+// This operator instead makes one morsel-driven pass over the table: each
+// worker slot keeps a thread-local fixed-size aggregation table keyed by
+// dictionary codes (direct-indexed when the dictionary fits the local
+// budget, open-addressed otherwise) and spills rows whose group cannot be
+// admitted into radix partitions keyed by the code's high bits. A second
+// parallel region then merges, per partition, the per-slot partial tables
+// and the packed spill rows into one dense accumulator array and emits the
+// non-empty groups in code order.
+//
+// The operator works in the code domain only (the caller decodes through
+// the column encoder) and leans on the kernel registry where the work is
+// bit-parallel: filter liveness is popcounted through kern::Ops()
+// (popcount_words / popcount_and) and dead 64-row segments are skipped on
+// the segment word, while the scatter into per-group accumulators is
+// scalar per passing row — the part no bit-parallel layout can batch (see
+// docs/groupby.md).
+//
+// Failure injection: `groupby/spill` fires on the spill-append path and
+// `groupby/merge` once per merged partition; both latch and surface
+// Status Internal after the region drains (no partial results escape).
+
+#ifndef ICP_GROUPBY_GROUPBY_H_
+#define ICP_GROUPBY_GROUPBY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bitvector/filter_bit_vector.h"
+#include "core/aggregate.h"
+#include "parallel/executor.h"
+#include "util/bits.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+
+namespace icp::groupby {
+
+/// Tuning knobs for one Execute call. The caller (engine) derives
+/// local_table_bytes from ExecOptions::groupby_local_bytes; the query's
+/// total local-table memory is local_table_bytes x the executor's slots,
+/// so a governor-degraded grant shrinks it automatically.
+struct Options {
+  AggKind kind = AggKind::kCount;
+  /// Per-slot local aggregation-table budget in bytes. Budgets too small
+  /// for even one hash entry put the slot in pure-spill mode (every row
+  /// spills) — the degenerate case the overflow tests pin down.
+  std::size_t local_table_bytes = std::size_t{1} << 20;
+  /// log2 of the radix-partition fan-out ceiling; partitions cover
+  /// contiguous code ranges so merged groups concatenate in code order.
+  int radix_bits = 6;
+};
+
+/// Work accounting for one Execute call (also mirrored into the
+/// process-wide groupby.* counters at batch granularity).
+struct Stats {
+  std::uint64_t local_hits = 0;     // rows absorbed by a local table
+  std::uint64_t spilled_rows = 0;   // rows packed into radix partitions
+  std::uint64_t merge_entries = 0;  // per-slot partial entries folded
+  std::uint64_t partitions = 0;     // radix partitions merged
+  std::uint64_t groups = 0;         // non-empty groups emitted
+  bool hashed = false;              // open-addressed local tables (vs direct)
+};
+
+/// Per-group accumulator in the code domain. `rows` counts every
+/// filter-passing row of the group (group presence — a group whose agg
+/// values are all NULL still exists); `count`/`sum`/`min`/`max` cover only
+/// rows whose agg value is non-NULL, matching SQL aggregate semantics.
+struct Accumulator {
+  std::uint64_t rows = 0;
+  std::uint64_t count = 0;
+  UInt128 sum = 0;
+  std::uint64_t min = ~std::uint64_t{0};
+  std::uint64_t max = 0;
+};
+
+/// Inputs in the code domain. Pointers are borrowed; they must stay valid
+/// for the duration of Execute.
+struct Input {
+  /// One group code per row (the Table::Column::codes() array).
+  const std::uint64_t* group_codes = nullptr;
+  /// Dictionary size; every group code is < num_codes.
+  std::uint64_t num_codes = 0;
+  /// One agg code per row; may be null for COUNT (codes unused).
+  const std::uint64_t* agg_codes = nullptr;
+  /// Bit width of the agg codes (0 when agg_codes is null); decides
+  /// whether a spilled row packs into one 64-bit word or two.
+  int agg_bits = 0;
+  /// Filter pass set ANDed with the group column's validity (NULL group
+  /// rows belong to no group). Any values_per_segment; reshaped
+  /// internally to 64-row segments.
+  const FilterBitVector* filter = nullptr;
+  /// Agg-column validity (1 = non-NULL), or null when the column has no
+  /// NULLs. Any values_per_segment.
+  const FilterBitVector* agg_validity = nullptr;
+  std::size_t num_rows = 0;
+};
+
+/// Runs the single-pass operator on `ex` and returns the non-empty groups
+/// as (group code, accumulator) pairs in ascending code order. Scratch
+/// (local tables + merge accumulators) is metered through
+/// ex.AccountScratch; kResourceExhausted when the budget is exhausted,
+/// kCancelled / kDeadlineExceeded when `cancel` fires (both regions drain
+/// cleanly first), Internal when an armed groupby/{spill,merge} failpoint
+/// fires.
+StatusOr<std::vector<std::pair<std::uint64_t, Accumulator>>> Execute(
+    const Input& in, const Options& options, ParallelExecutor& ex,
+    const CancelContext* cancel, Stats* stats);
+
+}  // namespace icp::groupby
+
+#endif  // ICP_GROUPBY_GROUPBY_H_

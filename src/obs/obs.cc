@@ -133,6 +133,25 @@ ICP_OBS_DEFINE_COUNTER(AdmitQueuedCycles, "admit.queued_cycles",
 ICP_OBS_DEFINE_COUNTER(IoRetries, "io.retries",
                        "transient I/O read failures retried with backoff "
                        "(table_io and csv_loader)")
+ICP_OBS_DEFINE_COUNTER(GroupByQueriesSinglePass, "groupby.queries_single_pass",
+                       "grouped-aggregation queries executed by the "
+                       "single-pass operator (src/groupby/)")
+ICP_OBS_DEFINE_COUNTER(GroupByQueriesNaive, "groupby.queries_naive",
+                       "grouped-aggregation queries executed by the naive "
+                       "per-code strategy")
+ICP_OBS_DEFINE_COUNTER(GroupByLocalHits, "groupby.local_hits",
+                       "rows absorbed by a single-pass worker's thread-local "
+                       "aggregation table")
+ICP_OBS_DEFINE_COUNTER(GroupBySpilledRows, "groupby.spilled_rows",
+                       "rows the single-pass operator packed into radix "
+                       "spill partitions (local table full or pure-spill "
+                       "mode)")
+ICP_OBS_DEFINE_COUNTER(GroupByMergeEntries, "groupby.merge_entries",
+                       "per-worker partial-table entries folded by the "
+                       "single-pass merge phase")
+ICP_OBS_DEFINE_COUNTER(GroupByPartitionsMerged, "groupby.partitions_merged",
+                       "radix partitions merged by the single-pass "
+                       "operator")
 
 #undef ICP_OBS_DEFINE_COUNTER
 
@@ -169,6 +188,12 @@ void RegisterAllCounters() {
   AdmitShed();
   AdmitQueuedCycles();
   IoRetries();
+  GroupByQueriesSinglePass();
+  GroupByQueriesNaive();
+  GroupByLocalHits();
+  GroupBySpilledRows();
+  GroupByMergeEntries();
+  GroupByPartitionsMerged();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> SnapshotCounters() {

@@ -125,6 +125,12 @@ Counter& AdmitAdmitted();
 Counter& AdmitShed();
 Counter& AdmitQueuedCycles();
 Counter& IoRetries();
+Counter& GroupByQueriesSinglePass();
+Counter& GroupByQueriesNaive();
+Counter& GroupByLocalHits();
+Counter& GroupBySpilledRows();
+Counter& GroupByMergeEntries();
+Counter& GroupByPartitionsMerged();
 
 #else  // !ICP_OBS
 

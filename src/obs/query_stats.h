@@ -65,6 +65,16 @@ struct QueryStats {
   /// 0 when ungoverned.
   int granted_parallelism = 0;
 
+  // -- Grouped aggregation (ExecuteGroupBy only; empty/zero otherwise).
+  // -- strategy is "naive" or "single-pass"; the work counters mirror
+  // -- groupby::Stats for the single-pass operator.
+  const char* groupby_strategy = "";
+  std::uint64_t groupby_groups = 0;
+  std::uint64_t groupby_local_hits = 0;
+  std::uint64_t groupby_spilled_rows = 0;
+  std::uint64_t groupby_merge_entries = 0;
+  std::uint64_t groupby_partitions = 0;
+
   // -- What ran. Static strings (tier names, layout names); never freed.
   const char* kernel_tier = "";
   const char* agg_path = "";

@@ -47,6 +47,11 @@
 //                          expression trees must not leak
 //   query_parser/parse_predicate — ParsePredicate: same failure mode for the
 //                          bare-predicate entry point
+//   groupby/spill        — groupby::Execute: a spill append fails; the pass
+//                          region drains and Status Internal surfaces (no
+//                          partial groups escape)
+//   groupby/merge        — groupby::Execute: one partition's merge fails;
+//                          same drain-then-Internal contract
 
 #ifndef ICP_UTIL_FAILPOINT_H_
 #define ICP_UTIL_FAILPOINT_H_

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <thread>
@@ -164,6 +165,182 @@ TEST(ChaosSoakTest, ConcurrentGovernedQueriesStayCorrect) {
   if (armed) fail::DisableAll();
   // Leaving scope joins the scheduler workers; reaching this line at all
   // is the no-hang assertion.
+}
+
+// Same chaos envelope for grouped aggregation: >= 8 concurrent governed
+// ExecuteGroupBy calls racing over one scheduler, with the strategy
+// (naive / single-pass), the local-table budget (spacious / pure-spill)
+// and the abort mode drawn at random per round, plus injected
+// groupby/{spill,merge} failures when the build arms them. OK results
+// must match the serial per-cutoff oracle group-for-group.
+TEST(ChaosSoakTest, ConcurrentGovernedGroupByStaysCorrect) {
+  Random rng(246813579);
+  const std::size_t n = 60000;
+  const std::uint64_t kCardinality = 512;
+  std::vector<std::int64_t> g(n), v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g[i] = 3 * static_cast<std::int64_t>(rng.UniformInt(0, kCardinality - 1));
+    v[i] = static_cast<std::int64_t>(rng.UniformInt(0, 999));
+  }
+  v[0] = 0;  // pin min_value so the oracle's SUM formula matches exactly
+  Table table;
+  ASSERT_TRUE(table
+                  .AddColumn("g", g,
+                             {.layout = Layout::kVbp, .dictionary = true})
+                  .ok());
+  ASSERT_TRUE(table.AddColumn("v", v, {.layout = Layout::kVbp}).ok());
+
+  // Serial oracle: SUM(v) GROUP BY g over v < cutoff, for each cutoff the
+  // chaos threads may draw (1000 = no filter).
+  constexpr int kCutoffs[] = {250, 500, 750, 1000};
+  struct OracleEntry {
+    std::int64_t group = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::vector<std::vector<OracleEntry>> oracles;
+  for (const int cutoff : kCutoffs) {
+    std::vector<std::uint64_t> count(kCardinality, 0);
+    std::vector<double> sum(kCardinality, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (v[i] >= cutoff) continue;
+      const std::size_t code = static_cast<std::size_t>(g[i] / 3);
+      count[code] += 1;
+      sum[code] += static_cast<double>(v[i]);
+    }
+    std::vector<OracleEntry> entries;
+    for (std::size_t c = 0; c < kCardinality; ++c) {
+      if (count[c] == 0) continue;
+      entries.push_back({3 * static_cast<std::int64_t>(c), count[c], sum[c]});
+    }
+    oracles.push_back(std::move(entries));
+  }
+
+  const bool armed = fail::Armed();
+  if (armed) {
+    fail::DisableAll();
+    fail::EnableEveryNth("sched/admit", 53);
+    fail::EnableEveryNth("sched/dequeue", 97);
+    fail::EnableEveryNth("sched/steal", 13);
+    // These sites are evaluated per spilled row / per partition (tens of
+    // thousands per pure-spill query), so the periods are much longer
+    // than the scheduler ones to leave a healthy mix of clean completions
+    // alongside the injected failures.
+    fail::EnableEveryNth("groupby/spill", 499979);
+    fail::EnableEveryNth("groupby/merge", 997);
+  }
+
+  MorselScheduler scheduler(4);
+  {
+    QueryGovernor governor(
+        scheduler, AdmissionOptions{.max_concurrent = 4,
+                                    .max_queued = 2,
+                                    .max_scratch_bytes = 1 << 20});
+
+    std::atomic<int> failures{0};
+    std::atomic<std::uint64_t> ok_results{0};
+    std::atomic<std::uint64_t> shed_results{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Random local(0xBEEFu + static_cast<std::uint64_t>(t));
+        for (int round = 0; round < kRoundsPerThread; ++round) {
+          const std::size_t ci = local.UniformInt(0, 3);
+          Query q;
+          q.agg = AggKind::kSum;
+          q.agg_column = "v";
+          if (kCutoffs[ci] < 1000) {
+            q.filter =
+                FilterExpr::Compare("v", CompareOp::kLt,
+                                    static_cast<std::int64_t>(kCutoffs[ci]));
+          }
+
+          ExecOptions opts;
+          opts.governor = &governor;
+          // Random strategy: forced single-pass, measured default, forced
+          // naive; single-pass sometimes under a pure-spill budget.
+          const std::uint64_t strategy = local.UniformInt(0, 2);
+          opts.groupby_threshold =
+              strategy == 0 ? 1
+              : strategy == 1
+                  ? 16
+                  : std::numeric_limits<std::uint64_t>::max();
+          if (strategy != 2 && local.Bernoulli(0.3)) {
+            opts.groupby_local_bytes = 64;  // every row spills
+          }
+          CancellationToken token;
+          const std::uint64_t mode = local.UniformInt(0, 3);
+          if (mode == 1) {
+            opts.deadline = std::chrono::microseconds(50);
+          } else if (mode == 2) {
+            opts.deadline = std::chrono::milliseconds(5);
+          } else if (mode == 3) {
+            token = CancellationToken::Create();
+            opts.cancel_token = token;
+          }
+          Engine engine(opts);
+
+          std::thread canceller;
+          if (mode == 3) {
+            const auto delay =
+                std::chrono::microseconds(local.UniformInt(0, 2000));
+            canceller = std::thread([token, delay] {
+              std::this_thread::sleep_for(delay);
+              token.RequestCancel();
+            });
+          }
+          auto r = engine.ExecuteGroupBy(table, q, "g");
+          if (canceller.joinable()) canceller.join();
+
+          if (r.ok()) {
+            ok_results.fetch_add(1);
+            const std::vector<OracleEntry>& want = oracles[ci];
+            if (r->size() != want.size()) {
+              ADD_FAILURE() << "cutoff " << kCutoffs[ci] << ": got "
+                            << r->size() << " groups, want " << want.size();
+              failures.fetch_add(1);
+            } else {
+              for (std::size_t i = 0; i < want.size(); ++i) {
+                if ((*r)[i].first != want[i].group ||
+                    (*r)[i].second.count != want[i].count ||
+                    (*r)[i].second.value != want[i].sum) {
+                  ADD_FAILURE()
+                      << "cutoff " << kCutoffs[ci] << " group#" << i
+                      << ": got (" << (*r)[i].first << ", "
+                      << (*r)[i].second.count << ", " << (*r)[i].second.value
+                      << "), want (" << want[i].group << ", "
+                      << want[i].count << ", " << want[i].sum << ")";
+                  failures.fetch_add(1);
+                  break;
+                }
+              }
+            }
+            continue;
+          }
+          const StatusCode code = r.status().code();
+          const bool expected_overload =
+              code == StatusCode::kResourceExhausted ||
+              code == StatusCode::kDeadlineExceeded ||
+              code == StatusCode::kCancelled;
+          const bool injected = armed && code == StatusCode::kInternal;
+          if (expected_overload) shed_results.fetch_add(1);
+          if (!expected_overload && !injected) {
+            ADD_FAILURE() << "unexpected status: " << r.status().ToString();
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_GT(ok_results.load(), 0u);
+    EXPECT_GT(shed_results.load(), 0u);
+    EXPECT_EQ(governor.active(), 0);
+    EXPECT_EQ(governor.queued(), 0);
+  }
+  if (armed) fail::DisableAll();
 }
 
 }  // namespace
