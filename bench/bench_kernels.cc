@@ -212,6 +212,69 @@ BENCHMARK(BM_HbpSum)
     ->Args({2, 10})
     ->Args({3, 10});
 
+// VBP predicate scan through the registry per tier: the bit-serial
+// compare cascade over plane words, vectorized 4/8 segments per block on
+// the wide tiers.
+// exercises: vbp_scan
+void BM_VbpScanTier(benchmark::State& state) {
+  const auto tier = static_cast<kern::Tier>(state.range(0));
+  if (!RequireTier(state, tier)) return;
+  const int k = static_cast<int>(state.range(1));
+  const auto codes = UniformCodes(kKernelTuples, k, 7);
+  const VbpColumn col = VbpColumn::Pack(codes, k);
+  const std::uint64_t c = LowMask(k) / 3;
+  kern::ForceTier(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        VbpScanner::Scan(col, CompareOp::kLt, c).CountOnes());
+  }
+  kern::ForceTier(std::nullopt);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+  state.SetLabel(std::string("tier=") + kern::OpsFor(tier).name);
+}
+BENCHMARK(BM_VbpScanTier)
+    ->ArgNames({"tier", "k"})
+    ->Args({0, 12})
+    ->Args({1, 12})
+    ->Args({2, 12})
+    ->Args({3, 12})
+    ->Args({0, 25})
+    ->Args({1, 25})
+    ->Args({2, 25})
+    ->Args({3, 25});
+
+// HBP predicate scan through the registry per tier (in-word parallel
+// compare over sub-segment words).
+// exercises: hbp_scan
+void BM_HbpScanTier(benchmark::State& state) {
+  const auto tier = static_cast<kern::Tier>(state.range(0));
+  if (!RequireTier(state, tier)) return;
+  const int k = static_cast<int>(state.range(1));
+  const auto codes = UniformCodes(kKernelTuples, k, 9);
+  const HbpColumn col = HbpColumn::Pack(codes, k);
+  const std::uint64_t c = LowMask(k) / 3;
+  kern::ForceTier(tier);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HbpScanner::Scan(col, CompareOp::kLt, c).CountOnes());
+  }
+  kern::ForceTier(std::nullopt);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kKernelTuples));
+  state.SetLabel(std::string("tier=") + kern::OpsFor(tier).name);
+}
+BENCHMARK(BM_HbpScanTier)
+    ->ArgNames({"tier", "k"})
+    ->Args({0, 12})
+    ->Args({1, 12})
+    ->Args({2, 12})
+    ->Args({3, 12})
+    ->Args({0, 25})
+    ->Args({1, 25})
+    ->Args({2, 25})
+    ->Args({3, 25});
+
 // The lanes==1 positional-popcount kernel: the inner loop of VBP SUM over
 // an uninterleaved (single-segment layout) column.
 // exercises: vbp_bit_sums

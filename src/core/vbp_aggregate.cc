@@ -1,5 +1,6 @@
 #include "core/vbp_aggregate.h"
 
+#include <cstddef>
 #include <vector>
 
 #include "obs/obs.h"
@@ -8,6 +9,21 @@
 
 namespace icp::vbp {
 namespace {
+
+// kern::FoldCounters mirrors core::AggStats field-for-field (same leaf-
+// library reasoning as ScanCounters/ScanStats in scan/vbp_scanner.cc);
+// pin the mirror so the structs cannot drift apart silently.
+static_assert(sizeof(kern::FoldCounters) == sizeof(AggStats),
+              "kern::FoldCounters out of sync with core::AggStats; "
+              "update both structs and the merge sites together");
+static_assert(offsetof(kern::FoldCounters, folds) ==
+              offsetof(AggStats, folds));
+static_assert(offsetof(kern::FoldCounters, compare_early_stops) ==
+              offsetof(AggStats, compare_early_stops));
+static_assert(offsetof(kern::FoldCounters, blends_skipped) ==
+              offsetof(AggStats, blends_skipped));
+static_assert(offsetof(kern::FoldCounters, segments_skipped) ==
+              offsetof(AggStats, segments_skipped));
 
 // Number of live segments (segments that contain at least one real tuple).
 std::size_t LiveSegments(const FilterBitVector& filter) {

@@ -92,6 +92,9 @@ ICP_OBS_DEFINE_COUNTER(KernDispatchSse, "kern.dispatch.sse",
 ICP_OBS_DEFINE_COUNTER(KernDispatchAvx2, "kern.dispatch.avx2",
                        "kernel-registry ops-table grabs resolving to the "
                        "avx2 tier")
+ICP_OBS_DEFINE_COUNTER(KernForceClamped, "kern.force_clamped",
+                       "ForceTier() requests clamped to a lower tier "
+                       "because the CPU lacks the requested features")
 ICP_OBS_DEFINE_COUNTER(KernDispatchAvx512, "kern.dispatch.avx512",
                        "kernel-registry ops-table grabs resolving to the "
                        "avx512 tier")
@@ -175,6 +178,7 @@ void RegisterAllCounters() {
   KernDispatchSse();
   KernDispatchAvx2();
   KernDispatchAvx512();
+  KernForceClamped();
   CancelChecks();
   FailpointHits();
   PoolRegions();

@@ -112,6 +112,7 @@ Counter& KernDispatchScalar();
 Counter& KernDispatchSse();
 Counter& KernDispatchAvx2();
 Counter& KernDispatchAvx512();
+Counter& KernForceClamped();
 Counter& CancelChecks();
 Counter& FailpointHits();
 Counter& PoolRegions();

@@ -1,6 +1,7 @@
 #include "scan/vbp_scanner.h"
 
 #include <array>
+#include <cstddef>
 
 #include "obs/obs.h"
 #include "simd/dispatch.h"
@@ -29,6 +30,21 @@ void BuildConstantBits(int k, std::uint64_t c1, std::uint64_t c2,
     c2_bits[j] = (c2 >> (k - 1 - j)) & 1;
   }
 }
+
+// kern::ScanCounters mirrors ScanStats field-for-field (the dispatch
+// layer stays a leaf library, so it cannot include scan/predicate.h).
+// Pin the mirror at compile time: a field added to one struct without
+// the other — or reordered — fails here instead of silently dropping a
+// statistic in MergeScanCounters below.
+static_assert(sizeof(kern::ScanCounters) == sizeof(ScanStats),
+              "kern::ScanCounters out of sync with scan::ScanStats; "
+              "update both structs and MergeScanCounters together");
+static_assert(offsetof(kern::ScanCounters, words_examined) ==
+              offsetof(ScanStats, words_examined));
+static_assert(offsetof(kern::ScanCounters, segments_processed) ==
+              offsetof(ScanStats, segments_processed));
+static_assert(offsetof(kern::ScanCounters, segments_early_stopped) ==
+              offsetof(ScanStats, segments_early_stopped));
 
 // Also feeds the process-wide scan.* counters; one batched Add per scan
 // call, so the per-word hot loops stay untouched. (The kernels only

@@ -19,12 +19,12 @@
 // otherwise. All kernels use unaligned loads, so temp/candidate buffers
 // need no special alignment.
 //
-// The scanner kernels are shared by every tier: their lane-strided,
-// branch-heavy cascades do not vectorize (one segment's early stop is
-// independent of its neighbours'), so routing them through the registry
-// buys ICP_FORCE_KERNEL coverage and a single implementation — not a
-// per-tier speedup. The contracts (counter semantics included) are
-// documented on the KernelOps slots in dispatch.h.
+// The scanner kernels come in a scalar flavour (one segment at a time,
+// shared by the scalar and sse tiers) and vectorized AVX2/AVX-512
+// flavours (scan_kernels.cc) that run the compare cascades over blocks of
+// 4/8 independent segments gathered into one register, early-stopping per
+// block. Outputs are bit-for-bit identical across tiers; the counters are
+// per-tier internally consistent (see the slot contracts in dispatch.h).
 
 #ifndef ICP_SIMD_AGG_KERNELS_H_
 #define ICP_SIMD_AGG_KERNELS_H_
@@ -60,7 +60,8 @@ void HbpExtremeFoldScalar(const Word* const* bases, int num_groups, int s,
                           FoldCounters* counters);
 
 // ---------------------------------------------------------------------------
-// Shared scanner kernels (every tier's vbp_scan / hbp_scan slot).
+// Scalar scanner kernels (the scalar and sse tiers' vbp_scan / hbp_scan
+// slots; also the ragged-tail fallback of the vector scanners).
 // ---------------------------------------------------------------------------
 void VbpScanKernel(const Word* const* bases, const int* widths,
                    int num_groups, int tau, int op, const bool* c1_bits,
@@ -90,6 +91,16 @@ void HbpExtremeFoldAvx2(const Word* const* bases, int num_groups, int s,
                         int tau, int lanes, const Word* filter,
                         std::size_t n, bool is_min, Word* temp,
                         FoldCounters* counters);
+// Vectorized scanners (scan_kernels.cc): 4 segments per block via masked
+// 64-bit gathers, block-granular early stop.
+void VbpScanAvx2(const Word* const* bases, const int* widths,
+                 int num_groups, int tau, int op, const bool* c1_bits,
+                 const bool* c2_bits, std::size_t n, const Word* prior,
+                 Word* out, ScanCounters* counters);
+void HbpScanAvx2(const Word* const* bases, int num_groups, int s, int op,
+                 const Word* c1_packed, const Word* c2_packed, Word md,
+                 std::size_t n, const Word* prior, Word* out,
+                 ScanCounters* counters);
 #endif
 
 #if defined(ICP_POSPOPCNT_HAVE_AVX512)
@@ -106,6 +117,15 @@ std::uint64_t MaskedPopcountAvx512(const Word* data, std::size_t stride,
 void HbpSumAvx512(const Word* const* bases, int num_groups, int s, int tau,
                   int lanes, const Word* filter, std::size_t n,
                   std::uint64_t* group_sums);
+// Vectorized scanners (scan_kernels.cc): 8 segments per block.
+void VbpScanAvx512(const Word* const* bases, const int* widths,
+                   int num_groups, int tau, int op, const bool* c1_bits,
+                   const bool* c2_bits, std::size_t n, const Word* prior,
+                   Word* out, ScanCounters* counters);
+void HbpScanAvx512(const Word* const* bases, int num_groups, int s, int op,
+                   const Word* c1_packed, const Word* c2_packed, Word md,
+                   std::size_t n, const Word* prior, Word* out,
+                   ScanCounters* counters);
 #endif
 
 }  // namespace icp::kern

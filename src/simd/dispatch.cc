@@ -73,8 +73,8 @@ const KernelOps kAvx2Ops = {
     .hbp_sum = HbpSumAvx2,
     .vbp_extreme_fold = VbpExtremeFoldAvx2,
     .hbp_extreme_fold = HbpExtremeFoldAvx2,
-    .vbp_scan = VbpScanKernel,
-    .hbp_scan = HbpScanKernel,
+    .vbp_scan = VbpScanAvx2,
+    .hbp_scan = HbpScanAvx2,
 };
 #endif
 
@@ -93,8 +93,8 @@ const KernelOps kAvx512Ops = {
     .hbp_sum = HbpSumAvx512,
     .vbp_extreme_fold = VbpExtremeFoldAvx2,
     .hbp_extreme_fold = HbpExtremeFoldAvx2,
-    .vbp_scan = VbpScanKernel,
-    .hbp_scan = HbpScanKernel,
+    .vbp_scan = VbpScanAvx512,
+    .hbp_scan = HbpScanAvx512,
 };
 #endif
 
@@ -203,9 +203,20 @@ Tier ActiveTier() {
 }
 
 void ForceTier(std::optional<Tier> tier) {
-  g_forced_tier.store(
-      tier.has_value() ? static_cast<int>(ClampToSupported(*tier)) : -1,
-      std::memory_order_relaxed);
+  if (!tier.has_value()) {
+    g_forced_tier.store(-1, std::memory_order_relaxed);
+    return;
+  }
+  const Tier clamped = ClampToSupported(*tier);
+  if (clamped != *tier) {
+    // Surface the clamp: a harness forcing an unsupported tier would
+    // otherwise silently measure (and report coverage for) a lower one.
+    ICP_OBS_INCREMENT(KernForceClamped);
+    std::fprintf(stderr,
+                 "icp: ForceTier(%s) unsupported on this CPU; using %s\n",
+                 TierName(*tier), TierName(clamped));
+  }
+  g_forced_tier.store(static_cast<int>(clamped), std::memory_order_relaxed);
 }
 
 const KernelOps& Ops() {

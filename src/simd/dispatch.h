@@ -19,11 +19,13 @@
 //                                   ForceTier(std::nullopt) clears it.
 //   2. ICP_FORCE_KERNEL=<tier>    — environment, read once at first use;
 //                                   <tier> in {scalar, sse, avx2, avx512}.
-// Both are clamped to MaxSupportedTier() (with a one-line stderr warning
-// for the env var) so forcing "avx512" on a non-VPOPCNTDQ host degrades
-// safely. Harnesses that iterate tiers should use EffectiveTier() to
-// detect the clamp and avoid re-running (and mis-reporting) a lower tier
-// under a higher tier's name.
+// Both are clamped to MaxSupportedTier() so forcing "avx512" on a
+// non-VPOPCNTDQ host degrades safely — and loudly: either path prints a
+// one-line stderr note, and ForceTier() additionally bumps the
+// kern.force_clamped counter, so a harness can't silently measure (or
+// claim coverage for) a lower tier under a higher tier's name. Harnesses
+// that iterate tiers should use EffectiveTier() to detect the clamp and
+// skip instead of re-running a duplicate.
 //
 // To add a kernel: declare the per-tier implementations (see
 // vbp_pospopcnt.h / agg_kernels.h), add a slot to KernelOps, fill it in
@@ -65,7 +67,9 @@ Tier EffectiveTier(Tier tier);
 Tier ActiveTier();
 
 // Programmatic override for tests/benchmarks; clamped to
-// MaxSupportedTier(). Pass std::nullopt to fall back to startup detection.
+// MaxSupportedTier() (clamping warns on stderr and bumps the
+// kern.force_clamped counter). Pass std::nullopt to fall back to startup
+// detection.
 void ForceTier(std::optional<Tier> tier);
 
 // Boolean combine operation for `combine_words`. Values are fixed — call
@@ -183,15 +187,20 @@ struct KernelOps {
   // 0 eq, 1 ne, 2 lt, 3 le, 4 gt, 5 ge, 6 between) against the constant
   // bit patterns c1_bits (and c2_bits when op == 6), both laid out as
   // groups-major arrays of tau bits per group: bit for group g plane j at
-  // c1_bits[g*tau + j]. Early-stop: abandon remaining planes/groups when
-  // the equality word(s) go all-zero and groups remain
-  // (counters->segments_early_stopped++). counters->words_examined counts
-  // every examined plane word; counters->segments_processed counts
-  // segments run through the cascade.
+  // c1_bits[g*tau + j].
   //   prior == nullptr: out[i] = raw compare result (caller applies the
   //     segment validity mask).
   //   prior != nullptr: segments with prior[i] == 0 are skipped entirely
-  //     (out[i] = 0, no stats); otherwise out[i] = result & prior[i].
+  //     (out[i] = 0, never read, no stats); otherwise
+  //     out[i] = result & prior[i].
+  // Output words are bit-for-bit identical across tiers. Counters are
+  // tier-dependent but internally consistent per tier: the vector tiers
+  // process blocks of 4/8 segments and early-stop per block (a lane that
+  // decides early rides along until its whole block decides), so
+  //   segments_processed == n minus the prior-skipped segments,
+  //   segments_early_stopped <= segments_processed, and
+  //   words_examined counts plane words actually loaded per processed
+  //   segment — between widths[0] and sum(widths) of them each.
   void (*vbp_scan)(const Word* const* bases, const int* widths,
                    int num_groups, int tau, int op, const bool* c1_bits,
                    const bool* c2_bits, std::size_t n, const Word* prior,
@@ -201,8 +210,9 @@ struct KernelOps {
   // group g's sub-segment t at bases[g] + i*s + t; compare each data word
   // against the packed constants c1_packed[g] (and c2_packed[g] for
   // op == 6) with delimiter mask `md`, OR-ing `result >> t` into the
-  // filter word. Early-stop and counter semantics mirror vbp_scan
-  // (words_examined counts sub-segment words actually compared).
+  // filter word. Prior-skip and counter semantics mirror vbp_scan
+  // (words_examined counts sub-segment words actually loaded: between s
+  // and num_groups*s per processed segment).
   void (*hbp_scan)(const Word* const* bases, int num_groups, int s, int op,
                    const Word* c1_packed, const Word* c2_packed, Word md,
                    std::size_t n, const Word* prior, Word* out,

@@ -1,0 +1,605 @@
+// Vectorized scanner kernels: the vbp_scan / hbp_scan KernelOps slots for
+// the avx2 and avx512 tiers.
+//
+// The scalar scanners (agg_kernels.cc) walk one segment at a time, so one
+// segment's early stop never helps its neighbours. The vector kernels here
+// instead run the same bit-serial compare cascades over BLOCKS of
+// independent segments — 4 per 256-bit register (AVX2) or 8 per 512-bit
+// register (AVX-512) — with the cascade state (eq/lt/gt words) held in
+// vector registers, one lane per segment:
+//
+//   * VBP (lanes==1 seg-major): plane j of segments i..i+3 sits at
+//     bases[g] + i*width + j, strided `width` words apart — a masked
+//     64-bit gather per plane assembles the block's words.
+//   * HBP: sub-segment t of segments i..i+3 sits at bases[g] + i*s + t,
+//     strided `s` words apart — same gather shape, with the per-field
+//     borrow-trick compare (FieldGe) applied lane-wise.
+//
+// Early stopping is preserved at block granularity: the block abandons the
+// remaining word groups when EVERY lane's equality word has gone to zero.
+// A lane that decides early therefore rides along until its whole block
+// decides, which is exactly why the ScanCounters contract (dispatch.h)
+// makes the counters per-tier internally consistent rather than bit-equal
+// across tiers; the OUTPUT words are bit-for-bit identical to the scalar
+// cascade for every op, prior and layout.
+//
+// Prior-skip contract: lanes whose prior word is zero are masked out of
+// the gathers (never read), excluded from the counters, and forced to
+// produce a zero output word by starting their eq state at zero. Blocks
+// whose four/eight prior words are all zero are skipped outright. The
+// ragged tail (n mod 4/8 segments) falls back to the scalar kernels with
+// rebased pointers, so the counters stay consistent.
+
+#include "simd/agg_kernels.h"
+#include "simd/dispatch.h"
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace icp::kern {
+namespace {
+
+// Integer CompareOp encoding shared with scan/predicate.h (the scanner
+// call sites static_assert the mapping).
+[[maybe_unused]] constexpr int kOpEq = 0;
+[[maybe_unused]] constexpr int kOpNe = 1;
+[[maybe_unused]] constexpr int kOpLt = 2;
+[[maybe_unused]] constexpr int kOpLe = 3;
+[[maybe_unused]] constexpr int kOpGt = 4;
+[[maybe_unused]] constexpr int kOpGe = 5;
+[[maybe_unused]] constexpr int kOpBetween = 6;
+
+}  // namespace
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX2)
+namespace {
+
+#define ICP_AVX2 __attribute__((target("avx2")))
+
+ICP_AVX2 inline __m256i LoadU(const Word* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+ICP_AVX2 inline void StoreU(Word* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+// Per-field X >= C under delimiter mask `md` (the paper's borrow trick).
+ICP_AVX2 inline __m256i FieldGe256(__m256i x, __m256i c, __m256i md) {
+  return _mm256_and_si256(_mm256_sub_epi64(_mm256_or_si256(x, md), c), md);
+}
+
+// Lane-wise VbpResultWord (agg_kernels.cc): op -> result from the cascade
+// state words.
+ICP_AVX2 inline __m256i VbpResult256(int op, __m256i a_eq, __m256i a_lt,
+                                     __m256i a_gt, __m256i b_eq,
+                                     __m256i b_lt) {
+  switch (op) {
+    case kOpEq:
+      return a_eq;
+    case kOpNe:
+      return _mm256_xor_si256(a_eq, _mm256_set1_epi64x(-1));
+    case kOpLt:
+      return a_lt;
+    case kOpLe:
+      return _mm256_or_si256(a_lt, a_eq);
+    case kOpGt:
+      return a_gt;
+    case kOpGe:
+      return _mm256_or_si256(a_gt, a_eq);
+    case kOpBetween:
+      return _mm256_and_si256(_mm256_or_si256(a_gt, a_eq),
+                              _mm256_or_si256(b_lt, b_eq));
+  }
+  return _mm256_setzero_si256();
+}
+
+// Lane-wise HbpResultWord: same selection in delimiter space.
+ICP_AVX2 inline __m256i HbpResult256(int op, __m256i md, __m256i a_eq,
+                                     __m256i a_lt, __m256i a_gt,
+                                     __m256i b_eq, __m256i b_lt) {
+  switch (op) {
+    case kOpEq:
+      return a_eq;
+    case kOpNe:
+      return _mm256_xor_si256(md, a_eq);
+    case kOpLt:
+      return a_lt;
+    case kOpLe:
+      return _mm256_or_si256(a_lt, a_eq);
+    case kOpGt:
+      return a_gt;
+    case kOpGe:
+      return _mm256_or_si256(a_gt, a_eq);
+    case kOpBetween:
+      return _mm256_and_si256(_mm256_or_si256(a_gt, a_eq),
+                              _mm256_or_si256(b_lt, b_eq));
+  }
+  return _mm256_setzero_si256();
+}
+
+}  // namespace
+
+ICP_AVX2 void VbpScanAvx2(const Word* const* bases, const int* widths,
+                          int num_groups, int tau, int op,
+                          const bool* c1_bits, const bool* c2_bits,
+                          std::size_t n, const Word* prior, Word* out,
+                          ScanCounters* counters) {
+  const bool dual = op == kOpBetween;
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i active = ones;
+    __m256i pr = ones;
+    int num_active = 4;
+    if (prior != nullptr) {
+      pr = LoadU(prior + i);
+      active = _mm256_xor_si256(_mm256_cmpeq_epi64(pr, zero), ones);
+      if (_mm256_testz_si256(active, active)) {
+        StoreU(out + i, zero);  // whole block already empty
+        continue;
+      }
+      num_active = __builtin_popcount(static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(active))));
+    }
+    if (counters != nullptr) {
+      counters->segments_processed +=
+          static_cast<std::uint64_t>(num_active);
+    }
+    // Inactive lanes start with eq == 0, so they accumulate nothing and
+    // never block the all-lanes early stop.
+    __m256i a_eq = active;
+    __m256i a_lt = zero;
+    __m256i a_gt = zero;
+    __m256i b_eq = dual ? active : zero;
+    __m256i b_lt = zero;
+    __m256i b_gt = zero;
+    for (int g = 0; g < num_groups; ++g) {
+      const int width = widths[g];
+      const Word* base = bases[g] + i * static_cast<std::size_t>(width);
+      const __m256i idx = _mm256_setr_epi64x(
+          0, static_cast<long long>(width),
+          static_cast<long long>(2 * width),
+          static_cast<long long>(3 * width));
+      for (int j = 0; j < width; ++j) {
+        const __m256i x = _mm256_mask_i64gather_epi64(
+            zero, reinterpret_cast<const long long*>(base + j), idx, active,
+            8);
+        const int jb = g * tau + j;
+        if (c1_bits[jb]) {
+          a_lt = _mm256_or_si256(a_lt, _mm256_andnot_si256(x, a_eq));
+          a_eq = _mm256_and_si256(a_eq, x);
+        } else {
+          a_gt = _mm256_or_si256(a_gt, _mm256_and_si256(a_eq, x));
+          a_eq = _mm256_andnot_si256(x, a_eq);
+        }
+        if (dual) {
+          if (c2_bits[jb]) {
+            b_lt = _mm256_or_si256(b_lt, _mm256_andnot_si256(x, b_eq));
+            b_eq = _mm256_and_si256(b_eq, x);
+          } else {
+            b_gt = _mm256_or_si256(b_gt, _mm256_and_si256(b_eq, x));
+            b_eq = _mm256_andnot_si256(x, b_eq);
+          }
+        }
+      }
+      if (counters != nullptr) {
+        counters->words_examined += static_cast<std::uint64_t>(width) *
+                                    static_cast<std::uint64_t>(num_active);
+      }
+      const __m256i eq_any = dual ? _mm256_or_si256(a_eq, b_eq) : a_eq;
+      if (_mm256_testz_si256(eq_any, eq_any) && g + 1 < num_groups) {
+        if (counters != nullptr) {
+          counters->segments_early_stopped +=
+              static_cast<std::uint64_t>(num_active);
+        }
+        break;
+      }
+    }
+    __m256i r = VbpResult256(op, a_eq, a_lt, a_gt, b_eq, b_lt);
+    if (prior != nullptr) r = _mm256_and_si256(r, pr);
+    StoreU(out + i, r);
+  }
+  if (i < n) {
+    const Word* tail_bases[kWordBits];
+    for (int g = 0; g < num_groups; ++g) {
+      tail_bases[g] = bases[g] + i * static_cast<std::size_t>(widths[g]);
+    }
+    VbpScanKernel(tail_bases, widths, num_groups, tau, op, c1_bits, c2_bits,
+                  n - i, prior != nullptr ? prior + i : nullptr, out + i,
+                  counters);
+  }
+}
+
+ICP_AVX2 void HbpScanAvx2(const Word* const* bases, int num_groups, int s,
+                          int op, const Word* c1_packed,
+                          const Word* c2_packed, Word md, std::size_t n,
+                          const Word* prior, Word* out,
+                          ScanCounters* counters) {
+  const bool dual = op == kOpBetween;
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  const __m256i mdv = _mm256_set1_epi64x(static_cast<long long>(md));
+  const __m256i idx = _mm256_setr_epi64x(0, static_cast<long long>(s),
+                                         static_cast<long long>(2 * s),
+                                         static_cast<long long>(3 * s));
+  __m256i a_eq[kWordBits];
+  __m256i a_lt[kWordBits];
+  __m256i a_gt[kWordBits];
+  __m256i b_eq[kWordBits];
+  __m256i b_lt[kWordBits];
+  __m256i b_gt[kWordBits];
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i active = ones;
+    __m256i pr = ones;
+    int num_active = 4;
+    if (prior != nullptr) {
+      pr = LoadU(prior + i);
+      active = _mm256_xor_si256(_mm256_cmpeq_epi64(pr, zero), ones);
+      if (_mm256_testz_si256(active, active)) {
+        StoreU(out + i, zero);
+        continue;
+      }
+      num_active = __builtin_popcount(static_cast<unsigned>(
+          _mm256_movemask_pd(_mm256_castsi256_pd(active))));
+    }
+    if (counters != nullptr) {
+      counters->segments_processed +=
+          static_cast<std::uint64_t>(num_active);
+    }
+    const __m256i eq0 = _mm256_and_si256(active, mdv);
+    for (int t = 0; t < s; ++t) {
+      a_eq[t] = eq0;
+      a_lt[t] = zero;
+      a_gt[t] = zero;
+      if (dual) {
+        b_eq[t] = eq0;
+        b_lt[t] = zero;
+        b_gt[t] = zero;
+      }
+    }
+    for (int g = 0; g < num_groups; ++g) {
+      const Word* base = bases[g] + i * static_cast<std::size_t>(s);
+      const __m256i c1 =
+          _mm256_set1_epi64x(static_cast<long long>(c1_packed[g]));
+      const __m256i c2 =
+          _mm256_set1_epi64x(static_cast<long long>(c2_packed[g]));
+      __m256i any_eq = zero;
+      for (int t = 0; t < s; ++t) {
+        const __m256i x = _mm256_mask_i64gather_epi64(
+            zero, reinterpret_cast<const long long*>(base + t), idx, active,
+            8);
+        const __m256i ge1 = FieldGe256(x, c1, mdv);
+        const __m256i le1 = FieldGe256(c1, x, mdv);
+        a_lt[t] = _mm256_or_si256(
+            a_lt[t], _mm256_and_si256(a_eq[t], _mm256_xor_si256(ge1, mdv)));
+        a_gt[t] = _mm256_or_si256(
+            a_gt[t], _mm256_and_si256(a_eq[t], _mm256_xor_si256(le1, mdv)));
+        a_eq[t] = _mm256_and_si256(a_eq[t], _mm256_and_si256(ge1, le1));
+        any_eq = _mm256_or_si256(any_eq, a_eq[t]);
+        if (dual) {
+          const __m256i ge2 = FieldGe256(x, c2, mdv);
+          const __m256i le2 = FieldGe256(c2, x, mdv);
+          b_lt[t] = _mm256_or_si256(
+              b_lt[t],
+              _mm256_and_si256(b_eq[t], _mm256_xor_si256(ge2, mdv)));
+          b_gt[t] = _mm256_or_si256(
+              b_gt[t],
+              _mm256_and_si256(b_eq[t], _mm256_xor_si256(le2, mdv)));
+          b_eq[t] = _mm256_and_si256(b_eq[t], _mm256_and_si256(ge2, le2));
+          any_eq = _mm256_or_si256(any_eq, b_eq[t]);
+        }
+      }
+      if (counters != nullptr) {
+        counters->words_examined += static_cast<std::uint64_t>(s) *
+                                    static_cast<std::uint64_t>(num_active);
+      }
+      if (_mm256_testz_si256(any_eq, any_eq) && g + 1 < num_groups) {
+        if (counters != nullptr) {
+          counters->segments_early_stopped +=
+              static_cast<std::uint64_t>(num_active);
+        }
+        break;
+      }
+    }
+    __m256i filter = zero;
+    for (int t = 0; t < s; ++t) {
+      const __m256i r = HbpResult256(op, mdv, a_eq[t], a_lt[t], a_gt[t],
+                                     dual ? b_eq[t] : zero,
+                                     dual ? b_lt[t] : zero);
+      filter = _mm256_or_si256(filter, _mm256_srli_epi64(r, t));
+    }
+    if (prior != nullptr) filter = _mm256_and_si256(filter, pr);
+    StoreU(out + i, filter);
+  }
+  if (i < n) {
+    const Word* tail_bases[kWordBits];
+    for (int g = 0; g < num_groups; ++g) {
+      tail_bases[g] = bases[g] + i * static_cast<std::size_t>(s);
+    }
+    HbpScanKernel(tail_bases, num_groups, s, op, c1_packed, c2_packed, md,
+                  n - i, prior != nullptr ? prior + i : nullptr, out + i,
+                  counters);
+  }
+}
+
+#undef ICP_AVX2
+#endif  // ICP_POSPOPCNT_HAVE_AVX2
+
+#if defined(ICP_POSPOPCNT_HAVE_AVX512)
+namespace {
+
+#define ICP_AVX512                 \
+  __attribute__((target(          \
+      "avx512f,avx512bw,avx512dq,avx512vl,avx512vpopcntdq")))
+
+ICP_AVX512 inline __m512i LoadU512(const Word* p) {
+  return _mm512_loadu_si512(static_cast<const void*>(p));
+}
+
+ICP_AVX512 inline void StoreU512(Word* p, __m512i v) {
+  _mm512_storeu_si512(static_cast<void*>(p), v);
+}
+
+ICP_AVX512 inline __m512i FieldGe512(__m512i x, __m512i c, __m512i md) {
+  return _mm512_and_si512(_mm512_sub_epi64(_mm512_or_si512(x, md), c), md);
+}
+
+ICP_AVX512 inline __m512i VbpResult512(int op, __m512i a_eq, __m512i a_lt,
+                                       __m512i a_gt, __m512i b_eq,
+                                       __m512i b_lt) {
+  switch (op) {
+    case kOpEq:
+      return a_eq;
+    case kOpNe:
+      return _mm512_xor_si512(a_eq, _mm512_set1_epi64(-1));
+    case kOpLt:
+      return a_lt;
+    case kOpLe:
+      return _mm512_or_si512(a_lt, a_eq);
+    case kOpGt:
+      return a_gt;
+    case kOpGe:
+      return _mm512_or_si512(a_gt, a_eq);
+    case kOpBetween:
+      return _mm512_and_si512(_mm512_or_si512(a_gt, a_eq),
+                              _mm512_or_si512(b_lt, b_eq));
+  }
+  return _mm512_setzero_si512();
+}
+
+ICP_AVX512 inline __m512i HbpResult512(int op, __m512i md, __m512i a_eq,
+                                       __m512i a_lt, __m512i a_gt,
+                                       __m512i b_eq, __m512i b_lt) {
+  switch (op) {
+    case kOpEq:
+      return a_eq;
+    case kOpNe:
+      return _mm512_xor_si512(md, a_eq);
+    case kOpLt:
+      return a_lt;
+    case kOpLe:
+      return _mm512_or_si512(a_lt, a_eq);
+    case kOpGt:
+      return a_gt;
+    case kOpGe:
+      return _mm512_or_si512(a_gt, a_eq);
+    case kOpBetween:
+      return _mm512_and_si512(_mm512_or_si512(a_gt, a_eq),
+                              _mm512_or_si512(b_lt, b_eq));
+  }
+  return _mm512_setzero_si512();
+}
+
+}  // namespace
+
+ICP_AVX512 void VbpScanAvx512(const Word* const* bases, const int* widths,
+                              int num_groups, int tau, int op,
+                              const bool* c1_bits, const bool* c2_bits,
+                              std::size_t n, const Word* prior, Word* out,
+                              ScanCounters* counters) {
+  const bool dual = op == kOpBetween;
+  const __m512i zero = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __mmask8 active = 0xff;
+    __m512i pr = _mm512_set1_epi64(-1);
+    if (prior != nullptr) {
+      pr = LoadU512(prior + i);
+      active = _mm512_test_epi64_mask(pr, pr);
+      if (active == 0) {
+        StoreU512(out + i, zero);
+        continue;
+      }
+    }
+    const int num_active = __builtin_popcount(active);
+    if (counters != nullptr) {
+      counters->segments_processed +=
+          static_cast<std::uint64_t>(num_active);
+    }
+    __m512i a_eq = _mm512_movm_epi64(active);
+    __m512i a_lt = zero;
+    __m512i a_gt = zero;
+    __m512i b_eq = dual ? a_eq : zero;
+    __m512i b_lt = zero;
+    __m512i b_gt = zero;
+    for (int g = 0; g < num_groups; ++g) {
+      const int width = widths[g];
+      const Word* base = bases[g] + i * static_cast<std::size_t>(width);
+      const __m512i idx = _mm512_setr_epi64(
+          0, static_cast<long long>(width),
+          static_cast<long long>(2 * width),
+          static_cast<long long>(3 * width),
+          static_cast<long long>(4 * width),
+          static_cast<long long>(5 * width),
+          static_cast<long long>(6 * width),
+          static_cast<long long>(7 * width));
+      for (int j = 0; j < width; ++j) {
+        const __m512i x = _mm512_mask_i64gather_epi64(
+            zero, active, idx, static_cast<const void*>(base + j), 8);
+        const int jb = g * tau + j;
+        if (c1_bits[jb]) {
+          a_lt = _mm512_or_si512(a_lt, _mm512_andnot_si512(x, a_eq));
+          a_eq = _mm512_and_si512(a_eq, x);
+        } else {
+          a_gt = _mm512_or_si512(a_gt, _mm512_and_si512(a_eq, x));
+          a_eq = _mm512_andnot_si512(x, a_eq);
+        }
+        if (dual) {
+          if (c2_bits[jb]) {
+            b_lt = _mm512_or_si512(b_lt, _mm512_andnot_si512(x, b_eq));
+            b_eq = _mm512_and_si512(b_eq, x);
+          } else {
+            b_gt = _mm512_or_si512(b_gt, _mm512_and_si512(b_eq, x));
+            b_eq = _mm512_andnot_si512(x, b_eq);
+          }
+        }
+      }
+      if (counters != nullptr) {
+        counters->words_examined += static_cast<std::uint64_t>(width) *
+                                    static_cast<std::uint64_t>(num_active);
+      }
+      const __m512i eq_any = dual ? _mm512_or_si512(a_eq, b_eq) : a_eq;
+      if (_mm512_test_epi64_mask(eq_any, eq_any) == 0 &&
+          g + 1 < num_groups) {
+        if (counters != nullptr) {
+          counters->segments_early_stopped +=
+              static_cast<std::uint64_t>(num_active);
+        }
+        break;
+      }
+    }
+    __m512i r = VbpResult512(op, a_eq, a_lt, a_gt, b_eq, b_lt);
+    if (prior != nullptr) r = _mm512_and_si512(r, pr);
+    StoreU512(out + i, r);
+  }
+  if (i < n) {
+    const Word* tail_bases[kWordBits];
+    for (int g = 0; g < num_groups; ++g) {
+      tail_bases[g] = bases[g] + i * static_cast<std::size_t>(widths[g]);
+    }
+    VbpScanKernel(tail_bases, widths, num_groups, tau, op, c1_bits, c2_bits,
+                  n - i, prior != nullptr ? prior + i : nullptr, out + i,
+                  counters);
+  }
+}
+
+ICP_AVX512 void HbpScanAvx512(const Word* const* bases, int num_groups,
+                              int s, int op, const Word* c1_packed,
+                              const Word* c2_packed, Word md, std::size_t n,
+                              const Word* prior, Word* out,
+                              ScanCounters* counters) {
+  const bool dual = op == kOpBetween;
+  const __m512i zero = _mm512_setzero_si512();
+  const __m512i mdv = _mm512_set1_epi64(static_cast<long long>(md));
+  const __m512i idx = _mm512_setr_epi64(
+      0, static_cast<long long>(s), static_cast<long long>(2 * s),
+      static_cast<long long>(3 * s), static_cast<long long>(4 * s),
+      static_cast<long long>(5 * s), static_cast<long long>(6 * s),
+      static_cast<long long>(7 * s));
+  __m512i a_eq[kWordBits];
+  __m512i a_lt[kWordBits];
+  __m512i a_gt[kWordBits];
+  __m512i b_eq[kWordBits];
+  __m512i b_lt[kWordBits];
+  __m512i b_gt[kWordBits];
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __mmask8 active = 0xff;
+    __m512i pr = _mm512_set1_epi64(-1);
+    if (prior != nullptr) {
+      pr = LoadU512(prior + i);
+      active = _mm512_test_epi64_mask(pr, pr);
+      if (active == 0) {
+        StoreU512(out + i, zero);
+        continue;
+      }
+    }
+    const int num_active = __builtin_popcount(active);
+    if (counters != nullptr) {
+      counters->segments_processed +=
+          static_cast<std::uint64_t>(num_active);
+    }
+    const __m512i eq0 = _mm512_maskz_mov_epi64(active, mdv);
+    for (int t = 0; t < s; ++t) {
+      a_eq[t] = eq0;
+      a_lt[t] = zero;
+      a_gt[t] = zero;
+      if (dual) {
+        b_eq[t] = eq0;
+        b_lt[t] = zero;
+        b_gt[t] = zero;
+      }
+    }
+    for (int g = 0; g < num_groups; ++g) {
+      const Word* base = bases[g] + i * static_cast<std::size_t>(s);
+      const __m512i c1 =
+          _mm512_set1_epi64(static_cast<long long>(c1_packed[g]));
+      const __m512i c2 =
+          _mm512_set1_epi64(static_cast<long long>(c2_packed[g]));
+      __m512i any_eq = zero;
+      for (int t = 0; t < s; ++t) {
+        const __m512i x = _mm512_mask_i64gather_epi64(
+            zero, active, idx, static_cast<const void*>(base + t), 8);
+        const __m512i ge1 = FieldGe512(x, c1, mdv);
+        const __m512i le1 = FieldGe512(c1, x, mdv);
+        a_lt[t] = _mm512_or_si512(
+            a_lt[t], _mm512_and_si512(a_eq[t], _mm512_xor_si512(ge1, mdv)));
+        a_gt[t] = _mm512_or_si512(
+            a_gt[t], _mm512_and_si512(a_eq[t], _mm512_xor_si512(le1, mdv)));
+        a_eq[t] = _mm512_and_si512(a_eq[t], _mm512_and_si512(ge1, le1));
+        any_eq = _mm512_or_si512(any_eq, a_eq[t]);
+        if (dual) {
+          const __m512i ge2 = FieldGe512(x, c2, mdv);
+          const __m512i le2 = FieldGe512(c2, x, mdv);
+          b_lt[t] = _mm512_or_si512(
+              b_lt[t],
+              _mm512_and_si512(b_eq[t], _mm512_xor_si512(ge2, mdv)));
+          b_gt[t] = _mm512_or_si512(
+              b_gt[t],
+              _mm512_and_si512(b_eq[t], _mm512_xor_si512(le2, mdv)));
+          b_eq[t] = _mm512_and_si512(b_eq[t], _mm512_and_si512(ge2, le2));
+          any_eq = _mm512_or_si512(any_eq, b_eq[t]);
+        }
+      }
+      if (counters != nullptr) {
+        counters->words_examined += static_cast<std::uint64_t>(s) *
+                                    static_cast<std::uint64_t>(num_active);
+      }
+      if (_mm512_test_epi64_mask(any_eq, any_eq) == 0 &&
+          g + 1 < num_groups) {
+        if (counters != nullptr) {
+          counters->segments_early_stopped +=
+              static_cast<std::uint64_t>(num_active);
+        }
+        break;
+      }
+    }
+    __m512i filter = zero;
+    for (int t = 0; t < s; ++t) {
+      const __m512i r = HbpResult512(op, mdv, a_eq[t], a_lt[t], a_gt[t],
+                                     dual ? b_eq[t] : zero,
+                                     dual ? b_lt[t] : zero);
+      filter = _mm512_or_si512(filter, _mm512_srli_epi64(r, t));
+    }
+    if (prior != nullptr) filter = _mm512_and_si512(filter, pr);
+    StoreU512(out + i, filter);
+  }
+  if (i < n) {
+    const Word* tail_bases[kWordBits];
+    for (int g = 0; g < num_groups; ++g) {
+      tail_bases[g] = bases[g] + i * static_cast<std::size_t>(s);
+    }
+    HbpScanKernel(tail_bases, num_groups, s, op, c1_packed, c2_packed, md,
+                  n - i, prior != nullptr ? prior + i : nullptr, out + i,
+                  counters);
+  }
+}
+
+#undef ICP_AVX512
+#endif  // ICP_POSPOPCNT_HAVE_AVX512
+
+}  // namespace icp::kern

@@ -344,42 +344,131 @@ ICP_AVX512 inline __m512i LoadU256Zext(const Word* p) {
 
 }  // namespace
 
+namespace {
+
+ICP_AVX512 inline __m512i Broadcast256(const Word* p) {
+  return _mm512_broadcast_i64x4(
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p)));
+}
+
+// One harvesting pass over all 2-quad blocks for block-vector indices
+// [m0, m0+kVecs) of VbpBitSumsQuadsAvx512's decomposition. `p` points at
+// vector m0 of block 0, `f` at the filter words those vectors' lanes need
+// (block 0); they advance by `block` / 8 words per block. kVecs is a
+// compile-time count so acc[] stays in registers (width is a runtime
+// value — indexing a width-sized accumulator array from the block loop
+// would spill it to the stack) and the kVecs data loads per block hit
+// consecutive cache lines. kIdentity selects the filter shape: the
+// straddling vector (odd width, alone in its pass) reads all eight
+// filter words verbatim; every other vector has both halves inside one
+// quad, so the whole chunk shares one vbroadcasti64x4 of that quad's
+// four words — a pure load-port uop, leaving vpopcntq as the loop's only
+// port-5 work.
+template <int kVecs, bool kIdentity>
+ICP_AVX512 inline void QuadHarvestPass(const Word* p, const Word* f,
+                                       std::size_t num_blocks,
+                                       std::size_t block, __m512i* out) {
+  __m512i acc[kVecs];
+  for (int v = 0; v < kVecs; ++v) acc[v] = _mm512_setzero_si512();
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const Word* pb = p + b * block;
+    const __m512i fb =
+        kIdentity ? LoadU512(f + b * 8) : Broadcast256(f + b * 8);
+    for (int v = 0; v < kVecs; ++v) {
+      acc[v] = _mm512_add_epi64(
+          acc[v],
+          _mm512_popcnt_epi64(_mm512_and_si512(LoadU512(pb + 8 * v), fb)));
+    }
+  }
+  for (int v = 0; v < kVecs; ++v) out[v] = acc[v];
+}
+
+// Runs QuadHarvestPass over vector indices [m0, m_end) in chunks of up to
+// four, harvesting each vector's lanes into the two plane sums they
+// represent: lanes 0-3 are plane (2m) mod width, lanes 4-7 plane (2m+1)
+// mod width.
+ICP_AVX512 inline void HarvestRegion(const Word* data, const Word* f,
+                                     int m0, int m_end,
+                                     std::size_t num_blocks,
+                                     std::size_t block, int width,
+                                     std::uint64_t* sums) {
+  for (int m = m0; m < m_end;) {
+    __m512i acc[4];
+    const int chunk = m_end - m >= 4 ? 4 : m_end - m;
+    switch (chunk) {
+      case 4:
+        QuadHarvestPass<4, false>(data + 8 * m, f, num_blocks, block, acc);
+        break;
+      case 3:
+        QuadHarvestPass<3, false>(data + 8 * m, f, num_blocks, block, acc);
+        break;
+      case 2:
+        QuadHarvestPass<2, false>(data + 8 * m, f, num_blocks, block, acc);
+        break;
+      default:
+        QuadHarvestPass<1, false>(data + 8 * m, f, num_blocks, block, acc);
+        break;
+    }
+    for (int v = 0; v < chunk; ++v) {
+      alignas(64) Word lanes[8];
+      _mm512_store_si512(static_cast<void*>(lanes), acc[v]);
+      const int plane_lo = (2 * (m + v)) % width;
+      const int plane_hi = (2 * (m + v) + 1) % width;
+      sums[plane_lo] += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+      sums[plane_hi] += lanes[4] + lanes[5] + lanes[6] + lanes[7];
+    }
+    m += chunk;
+  }
+}
+
+}  // namespace
+
 ICP_AVX512 void VbpBitSumsQuadsAvx512(const Word* data, const Word* filter,
                                       std::size_t num_quads, int width,
                                       std::uint64_t* sums) {
-  // Per-plane 8-lane accumulators; two quads per iteration (the plane-j
-  // words of quads q and q+1 sit `stride` apart, gathered with two 256-bit
-  // loads; the eight filter words are contiguous). Flushed once at the end.
-  __m512i acc[kWordBits];
-  for (int j = 0; j < width; ++j) acc[j] = _mm512_setzero_si512();
+  // Harvesting positional popcount (after Clausecker–Lemire–Schintke): a
+  // 2-quad block of the quad-interleaved layout is width*8 CONTIGUOUS
+  // words — exactly `width` full 512-bit loads, no strided half-register
+  // gathering. Lane l of block vector m holds word w = 8m+l, which
+  // belongs to quad w/(4*width) of the pair and plane (w%(4*width))/4;
+  // both are static in (m, width) because each aligned 4-lane half of a
+  // vector sits inside one 4-word plane run. The kernel therefore sweeps
+  // the blocks in passes over chunks of up to four vector indices
+  // (HarvestRegion / QuadHarvestPass above), keeping each vector's
+  // popcount accumulator in a register for the whole sweep and re-reading
+  // the small filter array once per pass as broadcast loads. Vectors
+  // before the quad boundary broadcast the first quad's four filter
+  // words, vectors after it the second quad's, and the one straddling
+  // vector (odd width) gets a pass of its own that reads the eight words
+  // verbatim.
+  const int half = width / 2;  // vectors fully inside the first quad
+  const bool straddle = (width & 1) != 0;
   const std::size_t stride = static_cast<std::size_t>(width) * 4;
-  std::size_t q = 0;
-  for (; q + 2 <= num_quads; q += 2) {
-    const Word* base = data + q * stride;
-    const __m512i f = LoadU512(filter + q * 4);
-    for (int j = 0; j < width; ++j) {
-      const Word* p = base + j * 4;
-      const __m512i w = _mm512_inserti64x4(
-          _mm512_castsi256_si512(
-              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))),
-          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + stride)),
-          1);
-      acc[j] = _mm512_add_epi64(acc[j],
-                                _mm512_popcnt_epi64(_mm512_and_si512(w, f)));
-    }
+  const std::size_t block = stride * 2;
+  const std::size_t num_blocks = num_quads / 2;
+  HarvestRegion(data, filter, 0, half, num_blocks, block, width, sums);
+  if (straddle) {
+    __m512i acc[1];
+    QuadHarvestPass<1, true>(data + 8 * half, filter, num_blocks, block,
+                             acc);
+    alignas(64) Word lanes[8];
+    _mm512_store_si512(static_cast<void*>(lanes), acc[0]);
+    sums[width - 1] += lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    sums[0] += lanes[4] + lanes[5] + lanes[6] + lanes[7];
   }
+  HarvestRegion(data, filter + 4, half + (straddle ? 1 : 0), width,
+                num_blocks, block, width, sums);
+  const std::size_t q = num_blocks * 2;
   if (q < num_quads) {
-    // Odd tail quad: zero-extended 256-bit loads (the upper popcounts are 0).
+    // Odd tail quad: zero-extended 256-bit loads (the upper popcounts
+    // are 0), accumulated straight into sums.
     const Word* base = data + q * stride;
     const __m512i f = LoadU256Zext(filter + q * 4);
     for (int j = 0; j < width; ++j) {
-      const __m512i w = LoadU256Zext(base + j * 4);
-      acc[j] = _mm512_add_epi64(acc[j],
-                                _mm512_popcnt_epi64(_mm512_and_si512(w, f)));
+      const __m512i w = _mm512_and_si512(LoadU256Zext(base + j * 4), f);
+      sums[j] += static_cast<std::uint64_t>(
+          _mm512_reduce_add_epi64(_mm512_popcnt_epi64(w)));
     }
-  }
-  for (int j = 0; j < width; ++j) {
-    sums[j] += static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc[j]));
   }
 }
 

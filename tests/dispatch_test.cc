@@ -393,11 +393,17 @@ TEST(DispatchTest, HbpExtremeFoldKernelsAgreeAcrossTiers) {
   }
 }
 
-// The scan slots are shared across tiers today (branch-heavy compare
-// cascades don't vectorize profitably), but the registry contract — every
-// tier's slot computes the same function — is pinned here anyway so a
-// future vectorized scanner can't silently diverge. The prior-skip and
-// counter semantics are pinned against the scalar slot explicitly.
+// Every tier's scan slot must compute the same output words bit-for-bit
+// (pinned against the scalar slot), but counters are only required to be
+// internally consistent per tier: the avx2/avx512 scanners process blocks
+// of 4/8 segments and early-stop at block granularity, so their
+// words_examined / segments_early_stopped legitimately differ from the
+// scalar cascade's per-segment accounting. The invariants pinned here are
+// the ones docs and the accounting test rely on:
+//   segments_processed == n - (prior-skipped segments)
+//   segments_early_stopped <= segments_processed
+//   words_examined in [processed * min_group_words,
+//                      processed * total_words_per_segment]
 TEST(DispatchTest, VbpScanKernelsAgreeAcrossTiers) {
   Random rng(108);
   const std::vector<kern::Tier> tiers = CoveredTiers();
@@ -448,13 +454,23 @@ TEST(DispatchTest, VbpScanKernelsAgreeAcrossTiers) {
                                       " prior=" + (with_prior ? "1" : "0") +
                                       " n=" + std::to_string(n);
           EXPECT_EQ(got, want) << context;
-          EXPECT_EQ(counters.words_examined, want_counters.words_examined)
+          std::uint64_t skipped = 0;
+          if (with_prior) {
+            for (std::size_t i = 0; i < n; ++i) {
+              if (prior[i] == 0) ++skipped;
+            }
+          }
+          const std::uint64_t total_width = 5 + 5 + 3;
+          EXPECT_EQ(counters.segments_processed, n - skipped) << context;
+          EXPECT_LE(counters.segments_early_stopped,
+                    counters.segments_processed)
               << context;
-          EXPECT_EQ(counters.segments_processed,
-                    want_counters.segments_processed)
+          EXPECT_GE(counters.words_examined,
+                    counters.segments_processed *
+                        static_cast<std::uint64_t>(widths[0]))
               << context;
-          EXPECT_EQ(counters.segments_early_stopped,
-                    want_counters.segments_early_stopped)
+          EXPECT_LE(counters.words_examined,
+                    counters.segments_processed * total_width)
               << context;
         }
       }
@@ -510,13 +526,23 @@ TEST(DispatchTest, HbpScanKernelsAgreeAcrossTiers) {
                                         (with_prior ? "1" : "0") +
                                         " n=" + std::to_string(n);
             EXPECT_EQ(got, want) << context;
-            EXPECT_EQ(counters.words_examined, want_counters.words_examined)
+            std::uint64_t skipped = 0;
+            if (with_prior) {
+              for (std::size_t i = 0; i < n; ++i) {
+                if (prior[i] == 0) ++skipped;
+              }
+            }
+            EXPECT_EQ(counters.segments_processed, n - skipped) << context;
+            EXPECT_LE(counters.segments_early_stopped,
+                      counters.segments_processed)
                 << context;
-            EXPECT_EQ(counters.segments_processed,
-                      want_counters.segments_processed)
+            EXPECT_GE(counters.words_examined,
+                      counters.segments_processed *
+                          static_cast<std::uint64_t>(s))
                 << context;
-            EXPECT_EQ(counters.segments_early_stopped,
-                      want_counters.segments_early_stopped)
+            EXPECT_LE(counters.words_examined,
+                      counters.segments_processed *
+                          static_cast<std::uint64_t>(num_groups * s))
                 << context;
           }
         }

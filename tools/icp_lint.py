@@ -50,6 +50,7 @@ from dataclasses import dataclass
 SANCTIONED_SIMD_TUS = frozenset(
     {
         "src/simd/agg_kernels.cc",
+        "src/simd/scan_kernels.cc",
         "src/simd/vbp_pospopcnt.cc",
         "src/simd/word256.h",
         "src/simd/dispatch.cc",
