@@ -258,13 +258,16 @@ StatusOr<Engine::TriState> Engine::ScanLeaf(const Table& table,
       case Layout::kNaive:
         // The scalar baseline scanners are deliberately uninstrumented
         // (they are the thing the paper measures against, not the engine's
-        // hot path); their leaves report zero scan work.
-        out.pass =
-            NaiveScanner::Scan(column.naive(), pred.op, pred.c1, pred.c2);
+        // hot path); their leaves report zero scan work. They still take
+        // the cancel context: before PR 9 a naive/padded leaf ran its
+        // whole column uncancellable, so a cancelled query's latency was
+        // bounded by the column, not by one cancel batch.
+        out.pass = NaiveScanner::Scan(column.naive(), pred.op, pred.c1,
+                                      pred.c2, kWordBits, cancel);
         break;
       case Layout::kPadded:
-        out.pass =
-            PaddedScanner::Scan(column.padded(), pred.op, pred.c1, pred.c2);
+        out.pass = PaddedScanner::Scan(column.padded(), pred.op, pred.c1,
+                                       pred.c2, cancel);
         break;
     }
   }

@@ -191,7 +191,12 @@ StatusOr<std::vector<std::pair<std::uint64_t, Accumulator>>> Execute(
         num_segments, cancel,
         [&](int slot, std::size_t begin, std::size_t end) {
           LocalState& st = locals[static_cast<std::size_t>(slot)];
+          // order: relaxed — first-injection latch; the region barrier
+          // orders it before the post-phase read.
           if (injected.load(std::memory_order_relaxed) != kNone) return;
+          // cancellation: exempt — the executor polls the context
+          // between subranges (per morsel / per cancel batch); one
+          // subrange is the cancellation granularity of this pass.
           for (std::size_t seg = begin; seg < end; ++seg) {
             Word w = fwords[seg];
             if (w == 0) continue;  // dead 64-row segment: no per-row work
@@ -212,6 +217,7 @@ StatusOr<std::vector<std::pair<std::uint64_t, Accumulator>>> Execute(
                 continue;
               }
               if (ICP_FAILPOINT("groupby/spill")) {
+                // order: relaxed — injection latch; read post-barrier.
                 injected.store(kSpillInjected, std::memory_order_relaxed);
                 return;
               }
@@ -229,6 +235,8 @@ StatusOr<std::vector<std::pair<std::uint64_t, Accumulator>>> Execute(
         });
   }
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
+  // order: relaxed — read after ParallelFor joined; the region barrier
+  // ordered every worker's store.
   if (injected.load(std::memory_order_relaxed) == kSpillInjected) {
     return Status::Internal("injected group-by spill failure");
   }
@@ -263,9 +271,11 @@ StatusOr<std::vector<std::pair<std::uint64_t, Accumulator>>> Execute(
         num_partitions, cancel,
         [&](int, std::size_t begin, std::size_t end) {
           for (std::size_t p = begin; p < end; ++p) {
+            // order: relaxed — first-injection latch; read post-barrier.
             if (injected.load(std::memory_order_relaxed) != kNone) return;
             if (cancel != nullptr && cancel->ShouldStop()) return;
             if (ICP_FAILPOINT("groupby/merge")) {
+              // order: relaxed — injection latch; read post-barrier.
               injected.store(kMergeInjected, std::memory_order_relaxed);
               return;
             }
@@ -304,6 +314,8 @@ StatusOr<std::vector<std::pair<std::uint64_t, Accumulator>>> Execute(
         });
   }
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
+  // order: relaxed — read after ParallelFor joined; the region barrier
+  // ordered every worker's store.
   if (injected.load(std::memory_order_relaxed) == kMergeInjected) {
     return Status::Internal("injected group-by merge failure");
   }

@@ -77,6 +77,8 @@ StatusOr<Table> LoadFromStream(std::istream& in,
                                 std::to_string(line_number) + " after " +
                                 std::to_string(kIoMaxAttempts) + " attempts");
       }
+      // obs: loop-ok — bounded retry loop (at most kIoMaxAttempts
+      // iterations), not a data-plane word loop.
       ICP_OBS_INCREMENT(IoRetries);
       SleepForRetry(attempt++);
     }

@@ -140,6 +140,8 @@ class Reader {
         std::memset(data, 0, size);
         return;
       }
+      // obs: loop-ok — bounded retry loop (at most kIoMaxAttempts
+      // iterations), not a data-plane word loop.
       ICP_OBS_INCREMENT(IoRetries);
       SleepForRetry(attempt++);
     }

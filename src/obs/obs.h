@@ -54,12 +54,16 @@ class Counter {
   Counter(const Counter&) = delete;
   Counter& operator=(const Counter&) = delete;
 
+  // order: relaxed — monotone statistics counter; readers tolerate any
+  // interleaving, no data is published through it.
   void Add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
   void Increment() { Add(1); }
   std::uint64_t Load() const {
+    // order: relaxed — snapshot read of a statistics counter.
     return value_.load(std::memory_order_relaxed);
   }
   /// Testing hook; production code never resets.
+  // order: relaxed — test-only reset; tests serialize around it.
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
   const char* name() const { return name_; }

@@ -56,17 +56,25 @@ Calibration& BaseCalibration() {
 
 void EnableTracing() {
   std::lock_guard<std::mutex> lock(TraceMu());
+  // order: relaxed — TraceMu serializes enable/disable; recorders that
+  // race the flip merely record or skip one span, both acceptable.
   if (!g_enabled.load(std::memory_order_relaxed)) {
     BaseCalibration() = SampleCalibration();
+    // order: relaxed — span buffers are only touched under TraceMu,
+    // which provides the publication ordering.
     g_enabled.store(true, std::memory_order_relaxed);
   }
 }
 
 void DisableTracing() {
+  // order: relaxed — racing recorders may record one last span, which
+  // the TraceMu-guarded drain still collects.
   g_enabled.store(false, std::memory_order_relaxed);
 }
 
 bool TracingEnabled() {
+  // order: relaxed — advisory fast-path probe; the span buffer itself
+  // is mutex-guarded.
   return g_enabled.load(std::memory_order_relaxed);
 }
 

@@ -23,7 +23,7 @@ ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -35,22 +35,24 @@ void ThreadPool::WorkerLoop(int index) {
   while (true) {
     const std::function<void(int)>* task = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        work_cv_.wait(lock);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       task = task_;
     }
     if (DropTask()) {
-      task_failed_.store(true);
+      // order: relaxed — the barrier (pending_ under mu_) orders this
+      // store before the caller's TakeTaskFailure read.
+      task_failed_.store(true, std::memory_order_relaxed);
     } else {
       ICP_OBS_TRACE_SPAN("pool.task", index);
       (*task)(index);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (--pending_ == 0) done_cv_.notify_one();
     }
   }
@@ -59,6 +61,9 @@ void ThreadPool::WorkerLoop(int index) {
 void ThreadPool::RunPerThread(const std::function<void(int)>& fn) {
   // Detect misuse (nested call from inside fn, or a concurrent region from
   // another thread) instead of deadlocking on done_cv_.
+  // order: acquire(pool-region-guard) — pairs with the release store
+  // below so a caller that wins the guard sees the prior region's pool
+  // state (task_ cleared, counters settled).
   if (in_region_.exchange(true, std::memory_order_acquire)) {
     ICP_CHECK(false && "ThreadPool::RunPerThread is not reentrant");
   }
@@ -68,32 +73,40 @@ void ThreadPool::RunPerThread(const std::function<void(int)>& fn) {
   ICP_OBS_ADD(PoolTasks, static_cast<std::uint64_t>(num_threads_));
   if (num_threads_ == 1) {
     if (DropTask()) {
-      task_failed_.store(true);
+      // order: relaxed — single-threaded region; the same thread reads
+      // the flag in TakeTaskFailure.
+      task_failed_.store(true, std::memory_order_relaxed);
     } else {
       ICP_OBS_TRACE_SPAN("pool.task", 0);
       fn(0);
     }
+    // order: release(pool-region-guard) — publishes this region's pool
+    // state to the next RunPerThread caller's acquire exchange.
     in_region_.store(false, std::memory_order_release);
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     task_ = &fn;
     pending_ = num_threads_ - 1;
     ++generation_;
   }
   work_cv_.notify_all();
   if (DropTask()) {
-    task_failed_.store(true);
+    // order: relaxed — the region barrier orders this store before the
+    // caller's TakeTaskFailure read.
+    task_failed_.store(true, std::memory_order_relaxed);
   } else {
     ICP_OBS_TRACE_SPAN("pool.task", 0);
     fn(0);
   }
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    MutexLock lock(mu_);
+    while (pending_ != 0) done_cv_.wait(lock);
     task_ = nullptr;
   }
+  // order: release(pool-region-guard) — publishes this region's pool
+  // state to the next RunPerThread caller's acquire exchange.
   in_region_.store(false, std::memory_order_release);
 }
 

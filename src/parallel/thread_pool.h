@@ -13,11 +13,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/check.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace icp {
 
@@ -52,21 +53,28 @@ class ThreadPool {
   /// failpoint. The region itself completes — workers that drop their task
   /// still join the barrier — so callers observe a consistent pool and turn
   /// the flag into a Status. Always false in builds without ICP_FAILPOINTS.
-  bool TakeTaskFailure() { return task_failed_.exchange(false); }
+  bool TakeTaskFailure() {
+    // order: relaxed — worker stores happen-before this read via the
+    // region barrier (pending_ handoff under mu_), so the flag needs no
+    // ordering of its own.
+    return task_failed_.exchange(false, std::memory_order_relaxed);
+  }
 
  private:
   void WorkerLoop(int index);
 
   const int num_threads_;
+  // not-guarded: written only by the constructor and joined by the
+  // destructor, both single-threaded phases of the pool's lifetime.
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* task_ = nullptr;
-  std::uint64_t generation_ = 0;
-  int pending_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any done_cv_;
+  const std::function<void(int)>* task_ ICP_GUARDED_BY(mu_) = nullptr;
+  std::uint64_t generation_ ICP_GUARDED_BY(mu_) = 0;
+  int pending_ ICP_GUARDED_BY(mu_) = 0;
+  bool shutdown_ ICP_GUARDED_BY(mu_) = false;
   std::atomic<bool> in_region_{false};
   std::atomic<bool> task_failed_{false};
 };

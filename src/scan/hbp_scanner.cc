@@ -69,6 +69,9 @@ void HbpScanner::ScanRange(const HbpColumn& column, CompareOp op,
 
   bool all = false;
   if (ScanIsDegenerate(k, op, c1, &c2, &all)) {
+    // cancellation: exempt — ScanRange covers one cancel batch; the
+    // caller (ForEachCancellableBatch / per-morsel driver) polls
+    // between batches.
     for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
       out->SetSegmentWord(seg, all ? out->ValidMask(seg) : 0);
     }
@@ -91,6 +94,9 @@ void HbpScanner::ScanRange(const HbpColumn& column, CompareOp op,
                        seg_end - seg_begin, /*prior=*/nullptr,
                        out->words() + seg_begin,
                        stats != nullptr ? &local : nullptr);
+  // cancellation: exempt — ScanRange covers one cancel batch; the
+  // caller (ForEachCancellableBatch / per-morsel driver) polls
+  // between batches.
   for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
     out->words()[seg] &= out->ValidMask(seg);
   }

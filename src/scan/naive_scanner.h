@@ -5,11 +5,13 @@
 #ifndef ICP_SCAN_NAIVE_SCANNER_H_
 #define ICP_SCAN_NAIVE_SCANNER_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "bitvector/filter_bit_vector.h"
 #include "layout/naive_column.h"
 #include "scan/predicate.h"
+#include "util/cancellation.h"
 
 namespace icp {
 
@@ -17,14 +19,25 @@ class NaiveScanner {
  public:
   /// Evaluates `column <op> c1` (or BETWEEN [c1, c2]); the result uses
   /// `values_per_segment` so it can be compared/combined with a bit-parallel
-  /// scan's output directly.
+  /// scan's output directly. With an active `cancel`, polls it per segment
+  /// batch and returns the partial result early (the engine discards it).
   static FilterBitVector Scan(const NaiveColumn& column, CompareOp op,
                               std::uint64_t c1, std::uint64_t c2 = 0,
-                              int values_per_segment = kWordBits) {
+                              int values_per_segment = kWordBits,
+                              const CancelContext* cancel = nullptr) {
     FilterBitVector out(column.num_values(), values_per_segment);
-    for (std::size_t i = 0; i < column.num_values(); ++i) {
-      if (EvalCompare(column.GetValue(i), op, c1, c2)) out.SetBit(i, true);
-    }
+    const std::size_t vps = static_cast<std::size_t>(values_per_segment);
+    ForEachCancellableBatch(
+        cancel, 0, out.num_segments(),
+        [&](std::size_t seg_begin, std::size_t seg_end) {
+          const std::size_t lo = seg_begin * vps;
+          const std::size_t hi = std::min(column.num_values(), seg_end * vps);
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (EvalCompare(column.GetValue(i), op, c1, c2)) {
+              out.SetBit(i, true);
+            }
+          }
+        });
     return out;
   }
 };

@@ -11,13 +11,17 @@
 #include "bitvector/filter_bit_vector.h"
 #include "layout/padded_column.h"
 #include "scan/predicate.h"
+#include "util/cancellation.h"
 
 namespace icp {
 
 class PaddedScanner {
  public:
+  /// With an active `cancel`, polls it per segment batch and returns the
+  /// partial result early (the engine discards it).
   static FilterBitVector Scan(const PaddedColumn& column, CompareOp op,
-                              std::uint64_t c1, std::uint64_t c2 = 0) {
+                              std::uint64_t c1, std::uint64_t c2 = 0,
+                              const CancelContext* cancel = nullptr) {
     FilterBitVector out(column.num_values(), kWordBits);
     bool all = false;
     if (ScanIsDegenerate(column.bit_width(), op, c1, &c2, &all)) {
@@ -26,16 +30,16 @@ class PaddedScanner {
     }
     switch (column.element_bits()) {
       case 8:
-        ScanTyped<std::uint8_t>(column, op, c1, c2, &out);
+        ScanTyped<std::uint8_t>(column, op, c1, c2, &out, cancel);
         break;
       case 16:
-        ScanTyped<std::uint16_t>(column, op, c1, c2, &out);
+        ScanTyped<std::uint16_t>(column, op, c1, c2, &out, cancel);
         break;
       case 32:
-        ScanTyped<std::uint32_t>(column, op, c1, c2, &out);
+        ScanTyped<std::uint32_t>(column, op, c1, c2, &out, cancel);
         break;
       default:
-        ScanTyped<std::uint64_t>(column, op, c1, c2, &out);
+        ScanTyped<std::uint64_t>(column, op, c1, c2, &out, cancel);
         break;
     }
     return out;
@@ -45,13 +49,20 @@ class PaddedScanner {
   template <typename T>
   static void ScanTyped(const PaddedColumn& column, CompareOp op,
                         std::uint64_t c1, std::uint64_t c2,
-                        FilterBitVector* out) {
+                        FilterBitVector* out, const CancelContext* cancel) {
     const T* data = column.As<T>();
     const std::size_t n = column.num_values();
     const T lo = static_cast<T>(c1);
     const T hi = static_cast<T>(c2);
     Word* words = out->words();
+    const bool cancellable = cancel != nullptr && cancel->active();
     for (std::size_t seg = 0; seg < out->num_segments(); ++seg) {
+      // Poll at cancel-batch boundaries (same granularity as
+      // ForEachCancellableBatch); the engine discards the partial result.
+      if (cancellable && seg % kCancelBatchSegments == 0 &&
+          cancel->ShouldStop()) {
+        return;
+      }
       const std::size_t begin = seg * kWordBits;
       const std::size_t end = begin + kWordBits < n ? begin + kWordBits : n;
       Word w = 0;

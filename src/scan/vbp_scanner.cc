@@ -85,6 +85,9 @@ void VbpScanner::ScanRange(const VbpColumn& column, CompareOp op,
 
   bool all = false;
   if (ScanIsDegenerate(k, op, c1, &c2, &all)) {
+    // cancellation: exempt — ScanRange covers one cancel batch; the
+    // caller (ForEachCancellableBatch / per-morsel driver) polls
+    // between batches.
     for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
       out->SetSegmentWord(seg, all ? out->ValidMask(seg) : 0);
     }
@@ -109,6 +112,9 @@ void VbpScanner::ScanRange(const VbpColumn& column, CompareOp op,
                        static_cast<int>(op), c1_bits.data(), c2_bits.data(),
                        seg_end - seg_begin, /*prior=*/nullptr, out_words,
                        stats != nullptr ? &local : nullptr);
+  // cancellation: exempt — ScanRange covers one cancel batch; the
+  // caller (ForEachCancellableBatch / per-morsel driver) polls
+  // between batches.
   for (std::size_t seg = seg_begin; seg < seg_end; ++seg) {
     out->words()[seg] &= out->ValidMask(seg);
   }

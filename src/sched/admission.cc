@@ -18,7 +18,7 @@ struct QueryGovernor::Waiter {
   std::optional<std::chrono::steady_clock::time_point> deadline;
   std::uint64_t seq = 0;
   bool granted = false;
-  std::condition_variable cv;
+  std::condition_variable_any cv;
 
   // Earliest deadline first; no-deadline waiters order FIFO after every
   // deadline-carrying waiter.
@@ -42,19 +42,19 @@ QueryGovernor::QueryGovernor(MorselScheduler& scheduler,
 }
 
 QueryGovernor::~QueryGovernor() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Sessions hold a governor pointer; destroying the governor under them
   // (or under queued waiters) is a lifetime bug, not load.
   ICP_CHECK(active_ == 0 && queue_.empty());
 }
 
 int QueryGovernor::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_;
 }
 
 int QueryGovernor::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(queue_.size());
 }
 
@@ -88,7 +88,7 @@ StatusOr<std::unique_ptr<QuerySession>> QueryGovernor::Admit(
     return Status::DeadlineExceeded("deadline expired before admission");
   }
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (active_ < options_.max_concurrent) {
     ++active_;
     ICP_OBS_INCREMENT(AdmitAdmitted);
@@ -114,12 +114,14 @@ StatusOr<std::unique_ptr<QuerySession>> QueryGovernor::Admit(
   while (!waiter.granted) {
     if (token.IsCancelRequested()) {
       queue_.remove(&waiter);
+      // obs: loop-ok — exit path; runs at most once per admission.
       ICP_OBS_INCREMENT(AdmitShed);
       return Status::Cancelled("query cancelled while queued");
     }
     const auto now = std::chrono::steady_clock::now();
     if (waiter.deadline.has_value() && now >= *waiter.deadline) {
       queue_.remove(&waiter);
+      // obs: loop-ok — exit path; runs at most once per admission.
       ICP_OBS_INCREMENT(AdmitShed);
       return Status::DeadlineExceeded("deadline expired while queued");
     }
@@ -138,7 +140,7 @@ StatusOr<std::unique_ptr<QuerySession>> QueryGovernor::Admit(
 }
 
 void QueryGovernor::Release() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!queue_.empty()) {
     // The slot transfers to the earliest-deadline waiter; active_ stays.
     Waiter* next = queue_.front();
@@ -160,11 +162,17 @@ QuerySession::~QuerySession() { governor_->Release(); }
 
 bool QuerySession::AccountScratch(std::size_t bytes) {
   const std::size_t cap = governor_->options_.max_scratch_bytes;
+  // order: relaxed — monotone accounting; each caller sees its own total
+  // via the returned value, no cross-thread publication rides on it.
   const std::size_t used =
       scratch_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
   if (cap != 0 && used > cap) {
     int expected = kNone;
+    // order: relaxed — first-error latch; the value is a plain enum and
+    // the engine reads it after the governed phase joined (the region
+    // barrier supplies the ordering).
     error_.compare_exchange_strong(expected, kScratch,
+                                   std::memory_order_relaxed,
                                    std::memory_order_relaxed);
     return false;
   }
@@ -177,12 +185,17 @@ void QuerySession::ParallelFor(
   governor_->scheduler_.RunRegion(parallelism_, total, cancel, fn, &stats_);
   if (stats_.dropped) {
     int expected = kNone;
+    // order: relaxed — first-error latch set after RunRegion joined; only
+    // this session's thread reads it (QuerySession is single-caller).
     error_.compare_exchange_strong(expected, kDropped,
+                                   std::memory_order_relaxed,
                                    std::memory_order_relaxed);
   }
 }
 
 Status QuerySession::Error() const {
+  // order: relaxed — read on the session's single calling thread after
+  // every governed phase joined; the latch value alone decides.
   switch (error_.load(std::memory_order_relaxed)) {
     case kScratch:
       return Status::ResourceExhausted(

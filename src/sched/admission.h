@@ -28,13 +28,14 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "parallel/executor.h"
 #include "sched/scheduler.h"
 #include "util/cancellation.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace icp::sched {
 
@@ -87,17 +88,17 @@ class QueryGovernor {
 
   /// Returns the parallelism granted at the current load (callers hold
   /// mu_): cap / active queries, never below 1.
-  int GrantParallelismLocked() const;
+  int GrantParallelismLocked() const ICP_REQUIRES(mu_);
   /// Session destruction: hand the slot to the next waiter or shrink
   /// active_.
   void Release();
 
   MorselScheduler& scheduler_;
   const AdmissionOptions options_;
-  mutable std::mutex mu_;
-  int active_ = 0;
-  std::list<Waiter*> queue_;
-  std::uint64_t next_seq_ = 0;
+  mutable Mutex mu_;
+  int active_ ICP_GUARDED_BY(mu_) = 0;
+  std::list<Waiter*> queue_ ICP_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ ICP_GUARDED_BY(mu_) = 0;
 };
 
 /// One admitted query's execution context: a ParallelExecutor that runs
@@ -131,6 +132,8 @@ class QuerySession final : public ParallelExecutor {
   int granted_parallelism() const { return parallelism_; }
   std::uint64_t queued_cycles() const { return queued_cycles_; }
   std::size_t scratch_bytes() const {
+    // order: relaxed — monotone accounting counter; readers only need an
+    // eventually-consistent total, never a synchronized snapshot.
     return scratch_bytes_.load(std::memory_order_relaxed);
   }
   const MorselStats& stats() const { return stats_; }

@@ -47,6 +47,9 @@ struct MorselScheduler::Region {
 // waiting either for completion or for a freed slot). The empty critical
 // section pairs with the caller's predicate check under done_mu.
 void MorselScheduler::FinishAndNotify(Region& r, std::uint64_t n) {
+  // order: acq_rel(region-remaining) — the release half publishes this
+  // morsel's fn writes to the caller's final acquire load; the acquire
+  // half chains prior participants' decrements.
   r.remaining.fetch_sub(n, std::memory_order_acq_rel);
   { std::lock_guard<std::mutex> lock(r.done_mu); }
   r.done_cv.notify_all();
@@ -70,14 +73,21 @@ MorselScheduler::~MorselScheduler() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+// cancellation: checks — polls the region's CancelContext before every
+// morsel it runs and drains the queue once the context fires.
 bool MorselScheduler::TryRunOneMorsel(Region& r) {
   // Claim a free slot; without one this participant cannot help (the
   // region is already running at its granted parallelism).
+  // order: acquire(free-slots) — pairs with the release fetch_or/store
+  // publishing the slot, so the claimer sees the region fully set up.
   std::uint64_t mask = r.free_slots.load(std::memory_order_acquire);
   int slot = 0;
   while (true) {
     if (mask == 0) return false;
     slot = std::countr_zero(mask);
+    // order: acq_rel(free-slots) — acquire on the claim synchronizes
+    // with the releasing side; release keeps the claim visible to the
+    // next CAS contender. Failure reloads with acquire for the retry.
     if (r.free_slots.compare_exchange_weak(
             mask, mask & ~(std::uint64_t{1} << slot),
             std::memory_order_acq_rel, std::memory_order_acquire)) {
@@ -111,10 +121,14 @@ bool MorselScheduler::TryRunOneMorsel(Region& r) {
     }
   }
   if (!got) {
+    // order: release(free-slots) — returns the untouched slot; pairs
+    // with the next claimer's acquire.
     r.free_slots.fetch_or(std::uint64_t{1} << slot,
                           std::memory_order_release);
     return false;
   }
+  // order: relaxed — fast emptiness probe only; the authoritative count
+  // is `remaining`, which carries the ordering.
   r.queued.fetch_sub(1, std::memory_order_relaxed);
 
   // Morsel-boundary cancellation: poll before running; once the context
@@ -124,14 +138,21 @@ bool MorselScheduler::TryRunOneMorsel(Region& r) {
     std::uint64_t cleared = 0;
     {
       std::lock_guard<std::mutex> lock(r.mu);
+      // cancellation: exempt — this loop IS the post-cancel drain; it
+      // discards queued morsels and must run to completion.
       for (std::deque<Morsel>& shard : r.shards) {
         cleared += shard.size();
         shard.clear();
       }
     }
+    // order: relaxed — emptiness probe; `remaining` (below, via
+    // FinishAndNotify) carries the ordering for completion.
     if (cleared > 0) r.queued.fetch_sub(cleared, std::memory_order_relaxed);
+    // order: relaxed — statistics; read after the region joined.
     r.cancelled.fetch_add(cleared + 1, std::memory_order_relaxed);
     ICP_OBS_ADD(SchedMorselsCancelled, cleared + 1);
+    // order: release(free-slots) — returns the slot after the drain;
+    // pairs with the next claimer's acquire.
     r.free_slots.fetch_or(std::uint64_t{1} << slot,
                           std::memory_order_release);
     FinishAndNotify(r, cleared + 1);
@@ -143,7 +164,10 @@ bool MorselScheduler::TryRunOneMorsel(Region& r) {
   // still completes; the drop surfaces as Status Internal via the
   // session, mirroring ThreadPool::TakeTaskFailure.
   if (ICP_FAILPOINT("sched/dequeue")) {
+    // order: relaxed — statistics; read after the region joined.
     r.drops.fetch_add(1, std::memory_order_relaxed);
+    // order: release(free-slots) — returns the slot; pairs with the
+    // next claimer's acquire.
     r.free_slots.fetch_or(std::uint64_t{1} << slot,
                           std::memory_order_release);
     FinishAndNotify(r, 1);
@@ -155,10 +179,13 @@ bool MorselScheduler::TryRunOneMorsel(Region& r) {
     (*r.fn)(slot, m.begin, m.end);
   }
   if (stolen) {
+    // order: relaxed — statistics; read after the region joined.
     r.steals.fetch_add(1, std::memory_order_relaxed);
     ICP_OBS_INCREMENT(SchedSteals);
   }
   ICP_OBS_INCREMENT(SchedMorselsCompleted);
+  // order: release(free-slots) — returns the slot after running fn;
+  // pairs with the next claimer's acquire.
   r.free_slots.fetch_or(std::uint64_t{1} << slot,
                         std::memory_order_release);
   FinishAndNotify(r, 1);
@@ -224,8 +251,13 @@ void MorselScheduler::RunRegion(
                  std::min(total, (j + 1) * kMorselSegments)});
     }
   }
+  // order: relaxed — initialization before publication; the free_slots
+  // release store below (and the regions_ mutex) publish these counts.
   region->queued.store(num_morsels, std::memory_order_relaxed);
+  // order: relaxed — see `queued` above; published by free_slots.
   region->remaining.store(num_morsels, std::memory_order_relaxed);
+  // order: release(free-slots) — publishes the fully built region
+  // (shards, counters, fn) to the first claimer's acquire.
   region->free_slots.store(
       p == kMaxRegionSlots ? ~std::uint64_t{0}
                            : (std::uint64_t{1} << p) - 1,
@@ -244,11 +276,18 @@ void MorselScheduler::RunRegion(
   while (true) {
     while (TryRunOneMorsel(*region)) {
     }
+    // order: acquire(region-remaining) — pairs with FinishAndNotify's
+    // acq_rel decrement so the caller sees every morsel's fn writes.
     if (region->remaining.load(std::memory_order_acquire) == 0) break;
     std::unique_lock<std::mutex> lock(region->done_mu);
     region->done_cv.wait_for(
         lock, std::chrono::milliseconds(1), [&region] {
+          // order: acquire(region-remaining) — same pairing as the
+          // break check above; the wake predicate must not run ahead
+          // of the finishing morsel's writes.
           return region->remaining.load(std::memory_order_acquire) == 0 ||
+                 // order: relaxed — wake heuristics only; a stale read
+                 // re-polls one wait_for tick later.
                  (region->queued.load(std::memory_order_relaxed) > 0 &&
                   region->free_slots.load(std::memory_order_relaxed) != 0);
         });
@@ -260,13 +299,17 @@ void MorselScheduler::RunRegion(
   }
 
   if (stats != nullptr) {
+    // order: relaxed — statistics reads after the acquire on
+    // `remaining` already ordered every participant's writes.
     const std::uint64_t cancelled =
         region->cancelled.load(std::memory_order_relaxed);
+    // order: relaxed — statistics read; see `cancelled` above.
     const std::uint64_t drops =
         region->drops.load(std::memory_order_relaxed);
     stats->dispatched += num_morsels;
     stats->completed += num_morsels - cancelled - drops;
     stats->cancelled += cancelled;
+    // order: relaxed — statistics read; see `cancelled` above.
     stats->steals += region->steals.load(std::memory_order_relaxed);
     stats->dropped = stats->dropped || drops > 0;
   }

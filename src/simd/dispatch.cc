@@ -197,6 +197,8 @@ Tier EffectiveTier(Tier tier) {
 }
 
 Tier ActiveTier() {
+  // order: relaxed — a self-contained int; callers only need the value,
+  // no table state is published through the override.
   const int forced = g_forced_tier.load(std::memory_order_relaxed);
   if (forced >= 0) return static_cast<Tier>(forced);
   return StartupTier();
@@ -204,6 +206,7 @@ Tier ActiveTier() {
 
 void ForceTier(std::optional<Tier> tier) {
   if (!tier.has_value()) {
+    // order: relaxed — clearing the override; see ActiveTier's load.
     g_forced_tier.store(-1, std::memory_order_relaxed);
     return;
   }
@@ -216,6 +219,8 @@ void ForceTier(std::optional<Tier> tier) {
                  "icp: ForceTier(%s) unsupported on this CPU; using %s\n",
                  TierName(*tier), TierName(clamped));
   }
+  // order: relaxed — the tier tables are immutable statics; only the
+  // selector index changes, so no ordering is needed.
   g_forced_tier.store(static_cast<int>(clamped), std::memory_order_relaxed);
 }
 

@@ -48,10 +48,15 @@ class CancellationToken {
   /// Requests cancellation; safe from any thread, idempotent, no-op on an
   /// inert token.
   void RequestCancel() const {
+    // order: relaxed — a monotone boolean flag; pollers act on the flag
+    // value alone, no other memory is published through it.
     if (flag_ != nullptr) flag_->store(true, std::memory_order_relaxed);
   }
 
+  // cancellation: checks — polls the shared cancel flag directly.
   bool IsCancelRequested() const {
+    // order: relaxed — see RequestCancel; a late observation only delays
+    // the stop by one poll interval, which the batch bound already allows.
     return flag_ != nullptr && flag_->load(std::memory_order_relaxed);
   }
 
@@ -82,9 +87,14 @@ class CancelContext {
 
   /// Polls the token and the clock; latches and returns true once either
   /// fires. Cheap after latching (two relaxed atomic ops).
+  // cancellation: checks — polls the token and the deadline clock.
   bool ShouldStop() const {
+    // order: relaxed — statistics counter; aggregated once per query into
+    // QueryStats after the region joined.
     checks_.fetch_add(1, std::memory_order_relaxed);
     ICP_OBS_INCREMENT(CancelChecks);
+    // order: relaxed — the latch is a monotone enum; any poller that
+    // misses this read latches the same reason itself one poll later.
     if (reason_.load(std::memory_order_relaxed) != kNone) return true;
     if (token_.IsCancelRequested()) {
       Latch(kCancelled);
@@ -101,11 +111,15 @@ class CancelContext {
   /// Cooperative polls made against this context so far (batch checks by
   /// drivers and workers); the engine copies this into QueryStats.
   std::uint64_t checks() const {
+    // order: relaxed — statistics read; exactness across threads is not
+    // required, only an eventually-complete tally.
     return checks_.load(std::memory_order_relaxed);
   }
 
   /// OK while running; kCancelled / kDeadlineExceeded once latched.
   Status ToStatus() const {
+    // order: relaxed — read by the engine after workers drained; the
+    // latched enum value alone decides the Status.
     switch (reason_.load(std::memory_order_relaxed)) {
       case kCancelled:
         return Status::Cancelled("query cancelled");
@@ -121,7 +135,10 @@ class CancelContext {
 
   void Latch(Reason reason) const {
     int expected = kNone;
+    // order: relaxed — first-reason-wins latch on a monotone enum; no
+    // data is published through it, so neither CAS order needs to sync.
     reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_relaxed,
                                     std::memory_order_relaxed);
   }
 
@@ -135,6 +152,7 @@ class CancelContext {
 /// kCancelBatchSegments, checking `cancel` between batches. With a null or
 /// inactive context the whole range runs as one batch. Returns false iff the
 /// loop stopped early (remaining batches were skipped).
+// cancellation: checks — polls the context between every batch it issues.
 template <typename Body>
 inline bool ForEachCancellableBatch(const CancelContext* cancel,
                                     std::size_t begin, std::size_t end,

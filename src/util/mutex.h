@@ -1,0 +1,57 @@
+// Annotated mutex wrapper for Clang thread-safety analysis (ICP014).
+//
+// std::mutex and std::lock_guard carry no thread-safety attributes, so
+// -Wthread-safety cannot reason about them. Mutex wraps std::mutex as an
+// ICP_CAPABILITY and MutexLock replaces std::lock_guard /
+// std::unique_lock as an ICP_SCOPED_CAPABILITY. Mutex satisfies
+// BasicLockable, so std::condition_variable_any waits on it directly.
+
+#ifndef ICP_UTIL_MUTEX_H_
+#define ICP_UTIL_MUTEX_H_
+
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace icp {
+
+/// An annotated std::mutex. Same cost: every method forwards directly.
+class ICP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ICP_ACQUIRE() { mu_.lock(); }
+  void unlock() ICP_RELEASE() { mu_.unlock(); }
+  bool try_lock() ICP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex with condition-variable support: Wait-style use
+/// goes through std::condition_variable_any, which takes any
+/// BasicLockable (MutexLock qualifies via lock()/unlock()).
+class ICP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ICP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ICP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// For std::condition_variable_any::wait(*this, ...): the cv unlocks
+  /// around the block and relocks before returning, which the analysis
+  /// cannot track — it sees the capability as held throughout, which is
+  /// exactly the invariant the waiting code relies on.
+  void lock() ICP_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+  void unlock() ICP_NO_THREAD_SAFETY_ANALYSIS { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace icp
+
+#endif  // ICP_UTIL_MUTEX_H_

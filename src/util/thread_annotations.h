@@ -1,0 +1,56 @@
+// Clang thread-safety analysis attribute macros (ICP014).
+//
+// On clang builds these expand to the `thread_safety` attributes so
+// -Wthread-safety (promoted to an error in CMakeLists.txt) can prove at
+// compile time that mutex-protected state is only touched under its
+// lock. On other compilers they expand to nothing. See
+// docs/concurrency.md for the annotation policy and
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for semantics.
+
+#ifndef ICP_UTIL_THREAD_ANNOTATIONS_H_
+#define ICP_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define ICP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ICP_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define ICP_CAPABILITY(x) ICP_THREAD_ANNOTATION(capability(x))
+
+/// Marks a RAII type whose lifetime holds a capability.
+#define ICP_SCOPED_CAPABILITY ICP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding `x`.
+#define ICP_GUARDED_BY(x) ICP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee readable/writable only while holding `x`.
+#define ICP_PT_GUARDED_BY(x) ICP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function callable only while holding the listed capabilities.
+#define ICP_REQUIRES(...) \
+  ICP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on return.
+#define ICP_ACQUIRE(...) \
+  ICP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define ICP_RELEASE(...) \
+  ICP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns `ret`.
+#define ICP_TRY_ACQUIRE(ret, ...) \
+  ICP_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function must NOT be called while holding the listed capabilities.
+#define ICP_EXCLUDES(...) \
+  ICP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment explaining why the analysis cannot see the invariant.
+#define ICP_NO_THREAD_SAFETY_ANALYSIS \
+  ICP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // ICP_UTIL_THREAD_ANNOTATIONS_H_

@@ -16,6 +16,8 @@
 #include "core/padded_aggregate.h"
 #include "engine/engine.h"
 #include "engine/table.h"
+#include "scan/naive_scanner.h"
+#include "scan/padded_scanner.h"
 #include "simd/hbp_simd.h"
 #include "simd/vbp_simd.h"
 #include "util/random.h"
@@ -354,6 +356,50 @@ TEST(CancellationTest, StandaloneFilterAndAggregateHonourToken) {
   auto agg = engine.Aggregate(table, AggKind::kSum, "v", *good_filter);
   ASSERT_FALSE(agg.ok());
   EXPECT_EQ(agg.status().code(), StatusCode::kCancelled);
+}
+
+// Regression (found by ICP011): the scalar baseline scanners used to run
+// their whole column with no cancellation polling, so a cancelled query
+// on a naive/padded leaf had its latency bounded by the column length
+// instead of one cancel batch. They now poll like every other driver.
+TEST(CancellationTest, BaselineScannersObserveStoppedContext) {
+  Random rng(56);
+  const std::size_t n = 500000;
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.UniformInt(1, 1000));
+  Table table;
+  ASSERT_TRUE(table.AddColumn("nv", v, {.layout = Layout::kNaive}).ok());
+  ASSERT_TRUE(table.AddColumn("pd", v, {.layout = Layout::kPadded}).ok());
+
+  CancellationToken token = CancellationToken::Create();
+  token.RequestCancel();
+  const CancelContext stopped(token, std::nullopt);
+
+  const Table::Column& nv = **table.GetColumn("nv");
+  const FilterBitVector full_naive =
+      NaiveScanner::Scan(nv.naive(), CompareOp::kGe, 1);
+  EXPECT_GT(full_naive.CountOnes(), 0u);
+  const FilterBitVector cut_naive = NaiveScanner::Scan(
+      nv.naive(), CompareOp::kGe, 1, 0, kWordBits, &stopped);
+  EXPECT_EQ(cut_naive.CountOnes(), 0u);  // stopped before the first batch
+
+  const Table::Column& pd = **table.GetColumn("pd");
+  const FilterBitVector full_padded =
+      PaddedScanner::Scan(pd.padded(), CompareOp::kGe, 1);
+  EXPECT_GT(full_padded.CountOnes(), 0u);
+  const FilterBitVector cut_padded =
+      PaddedScanner::Scan(pd.padded(), CompareOp::kGe, 1, 0, &stopped);
+  EXPECT_EQ(cut_padded.CountOnes(), 0u);
+
+  // Engine-level: a query over a baseline layout surfaces kCancelled.
+  Query q;
+  q.agg = AggKind::kCount;
+  q.agg_column = "nv";
+  q.filter = FilterExpr::Compare("nv", CompareOp::kGt, 10);
+  Engine engine(ExecOptions{.cancel_token = token});
+  auto result = engine.Execute(table, q);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
 }
 
 }  // namespace

@@ -28,6 +28,7 @@
 #include "engine/engine.h"
 #include "sched/admission.h"
 #include "sched/scheduler.h"
+#include "simd/dispatch.h"
 #include "util/failpoint.h"
 #include "util/random.h"
 
@@ -40,6 +41,88 @@ using sched::QueryGovernor;
 
 constexpr int kThreads = 8;
 constexpr int kRoundsPerThread = 25;
+
+// Runs the scalar-aggregate chaos envelope — kThreads threads, each
+// issuing rounds_per_thread governed SUM(a) WHERE b < threshold queries
+// with the execution mode (plain / 50us deadline / 5ms deadline /
+// racing canceller) drawn at random — and folds the per-thread outcomes
+// into the shared counters. Used by the default soak and the
+// forced-tier soak below.
+void RunScalarChaosRounds(const Table& table, QueryGovernor& governor,
+                          const std::vector<double>& expected_sum,
+                          const std::vector<std::uint64_t>& expected_count,
+                          int rounds_per_thread, std::uint64_t seed,
+                          bool armed, std::atomic<int>& failures,
+                          std::atomic<std::uint64_t>& ok_results,
+                          std::atomic<std::uint64_t>& shed_results) {
+  const int thresholds = static_cast<int>(expected_count.size());
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random local(seed + static_cast<std::uint64_t>(t));
+      for (int round = 0; round < rounds_per_thread; ++round) {
+        const int threshold =
+            static_cast<int>(local.UniformInt(1, thresholds - 1));
+        Query q;
+        q.agg = AggKind::kSum;
+        q.agg_column = "a";
+        q.filter = FilterExpr::Compare("b", CompareOp::kLt,
+                                       static_cast<std::int64_t>(threshold));
+
+        ExecOptions opts;
+        opts.governor = &governor;
+        CancellationToken token;
+        const std::uint64_t mode = local.UniformInt(0, 3);
+        if (mode == 1) {
+          opts.deadline = std::chrono::microseconds(50);
+        } else if (mode == 2) {
+          opts.deadline = std::chrono::milliseconds(5);
+        } else if (mode == 3) {
+          token = CancellationToken::Create();
+          opts.cancel_token = token;
+        }
+        Engine engine(opts);
+
+        std::thread canceller;
+        if (mode == 3) {
+          const auto delay =
+              std::chrono::microseconds(local.UniformInt(0, 2000));
+          canceller = std::thread([token, delay] {
+            std::this_thread::sleep_for(delay);
+            token.RequestCancel();
+          });
+        }
+        auto r = engine.Execute(table, q);
+        if (canceller.joinable()) canceller.join();
+
+        if (r.ok()) {
+          ok_results.fetch_add(1);
+          if (r->count != expected_count[threshold] ||
+              r->value != expected_sum[threshold]) {
+            ADD_FAILURE() << "wrong result for threshold " << threshold
+                          << ": count=" << r->count
+                          << " sum=" << r->value;
+            failures.fetch_add(1);
+          }
+          continue;
+        }
+        const StatusCode code = r.status().code();
+        const bool expected_overload =
+            code == StatusCode::kResourceExhausted ||
+            code == StatusCode::kDeadlineExceeded ||
+            code == StatusCode::kCancelled;
+        const bool injected = armed && code == StatusCode::kInternal;
+        if (expected_overload) shed_results.fetch_add(1);
+        if (!expected_overload && !injected) {
+          ADD_FAILURE() << "unexpected status: " << r.status().ToString();
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
 
 TEST(ChaosSoakTest, ConcurrentGovernedQueriesStayCorrect) {
   Random rng(987654321);
@@ -85,73 +168,9 @@ TEST(ChaosSoakTest, ConcurrentGovernedQueriesStayCorrect) {
     std::atomic<int> failures{0};
     std::atomic<std::uint64_t> ok_results{0};
     std::atomic<std::uint64_t> shed_results{0};
-    std::vector<std::thread> threads;
-    threads.reserve(kThreads);
-    for (int t = 0; t < kThreads; ++t) {
-      threads.emplace_back([&, t] {
-        Random local(0xC0FFEEu + static_cast<std::uint64_t>(t));
-        for (int round = 0; round < kRoundsPerThread; ++round) {
-          const int threshold =
-              static_cast<int>(local.UniformInt(1, kThresholds - 1));
-          Query q;
-          q.agg = AggKind::kSum;
-          q.agg_column = "a";
-          q.filter = FilterExpr::Compare("b", CompareOp::kLt,
-                                         static_cast<std::int64_t>(threshold));
-
-          ExecOptions opts;
-          opts.governor = &governor;
-          CancellationToken token;
-          const std::uint64_t mode = local.UniformInt(0, 3);
-          if (mode == 1) {
-            opts.deadline = std::chrono::microseconds(50);
-          } else if (mode == 2) {
-            opts.deadline = std::chrono::milliseconds(5);
-          } else if (mode == 3) {
-            token = CancellationToken::Create();
-            opts.cancel_token = token;
-          }
-          Engine engine(opts);
-
-          std::thread canceller;
-          if (mode == 3) {
-            const auto delay =
-                std::chrono::microseconds(local.UniformInt(0, 2000));
-            canceller = std::thread([token, delay] {
-              std::this_thread::sleep_for(delay);
-              token.RequestCancel();
-            });
-          }
-          auto r = engine.Execute(table, q);
-          if (canceller.joinable()) canceller.join();
-
-          if (r.ok()) {
-            ok_results.fetch_add(1);
-            if (r->count != expected_count[threshold] ||
-                r->value != expected_sum[threshold]) {
-              ADD_FAILURE() << "wrong result for threshold " << threshold
-                            << ": count=" << r->count
-                            << " sum=" << r->value;
-              failures.fetch_add(1);
-            }
-            continue;
-          }
-          const StatusCode code = r.status().code();
-          const bool expected_overload =
-              code == StatusCode::kResourceExhausted ||
-              code == StatusCode::kDeadlineExceeded ||
-              code == StatusCode::kCancelled;
-          const bool injected = armed && code == StatusCode::kInternal;
-          if (expected_overload) shed_results.fetch_add(1);
-          if (!expected_overload && !injected) {
-            ADD_FAILURE() << "unexpected status: "
-                          << r.status().ToString();
-            failures.fetch_add(1);
-          }
-        }
-      });
-    }
-    for (auto& th : threads) th.join();
+    RunScalarChaosRounds(table, governor, expected_sum, expected_count,
+                         kRoundsPerThread, 0xC0FFEEu, armed, failures,
+                         ok_results, shed_results);
 
     EXPECT_EQ(failures.load(), 0);
     // The load mix is tuned so both outcomes occur: plenty of queries
@@ -165,6 +184,78 @@ TEST(ChaosSoakTest, ConcurrentGovernedQueriesStayCorrect) {
   if (armed) fail::DisableAll();
   // Leaving scope joins the scheduler workers; reaching this line at all
   // is the no-hang assertion.
+}
+
+// Forced-tier variant: the same governed chaos envelope pinned to each
+// kernel tier in {scalar, avx2} via kern::ForceTier, so the tier-specific
+// word kernels soak under cancellation, deadlines and admission pressure
+// — not just whichever tier startup detection happened to pick. Tiers the
+// host clamps away are skipped (EffectiveTier detects the clamp), and the
+// override is restored before the test returns.
+TEST(ChaosSoakTest, ForcedTierGovernedQueriesStayCorrect) {
+  Random rng(135792468);
+  const std::size_t n = 60000;
+  std::vector<std::int64_t> a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<std::int64_t>(rng.UniformInt(0, 9999));
+    b[i] = static_cast<std::int64_t>(rng.UniformInt(0, 99));
+  }
+  Table table;
+  ASSERT_TRUE(table.AddColumn("a", a, {.layout = Layout::kVbp}).ok());
+  ASSERT_TRUE(table.AddColumn("b", b, {.layout = Layout::kHbp}).ok());
+
+  constexpr int kThresholds = 100;
+  std::vector<double> expected_sum(kThresholds, 0.0);
+  std::vector<std::uint64_t> expected_count(kThresholds, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int t = static_cast<int>(b[i]) + 1; t < kThresholds; ++t) {
+      expected_sum[t] += static_cast<double>(a[i]);
+      expected_count[t] += 1;
+    }
+  }
+
+  const bool armed = fail::Armed();
+  if (armed) {
+    fail::DisableAll();
+    fail::EnableEveryNth("sched/admit", 53);
+    fail::EnableEveryNth("sched/dequeue", 97);
+    fail::EnableEveryNth("sched/steal", 13);
+  }
+
+  constexpr kern::Tier kTiers[] = {kern::Tier::kScalar, kern::Tier::kAvx2};
+  MorselScheduler scheduler(4);
+  {
+    QueryGovernor governor(
+        scheduler, AdmissionOptions{.max_concurrent = 4,
+                                    .max_queued = 2,
+                                    .max_scratch_bytes = 1 << 20});
+
+    std::atomic<int> failures{0};
+    std::atomic<std::uint64_t> ok_results{0};
+    std::atomic<std::uint64_t> shed_results{0};
+    int tiers_run = 0;
+    for (const kern::Tier tier : kTiers) {
+      if (kern::EffectiveTier(tier) != tier) continue;  // host can't run it
+      kern::ForceTier(tier);
+      RunScalarChaosRounds(table, governor, expected_sum, expected_count,
+                           kRoundsPerThread / 5,
+                           0xF00Du + static_cast<std::uint64_t>(tier) * 1000,
+                           armed, failures, ok_results, shed_results);
+      ++tiers_run;
+    }
+    kern::ForceTier(std::nullopt);
+
+    // The scalar tier is tier 0 and never clamps, so at least one tier
+    // always runs; the outcome mix is asserted across tiers because a
+    // single tier's 40-query slice may land all-OK or all-shed.
+    EXPECT_GE(tiers_run, 1);
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_GT(ok_results.load(), 0u);
+    EXPECT_GT(shed_results.load(), 0u);
+    EXPECT_EQ(governor.active(), 0);
+    EXPECT_EQ(governor.queued(), 0);
+  }
+  if (armed) fail::DisableAll();
 }
 
 // Same chaos envelope for grouped aggregation: >= 8 concurrent governed

@@ -1,0 +1,24 @@
+// Analyzer fixture: obs-counter discipline (ICP013). One batched
+// macro site outside any loop, and one justified in-loop site.
+
+#include <cstdint>
+
+void fix_obs_add(std::uint64_t n);
+
+#define ICP_OBS_ADD(counter, n) fix_obs_add((n))
+#define ICP_OBS_INCREMENT(counter) fix_obs_add(1)
+
+namespace fix {
+
+void RecordBatch(std::uint64_t words) {
+  ICP_OBS_ADD(WordsScanned, words);
+}
+
+void RetryLoop() {
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    // obs: loop-ok — bounded retry loop, not a data-plane word loop.
+    ICP_OBS_INCREMENT(Retries);
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// Analyzer fixture: second ICP014 scope file. A reference member and
+// a mutex-guarded task slot.
+
+#ifndef FIX_PARALLEL_THREAD_POOL_H_
+#define FIX_PARALLEL_THREAD_POOL_H_
+
+#include "sched/admission.h"
+
+class Pool {
+ public:
+  void RunLocked() ICP_REQUIRES(mu_);
+
+ private:
+  Mutex mu_;
+  Governor& governor_;
+  int pending_ ICP_GUARDED_BY(mu_) = 0;
+};
+
+#endif  // FIX_PARALLEL_THREAD_POOL_H_

@@ -1,0 +1,30 @@
+// Analyzer fixture: thread-safety annotation discipline (ICP014) on
+// the admission governor's file name. Every mutable member of the
+// mutex-holding class is guarded, justified, or of an exempt kind.
+
+#ifndef FIX_SCHED_ADMISSION_H_
+#define FIX_SCHED_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+
+#define ICP_GUARDED_BY(x)
+#define ICP_REQUIRES(x)
+
+class Mutex {};
+
+class Governor {
+ public:
+  int GrantLocked() const ICP_REQUIRES(mu_);
+
+ private:
+  mutable Mutex mu_;
+  int active_ ICP_GUARDED_BY(mu_) = 0;
+  std::uint64_t next_seq_ ICP_GUARDED_BY(mu_) = 0;
+  // not-guarded: written once before the governor is shared.
+  int limit_ = 0;
+  const int cap_ = 8;
+  std::atomic<std::uint64_t> sheds_{0};
+};
+
+#endif  // FIX_SCHED_ADMISSION_H_

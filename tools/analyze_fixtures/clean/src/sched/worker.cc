@@ -1,0 +1,57 @@
+// Analyzer fixture: a clean concurrency TU exercising every shape
+// rules ICP010/ICP011/ICP013 accept — an annotated release/acquire
+// pair, a justified relaxed counter, and drain loops that are covered
+// directly, through an annotated helper, and via an exemption.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fix {
+
+std::atomic<std::uint64_t> ready{0};
+std::atomic<std::uint64_t> polls{0};
+
+bool ShouldStop();
+
+// cancellation: checks — polls the fixture token each call.
+bool PollCancelled();
+
+void Publish(std::uint64_t payload) {
+  (void)payload;
+  // order: release(slot-ready) — publishes the slot payload to the
+  // consumer's acquire load.
+  ready.store(1, std::memory_order_release);
+}
+
+std::uint64_t Consume() {
+  // order: acquire(slot-ready) — pairs with the producer's release
+  // store; the payload is visible after this load.
+  return ready.load(std::memory_order_acquire);
+}
+
+void Tally() {
+  // order: relaxed — advisory statistics counter; read post-join.
+  polls.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DrainDirect(int num_morsels) {
+  for (int morsel = 0; morsel < num_morsels; ++morsel) {
+    if (ShouldStop()) break;
+  }
+}
+
+void DrainViaHelper(int num_segments) {
+  for (int seg = 0; seg < num_segments; ++seg) {
+    if (PollCancelled()) break;
+  }
+}
+
+void DrainExempt(int num_partitions) {
+  // cancellation: exempt — fixture loop; the caller polls between
+  // partitions.
+  for (int partition = 0; partition < num_partitions; ++partition) {
+    Tally();
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+// Analyzer fixture: a pure kernel TU (ICP012 scope). No allocation,
+// locks, exceptions, or I/O — arithmetic over caller-owned buffers
+// only.
+
+#include <cstdint>
+
+namespace fix::kern {
+
+std::uint64_t SumWords(const std::uint64_t* words, std::uint64_t n) {
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < n; ++i) acc += words[i];
+  return acc;
+}
+
+}  // namespace fix::kern

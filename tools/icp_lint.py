@@ -32,10 +32,17 @@ already happened (or nearly happened) in this codebase:
       are no longer registered (same both-ways sync as ICP003).
 
 Usage:
-    tools/icp_lint.py [--root REPO_ROOT]
+    tools/icp_lint.py [--root REPO_ROOT] [--changed-only [--base-ref REF]]
+
+--changed-only reports findings only in files changed relative to a git
+base ref (default: the merge-base of HEAD with origin/main, falling
+back to main, then HEAD) plus untracked files — the pre-commit fast
+path. Every rule still runs over the whole tree, so cross-file registry
+checks (ICP003/ICP004/ICP005) stay sound; only the report is filtered.
 
 Findings are printed as `path:line: [rule] message`, one per line.
-Exit codes: 0 clean, 1 findings, 2 bad invocation.
+Exit codes: 0 clean, 1 findings, 2 bad invocation (including git
+failures under --changed-only).
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ from __future__ import annotations
 import argparse
 import os
 import re
+import subprocess
 import sys
 from dataclasses import dataclass
 
@@ -449,6 +457,43 @@ def read_text(path: str) -> str:
         return f.read()
 
 
+def _git(root: str, *argv: str) -> tuple[int, str]:
+    proc = subprocess.run(
+        ["git", "-C", root, *argv],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc.returncode, proc.stdout
+
+
+def changed_files(root: str, base_ref: str | None) -> set[str] | None:
+    """Repo-relative paths changed vs the base ref, plus untracked files.
+
+    Returns None when git is unavailable or the root is not a work tree.
+    """
+    ref = base_ref
+    if ref is None:
+        for candidate in ("origin/main", "main"):
+            code, out = _git(root, "merge-base", "HEAD", candidate)
+            if code == 0:
+                ref = out.strip()
+                break
+        else:
+            ref = "HEAD"
+    code, out = _git(root, "diff", "--name-only", "-z", ref)
+    if code != 0:
+        return None
+    changed = {p for p in out.split("\0") if p}
+    code, out = _git(
+        root, "ls-files", "--others", "--exclude-standard", "-z"
+    )
+    if code != 0:
+        return None
+    changed |= {p for p in out.split("\0") if p}
+    return changed
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="icp_lint.py",
@@ -462,11 +507,34 @@ def main(argv: list[str] | None = None) -> int:
         help="repo root to lint (default: the checkout containing this "
         "script)",
     )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report findings only in files changed vs --base-ref "
+        "(every rule still runs over the whole tree)",
+    )
+    parser.add_argument(
+        "--base-ref",
+        default=None,
+        help="git ref for --changed-only (default: merge-base of HEAD "
+        "with origin/main, then main, then HEAD)",
+    )
     args = parser.parse_args(argv)
     root = os.path.abspath(args.root)
     if not os.path.isdir(root):
         print(f"icp_lint: no such directory: {root}", file=sys.stderr)
         return 2
+
+    changed: set[str] | None = None
+    if args.changed_only:
+        changed = changed_files(root, args.base_ref)
+        if changed is None:
+            print(
+                "icp_lint: --changed-only needs a git work tree at "
+                f"{root}",
+                file=sys.stderr,
+            )
+            return 2
 
     findings: list[Finding] = []
     check_intrinsics(root, findings)
@@ -474,6 +542,9 @@ def main(argv: list[str] | None = None) -> int:
     check_failpoints(root, findings)
     check_slot_coverage(root, findings)
     check_counter_catalogue(root, findings)
+
+    if changed is not None:
+        findings = [f for f in findings if f.path in changed]
 
     findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
     for finding in findings:

@@ -28,9 +28,9 @@ LINTER = os.path.join(TOOLS_DIR, "icp_lint.py")
 CLEAN_FIXTURE = os.path.join(TOOLS_DIR, "lint_fixtures", "clean")
 
 
-def run_linter(root: str) -> tuple[int, str, str]:
+def run_linter(root: str, *extra: str) -> tuple[int, str, str]:
     proc = subprocess.run(
-        [sys.executable, LINTER, "--root", root],
+        [sys.executable, LINTER, "--root", root, *extra],
         capture_output=True,
         text=True,
         check=False,
@@ -277,6 +277,78 @@ class LintFixtureTest(unittest.TestCase):
         self.assertEqual(path, "src/io/bad.cc")
         self.assertTrue(line.isdigit())
         self.assertIn("[ICP002]", rest)
+
+
+class ChangedOnlyTest(unittest.TestCase):
+    """--changed-only: report only findings in files changed vs a base
+    ref (rules still run over the whole tree)."""
+
+    def setUp(self) -> None:
+        self._tmp = tempfile.TemporaryDirectory(prefix="icp_lint_git_")
+        self.root = self._tmp.name
+        shutil.copytree(CLEAN_FIXTURE, self.root, dirs_exist_ok=True)
+        self._git("init", "--quiet", "--initial-branch=main")
+        self._git("add", "-A")
+        self._git("commit", "--quiet", "-m", "fixture baseline")
+
+    def tearDown(self) -> None:
+        self._tmp.cleanup()
+
+    def _git(self, *args: str) -> None:
+        subprocess.run(
+            [
+                "git",
+                "-C",
+                self.root,
+                "-c",
+                "user.email=lint@test",
+                "-c",
+                "user.name=lint",
+                *args,
+            ],
+            check=True,
+            capture_output=True,
+        )
+
+    def test_new_violation_is_reported(self) -> None:
+        write(self.root, "src/io/bad.cc", "void f() { throw 1; }\n")
+        code, out, _ = run_linter(self.root, "--changed-only")
+        self.assertEqual(code, 1, out)
+        self.assertIn("[ICP002]", out)
+        self.assertIn("src/io/bad.cc", out)
+
+    def test_preexisting_violation_is_filtered(self) -> None:
+        # Commit a violation into the baseline, then change an unrelated
+        # file: the filtered run passes while the full run still fails,
+        # proving the filter works on the report, not the rules.
+        write(self.root, "src/io/bad.cc", "void f() { throw 1; }\n")
+        self._git("add", "-A")
+        self._git("commit", "--quiet", "-m", "baseline violation")
+        write(self.root, "src/io/fine.cc", "int ok() { return 1; }\n")
+        code, out, _ = run_linter(
+            self.root, "--changed-only", "--base-ref", "HEAD"
+        )
+        self.assertEqual(code, 0, out)
+        full_code, full_out, _ = run_linter(self.root)
+        self.assertEqual(full_code, 1, full_out)
+        self.assertIn("src/io/bad.cc", full_out)
+
+    def test_explicit_base_ref_diffs_against_it(self) -> None:
+        write(self.root, "src/io/bad.cc", "void f() { throw 1; }\n")
+        self._git("add", "-A")
+        self._git("commit", "--quiet", "-m", "bad commit")
+        code, out, _ = run_linter(
+            self.root, "--changed-only", "--base-ref", "HEAD~1"
+        )
+        self.assertEqual(code, 1, out)
+        self.assertIn("src/io/bad.cc", out)
+
+    def test_outside_git_worktree_exits_2(self) -> None:
+        with tempfile.TemporaryDirectory(prefix="icp_lint_nogit_") as plain:
+            shutil.copytree(CLEAN_FIXTURE, plain, dirs_exist_ok=True)
+            code, _, err = run_linter(plain, "--changed-only")
+            self.assertEqual(code, 2, err)
+            self.assertIn("git work tree", err)
 
 
 class RealTreeTest(unittest.TestCase):

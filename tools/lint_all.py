@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""lint_all: one entry point for the repo's static checks.
+
+Runs the regex invariant linter (tools/icp_lint.py, rules ICP001-ICP005)
+and the semantic concurrency analyzer (tools/icp_analyze.py, rules
+ICP010-ICP014) over the same root and merges their exit status. This is
+what `cmake --build build --target lint` and the `lint_budget` ctest
+invoke, so local builds and CI agree on what "lint-clean" means.
+
+The combined run also enforces a wall-clock budget (default 60s): a
+linter slow enough to get skipped is a linter that stops running, so a
+budget regression fails loudly here instead of eroding silently.
+
+Exit codes: 0 clean, 1 findings or budget exceeded, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+STEPS: tuple[tuple[str, tuple[str, ...]], ...] = (
+    ("icp_lint", ("icp_lint.py",)),
+    ("icp_analyze", ("icp_analyze.py",)),
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="lint_all.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(TOOLS_DIR),
+        help="repo root to lint (default: the checkout containing this "
+        "script)",
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=60.0,
+        help="fail if the combined run exceeds this wall-clock budget "
+        "(default: 60)",
+    )
+    args = parser.parse_args(argv)
+    root = os.path.abspath(args.root)
+    if not os.path.isdir(root):
+        print(f"lint_all: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    started = time.monotonic()
+    failed: list[str] = []
+    for name, script in STEPS:
+        step_started = time.monotonic()
+        proc = subprocess.run(
+            [sys.executable, os.path.join(TOOLS_DIR, *script), "--root", root],
+            check=False,
+        )
+        elapsed = time.monotonic() - step_started
+        print(
+            f"lint_all: {name} exit={proc.returncode} ({elapsed:.2f}s)",
+            file=sys.stderr,
+        )
+        if proc.returncode != 0:
+            failed.append(name)
+
+    total = time.monotonic() - started
+    if total > args.budget_seconds:
+        print(
+            f"lint_all: runtime budget exceeded: {total:.2f}s > "
+            f"{args.budget_seconds:.0f}s",
+            file=sys.stderr,
+        )
+        return 1
+    if failed:
+        print(f"lint_all: FAILED ({', '.join(failed)})", file=sys.stderr)
+        return 1
+    print(f"lint_all: OK ({total:.2f}s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
