@@ -8,10 +8,23 @@
 // RANK(column, r), WHERE with AND/OR/NOT, =/!=/<>/</<=/>/>=, BETWEEN,
 // IN (...), IS [NOT] NULL, integer/decimal/'YYYY-MM-DD' literals.
 // Prefix any statement with EXPLAIN ANALYZE for the per-stage report.
-// Pass --trace <path> to record a Chrome trace (open in Perfetto /
-// chrome://tracing); it is written when the shell exits.
+//
+// Meta-commands: \counters (obs counter + histogram snapshot), \stats
+// (the last query's QueryStats as the EXPLAIN ANALYZE table), \q.
+//
+// Flags:
+//   --trace <path>    record a Chrome trace (open in Perfetto /
+//                     chrome://tracing); written when the shell exits.
+//   --admin-port <p>  serve /healthz /counters /metrics /queries
+//                     /traces on 127.0.0.1:<p> (0 = ephemeral).
+//   --slow-cycles <n> slow-query journal threshold in cycles
+//                     (default 10000000; 0 disables).
+//
+// Queries run admitted against a QueryGovernor so the admin plane's
+// /queries endpoint and the admission.wait trace span are live.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -52,7 +65,14 @@ Table MakeTripsTable() {
   return table;
 }
 
-void RunStatement(Engine& engine, const Table& table,
+/// Last-query state the \stats meta-command renders.
+struct ShellState {
+  obs::QueryStats stats;  // the engine's stats sink
+  QueryResult last_result;
+  bool have_result = false;
+};
+
+void RunStatement(Engine& engine, const Table& table, ShellState& state,
                   const std::string& sql) {
   auto stmt = ParseStatement(sql);
   if (!stmt.ok()) {
@@ -69,11 +89,14 @@ void RunStatement(Engine& engine, const Table& table,
     std::printf("%s", report->c_str());
     return;
   }
+  ICP_OBS_HISTOGRAM_RECORD(StageParseCycles, stmt->parse_cycles);
   auto result = engine.Execute(table, stmt->query);
   if (!result.ok()) {
     std::printf("  error: %s\n", result.status().ToString().c_str());
     return;
   }
+  state.last_result = *result;
+  state.have_result = true;
   const double per_tuple =
       static_cast<double>(result->scan_cycles + result->agg_cycles) /
       static_cast<double>(table.num_rows());
@@ -97,24 +120,89 @@ void RunStatement(Engine& engine, const Table& table,
   }
 }
 
+/// Handles \q, \counters, \stats; returns false when the shell should
+/// exit.
+bool RunMetaCommand(const ShellState& state, const std::string& line) {
+  if (line == "\\q") return false;
+  if (line == "\\counters") {
+    std::printf("%s", obs::SnapshotText().c_str());
+    std::printf("%s", obs::HistogramsText().c_str());
+    return true;
+  }
+  if (line == "\\stats") {
+    if (!state.have_result) {
+      std::printf("  no query executed yet\n");
+    } else {
+      std::printf("%s",
+                  FormatExplainAnalyze(state.stats, state.last_result)
+                      .c_str());
+    }
+    return true;
+  }
+  std::printf("  unknown meta-command '%s' (try \\counters, \\stats, \\q)\n",
+              line.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_path;
-  int arg = 1;
-  if (argc > 2 && std::strcmp(argv[1], "--trace") == 0) {
-    trace_path = argv[2];
-    arg = 3;
-    icp::obs::EnableTracing();
+  std::string one_shot;
+  bool have_one_shot = false;
+  int admin_port = -1;
+  std::uint64_t slow_cycles = 10'000'000;
+  for (int arg = 1; arg < argc; ++arg) {
+    const char* flag = argv[arg];
+    if (std::strcmp(flag, "--trace") == 0 && arg + 1 < argc) {
+      trace_path = argv[++arg];
+      icp::obs::EnableTracing();
+    } else if (std::strcmp(flag, "--admin-port") == 0 && arg + 1 < argc) {
+      admin_port = std::atoi(argv[++arg]);
+    } else if (std::strcmp(flag, "--slow-cycles") == 0 && arg + 1 < argc) {
+      slow_cycles = static_cast<std::uint64_t>(
+          std::strtoull(argv[++arg], nullptr, 10));
+    } else if (std::strcmp(flag, "-c") == 0 && arg + 1 < argc) {
+      one_shot = argv[++arg];
+      have_one_shot = true;
+    } else {
+      std::printf("usage: sql_shell [--trace <path>] [--admin-port <port>] "
+                  "[--slow-cycles <n>] [-c \"<stmt>\"]\n");
+      return 2;
+    }
   }
+  icp::obs::SetSlowQueryThresholdCycles(slow_cycles);
 
   std::printf("building 1M-row trips table (distance, fare, tip [nullable], "
               "passengers, pickup_day)...\n");
   const icp::Table table = MakeTripsTable();
-  icp::Engine engine(icp::ExecOptions{.threads = 4, .simd = true});
 
-  if (argc == arg + 2 && std::strcmp(argv[arg], "-c") == 0) {
-    RunStatement(engine, table, argv[arg + 1]);
+  // Declaration order doubles as teardown order: the admin server stops
+  // before the governor it introspects; the governor outlives the engine
+  // whose queries it admits and dies before its scheduler.
+  icp::sched::MorselScheduler scheduler(3);
+  icp::sched::QueryGovernor governor(scheduler, {});
+  ShellState state;
+  icp::Engine engine(icp::ExecOptions{.threads = 4,
+                                      .simd = true,
+                                      .stats = &state.stats,
+                                      .governor = &governor});
+  icp::obs::AdminServer admin;
+  if (admin_port >= 0) {
+    admin.set_queries_provider(
+        [&governor] { return governor.DescribeJson(); });
+    const icp::Status started = admin.Start(admin_port);
+    if (!started.ok()) {
+      std::printf("  error: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("admin plane on http://127.0.0.1:%d "
+                "(/healthz /counters /metrics /queries /traces)\n",
+                admin.port());
+  }
+
+  if (have_one_shot) {
+    RunStatement(engine, table, state, one_shot);
     if (!trace_path.empty() && !icp::obs::WriteChromeTrace(trace_path)) {
       std::printf("  error: could not write trace to %s\n",
                   trace_path.c_str());
@@ -130,9 +218,13 @@ int main(int argc, char** argv) {
   while (true) {
     std::printf("icp> ");
     std::fflush(stdout);
-    if (!std::getline(std::cin, line) || line == "\\q") break;
+    if (!std::getline(std::cin, line)) break;
     if (line.empty()) continue;
-    RunStatement(engine, table, line);
+    if (line[0] == '\\') {
+      if (!RunMetaCommand(state, line)) break;
+      continue;
+    }
+    RunStatement(engine, table, state, line);
   }
   if (!trace_path.empty() && !icp::obs::WriteChromeTrace(trace_path)) {
     std::printf("  error: could not write trace to %s\n", trace_path.c_str());

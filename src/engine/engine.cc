@@ -12,6 +12,8 @@
 #include "core/padded_aggregate.h"
 #include "core/vbp_aggregate.h"
 #include "groupby/groupby.h"
+#include "obs/histogram.h"
+#include "obs/journal.h"
 #include "obs/obs.h"
 #include "obs/stage_timer.h"
 #include "obs/trace.h"
@@ -164,6 +166,11 @@ struct Engine::SessionScope {
 
   ~SessionScope() {
     if (engine == nullptr) return;
+    // Per-query distribution samples for the governed run: steal counts
+    // and scratch usage only make sense per session, so they record here
+    // rather than at the (ungoverned) entry-point epilogue.
+    ICP_OBS_HISTOGRAM_RECORD(QuerySteals, session->stats().steals);
+    ICP_OBS_HISTOGRAM_RECORD(QueryScratchBytes, session->scratch_bytes());
     if (obs::QueryStats* qs = engine->options_.stats; qs != nullptr) {
       qs->granted_parallelism = session->granted_parallelism();
       qs->admit_queued_cycles = session->queued_cycles();
@@ -589,7 +596,7 @@ StatusOr<QueryResult> Engine::AggregateImpl(const Table& table, AggKind kind,
   return result;
 }
 
-StatusOr<std::vector<QueryResult>> Engine::ExecuteMulti(
+StatusOr<std::vector<QueryResult>> Engine::ExecuteMultiInternal(
     const Table& table, const MultiQuery& query) {
   if (query.aggregates.empty()) {
     return Status::InvalidArgument("MultiQuery needs at least one aggregate");
@@ -663,8 +670,8 @@ constexpr std::uint64_t kDefaultGroupByThreshold = 1;
 }  // namespace
 
 StatusOr<std::vector<std::pair<std::int64_t, QueryResult>>>
-Engine::ExecuteGroupBy(const Table& table, const Query& query,
-                       const std::string& group_column) {
+Engine::ExecuteGroupByInternal(const Table& table, const Query& query,
+                               const std::string& group_column) {
   auto group_or = table.GetColumn(group_column);
   ICP_RETURN_IF_ERROR(group_or.status());
   const Table::Column& group = **group_or;
@@ -887,7 +894,8 @@ Engine::SinglePassGroupBy(const Table& table, const Query& query,
   return results;
 }
 
-StatusOr<QueryResult> Engine::Execute(const Table& table, const Query& query) {
+StatusOr<QueryResult> Engine::ExecuteInternal(const Table& table,
+                                              const Query& query) {
   obs::QueryStats* qs = options_.stats;
   if (qs != nullptr) *qs = obs::QueryStats{};
   const obs::StageTimer total;
@@ -914,6 +922,129 @@ StatusOr<QueryResult> Engine::Execute(const Table& table, const Query& query) {
   return result;
 }
 
+namespace {
+
+// FNV-1a over the query shape: the engine never sees SQL text, so the
+// journal's "statement hash" fingerprints the parsed structure instead —
+// identical statements collide (by design; that is what makes the
+// fingerprint useful for spotting repeat offenders in /queries).
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t HashU64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t HashString(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return HashU64(h, s.size());
+}
+
+std::uint64_t HashFilter(std::uint64_t h, const FilterExprPtr& filter) {
+  if (filter == nullptr) return HashU64(h, 0);
+  h = HashU64(h, static_cast<std::uint64_t>(filter->kind()) + 1);
+  h = HashString(h, filter->column());
+  h = HashU64(h, static_cast<std::uint64_t>(filter->op()));
+  h = HashU64(h, static_cast<std::uint64_t>(filter->value()));
+  h = HashU64(h, static_cast<std::uint64_t>(filter->value2()));
+  for (const FilterExprPtr& child : filter->children()) {
+    h = HashFilter(h, child);
+  }
+  return h;
+}
+
+std::uint64_t FingerprintQuery(const Query& query) {
+  std::uint64_t h = kFnvOffset;
+  h = HashU64(h, static_cast<std::uint64_t>(query.agg));
+  h = HashString(h, query.agg_column);
+  h = HashU64(h, query.rank);
+  return HashFilter(h, query.filter);
+}
+
+std::uint64_t FingerprintMultiQuery(const MultiQuery& query) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& [kind, column] : query.aggregates) {
+    h = HashU64(h, static_cast<std::uint64_t>(kind));
+    h = HashString(h, column);
+  }
+  return HashFilter(h, query.filter);
+}
+
+}  // namespace
+
+void Engine::FinishQuery(const char* entry, std::uint64_t fingerprint,
+                         const obs::StageTimer& timer,
+                         std::uint64_t start_unix_ns, const Status& status,
+                         std::uint64_t rows) {
+  const std::uint64_t total_cycles = timer.ElapsedCycles();
+  ICP_OBS_HISTOGRAM_RECORD(QueryLatencyCycles, total_cycles);
+  obs::QueryRecord record;
+  record.fingerprint = fingerprint;
+  record.entry = entry;
+  record.status = StatusCodeToString(status.code());
+  record.rows = rows;
+  record.total_cycles = total_cycles;
+  record.start_cycles = timer.start_cycles();
+  record.start_unix_ns = start_unix_ns;
+  record.end_unix_ns = obs::JournalNow();
+  if (const obs::QueryStats* qs = options_.stats; qs != nullptr) {
+    record.tier = qs->kernel_tier;
+    record.agg_path = qs->agg_path;
+    record.scan_cycles = qs->scan_cycles;
+    record.agg_cycles = qs->agg_cycles;
+    // Stage distributions only exist when a stats sink collected the
+    // breakdown, and only for completed queries (an error's partial
+    // stage cycles would skew the low buckets).
+    if (status.ok()) {
+      ICP_OBS_HISTOGRAM_RECORD(StageScanCycles, qs->scan_cycles);
+      ICP_OBS_HISTOGRAM_RECORD(StageCombineCycles, qs->combine_cycles);
+      ICP_OBS_HISTOGRAM_RECORD(StageAggregateCycles, qs->agg_cycles);
+    }
+  }
+  obs::RecordQuery(record);
+}
+
+StatusOr<QueryResult> Engine::Execute(const Table& table,
+                                      const Query& query) {
+  const std::uint64_t start_unix_ns = obs::JournalNow();
+  const obs::StageTimer timer;
+  auto result_or = ExecuteInternal(table, query);
+  FinishQuery("execute", FingerprintQuery(query), timer, start_unix_ns,
+              result_or.status(), result_or.ok() ? result_or->count : 0);
+  return result_or;
+}
+
+StatusOr<std::vector<QueryResult>> Engine::ExecuteMulti(
+    const Table& table, const MultiQuery& query) {
+  const std::uint64_t start_unix_ns = obs::JournalNow();
+  const obs::StageTimer timer;
+  auto results_or = ExecuteMultiInternal(table, query);
+  FinishQuery("execute_multi", FingerprintMultiQuery(query), timer,
+              start_unix_ns, results_or.status(),
+              results_or.ok() ? results_or->size() : 0);
+  return results_or;
+}
+
+StatusOr<std::vector<std::pair<std::int64_t, QueryResult>>>
+Engine::ExecuteGroupBy(const Table& table, const Query& query,
+                       const std::string& group_column) {
+  const std::uint64_t start_unix_ns = obs::JournalNow();
+  const obs::StageTimer timer;
+  auto groups_or = ExecuteGroupByInternal(table, query, group_column);
+  std::uint64_t fingerprint = FingerprintQuery(query);
+  fingerprint = HashString(fingerprint, group_column);
+  FinishQuery("execute_groupby", fingerprint, timer, start_unix_ns,
+              groups_or.status(), groups_or.ok() ? groups_or->size() : 0);
+  return groups_or;
+}
+
 StatusOr<std::string> Engine::ExplainAnalyze(const Table& table,
                                              const Query& query,
                                              std::uint64_t parse_cycles) {
@@ -927,6 +1058,9 @@ StatusOr<std::string> Engine::ExplainAnalyze(const Table& table,
   // total so StageCyclesSum() <= total_cycles stays true.
   local.parse_cycles = parse_cycles;
   local.total_cycles += parse_cycles;
+  if (parse_cycles > 0) {
+    ICP_OBS_HISTOGRAM_RECORD(StageParseCycles, parse_cycles);
+  }
   if (saved != nullptr) *saved = local;
   return FormatExplainAnalyze(local, *result_or);
 }

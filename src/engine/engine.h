@@ -23,6 +23,7 @@
 #include "engine/expression.h"
 #include "engine/table.h"
 #include "obs/query_stats.h"
+#include "obs/stage_timer.h"
 #include "parallel/thread_pool.h"
 #include "util/cancellation.h"
 #include "util/status.h"
@@ -197,6 +198,26 @@ class Engine {
   /// pairs it with the token. Called once at each public entry point so the
   /// whole query (all phases) shares one deadline.
   CancelContext MakeCancelContext() const;
+
+  // The public entry points wrap these: the Internal variants carry the
+  // whole execution, the wrappers add the telemetry epilogue
+  // (FinishQuery) on success and error paths alike.
+  StatusOr<QueryResult> ExecuteInternal(const Table& table,
+                                        const Query& query);
+  StatusOr<std::vector<QueryResult>> ExecuteMultiInternal(
+      const Table& table, const MultiQuery& query);
+  StatusOr<std::vector<std::pair<std::int64_t, QueryResult>>>
+  ExecuteGroupByInternal(const Table& table, const Query& query,
+                         const std::string& group_column);
+  /// Telemetry epilogue shared by the public entry points: records the
+  /// end-to-end latency and per-stage histograms and appends the query
+  /// journal record (obs/journal.h). `timer` spans the whole entry
+  /// point; `rows` is the entry point's result cardinality (0 on
+  /// error).
+  void FinishQuery(const char* entry, std::uint64_t fingerprint,
+                   const obs::StageTimer& timer,
+                   std::uint64_t start_unix_ns, const Status& status,
+                   std::uint64_t rows);
 
   StatusOr<FilterBitVector> EvaluateFilterImpl(const Table& table,
                                                const FilterExprPtr& filter,

@@ -43,11 +43,16 @@
 #include "core/top_k.h"            // IWYU pragma: export
 #include "core/vbp_aggregate.h"     // IWYU pragma: export
 
-// Observability (process counters, stage timers, tracing).
-#include "obs/obs.h"          // IWYU pragma: export
-#include "obs/query_stats.h"  // IWYU pragma: export
-#include "obs/stage_timer.h"  // IWYU pragma: export
-#include "obs/trace.h"        // IWYU pragma: export
+// Observability (process counters, histograms, the query journal,
+// stage timers, tracing, and the embedded admin plane).
+#include "obs/admin_server.h"  // IWYU pragma: export
+#include "obs/histogram.h"     // IWYU pragma: export
+#include "obs/journal.h"       // IWYU pragma: export
+#include "obs/metrics.h"       // IWYU pragma: export
+#include "obs/obs.h"           // IWYU pragma: export
+#include "obs/query_stats.h"   // IWYU pragma: export
+#include "obs/stage_timer.h"   // IWYU pragma: export
+#include "obs/trace.h"         // IWYU pragma: export
 
 // Parallel and SIMD execution; overload-safe scheduling and admission.
 #include "parallel/executor.h"            // IWYU pragma: export

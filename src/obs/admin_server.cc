@@ -1,0 +1,192 @@
+#include "obs/admin_server.h"
+
+#if ICP_OBS
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "obs/histogram.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace icp::obs {
+namespace {
+
+constexpr int kPollIntervalMs = 100;
+constexpr std::size_t kMaxRequestBytes = 4096;
+/// Journal records /queries returns (newest first).
+constexpr std::size_t kQueriesJournalDepth = 32;
+
+std::string BuildResponse(const char* status_line, const char* content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status_line;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; response is best-effort
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+AdminServer::~AdminServer() { Stop(); }
+
+Status AdminServer::Start(int port) {
+  if (running()) {
+    return Status::FailedPrecondition("admin server already running");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal("admin server: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return Status::Internal("admin server: could not bind 127.0.0.1:" +
+                            std::to_string(port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::Internal("admin server: listen() failed");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  } else {
+    port_ = port;
+  }
+
+  listen_fd_ = fd;
+  // order: relaxed — the accept thread is created below; thread creation
+  // itself orders this store before the loop's first load.
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Serve(); });
+  return Status::Ok();
+}
+
+void AdminServer::Stop() {
+  if (!running()) return;
+  // order: relaxed — shutdown flag; the accept loop re-reads it at least
+  // every poll interval, no data is published through it.
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = 0;
+}
+
+std::string AdminServer::HandleRequest(const std::string& target) const {
+  ICP_OBS_INCREMENT(AdminRequests);
+  if (target == "/healthz") {
+    return BuildResponse("200 OK", "text/plain; charset=utf-8", "ok\n");
+  }
+  if (target == "/counters") {
+    const std::string body = "{\"counters\": " + SnapshotJson() +
+                             ", \"histograms\": " + HistogramsJson() + "}";
+    return BuildResponse("200 OK", "application/json", body);
+  }
+  if (target == "/metrics") {
+    return BuildResponse("200 OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         MetricsText());
+  }
+  if (target == "/queries") {
+    std::string body = "{\"governor\": ";
+    body += queries_provider_ ? queries_provider_() : "null";
+    body += ", \"recent\": " + JournalJson(kQueriesJournalDepth) + "}";
+    return BuildResponse("200 OK", "application/json", body);
+  }
+  if (target == "/traces") {
+    std::string body = "{\"enabled\": ";
+    body += TracingEnabled() ? "true" : "false";
+    body += ", \"buffered_spans\": " + std::to_string(TraceSpanCount());
+    body += ", \"open_spans\": " + std::to_string(OpenTraceSpanCount());
+    body += "}";
+    return BuildResponse("200 OK", "application/json", body);
+  }
+  return BuildResponse("404 Not Found", "application/json",
+                       "{\"error\": \"no such endpoint\"}");
+}
+
+void AdminServer::Serve() {
+  // order: relaxed — shutdown flag re-read every poll interval; the only
+  // consequence of a stale read is one extra 100ms loop turn.
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kPollIntervalMs);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+
+    char buf[kMaxRequestBytes];
+    const ssize_t n = ::recv(client, buf, sizeof(buf) - 1, 0);
+    if (n <= 0) {
+      ::close(client);
+      continue;
+    }
+    buf[n] = '\0';
+
+    // "GET <target> HTTP/1.x" — everything else is a client error. The
+    // query string (if any) is ignored: every endpoint is parameterless.
+    std::string response;
+    const char* line_end = std::strstr(buf, "\r\n");
+    const std::string request_line(
+        buf, line_end != nullptr ? static_cast<std::size_t>(line_end - buf)
+                                 : std::strlen(buf));
+    const std::size_t first_space = request_line.find(' ');
+    const std::size_t second_space =
+        first_space == std::string::npos
+            ? std::string::npos
+            : request_line.find(' ', first_space + 1);
+    if (first_space == std::string::npos ||
+        second_space == std::string::npos) {
+      response = BuildResponse("400 Bad Request", "application/json",
+                               "{\"error\": \"malformed request line\"}");
+    } else if (request_line.substr(0, first_space) != "GET") {
+      response =
+          BuildResponse("405 Method Not Allowed", "application/json",
+                        "{\"error\": \"only GET is supported\"}");
+    } else {
+      std::string target = request_line.substr(
+          first_space + 1, second_space - first_space - 1);
+      const std::size_t query = target.find('?');
+      if (query != std::string::npos) target.resize(query);
+      response = HandleRequest(target);
+    }
+    WriteAll(client, response);
+    ::close(client);
+  }
+}
+
+}  // namespace icp::obs
+
+#endif  // ICP_OBS

@@ -1,0 +1,103 @@
+// Embedded admin plane: a tiny dependency-free HTTP/1.0 listener.
+//
+// One blocking-socket accept thread on 127.0.0.1 serves the telemetry
+// surface read-only:
+//
+//   /healthz   "ok" (liveness probe)
+//   /counters  SnapshotJson + HistogramsJson (JSON object)
+//   /metrics   Prometheus text exposition (metrics.h)
+//   /queries   governor active/queued set (via the provider seam) +
+//              the recent query journal (JSON object)
+//   /traces    trace-writer status: enabled flag, buffered and open
+//              span counts (JSON object)
+//
+// The server is opt-in (nothing listens until Start), handles one
+// request per connection (HTTP/1.0, Connection: close) and is meant for
+// curl / Prometheus scrapes, not as a general web server. obs is a leaf
+// library, so the governor's state arrives through a std::function
+// provider (set_queries_provider) instead of a sched dependency.
+//
+// Compile-out: under ICP_OBS=0 the whole class collapses to inline
+// stubs (Start returns kUnimplemented) so libicp_obs.a stays symbol-free
+// and shells keep linking.
+
+#ifndef ICP_OBS_ADMIN_SERVER_H_
+#define ICP_OBS_ADMIN_SERVER_H_
+
+#include "obs/obs.h"  // for the ICP_OBS switch
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "util/status.h"
+
+namespace icp::obs {
+
+#if ICP_OBS
+
+class AdminServer {
+ public:
+  AdminServer() = default;
+  /// Stops the listener if still running.
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// /queries includes this JSON object under "governor" (null when no
+  /// provider is set). Must be set before Start; the callable must be
+  /// thread-safe (it runs on the listener thread).
+  void set_queries_provider(std::function<std::string()> provider) {
+    queries_provider_ = std::move(provider);
+  }
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port; see port()) and
+  /// starts the accept thread. kFailedPrecondition when already
+  /// running; kInternal when the socket cannot be bound.
+  Status Start(int port);
+
+  /// The bound port; 0 until Start succeeded.
+  int port() const { return port_; }
+
+  bool running() const { return listen_fd_ >= 0; }
+
+  /// Joins the accept thread and closes the socket. Idempotent.
+  void Stop();
+
+ private:
+  std::string HandleRequest(const std::string& target) const;
+  void Serve();
+
+  std::function<std::string()> queries_provider_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  /// Set by Stop; the accept loop polls it every 100ms.
+  std::atomic<bool> stop_{false};
+};
+
+#else  // !ICP_OBS
+
+class AdminServer {
+ public:
+  AdminServer() = default;
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  void set_queries_provider(std::function<std::string()>) {}
+  Status Start(int) {
+    return Status::Unimplemented("admin server built with ICP_OBS=OFF");
+  }
+  int port() const { return 0; }
+  bool running() const { return false; }
+  void Stop() {}
+};
+
+#endif  // ICP_OBS
+
+}  // namespace icp::obs
+
+#endif  // ICP_OBS_ADMIN_SERVER_H_

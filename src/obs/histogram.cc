@@ -1,0 +1,209 @@
+#include "obs/histogram.h"
+
+#if ICP_OBS
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+namespace icp::obs {
+namespace {
+
+// Same registry shape as the counters (obs.cc): registration is rare and
+// snapshots are cold, so a mutex-guarded vector keeps Record()
+// allocation-free (the histograms themselves are plain atomics).
+std::mutex& HistogramRegistryMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<Histogram*>& HistogramRegistry() {
+  static auto* registry = new std::vector<Histogram*>();
+  return *registry;
+}
+
+// Smallest recorded value whose cumulative bucket count reaches
+// `rank` (1-based), reported as its bucket's upper bound.
+std::uint64_t QuantileFromBuckets(const std::vector<std::uint64_t>& buckets,
+                                  std::uint64_t rank) {
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      return Histogram::BucketUpperBound(static_cast<int>(i));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Histogram::Histogram(const char* name, const char* help)
+    : name_(name), help_(help) {
+  std::lock_guard<std::mutex> lock(HistogramRegistryMu());
+  HistogramRegistry().push_back(this);
+}
+
+std::uint64_t Histogram::BucketUpperBound(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.name = name_;
+  snap.help = help_;
+  snap.buckets.resize(kNumBuckets);
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[static_cast<std::size_t>(i)] = BucketCount(i);
+  }
+  // Derive the quantiles from the copied buckets, not the live ones, so
+  // one snapshot is internally consistent even while Record() races.
+  snap.count = 0;
+  for (const std::uint64_t b : snap.buckets) snap.count += b;
+  snap.sum = Sum();
+  snap.max = Max();
+  if (snap.count > 0) {
+    const auto rank = [&](double q) {
+      const auto r = static_cast<std::uint64_t>(
+          q * static_cast<double>(snap.count));
+      return std::max<std::uint64_t>(1, std::min(r + 1, snap.count));
+    };
+    // The bucket upper bound can overshoot the true quantile by up to
+    // 2x; the exact max is a tighter cap for the top buckets.
+    snap.p50 = std::min(QuantileFromBuckets(snap.buckets, rank(0.50)),
+                        snap.max);
+    snap.p90 = std::min(QuantileFromBuckets(snap.buckets, rank(0.90)),
+                        snap.max);
+    snap.p99 = std::min(QuantileFromBuckets(snap.buckets, rank(0.99)),
+                        snap.max);
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  // order: relaxed — test-only reset; tests serialize around it.
+  count_.store(0, std::memory_order_relaxed);
+  // order: relaxed — test-only reset; tests serialize around it.
+  sum_.store(0, std::memory_order_relaxed);
+  // order: relaxed — test-only reset; tests serialize around it.
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) {
+    // order: relaxed — test-only reset; tests serialize around it.
+    bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+// One accessor per catalogued histogram. The function-local static
+// registers on first use; RegisterAllHistograms() touches every accessor
+// so snapshots always see the full catalogue. Names here are the source
+// of truth the ICP005 lint syncs against docs/observability.md.
+#define ICP_OBS_DEFINE_HISTOGRAM(fn, histogram_name, histogram_help) \
+  Histogram& fn() {                                                  \
+    static Histogram histogram(histogram_name, histogram_help);      \
+    return histogram;                                                \
+  }
+
+ICP_OBS_DEFINE_HISTOGRAM(QueryLatencyCycles, "query.latency_cycles",
+                         "end-to-end engine query latency (Execute / "
+                         "ExecuteMulti / ExecuteGroupBy), cycles")
+ICP_OBS_DEFINE_HISTOGRAM(StageParseCycles, "stage.parse_cycles",
+                         "per-query SQL parse stage cycles (only queries "
+                         "that came through ParseStatement with a stats "
+                         "sink)")
+ICP_OBS_DEFINE_HISTOGRAM(StageScanCycles, "stage.scan_cycles",
+                         "per-query filter scan stage cycles (queries "
+                         "with a stats sink)")
+ICP_OBS_DEFINE_HISTOGRAM(StageCombineCycles, "stage.combine_cycles",
+                         "per-query filter combine stage cycles (queries "
+                         "with a stats sink)")
+ICP_OBS_DEFINE_HISTOGRAM(StageAggregateCycles, "stage.aggregate_cycles",
+                         "per-query aggregate stage cycles (queries with "
+                         "a stats sink)")
+ICP_OBS_DEFINE_HISTOGRAM(AdmissionWaitCycles, "admission.wait_cycles",
+                         "cycles each admitted query waited in the "
+                         "governor's bounded queue (0 for immediate "
+                         "grants)")
+ICP_OBS_DEFINE_HISTOGRAM(QuerySteals, "query.steals",
+                         "morsels stolen from other slots' shards during "
+                         "one governed query")
+ICP_OBS_DEFINE_HISTOGRAM(QueryScratchBytes, "query.scratch_bytes",
+                         "driver scratch bytes one governed query "
+                         "accounted against its admission budget")
+
+#undef ICP_OBS_DEFINE_HISTOGRAM
+
+void RegisterAllHistograms() {
+  QueryLatencyCycles();
+  StageParseCycles();
+  StageScanCycles();
+  StageCombineCycles();
+  StageAggregateCycles();
+  AdmissionWaitCycles();
+  QuerySteals();
+  QueryScratchBytes();
+}
+
+std::vector<HistogramSnapshot> SnapshotHistograms() {
+  RegisterAllHistograms();
+  std::vector<Histogram*> histograms;
+  {
+    std::lock_guard<std::mutex> lock(HistogramRegistryMu());
+    histograms = HistogramRegistry();
+  }
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms.size());
+  for (const Histogram* histogram : histograms) {
+    out.push_back(histogram->Snapshot());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void ResetAllHistograms() {
+  RegisterAllHistograms();
+  std::lock_guard<std::mutex> lock(HistogramRegistryMu());
+  for (Histogram* histogram : HistogramRegistry()) histogram->Reset();
+}
+
+std::string HistogramsText() {
+  std::string out;
+  for (const HistogramSnapshot& h : SnapshotHistograms()) {
+    out += h.name;
+    out += " count=" + std::to_string(h.count);
+    out += " sum=" + std::to_string(h.sum);
+    out += " max=" + std::to_string(h.max);
+    out += " p50=" + std::to_string(h.p50);
+    out += " p90=" + std::to_string(h.p90);
+    out += " p99=" + std::to_string(h.p99);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string HistogramsJson() {
+  std::string out = "{";
+  bool first = true;
+  for (const HistogramSnapshot& h : SnapshotHistograms()) {
+    if (!first) out += ", ";
+    first = false;
+    out += '"' + h.name + "\": {";
+    out += "\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + std::to_string(h.sum);
+    out += ", \"max\": " + std::to_string(h.max);
+    out += ", \"p50\": " + std::to_string(h.p50);
+    out += ", \"p90\": " + std::to_string(h.p90);
+    out += ", \"p99\": " + std::to_string(h.p99);
+    out += "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace icp::obs
+
+#endif  // ICP_OBS

@@ -1,0 +1,184 @@
+// Process-wide latency/size histograms with a compile-out switch.
+//
+// Counters (obs.h) answer "how much work"; histograms answer "how is it
+// distributed" — the admission governor degrades and the single-pass
+// GROUP BY spills in ways only visible in the tail, never in a mean.
+// A Histogram is a fixed array of power-of-two buckets: Record(v) does
+// one relaxed fetch_add on the bucket holding bit_width(v) plus the
+// count/sum/max accumulators, so it is lock-free, allocation-free and
+// cheap enough for once-per-query call sites (never per-word; the same
+// batch-granularity rule as counters, docs/observability.md).
+//
+// Snapshots expose count/sum/max plus p50/p90/p99 approximated by the
+// bucket upper bound (exact within a factor of 2, clamped to the exact
+// max). Like counters, every name registered through
+// ICP_OBS_DEFINE_HISTOGRAM must be catalogued in docs/observability.md —
+// tools/icp_lint.py rule ICP005 enforces the sync in both directions.
+//
+// Compile-out: under ICP_OBS=0 the recording macro expands to nothing
+// and the inline stubs below keep exporters linking, so hot TUs carry no
+// obs symbols (CI checks libicp_obs.a with nm).
+
+#ifndef ICP_OBS_HISTOGRAM_H_
+#define ICP_OBS_HISTOGRAM_H_
+
+#include "obs/obs.h"  // for the ICP_OBS switch
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icp::obs {
+
+/// One histogram's state copied out under no lock; bucket counts are a
+/// consistent-enough snapshot for monitoring (each field is individually
+/// atomic, the set is not). Plain struct so it survives ICP_OBS=0.
+struct HistogramSnapshot {
+  std::string name;
+  std::string help;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+  /// buckets[i] counts recorded values v with std::bit_width(v) == i,
+  /// i.e. bucket 0 holds v == 0 and bucket i holds [2^(i-1), 2^i - 1].
+  std::vector<std::uint64_t> buckets;
+};
+
+#if ICP_OBS
+
+/// A process-wide power-of-two-bucket histogram. Construction registers
+/// it in the global registry; Record is a handful of relaxed atomic adds,
+/// safe from any thread. Histograms are created as function-local statics
+/// through ICP_OBS_DEFINE_HISTOGRAM and live for the whole process.
+class Histogram {
+ public:
+  /// bit_width of a uint64 ranges over [0, 64], one bucket each.
+  static constexpr int kNumBuckets = 65;
+
+  Histogram(const char* name, const char* help);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(std::uint64_t value) {
+    const int bucket = std::bit_width(value);
+    // order: relaxed — monotone statistics accumulator; readers tolerate
+    // torn cross-field snapshots, no data is published through it.
+    buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+        1, std::memory_order_relaxed);
+    // order: relaxed — monotone statistics accumulator (see buckets_).
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // order: relaxed — monotone statistics accumulator (see buckets_).
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    // order: relaxed — advisory read of the max latch; the CAS below
+    // re-validates against the current value.
+    std::uint64_t seen = max_.load(std::memory_order_relaxed);
+    // order: relaxed — monotone max latch; losers retry with the larger
+    // observed value, readers only need an eventually-consistent max.
+    while (seen < value &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t Count() const {
+    // order: relaxed — snapshot read of a statistics accumulator.
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t Sum() const {
+    // order: relaxed — snapshot read of a statistics accumulator.
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t Max() const {
+    // order: relaxed — snapshot read of a statistics accumulator.
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t BucketCount(int bucket) const {
+    // order: relaxed — snapshot read of a statistics accumulator.
+    return buckets_[static_cast<std::size_t>(bucket)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Largest value bucket `i` can hold (2^i - 1; UINT64_MAX for i=64).
+  static std::uint64_t BucketUpperBound(int bucket);
+
+  /// Copies out the full state and derives the quantile columns.
+  HistogramSnapshot Snapshot() const;
+
+  /// Testing hook; production code never resets.
+  void Reset();
+
+  const char* name() const { return name_; }
+  const char* help() const { return help_; }
+
+ private:
+  const char* name_;
+  const char* help_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// All histograms registered so far, sorted by name, with quantiles.
+std::vector<HistogramSnapshot> SnapshotHistograms();
+
+/// Forces registration of the whole static catalogue (histograms
+/// otherwise register lazily on first Record); snapshots call this so
+/// they always list every histogram, touched or not.
+void RegisterAllHistograms();
+
+/// Zeroes every registered histogram (tests and EXPLAIN ANALYZE deltas).
+void ResetAllHistograms();
+
+/// Plain-text dump: one "name count=N sum=N max=N p50=N p90=N p99=N"
+/// line per histogram.
+std::string HistogramsText();
+
+/// JSON object {"name": {"count": N, "sum": N, "max": N, "p50": N,
+/// "p90": N, "p99": N}, ...}, keys sorted.
+std::string HistogramsJson();
+
+// -- Histogram catalogue (defined in histogram.cc; keep
+// -- docs/observability.md in sync, both ways — icp_lint ICP005).
+Histogram& QueryLatencyCycles();
+Histogram& StageParseCycles();
+Histogram& StageScanCycles();
+Histogram& StageCombineCycles();
+Histogram& StageAggregateCycles();
+Histogram& AdmissionWaitCycles();
+Histogram& QuerySteals();
+Histogram& QueryScratchBytes();
+
+#else  // !ICP_OBS
+
+// With the layer compiled out the snapshot API still links (exporters
+// and shells call it unconditionally) but reports an empty registry.
+inline std::vector<HistogramSnapshot> SnapshotHistograms() { return {}; }
+inline void RegisterAllHistograms() {}
+inline void ResetAllHistograms() {}
+inline std::string HistogramsText() { return ""; }
+inline std::string HistogramsJson() { return "{}"; }
+
+#endif  // ICP_OBS
+
+}  // namespace icp::obs
+
+/// Hot-path record: ICP_OBS_HISTOGRAM_RECORD(QueryLatencyCycles, n).
+/// Expands to a handful of relaxed atomic adds when the layer is enabled
+/// and to nothing when built with ICP_OBS=0.
+#if ICP_OBS
+#define ICP_OBS_HISTOGRAM_RECORD(histogram_fn, v) \
+  (::icp::obs::histogram_fn().Record(v))
+#else
+#define ICP_OBS_HISTOGRAM_RECORD(histogram_fn, v) ((void)0)
+#endif
+
+#endif  // ICP_OBS_HISTOGRAM_H_

@@ -1,0 +1,174 @@
+#include "obs/journal.h"
+
+#if ICP_OBS
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "obs/trace.h"
+
+namespace icp::obs {
+namespace {
+
+std::uint64_t WallClockNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+// The clock seam. A plain atomic function pointer: swapping clocks must
+// not race recorders mid-query (tests install the fake before running).
+std::atomic<JournalClockFn> g_clock{&WallClockNs};
+
+std::atomic<std::uint64_t> g_slow_threshold_cycles{0};
+
+struct JournalState {
+  std::array<QueryRecord, kJournalCapacity> ring;
+  std::size_t size = 0;
+  std::size_t next = 0;  // slot the next record lands in
+  std::uint64_t next_id = 1;
+};
+
+std::mutex& JournalMu() {
+  static std::mutex mu;
+  return mu;
+}
+
+JournalState& Journal() {
+  static auto* state = new JournalState();
+  return *state;
+}
+
+void AppendJsonString(std::string* out, const char* key, const char* value) {
+  *out += '"';
+  *out += key;
+  *out += "\": \"";
+  *out += value;
+  *out += '"';
+}
+
+void AppendJsonU64(std::string* out, const char* key, std::uint64_t value) {
+  *out += '"';
+  *out += key;
+  *out += "\": ";
+  *out += std::to_string(value);
+}
+
+}  // namespace
+
+void SetJournalClock(JournalClockFn clock) {
+  // order: relaxed — configuration write; recorders only need to see
+  // some valid clock, and callers install it before recording starts.
+  g_clock.store(clock != nullptr ? clock : &WallClockNs,
+                std::memory_order_relaxed);
+}
+
+std::uint64_t JournalNow() {
+  // order: relaxed — reads whichever valid clock is installed; no other
+  // data is published through the pointer.
+  return g_clock.load(std::memory_order_relaxed)();
+}
+
+void SetSlowQueryThresholdCycles(std::uint64_t cycles) {
+  // order: relaxed — advisory tuning knob; recorders may classify one
+  // in-flight query under the old threshold, which is acceptable.
+  g_slow_threshold_cycles.store(cycles, std::memory_order_relaxed);
+}
+
+std::uint64_t SlowQueryThresholdCycles() {
+  // order: relaxed — advisory read of a tuning knob.
+  return g_slow_threshold_cycles.load(std::memory_order_relaxed);
+}
+
+void RecordQuery(QueryRecord record) {
+  const std::uint64_t threshold = SlowQueryThresholdCycles();
+  record.slow = threshold != 0 && record.total_cycles >= threshold;
+  {
+    std::lock_guard<std::mutex> lock(JournalMu());
+    JournalState& state = Journal();
+    record.id = state.next_id++;
+    state.ring[state.next] = record;
+    state.next = (state.next + 1) % kJournalCapacity;
+    if (state.size < kJournalCapacity) ++state.size;
+  }
+  ICP_OBS_INCREMENT(JournalRecords);
+  if (record.slow) {
+    ICP_OBS_INCREMENT(JournalSlowQueries);
+    // The span covers the whole query so the outlier is visible on the
+    // trace timeline next to its stage spans.
+    RecordSpan("query.slow", 0, record.start_cycles, record.total_cycles);
+  }
+}
+
+std::vector<QueryRecord> RecentQueries(std::size_t max_records) {
+  std::lock_guard<std::mutex> lock(JournalMu());
+  const JournalState& state = Journal();
+  const std::size_t n = std::min(max_records, state.size);
+  std::vector<QueryRecord> out;
+  out.reserve(n);
+  // Walk backwards from the most recently written slot.
+  std::size_t slot = (state.next + kJournalCapacity - 1) % kJournalCapacity;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(state.ring[slot]);
+    slot = (slot + kJournalCapacity - 1) % kJournalCapacity;
+  }
+  return out;
+}
+
+std::size_t JournalSize() {
+  std::lock_guard<std::mutex> lock(JournalMu());
+  return Journal().size;
+}
+
+void ClearJournal() {
+  std::lock_guard<std::mutex> lock(JournalMu());
+  JournalState& state = Journal();
+  state.size = 0;
+  state.next = 0;
+}
+
+std::string JournalJson(std::size_t max_records) {
+  std::string out = "[";
+  bool first = true;
+  for (const QueryRecord& r : RecentQueries(max_records)) {
+    if (!first) out += ", ";
+    first = false;
+    out += '{';
+    AppendJsonU64(&out, "id", r.id);
+    out += ", ";
+    AppendJsonU64(&out, "fingerprint", r.fingerprint);
+    out += ", ";
+    AppendJsonString(&out, "entry", r.entry);
+    out += ", ";
+    AppendJsonString(&out, "status", r.status);
+    out += ", ";
+    AppendJsonU64(&out, "rows", r.rows);
+    out += ", ";
+    AppendJsonString(&out, "tier", r.tier);
+    out += ", ";
+    AppendJsonString(&out, "agg_path", r.agg_path);
+    out += ", ";
+    AppendJsonU64(&out, "total_cycles", r.total_cycles);
+    out += ", ";
+    AppendJsonU64(&out, "scan_cycles", r.scan_cycles);
+    out += ", ";
+    AppendJsonU64(&out, "agg_cycles", r.agg_cycles);
+    out += ", ";
+    AppendJsonU64(&out, "start_unix_ns", r.start_unix_ns);
+    out += ", ";
+    AppendJsonU64(&out, "end_unix_ns", r.end_unix_ns);
+    out += ", \"slow\": ";
+    out += r.slow ? "true" : "false";
+    out += '}';
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace icp::obs
+
+#endif  // ICP_OBS

@@ -1,0 +1,122 @@
+// Query journal: a fixed-size ring buffer of completed-query records.
+//
+// Counters and histograms aggregate across queries; the journal keeps the
+// last kJournalCapacity individual outcomes — statement fingerprint,
+// status, result rows, dispatched tier and the stage-cycle summary — so
+// "what just ran and how did it go" is answerable from the admin plane
+// (/queries) and from tests without re-running anything.
+//
+// Timestamps come from a caller-supplied clock seam (SetJournalClock):
+// production uses the wall clock, tests inject a fake so records are
+// deterministic. Queries whose total cycles cross the slow-query
+// threshold (SetSlowQueryThresholdCycles) are flagged and additionally
+// emit a "query.slow" trace span covering the whole query, so slow
+// outliers are visible on the trace timeline without streaming every
+// query.
+//
+// Compile-out: under ICP_OBS=0 RecordQuery and friends become inline
+// no-ops (QueryRecord stays a plain struct, like QueryStats), so the
+// engine's fill points survive either build without #if.
+
+#ifndef ICP_OBS_JOURNAL_H_
+#define ICP_OBS_JOURNAL_H_
+
+#include "obs/obs.h"  // for the ICP_OBS switch
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icp::obs {
+
+/// Ring capacity: enough to hold a CI soak's tail without ever growing.
+inline constexpr std::size_t kJournalCapacity = 128;
+
+/// One completed query. Strings are static (tier names, status-code
+/// names) so records are POD-cheap to copy out of the ring.
+struct QueryRecord {
+  /// Monotonically increasing record id, assigned by RecordQuery.
+  std::uint64_t id = 0;
+  /// FNV-1a hash of the query shape (engine::FingerprintQuery) — the
+  /// engine never sees SQL text, so this stands in for a statement hash.
+  std::uint64_t fingerprint = 0;
+  /// Entry point: "execute", "execute_multi" or "execute_groupby".
+  const char* entry = "";
+  /// StatusCodeToString of the query's outcome ("OK", "Cancelled", ...).
+  const char* status = "";
+  /// Result cardinality: matching rows (Execute), aggregates
+  /// (ExecuteMulti) or non-empty groups (ExecuteGroupBy).
+  std::uint64_t rows = 0;
+  /// Dispatched kernel tier / aggregate path (from QueryStats when a
+  /// stats sink was attached; "" otherwise).
+  const char* tier = "";
+  const char* agg_path = "";
+  /// Stage-cycle summary (QueryStats subset; zero without a stats sink
+  /// except total_cycles, which the entry point always measures).
+  std::uint64_t total_cycles = 0;
+  std::uint64_t scan_cycles = 0;
+  std::uint64_t agg_cycles = 0;
+  /// Journal-clock timestamps (unix nanoseconds under the default
+  /// clock) taken at entry-point start and completion.
+  std::uint64_t start_unix_ns = 0;
+  std::uint64_t end_unix_ns = 0;
+  /// Raw TSC at entry-point start; pairs with total_cycles to place the
+  /// "query.slow" span on the trace timeline.
+  std::uint64_t start_cycles = 0;
+  /// total_cycles crossed the slow-query threshold.
+  bool slow = false;
+};
+
+#if ICP_OBS
+
+/// The journal clock: returns a monotonically reasonable timestamp in
+/// nanoseconds. The default reads the system wall clock.
+using JournalClockFn = std::uint64_t (*)();
+
+/// Replaces the journal clock (tests); nullptr restores the wall clock.
+void SetJournalClock(JournalClockFn clock);
+
+/// Reads the current journal clock.
+std::uint64_t JournalNow();
+
+/// Queries whose total_cycles reach this threshold are flagged slow and
+/// emit a "query.slow" trace span; 0 (the default) disables flagging.
+void SetSlowQueryThresholdCycles(std::uint64_t cycles);
+std::uint64_t SlowQueryThresholdCycles();
+
+/// Appends one record (assigns `id` and `slow`, bumps the
+/// journal.records counter, emits the slow span when flagged). The ring
+/// overwrites the oldest record once full.
+void RecordQuery(QueryRecord record);
+
+/// The most recent `max_records` records, newest first.
+std::vector<QueryRecord> RecentQueries(std::size_t max_records);
+
+/// Records currently held (<= kJournalCapacity).
+std::size_t JournalSize();
+
+/// Drops all records (tests).
+void ClearJournal();
+
+/// JSON array of the most recent `max_records` records, newest first.
+std::string JournalJson(std::size_t max_records);
+
+#else  // !ICP_OBS
+
+using JournalClockFn = std::uint64_t (*)();
+inline void SetJournalClock(JournalClockFn) {}
+inline std::uint64_t JournalNow() { return 0; }
+inline void SetSlowQueryThresholdCycles(std::uint64_t) {}
+inline std::uint64_t SlowQueryThresholdCycles() { return 0; }
+inline void RecordQuery(const QueryRecord&) {}
+inline std::vector<QueryRecord> RecentQueries(std::size_t) { return {}; }
+inline std::size_t JournalSize() { return 0; }
+inline void ClearJournal() {}
+inline std::string JournalJson(std::size_t) { return "[]"; }
+
+#endif  // ICP_OBS
+
+}  // namespace icp::obs
+
+#endif  // ICP_OBS_JOURNAL_H_

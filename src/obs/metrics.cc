@@ -1,0 +1,76 @@
+#include "obs/metrics.h"
+
+#if ICP_OBS
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace icp::obs {
+namespace {
+
+// HELP text may not contain raw newlines or backslashes; our help
+// strings are static literals that avoid both, but escape defensively so
+// a future literal cannot corrupt the exposition.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void AppendFamilyHeader(std::string* out, const std::string& metric,
+                        const std::string& help, const char* type) {
+  *out += "# HELP " + metric + ' ' + EscapeHelp(help) + '\n';
+  *out += "# TYPE " + metric + ' ' + type + '\n';
+}
+
+void AppendHistogramFamily(std::string* out, const HistogramSnapshot& h) {
+  const std::string metric = PrometheusMetricName(h.name);
+  AppendFamilyHeader(out, metric, h.help, "histogram");
+  // Buckets are cumulative with inclusive `le` upper bounds; emitting
+  // only up to the highest non-empty bucket keeps the exposition short
+  // (the +Inf bucket always closes the family).
+  int highest = -1;
+  for (int i = 0; i < static_cast<int>(h.buckets.size()); ++i) {
+    if (h.buckets[static_cast<std::size_t>(i)] > 0) highest = i;
+  }
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i <= highest; ++i) {
+    cumulative += h.buckets[static_cast<std::size_t>(i)];
+    *out += metric + "_bucket{le=\"" +
+            std::to_string(Histogram::BucketUpperBound(i)) + "\"} " +
+            std::to_string(cumulative) + '\n';
+  }
+  *out += metric + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + '\n';
+  *out += metric + "_sum " + std::to_string(h.sum) + '\n';
+  *out += metric + "_count " + std::to_string(h.count) + '\n';
+}
+
+}  // namespace
+
+std::string MetricsText() {
+  std::string out;
+  for (const CounterInfo& c : SnapshotCounterInfo()) {
+    const std::string metric = PrometheusMetricName(c.name);
+    AppendFamilyHeader(&out, metric, c.help, "counter");
+    out += metric + ' ' + std::to_string(c.value) + '\n';
+  }
+  for (const HistogramSnapshot& h : SnapshotHistograms()) {
+    AppendHistogramFamily(&out, h);
+  }
+  return out;
+}
+
+}  // namespace icp::obs
+
+#endif  // ICP_OBS

@@ -1,0 +1,47 @@
+// Prometheus text exposition of the counter and histogram registries.
+//
+// MetricsText() renders every registered counter as a `counter` family
+// and every histogram as a `histogram` family (cumulative `_bucket`
+// series with power-of-two `le` bounds, plus `_sum` and `_count`), in
+// the text format version 0.0.4 a Prometheus server scrapes. Dotted
+// registry names map to metric names as "icp_" + name with the dots
+// replaced by underscores ("scan.words_examined" ->
+// "icp_scan_words_examined"); tools/check_metrics.py validates the
+// output against the grammar in CI and tests.
+//
+// Compile-out: under ICP_OBS=0 the inline stub returns an empty
+// exposition (valid per the grammar) and the TU carries no symbols.
+
+#ifndef ICP_OBS_METRICS_H_
+#define ICP_OBS_METRICS_H_
+
+#include "obs/obs.h"  // for the ICP_OBS switch
+
+#include <string>
+
+namespace icp::obs {
+
+/// "icp_" + name with each '.' replaced by '_' (exposed for tests).
+inline std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "icp_" + name;
+  for (char& c : out) {
+    if (c == '.') c = '_';
+  }
+  return out;
+}
+
+#if ICP_OBS
+
+/// Renders the full counter + histogram registries as Prometheus text
+/// exposition format 0.0.4.
+std::string MetricsText();
+
+#else  // !ICP_OBS
+
+inline std::string MetricsText() { return ""; }
+
+#endif  // ICP_OBS
+
+}  // namespace icp::obs
+
+#endif  // ICP_OBS_METRICS_H_

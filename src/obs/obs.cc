@@ -155,6 +155,16 @@ ICP_OBS_DEFINE_COUNTER(GroupByMergeEntries, "groupby.merge_entries",
 ICP_OBS_DEFINE_COUNTER(GroupByPartitionsMerged, "groupby.partitions_merged",
                        "radix partitions merged by the single-pass "
                        "operator")
+ICP_OBS_DEFINE_COUNTER(JournalRecords, "journal.records",
+                       "completed-query records appended to the query "
+                       "journal ring (src/obs/journal.h)")
+ICP_OBS_DEFINE_COUNTER(JournalSlowQueries, "journal.slow_queries",
+                       "journal records whose total cycles crossed the "
+                       "slow-query threshold (each also emits a "
+                       "\"query.slow\" trace span)")
+ICP_OBS_DEFINE_COUNTER(AdminRequests, "admin.requests",
+                       "HTTP requests served by the embedded admin "
+                       "listener (src/obs/admin_server.h)")
 
 #undef ICP_OBS_DEFINE_COUNTER
 
@@ -198,6 +208,9 @@ void RegisterAllCounters() {
   GroupBySpilledRows();
   GroupByMergeEntries();
   GroupByPartitionsMerged();
+  JournalRecords();
+  JournalSlowQueries();
+  AdminRequests();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> SnapshotCounters() {
@@ -211,6 +224,24 @@ std::vector<std::pair<std::string, std::uint64_t>> SnapshotCounters() {
     }
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<CounterInfo> SnapshotCounterInfo() {
+  RegisterAllCounters();
+  std::vector<CounterInfo> out;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMu());
+    out.reserve(Registry().size());
+    for (const Counter* counter : Registry()) {
+      out.push_back(
+          CounterInfo{counter->name(), counter->help(), counter->Load()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CounterInfo& a, const CounterInfo& b) {
+              return a.name < b.name;
+            });
   return out;
 }
 

@@ -78,6 +78,17 @@ class Counter {
 /// All counters registered so far, sorted by name, with current values.
 std::vector<std::pair<std::string, std::uint64_t>> SnapshotCounters();
 
+/// One counter with its help text (the Prometheus exporter needs the
+/// HELP line; SnapshotCounters keeps its lean name/value shape).
+struct CounterInfo {
+  std::string name;
+  std::string help;
+  std::uint64_t value = 0;
+};
+
+/// All counters registered so far, sorted by name, with help + values.
+std::vector<CounterInfo> SnapshotCounterInfo();
+
 /// Forces registration of the whole static catalogue (counters otherwise
 /// register lazily on first Add); snapshots call this so they always list
 /// every counter, touched or not.
@@ -136,6 +147,9 @@ Counter& GroupByLocalHits();
 Counter& GroupBySpilledRows();
 Counter& GroupByMergeEntries();
 Counter& GroupByPartitionsMerged();
+Counter& JournalRecords();
+Counter& JournalSlowQueries();
+Counter& AdminRequests();
 
 #else  // !ICP_OBS
 
@@ -145,6 +159,12 @@ inline std::vector<std::pair<std::string, std::uint64_t>>
 SnapshotCounters() {
   return {};
 }
+struct CounterInfo {
+  std::string name;
+  std::string help;
+  std::uint64_t value = 0;
+};
+inline std::vector<CounterInfo> SnapshotCounterInfo() { return {}; }
 inline void RegisterAllCounters() {}
 inline void ResetAllCounters() {}
 inline std::uint64_t CounterValue(const std::string&) { return 0; }

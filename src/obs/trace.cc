@@ -52,6 +52,20 @@ Calibration& BaseCalibration() {
   return base;
 }
 
+// Open (constructed, not yet destroyed) spans, keyed by the TraceSpan's
+// address for O(open) removal. The entry copies the span's fields: the
+// owning thread may destroy the TraceSpan while a writer holds a
+// snapshot, so the table must never dereference the key.
+struct OpenSpan {
+  const TraceSpan* key;
+  Span span;  // dur_cycles unused until write time
+};
+
+std::vector<OpenSpan>& OpenSpans() {
+  static auto* spans = new std::vector<OpenSpan>();
+  return *spans;
+}
+
 }  // namespace
 
 void EnableTracing() {
@@ -95,6 +109,11 @@ void ClearTrace() {
   Spans().clear();
 }
 
+std::size_t OpenTraceSpanCount() {
+  std::lock_guard<std::mutex> lock(TraceMu());
+  return OpenSpans().size();
+}
+
 bool WriteChromeTrace(const std::string& path) {
   std::vector<Span> spans;
   Calibration base;
@@ -102,6 +121,17 @@ bool WriteChromeTrace(const std::string& path) {
     std::lock_guard<std::mutex> lock(TraceMu());
     spans = Spans();
     base = BaseCalibration();
+    // Open spans are emitted with their duration clamped to "now":
+    // without them a mid-flight dump (admin plane, cancellation) would
+    // silently omit all active work.
+    const std::uint64_t now_cycles = ReadCycleCounter();
+    for (const OpenSpan& open : OpenSpans()) {
+      Span span = open.span;
+      span.dur_cycles = now_cycles > span.start_cycles
+                            ? now_cycles - span.start_cycles
+                            : 0;
+      spans.push_back(span);
+    }
   }
   const Calibration now = SampleCalibration();
 
@@ -138,9 +168,24 @@ bool WriteChromeTrace(const std::string& path) {
 }
 
 TraceSpan::TraceSpan(const char* name, int tid)
-    : name_(name), tid_(tid), start_(ReadCycleCounter()) {}
+    : name_(name), tid_(tid), start_(ReadCycleCounter()),
+      registered_(TracingEnabled()) {
+  if (!registered_) return;
+  std::lock_guard<std::mutex> lock(TraceMu());
+  OpenSpans().push_back(OpenSpan{this, Span{name_, tid_, start_, 0}});
+}
 
 TraceSpan::~TraceSpan() {
+  if (registered_) {
+    std::lock_guard<std::mutex> lock(TraceMu());
+    std::vector<OpenSpan>& open = OpenSpans();
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      if (open[i].key == this) {
+        open.erase(open.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
   if (!TracingEnabled()) return;
   RecordSpan(name_, tid_, start_, ReadCycleCounter() - start_);
 }

@@ -42,6 +42,11 @@ void RecordSpan(const char* name, int tid, std::uint64_t start_cycles,
 /// Number of spans currently buffered (tests).
 std::size_t TraceSpanCount();
 
+/// Number of TraceSpans currently open (constructed while tracing was
+/// enabled and not yet destroyed). WriteChromeTrace emits these as
+/// clamped-duration events so a mid-flight dump shows active work.
+std::size_t OpenTraceSpanCount();
+
 /// Drops all buffered spans (tests / between queries).
 void ClearTrace();
 
@@ -51,7 +56,10 @@ void ClearTrace();
 bool WriteChromeTrace(const std::string& path);
 
 /// RAII span: records [construction, destruction) under `name` on track
-/// `tid` if tracing is enabled when it closes.
+/// `tid` if tracing is enabled when it closes. While open (and tracing
+/// was enabled at construction) the span is registered so a trace
+/// written mid-flight still shows it, with the duration clamped to the
+/// write time.
 class TraceSpan {
  public:
   TraceSpan(const char* name, int tid);
@@ -64,6 +72,8 @@ class TraceSpan {
   const char* name_;
   int tid_;
   std::uint64_t start_;
+  /// Registered in the open-span table at construction (tracing was on).
+  bool registered_;
 };
 
 #else  // !ICP_OBS
@@ -73,6 +83,7 @@ inline void DisableTracing() {}
 inline bool TracingEnabled() { return false; }
 inline void RecordSpan(const char*, int, std::uint64_t, std::uint64_t) {}
 inline std::size_t TraceSpanCount() { return 0; }
+inline std::size_t OpenTraceSpanCount() { return 0; }
 inline void ClearTrace() {}
 inline bool WriteChromeTrace(const std::string&) { return false; }
 

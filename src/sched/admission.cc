@@ -4,8 +4,10 @@
 #include <condition_variable>
 #include <string>
 
+#include "obs/histogram.h"
 #include "obs/obs.h"
 #include "obs/stage_timer.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -58,6 +60,29 @@ int QueryGovernor::queued() const {
   return static_cast<int>(queue_.size());
 }
 
+GovernorSnapshot QueryGovernor::Snapshot() const {
+  GovernorSnapshot snap;
+  snap.max_concurrent = options_.max_concurrent;
+  snap.max_queued = options_.max_queued;
+  MutexLock lock(mu_);
+  snap.active = active_;
+  snap.queued = static_cast<int>(queue_.size());
+  snap.next_parallelism = GrantParallelismLocked();
+  return snap;
+}
+
+std::string QueryGovernor::DescribeJson() const {
+  const GovernorSnapshot snap = Snapshot();
+  std::string out = "{";
+  out += "\"active\": " + std::to_string(snap.active);
+  out += ", \"queued\": " + std::to_string(snap.queued);
+  out += ", \"max_concurrent\": " + std::to_string(snap.max_concurrent);
+  out += ", \"max_queued\": " + std::to_string(snap.max_queued);
+  out += ", \"next_parallelism\": " + std::to_string(snap.next_parallelism);
+  out += "}";
+  return out;
+}
+
 int QueryGovernor::GrantParallelismLocked() const {
   const int hardware = scheduler_.num_workers() + 1;  // + calling thread
   int cap = hardware;
@@ -88,10 +113,18 @@ StatusOr<std::unique_ptr<QuerySession>> QueryGovernor::Admit(
     return Status::DeadlineExceeded("deadline expired before admission");
   }
 
+  // The admission.wait span (and histogram) covers the whole gate, so
+  // even immediate grants land a (near-zero) sample: tail latency in
+  // admission.wait_cycles is comparable across load levels and the CI
+  // trace sample always contains the span.
+  const obs::StageTimer admit_timer;
   MutexLock lock(mu_);
   if (active_ < options_.max_concurrent) {
     ++active_;
     ICP_OBS_INCREMENT(AdmitAdmitted);
+    ICP_OBS_HISTOGRAM_RECORD(AdmissionWaitCycles, 0);
+    obs::RecordSpan("admission.wait", 0, admit_timer.start_cycles(),
+                    admit_timer.ElapsedCycles());
     return std::unique_ptr<QuerySession>(
         new QuerySession(this, GrantParallelismLocked(), 0));
   }
@@ -135,6 +168,9 @@ StatusOr<std::unique_ptr<QuerySession>> QueryGovernor::Admit(
   const std::uint64_t queued_cycles = queued_timer.ElapsedCycles();
   ICP_OBS_ADD(AdmitQueuedCycles, queued_cycles);
   ICP_OBS_INCREMENT(AdmitAdmitted);
+  ICP_OBS_HISTOGRAM_RECORD(AdmissionWaitCycles, queued_cycles);
+  obs::RecordSpan("admission.wait", 0, admit_timer.start_cycles(),
+                  admit_timer.ElapsedCycles());
   return std::unique_ptr<QuerySession>(
       new QuerySession(this, GrantParallelismLocked(), queued_cycles));
 }

@@ -29,6 +29,7 @@
 #include <list>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "parallel/executor.h"
 #include "sched/scheduler.h"
@@ -54,6 +55,21 @@ struct AdmissionOptions {
 };
 
 class QuerySession;
+
+/// One consistent view of the governor's load, for the admin plane and
+/// shells (QueryGovernor::Snapshot).
+struct GovernorSnapshot {
+  /// Queries currently holding sessions.
+  int active = 0;
+  /// Queries waiting in the bounded admission queue.
+  int queued = 0;
+  /// The configured limits (AdmissionOptions).
+  int max_concurrent = 0;
+  int max_queued = 0;
+  /// Parallelism the next admitted query would be granted at this load
+  /// (the degradation ladder's current rung).
+  int next_parallelism = 0;
+};
 
 /// Admits queries against AdmissionOptions and hands out QuerySessions
 /// backed by one shared MorselScheduler. Thread-safe. Must outlive every
@@ -81,6 +97,14 @@ class QueryGovernor {
   int queued() const;
   const AdmissionOptions& options() const { return options_; }
   MorselScheduler& scheduler() { return scheduler_; }
+
+  /// Reads active/queued and the current degradation rung under one
+  /// lock acquisition (active() then queued() can tear across a grant).
+  GovernorSnapshot Snapshot() const;
+
+  /// Snapshot() as a small JSON object — what sql_shell plugs into
+  /// AdminServer::set_queries_provider for the /queries endpoint.
+  std::string DescribeJson() const;
 
  private:
   friend class QuerySession;

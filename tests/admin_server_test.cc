@@ -1,0 +1,229 @@
+// Tests for the embedded admin plane: lifecycle (ephemeral-port Start,
+// idempotent Stop, restart), every endpoint's payload over a real
+// loopback HTTP round trip, error handling (404 / 405 / malformed), the
+// Prometheus exposition renderer, and the ICP_OBS=0 stub contract.
+
+#include "obs/admin_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/histogram.h"
+#include "obs/journal.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+#if ICP_OBS
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace icp {
+namespace {
+
+TEST(MetricsTest, PrometheusNameMapping) {
+  EXPECT_EQ(obs::PrometheusMetricName("engine.queries"),
+            "icp_engine_queries");
+  EXPECT_EQ(obs::PrometheusMetricName("agg.path.vbp"), "icp_agg_path_vbp");
+  EXPECT_EQ(obs::PrometheusMetricName("plain"), "icp_plain");
+}
+
+#if ICP_OBS
+
+// One-shot HTTP exchange against 127.0.0.1:port; returns the raw
+// response (the server speaks HTTP/1.0 with Connection: close, so
+// reading to EOF delimits it).
+std::string HttpExchange(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect failed";
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(int port, const std::string& target) {
+  return HttpExchange(port,
+                      "GET " + target + " HTTP/1.0\r\n"
+                      "Host: 127.0.0.1\r\n\r\n");
+}
+
+std::string Body(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+TEST(AdminServerTest, LifecycleEphemeralPortAndRestart) {
+  obs::AdminServer server;
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+
+  const Status again = server.Start(0);
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+
+  ASSERT_TRUE(server.Start(0).ok());
+  EXPECT_NE(HttpGet(server.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(AdminServerTest, ServesTelemetryEndpoints) {
+  obs::ResetAllCounters();
+  obs::ResetAllHistograms();
+  obs::ClearJournal();
+  ICP_OBS_ADD(EngineQueries, 3);
+  ICP_OBS_HISTOGRAM_RECORD(QueryLatencyCycles, 8);
+  obs::QueryRecord record;
+  record.entry = "execute";
+  record.status = "OK";
+  record.rows = 5;
+  obs::RecordQuery(record);
+
+  obs::AdminServer server;
+  server.set_queries_provider([] { return std::string("{\"active\": 1}"); });
+  ASSERT_TRUE(server.Start(0).ok());
+  const int port = server.port();
+
+  const std::string health = HttpGet(port, "/healthz");
+  EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_EQ(Body(health), "ok\n");
+
+  const std::string counters = Body(HttpGet(port, "/counters"));
+  EXPECT_NE(counters.find("\"engine.queries\": 3"), std::string::npos)
+      << counters;
+  EXPECT_NE(counters.find("\"histograms\": {"), std::string::npos);
+  EXPECT_NE(counters.find("\"query.latency_cycles\": {\"count\": 1"),
+            std::string::npos);
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("version=0.0.4"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("# TYPE icp_engine_queries counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("icp_engine_queries 3\n"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE icp_query_latency_cycles histogram"),
+            std::string::npos);
+
+  // A query string is stripped before routing.
+  const std::string queries = Body(HttpGet(port, "/queries?limit=5"));
+  EXPECT_NE(queries.find("\"governor\": {\"active\": 1}"),
+            std::string::npos)
+      << queries;
+  EXPECT_NE(queries.find("\"entry\": \"execute\""), std::string::npos);
+  EXPECT_NE(queries.find("\"rows\": 5"), std::string::npos);
+
+  const std::string traces = Body(HttpGet(port, "/traces"));
+  EXPECT_NE(traces.find("\"enabled\": false"), std::string::npos) << traces;
+  EXPECT_NE(traces.find("\"buffered_spans\": 0"), std::string::npos);
+  EXPECT_NE(traces.find("\"open_spans\": 0"), std::string::npos);
+
+  EXPECT_GE(obs::CounterValue("admin.requests"), 5u);
+
+  server.Stop();
+  obs::ResetAllCounters();
+  obs::ResetAllHistograms();
+  obs::ClearJournal();
+}
+
+TEST(AdminServerTest, NoProviderReportsNullGovernor) {
+  obs::AdminServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  const std::string queries = Body(HttpGet(server.port(), "/queries"));
+  EXPECT_NE(queries.find("\"governor\": null"), std::string::npos)
+      << queries;
+  server.Stop();
+}
+
+TEST(AdminServerTest, RejectsUnknownPathsMethodsAndGarbage) {
+  obs::AdminServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  const int port = server.port();
+  EXPECT_NE(HttpGet(port, "/nope").find("404"), std::string::npos);
+  EXPECT_NE(
+      HttpExchange(port, "POST /healthz HTTP/1.0\r\n\r\n").find("405"),
+      std::string::npos);
+  EXPECT_NE(HttpExchange(port, "garbage\r\n\r\n").find("400"),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST(MetricsTest, ExpositionRendersCumulativeBuckets) {
+  obs::ResetAllCounters();
+  obs::ResetAllHistograms();
+  ICP_OBS_HISTOGRAM_RECORD(QueryLatencyCycles, 1);  // bucket 1, le="1"
+  ICP_OBS_HISTOGRAM_RECORD(QueryLatencyCycles, 2);  // bucket 2, le="3"
+  ICP_OBS_HISTOGRAM_RECORD(QueryLatencyCycles, 3);  // bucket 2, le="3"
+  const std::string text = obs::MetricsText();
+  EXPECT_NE(text.find("# HELP icp_query_latency_cycles "),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("icp_query_latency_cycles_bucket{le=\"1\"} 1\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("icp_query_latency_cycles_bucket{le=\"3\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("icp_query_latency_cycles_bucket{le=\"+Inf\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("icp_query_latency_cycles_sum 6\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("icp_query_latency_cycles_count 3\n"),
+            std::string::npos);
+  // Untouched histograms still expose their family with a lone +Inf.
+  EXPECT_NE(text.find("icp_admission_wait_cycles_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos);
+  obs::ResetAllHistograms();
+}
+
+#else  // !ICP_OBS
+
+TEST(AdminServerCompiledOutTest, StartIsUnimplemented) {
+  obs::AdminServer server;
+  server.set_queries_provider([] { return std::string("{}"); });
+  const Status started = server.Start(0);
+  EXPECT_EQ(started.code(), StatusCode::kUnimplemented);
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+  server.Stop();
+  EXPECT_EQ(obs::MetricsText(), "");
+}
+
+#endif  // ICP_OBS
+
+}  // namespace
+}  // namespace icp

@@ -1,0 +1,199 @@
+// Tests for the power-of-two-bucket histogram registry: bucket
+// assignment, quantile derivation, concurrent Record exactness against
+// a serial oracle (the TSan build runs this suite with 8 threads), the
+// text/JSON exporters, and the ICP_OBS=0 stub contract.
+
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace icp {
+namespace {
+
+#if ICP_OBS
+
+TEST(HistogramTest, BucketUpperBounds) {
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(0), 0u);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(1), 1u);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(2), 3u);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(10), 1023u);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(63),
+            std::numeric_limits<std::uint64_t>::max() / 2);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(64),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(HistogramTest, RecordAssignsBitWidthBuckets) {
+  obs::Histogram& h = obs::QueryLatencyCycles();
+  h.Reset();
+  h.Record(0);    // bucket 0
+  h.Record(1);    // bucket 1
+  h.Record(2);    // bucket 2
+  h.Record(3);    // bucket 2
+  h.Record(4);    // bucket 3
+  h.Record(std::numeric_limits<std::uint64_t>::max());  // bucket 64
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 2u);
+  EXPECT_EQ(h.BucketCount(3), 1u);
+  EXPECT_EQ(h.BucketCount(64), 1u);
+  EXPECT_EQ(h.Count(), 6u);
+  EXPECT_EQ(h.Max(), std::numeric_limits<std::uint64_t>::max());
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0u);
+  EXPECT_EQ(h.Max(), 0u);
+}
+
+TEST(HistogramTest, SnapshotDerivesQuantilesClampedToMax) {
+  obs::Histogram& h = obs::QueryLatencyCycles();
+  h.Reset();
+  h.Record(1);
+  h.Record(2);
+  h.Record(3);
+  h.Record(4);
+  const obs::HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 10u);
+  EXPECT_EQ(snap.max, 4u);
+  // rank(q) = clamp(floor(q*count)+1, 1, count): p50 lands at rank 3,
+  // cumulative {1, 3} reaches it in bucket 2 (upper bound 3).
+  EXPECT_EQ(snap.p50, 3u);
+  // p90/p99 land at rank 4 in bucket 3 (upper bound 7), clamped to the
+  // exact max.
+  EXPECT_EQ(snap.p90, 4u);
+  EXPECT_EQ(snap.p99, 4u);
+  ASSERT_EQ(snap.buckets.size(),
+            static_cast<std::size_t>(obs::Histogram::kNumBuckets));
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 2u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+
+  // A lone out-of-power-of-two value: the bucket bound (1023) overshoots
+  // and the exact max (1000) caps every quantile.
+  h.Reset();
+  h.Record(1000);
+  const obs::HistogramSnapshot one = h.Snapshot();
+  EXPECT_EQ(one.p50, 1000u);
+  EXPECT_EQ(one.p99, 1000u);
+  h.Reset();
+}
+
+// The deterministic per-thread value stream for the oracle test: a
+// Weyl-ish mix that spreads values across many buckets.
+std::uint64_t OracleValue(int thread, std::uint64_t i) {
+  const std::uint64_t x =
+      (static_cast<std::uint64_t>(thread) * 1000003u + i) * 2654435761u;
+  return x >> (i % 24);  // vary magnitude so buckets differ
+}
+
+TEST(HistogramTest, EightThreadConcurrentRecordMatchesSerialOracle) {
+  obs::Histogram& h = obs::QuerySteals();
+  h.Reset();
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &h] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.Record(OracleValue(t, i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Serial oracle over the identical value stream.
+  std::uint64_t count = 0, sum = 0, max = 0;
+  std::array<std::uint64_t, obs::Histogram::kNumBuckets> buckets{};
+  for (int t = 0; t < kThreads; ++t) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      const std::uint64_t v = OracleValue(t, i);
+      ++count;
+      sum += v;
+      if (v > max) max = v;
+      ++buckets[static_cast<std::size_t>(std::bit_width(v))];
+    }
+  }
+
+  EXPECT_EQ(h.Count(), count);
+  EXPECT_EQ(h.Sum(), sum);
+  EXPECT_EQ(h.Max(), max);
+  for (int b = 0; b < obs::Histogram::kNumBuckets; ++b) {
+    EXPECT_EQ(h.BucketCount(b), buckets[static_cast<std::size_t>(b)])
+        << "bucket " << b;
+  }
+  h.Reset();
+}
+
+TEST(HistogramTest, SnapshotListsWholeCatalogueSorted) {
+  const std::vector<obs::HistogramSnapshot> snaps =
+      obs::SnapshotHistograms();
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_LT(snaps[i - 1].name, snaps[i].name) << "unsorted/duplicate";
+  }
+  const char* expected[] = {
+      "query.latency_cycles", "stage.parse_cycles",
+      "stage.scan_cycles",    "stage.combine_cycles",
+      "stage.aggregate_cycles", "admission.wait_cycles",
+      "query.steals",         "query.scratch_bytes",
+  };
+  EXPECT_GE(snaps.size(), std::size(expected));
+  for (const char* name : expected) {
+    bool found = false;
+    for (const obs::HistogramSnapshot& snap : snaps) {
+      if (snap.name == name) {
+        found = true;
+        EXPECT_FALSE(snap.help.empty()) << name;
+      }
+    }
+    EXPECT_TRUE(found) << "catalogue is missing " << name;
+  }
+}
+
+TEST(HistogramTest, TextAndJsonExporters) {
+  obs::ResetAllHistograms();
+  ICP_OBS_HISTOGRAM_RECORD(QueryLatencyCycles, 7);
+  const std::string text = obs::HistogramsText();
+  EXPECT_NE(
+      text.find(
+          "query.latency_cycles count=1 sum=7 max=7 p50=7 p90=7 p99=7"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("admission.wait_cycles count=0"), std::string::npos);
+
+  const std::string json = obs::HistogramsJson();
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"query.latency_cycles\": {\"count\": 1, "
+                      "\"sum\": 7, \"max\": 7"),
+            std::string::npos)
+      << json;
+  obs::ResetAllHistograms();
+}
+
+#else  // !ICP_OBS
+
+TEST(HistogramCompiledOutTest, StubsReportEmptyRegistry) {
+  obs::RegisterAllHistograms();
+  obs::ResetAllHistograms();
+  ICP_OBS_HISTOGRAM_RECORD(QueryLatencyCycles, 7);  // expands to nothing
+  EXPECT_TRUE(obs::SnapshotHistograms().empty());
+  EXPECT_EQ(obs::HistogramsText(), "");
+  EXPECT_EQ(obs::HistogramsJson(), "{}");
+}
+
+#endif  // ICP_OBS
+
+}  // namespace
+}  // namespace icp

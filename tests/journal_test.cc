@@ -1,0 +1,249 @@
+// Tests for the query journal: the injectable clock seam, ring
+// overwrite semantics, slow-query flagging (including the "query.slow"
+// trace span), the JSON exporter, and the engine integration — every
+// Execute / ExecuteMulti / ExecuteGroupBy entry point journals its
+// outcome, success or error, with a stable statement fingerprint.
+
+#include "obs/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "engine/expression.h"
+#include "engine/table.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace icp {
+namespace {
+
+#if ICP_OBS
+
+std::uint64_t FakeClock() { return 42u; }
+
+TEST(JournalTest, ClockSeamInjectsDeterministicTimestamps) {
+  obs::SetJournalClock(&FakeClock);
+  EXPECT_EQ(obs::JournalNow(), 42u);
+  obs::SetJournalClock(nullptr);  // restore the wall clock
+  EXPECT_GT(obs::JournalNow(), 42u);
+}
+
+TEST(JournalTest, RecordAssignsIdsAndRingOverwritesOldest) {
+  obs::ClearJournal();
+  EXPECT_EQ(obs::JournalSize(), 0u);
+
+  const std::size_t total = obs::kJournalCapacity + 10;
+  for (std::size_t i = 0; i < total; ++i) {
+    obs::QueryRecord record;
+    record.fingerprint = i;
+    record.entry = "execute";
+    record.status = "OK";
+    obs::RecordQuery(record);
+  }
+  EXPECT_EQ(obs::JournalSize(), obs::kJournalCapacity);
+
+  // Newest first; the 10 oldest records were overwritten.
+  const std::vector<obs::QueryRecord> recent = obs::RecentQueries(5);
+  ASSERT_EQ(recent.size(), 5u);
+  for (std::size_t i = 1; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i - 1].id, recent[i].id + 1);
+  }
+  EXPECT_EQ(recent.front().fingerprint, total - 1);
+  const std::vector<obs::QueryRecord> all =
+      obs::RecentQueries(obs::kJournalCapacity + 50);
+  ASSERT_EQ(all.size(), obs::kJournalCapacity);
+  EXPECT_EQ(all.back().fingerprint, total - obs::kJournalCapacity);
+  obs::ClearJournal();
+}
+
+TEST(JournalTest, SlowQueriesAreFlaggedAndEmitTraceSpan) {
+  obs::ClearJournal();
+  obs::ClearTrace();
+  obs::EnableTracing();
+  obs::SetSlowQueryThresholdCycles(100);
+  EXPECT_EQ(obs::SlowQueryThresholdCycles(), 100u);
+
+  obs::QueryRecord fast;
+  fast.entry = "execute";
+  fast.status = "OK";
+  fast.total_cycles = 99;
+  obs::RecordQuery(fast);
+
+  obs::QueryRecord slow;
+  slow.entry = "execute";
+  slow.status = "OK";
+  slow.total_cycles = 100;  // at-threshold counts as slow
+  slow.start_cycles = 7;
+  obs::RecordQuery(slow);
+
+  const std::vector<obs::QueryRecord> recent = obs::RecentQueries(2);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_TRUE(recent[0].slow);
+  EXPECT_FALSE(recent[1].slow);
+  EXPECT_EQ(obs::TraceSpanCount(), 1u);
+
+  const std::string path = ::testing::TempDir() + "journal_test_trace.json";
+  ASSERT_TRUE(obs::WriteChromeTrace(path));
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"query.slow\""), std::string::npos)
+      << buf.str();
+
+  obs::SetSlowQueryThresholdCycles(0);  // 0 disables flagging
+  obs::QueryRecord unflagged;
+  unflagged.total_cycles = 1u << 30;
+  obs::RecordQuery(unflagged);
+  EXPECT_FALSE(obs::RecentQueries(1)[0].slow);
+
+  obs::DisableTracing();
+  obs::ClearTrace();
+  obs::ClearJournal();
+}
+
+TEST(JournalTest, JsonExporterRendersRecords) {
+  obs::ClearJournal();
+  obs::SetJournalClock(&FakeClock);
+  obs::QueryRecord record;
+  record.fingerprint = 0xdeadbeef;
+  record.entry = "execute_groupby";
+  record.status = "Cancelled";
+  record.rows = 3;
+  record.tier = "avx2";
+  record.agg_path = "hbp";
+  record.start_unix_ns = obs::JournalNow();
+  record.end_unix_ns = obs::JournalNow();
+  obs::RecordQuery(record);
+  obs::SetJournalClock(nullptr);
+
+  const std::string json = obs::JournalJson(8);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"entry\": \"execute_groupby\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"status\": \"Cancelled\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"tier\": \"avx2\""), std::string::npos);
+  EXPECT_NE(json.find("\"start_unix_ns\": 42"), std::string::npos);
+  obs::ClearJournal();
+  EXPECT_EQ(obs::JournalJson(8), "[]");
+}
+
+// -- Engine integration: the public entry points journal both outcomes.
+
+Table MakeTable() {
+  Table table;
+  std::vector<std::int64_t> a, b;
+  for (std::int64_t i = 0; i < 2000; ++i) {
+    a.push_back(i % 97);
+    b.push_back(i % 7);
+  }
+  ICP_CHECK(table.AddColumn("a", a, {}).ok());
+  ICP_CHECK(table.AddColumn("b", b, {.dictionary = true}).ok());
+  return table;
+}
+
+TEST(JournalEngineTest, ExecuteJournalsSuccessWithStableFingerprint) {
+  obs::ClearJournal();
+  const Table table = MakeTable();
+  Engine engine;
+  Query q;
+  q.agg = AggKind::kSum;
+  q.agg_column = "a";
+  q.filter = FilterExpr::Compare("a", CompareOp::kGt, 50);
+  ASSERT_TRUE(engine.Execute(table, q).ok());
+  ASSERT_EQ(obs::JournalSize(), 1u);
+  const obs::QueryRecord first = obs::RecentQueries(1)[0];
+  EXPECT_STREQ(first.entry, "execute");
+  EXPECT_STREQ(first.status, "OK");
+  EXPECT_NE(first.fingerprint, 0u);
+  EXPECT_GT(first.rows, 0u);
+  EXPECT_GT(first.total_cycles, 0u);
+  EXPECT_GT(first.end_unix_ns, 0u);
+  EXPECT_GE(first.end_unix_ns, first.start_unix_ns);
+
+  // Same query shape -> same fingerprint; different shape -> different.
+  ASSERT_TRUE(engine.Execute(table, q).ok());
+  EXPECT_EQ(obs::RecentQueries(1)[0].fingerprint, first.fingerprint);
+  q.agg = AggKind::kMax;
+  ASSERT_TRUE(engine.Execute(table, q).ok());
+  EXPECT_NE(obs::RecentQueries(1)[0].fingerprint, first.fingerprint);
+  obs::ClearJournal();
+}
+
+TEST(JournalEngineTest, ErrorsAndOtherEntryPointsJournalToo) {
+  obs::ClearJournal();
+  obs::ResetAllHistograms();
+  const Table table = MakeTable();
+  Engine engine;
+
+  Query bad;
+  bad.agg = AggKind::kSum;
+  bad.agg_column = "no_such_column";
+  EXPECT_FALSE(engine.Execute(table, bad).ok());
+  ASSERT_EQ(obs::JournalSize(), 1u);
+  EXPECT_STREQ(obs::RecentQueries(1)[0].status, "NotFound");
+  EXPECT_STREQ(obs::RecentQueries(1)[0].entry, "execute");
+
+  MultiQuery multi;
+  multi.aggregates = {{AggKind::kSum, "a"}, {AggKind::kCount, "a"}};
+  ASSERT_TRUE(engine.ExecuteMulti(table, multi).ok());
+  EXPECT_STREQ(obs::RecentQueries(1)[0].entry, "execute_multi");
+  EXPECT_EQ(obs::RecentQueries(1)[0].rows, 2u);
+
+  Query grouped;
+  grouped.agg = AggKind::kSum;
+  grouped.agg_column = "a";
+  ASSERT_TRUE(engine.ExecuteGroupBy(table, grouped, "b").ok());
+  EXPECT_STREQ(obs::RecentQueries(1)[0].entry, "execute_groupby");
+  EXPECT_STREQ(obs::RecentQueries(1)[0].status, "OK");
+  EXPECT_EQ(obs::RecentQueries(1)[0].rows, 7u);
+
+  // Every entry point — the failed Execute included — lands an
+  // end-to-end latency sample.
+  EXPECT_EQ(obs::QueryLatencyCycles().Count(), 3u);
+  obs::ResetAllHistograms();
+  obs::ClearJournal();
+}
+
+#else  // !ICP_OBS
+
+TEST(JournalCompiledOutTest, StubsAreInert) {
+  obs::SetJournalClock(nullptr);
+  EXPECT_EQ(obs::JournalNow(), 0u);
+  obs::SetSlowQueryThresholdCycles(100);
+  EXPECT_EQ(obs::SlowQueryThresholdCycles(), 0u);
+  obs::QueryRecord record;
+  record.total_cycles = 1u << 30;
+  obs::RecordQuery(record);
+  EXPECT_EQ(obs::JournalSize(), 0u);
+  EXPECT_TRUE(obs::RecentQueries(8).empty());
+  EXPECT_EQ(obs::JournalJson(8), "[]");
+  obs::ClearJournal();
+}
+
+TEST(JournalCompiledOutTest, EngineEntryPointsStillWork) {
+  Table table;
+  ICP_CHECK(table.AddColumn("a", {1, 2, 3, 4}, {}).ok());
+  Engine engine;
+  Query q;
+  q.agg = AggKind::kSum;
+  q.agg_column = "a";
+  auto result = engine.Execute(table, q);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->value, 10.0);
+  EXPECT_EQ(obs::JournalSize(), 0u);
+}
+
+#endif  // ICP_OBS
+
+}  // namespace
+}  // namespace icp

@@ -167,6 +167,43 @@ TEST(ObsTraceTest, WritesLoadableChromeTrace) {
   EXPECT_FALSE(obs::WriteChromeTrace("/nonexistent-dir/trace.json"));
 }
 
+// Regression: spans used to exist only in their destructor, so a trace
+// written while a span was still open silently dropped it. Open spans
+// are now registered at construction and written mid-flight with the
+// duration clamped to the dump time.
+TEST(ObsTraceTest, OpenSpansAppearInMidFlightWrites) {
+  obs::ClearTrace();
+  obs::EnableTracing();
+  const std::string path = ::testing::TempDir() + "obs_test_open.json";
+  {
+    obs::TraceSpan span("obs_test.open", 3);
+    EXPECT_EQ(obs::OpenTraceSpanCount(), 1u);
+    EXPECT_EQ(obs::TraceSpanCount(), 0u);  // not yet buffered
+    ASSERT_TRUE(obs::WriteChromeTrace(path));
+    const std::string mid_flight = ReadFile(path);
+    EXPECT_NE(mid_flight.find("\"obs_test.open\""), std::string::npos)
+        << mid_flight;
+  }
+  EXPECT_EQ(obs::OpenTraceSpanCount(), 0u);
+  EXPECT_EQ(obs::TraceSpanCount(), 1u);  // buffered exactly once
+  ASSERT_TRUE(obs::WriteChromeTrace(path));
+  const std::string closed = ReadFile(path);
+  const std::size_t first = closed.find("\"obs_test.open\"");
+  ASSERT_NE(first, std::string::npos) << closed;
+  // Closed and de-registered: the span appears once, not twice.
+  EXPECT_EQ(closed.find("\"obs_test.open\"", first + 1),
+            std::string::npos);
+  obs::DisableTracing();
+  obs::ClearTrace();
+
+  // Spans opened while tracing is off never register.
+  {
+    obs::TraceSpan span("obs_test.untraced", 0);
+    EXPECT_EQ(obs::OpenTraceSpanCount(), 0u);
+  }
+  EXPECT_EQ(obs::TraceSpanCount(), 0u);
+}
+
 #else  // !ICP_OBS
 
 TEST(ObsCompiledOutTest, StubsReportEmptyRegistry) {
@@ -186,6 +223,7 @@ TEST(ObsCompiledOutTest, TracingIsInert) {
   obs::RecordSpan("obs_test.span", 0, 0, 10);
   { ICP_OBS_TRACE_SPAN("obs_test.scoped", 1); }
   EXPECT_EQ(obs::TraceSpanCount(), 0u);
+  EXPECT_EQ(obs::OpenTraceSpanCount(), 0u);
   const std::string path = ::testing::TempDir() + "obs_test_trace.json";
   EXPECT_FALSE(obs::WriteChromeTrace(path));
 }

@@ -1,0 +1,353 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text exposition (format 0.0.4).
+
+CI pipes the admin plane's /metrics response (obs::MetricsText) through
+this checker; the golden test in tests/admin_server_test.cc pins the
+exact lines, this pins the grammar:
+
+  * every line is a '# HELP', '# TYPE', a sample, or blank;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*, HELP/TYPE appear at
+    most once per family and TYPE precedes the family's samples;
+  * sample values parse as floats (+Inf/-Inf/NaN allowed), no duplicate
+    (name, labels) series;
+  * every 'histogram' family has _sum, _count and at least one _bucket
+    sample; bucket counts are non-decreasing in 'le' order and the
+    le="+Inf" bucket equals _count.
+
+Usage:
+    tools/check_metrics.py metrics.txt      # or '-' for stdin
+    tools/check_metrics.py --self-test
+
+Exit codes: 0 valid, 1 invalid exposition, 2 bad invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+HELP_RE = re.compile(r"# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)\Z")
+TYPE_RE = re.compile(
+    r"# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+    r"(counter|gauge|histogram|summary|untyped)\Z"
+)
+SAMPLE_RE = re.compile(
+    r"([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? ([^ ]+)( [0-9-]+)?\Z"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"\Z')
+
+
+def parse_value(token: str) -> float | None:
+    """Parses a sample value; Prometheus allows +Inf/-Inf/NaN."""
+    if token in ("+Inf", "Inf"):
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    if token == "NaN":
+        return math.nan
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def parse_labels(block: str | None) -> dict[str, str] | None:
+    """Parses '{a="x",b="y"}' into a dict; None on malformed labels."""
+    if block is None:
+        return {}
+    labels: dict[str, str] = {}
+    inner = block[1:-1].rstrip(",")
+    if not inner:
+        return labels
+    for pair in inner.split(","):
+        match = LABEL_RE.match(pair)
+        if match is None:
+            return None
+        labels[match.group(1)] = match.group(2)
+    return labels
+
+
+def base_family(name: str, types: dict[str, str]) -> str:
+    """Maps a _bucket/_sum/_count sample to its histogram family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            family = name[: -len(suffix)]
+            if types.get(family) == "histogram":
+                return family
+    return name
+
+
+class Checker:
+    def __init__(self) -> None:
+        self.errors: list[str] = []
+        self.helps: dict[str, str] = {}
+        self.types: dict[str, str] = {}
+        # (name, sorted label items) -> value
+        self.samples: dict[tuple[str, tuple[tuple[str, str], ...]], float]
+        self.samples = {}
+        self.sample_order: list[str] = []
+
+    def error(self, line_no: int, message: str) -> None:
+        self.errors.append(f"line {line_no}: {message}")
+
+    def feed(self, line_no: int, line: str) -> None:
+        if not line.strip():
+            return
+        if line.startswith("#"):
+            self.feed_comment(line_no, line)
+            return
+        match = SAMPLE_RE.match(line)
+        if match is None:
+            self.error(line_no, f"unparsable sample line: {line!r}")
+            return
+        name, label_block, value_token = match.group(1, 2, 3)
+        labels = parse_labels(label_block)
+        if labels is None:
+            self.error(line_no, f"malformed labels: {label_block!r}")
+            return
+        value = parse_value(value_token)
+        if value is None:
+            self.error(line_no, f"non-numeric value {value_token!r}")
+            return
+        family = base_family(name, self.types)
+        key = (name, tuple(sorted(labels.items())))
+        if key in self.samples:
+            self.error(line_no, f"duplicate series {name}{label_block or ''}")
+            return
+        self.samples[key] = value
+        self.sample_order.append(family)
+
+    def feed_comment(self, line_no: int, line: str) -> None:
+        if line.startswith("# HELP "):
+            match = HELP_RE.match(line)
+            if match is None:
+                self.error(line_no, f"malformed HELP line: {line!r}")
+                return
+            name = match.group(1)
+            if name in self.helps:
+                self.error(line_no, f"duplicate HELP for {name}")
+            self.helps[name] = match.group(2)
+        elif line.startswith("# TYPE "):
+            match = TYPE_RE.match(line)
+            if match is None:
+                self.error(line_no, f"malformed TYPE line: {line!r}")
+                return
+            name = match.group(1)
+            if name in self.types:
+                self.error(line_no, f"duplicate TYPE for {name}")
+            if name in self.sample_order:
+                self.error(
+                    line_no, f"TYPE for {name} appears after its samples"
+                )
+            self.types[name] = match.group(2)
+        # Other '#' lines are free-form comments per the format.
+
+    def finish(self) -> None:
+        for family, family_type in self.types.items():
+            if family_type == "histogram":
+                self.check_histogram(family)
+
+    def check_histogram(self, family: str) -> None:
+        buckets: list[tuple[float, float]] = []
+        count: float | None = None
+        has_sum = False
+        for (name, labels), value in self.samples.items():
+            if name == family + "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    self.errors.append(
+                        f"{family}: _bucket sample without an 'le' label"
+                    )
+                    return
+                bound = parse_value(le)
+                if bound is None:
+                    self.errors.append(
+                        f"{family}: unparsable le={le!r}"
+                    )
+                    return
+                buckets.append((bound, value))
+            elif name == family + "_count" and not labels:
+                count = value
+            elif name == family + "_sum" and not labels:
+                has_sum = True
+        if not buckets:
+            self.errors.append(f"{family}: histogram has no _bucket samples")
+            return
+        if count is None:
+            self.errors.append(f"{family}: histogram has no _count sample")
+            return
+        if not has_sum:
+            self.errors.append(f"{family}: histogram has no _sum sample")
+            return
+        buckets.sort(key=lambda b: b[0])
+        for (lo_le, lo), (hi_le, hi) in zip(
+            buckets, buckets[1:], strict=False
+        ):
+            if hi < lo:
+                self.errors.append(
+                    f"{family}: bucket counts not cumulative "
+                    f"(le={lo_le:g} -> {lo:g}, le={hi_le:g} -> {hi:g})"
+                )
+                return
+        top_le, top = buckets[-1]
+        if not math.isinf(top_le):
+            self.errors.append(f"{family}: histogram has no le=\"+Inf\"")
+            return
+        if top != count:
+            self.errors.append(
+                f"{family}: le=\"+Inf\" bucket ({top:g}) != _count "
+                f"({count:g})"
+            )
+
+
+def check_text(text: str) -> list[str]:
+    checker = Checker()
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        checker.feed(line_no, line)
+    checker.finish()
+    return checker.errors
+
+
+GOLDEN_VALID = """\
+# HELP icp_engine_queries queries the engine executed
+# TYPE icp_engine_queries counter
+icp_engine_queries 3
+# HELP icp_query_latency_cycles end-to-end query latency
+# TYPE icp_query_latency_cycles histogram
+icp_query_latency_cycles_bucket{le="1"} 1
+icp_query_latency_cycles_bucket{le="3"} 3
+icp_query_latency_cycles_bucket{le="+Inf"} 3
+icp_query_latency_cycles_sum 6
+icp_query_latency_cycles_count 3
+"""
+
+# Each invalid case must trip exactly the described check.
+SELF_TEST_INVALID: list[tuple[str, str]] = [
+    ("unparsable sample", "icp{ 1\n"),
+    ("non-numeric value", "icp_counter abc\n"),
+    (
+        "duplicate series",
+        "icp_counter 1\nicp_counter 2\n",
+    ),
+    (
+        "duplicate TYPE",
+        "# TYPE icp_c counter\n# TYPE icp_c gauge\nicp_c 1\n",
+    ),
+    (
+        "TYPE after samples",
+        "icp_c 1\n# TYPE icp_c counter\n",
+    ),
+    (
+        "malformed labels",
+        'icp_c{le=1} 1\n',
+    ),
+    (
+        "histogram without +Inf",
+        "# TYPE icp_h histogram\n"
+        'icp_h_bucket{le="1"} 1\nicp_h_sum 1\nicp_h_count 1\n',
+    ),
+    (
+        "histogram +Inf != count",
+        "# TYPE icp_h histogram\n"
+        'icp_h_bucket{le="+Inf"} 2\nicp_h_sum 1\nicp_h_count 1\n',
+    ),
+    (
+        "non-cumulative buckets",
+        "# TYPE icp_h histogram\n"
+        'icp_h_bucket{le="1"} 5\nicp_h_bucket{le="3"} 4\n'
+        'icp_h_bucket{le="+Inf"} 5\nicp_h_sum 9\nicp_h_count 5\n',
+    ),
+    (
+        "histogram without _sum",
+        "# TYPE icp_h histogram\n"
+        'icp_h_bucket{le="+Inf"} 1\nicp_h_count 1\n',
+    ),
+]
+
+
+def self_test() -> int:
+    failures: list[str] = []
+    errors = check_text(GOLDEN_VALID)
+    if errors:
+        failures.append(f"golden exposition rejected: {errors}")
+    if check_text(""):
+        failures.append("empty exposition rejected (it is valid)")
+    for label, text in SELF_TEST_INVALID:
+        if not check_text(text):
+            failures.append(f"invalid case accepted: {label}")
+    if failures:
+        for failure in failures:
+            print(f"check_metrics self-test: {failure}", file=sys.stderr)
+        return 1
+    total = len(SELF_TEST_INVALID) + 2
+    print(f"check_metrics self-test: {total} cases passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_metrics.py",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "source",
+        metavar="SOURCE",
+        nargs="?",
+        help="exposition file, or '-' for stdin",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the embedded golden/invalid cases and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    if args.source is None:
+        parser.error("SOURCE is required unless --self-test")
+    if args.source == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.source, encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"check_metrics: cannot read {args.source}: {e}",
+                  file=sys.stderr)
+            return 1
+    errors = check_text(text)
+    if errors:
+        for error in errors:
+            print(f"check_metrics: {error}", file=sys.stderr)
+        return 1
+    families = len({name for name, _ in check_families(text)})
+    print(
+        f"check_metrics: valid exposition "
+        f"({count_samples(text)} sample(s), {families} family(ies))"
+    )
+    return 0
+
+
+def count_samples(text: str) -> int:
+    return sum(
+        1
+        for line in text.splitlines()
+        if line.strip() and not line.startswith("#")
+    )
+
+
+def check_families(text: str) -> list[tuple[str, str]]:
+    out: list[tuple[str, str]] = []
+    for line in text.splitlines():
+        match = TYPE_RE.match(line)
+        if match is not None:
+            out.append((match.group(1), match.group(2)))
+    return out
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,10 +10,16 @@ Checks the shape CI relies on:
   * at least --min-events events (default 1), so an engine run that
     recorded nothing fails loudly;
   * every span lies within the file's overall [min_ts, max_ts + dur]
-    window (a calibration bug shows up as spans light-years off-axis).
+    window (a calibration bug shows up as spans light-years off-axis);
+  * --require NAME (repeatable): at least one span carries that exact
+    name — CI asserts the admission.wait and query.slow spans this way;
+  * --check-nesting: within each (pid, tid) track, spans either nest or
+    are disjoint; a partial overlap means two RAII spans closed out of
+    order or the clock calibration drifted mid-run.
 
 Usage:
-    tools/check_trace.py trace.json [--min-events N]
+    tools/check_trace.py trace.json [--min-events N] [--require NAME]...
+                         [--check-nesting]
 
 Exit codes: 0 valid, 1 invalid trace, 2 bad invocation.
 """
@@ -53,7 +59,45 @@ def check_event(index: int, event: Any) -> str | None:
     return None
 
 
-def check_trace(path: str, min_events: int) -> int:
+# Sub-microsecond slack for boundary comparisons: sibling spans share
+# boundaries exactly in cycles but the cycle->us conversion rounds.
+NESTING_EPSILON_US = 0.01
+
+
+def check_nesting(events: list[Any]) -> str | None:
+    """Returns an error for a partial overlap within a track, else None."""
+    tracks: dict[tuple[int, int], list[Any]] = {}
+    for event in events:
+        tracks.setdefault((int(event["pid"]), int(event["tid"])), []).append(
+            event
+        )
+    for (pid, tid), spans in sorted(tracks.items()):
+        # Longest-first at equal start so a parent precedes the children
+        # it encloses.
+        spans.sort(key=lambda e: (float(e["ts"]), -float(e["dur"])))
+        stack: list[tuple[float, str]] = []  # (end, name)
+        for event in spans:
+            start = float(event["ts"])
+            end = start + float(event["dur"])
+            name = str(event["name"])
+            while stack and stack[-1][0] <= start + NESTING_EPSILON_US:
+                stack.pop()
+            if stack and end > stack[-1][0] + NESTING_EPSILON_US:
+                return (
+                    f"track pid={pid} tid={tid}: '{name}' "
+                    f"[{start:.3f}, {end:.3f}] partially overlaps "
+                    f"'{stack[-1][1]}' ending at {stack[-1][0]:.3f}"
+                )
+            stack.append((end, name))
+    return None
+
+
+def check_trace(
+    path: str,
+    min_events: int,
+    required: list[str] | None = None,
+    nesting: bool = False,
+) -> int:
     try:
         with open(path, encoding="utf-8") as f:
             data = json.load(f)
@@ -74,6 +118,17 @@ def check_trace(path: str, min_events: int) -> int:
 
     for i, event in enumerate(events):
         error = check_event(i, event)
+        if error is not None:
+            return fail(error)
+
+    names = {str(e["name"]) for e in events}
+    for name in required or []:
+        if name not in names:
+            return fail(
+                f"no span named '{name}' (saw: {', '.join(sorted(names))})"
+            )
+    if nesting:
+        error = check_nesting(events)
         if error is not None:
             return fail(error)
 
@@ -110,8 +165,24 @@ def main(argv: list[str] | None = None) -> int:
         help="fail unless the trace holds at least this many spans "
         "(default 1)",
     )
+    parser.add_argument(
+        "--require",
+        metavar="NAME",
+        action="append",
+        default=[],
+        help="fail unless at least one span carries this exact name "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--check-nesting",
+        action="store_true",
+        help="fail on partially overlapping spans within one "
+        "(pid, tid) track",
+    )
     args = parser.parse_args(argv)
-    return check_trace(args.trace, args.min_events)
+    return check_trace(
+        args.trace, args.min_events, args.require, args.check_nesting
+    )
 
 
 if __name__ == "__main__":

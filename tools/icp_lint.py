@@ -26,10 +26,12 @@ already happened (or nearly happened) in this codebase:
       "// exercises: slot_a, slot_b" annotation naming the slot the
       file drives through a higher-level entry point.
   ICP005 counter-catalogue
-      Every observability counter registered through
-      ICP_OBS_DEFINE_COUNTER must be catalogued in
-      docs/observability.md, and the doc must not list counters that
-      are no longer registered (same both-ways sync as ICP003).
+      Every observability counter or histogram registered through
+      ICP_OBS_DEFINE_COUNTER / ICP_OBS_DEFINE_HISTOGRAM must be
+      catalogued in docs/observability.md, and the doc must not list
+      metrics that are no longer registered (same both-ways sync as
+      ICP003). The two registries share one namespace — a histogram
+      may not reuse a counter's name.
 
 Usage:
     tools/icp_lint.py [--root REPO_ROOT] [--changed-only [--base-ref REF]]
@@ -97,7 +99,10 @@ FAILPOINT_RE = re.compile(r'ICP_FAILPOINT\(\s*"([^"]+)"')
 SLOT_RE = re.compile(r"\(\s*\*\s*(\w+)\s*\)\s*\(")
 EXERCISES_RE = re.compile(r"//\s*exercises:\s*([\w,\s]+?)\s*$")
 COUNTER_RE = re.compile(r'ICP_OBS_DEFINE_COUNTER\(\s*(\w+)\s*,\s*"([^"]+)"')
-# Dotted lowercase counter names in backticks, e.g. `scan.words_examined`.
+HISTOGRAM_RE = re.compile(
+    r'ICP_OBS_DEFINE_HISTOGRAM\(\s*(\w+)\s*,\s*"([^"]+)"'
+)
+# Dotted lowercase metric names in backticks, e.g. `scan.words_examined`.
 DOC_COUNTER_RE = re.compile(r"`([a-z0-9_]+(?:\.[a-z0-9_]+)+)`")
 
 
@@ -397,17 +402,25 @@ def check_slot_coverage(root: str, findings: list[Finding]) -> None:
 
 
 def check_counter_catalogue(root: str, findings: list[Finding]) -> None:
+    """ICP005: counters AND histograms share one doc-synced namespace."""
     sites: dict[str, list[tuple[str, int]]] = {}
+    kinds: dict[str, str] = {}
     for path in iter_code_files(root):
         relpath = rel(root, path)
         if not relpath.startswith("src/"):
             continue
         text = read_text(path)
         code = strip_comments(text, keep_strings=True)
-        for m in COUNTER_RE.finditer(code):
-            sites.setdefault(m.group(2), []).append(
-                (relpath, line_of(code, m.start()))
-            )
+        for kind, regex in (
+            ("counter", COUNTER_RE),
+            ("histogram", HISTOGRAM_RE),
+        ):
+            for m in regex.finditer(code):
+                name = m.group(2)
+                sites.setdefault(name, []).append(
+                    (relpath, line_of(code, m.start()))
+                )
+                kinds.setdefault(name, kind)
 
     doc_path = os.path.join(root, OBSERVABILITY_DOC)
     doc_text = read_text(doc_path) if os.path.isfile(doc_path) else ""
@@ -425,8 +438,9 @@ def check_counter_catalogue(root: str, findings: list[Finding]) -> None:
                     occurrences[0][0],
                     occurrences[0][1],
                     "ICP005",
-                    f"counter '{name}' is registered more than once "
-                    f"(also at {locs}); counter names must be unique",
+                    f"{kinds[name]} '{name}' is registered more than once "
+                    "(also at "
+                    f"{locs}); counter and histogram names must be unique",
                 )
             )
         if name not in doc_names:
@@ -436,7 +450,7 @@ def check_counter_catalogue(root: str, findings: list[Finding]) -> None:
                     path0,
                     line0,
                     "ICP005",
-                    f"counter '{name}' is not catalogued in "
+                    f"{kinds[name]} '{name}' is not catalogued in "
                     f"{OBSERVABILITY_DOC}",
                 )
             )
@@ -446,8 +460,9 @@ def check_counter_catalogue(root: str, findings: list[Finding]) -> None:
                 OBSERVABILITY_DOC,
                 1 + doc_text[: doc_text.find(f"`{name}`")].count("\n"),
                 "ICP005",
-                f"{OBSERVABILITY_DOC} catalogues counter '{name}' but no "
-                "ICP_OBS_DEFINE_COUNTER registers it",
+                f"{OBSERVABILITY_DOC} catalogues metric '{name}' but no "
+                "ICP_OBS_DEFINE_COUNTER / ICP_OBS_DEFINE_HISTOGRAM "
+                "registers it",
             )
         )
 

@@ -243,6 +243,38 @@ class LintFixtureTest(unittest.TestCase):
             "ICP005", "scan.words_imagined", "docs/observability.md"
         )
 
+    def test_uncatalogued_histogram_fires(self) -> None:
+        write(
+            self.root,
+            "src/obs/extra_histogram.cc",
+            'ICP_OBS_DEFINE_HISTOGRAM(MysteryCycles, "engine.mystery_'
+            'cycles",\n'
+            '                         "a histogram the doc never heard '
+            'of")\n',
+        )
+        self.assert_finding(
+            "ICP005", "engine.mystery_cycles", "src/obs/extra_histogram.cc"
+        )
+        _, out, _ = run_linter(self.root)
+        self.assertIn("histogram 'engine.mystery_cycles'", out)
+
+    def test_stale_doc_histogram_entry_fires(self) -> None:
+        doc = os.path.join(self.root, "docs", "observability.md")
+        with open(doc, "a", encoding="utf-8") as f:
+            f.write("| `query.imagined_cycles` | gone | stale row |\n")
+        self.assert_finding(
+            "ICP005", "query.imagined_cycles", "docs/observability.md"
+        )
+
+    def test_histogram_reusing_counter_name_fires(self) -> None:
+        write(
+            self.root,
+            "src/obs/name_clash.cc",
+            'ICP_OBS_DEFINE_HISTOGRAM(ScanWordsExaminedHist,\n'
+            '                         "scan.words_examined", "clash")\n',
+        )
+        self.assert_finding("ICP005", "more than once")
+
     def test_duplicate_counter_name_fires(self) -> None:
         write(
             self.root,

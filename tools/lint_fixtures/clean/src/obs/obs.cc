@@ -1,7 +1,13 @@
 // Miniature observability registry for the icp_lint self-test: one
-// catalogued counter, synced with the fixture docs/observability.md.
+// catalogued counter and one catalogued histogram, synced with the
+// fixture docs/observability.md.
 #define ICP_OBS_DEFINE_COUNTER(fn, counter_name, counter_help) \
+  int fn##_fixture = 0;
+#define ICP_OBS_DEFINE_HISTOGRAM(fn, histogram_name, histogram_help) \
   int fn##_fixture = 0;
 
 ICP_OBS_DEFINE_COUNTER(ScanWordsExamined, "scan.words_examined",
                        "memory words read by the bit-parallel scans")
+
+ICP_OBS_DEFINE_HISTOGRAM(QueryLatencyCycles, "query.latency_cycles",
+                         "end-to-end engine query latency")

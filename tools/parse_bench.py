@@ -24,6 +24,14 @@ kernel-tier series into a compact record: one row per (benchmark, tier,
 args) with items/second, plus per-benchmark speedups of each tier over the
 scalar tier. This is the file committed as BENCH_kernels.json to track the
 kernel perf trajectory across PRs.
+
+With --compare BASELINE (only in --kernel-json mode), the fresh record is
+additionally diffed against a previously committed record (e.g.
+BENCH_kernels.json): rows are matched by (benchmark, tier, args) and the
+run exits non-zero when any row's items/second fell below
+(1 - --slowdown-threshold) of the baseline. The threshold defaults to 0.5
+— shared CI runners are noisy, so only a halving is treated as a real
+regression; the per-row ratios are always printed for eyeballing.
 """
 
 import argparse
@@ -128,6 +136,68 @@ def kernel_json_main(source: str, out_path: str) -> int:
     return 0
 
 
+def row_key(row: dict[str, Any]) -> str:
+    """Stable identity of one series: benchmark/tier plus sorted args."""
+    args = "".join(
+        f"/{k}:{v}" for k, v in sorted(row.get("args", {}).items()))
+    return f"{row['benchmark']}/{row['tier']}{args}"
+
+
+def compare_records(current_path: str, baseline_path: str,
+                    slowdown_threshold: float) -> int:
+    """Exit 1 when any matched row slowed past the threshold."""
+    try:
+        with open(current_path) as f:
+            current = json.load(f)
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+    except OSError as e:
+        print(f"parse_bench: cannot read comparison input: {e}",
+              file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as e:
+        print(f"parse_bench: comparison input is not valid JSON: {e}",
+              file=sys.stderr)
+        return 1
+
+    def rates(record: dict[str, Any]) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for row in record.get("benchmarks", []):
+            rate = row.get("items_per_second")
+            if isinstance(rate, (int, float)) and rate > 0:
+                out[row_key(row)] = float(rate)
+        return out
+
+    current_rates = rates(current)
+    baseline_rates = rates(baseline)
+    matched = sorted(set(current_rates) & set(baseline_rates))
+    if not matched:
+        print("parse_bench: no comparable rows between current and "
+              "baseline", file=sys.stderr)
+        return 1
+
+    floor = 1.0 - slowdown_threshold
+    regressions: list[str] = []
+    for key in matched:
+        ratio = current_rates[key] / baseline_rates[key]
+        marker = "REGRESSED" if ratio < floor else "ok"
+        print(f"  {key}: {ratio:.2f}x baseline [{marker}]")
+        if ratio < floor:
+            regressions.append(key)
+    only = (set(current_rates) | set(baseline_rates)) - set(matched)
+    if only:
+        print(f"parse_bench: {len(only)} row(s) present on only one side "
+              "(skipped)")
+    if regressions:
+        print(f"parse_bench: {len(regressions)} row(s) regressed past "
+              f"{floor:.0%} of baseline: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print(f"parse_bench: {len(matched)} row(s) within budget "
+          f"(floor {floor:.0%} of baseline)")
+    return 0
+
+
 def slugify(text: str) -> str:
     return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")
 
@@ -153,6 +223,14 @@ def main(argv: list[str] | None = None) -> int:
         help="treat SOURCE as google-benchmark JSON from bench_kernels and "
              "write the distilled kernel-tier record to OUT")
     parser.add_argument(
+        "--compare", metavar="BASELINE",
+        help="after distilling (--kernel-json only), diff against this "
+             "previously committed record and exit non-zero on regression")
+    parser.add_argument(
+        "--slowdown-threshold", type=float, default=0.5,
+        help="fraction of baseline throughput a row may lose before "
+             "--compare fails (default 0.5)")
+    parser.add_argument(
         "source", metavar="SOURCE",
         help="bench_output.txt (default mode) or google-benchmark JSON "
              "(--kernel-json)")
@@ -162,8 +240,16 @@ def main(argv: list[str] | None = None) -> int:
              "(--kernel-json)")
     args = parser.parse_args(argv)
 
+    if args.compare and not args.kernel_json:
+        parser.error("--compare requires --kernel-json")
+    if not 0.0 < args.slowdown_threshold < 1.0:
+        parser.error("--slowdown-threshold must be in (0, 1)")
     if args.kernel_json:
-        return kernel_json_main(args.source, args.out)
+        status = kernel_json_main(args.source, args.out)
+        if status != 0 or not args.compare:
+            return status
+        return compare_records(args.out, args.compare,
+                               args.slowdown_threshold)
     source, out_dir = args.source, args.out
     if not os.path.isfile(source):
         print(f"parse_bench: cannot read {source}: no such file",
